@@ -1,0 +1,192 @@
+//! The accelerator controller (paper Figure 9): orchestrates a diffusion
+//! trajectory across time steps, feeding the PPU detector's channel
+//! classifications back into the sparsity-aware address generator.
+//!
+//! At update steps the detector measures the true per-channel sparsity of
+//! each layer's input stream and re-balances the dense/sparse routing;
+//! between updates the stale routing persists while the data underneath it
+//! drifts — exactly the trade-off of Figure 11 (right).
+
+use crate::system::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
+use crate::workload::ConvWorkload;
+use serde::{Deserialize, Serialize};
+use sqdm_sparsity::ChannelPartition;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Controller {
+    /// The accelerator under control.
+    pub accelerator: AcceleratorConfig,
+    /// Time steps between detector-driven routing updates (1 = per step).
+    pub update_period: usize,
+    /// SPE utilization assumed by the load balancer.
+    pub spe_utilization: f64,
+}
+
+impl Controller {
+    /// A controller with the paper's per-step updates.
+    pub fn paper() -> Self {
+        Controller {
+            accelerator: AcceleratorConfig::paper(),
+            update_period: 1,
+            spe_utilization: 0.9,
+        }
+    }
+
+    /// Same accelerator, custom update period.
+    pub fn with_period(update_period: usize) -> Self {
+        Controller {
+            update_period: update_period.max(1),
+            ..Self::paper()
+        }
+    }
+}
+
+/// Results of a trajectory run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryStats {
+    /// Aggregate over all steps and layers.
+    pub total: RunStats,
+    /// Per-time-step aggregates.
+    pub per_step: Vec<RunStats>,
+    /// Number of detector updates performed.
+    pub detector_updates: usize,
+}
+
+impl Controller {
+    /// Runs a full diffusion trajectory.
+    ///
+    /// `steps[t][l]` is layer `l`'s workload at time step `t` (its true
+    /// per-channel input sparsities); `quants[l]` is the layer's numeric
+    /// configuration. Routing for each layer is recomputed from the
+    /// measured sparsities at every `update_period`-th step and reused in
+    /// between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if step layer counts are inconsistent with `quants`.
+    pub fn run_trajectory(
+        &self,
+        steps: &[Vec<ConvWorkload>],
+        quants: &[LayerQuant],
+    ) -> TrajectoryStats {
+        let acc = Accelerator::new(self.accelerator);
+        let mut total = RunStats::default();
+        let mut per_step = Vec::with_capacity(steps.len());
+        let mut routing: Vec<Option<ChannelPartition>> = vec![None; quants.len()];
+        let mut detector_updates = 0usize;
+
+        for (t, layers) in steps.iter().enumerate() {
+            assert_eq!(
+                layers.len(),
+                quants.len(),
+                "step {t} has {} layers, quants has {}",
+                layers.len(),
+                quants.len()
+            );
+            let update = t % self.update_period == 0;
+            if update {
+                detector_updates += 1;
+            }
+            let mut step_stats = RunStats::default();
+            for (l, w) in layers.iter().enumerate() {
+                if update || routing[l].is_none() {
+                    // Fresh detection on the stream being consumed.
+                    routing[l] =
+                        Some(ChannelPartition::balanced(&w.act_sparsity, self.spe_utilization));
+                } else if let Some(stale) = &routing[l] {
+                    // Keep stale routing but account costs with the true
+                    // current sparsities.
+                    routing[l] = Some(ChannelPartition::balanced_stale(
+                        &stale.sparsities().to_vec(),
+                        &w.act_sparsity,
+                        self.spe_utilization,
+                    ));
+                }
+                let stats = acc.run_layer(w, routing[l].as_ref(), quants[l]);
+                step_stats.push(&stats);
+            }
+            total.cycles += step_stats.cycles;
+            total.macs_executed += step_stats.macs_executed;
+            total.layers += step_stats.layers;
+            // Merge energies.
+            let mut merged = total.energy;
+            merged.compute_pj += step_stats.energy.compute_pj;
+            merged.sram_pj += step_stats.energy.sram_pj;
+            merged.dram_pj += step_stats.energy.dram_pj;
+            merged.noc_pj += step_stats.energy.noc_pj;
+            merged.leakage_pj += step_stats.energy.leakage_pj;
+            total.energy = merged;
+            per_step.push(step_stats);
+        }
+        TrajectoryStats {
+            total,
+            per_step,
+            detector_updates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_tensor::Rng;
+
+    /// A drifting trajectory: channels start sparse and densify over time.
+    fn trajectory(steps: usize, layers: usize, channels: usize) -> Vec<Vec<ConvWorkload>> {
+        let mut rng = Rng::seed_from(50);
+        (0..steps)
+            .map(|t| {
+                (0..layers)
+                    .map(|_| {
+                        let drift = 0.3 * t as f64 / steps.max(1) as f64;
+                        let sp: Vec<f64> = (0..channels)
+                            .map(|ch| {
+                                let base = if ch % 4 == 0 { 0.2 } else { 0.8 };
+                                (base - drift + 0.1 * (rng.uniform() as f64 - 0.5))
+                                    .clamp(0.0, 1.0)
+                            })
+                            .collect();
+                        ConvWorkload::with_sparsity(16, channels, 3, 3, 16, 16, sp)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn per_step_updates_never_lose_to_stale() {
+        let steps = trajectory(8, 3, 16);
+        let quants = vec![LayerQuant::int4(); 3];
+        let fresh = Controller::paper().run_trajectory(&steps, &quants);
+        let stale = Controller::with_period(4).run_trajectory(&steps, &quants);
+        assert!(fresh.total.cycles <= stale.total.cycles);
+        assert_eq!(fresh.detector_updates, 8);
+        assert_eq!(stale.detector_updates, 2);
+    }
+
+    #[test]
+    fn per_step_breakdown_sums_to_total() {
+        let steps = trajectory(5, 2, 8);
+        let quants = vec![LayerQuant::int8(); 2];
+        let r = Controller::paper().run_trajectory(&steps, &quants);
+        let sum: u64 = r.per_step.iter().map(|s| s.cycles).sum();
+        assert_eq!(sum, r.total.cycles);
+        assert_eq!(r.per_step.len(), 5);
+        assert_eq!(r.total.layers, 10);
+    }
+
+    #[test]
+    fn empty_trajectory_is_empty() {
+        let r = Controller::paper().run_trajectory(&[], &[]);
+        assert_eq!(r.total.cycles, 0);
+        assert_eq!(r.detector_updates, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "layers")]
+    fn inconsistent_layer_count_panics() {
+        let steps = trajectory(2, 2, 8);
+        Controller::paper().run_trajectory(&steps, &[LayerQuant::int4()]);
+    }
+}

@@ -1,0 +1,109 @@
+//! The PPU's temporal sparsity detector (paper §IV-C).
+//!
+//! As each output channel drains from the accumulation buffer through the
+//! post-processing unit, a zero counter tallies its zeros; comparing the
+//! count to the threshold classifies the channel dense or sparse *for the
+//! next layer*, and the result updates the sparsity-aware address
+//! generator. Counting happens on data already streaming past, so its
+//! cycles hide entirely behind the drain.
+
+use serde::{Deserialize, Serialize};
+use sqdm_sparsity::ChannelPartition;
+use sqdm_tensor::Tensor;
+
+/// Hardware sparsity detector model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparsityDetector {
+    /// Zero-fraction threshold at or above which a channel is sparse.
+    pub threshold: f64,
+    /// Elements the zero-counter examines per cycle (matches the PPU
+    /// drain width).
+    pub elems_per_cycle: u64,
+}
+
+impl SparsityDetector {
+    /// Creates a detector with the paper's 30% threshold.
+    pub fn paper() -> Self {
+        SparsityDetector {
+            threshold: sqdm_sparsity::PAPER_THRESHOLD,
+            elems_per_cycle: 16,
+        }
+    }
+
+    /// Creates a detector with a custom threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        SparsityDetector {
+            threshold,
+            elems_per_cycle: 16,
+        }
+    }
+
+    /// Classifies the channels of an output tensor `[N, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn detect(&self, output: &Tensor) -> ChannelPartition {
+        let per_channel = sqdm_sparsity::channel_sparsity(output);
+        ChannelPartition::classify(&per_channel, self.threshold)
+    }
+
+    /// Classifies from precomputed per-channel sparsities.
+    pub fn detect_from_sparsity(&self, per_channel: &[f64]) -> ChannelPartition {
+        ChannelPartition::classify(per_channel, self.threshold)
+    }
+
+    /// Cycles the zero counters need to scan `elems` output elements.
+    /// These overlap with the accumulation-buffer drain; the caller only
+    /// pays `max(0, detector − drain)`, which is zero whenever the PPU
+    /// width matches the drain width (the design point).
+    pub fn count_cycles(&self, elems: u64) -> u64 {
+        elems.div_ceil(self.elems_per_cycle.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_mixed_channels() {
+        let mut t = Tensor::zeros([1, 2, 2, 2]);
+        // Channel 0 all zero; channel 1 all nonzero.
+        for y in 0..2 {
+            for x in 0..2 {
+                t.set(&[0, 1, y, x], 1.0).unwrap();
+            }
+        }
+        let det = SparsityDetector::paper();
+        let p = det.detect(&t);
+        assert!(p.is_sparse(0));
+        assert!(!p.is_sparse(1));
+    }
+
+    #[test]
+    fn threshold_boundary_inclusive() {
+        let det = SparsityDetector::with_threshold(0.5);
+        let p = det.detect_from_sparsity(&[0.5, 0.49]);
+        assert!(p.is_sparse(0));
+        assert!(!p.is_sparse(1));
+    }
+
+    #[test]
+    fn counting_cycles_scale_with_width() {
+        let det = SparsityDetector::paper();
+        assert_eq!(det.count_cycles(0), 0);
+        assert_eq!(det.count_cycles(16), 1);
+        assert_eq!(det.count_cycles(17), 2);
+        let wide = SparsityDetector {
+            elems_per_cycle: 64,
+            ..det
+        };
+        assert_eq!(wide.count_cycles(64), 1);
+    }
+
+    #[test]
+    fn paper_threshold_matches_sparsity_crate() {
+        assert_eq!(SparsityDetector::paper().threshold, 0.30);
+    }
+}

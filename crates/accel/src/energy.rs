@@ -1,0 +1,156 @@
+//! Energy model at 28 nm.
+//!
+//! Per-operation energies follow the widely used Horowitz ISSCC'14 45 nm
+//! figures, scaled to 28 nm (×0.6 dynamic). Multiplier energy scales
+//! quadratically with operand width and adder energy linearly, which yields
+//! the paper's iso-energy intuition that INT4 MACs are ~an order of
+//! magnitude cheaper than FP16 MACs. Absolute joules are not the point —
+//! the reproduction reports energy *ratios* against the dense FP16
+//! baseline, which are robust to the constants chosen here.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of an 8×8-bit integer multiply (pJ).
+    pub int8_mult_pj: f64,
+    /// Energy of an 8-bit integer add (pJ).
+    pub int8_add_pj: f64,
+    /// Energy of an FP16 multiply (pJ).
+    pub fp16_mult_pj: f64,
+    /// Energy of an FP16 add (pJ).
+    pub fp16_add_pj: f64,
+    /// SRAM (global buffer) access energy per bit (pJ/bit).
+    pub sram_pj_per_bit: f64,
+    /// DRAM access energy per bit (pJ/bit).
+    pub dram_pj_per_bit: f64,
+    /// NoC transfer energy per bit per hop (pJ/bit/hop).
+    pub noc_pj_per_bit_hop: f64,
+    /// Static leakage per PE per cycle (pJ).
+    pub leakage_pj_per_pe_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    /// 28 nm constants (Horowitz 45 nm × 0.6).
+    fn default() -> Self {
+        EnergyModel {
+            int8_mult_pj: 0.2 * 0.6,
+            int8_add_pj: 0.03 * 0.6,
+            fp16_mult_pj: 1.1 * 0.6,
+            fp16_add_pj: 0.4 * 0.6,
+            sram_pj_per_bit: 0.06,
+            dram_pj_per_bit: 4.0,
+            noc_pj_per_bit_hop: 0.02,
+            leakage_pj_per_pe_cycle: 0.5,
+        }
+    }
+}
+
+/// Operand precision of a MAC datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MacPrecision {
+    /// 4-bit integer operands.
+    Int4,
+    /// 8-bit integer operands.
+    Int8,
+    /// Half-precision floating point.
+    Fp16,
+}
+
+impl MacPrecision {
+    /// Operand width in bits.
+    pub fn bits(&self) -> u32 {
+        match self {
+            MacPrecision::Int4 => 4,
+            MacPrecision::Int8 => 8,
+            MacPrecision::Fp16 => 16,
+        }
+    }
+
+    /// Multiplier lanes obtained from one 16-bit-equivalent lane — the
+    /// paper's 1 FP16 = 2 INT8 = 4 INT4 equivalence.
+    pub fn lanes_per_fp16_mult(&self) -> u32 {
+        16 / self.bits()
+    }
+}
+
+impl EnergyModel {
+    /// Energy of one multiply-accumulate at the given precision (pJ).
+    ///
+    /// Integer multiplier energy scales as the square of operand width;
+    /// adder energy linearly (accumulators are kept at 4× operand width).
+    pub fn mac_pj(&self, p: MacPrecision) -> f64 {
+        match p {
+            MacPrecision::Fp16 => self.fp16_mult_pj + self.fp16_add_pj,
+            MacPrecision::Int8 => self.int8_mult_pj + self.int8_add_pj,
+            MacPrecision::Int4 => {
+                // (4/8)² of the INT8 multiplier, (4/8) of the adder.
+                self.int8_mult_pj * 0.25 + self.int8_add_pj * 0.5
+            }
+        }
+    }
+
+    /// Energy of moving `bits` through the global buffer (pJ).
+    pub fn sram_pj(&self, bits: u64) -> f64 {
+        bits as f64 * self.sram_pj_per_bit
+    }
+
+    /// Energy of moving `bits` to or from DRAM (pJ).
+    pub fn dram_pj(&self, bits: u64) -> f64 {
+        bits as f64 * self.dram_pj_per_bit
+    }
+
+    /// Energy of moving `bits` across `hops` NoC links (pJ).
+    pub fn noc_pj(&self, bits: u64, hops: u32) -> f64 {
+        bits as f64 * hops as f64 * self.noc_pj_per_bit_hop
+    }
+
+    /// Leakage energy of `pes` processing elements over `cycles` (pJ).
+    pub fn leakage_pj(&self, pes: usize, cycles: u64) -> f64 {
+        pes as f64 * cycles as f64 * self.leakage_pj_per_pe_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_ordering() {
+        let e = EnergyModel::default();
+        assert!(e.mac_pj(MacPrecision::Int4) < e.mac_pj(MacPrecision::Int8));
+        assert!(e.mac_pj(MacPrecision::Int8) < e.mac_pj(MacPrecision::Fp16));
+        // FP16 MAC is roughly an order of magnitude above INT4.
+        let ratio = e.mac_pj(MacPrecision::Fp16) / e.mac_pj(MacPrecision::Int4);
+        assert!(ratio > 8.0 && ratio < 40.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lane_equivalence_matches_paper() {
+        assert_eq!(MacPrecision::Fp16.lanes_per_fp16_mult(), 1);
+        assert_eq!(MacPrecision::Int8.lanes_per_fp16_mult(), 2);
+        assert_eq!(MacPrecision::Int4.lanes_per_fp16_mult(), 4);
+    }
+
+    #[test]
+    fn dram_dominates_sram_per_bit() {
+        let e = EnergyModel::default();
+        assert!(e.dram_pj(8) > 10.0 * e.sram_pj(8));
+    }
+
+    #[test]
+    fn linear_scaling_of_movement() {
+        let e = EnergyModel::default();
+        assert!((e.sram_pj(100) - 10.0 * e.sram_pj(10)).abs() < 1e-9);
+        assert!((e.noc_pj(64, 3) - 3.0 * e.noc_pj(64, 1)).abs() < 1e-9);
+        assert_eq!(e.noc_pj(64, 0), 0.0);
+    }
+
+    #[test]
+    fn leakage_proportional_to_pe_cycles() {
+        let e = EnergyModel::default();
+        assert_eq!(e.leakage_pj(2, 100), 2.0 * e.leakage_pj(1, 100));
+        assert_eq!(e.leakage_pj(0, 100), 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Channel-last memory mapping (paper Figure 10).
+//!
+//! The sparsity-aware address generator fetches whole channels in an order
+//! decided at runtime (dense channels to the DPE, sparse to the SPE), so
+//! channels must be *contiguous* in the global buffer. The paper's mapping
+//! places the channel index in the most-significant address position:
+//!
+//! * activations: `addr(c, h, w) = (c·H + h)·W + w`  (W fastest, C last)
+//! * weights:     `addr(c, k, r, s) = ((c·K + k)·R + r)·S + s` (S fastest,
+//!   then R, then output channel K, with input channel C last) so all
+//!   weights consumed together with input channel `c` form one burst.
+//!
+//! The ablation baseline is the interleaved `HWC` layout, where a channel
+//! fetch needs one burst per pixel.
+
+use serde::{Deserialize, Serialize};
+
+/// Address map for an activation tensor of extents `[C, H, W]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActAddressMap {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Layout variant.
+    pub layout: ActLayout,
+}
+
+/// Activation memory layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActLayout {
+    /// The paper's channel-last mapping: channels are contiguous planes.
+    ChannelLast,
+    /// Interleaved baseline (`HWC`): channel elements are strided.
+    Interleaved,
+}
+
+impl ActAddressMap {
+    /// Creates a channel-last activation map.
+    pub fn channel_last(c: usize, h: usize, w: usize) -> Self {
+        ActAddressMap {
+            c,
+            h,
+            w,
+            layout: ActLayout::ChannelLast,
+        }
+    }
+
+    /// Creates an interleaved (HWC) activation map.
+    pub fn interleaved(c: usize, h: usize, w: usize) -> Self {
+        ActAddressMap {
+            c,
+            h,
+            w,
+            layout: ActLayout::Interleaved,
+        }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Returns `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear address of element `(c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if any coordinate is out of range.
+    pub fn addr(&self, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(c < self.c && h < self.h && w < self.w);
+        match self.layout {
+            ActLayout::ChannelLast => (c * self.h + h) * self.w + w,
+            ActLayout::Interleaved => (h * self.w + w) * self.c + c,
+        }
+    }
+
+    /// Number of contiguous bursts needed to fetch the whole of channel
+    /// `ch` — the figure of merit of the channel-last layout.
+    pub fn channel_bursts(&self, ch: usize) -> usize {
+        debug_assert!(ch < self.c);
+        match self.layout {
+            ActLayout::ChannelLast => 1,
+            ActLayout::Interleaved => self.h * self.w,
+        }
+    }
+
+    /// The contiguous address range of channel `ch` under channel-last;
+    /// `None` for interleaved layouts (no such range exists).
+    pub fn channel_range(&self, ch: usize) -> Option<std::ops::Range<usize>> {
+        match self.layout {
+            ActLayout::ChannelLast => {
+                let plane = self.h * self.w;
+                Some(ch * plane..(ch + 1) * plane)
+            }
+            ActLayout::Interleaved => None,
+        }
+    }
+}
+
+/// Address map for a weight tensor of extents `[K, C, R, S]` stored
+/// channel-last (`C` most significant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightAddressMap {
+    /// Output channels.
+    pub k: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Kernel height.
+    pub r: usize,
+    /// Kernel width.
+    pub s: usize,
+}
+
+impl WeightAddressMap {
+    /// Creates a channel-last weight map.
+    pub fn new(k: usize, c: usize, r: usize, s: usize) -> Self {
+        WeightAddressMap { k, c, r, s }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.k * self.c * self.r * self.s
+    }
+
+    /// Returns `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear address of weight `(k, c, r, s)`: S fastest, R next, K, then
+    /// input channel C last.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if any coordinate is out of range.
+    pub fn addr(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        debug_assert!(k < self.k && c < self.c && r < self.r && s < self.s);
+        ((c * self.k + k) * self.r + r) * self.s + s
+    }
+
+    /// The contiguous address range holding every weight that multiplies
+    /// input channel `c` (all output channels, all kernel positions).
+    pub fn input_channel_range(&self, c: usize) -> std::ops::Range<usize> {
+        let per_c = self.k * self.r * self.s;
+        c * per_c..(c + 1) * per_c
+    }
+}
+
+/// Fetch-order plan produced by the sparsity-aware address generator:
+/// dense channels first (for the DPE), sparse channels after (for the
+/// SPE), each expressed as a burst list `(start_addr, len)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FetchPlan {
+    /// Bursts feeding the dense engine.
+    pub dense_bursts: Vec<(usize, usize)>,
+    /// Bursts feeding the sparse engine.
+    pub sparse_bursts: Vec<(usize, usize)>,
+}
+
+impl FetchPlan {
+    /// Builds the fetch plan for an activation tensor and a channel
+    /// partition (dense/sparse indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not channel-last (the generator requires
+    /// contiguous channels) or an index is out of range.
+    pub fn for_activations(
+        map: &ActAddressMap,
+        dense_channels: &[usize],
+        sparse_channels: &[usize],
+    ) -> FetchPlan {
+        let burst = |ch: usize| {
+            let r = map
+                .channel_range(ch)
+                .expect("fetch plan requires channel-last layout");
+            (r.start, r.end - r.start)
+        };
+        FetchPlan {
+            dense_bursts: dense_channels.iter().map(|&c| burst(c)).collect(),
+            sparse_bursts: sparse_channels.iter().map(|&c| burst(c)).collect(),
+        }
+    }
+
+    /// Total elements fetched.
+    pub fn total_elems(&self) -> usize {
+        self.dense_bursts
+            .iter()
+            .chain(self.sparse_bursts.iter())
+            .map(|&(_, l)| l)
+            .sum()
+    }
+
+    /// Total burst count (one per channel under channel-last).
+    pub fn burst_count(&self) -> usize {
+        self.dense_bursts.len() + self.sparse_bursts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn act_channel_last_is_bijective() {
+        let m = ActAddressMap::channel_last(3, 4, 5);
+        let mut seen = BTreeSet::new();
+        for c in 0..3 {
+            for h in 0..4 {
+                for w in 0..5 {
+                    assert!(seen.insert(m.addr(c, h, w)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 60);
+        assert_eq!(*seen.iter().next_back().unwrap(), 59);
+    }
+
+    #[test]
+    fn act_interleaved_is_bijective() {
+        let m = ActAddressMap::interleaved(3, 4, 5);
+        let mut seen = BTreeSet::new();
+        for c in 0..3 {
+            for h in 0..4 {
+                for w in 0..5 {
+                    assert!(seen.insert(m.addr(c, h, w)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 60);
+    }
+
+    #[test]
+    fn channel_last_orders_w_then_h_then_c() {
+        let m = ActAddressMap::channel_last(2, 2, 2);
+        assert_eq!(m.addr(0, 0, 0), 0);
+        assert_eq!(m.addr(0, 0, 1), 1); // W fastest
+        assert_eq!(m.addr(0, 1, 0), 2); // then H
+        assert_eq!(m.addr(1, 0, 0), 4); // C last
+    }
+
+    #[test]
+    fn channel_fetch_burst_counts() {
+        let cl = ActAddressMap::channel_last(8, 16, 16);
+        let il = ActAddressMap::interleaved(8, 16, 16);
+        assert_eq!(cl.channel_bursts(3), 1);
+        assert_eq!(il.channel_bursts(3), 256);
+        let r = cl.channel_range(2).unwrap();
+        assert_eq!(r, 512..768);
+        assert!(il.channel_range(2).is_none());
+    }
+
+    #[test]
+    fn weight_map_groups_by_input_channel() {
+        let m = WeightAddressMap::new(4, 3, 3, 3);
+        // S fastest.
+        assert_eq!(m.addr(0, 0, 0, 1), m.addr(0, 0, 0, 0) + 1);
+        // R next.
+        assert_eq!(m.addr(0, 0, 1, 0), m.addr(0, 0, 0, 0) + 3);
+        // K next.
+        assert_eq!(m.addr(1, 0, 0, 0), m.addr(0, 0, 0, 0) + 9);
+        // C most significant.
+        assert_eq!(m.addr(0, 1, 0, 0), m.addr(0, 0, 0, 0) + 36);
+        // Every weight touching input channel 1 lives in one range.
+        let range = m.input_channel_range(1);
+        for k in 0..4 {
+            for r in 0..3 {
+                for s in 0..3 {
+                    assert!(range.contains(&m.addr(k, 1, r, s)));
+                }
+            }
+        }
+        assert_eq!(range.len(), 36);
+    }
+
+    #[test]
+    fn weight_map_bijective() {
+        let m = WeightAddressMap::new(4, 3, 3, 3);
+        let mut seen = BTreeSet::new();
+        for k in 0..4 {
+            for c in 0..3 {
+                for r in 0..3 {
+                    for s in 0..3 {
+                        assert!(seen.insert(m.addr(k, c, r, s)));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), m.len());
+    }
+
+    #[test]
+    fn fetch_plan_covers_partition() {
+        let m = ActAddressMap::channel_last(4, 2, 2);
+        let plan = FetchPlan::for_activations(&m, &[0, 2], &[1, 3]);
+        assert_eq!(plan.burst_count(), 4);
+        assert_eq!(plan.total_elems(), 16);
+        assert_eq!(plan.dense_bursts[0], (0, 4));
+        assert_eq!(plan.sparse_bursts[1], (12, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel-last")]
+    fn fetch_plan_rejects_interleaved() {
+        let m = ActAddressMap::interleaved(4, 2, 2);
+        FetchPlan::for_activations(&m, &[0], &[1]);
+    }
+}

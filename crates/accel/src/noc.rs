@@ -1,0 +1,86 @@
+//! Interconnection network between the global buffer and the PEs
+//! (the configurable routers of paper Figure 9).
+
+use serde::{Deserialize, Serialize};
+
+/// A linear router chain from the global buffer to the PE array.
+///
+/// PE `i` sits `i + 1` hops from the buffer port. Transfers are pipelined:
+/// a message of `bits` occupies `ceil(bits / link_bits)` cycles on each
+/// link, and the first flit pays the hop latency once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Noc {
+    /// Number of PEs on the chain.
+    pub pes: usize,
+    /// Link width in bits per cycle.
+    pub link_bits: u64,
+    /// Per-hop router latency in cycles.
+    pub hop_latency: u64,
+}
+
+impl Noc {
+    /// Creates a NoC with 1-cycle routers.
+    pub fn new(pes: usize, link_bits: u64) -> Self {
+        Noc {
+            pes,
+            link_bits,
+            hop_latency: 1,
+        }
+    }
+
+    /// Hop count from the global buffer to PE `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe >= pes`.
+    pub fn hops(&self, pe: usize) -> u32 {
+        assert!(pe < self.pes, "pe {pe} out of range {}", self.pes);
+        (pe + 1) as u32
+    }
+
+    /// Cycles to stream `bits` to PE `pe` (pipelined wormhole transfer).
+    pub fn transfer_cycles(&self, bits: u64, pe: usize) -> u64 {
+        if bits == 0 {
+            return 0;
+        }
+        let serialization = bits.div_ceil(self.link_bits.max(1));
+        serialization + self.hops(pe) as u64 * self.hop_latency
+    }
+
+    /// Mean hop count across the array (for energy accounting of traffic
+    /// spread over all PEs).
+    pub fn mean_hops(&self) -> f64 {
+        if self.pes == 0 {
+            return 0.0;
+        }
+        (1..=self.pes).sum::<usize>() as f64 / self.pes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_increase_along_chain() {
+        let n = Noc::new(4, 256);
+        assert_eq!(n.hops(0), 1);
+        assert_eq!(n.hops(3), 4);
+        assert_eq!(n.mean_hops(), 2.5);
+    }
+
+    #[test]
+    fn transfer_is_pipelined_not_per_hop_serialized() {
+        let n = Noc::new(4, 128);
+        // 1024 bits over 128-bit links = 8 serialization cycles + hops.
+        assert_eq!(n.transfer_cycles(1024, 0), 8 + 1);
+        assert_eq!(n.transfer_cycles(1024, 3), 8 + 4);
+        assert_eq!(n.transfer_cycles(0, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pe_panics() {
+        Noc::new(2, 64).hops(2);
+    }
+}

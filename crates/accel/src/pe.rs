@@ -1,0 +1,166 @@
+//! Processing-element timing models.
+//!
+//! The paper pairs a MAERI-style dense datapath (a fat multiplier array
+//! with a configurable reduction tree that tolerates irregular tile sizes)
+//! with a SIGMA-style sparse datapath (flexible distribution/reduction
+//! networks driven by bitmap operands). Both are modeled at tile
+//! granularity: compute cycles per assigned work, plus the structural
+//! overheads that distinguish them — reduction-tree fill for the DPE,
+//! per-channel distribution setup and a utilization derating for the SPE.
+
+use crate::energy::MacPrecision;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of a dense PE (MAERI-like).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensePe {
+    /// Physical multipliers (sized for FP16; narrower precisions pack
+    /// more lanes per multiplier).
+    pub multipliers: usize,
+}
+
+impl DensePe {
+    /// Creates a dense PE with the given multiplier count.
+    pub fn new(multipliers: usize) -> Self {
+        DensePe { multipliers }
+    }
+
+    /// Effective MAC lanes at a precision (1 FP16 = 2 INT8 = 4 INT4).
+    pub fn lanes(&self, p: MacPrecision) -> u64 {
+        self.multipliers as u64 * p.lanes_per_fp16_mult() as u64
+    }
+
+    /// Cycles to execute `macs` dense MACs at precision `p`.
+    ///
+    /// The reconfigurable reduction tree adds a one-time fill latency of
+    /// `log2(multipliers)` cycles; MAERI's virtual-neuron mapping keeps
+    /// utilization near 1 even for irregular shapes, so no derating is
+    /// applied.
+    pub fn compute_cycles(&self, macs: u64, p: MacPrecision) -> u64 {
+        if macs == 0 {
+            return 0;
+        }
+        let lanes = self.lanes(p).max(1);
+        macs.div_ceil(lanes) + self.tree_depth()
+    }
+
+    /// Reduction-tree depth in cycles.
+    pub fn tree_depth(&self) -> u64 {
+        (self.multipliers.max(2) as f64).log2().ceil() as u64
+    }
+}
+
+/// Timing parameters of a sparse PE (SIGMA-like).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparsePe {
+    /// Physical multipliers.
+    pub multipliers: usize,
+    /// Sustained utilization of the flexible distribution network on
+    /// irregular sparsity (SIGMA reports near-full; 0.9 default).
+    pub utilization: f64,
+    /// Cycles to reconfigure the distribution network per channel group.
+    pub setup_cycles: u64,
+}
+
+impl SparsePe {
+    /// Creates a sparse PE with default SIGMA-like overheads.
+    pub fn new(multipliers: usize) -> Self {
+        SparsePe {
+            multipliers,
+            utilization: 0.9,
+            setup_cycles: 4,
+        }
+    }
+
+    /// Effective MAC lanes at a precision.
+    pub fn lanes(&self, p: MacPrecision) -> u64 {
+        self.multipliers as u64 * p.lanes_per_fp16_mult() as u64
+    }
+
+    /// Cycles to execute `nnz_macs` nonzero MACs spread over `channels`
+    /// channel groups at precision `p`.
+    ///
+    /// Only nonzero MACs occupy multiplier lanes (the bitmap distribution
+    /// network routes around zeros); each channel group pays a setup cost
+    /// and the reduction network a fill latency.
+    pub fn compute_cycles(&self, nnz_macs: u64, channels: usize, p: MacPrecision) -> u64 {
+        if nnz_macs == 0 && channels == 0 {
+            return 0;
+        }
+        let lanes = (self.lanes(p) as f64 * self.utilization).max(1.0);
+        (nnz_macs as f64 / lanes).ceil() as u64
+            + self.setup_cycles * channels as u64
+            + self.tree_depth()
+    }
+
+    /// Reduction-network depth in cycles.
+    pub fn tree_depth(&self) -> u64 {
+        (self.multipliers.max(2) as f64).log2().ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_throughput_scales_with_precision() {
+        let pe = DensePe::new(128);
+        let macs = 1_000_000;
+        let c16 = pe.compute_cycles(macs, MacPrecision::Fp16);
+        let c8 = pe.compute_cycles(macs, MacPrecision::Int8);
+        let c4 = pe.compute_cycles(macs, MacPrecision::Int4);
+        // Paper equivalence: 2× at INT8, 4× at INT4 (up to fill latency).
+        assert!((c16 as f64 / c8 as f64 - 2.0).abs() < 0.01, "{c16}/{c8}");
+        assert!((c16 as f64 / c4 as f64 - 4.0).abs() < 0.02, "{c16}/{c4}");
+    }
+
+    #[test]
+    fn dense_zero_work_is_free() {
+        let pe = DensePe::new(128);
+        assert_eq!(pe.compute_cycles(0, MacPrecision::Int8), 0);
+    }
+
+    #[test]
+    fn dense_fill_latency_small_but_present() {
+        let pe = DensePe::new(128);
+        assert_eq!(pe.tree_depth(), 7);
+        assert_eq!(pe.compute_cycles(128, MacPrecision::Fp16), 1 + 7);
+    }
+
+    #[test]
+    fn sparse_skips_zeros() {
+        let dpe = DensePe::new(128);
+        let spe = SparsePe::new(128);
+        let dense_macs = 1_000_000u64;
+        let nnz = 300_000u64; // 70% sparse
+        let d = dpe.compute_cycles(dense_macs, MacPrecision::Int4);
+        let s = spe.compute_cycles(nnz, 16, MacPrecision::Int4);
+        assert!(
+            (s as f64) < 0.4 * d as f64,
+            "sparse {s} should be well under dense {d}"
+        );
+    }
+
+    #[test]
+    fn sparse_overheads_hurt_dense_data() {
+        // On data with no zeros, the SPE is slower than the DPE: the
+        // utilization derating and setup costs are pure loss. This is why
+        // the detector routes dense channels to the DPE.
+        let dpe = DensePe::new(128);
+        let spe = SparsePe::new(128);
+        let macs = 500_000u64;
+        assert!(
+            spe.compute_cycles(macs, 32, MacPrecision::Int4)
+                > dpe.compute_cycles(macs, MacPrecision::Int4)
+        );
+    }
+
+    #[test]
+    fn sparse_setup_scales_with_channels() {
+        let spe = SparsePe::new(128);
+        let a = spe.compute_cycles(1000, 1, MacPrecision::Int8);
+        let b = spe.compute_cycles(1000, 11, MacPrecision::Int8);
+        assert_eq!(b - a, 10 * spe.setup_cycles);
+    }
+}

@@ -1,0 +1,201 @@
+//! Bitmap-compressed sparse channel storage (paper §IV-B).
+//!
+//! Sparse channels store only nonzero values plus a one-bit-per-element
+//! presence bitmap — the format SIGMA's distribution network consumes
+//! directly, and what the global buffer holds for channels classified
+//! sparse.
+
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::Tensor;
+
+/// A bitmap-compressed view of one activation channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseChannel {
+    len: usize,
+    /// Presence bitmap, packed 64 elements per word.
+    bitmap: Vec<u64>,
+    /// The nonzero values in scan order.
+    values: Vec<f32>,
+}
+
+impl SparseChannel {
+    /// Compresses a dense slice.
+    pub fn encode(dense: &[f32]) -> Self {
+        let len = dense.len();
+        let mut bitmap = vec![0u64; len.div_ceil(64)];
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                bitmap[i / 64] |= 1u64 << (i % 64);
+                values.push(v);
+            }
+        }
+        SparseChannel {
+            len,
+            bitmap,
+            values,
+        }
+    }
+
+    /// Decompresses back to a dense vector.
+    pub fn decode(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        let mut vi = 0usize;
+        for i in 0..self.len {
+            if self.bitmap[i / 64] & (1u64 << (i % 64)) != 0 {
+                out[i] = self.values[vi];
+                vi += 1;
+            }
+        }
+        out
+    }
+
+    /// Original (dense) element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the channel has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Zero fraction of the channel.
+    pub fn sparsity(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / self.len as f64
+    }
+
+    /// The nonzero values in scan order.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Whether element `i` is present (nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        self.bitmap[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Storage footprint in bits: one bitmap bit per element plus
+    /// `value_bits` per nonzero.
+    pub fn storage_bits(&self, value_bits: u32) -> u64 {
+        self.len as u64 + self.nnz() as u64 * value_bits as u64
+    }
+
+    /// Dense storage footprint in bits, for comparison.
+    pub fn dense_bits(&self, value_bits: u32) -> u64 {
+        self.len as u64 * value_bits as u64
+    }
+
+    /// Compresses every channel of a `[N, C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn encode_channels(t: &Tensor) -> Vec<SparseChannel> {
+        let (n, c, h, w) = t
+            .shape()
+            .as_nchw()
+            .expect("encode_channels requires [N, C, H, W]");
+        let tv = t.as_slice();
+        let hw = h * w;
+        // Channel ch aggregates its planes across the batch.
+        (0..c)
+            .map(|ch| {
+                let mut dense = Vec::with_capacity(n * hw);
+                for nn in 0..n {
+                    let start = (nn * c + ch) * hw;
+                    dense.extend_from_slice(&tv[start..start + hw]);
+                }
+                SparseChannel::encode(&dense)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_tensor::Rng;
+
+    #[test]
+    fn round_trip_exact() {
+        let dense = vec![0.0, 1.5, 0.0, 0.0, -2.0, 3.0, 0.0, 0.25];
+        let sc = SparseChannel::encode(&dense);
+        assert_eq!(sc.decode(), dense);
+        assert_eq!(sc.nnz(), 4);
+        assert_eq!(sc.sparsity(), 0.5);
+        assert!(sc.contains(1));
+        assert!(!sc.contains(0));
+    }
+
+    #[test]
+    fn round_trip_random_lengths() {
+        let mut rng = Rng::seed_from(1);
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let dense: Vec<f32> = (0..len)
+                .map(|_| {
+                    if rng.bernoulli(0.6) {
+                        0.0
+                    } else {
+                        rng.normal()
+                    }
+                })
+                .collect();
+            let sc = SparseChannel::encode(&dense);
+            assert_eq!(sc.decode(), dense, "len {len}");
+        }
+    }
+
+    #[test]
+    fn storage_wins_for_sparse_losses_for_dense() {
+        // 75% sparse at 4-bit values: 16 + 4·4 = 32 bits vs dense 64.
+        let sc = SparseChannel::encode(&[0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0,
+                                         0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 4.0]);
+        assert!(sc.storage_bits(4) < sc.dense_bits(4));
+        // Fully dense: bitmap is pure overhead.
+        let dense = SparseChannel::encode(&[1.0; 16]);
+        assert!(dense.storage_bits(4) > dense.dense_bits(4));
+    }
+
+    #[test]
+    fn all_zero_channel() {
+        let sc = SparseChannel::encode(&[0.0; 100]);
+        assert_eq!(sc.nnz(), 0);
+        assert_eq!(sc.sparsity(), 1.0);
+        assert_eq!(sc.decode(), vec![0.0; 100]);
+        assert_eq!(sc.storage_bits(8), 100);
+    }
+
+    #[test]
+    fn encode_channels_aggregates_batch() {
+        let mut t = Tensor::zeros([2, 2, 1, 2]);
+        t.set(&[0, 0, 0, 0], 1.0).unwrap();
+        t.set(&[1, 0, 0, 1], 2.0).unwrap();
+        // Channel 1 stays all-zero.
+        let chans = SparseChannel::encode_channels(&t);
+        assert_eq!(chans.len(), 2);
+        assert_eq!(chans[0].len(), 4);
+        assert_eq!(chans[0].nnz(), 2);
+        assert_eq!(chans[1].nnz(), 0);
+        assert_eq!(chans[0].decode(), vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn values_preserve_scan_order() {
+        let sc = SparseChannel::encode(&[0.0, 5.0, 0.0, 7.0, 9.0]);
+        assert_eq!(sc.values(), &[5.0, 7.0, 9.0]);
+    }
+}

@@ -1,0 +1,520 @@
+//! The full accelerator system model (paper Figure 9): controller,
+//! heterogeneous D/S PE array, global buffer, NoC, and the PPU's sparsity
+//! detector, composed into per-layer and per-model cycle/energy estimates.
+
+use crate::detector::SparsityDetector;
+use crate::energy::{EnergyModel, MacPrecision};
+use crate::noc::Noc;
+use crate::pe::{DensePe, SparsePe};
+use crate::workload::ConvWorkload;
+use serde::{Deserialize, Serialize};
+use sqdm_sparsity::ChannelPartition;
+
+/// Numeric configuration of one layer's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerQuant {
+    /// MAC datapath precision (set by the wider operand).
+    pub mac: MacPrecision,
+    /// Weight storage bits.
+    pub weight_bits: u32,
+    /// Activation storage bits.
+    pub act_bits: u32,
+}
+
+impl LayerQuant {
+    /// FP16 weights and activations.
+    pub fn fp16() -> Self {
+        LayerQuant {
+            mac: MacPrecision::Fp16,
+            weight_bits: 16,
+            act_bits: 16,
+        }
+    }
+
+    /// 8-bit weights and activations (MXINT8-class).
+    pub fn int8() -> Self {
+        LayerQuant {
+            mac: MacPrecision::Int8,
+            weight_bits: 8,
+            act_bits: 8,
+        }
+    }
+
+    /// 4-bit weights and activations (the paper's format).
+    pub fn int4() -> Self {
+        LayerQuant {
+            mac: MacPrecision::Int4,
+            weight_bits: 4,
+            act_bits: 4,
+        }
+    }
+
+    /// Derives the datapath precision from mixed weight/activation widths.
+    pub fn from_bits(weight_bits: u32, act_bits: u32) -> Self {
+        let mac = match weight_bits.max(act_bits) {
+            0..=4 => MacPrecision::Int4,
+            5..=8 => MacPrecision::Int8,
+            _ => MacPrecision::Fp16,
+        };
+        LayerQuant {
+            mac,
+            weight_bits,
+            act_bits,
+        }
+    }
+}
+
+/// System configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Number of dense PEs.
+    pub dpes: usize,
+    /// Number of sparse PEs.
+    pub spes: usize,
+    /// Multipliers per PE (128 in the paper).
+    pub pe_multipliers: usize,
+    /// Global-buffer bandwidth in bits per cycle.
+    pub buffer_bw_bits: u64,
+    /// NoC link width in bits.
+    pub noc_link_bits: u64,
+    /// Sparsity detector in the PPU.
+    pub detector: SparsityDetector,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Charge DRAM energy for weights and activations each layer. The
+    /// default (false) models the paper's setting where the model is
+    /// resident in the global buffer across time steps.
+    pub include_dram: bool,
+}
+
+impl AcceleratorConfig {
+    /// The paper's configuration: one DPE + one SPE, 128 multipliers each.
+    pub fn paper() -> Self {
+        AcceleratorConfig {
+            dpes: 1,
+            spes: 1,
+            pe_multipliers: 128,
+            buffer_bw_bits: 2048,
+            noc_link_bits: 512,
+            detector: SparsityDetector::paper(),
+            energy: EnergyModel::default(),
+            include_dram: false,
+        }
+    }
+
+    /// The comparison baseline: a purely dense architecture with two DPEs
+    /// (iso-multiplier with [`paper`](Self::paper)).
+    pub fn dense_baseline() -> Self {
+        AcceleratorConfig {
+            spes: 0,
+            dpes: 2,
+            ..Self::paper()
+        }
+    }
+
+    /// A scaled-up instance with `pairs` D/S PE pairs and proportional
+    /// buffer bandwidth — the paper's "architecture is scalable to meet
+    /// specific latency and power requirements" (§IV-D).
+    pub fn scaled(pairs: usize) -> Self {
+        let pairs = pairs.max(1);
+        AcceleratorConfig {
+            dpes: pairs,
+            spes: pairs,
+            buffer_bw_bits: 2048 * pairs as u64,
+            ..Self::paper()
+        }
+    }
+
+    /// Total PE count.
+    pub fn total_pes(&self) -> usize {
+        self.dpes + self.spes
+    }
+}
+
+/// Energy breakdown of a run, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC datapath energy.
+    pub compute_pj: f64,
+    /// Global-buffer access energy.
+    pub sram_pj: f64,
+    /// DRAM energy (zero unless `include_dram`).
+    pub dram_pj: f64,
+    /// NoC transfer energy.
+    pub noc_pj: f64,
+    /// Leakage over the run's cycles.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.sram_pj + self.dram_pj + self.noc_pj + self.leakage_pj
+    }
+
+    fn add(&mut self, other: &EnergyBreakdown) {
+        self.compute_pj += other.compute_pj;
+        self.sram_pj += other.sram_pj;
+        self.dram_pj += other.dram_pj;
+        self.noc_pj += other.noc_pj;
+        self.leakage_pj += other.leakage_pj;
+    }
+}
+
+/// Cycle and energy statistics of one layer execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// End-to-end cycles (compute/fetch overlapped, detector hidden).
+    pub cycles: u64,
+    /// Dense-engine compute cycles.
+    pub dense_cycles: u64,
+    /// Sparse-engine compute cycles.
+    pub sparse_cycles: u64,
+    /// Buffer fetch/drain cycles.
+    pub fetch_cycles: u64,
+    /// Detector counting cycles (overlapped with the output drain).
+    pub detector_cycles: u64,
+    /// MACs actually executed (zeros skipped on the SPE).
+    pub macs_executed: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+/// Aggregate statistics over layers and time steps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total MACs executed.
+    pub macs_executed: u64,
+    /// Aggregate energy.
+    pub energy: EnergyBreakdown,
+    /// Number of layer executions accumulated.
+    pub layers: usize,
+}
+
+impl RunStats {
+    /// Accumulates one layer.
+    pub fn push(&mut self, s: &LayerStats) {
+        self.cycles += s.cycles;
+        self.macs_executed += s.macs_executed;
+        self.energy.add(&s.energy);
+        self.layers += 1;
+    }
+
+    /// Speed-up of this run relative to a baseline (`baseline / self`).
+    pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Fractional energy saving relative to a baseline.
+    pub fn energy_saving_vs(&self, baseline: &RunStats) -> f64 {
+        1.0 - self.energy.total_pj() / baseline.energy.total_pj().max(1e-12)
+    }
+}
+
+/// The accelerator system simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// System configuration.
+    pub config: AcceleratorConfig,
+}
+
+impl Accelerator {
+    /// Creates a simulator from a configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Accelerator { config }
+    }
+
+    /// Executes one convolution layer.
+    ///
+    /// With SPEs present and a `partition` supplied, dense channels run on
+    /// the DPEs and sparse channels on the SPEs in parallel (Figure 8);
+    /// otherwise every channel runs dense. Fetch and compute overlap
+    /// (double-buffered tiles), so layer latency is their maximum. The
+    /// detector scans outputs during the drain and only surfaces cycles if
+    /// it is slower than the drain itself.
+    pub fn run_layer(
+        &self,
+        w: &ConvWorkload,
+        partition: Option<&ChannelPartition>,
+        q: LayerQuant,
+    ) -> LayerStats {
+        let cfg = &self.config;
+        let dpe = DensePe::new(cfg.pe_multipliers);
+        let spe = SparsePe::new(cfg.pe_multipliers);
+        let all: Vec<usize> = (0..w.c).collect();
+
+        let (dense_ch, sparse_ch): (Vec<usize>, Vec<usize>) = match partition {
+            Some(p) if cfg.spes > 0 => {
+                debug_assert_eq!(p.channels(), w.c, "partition/channel mismatch");
+                (p.dense_indices(), p.sparse_indices())
+            }
+            _ => (all.clone(), Vec::new()),
+        };
+
+        // Compute: work split evenly across engines of each kind.
+        let dense_macs = w.macs_for(&dense_ch);
+        let sparse_nnz = w.nnz_macs_for(&sparse_ch);
+        let dense_cycles = if cfg.dpes > 0 {
+            dpe.compute_cycles(dense_macs.div_ceil(cfg.dpes.max(1) as u64), q.mac)
+        } else {
+            0
+        };
+        let sparse_cycles = if cfg.spes > 0 && !sparse_ch.is_empty() {
+            let per_spe_nnz = sparse_nnz.div_ceil(cfg.spes as u64);
+            let per_spe_ch = sparse_ch.len().div_ceil(cfg.spes);
+            spe.compute_cycles(per_spe_nnz, per_spe_ch, q.mac)
+        } else {
+            0
+        };
+        let compute_cycles = dense_cycles.max(sparse_cycles);
+
+        // Buffer traffic. Weights: all channels' weights at weight_bits.
+        // Dense activations raw; sparse activations bitmap-compressed.
+        let weight_bits = w.weight_elems() * q.weight_bits as u64;
+        let dense_act_bits = w.input_elems_for(&dense_ch) * q.act_bits as u64;
+        let sparse_act_bits = w.input_elems_for(&sparse_ch) // bitmap: 1 bit/elem
+            + w.nnz_input_elems_for(&sparse_ch) * q.act_bits as u64;
+        let output_bits = w.output_elems() * q.act_bits as u64;
+        let traffic_bits = weight_bits + dense_act_bits + sparse_act_bits + output_bits;
+        let fetch_cycles = traffic_bits.div_ceil(cfg.buffer_bw_bits.max(1));
+
+        // The detector counts zeros as outputs stream out of the
+        // accumulation buffers, so its work overlaps the whole layer; it
+        // only surfaces cycles if slower than compute and fetch combined.
+        let detector_cycles = cfg.detector.count_cycles(w.output_elems());
+        let overlapped = compute_cycles.max(fetch_cycles);
+        let detector_exposed = detector_cycles.saturating_sub(overlapped);
+
+        let cycles = overlapped + detector_exposed;
+
+        // Energy.
+        let macs_executed = dense_macs + sparse_nnz;
+        let noc = Noc::new(cfg.total_pes().max(1), cfg.noc_link_bits);
+        let em = &cfg.energy;
+        let energy = EnergyBreakdown {
+            compute_pj: macs_executed as f64 * em.mac_pj(q.mac),
+            sram_pj: em.sram_pj(traffic_bits),
+            dram_pj: if cfg.include_dram {
+                em.dram_pj(weight_bits + dense_act_bits + sparse_act_bits + output_bits)
+            } else {
+                0.0
+            },
+            noc_pj: em.noc_pj(
+                weight_bits + dense_act_bits + sparse_act_bits,
+                noc.mean_hops().round() as u32,
+            ),
+            leakage_pj: em.leakage_pj(cfg.total_pes(), cycles),
+        };
+
+        LayerStats {
+            cycles,
+            dense_cycles,
+            sparse_cycles,
+            fetch_cycles,
+            detector_cycles,
+            macs_executed,
+            energy,
+        }
+    }
+
+    /// Executes a sequence of layers (one model evaluation).
+    ///
+    /// `partitions`, if given, must supply one channel partition per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is present with the wrong length.
+    pub fn run_model(
+        &self,
+        layers: &[(ConvWorkload, LayerQuant)],
+        partitions: Option<&[ChannelPartition]>,
+    ) -> RunStats {
+        if let Some(ps) = partitions {
+            assert_eq!(ps.len(), layers.len(), "one partition per layer");
+        }
+        let mut stats = RunStats::default();
+        for (i, (w, q)) in layers.iter().enumerate() {
+            let p = partitions.map(|ps| &ps[i]);
+            stats.push(&self.run_layer(w, p, *q));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_layer(sparsity: f64) -> ConvWorkload {
+        ConvWorkload::uniform(24, 24, 3, 3, 16, 16, sparsity)
+    }
+
+    /// A ReLU-like layer (mean sparsity ≈ 0.63, as §III-C reports): most
+    /// channels well above the 30% threshold, a few dense ones below it.
+    fn bimodal_layer() -> ConvWorkload {
+        let mut sp = vec![0.78; 18];
+        sp.extend(vec![0.10; 6]);
+        ConvWorkload::with_sparsity(24, 24, 3, 3, 16, 16, sp)
+    }
+
+    #[test]
+    fn dense_run_executes_all_macs() {
+        let acc = Accelerator::new(AcceleratorConfig::dense_baseline());
+        let w = demo_layer(0.65);
+        let s = acc.run_layer(&w, None, LayerQuant::int4());
+        assert_eq!(s.macs_executed, w.total_macs());
+        assert_eq!(s.sparse_cycles, 0);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn quantization_speedup_near_4x() {
+        // Figure 12 (bottom): 4-bit quantization alone gives ~3.8× over
+        // FP16 on the same dense hardware.
+        let acc = Accelerator::new(AcceleratorConfig::dense_baseline());
+        let w = demo_layer(0.0);
+        let fp16 = acc.run_layer(&w, None, LayerQuant::fp16());
+        let int4 = acc.run_layer(&w, None, LayerQuant::int4());
+        let speedup = fp16.cycles as f64 / int4.cycles as f64;
+        assert!(speedup > 3.3 && speedup <= 4.05, "speedup {speedup}");
+    }
+
+    #[test]
+    fn heterogeneous_beats_dense_baseline_on_sparse_data() {
+        // Figure 12 (top): ~1.8× from temporal sparsity at equal precision.
+        let w = bimodal_layer();
+        let partition =
+            ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
+        let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+        let het = Accelerator::new(AcceleratorConfig::paper());
+        let sb = base.run_layer(&w, None, LayerQuant::int4());
+        let sh = het.run_layer(&w, Some(&partition), LayerQuant::int4());
+        let speedup = sb.cycles as f64 / sh.cycles as f64;
+        assert!(speedup > 1.3 && speedup < 2.2, "speedup {speedup}");
+    }
+
+    #[test]
+    fn sparse_energy_saving_is_substantial() {
+        let w = bimodal_layer();
+        let partition =
+            ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
+        let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+        let het = Accelerator::new(AcceleratorConfig::paper());
+        let mut b = RunStats::default();
+        b.push(&base.run_layer(&w, None, LayerQuant::int4()));
+        let mut h = RunStats::default();
+        h.push(&het.run_layer(&w, Some(&partition), LayerQuant::int4()));
+        let saving = h.energy_saving_vs(&b);
+        assert!(saving > 0.25 && saving < 0.7, "saving {saving}");
+    }
+
+    #[test]
+    fn heterogeneous_no_partition_degrades_gracefully() {
+        // Without a partition the paper config runs everything on its one
+        // DPE: correct, just slower than the 2-DPE baseline.
+        let w = demo_layer(0.0);
+        let het = Accelerator::new(AcceleratorConfig::paper());
+        let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+        let sh = het.run_layer(&w, None, LayerQuant::int4());
+        let sb = base.run_layer(&w, None, LayerQuant::int4());
+        assert_eq!(sh.macs_executed, w.total_macs());
+        assert!(sh.cycles >= sb.cycles);
+    }
+
+    #[test]
+    fn detector_is_hidden_behind_drain() {
+        let acc = Accelerator::new(AcceleratorConfig::paper());
+        let w = demo_layer(0.5);
+        let s = acc.run_layer(&w, None, LayerQuant::int4());
+        // Detector cycles are reported but do not extend the layer:
+        // compute dominates and the counting overlaps it entirely.
+        assert!(s.detector_cycles > 0);
+        assert_eq!(s.cycles, s.dense_cycles.max(s.fetch_cycles));
+        assert!(s.detector_cycles < s.cycles);
+    }
+
+    #[test]
+    fn fetch_bound_when_bandwidth_starved() {
+        let mut cfg = AcceleratorConfig::dense_baseline();
+        cfg.buffer_bw_bits = 8;
+        let acc = Accelerator::new(cfg);
+        let w = demo_layer(0.0);
+        let s = acc.run_layer(&w, None, LayerQuant::int4());
+        assert_eq!(s.cycles, s.fetch_cycles);
+        assert!(s.fetch_cycles > s.dense_cycles);
+    }
+
+    #[test]
+    fn run_model_accumulates() {
+        let acc = Accelerator::new(AcceleratorConfig::dense_baseline());
+        let layers = vec![
+            (demo_layer(0.0), LayerQuant::int4()),
+            (demo_layer(0.0), LayerQuant::int8()),
+        ];
+        let stats = acc.run_model(&layers, None);
+        assert_eq!(stats.layers, 2);
+        let l0 = acc.run_layer(&layers[0].0, None, layers[0].1);
+        let l1 = acc.run_layer(&layers[1].0, None, layers[1].1);
+        assert_eq!(stats.cycles, l0.cycles + l1.cycles);
+        assert!(
+            (stats.energy.total_pj() - l0.energy.total_pj() - l1.energy.total_pj()).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn compressed_sparse_fetch_reduces_traffic() {
+        let w = bimodal_layer();
+        let partition =
+            ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
+        let het = Accelerator::new(AcceleratorConfig::paper());
+        let with = het.run_layer(&w, Some(&partition), LayerQuant::int4());
+        let without = het.run_layer(&w, None, LayerQuant::int4());
+        assert!(with.energy.sram_pj < without.energy.sram_pj);
+    }
+
+    #[test]
+    fn scaling_the_array_scales_throughput() {
+        // §IV-D: the architecture is scalable. Two D/S pairs finish a big
+        // layer in roughly half the cycles of one pair.
+        let w = ConvWorkload::uniform(96, 96, 3, 3, 32, 32, 0.65);
+        let partition =
+            ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
+        let one = Accelerator::new(AcceleratorConfig::scaled(1));
+        let two = Accelerator::new(AcceleratorConfig::scaled(2));
+        let s1 = one.run_layer(&w, Some(&partition), LayerQuant::int4());
+        let s2 = two.run_layer(&w, Some(&partition), LayerQuant::int4());
+        let ratio = s1.cycles as f64 / s2.cycles as f64;
+        assert!(ratio > 1.6 && ratio < 2.1, "scaling ratio {ratio}");
+        assert_eq!(s1.macs_executed, s2.macs_executed);
+    }
+
+    #[test]
+    fn weight_sparsity_composes_with_activation_sparsity() {
+        // §II-B: 2:4 weight sparsity halves MACs on top of activation
+        // skipping.
+        let w = bimodal_layer();
+        let pruned = w.clone().with_weight_density(0.5);
+        let p = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+        let acc = Accelerator::new(AcceleratorConfig::paper());
+        let full = acc.run_layer(&w, Some(&p), LayerQuant::int4());
+        let half = acc.run_layer(&pruned, Some(&p), LayerQuant::int4());
+        // Per-channel rounding of nnz counts leaves ±1 MAC per channel.
+        let diff = (half.macs_executed * 2).abs_diff(full.macs_executed);
+        assert!(diff <= w.c as u64, "2x{} vs {}", half.macs_executed, full.macs_executed);
+        assert!(half.cycles < full.cycles);
+        assert!(half.energy.total_pj() < full.energy.total_pj());
+    }
+
+    #[test]
+    fn mixed_precision_runs_at_wider_operand_rate() {
+        let q = LayerQuant::from_bits(4, 8);
+        assert_eq!(q.mac, MacPrecision::Int8);
+        let q2 = LayerQuant::from_bits(4, 4);
+        assert_eq!(q2.mac, MacPrecision::Int4);
+        let q3 = LayerQuant::from_bits(16, 4);
+        assert_eq!(q3.mac, MacPrecision::Fp16);
+    }
+}

@@ -1,0 +1,221 @@
+//! Accelerator workloads: convolution layers lowered to channel-group GEMMs
+//! (the computation scheme of paper Figure 8).
+
+use serde::{Deserialize, Serialize};
+
+/// One convolution layer as the accelerator sees it.
+///
+/// The GEMM lowering is `M = K` (output channels), reduction dimension
+/// `C·R·S`, `N = OH·OW` output pixels; splitting input channels into dense
+/// and sparse groups splits the reduction dimension, and the two partial
+/// sums add back together (Figure 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvWorkload {
+    /// Output channels.
+    pub k: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Kernel height.
+    pub r: usize,
+    /// Kernel width.
+    pub s: usize,
+    /// Output height.
+    pub oh: usize,
+    /// Output width.
+    pub ow: usize,
+    /// Per-input-channel activation zero fraction (length `c`).
+    pub act_sparsity: Vec<f64>,
+    /// Fraction of weights that are nonzero (1.0 = dense; 0.5 under 2:4
+    /// structured weight sparsity, which the engines exploit directly).
+    pub weight_density: f64,
+}
+
+impl ConvWorkload {
+    /// Creates a workload with uniform activation sparsity on every
+    /// channel.
+    pub fn uniform(
+        k: usize,
+        c: usize,
+        r: usize,
+        s: usize,
+        oh: usize,
+        ow: usize,
+        sparsity: f64,
+    ) -> Self {
+        ConvWorkload {
+            k,
+            c,
+            r,
+            s,
+            oh,
+            ow,
+            act_sparsity: vec![sparsity.clamp(0.0, 1.0); c],
+            weight_density: 1.0,
+        }
+    }
+
+    /// Creates a workload with explicit per-channel sparsities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `act_sparsity.len() != c`.
+    pub fn with_sparsity(
+        k: usize,
+        c: usize,
+        r: usize,
+        s: usize,
+        oh: usize,
+        ow: usize,
+        act_sparsity: Vec<f64>,
+    ) -> Self {
+        assert_eq!(act_sparsity.len(), c, "need one sparsity per input channel");
+        ConvWorkload {
+            k,
+            c,
+            r,
+            s,
+            oh,
+            ow,
+            act_sparsity,
+            weight_density: 1.0,
+        }
+    }
+
+    /// Returns the workload with structured weight sparsity applied
+    /// (e.g. 0.5 for the 2:4 pattern of §II-B). MAC counts, weight
+    /// traffic and storage all scale by the density.
+    pub fn with_weight_density(mut self, density: f64) -> Self {
+        self.weight_density = density.clamp(0.0, 1.0);
+        self
+    }
+
+    /// MACs contributed by one input channel (dense activations; weight
+    /// sparsity already factored in).
+    pub fn macs_per_channel(&self) -> u64 {
+        ((self.k * self.r * self.s * self.oh * self.ow) as f64 * self.weight_density).round()
+            as u64
+    }
+
+    /// Total dense MACs of the layer.
+    pub fn total_macs(&self) -> u64 {
+        self.macs_per_channel() * self.c as u64
+    }
+
+    /// Dense MACs of a channel subset.
+    pub fn macs_for(&self, channels: &[usize]) -> u64 {
+        self.macs_per_channel() * channels.len() as u64
+    }
+
+    /// Nonzero MACs of a channel subset (zeros skipped).
+    pub fn nnz_macs_for(&self, channels: &[usize]) -> u64 {
+        let per = self.macs_per_channel() as f64;
+        channels
+            .iter()
+            .map(|&ch| (per * (1.0 - self.act_sparsity[ch])).round() as u64)
+            .sum()
+    }
+
+    /// Stored weight elements of the layer (nonzeros only under weight
+    /// sparsity; the 2:4 metadata overhead is charged by the caller's
+    /// format accounting).
+    pub fn weight_elems(&self) -> u64 {
+        ((self.k * self.c * self.r * self.s) as f64 * self.weight_density).round() as u64
+    }
+
+    /// Input activation elements (one spatial plane per input channel;
+    /// padding ignored, `H ≈ OH` for the stride-1 same-padded convs of the
+    /// U-Net).
+    pub fn input_elems(&self) -> u64 {
+        (self.c * self.oh * self.ow) as u64
+    }
+
+    /// Input activation elements of a channel subset.
+    pub fn input_elems_for(&self, channels: &[usize]) -> u64 {
+        (channels.len() * self.oh * self.ow) as u64
+    }
+
+    /// Nonzero input elements of a channel subset.
+    pub fn nnz_input_elems_for(&self, channels: &[usize]) -> u64 {
+        let per = (self.oh * self.ow) as f64;
+        channels
+            .iter()
+            .map(|&ch| (per * (1.0 - self.act_sparsity[ch])).round() as u64)
+            .sum()
+    }
+
+    /// Output elements.
+    pub fn output_elems(&self) -> u64 {
+        (self.k * self.oh * self.ow) as u64
+    }
+
+    /// Mean activation sparsity across channels.
+    pub fn mean_sparsity(&self) -> f64 {
+        if self.c == 0 {
+            return 0.0;
+        }
+        self.act_sparsity.iter().sum::<f64>() / self.c as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_accounting() {
+        let w = ConvWorkload::uniform(16, 8, 3, 3, 8, 8, 0.5);
+        assert_eq!(w.macs_per_channel(), 16 * 9 * 64);
+        assert_eq!(w.total_macs(), 16 * 8 * 9 * 64);
+        assert_eq!(w.macs_for(&[0, 1, 2]), 3 * w.macs_per_channel());
+        // 50% sparsity halves nonzero MACs.
+        assert_eq!(w.nnz_macs_for(&[0, 1]), w.macs_for(&[0, 1]) / 2);
+    }
+
+    #[test]
+    fn split_conservation() {
+        // Figure 8's invariant: dense-group + sparse-group = whole layer.
+        let w = ConvWorkload::uniform(4, 6, 3, 3, 4, 4, 0.0);
+        let dense: Vec<usize> = vec![0, 2, 4];
+        let sparse: Vec<usize> = vec![1, 3, 5];
+        assert_eq!(w.macs_for(&dense) + w.macs_for(&sparse), w.total_macs());
+    }
+
+    #[test]
+    fn per_channel_sparsity() {
+        let w = ConvWorkload::with_sparsity(2, 3, 1, 1, 2, 2, vec![0.0, 0.5, 1.0]);
+        assert_eq!(w.nnz_macs_for(&[0]), w.macs_per_channel());
+        assert_eq!(w.nnz_macs_for(&[1]), w.macs_per_channel() / 2);
+        assert_eq!(w.nnz_macs_for(&[2]), 0);
+        assert!((w.mean_sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn element_counts() {
+        let w = ConvWorkload::uniform(16, 8, 3, 3, 8, 8, 0.25);
+        assert_eq!(w.weight_elems(), 16 * 8 * 9);
+        assert_eq!(w.input_elems(), 8 * 64);
+        assert_eq!(w.output_elems(), 16 * 64);
+        assert_eq!(w.nnz_input_elems_for(&[0]), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sparsity per input channel")]
+    fn sparsity_length_checked() {
+        ConvWorkload::with_sparsity(1, 3, 1, 1, 1, 1, vec![0.5]);
+    }
+
+    #[test]
+    fn weight_density_halves_macs_and_storage() {
+        let dense = ConvWorkload::uniform(8, 8, 3, 3, 8, 8, 0.5);
+        let pruned = dense.clone().with_weight_density(0.5);
+        assert_eq!(pruned.total_macs(), dense.total_macs() / 2);
+        assert_eq!(pruned.weight_elems(), dense.weight_elems() / 2);
+        // Activation-sparsity skipping composes multiplicatively.
+        assert_eq!(
+            pruned.nnz_macs_for(&[0, 1]),
+            dense.nnz_macs_for(&[0, 1]) / 2
+        );
+        let clamped = dense.clone().with_weight_density(1.7);
+        assert_eq!(clamped.weight_density, 1.0);
+    }
+}

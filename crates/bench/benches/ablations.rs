@@ -1,0 +1,119 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! FP8 vs f32 scale factors, temporal (per-step) vs static channel
+//! classification, and channel-last vs interleaved mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_accel::{Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, RunStats};
+use sqdm_quant::{
+    quant_rmse, ChannelLayout, Granularity, IntGrid, QuantFormat, ScaleEncoding,
+};
+use sqdm_sparsity::{ChannelPartition, TemporalTrace};
+use sqdm_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+/// FP8-encoded scales vs ideal f32 scales for the proposed 4-bit format:
+/// the error penalty of the cheaper scale storage.
+fn ablate_fp8_scales(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(40);
+    let x = Tensor::randn([1, 24, 16, 16], &mut rng);
+    let fp8 = QuantFormat::ours_int4();
+    let f32s = QuantFormat {
+        grid: IntGrid::signed(4),
+        granularity: Granularity::PerBlock(32),
+        scale_encoding: ScaleEncoding::F32,
+        name: "INT4-F32S",
+    };
+    let e_fp8 = quant_rmse(&x, fp8, ChannelLayout::ACTIVATION).unwrap();
+    let e_f32 = quant_rmse(&x, f32s, ChannelLayout::ACTIVATION).unwrap();
+    println!(
+        "ablate_fp8_scales: rmse fp8-scales {e_fp8:.5} vs f32-scales {e_f32:.5} ({:+.1}%)",
+        (e_fp8 / e_f32 - 1.0) * 100.0
+    );
+    c.bench_function("ablate_fp8_scale_quant", |bch| {
+        bch.iter(|| quant_rmse(black_box(&x), fp8, ChannelLayout::ACTIVATION).unwrap())
+    });
+}
+
+/// Static (one-shot) vs temporal (per-step) channel classification over a
+/// drifting sparsity trace.
+fn ablate_static_vs_temporal(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(41);
+    let channels = 24;
+    let steps = 12;
+    let mut trace = TemporalTrace::new(channels);
+    // Channels drift: sparse early (high noise), denser later.
+    for step in 0..steps {
+        let drift = 0.25 * step as f64 / steps as f64;
+        trace.push_step(
+            (0..channels)
+                .map(|ch| {
+                    let base = if ch % 3 == 0 { 0.85 } else { 0.55 };
+                    (base - drift + 0.1 * (rng.uniform() as f64 - 0.5)).clamp(0.0, 1.0)
+                })
+                .collect(),
+        );
+    }
+    let het = Accelerator::new(AcceleratorConfig::paper());
+    let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+    let mk = |sp: &[f64]| ConvWorkload::with_sparsity(24, 24, 3, 3, 16, 16, sp.to_vec());
+
+    let static_part = ChannelPartition::balanced(trace.step(0), 0.9);
+    let mut s_static = RunStats::default();
+    let mut s_temporal = RunStats::default();
+    let mut s_base = RunStats::default();
+    for step in 0..steps {
+        let w = mk(trace.step(step));
+        let stale = ChannelPartition::balanced_stale(trace.step(0), trace.step(step), 0.9);
+        let fresh = ChannelPartition::balanced(trace.step(step), 0.9);
+        let _ = &static_part;
+        s_static.push(&het.run_layer(&w, Some(&stale), LayerQuant::int4()));
+        s_temporal.push(&het.run_layer(&w, Some(&fresh), LayerQuant::int4()));
+        s_base.push(&base.run_layer(&w, None, LayerQuant::int4()));
+    }
+    println!(
+        "ablate_static_vs_temporal: static {:.2}x vs temporal {:.2}x over dense baseline",
+        s_static.speedup_vs(&s_base),
+        s_temporal.speedup_vs(&s_base)
+    );
+    c.bench_function("ablate_temporal_partition", |bch| {
+        bch.iter(|| ChannelPartition::balanced(black_box(trace.step(3)), 0.9))
+    });
+}
+
+/// Channel-last vs interleaved mapping: buffer fetch cycles for one layer's
+/// channel-ordered fetch.
+fn ablate_mapping(c: &mut Criterion) {
+    use sqdm_accel::ActAddressMap;
+    let cl = ActAddressMap::channel_last(64, 16, 16);
+    let il = ActAddressMap::interleaved(64, 16, 16);
+    // A burst costs 1 setup beat + len/width beats; interleaved fetches are
+    // per-pixel bursts.
+    let width = 16usize;
+    let cost = |bursts: usize, elems: usize| bursts + elems.div_ceil(width);
+    let cl_cost = cost(64, 64 * 256);
+    let il_cost = cost(64 * 256, 64 * 256);
+    println!(
+        "ablate_mapping: fetch beats channel-last {cl_cost} vs interleaved {il_cost} ({:.1}x)",
+        il_cost as f64 / cl_cost as f64
+    );
+    c.bench_function("ablate_mapping_burst_enum", |bch| {
+        bch.iter(|| {
+            let mut total = 0usize;
+            for ch in 0..64 {
+                total += black_box(&cl).channel_bursts(ch) + il.channel_bursts(ch);
+            }
+            total
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = ablate_fp8_scales, ablate_static_vs_temporal, ablate_mapping
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 10 harness: channel-last vs interleaved addressing, and fetch
+//! plan construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_accel::{ActAddressMap, FetchPlan};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let cl = ActAddressMap::channel_last(64, 32, 32);
+    let il = ActAddressMap::interleaved(64, 32, 32);
+    println!(
+        "fig10: channel fetch bursts — channel-last {}, interleaved {}",
+        cl.channel_bursts(0),
+        il.channel_bursts(0)
+    );
+
+    c.bench_function("fig10_addr_channel_last", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for ch in 0..64 {
+                for y in 0..32 {
+                    for x in 0..32 {
+                        acc = acc.wrapping_add(cl.addr(black_box(ch), y, x));
+                    }
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("fig10_addr_interleaved", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for ch in 0..64 {
+                for y in 0..32 {
+                    for x in 0..32 {
+                        acc = acc.wrapping_add(il.addr(black_box(ch), y, x));
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    let dense: Vec<usize> = (0..16).collect();
+    let sparse: Vec<usize> = (16..64).collect();
+    c.bench_function("fig10_fetch_plan", |bch| {
+        bch.iter(|| FetchPlan::for_activations(black_box(&cl), &dense, &sparse))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 11 harness: the temporal sparsity detector — threshold
+//! classification, the load-balanced partitioner and the threshold sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_accel::SparsityDetector;
+use sqdm_sparsity::{threshold_sweep, ChannelPartition, TemporalTrace};
+use sqdm_tensor::Rng;
+use std::hint::black_box;
+
+fn synthetic_trace(channels: usize, steps: usize) -> TemporalTrace {
+    let mut rng = Rng::seed_from(30);
+    let mut tr = TemporalTrace::new(channels);
+    for _ in 0..steps {
+        tr.push_step(
+            (0..channels)
+                .map(|_| rng.uniform_in(0.0, 1.0) as f64)
+                .collect(),
+        );
+    }
+    tr
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let tr = synthetic_trace(256, 18);
+    let sp: Vec<f64> = tr.step(0).to_vec();
+
+    c.bench_function("fig11_classify_256ch", |bch| {
+        bch.iter(|| ChannelPartition::classify(black_box(&sp), 0.3))
+    });
+    c.bench_function("fig11_balanced_256ch", |bch| {
+        bch.iter(|| ChannelPartition::balanced(black_box(&sp), 0.9))
+    });
+    c.bench_function("fig11_threshold_sweep", |bch| {
+        let ths: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+        bch.iter(|| threshold_sweep(black_box(&tr), &ths))
+    });
+
+    let det = SparsityDetector::paper();
+    println!(
+        "fig11: detector scan of 16384 outputs = {} cycles",
+        det.count_cycles(16384)
+    );
+    c.bench_function("fig11_detector_classify", |bch| {
+        bch.iter(|| det.detect_from_sparsity(black_box(&sp)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_fig11
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Figure 12 harness: full-system simulation throughput and the modeled
+//! speed-up/energy numbers on a paper-shaped workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_accel::{Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, RunStats};
+use sqdm_sparsity::ChannelPartition;
+use sqdm_tensor::Rng;
+use std::hint::black_box;
+
+/// A U-Net-shaped layer stack with ReLU-like per-channel sparsities.
+fn model_layers(rng: &mut Rng) -> Vec<ConvWorkload> {
+    let mut layers = Vec::new();
+    for &(k, c, sp) in &[(12usize, 12usize, 16usize); 8] {
+        let sparsity: Vec<f64> = (0..c)
+            .map(|_| (0.65 + 0.3 * (rng.uniform() as f64 - 0.5)).clamp(0.0, 0.95))
+            .collect();
+        layers.push(ConvWorkload::with_sparsity(k, c, 3, 3, sp, sp, sparsity));
+    }
+    for _ in 0..6 {
+        let sparsity: Vec<f64> = (0..24)
+            .map(|_| (0.65 + 0.3 * (rng.uniform() as f64 - 0.5)).clamp(0.0, 0.95))
+            .collect();
+        layers.push(ConvWorkload::with_sparsity(24, 24, 3, 3, 8, 8, sparsity));
+    }
+    layers
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(31);
+    let layers = model_layers(&mut rng);
+    let het = Accelerator::new(AcceleratorConfig::paper());
+    let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+
+    // Print the modeled numbers (the figure's content).
+    let mut ours = RunStats::default();
+    let mut dense4 = RunStats::default();
+    let mut dense16 = RunStats::default();
+    for w in &layers {
+        let p = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+        ours.push(&het.run_layer(w, Some(&p), LayerQuant::int4()));
+        dense4.push(&base.run_layer(w, None, LayerQuant::int4()));
+        dense16.push(&base.run_layer(w, None, LayerQuant::fp16()));
+    }
+    println!(
+        "fig12: sparsity speed-up {:.2}x | energy saving {:.1}% | quant {:.2}x | total {:.2}x",
+        ours.speedup_vs(&dense4),
+        ours.energy_saving_vs(&dense4) * 100.0,
+        dense4.speedup_vs(&dense16),
+        ours.speedup_vs(&dense16),
+    );
+
+    c.bench_function("fig12_sim_model_het", |bch| {
+        bch.iter(|| {
+            let mut s = RunStats::default();
+            for w in black_box(&layers) {
+                let p = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+                s.push(&het.run_layer(w, Some(&p), LayerQuant::int4()));
+            }
+            s
+        })
+    });
+    c.bench_function("fig12_sim_model_dense", |bch| {
+        bch.iter(|| {
+            let mut s = RunStats::default();
+            for w in black_box(&layers) {
+                s.push(&base.run_layer(w, None, LayerQuant::int4()));
+            }
+            s
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_fig12
+}
+criterion_main!(benches);

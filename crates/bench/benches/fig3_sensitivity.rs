@@ -1,0 +1,43 @@
+//! Figure 3 harness: times the single-block-at-4-bit denoiser evaluations
+//! the sensitivity sweep is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_core::experiments::fig3::single_block_4bit;
+use sqdm_edm::{block_ids, Denoiser, EdmSchedule, RunConfig, UNet, UNetConfig};
+use sqdm_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(12);
+    let mut net = UNet::new(UNetConfig::default(), &mut rng).unwrap();
+    let den = Denoiser::new(EdmSchedule::default());
+    let x = Tensor::randn([1, 3, 16, 16], &mut rng);
+
+    let mut group = c.benchmark_group("fig3_single_block_4bit");
+    for block in [0usize, block_ids::MID_CONV, block_ids::OUT_CONV] {
+        let a = single_block_4bit(block_ids::COUNT, block);
+        group.bench_function(format!("block{block}"), |bch| {
+            bch.iter(|| {
+                let mut rc = RunConfig {
+                    train: false,
+                    assignment: Some(&a),
+                    observer: None,
+                };
+                den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_fig3
+}
+criterion_main!(benches);

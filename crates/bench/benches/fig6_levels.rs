@@ -1,0 +1,37 @@
+//! Figure 6 harness: times the level-utilization analysis and prints the
+//! figure's numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_quant::{figure6_comparison, level_utilization, IntGrid};
+use sqdm_tensor::ops::Activation;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let (silu, relu) = figure6_comparison();
+    println!(
+        "fig6: SiLU+INT4 uses {}/{} levels, ReLU+UINT4 uses {}/{}",
+        silu.used_levels, silu.total_levels, relu.used_levels, relu.total_levels
+    );
+    c.bench_function("fig6_level_utilization", |bch| {
+        bch.iter(|| {
+            level_utilization(
+                black_box(Activation::Silu),
+                IntGrid::signed(4),
+                -1.0,
+                1.0,
+                10_000,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Figure 8 harness: the dense/sparse channel-group computation scheme.
+//! Verifies that the split partial sums recompose the full convolution and
+//! times full vs split execution in the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_accel::{Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant};
+use sqdm_sparsity::ChannelPartition;
+use sqdm_tensor::ops::{conv2d, Conv2dGeometry};
+use sqdm_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+/// Functional check: conv over dense channel group + conv over sparse
+/// channel group equals conv over all channels (Figure 8's partial-sum
+/// recomposition).
+fn split_conv_matches_full() {
+    let mut rng = Rng::seed_from(20);
+    let g = Conv2dGeometry::same(3);
+    let x = Tensor::randn([1, 8, 8, 8], &mut rng);
+    let w = Tensor::randn([4, 8, 3, 3], &mut rng);
+    let full = conv2d(&x, &w, None, g).unwrap();
+
+    // Split channels {0,2,4,6} / {1,3,5,7}.
+    let pick = |chs: &[usize], x: &Tensor, w: &Tensor| {
+        let mut xs = Tensor::zeros([1, chs.len(), 8, 8]);
+        let mut ws = Tensor::zeros([4, chs.len(), 3, 3]);
+        for (i, &ch) in chs.iter().enumerate() {
+            for y in 0..8 {
+                for xx in 0..8 {
+                    xs.set(&[0, i, y, xx], x.get(&[0, ch, y, xx]).unwrap())
+                        .unwrap();
+                }
+            }
+            for k in 0..4 {
+                for r in 0..3 {
+                    for s in 0..3 {
+                        ws.set(&[k, i, r, s], w.get(&[k, ch, r, s]).unwrap())
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        conv2d(&xs, &ws, None, g).unwrap()
+    };
+    let even = pick(&[0, 2, 4, 6], &x, &w);
+    let odd = pick(&[1, 3, 5, 7], &x, &w);
+    let recomposed = even.add(&odd).unwrap();
+    let err = full.mse(&recomposed).unwrap();
+    assert!(err < 1e-8, "split recomposition error {err}");
+    println!("fig8: split-GEMM recomposition error = {err:.3e}");
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    split_conv_matches_full();
+
+    let w = ConvWorkload::uniform(24, 24, 3, 3, 16, 16, 0.65);
+    let partition = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+    let het = Accelerator::new(AcceleratorConfig::paper());
+    let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+
+    let sh = het.run_layer(&w, Some(&partition), LayerQuant::int4());
+    let sb = base.run_layer(&w, None, LayerQuant::int4());
+    println!(
+        "fig8: dense {} cycles vs split {} cycles ({:.2}x)",
+        sb.cycles,
+        sh.cycles,
+        sb.cycles as f64 / sh.cycles as f64
+    );
+
+    c.bench_function("fig8_sim_split", |bch| {
+        bch.iter(|| {
+            het.run_layer(
+                black_box(&w),
+                Some(black_box(&partition)),
+                LayerQuant::int4(),
+            )
+        })
+    });
+    c.bench_function("fig8_sim_dense", |bch| {
+        bch.iter(|| base.run_layer(black_box(&w), None, LayerQuant::int4()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Microbenchmarks of the math kernels underlying every experiment:
+//! matmul, convolution (forward/backward), softmax, quantizers and the
+//! sparse bitmap codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_accel::SparseChannel;
+use sqdm_quant::{fake_quant, ChannelLayout, QuantFormat};
+use sqdm_tensor::ops::{conv2d, conv2d_backward, matmul, softmax_rows, Conv2dGeometry};
+use sqdm_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let a = Tensor::randn([64, 128], &mut rng);
+    let b = Tensor::randn([128, 96], &mut rng);
+    c.bench_function("matmul_64x128x96", |bch| {
+        bch.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let x = Tensor::randn([1, 12, 16, 16], &mut rng);
+    let w = Tensor::randn([12, 12, 3, 3], &mut rng);
+    let g = Conv2dGeometry::same(3);
+    c.bench_function("conv2d_fwd_12ch_16px", |bch| {
+        bch.iter(|| conv2d(black_box(&x), black_box(&w), None, g).unwrap())
+    });
+    let y = conv2d(&x, &w, None, g).unwrap();
+    let gout = Tensor::ones(y.dims());
+    c.bench_function("conv2d_bwd_12ch_16px", |bch| {
+        bch.iter(|| conv2d_backward(black_box(&x), black_box(&w), black_box(&gout), g).unwrap())
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let x = Tensor::randn([64, 64], &mut rng);
+    c.bench_function("softmax_64x64", |bch| {
+        bch.iter(|| softmax_rows(black_box(&x)).unwrap())
+    });
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(4);
+    let x = Tensor::randn([1, 24, 16, 16], &mut rng);
+    let mut group = c.benchmark_group("fake_quant");
+    for fmt in [
+        QuantFormat::int8(),
+        QuantFormat::mxint8(),
+        QuantFormat::int4(),
+        QuantFormat::int4_vsq(),
+        QuantFormat::ours_int4(),
+    ] {
+        group.bench_function(fmt.name, |bch| {
+            bch.iter(|| fake_quant(black_box(&x), fmt, ChannelLayout::ACTIVATION).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_codec(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(5);
+    let dense: Vec<f32> = (0..4096)
+        .map(|_| if rng.bernoulli(0.65) { 0.0 } else { rng.normal() })
+        .collect();
+    c.bench_function("sparse_encode_4096_65pct", |bch| {
+        bch.iter(|| SparseChannel::encode(black_box(&dense)))
+    });
+    let enc = SparseChannel::encode(&dense);
+    c.bench_function("sparse_decode_4096_65pct", |bch| {
+        bch.iter(|| black_box(&enc).decode())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_matmul, bench_conv, bench_softmax, bench_quantizers, bench_sparse_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table I harness: times the per-format quantized denoiser evaluation the
+//! table is built from, and prints the divergence each format induces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_core::experiments::table1::table1_formats;
+use sqdm_edm::{Denoiser, EdmSchedule, RunConfig, UNet, UNetConfig};
+use sqdm_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(10);
+    let mut net = UNet::new(UNetConfig::default(), &mut rng).unwrap();
+    let den = Denoiser::new(EdmSchedule::default());
+    let x = Tensor::randn([1, 3, 16, 16], &mut rng);
+    let reference = den
+        .denoise(&mut net, &x, &[1.0], &mut RunConfig::infer())
+        .unwrap();
+
+    let mut group = c.benchmark_group("table1_denoise");
+    for (name, assignment) in table1_formats(sqdm_edm::block_ids::COUNT) {
+        // Print the one-step divergence so the bench doubles as a report.
+        let mut rc = RunConfig {
+            train: false,
+            assignment: assignment.as_ref(),
+            observer: None,
+        };
+        let out = den.denoise(&mut net, &x, &[1.0], &mut rc).unwrap();
+        println!(
+            "table1 one-step divergence {name:>9}: {:.3e}",
+            reference.mse(&out).unwrap()
+        );
+        group.bench_function(&name, |bch| {
+            bch.iter(|| {
+                let mut rc = RunConfig {
+                    train: false,
+                    assignment: assignment.as_ref(),
+                    observer: None,
+                };
+                den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_table1
+}
+criterion_main!(benches);

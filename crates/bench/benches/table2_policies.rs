@@ -1,0 +1,69 @@
+//! Table II harness: times denoiser evaluation under each of the table's
+//! precision assignments and prints the modeled savings columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sqdm_edm::{block_profiles, Denoiser, EdmSchedule, RunConfig, UNet, UNetConfig};
+use sqdm_quant::{evaluate_cost, PrecisionAssignment, QuantFormat};
+use sqdm_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = UNetConfig::default();
+    let mut rng = Rng::seed_from(11);
+    let mut net = UNet::new(cfg, &mut rng).unwrap();
+    let den = Denoiser::new(EdmSchedule::default());
+    let x = Tensor::randn([1, 3, 16, 16], &mut rng);
+    let profiles = block_profiles(&cfg);
+
+    let methods: Vec<(&str, PrecisionAssignment)> = vec![
+        (
+            "INT4-VSQ",
+            PrecisionAssignment::uniform(
+                sqdm_edm::block_ids::COUNT,
+                sqdm_quant::BlockPrecision::uniform(QuantFormat::int4_vsq()),
+                "INT4-VSQ",
+            ),
+        ),
+        (
+            "Ours(MP-only)",
+            PrecisionAssignment::paper_mixed(&profiles, 1, 1, false),
+        ),
+        (
+            "Ours(MP+ReLU)",
+            PrecisionAssignment::paper_mixed(&profiles, 1, 1, true),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("table2_denoise");
+    for (name, assignment) in methods {
+        let cost = evaluate_cost(&profiles, &assignment);
+        println!(
+            "table2 {name:>14}: compute saving {:.0}%, memory saving {:.0}%",
+            cost.compute_saving * 100.0,
+            cost.memory_saving * 100.0
+        );
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                let mut rc = RunConfig {
+                    train: false,
+                    assignment: Some(&assignment),
+                    observer: None,
+                };
+                den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates every table and figure of the paper in one run, sharing the
+//! trained models across experiments. Set `SQDM_FAST=1` for a quick smoke
+//! pass.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pairs: Vec<_> = DatasetKind::ALL
+        .iter()
+        .map(|&k| cached_pair(k, scale))
+        .collect();
+
+    println!("=== SQ-DM full reproduction report ===\n");
+
+    println!("{}", sqdm_core::experiments::fig4::run(&scale.model).render());
+    println!("{}", sqdm_core::experiments::fig6::run().render());
+
+    let t1 = sqdm_core::experiments::table1::run(&mut pairs, &scale).expect("table1");
+    println!("{}", t1.render());
+    let t2 = sqdm_core::experiments::table2::run(&mut pairs, &scale).expect("table2");
+    println!("{}", t2.render());
+
+    let f3 = sqdm_core::experiments::fig3::run(&mut pairs[0], &scale).expect("fig3");
+    println!("{}", f3.render());
+    let f5 = sqdm_core::experiments::fig5::run(&mut pairs[0], &scale).expect("fig5");
+    println!("{}", f5.render());
+    let f7 = sqdm_core::experiments::fig7::run(&mut pairs[0], &scale).expect("fig7");
+    println!("{}", f7.render());
+    let f11 = sqdm_core::experiments::fig11::run(&mut pairs[0], &scale).expect("fig11");
+    println!("{}", f11.render());
+    let f12 = sqdm_core::experiments::fig12::run(&mut pairs, &scale).expect("fig12");
+    println!("{}", f12.render());
+    let f1 = sqdm_core::experiments::fig1::run(&mut pairs[0], &scale).expect("fig1");
+    println!("{}", f1.render());
+    let ext = sqdm_core::experiments::ext_weight_sparsity::run(&mut pairs[0], &scale)
+        .expect("ext");
+    println!("{}", ext.render());
+
+    println!("=== headline numbers (paper vs measured) ===");
+    println!(
+        "sparsity speed-up : paper 1.83x, measured {:.2}x",
+        f12.mean_sparsity_speedup()
+    );
+    println!(
+        "energy saving     : paper 51.5%, measured {:.1}%",
+        f12.mean_energy_saving() * 100.0
+    );
+    println!(
+        "total speed-up    : paper 6.91x, measured {:.2}x",
+        f12.mean_total_speedup()
+    );
+}

@@ -1,0 +1,12 @@
+//! Extension report: 2:4 structured weight sparsity combined with the
+//! paper's temporal activation sparsity (§II-B).
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pair = cached_pair(DatasetKind::CifarLike, scale);
+    let r = sqdm_core::experiments::ext_weight_sparsity::run(&mut pair, &scale).expect("ext");
+    println!("{}", r.render());
+}

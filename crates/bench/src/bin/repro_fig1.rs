@@ -1,0 +1,11 @@
+//! Regenerates Figure 1: headline quality/speed-up per format.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pair = cached_pair(DatasetKind::CifarLike, scale);
+    let f = sqdm_core::experiments::fig1::run(&mut pair, &scale).expect("fig1");
+    println!("{}", f.render());
+}

@@ -1,0 +1,32 @@
+//! Demonstrates Figure 10: channel-last vs interleaved address mapping and
+//! the burst counts of the sparsity-aware fetch plan.
+
+use sqdm_accel::{ActAddressMap, FetchPlan, WeightAddressMap};
+
+fn main() {
+    let (c, h, w) = (16usize, 16usize, 16usize);
+    let cl = ActAddressMap::channel_last(c, h, w);
+    let il = ActAddressMap::interleaved(c, h, w);
+    println!("Figure 10: channel-last data-address mapping");
+    println!("activation tensor [C={c}, H={h}, W={w}]");
+    println!(
+        "  channel fetch bursts: channel-last = {}, interleaved = {}",
+        cl.channel_bursts(0),
+        il.channel_bursts(0)
+    );
+    let dense: Vec<usize> = (0..c / 4).collect();
+    let sparse: Vec<usize> = (c / 4..c).collect();
+    let plan = FetchPlan::for_activations(&cl, &dense, &sparse);
+    println!(
+        "  fetch plan: {} bursts, {} elements ({} dense ch -> DPE, {} sparse ch -> SPE)",
+        plan.burst_count(),
+        plan.total_elems(),
+        dense.len(),
+        sparse.len()
+    );
+    let wm = WeightAddressMap::new(16, c, 3, 3);
+    println!(
+        "weights [K=16, C={c}, R=3, S=3]: input-channel 3 occupies addresses {:?}",
+        wm.input_channel_range(3)
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 11: sparsity threshold analysis and update-frequency
+//! vs speed-up.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pair = cached_pair(DatasetKind::CifarLike, scale);
+    let f = sqdm_core::experiments::fig11::run(&mut pair, &scale).expect("fig11");
+    println!("{}", f.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 12: system speed-up and energy evaluation across all
+//! datasets.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pairs: Vec<_> = DatasetKind::ALL
+        .iter()
+        .map(|&k| cached_pair(k, scale))
+        .collect();
+    let f = sqdm_core::experiments::fig12::run(&mut pairs, &scale).expect("fig12");
+    println!("{}", f.render());
+}

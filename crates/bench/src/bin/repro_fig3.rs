@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: block-wise quantization sensitivity.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pair = cached_pair(DatasetKind::CifarLike, scale);
+    let f = sqdm_core::experiments::fig3::run(&mut pair, &scale).expect("fig3");
+    println!("{}", f.render());
+    println!("most sensitive blocks: {:?}", f.most_sensitive(4));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4: compute and memory breakdown by block type.
+
+use sqdm_bench::report_scale;
+
+fn main() {
+    let scale = report_scale();
+    let f = sqdm_core::experiments::fig4::run(&scale.model);
+    println!("{}", f.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 5: activation distributions, Conv+SiLU vs Conv+ReLU.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pair = cached_pair(DatasetKind::CifarLike, scale);
+    let f = sqdm_core::experiments::fig5::run(&mut pair, &scale).expect("fig5");
+    println!("{}", f.render());
+}

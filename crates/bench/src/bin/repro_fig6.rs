@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: quantization level utilization, SiLU+INT4 vs
+//! ReLU+UINT4.
+
+fn main() {
+    println!("{}", sqdm_core::experiments::fig6::run().render());
+}

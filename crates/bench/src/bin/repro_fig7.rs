@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: the temporal per-channel sparsity bitmap.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pair = cached_pair(DatasetKind::CifarLike, scale);
+    let f = sqdm_core::experiments::fig7::run(&mut pair, &scale).expect("fig7");
+    println!("{}", f.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table I: sFID of existing quantization formats across the
+//! four synthetic datasets.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pairs: Vec<_> = DatasetKind::ALL
+        .iter()
+        .map(|&k| cached_pair(k, scale))
+        .collect();
+    let t = sqdm_core::experiments::table1::run(&mut pairs, &scale).expect("table1");
+    println!("{}", t.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table II: the proposed mixed-precision schemes vs INT4-VSQ,
+//! with compute/memory savings.
+
+use sqdm_bench::{cached_pair, report_scale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = report_scale();
+    let mut pairs: Vec<_> = DatasetKind::ALL
+        .iter()
+        .map(|&k| cached_pair(k, scale))
+        .collect();
+    let t = sqdm_core::experiments::table2::run(&mut pairs, &scale).expect("table2");
+    println!("{}", t.render());
+}

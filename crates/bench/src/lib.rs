@@ -1,0 +1,77 @@
+//! # sqdm-bench
+//!
+//! Benchmark harness support for the SQ-DM reproduction: shared fixtures
+//! for the Criterion benches (`benches/`) and the `repro_*` report binaries
+//! (`src/bin/`) that regenerate every table and figure of the paper.
+//!
+//! Run `cargo run --release -p sqdm-bench --bin repro_all` for the complete
+//! paper-scale report, or individual `repro_table1` … `repro_fig12`
+//! binaries for single artifacts. `cargo bench` measures the kernels and
+//! experiment components on small fixed workloads.
+
+#![warn(missing_docs)]
+
+use sqdm_core::{ExperimentScale, TrainedPair};
+use sqdm_edm::DatasetKind;
+use std::sync::{Mutex, OnceLock};
+
+/// Scale used by the report binaries. Override the training budget with
+/// `SQDM_FAST=1` for a fast smoke run.
+pub fn report_scale() -> ExperimentScale {
+    if std::env::var("SQDM_FAST").is_ok() {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::paper()
+    }
+}
+
+/// Scale used by Criterion benches (small and fixed, so timing noise stays
+/// low).
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale::quick()
+}
+
+static PAIRS: OnceLock<Mutex<Vec<(DatasetKind, ExperimentScale, TrainedPair)>>> =
+    OnceLock::new();
+
+/// A trained pair for `kind` at `scale`, cached per process so benches and
+/// multi-figure reports never train the same model twice.
+///
+/// # Panics
+///
+/// Panics if training fails (configuration errors only).
+pub fn cached_pair(kind: DatasetKind, scale: ExperimentScale) -> TrainedPair {
+    let cache = PAIRS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut guard = cache.lock().expect("pair cache poisoned");
+    if let Some((_, _, p)) = guard.iter().find(|(k, s, _)| *k == kind && *s == scale) {
+        return p.clone();
+    }
+    eprintln!("[sqdm-bench] training {} pair…", kind.name());
+    let pair = sqdm_core::prepare(kind, scale).expect("training must succeed");
+    guard.push((kind, scale, pair.clone()));
+    pair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_pair_is_reused() {
+        let scale = ExperimentScale::quick();
+        let a = cached_pair(DatasetKind::FfhqLike, scale);
+        let b = cached_pair(DatasetKind::FfhqLike, scale);
+        // Clones of the same trained model: identical parameters.
+        assert_eq!(
+            format!("{:?}", a.dataset.kind),
+            format!("{:?}", b.dataset.kind)
+        );
+    }
+
+    #[test]
+    fn scales_resolve() {
+        let _ = bench_scale();
+        let s = report_scale();
+        assert!(s.train.steps > 0);
+    }
+}

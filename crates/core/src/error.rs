@@ -1,0 +1,77 @@
+//! Error type for the experiment pipeline.
+
+use std::fmt;
+
+/// Error produced by the end-to-end pipeline and experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Two pipeline artifacts disagree (e.g. trace vs model shape).
+    Inconsistent {
+        /// Explanation of the disagreement.
+        reason: String,
+    },
+    /// An underlying EDM operation failed.
+    Edm(sqdm_edm::EdmError),
+    /// An underlying tensor kernel failed.
+    Tensor(sqdm_tensor::TensorError),
+    /// An underlying quantization operation failed.
+    Quant(sqdm_quant::QuantError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Inconsistent { reason } => write!(f, "inconsistent pipeline: {reason}"),
+            CoreError::Edm(e) => write!(f, "edm error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Quant(e) => write!(f, "quantization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Edm(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sqdm_edm::EdmError> for CoreError {
+    fn from(e: sqdm_edm::EdmError) -> Self {
+        CoreError::Edm(e)
+    }
+}
+
+impl From<sqdm_tensor::TensorError> for CoreError {
+    fn from(e: sqdm_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<sqdm_quant::QuantError> for CoreError {
+    fn from(e: sqdm_quant::QuantError) -> Self {
+        CoreError::Quant(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Inconsistent {
+            reason: "x".into(),
+        };
+        assert!(e.to_string().contains("inconsistent"));
+        let e: CoreError = sqdm_tensor::TensorError::ReshapeMismatch { from: 1, to: 2 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,152 @@
+//! Extension experiment: combining 2:4 structured *weight* sparsity with
+//! the paper's temporal *activation* sparsity (§II-B: "activation sparsity
+//! can be combined with weight sparsity to enable additional efficiency").
+//!
+//! Weights of every convolution are pruned to the 2:4 pattern, the model's
+//! generation quality impact is measured, and the accelerator is run with
+//! the halved weight density on top of the usual dense/sparse channel
+//! routing.
+
+use crate::error::Result;
+use crate::pipeline::{
+    conv_sites, record_traces, workloads_at_step, ExperimentScale, TrainedPair,
+};
+use serde::{Deserialize, Serialize};
+use sqdm_accel::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
+use sqdm_edm::UNet;
+use sqdm_quant::prune_m_of_n;
+use sqdm_sparsity::ChannelPartition;
+
+/// The extension-experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtWeightSparsity {
+    /// Trajectory divergence of the pruned model vs its dense self.
+    pub prune_divergence: f64,
+    /// Speed-up of activation sparsity alone over the dense baseline.
+    pub act_only_speedup: f64,
+    /// Speed-up with 2:4 weights on top of activation sparsity.
+    pub combined_speedup: f64,
+    /// Energy saving with both sparsities vs the dense baseline.
+    pub combined_energy_saving: f64,
+    /// Number of conv weight tensors pruned.
+    pub pruned_tensors: usize,
+}
+
+/// Prunes every rank-4 (convolution) weight of a model to 2:4 along the
+/// reduction dimension. Returns the number of tensors pruned.
+///
+/// # Errors
+///
+/// Propagates pruning layout errors.
+pub fn prune_model_weights_2_4(net: &mut UNet) -> Result<usize> {
+    let mut count = 0usize;
+    for p in net.params_mut() {
+        // Conv weights are the rank-4 parameters [K, C, kh, kw] with a
+        // reduction slice of at least one 2:4 group.
+        if p.value.rank() == 4 && p.value.len() >= p.value.dims()[0] * 4 {
+            p.value = prune_m_of_n(
+                &p.value,
+                2,
+                4,
+                sqdm_quant::ChannelLayout::WEIGHT,
+            )?;
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// Runs the extension experiment on a trained pair's ReLU model.
+///
+/// # Errors
+///
+/// Propagates model and pipeline errors.
+pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<ExtWeightSparsity> {
+    // Quality: divergence of the pruned model's samples from the unpruned
+    // model's (same seeds, both full precision).
+    let mut pruned = pair.relu.clone();
+    let pruned_tensors = prune_model_weights_2_4(&mut pruned)?;
+    let mut r1 = sqdm_tensor::Rng::seed_from(scale.seed ^ 0x24);
+    let dense_samples = sqdm_edm::sample(
+        &mut pair.relu,
+        &pair.denoiser,
+        8,
+        scale.sampler,
+        None,
+        &mut r1,
+    )?;
+    let mut r2 = sqdm_tensor::Rng::seed_from(scale.seed ^ 0x24);
+    let pruned_samples =
+        sqdm_edm::sample(&mut pruned, &pair.denoiser, 8, scale.sampler, None, &mut r2)?;
+    let prune_divergence = dense_samples
+        .mse(&pruned_samples)
+        .map_err(sqdm_edm::EdmError::from)? as f64;
+
+    // Performance: traces from the pruned model drive both configurations.
+    let traces = record_traces(&mut pruned, &pair.denoiser, scale, None)?;
+    let sites = conv_sites(&scale.model);
+    let het = Accelerator::new(AcceleratorConfig::paper());
+    let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+    let mut dense_stats = RunStats::default();
+    let mut act_only = RunStats::default();
+    let mut combined = RunStats::default();
+    for step in 0..scale.sampler.steps {
+        let ws = workloads_at_step(&sites, &traces, step)?;
+        for w in &ws {
+            let p = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+            dense_stats.push(&base.run_layer(w, None, LayerQuant::int4()));
+            act_only.push(&het.run_layer(w, Some(&p), LayerQuant::int4()));
+            let w24 = w.clone().with_weight_density(0.5);
+            combined.push(&het.run_layer(&w24, Some(&p), LayerQuant::int4()));
+        }
+    }
+    Ok(ExtWeightSparsity {
+        prune_divergence,
+        act_only_speedup: act_only.speedup_vs(&dense_stats),
+        combined_speedup: combined.speedup_vs(&dense_stats),
+        combined_energy_saving: combined.energy_saving_vs(&dense_stats),
+        pruned_tensors,
+    })
+}
+
+impl ExtWeightSparsity {
+    /// Renders the extension report.
+    pub fn render(&self) -> String {
+        format!(
+            "Extension: 2:4 weight sparsity on top of temporal activation sparsity\n\
+             pruned conv weight tensors : {}\n\
+             pruning sample divergence  : {:.5}\n\
+             activation sparsity only   : {:.2}x over dense baseline\n\
+             + 2:4 weight sparsity      : {:.2}x over dense baseline\n\
+             combined energy saving     : {:.1}%\n",
+            self.pruned_tensors,
+            self.prune_divergence,
+            self.act_only_speedup,
+            self.combined_speedup,
+            self.combined_energy_saving * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::testutil::shared_pair;
+
+    #[test]
+    fn weight_sparsity_adds_speedup() {
+        let scale = ExperimentScale::quick();
+        let mut pair = shared_pair();
+        let r = run(&mut pair, &scale).unwrap();
+        assert!(r.pruned_tensors >= 10, "pruned {}", r.pruned_tensors);
+        assert!(
+            r.combined_speedup > r.act_only_speedup,
+            "combined {} vs act-only {}",
+            r.combined_speedup,
+            r.act_only_speedup
+        );
+        assert!(r.combined_energy_saving > 0.3);
+        assert!(r.prune_divergence.is_finite());
+        assert!(r.render().contains("2:4"));
+    }
+}

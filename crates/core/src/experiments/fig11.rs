@@ -1,0 +1,181 @@
+//! Figure 11: temporal sparsity detection analysis.
+//!
+//! Left: sweep of the dense/sparse classification threshold (the paper
+//! selects 30%, where the sparse portion averages ~70% sparsity and the
+//! engines balance). Right: system speed-up versus the detector's update
+//! period (the paper selects per-step updates).
+
+use crate::error::Result;
+use crate::pipeline::{
+    conv_sites, record_traces, workloads_at_step, ExperimentScale, LayerKey, TrainedPair,
+};
+use serde::{Deserialize, Serialize};
+use sqdm_accel::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
+use sqdm_sparsity::{
+    threshold_sweep, ChannelPartition, TemporalTrace, ThresholdPoint, UpdateSchedule,
+    PAPER_THRESHOLD,
+};
+use std::collections::BTreeMap;
+
+/// One point of the update-period sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodPoint {
+    /// Steps between detector updates.
+    pub period: usize,
+    /// Speed-up over the dense baseline with this staleness.
+    pub speedup: f64,
+    /// Misclassification rate of the stale classifications.
+    pub misclassification: f64,
+}
+
+/// The Figure 11 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Threshold sweep (left panel).
+    pub thresholds: Vec<ThresholdPoint>,
+    /// Update-period sweep (right panel).
+    pub periods: Vec<PeriodPoint>,
+}
+
+/// Stacks the traces of every conv site into one combined trace (channels
+/// concatenated per step), for whole-model threshold statistics.
+pub fn combined_trace(traces: &BTreeMap<LayerKey, TemporalTrace>) -> TemporalTrace {
+    let steps = traces.values().map(|t| t.steps()).min().unwrap_or(0);
+    let channels: usize = traces.values().map(|t| t.channels()).sum();
+    let mut out = TemporalTrace::new(channels);
+    for s in 0..steps {
+        let mut row = Vec::with_capacity(channels);
+        for t in traces.values() {
+            row.extend_from_slice(t.step(s));
+        }
+        out.push_step(row);
+    }
+    out
+}
+
+/// Runs both panels on the ReLU model of a trained pair.
+///
+/// # Errors
+///
+/// Propagates model and pipeline errors.
+pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig11> {
+    let traces = record_traces(&mut pair.relu, &pair.denoiser, scale, None)?;
+    let combined = combined_trace(&traces);
+
+    // Left panel: threshold sweep on the combined trace.
+    let ths: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let thresholds = threshold_sweep(&combined, &ths);
+
+    // Right panel: speed-up vs update period.
+    let sites = conv_sites(&scale.model);
+    let het = Accelerator::new(AcceleratorConfig::paper());
+    let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+    let steps = scale.sampler.steps;
+
+    // Baseline: dense, all steps.
+    let mut base_stats = RunStats::default();
+    for step in 0..steps {
+        let ws = workloads_at_step(&sites, &traces, step)?;
+        for w in &ws {
+            base_stats.push(&base.run_layer(w, None, LayerQuant::int4()));
+        }
+    }
+
+    let mut periods = Vec::new();
+    let mut candidates = vec![1usize, 2, 3, 4, 6, steps.max(1)];
+    candidates.retain(|&p| p <= steps);
+    candidates.dedup();
+    for period in candidates {
+        let sched = UpdateSchedule::every(period);
+        let mut het_stats = RunStats::default();
+        for step in 0..steps {
+            let eff = sched.effective_step(step);
+            let ws = workloads_at_step(&sites, &traces, step)?;
+            let ws_eff = workloads_at_step(&sites, &traces, eff)?;
+            for (w, w_eff) in ws.iter().zip(ws_eff.iter()) {
+                // Classification from the stale step, true sparsity from
+                // the current one.
+                let p = ChannelPartition::balanced_stale(
+                    &w_eff.act_sparsity,
+                    &w.act_sparsity,
+                    0.9,
+                );
+                het_stats.push(&het.run_layer(w, Some(&p), LayerQuant::int4()));
+            }
+        }
+        periods.push(PeriodPoint {
+            period,
+            speedup: het_stats.speedup_vs(&base_stats),
+            misclassification: sched.misclassification_rate(&combined, PAPER_THRESHOLD),
+        });
+    }
+
+    Ok(Fig11 {
+        thresholds,
+        periods,
+    })
+}
+
+impl Fig11 {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 11 (left): sparsity threshold analysis\n");
+        s.push_str(&format!(
+            "{:>9}{:>14}{:>16}{:>12}{:>12}\n",
+            "thresh", "sparse frac", "sparse portion", "dense work", "sparse work"
+        ));
+        for p in &self.thresholds {
+            s.push_str(&format!(
+                "{:>9.1}{:>13.1}%{:>15.1}%{:>12.3}{:>12.3}\n",
+                p.threshold,
+                p.sparse_channel_fraction * 100.0,
+                p.sparse_portion_sparsity * 100.0,
+                p.dense_work,
+                p.sparse_work
+            ));
+        }
+        s.push_str("\nFigure 11 (right): update frequency vs speed-up\n");
+        s.push_str(&format!(
+            "{:>8}{:>10}{:>10}\n",
+            "period", "speed-up", "misclass"
+        ));
+        for p in &self.periods {
+            s.push_str(&format!(
+                "{:>8}{:>9.2}x{:>9.1}%\n",
+                p.period,
+                p.speedup,
+                p.misclassification * 100.0
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::testutil::shared_pair;
+
+    #[test]
+    fn panels_show_paper_trends() {
+        let scale = ExperimentScale::quick();
+        let mut pair = shared_pair();
+        let f = run(&mut pair, &scale).unwrap();
+
+        // Left: sparse-portion sparsity is nondecreasing in threshold.
+        for w in f.thresholds.windows(2) {
+            assert!(w[1].sparse_portion_sparsity >= w[0].sparse_portion_sparsity - 1e-9);
+        }
+        // Right: per-step updates give the best (or tied-best) speed-up,
+        // and misclassification grows with the period.
+        assert_eq!(f.periods[0].period, 1);
+        assert_eq!(f.periods[0].misclassification, 0.0);
+        let best = f
+            .periods
+            .iter()
+            .map(|p| p.speedup)
+            .fold(f64::MIN, f64::max);
+        assert!(f.periods[0].speedup >= best - 1e-9, "{:?}", f.periods);
+        assert!(f.render().contains("update frequency"));
+    }
+}

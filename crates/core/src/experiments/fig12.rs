@@ -1,0 +1,188 @@
+//! Figure 12: system evaluation.
+//!
+//! Top panel: speed-up and energy saving of the heterogeneous D/S
+//! accelerator over the 2-DPE dense baseline (temporal sparsity only, both
+//! at 4-bit). Bottom panel: total speed-up over an FP16 SiLU model —
+//! quantization contributes ~3.8×, temporal sparsity ~1.8× on top, ~6.9×
+//! combined.
+
+use crate::error::Result;
+use crate::experiments::util::layer_quant_for;
+use crate::pipeline::{
+    conv_sites, record_traces, workloads_at_step, ExperimentScale, TrainedPair,
+};
+use serde::{Deserialize, Serialize};
+use sqdm_accel::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
+use sqdm_edm::block_profiles;
+use sqdm_quant::PrecisionAssignment;
+
+/// SPE sustained utilization assumed by the load balancer (matches
+/// [`sqdm_accel::SparsePe`]'s default).
+const SPE_UTILIZATION: f64 = 0.9;
+use sqdm_sparsity::ChannelPartition;
+
+/// Per-dataset system results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Speed-up from temporal sparsity alone (ours vs dense baseline,
+    /// both 4-bit).
+    pub sparsity_speedup: f64,
+    /// System energy saving from temporal sparsity alone.
+    pub energy_saving: f64,
+    /// Speed-up of 4-bit mixed-precision quantization over FP16 (dense).
+    pub quant_speedup: f64,
+    /// Total speed-up over the FP16 dense baseline.
+    pub total_speedup: f64,
+}
+
+/// The Figure 12 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12 {
+    /// One row per dataset.
+    pub rows: Vec<Fig12Row>,
+}
+
+/// Runs the system evaluation for one prepared dataset pair.
+///
+/// # Errors
+///
+/// Propagates model and pipeline errors.
+pub fn run_one(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig12Row> {
+    let traces = record_traces(&mut pair.relu, &pair.denoiser, scale, None)?;
+    let sites = conv_sites(&scale.model);
+    let steps = scale.sampler.steps;
+    let het = Accelerator::new(AcceleratorConfig::paper());
+    let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+
+    // The paper's deployment precision: mixed 4/8-bit per block.
+    let profiles = block_profiles(&scale.model);
+    let mp = PrecisionAssignment::paper_mixed(&profiles, 1, 1, true);
+    let quant_of = |block: usize| layer_quant_for(Some(&mp), block);
+
+    let mut base_fp16 = RunStats::default();
+    let mut base_int4 = RunStats::default();
+    let mut ours = RunStats::default();
+    for step in 0..steps {
+        let ws = workloads_at_step(&sites, &traces, step)?;
+        for (site, w) in sites.iter().zip(ws.iter()) {
+            let q = quant_of(site.block);
+            base_fp16.push(&base.run_layer(w, None, LayerQuant::fp16()));
+            base_int4.push(&base.run_layer(w, None, q));
+            let p = ChannelPartition::balanced(&w.act_sparsity, SPE_UTILIZATION);
+            ours.push(&het.run_layer(w, Some(&p), q));
+        }
+    }
+
+    Ok(Fig12Row {
+        dataset: pair.dataset.kind.name().to_string(),
+        sparsity_speedup: ours.speedup_vs(&base_int4),
+        energy_saving: ours.energy_saving_vs(&base_int4),
+        quant_speedup: base_int4.speedup_vs(&base_fp16),
+        total_speedup: ours.speedup_vs(&base_fp16),
+    })
+}
+
+/// Runs the evaluation for every prepared pair.
+///
+/// # Errors
+///
+/// Propagates per-dataset errors.
+pub fn run(pairs: &mut [TrainedPair], scale: &ExperimentScale) -> Result<Fig12> {
+    let rows = pairs
+        .iter_mut()
+        .map(|p| run_one(p, scale))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Fig12 { rows })
+}
+
+impl Fig12 {
+    /// Mean sparsity speed-up across datasets.
+    pub fn mean_sparsity_speedup(&self) -> f64 {
+        self.rows.iter().map(|r| r.sparsity_speedup).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+
+    /// Mean energy saving across datasets.
+    pub fn mean_energy_saving(&self) -> f64 {
+        self.rows.iter().map(|r| r.energy_saving).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+
+    /// Mean total speed-up across datasets.
+    pub fn mean_total_speedup(&self) -> f64 {
+        self.rows.iter().map(|r| r.total_speedup).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 12 (top): speed-up & energy saving vs dense baseline\n");
+        s.push_str(&format!(
+            "{:<16}{:>12}{:>14}\n",
+            "Dataset", "Speed-up", "Energy sav."
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<16}{:>11.2}x{:>13.1}%\n",
+                r.dataset,
+                r.sparsity_speedup,
+                r.energy_saving * 100.0
+            ));
+        }
+        s.push_str(&format!(
+            "Average: {:.2}x speed-up, {:.1}% energy saving\n",
+            self.mean_sparsity_speedup(),
+            self.mean_energy_saving() * 100.0
+        ));
+        s.push_str("\nFigure 12 (bottom): total speed-up vs FP16 SiLU baseline\n");
+        s.push_str(&format!(
+            "{:<16}{:>12}{:>12}{:>12}\n",
+            "Dataset", "Quant", "+Sparsity", "Total"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<16}{:>11.2}x{:>11.2}x{:>11.2}x\n",
+                r.dataset, r.quant_speedup, r.sparsity_speedup, r.total_speedup
+            ));
+        }
+        s.push_str(&format!(
+            "Average total speed-up: {:.2}x\n",
+            self.mean_total_speedup()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::testutil::shared_pair;
+
+    #[test]
+    fn speedups_compose_and_match_paper_bands() {
+        let scale = ExperimentScale::quick();
+        let mut pair = shared_pair();
+        let row = run_one(&mut pair, &scale).unwrap();
+
+        // Quantization alone: close to the paper's 3.78× (mixed precision
+        // keeps a couple of blocks 8-bit, so below the ideal 4×).
+        assert!(
+            row.quant_speedup > 2.2 && row.quant_speedup <= 4.05,
+            "quant {}",
+            row.quant_speedup
+        );
+        // Temporal sparsity adds a further factor > 1.
+        assert!(
+            row.sparsity_speedup > 1.0,
+            "sparsity {}",
+            row.sparsity_speedup
+        );
+        // Total is the product (same baselines cancel).
+        assert!(
+            (row.total_speedup - row.quant_speedup * row.sparsity_speedup).abs()
+                < 0.05 * row.total_speedup,
+            "{row:?}"
+        );
+        // Energy saving from sparsity is positive.
+        assert!(row.energy_saving > 0.0, "energy {}", row.energy_saving);
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 4: EDM computation and memory breakdown by block type.
+
+use serde::{Deserialize, Serialize};
+use sqdm_edm::{block_profiles, breakdown_by_kind, KindShare, UNetConfig};
+
+/// The Figure 4 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// Per-kind compute and memory shares.
+    pub shares: Vec<KindShare>,
+}
+
+/// Computes the breakdown for a model configuration.
+pub fn run(cfg: &UNetConfig) -> Fig4 {
+    Fig4 {
+        shares: breakdown_by_kind(&block_profiles(cfg)),
+    }
+}
+
+impl Fig4 {
+    /// The Conv+Act compute share (the paper's >90% headline).
+    pub fn conv_compute_share(&self) -> f64 {
+        self.shares
+            .iter()
+            .find(|s| s.kind == sqdm_quant::BlockKind::ConvAct)
+            .map(|s| s.compute_fraction)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the breakdown.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 4: compute and memory breakdown by block type\n");
+        s.push_str(&format!(
+            "{:<12}{:>12}{:>12}\n",
+            "Block", "Compute", "Memory"
+        ));
+        for sh in &self.shares {
+            s.push_str(&format!(
+                "{:<12}{:>11.1}%{:>11.1}%\n",
+                sh.kind.name(),
+                sh.compute_fraction * 100.0,
+                sh.memory_fraction * 100.0
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_dominates() {
+        let f = run(&UNetConfig::default());
+        assert!(f.conv_compute_share() > 0.8);
+        assert!(f.render().contains("Conv+Act"));
+        assert_eq!(f.shares.len(), 4);
+    }
+}

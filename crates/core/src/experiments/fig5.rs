@@ -1,0 +1,134 @@
+//! Figure 5: activation distributions at the output of Conv+SiLU versus
+//! Conv+ReLU.
+//!
+//! Paper finding: the SiLU model's activation distribution extends into a
+//! small negative tail (forcing signed formats), while the ReLU model's
+//! is non-negative with a mass spike at exactly zero.
+
+use crate::error::Result;
+use crate::pipeline::{ExperimentScale, TrainedPair};
+use serde::{Deserialize, Serialize};
+use sqdm_edm::{block_ids, RunConfig};
+use sqdm_tensor::stats::{Histogram, Moments};
+use sqdm_tensor::{Rng, Tensor};
+
+/// Distribution summary of one model's mid-network activations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActDistribution {
+    /// Which activation function produced it.
+    pub activation: String,
+    /// Histogram over a fixed range.
+    pub histogram: Histogram,
+    /// Moments of the sample.
+    pub moments: Moments,
+    /// Fraction of exactly-zero samples.
+    pub zero_fraction: f64,
+    /// Minimum observed value.
+    pub min: f32,
+}
+
+/// The Figure 5 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// SiLU-model distribution.
+    pub silu: ActDistribution,
+    /// ReLU-model distribution.
+    pub relu: ActDistribution,
+}
+
+fn collect(
+    net: &mut sqdm_edm::UNet,
+    denoiser: &sqdm_edm::Denoiser,
+    scale: &ExperimentScale,
+) -> Result<ActDistribution> {
+    let mut rng = Rng::seed_from(scale.seed ^ 0xF16_5);
+    let cfg = *net.config();
+    // Mid-trajectory noisy input at a representative sigma.
+    let sigma = 1.0f32;
+    let x = Tensor::randn(
+        [4, cfg.in_channels, cfg.image_size, cfg.image_size],
+        &mut rng,
+    )
+    .scale(sigma);
+    let mut values: Vec<f32> = Vec::new();
+    let target_block = block_ids::ENC_LO[1];
+    {
+        let mut obs = |ev: sqdm_edm::ActEvent<'_>| {
+            if ev.block_index == target_block && ev.stage == 1 {
+                values.extend_from_slice(ev.tensor.as_slice());
+            }
+        };
+        let mut rc = RunConfig {
+            train: false,
+            assignment: None,
+            observer: Some(&mut obs),
+        };
+        denoiser.denoise(net, &x, &[sigma; 4], &mut rc)?;
+    }
+    let t = Tensor::from_slice(&values);
+    let mut histogram = Histogram::new(-1.0, 4.0, 50).map_err(sqdm_edm::EdmError::from)?;
+    histogram.add_tensor(&t);
+    let act = format!("{:?}", net.activation());
+    Ok(ActDistribution {
+        activation: act,
+        moments: Moments::of(&t),
+        zero_fraction: t.sparsity(),
+        min: t.min(),
+        histogram,
+    })
+}
+
+/// Runs the distribution comparison on a trained pair.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig5> {
+    Ok(Fig5 {
+        silu: collect(&mut pair.silu, &pair.denoiser, scale)?,
+        relu: collect(&mut pair.relu, &pair.denoiser, scale)?,
+    })
+}
+
+impl Fig5 {
+    /// Renders both histograms.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 5: activation distributions, Conv+SiLU vs Conv+ReLU\n");
+        for d in [&self.silu, &self.relu] {
+            s.push_str(&format!(
+                "\n{} — min {:.3}, zero fraction {:.1}%, mean {:.3}\n",
+                d.activation,
+                d.min,
+                d.zero_fraction * 100.0,
+                d.moments.mean
+            ));
+            s.push_str(&d.histogram.ascii(40));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::testutil::shared_pair;
+
+    #[test]
+    fn silu_has_negative_tail_relu_has_zero_spike() {
+        let scale = ExperimentScale::quick();
+        let mut pair = shared_pair();
+        let f = run(&mut pair, &scale).unwrap();
+        // SiLU: outputs dip below zero but never below the SiLU minimum.
+        assert!(f.silu.min < 0.0, "silu min {}", f.silu.min);
+        assert!(f.silu.min >= sqdm_tensor::ops::SILU_MIN - 1e-4);
+        assert!(f.silu.zero_fraction < 0.05);
+        // ReLU: non-negative with a large exact-zero mass.
+        assert_eq!(f.relu.min, 0.0);
+        assert!(
+            f.relu.zero_fraction > 0.25,
+            "relu zeros {}",
+            f.relu.zero_fraction
+        );
+        assert!(f.render().contains("Relu"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 6: quantization-level utilization of SiLU+INT4 versus
+//! ReLU+UINT4 (delegates to the analysis in `sqdm-quant`).
+
+use serde::{Deserialize, Serialize};
+use sqdm_quant::{figure6_comparison, LevelUtilization};
+
+/// The Figure 6 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// SiLU quantized with signed INT4.
+    pub silu_int4: LevelUtilization,
+    /// ReLU quantized with unsigned INT4.
+    pub relu_uint4: LevelUtilization,
+}
+
+/// Runs the comparison.
+pub fn run() -> Fig6 {
+    let (silu_int4, relu_uint4) = figure6_comparison();
+    Fig6 {
+        silu_int4,
+        relu_uint4,
+    }
+}
+
+impl Fig6 {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 6: quantization level utilization for x in [-1, 1]\n");
+        for u in [&self.silu_int4, &self.relu_uint4] {
+            s.push_str(&format!(
+                "{:<10} {} bits ({}): {:>2} / {:>2} levels used ({:.0}%)\n",
+                u.activation,
+                u.grid.bits,
+                if u.grid.signed { "signed" } else { "unsigned" },
+                u.used_levels,
+                u.total_levels,
+                u.utilization * 100.0
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_uses_all_silu_does_not() {
+        let f = run();
+        assert_eq!(f.relu_uint4.used_levels, 16);
+        assert!(f.silu_int4.used_levels < 12);
+        assert!(f.render().contains("levels used"));
+    }
+}

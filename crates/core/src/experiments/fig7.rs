@@ -1,0 +1,82 @@
+//! Figure 7: the temporal per-channel sparsity bitmap of one layer of the
+//! ReLU-based model across sampling time steps.
+
+use crate::error::{CoreError, Result};
+use crate::pipeline::{record_traces, ExperimentScale, TrainedPair};
+use serde::{Deserialize, Serialize};
+use sqdm_edm::block_ids;
+use sqdm_sparsity::{TemporalTrace, PAPER_THRESHOLD};
+
+/// The Figure 7 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// The layer's temporal trace.
+    pub trace: TemporalTrace,
+    /// Mean sparsity over the whole map.
+    pub mean_sparsity: f64,
+    /// Classification flip rate at the paper threshold (temporal churn).
+    pub flip_rate: f64,
+    /// Spread of per-channel mean sparsities (per-channel structure).
+    pub channel_spread: f64,
+}
+
+/// Records the trace of a representative mid-network layer of the ReLU
+/// model.
+///
+/// # Errors
+///
+/// Propagates model errors; fails if the layer was not observed.
+pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig7> {
+    let traces = record_traces(&mut pair.relu, &pair.denoiser, scale, None)?;
+    let key = (block_ids::ENC_LO[1], 1);
+    let trace = traces
+        .get(&key)
+        .cloned()
+        .ok_or_else(|| CoreError::Inconsistent {
+            reason: format!("no trace recorded for layer {key:?}"),
+        })?;
+    let means: Vec<f64> = (0..trace.channels())
+        .map(|c| trace.channel_mean(c))
+        .collect();
+    let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Ok(Fig7 {
+        mean_sparsity: trace.mean_sparsity(),
+        flip_rate: trace.flip_rate(PAPER_THRESHOLD),
+        channel_spread: hi - lo,
+        trace,
+    })
+}
+
+impl Fig7 {
+    /// Renders the bitmap (rows = channels, columns = time steps; `#`
+    /// marks sparse at the paper threshold).
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 7: temporal per-channel sparsity (mean {:.1}%, flip rate {:.2}, channel spread {:.2})\n{}",
+            self.mean_sparsity * 100.0,
+            self.flip_rate,
+            self.channel_spread,
+            self.trace.ascii_bitmap(PAPER_THRESHOLD)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::testutil::shared_pair;
+
+    #[test]
+    fn relu_trace_shows_per_channel_structure() {
+        let scale = ExperimentScale::quick();
+        let mut pair = shared_pair();
+        let f = run(&mut pair, &scale).unwrap();
+        assert_eq!(f.trace.steps(), scale.sampler.steps);
+        // Channels must differ from one another (the paper's key point).
+        assert!(f.channel_spread > 0.1, "spread {}", f.channel_spread);
+        assert!(f.mean_sparsity > 0.1, "mean {}", f.mean_sparsity);
+        let bmp = f.render();
+        assert!(bmp.contains('#') || bmp.contains('.'));
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment registry: one module per table or figure of the paper.
+//!
+//! | Module    | Paper artifact | Content |
+//! |-----------|----------------|---------|
+//! | [`table1`] | Table I   | sFID of existing formats across datasets |
+//! | [`table2`] | Table II  | proposed schemes vs INT4-VSQ + savings |
+//! | [`fig1`]   | Figure 1  | headline quality/speed-up series |
+//! | [`fig3`]   | Figure 3  | block-wise quantization sensitivity |
+//! | [`fig4`]   | Figure 4  | compute/memory breakdown by block type |
+//! | [`fig5`]   | Figure 5  | SiLU vs ReLU activation distributions |
+//! | [`fig6`]   | Figure 6  | quantization level utilization |
+//! | [`fig7`]   | Figure 7  | temporal per-channel sparsity bitmap |
+//! | [`fig11`]  | Figure 11 | threshold and update-frequency analysis |
+//! | [`fig12`]  | Figure 12 | system speed-up and energy evaluation |
+//! | [`ext_weight_sparsity`] | §II-B extension | 2:4 weight sparsity on top of temporal activation sparsity |
+
+pub mod ext_weight_sparsity;
+pub mod fig1;
+pub mod fig11;
+pub mod fig12;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+pub mod util;

@@ -1,0 +1,189 @@
+//! Table I: sFID of existing quantization formats across datasets.
+//!
+//! Paper finding: FP16 ≈ FP32; INT8 (coarse scales) degrades; MXINT8
+//! (fine-grained) ≈ FP32; INT4 catastrophic; INT4-VSQ in between.
+
+use crate::error::Result;
+use crate::experiments::util::{cell, uniform};
+use crate::pipeline::{eval_sfid, ExperimentScale, TrainedPair};
+use serde::{Deserialize, Serialize};
+use sqdm_quant::{PrecisionAssignment, QuantFormat};
+
+/// The six format rows of Table I, in paper order.
+pub fn table1_formats(n_blocks: usize) -> Vec<(String, Option<PrecisionAssignment>)> {
+    vec![
+        ("FP32".to_string(), None),
+        (
+            "FP16".to_string(),
+            Some(uniform(n_blocks, QuantFormat::fp16_surrogate())),
+        ),
+        (
+            "INT8".to_string(),
+            Some(uniform(n_blocks, QuantFormat::int8())),
+        ),
+        (
+            "MXINT8".to_string(),
+            Some(uniform(n_blocks, QuantFormat::mxint8())),
+        ),
+        (
+            "INT4".to_string(),
+            Some(uniform(n_blocks, QuantFormat::int4())),
+        ),
+        (
+            "INT4-VSQ".to_string(),
+            Some(uniform(n_blocks, QuantFormat::int4_vsq())),
+        ),
+    ]
+}
+
+/// One cell of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Cell {
+    /// Dataset display name.
+    pub dataset: String,
+    /// Measured sFID.
+    pub sfid: f64,
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Format name.
+    pub format: String,
+    /// Per-dataset scores.
+    pub cells: Vec<Table1Cell>,
+}
+
+/// The complete Table I result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in paper order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs Table I over prepared dataset pairs (SiLU models, as the paper's
+/// baseline formats target the unmodified network).
+///
+/// # Errors
+///
+/// Propagates sampling/metric errors.
+pub fn run(pairs: &mut [TrainedPair], scale: &ExperimentScale) -> Result<Table1> {
+    let formats = table1_formats(scale.block_count());
+    let mut rows = Vec::new();
+    for (name, assignment) in &formats {
+        let mut cells = Vec::new();
+        for pair in pairs.iter_mut() {
+            let sfid = eval_sfid(
+                &mut pair.silu,
+                &pair.denoiser,
+                &pair.dataset,
+                assignment.as_ref(),
+                scale,
+            )?;
+            cells.push(Table1Cell {
+                dataset: pair.dataset.kind.name().to_string(),
+                sfid,
+            });
+        }
+        rows.push(Table1Row {
+            format: name.clone(),
+            cells,
+        });
+    }
+    Ok(Table1 { rows })
+}
+
+impl Table1 {
+    /// sFID of `format` on dataset column `col`.
+    pub fn score(&self, format: &str, col: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.format == format)
+            .and_then(|r| r.cells.get(col))
+            .map(|c| c.sfid)
+    }
+
+    /// Mean sFID of a format across datasets.
+    pub fn mean_score(&self, format: &str) -> Option<f64> {
+        let row = self.rows.iter().find(|r| r.format == format)?;
+        if row.cells.is_empty() {
+            return None;
+        }
+        Some(row.cells.iter().map(|c| c.sfid).sum::<f64>() / row.cells.len() as f64)
+    }
+
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Table I: sFID comparison of existing quantization formats\n",
+        );
+        if let Some(first) = self.rows.first() {
+            s.push_str(&format!("{:<10}", "Format"));
+            for c in &first.cells {
+                s.push_str(&format!("{:>15}", c.dataset));
+            }
+            s.push('\n');
+        }
+        for r in &self.rows {
+            s.push_str(&format!("{:<10}", r.format));
+            for c in &r.cells {
+                s.push_str(&format!("{:>15}", cell(c.sfid)));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::sample_divergence;
+    use crate::pipeline::testutil::shared_pair;
+
+    #[test]
+    fn table1_runs_and_scores_are_finite() {
+        let scale = ExperimentScale::quick();
+        let mut pairs = vec![shared_pair()];
+        let t = run(&mut pairs, &scale).unwrap();
+        assert_eq!(t.rows.len(), 6);
+        for r in &t.rows {
+            for c in &r.cells {
+                assert!(c.sfid.is_finite() && c.sfid >= 0.0, "{r:?}");
+            }
+        }
+        // FP16 tracks FP32 closely even on the noisy small-sample metric.
+        let fp32 = t.score("FP32", 0).unwrap();
+        let fp16 = t.score("FP16", 0).unwrap();
+        assert!(
+            (fp16 - fp32).abs() < 0.35 * fp32.max(1.0),
+            "fp32 {fp32} fp16 {fp16}"
+        );
+        let rendered = t.render();
+        assert!(rendered.contains("INT4-VSQ"));
+        assert!(rendered.contains("CIFAR-10(syn)"));
+    }
+
+    #[test]
+    fn format_damage_orderings_match_paper() {
+        // The deterministic trajectory-divergence companion to Table I:
+        // identical noise seeds, so format error is the only difference.
+        let scale = ExperimentScale::quick();
+        let mut pair = shared_pair();
+        let formats = table1_formats(scale.block_count());
+        let mut div = std::collections::BTreeMap::new();
+        for (name, a) in &formats {
+            let d =
+                sample_divergence(&mut pair.silu, &pair.denoiser, a.as_ref(), &scale).unwrap();
+            div.insert(name.clone(), d);
+        }
+        // FP16 is indistinguishable from FP32.
+        assert!(div["FP16"] < 1e-4, "{div:?}");
+        // Fine-grained 8-bit beats coarse 8-bit.
+        assert!(div["MXINT8"] < div["INT8"], "{div:?}");
+        // 8-bit beats 4-bit; VSQ rescues part of the 4-bit damage.
+        assert!(div["INT8"] < div["INT4"], "{div:?}");
+        assert!(div["INT4-VSQ"] < div["INT4"], "{div:?}");
+        assert!(div["MXINT8"] < div["INT4-VSQ"], "{div:?}");
+    }
+}

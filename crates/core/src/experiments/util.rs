@@ -1,0 +1,53 @@
+//! Shared helpers for the experiment implementations.
+
+use sqdm_accel::LayerQuant;
+use sqdm_quant::{BlockPrecision, PrecisionAssignment, QuantFormat};
+
+/// Uniform assignment across all model blocks.
+pub fn uniform(n_blocks: usize, fmt: QuantFormat) -> PrecisionAssignment {
+    PrecisionAssignment::uniform(n_blocks, BlockPrecision::uniform(fmt), fmt.name)
+}
+
+/// Derives the accelerator-side numeric configuration of one block from a
+/// precision assignment.
+pub fn layer_quant_for(assignment: Option<&PrecisionAssignment>, block: usize) -> LayerQuant {
+    match assignment {
+        None => LayerQuant::fp16(),
+        Some(a) => {
+            let p = a.block(block);
+            let wb = p.weights.map(|f| f.grid.bits as u32).unwrap_or(16);
+            let ab = p.activations.map(|f| f.grid.bits as u32).unwrap_or(16);
+            LayerQuant::from_bits(wb, ab)
+        }
+    }
+}
+
+/// Renders a right-aligned numeric cell.
+pub fn cell(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:>9.1}")
+    } else {
+        format!("{v:>9.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_accel::MacPrecision;
+
+    #[test]
+    fn layer_quant_derivation() {
+        let a = uniform(4, QuantFormat::ours_int4());
+        assert_eq!(layer_quant_for(Some(&a), 2).mac, MacPrecision::Int4);
+        assert_eq!(layer_quant_for(None, 0).mac, MacPrecision::Fp16);
+        let a8 = uniform(4, QuantFormat::mxint8());
+        assert_eq!(layer_quant_for(Some(&a8), 0).weight_bits, 8);
+    }
+
+    #[test]
+    fn cell_widths() {
+        assert_eq!(cell(1.5).len(), 9);
+        assert_eq!(cell(123.456).len(), 9);
+    }
+}

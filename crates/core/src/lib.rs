@@ -1,0 +1,31 @@
+//! # sqdm-core
+//!
+//! The end-to-end SQ-DM pipeline: trains EDM models on the synthetic
+//! datasets, applies the paper's quantization and SiLU→ReLU procedures,
+//! records temporal sparsity traces, lowers the U-Net onto the
+//! accelerator simulator, and packages every table and figure of the
+//! paper as a runnable experiment (see [`experiments`]).
+//!
+//! # Examples
+//!
+//! Reproduce the Figure 6 level-utilization comparison (cheap, no
+//! training):
+//!
+//! ```
+//! let fig6 = sqdm_core::experiments::fig6::run();
+//! assert_eq!(fig6.relu_uint4.used_levels, 16);
+//! println!("{}", fig6.render());
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod experiments;
+mod pipeline;
+
+pub use error::{CoreError, Result};
+pub use pipeline::{
+    conv_sites, eval_sfid, prepare, record_traces, sample_divergence, workloads_at_step,
+    ConvSite, ExperimentScale,
+    LayerKey, TrainedPair,
+};

@@ -1,0 +1,463 @@
+//! The end-to-end SQ-DM pipeline: train models, evaluate quantized
+//! generation quality, record temporal sparsity traces, and lower the
+//! U-Net into accelerator workloads.
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use sqdm_accel::ConvWorkload;
+use sqdm_edm::{
+    block_ids, Dataset, DatasetKind, Denoiser, EdmSchedule, FeatureExtractor, RunConfig,
+    SamplerConfig, TrainConfig, UNet, UNetConfig,
+};
+use sqdm_quant::PrecisionAssignment;
+use sqdm_sparsity::TemporalTrace;
+use sqdm_tensor::{Rng, Tensor};
+use std::collections::BTreeMap;
+
+/// Experiment scale: model size, training budget, sampling and evaluation
+/// effort. `quick()` keeps unit tests fast; `paper()` is what the report
+/// binaries run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// U-Net configuration.
+    pub model: UNetConfig,
+    /// Pre-training budget.
+    pub train: TrainConfig,
+    /// SiLU→ReLU finetuning budget.
+    pub finetune: TrainConfig,
+    /// Sampler settings for evaluation.
+    pub sampler: SamplerConfig,
+    /// Samples per sFID evaluation.
+    pub eval_samples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Small scale for unit tests: a 16×16 single-channel model large
+    /// enough that accelerator overheads do not dominate layer cycles,
+    /// with a short training budget.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            model: UNetConfig {
+                in_channels: 1,
+                base_channels: 12,
+                emb_dim: 16,
+                image_size: 16,
+                groups: 4,
+            },
+            train: TrainConfig {
+                steps: 40,
+                batch: 4,
+                lr: 3e-3,
+            },
+            finetune: TrainConfig {
+                steps: 20,
+                batch: 4,
+                lr: 2e-3,
+            },
+            sampler: SamplerConfig { steps: 6 },
+            eval_samples: 64,
+            seed: 17,
+        }
+    }
+
+    /// The scale used by the `repro_*` report binaries.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            model: UNetConfig::default(),
+            train: TrainConfig {
+                steps: 300,
+                batch: 8,
+                lr: 2e-3,
+            },
+            finetune: TrainConfig {
+                steps: 100,
+                batch: 8,
+                lr: 1e-3,
+            },
+            sampler: SamplerConfig { steps: 10 },
+            eval_samples: 128,
+            seed: 1_000_003,
+        }
+    }
+
+    /// Total precision-assignment slots the model needs.
+    pub fn block_count(&self) -> usize {
+        block_ids::COUNT
+    }
+}
+
+/// A dataset's trained models: the original SiLU network and its
+/// ReLU-finetuned counterpart (§III-B).
+#[derive(Debug, Clone)]
+pub struct TrainedPair {
+    /// The SiLU-based pre-trained model.
+    pub silu: UNet,
+    /// The ReLU-converted and finetuned model.
+    pub relu: UNet,
+    /// The dataset both were trained on.
+    pub dataset: Dataset,
+    /// The shared denoiser (schedule).
+    pub denoiser: Denoiser,
+    /// The scale the pair was trained at.
+    pub scale: ExperimentScale,
+}
+
+/// Trains the SiLU model and derives the ReLU model for a dataset.
+///
+/// # Errors
+///
+/// Propagates model construction and training errors.
+pub fn prepare(kind: DatasetKind, scale: ExperimentScale) -> Result<TrainedPair> {
+    let mut rng = Rng::seed_from(scale.seed ^ (kind as u64).wrapping_mul(0x9E37));
+    let dataset = Dataset::new(kind, scale.model.in_channels, scale.model.image_size);
+    let denoiser = Denoiser::new(EdmSchedule::default());
+    let mut silu = UNet::new(scale.model, &mut rng)?;
+    sqdm_edm::train(&mut silu, &denoiser, &dataset, scale.train, &mut rng)?;
+    let mut relu = silu.clone();
+    sqdm_edm::finetune_relu(&mut relu, &denoiser, &dataset, scale.finetune, &mut rng)?;
+    Ok(TrainedPair {
+        silu,
+        relu,
+        dataset,
+        denoiser,
+        scale,
+    })
+}
+
+/// Generates samples under an optional precision assignment and scores
+/// them against real dataset draws with the standard feature extractor.
+///
+/// # Errors
+///
+/// Propagates sampling and metric errors.
+pub fn eval_sfid(
+    net: &mut UNet,
+    denoiser: &Denoiser,
+    dataset: &Dataset,
+    assignment: Option<&PrecisionAssignment>,
+    scale: &ExperimentScale,
+) -> Result<f64> {
+    let mut rng = Rng::seed_from(scale.seed ^ 0xEBA1);
+    let generated = sqdm_edm::sample(
+        net,
+        denoiser,
+        scale.eval_samples,
+        scale.sampler,
+        assignment,
+        &mut rng,
+    )?;
+    let real = dataset.batch(scale.eval_samples, &mut rng);
+    let extractor = FeatureExtractor::standard(dataset.channels);
+    Ok(sqdm_edm::sfid(&extractor, &real, &generated)?)
+}
+
+/// Mean-squared divergence between samples generated under `assignment`
+/// and full-precision samples from the *same* noise seeds.
+///
+/// A deterministic, high-sensitivity companion to [`eval_sfid`]: sFID needs
+/// many samples to separate formats near the metric's noise floor, while
+/// trajectory divergence exposes quantization error directly and preserves
+/// the Table I ordering at any scale.
+///
+/// # Errors
+///
+/// Propagates sampling errors.
+pub fn sample_divergence(
+    net: &mut UNet,
+    denoiser: &Denoiser,
+    assignment: Option<&PrecisionAssignment>,
+    scale: &ExperimentScale,
+) -> Result<f64> {
+    let batch = 8usize.min(scale.eval_samples.max(1));
+    let mut r1 = Rng::seed_from(scale.seed ^ 0xD1FF);
+    let reference = sqdm_edm::sample(net, denoiser, batch, scale.sampler, None, &mut r1)?;
+    let mut r2 = Rng::seed_from(scale.seed ^ 0xD1FF);
+    let quantized = sqdm_edm::sample(net, denoiser, batch, scale.sampler, assignment, &mut r2)?;
+    Ok(reference.mse(&quantized).map_err(sqdm_edm::EdmError::from)? as f64)
+}
+
+/// Identifier of one activation site: `(block index, stage)`.
+pub type LayerKey = (usize, usize);
+
+/// Temporal sparsity traces for every observed activation site, recorded
+/// over a full sampling trajectory (one column per time step, first model
+/// evaluation of each Heun step).
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn record_traces(
+    net: &mut UNet,
+    denoiser: &Denoiser,
+    scale: &ExperimentScale,
+    assignment: Option<&PrecisionAssignment>,
+) -> Result<BTreeMap<LayerKey, TemporalTrace>> {
+    let mut rng = Rng::seed_from(scale.seed ^ 0x7ACE);
+    let cfg = *net.config();
+    let batch = 4usize.min(scale.eval_samples.max(1));
+    let grid = denoiser.schedule.sigma_steps(scale.sampler.steps);
+    let mut x = Tensor::randn(
+        [batch, cfg.in_channels, cfg.image_size, cfg.image_size],
+        &mut rng,
+    )
+    .scale(grid[0]);
+
+    let mut traces: BTreeMap<LayerKey, TemporalTrace> = BTreeMap::new();
+
+    for i in 0..scale.sampler.steps {
+        let (sig, sig_next) = (grid[i], grid[i + 1]);
+        let sigmas = vec![sig; batch];
+        // First (observed) model evaluation of the step.
+        let mut step_sparsity: BTreeMap<LayerKey, Vec<f64>> = BTreeMap::new();
+        let d0 = {
+            let mut obs = |ev: sqdm_edm::ActEvent<'_>| {
+                step_sparsity.insert(
+                    (ev.block_index, ev.stage),
+                    sqdm_sparsity::channel_sparsity(ev.tensor),
+                );
+            };
+            let mut rc = RunConfig {
+                train: false,
+                assignment,
+                observer: Some(&mut obs),
+            };
+            denoiser.denoise(net, &x, &sigmas, &mut rc)?
+        };
+        for (key, sp) in step_sparsity {
+            traces
+                .entry(key)
+                .or_insert_with(|| TemporalTrace::new(sp.len()))
+                .push_step(sp);
+        }
+
+        // Advance x exactly as the Heun sampler does.
+        let slope = x.sub(&d0)?.scale(1.0 / sig);
+        let mut x_next = x.clone();
+        x_next.add_scaled(&slope, sig_next - sig)?;
+        if sig_next > 0.0 {
+            let sigmas_next = vec![sig_next; batch];
+            let d1 = denoiser.denoise(net, &x_next, &sigmas_next, &mut RunConfig::infer())?;
+            let slope2 = x_next.sub(&d1)?.scale(1.0 / sig_next);
+            let mut avg = slope.clone();
+            avg.add_scaled(&slope2, 1.0)?;
+            x_next = x.clone();
+            x_next.add_scaled(&avg, 0.5 * (sig_next - sig))?;
+        }
+        x = x_next;
+    }
+    Ok(traces)
+}
+
+/// Description of one convolution the accelerator executes, tied to the
+/// activation site that feeds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvSite {
+    /// Block index (see [`block_ids`]).
+    pub block: usize,
+    /// Stage within the block whose post-activation tensor feeds this conv.
+    pub stage: usize,
+    /// Output channels.
+    pub k: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Kernel extent.
+    pub kernel: usize,
+    /// Output spatial extent.
+    pub spatial: usize,
+}
+
+/// Enumerates the convolution sites of the U-Net that consume observed
+/// (post-activation) tensors, in execution order.
+pub fn conv_sites(cfg: &UNetConfig) -> Vec<ConvSite> {
+    let c = cfg.base_channels;
+    let c2 = 2 * c;
+    let s = cfg.image_size;
+    let s2 = s / 2;
+    let mut v = Vec::new();
+    let mut push_block = |idx: usize, cin: usize, cout: usize, sp: usize| {
+        v.push(ConvSite {
+            block: idx,
+            stage: 0,
+            k: cout,
+            c: cin,
+            kernel: 3,
+            spatial: sp,
+        });
+        v.push(ConvSite {
+            block: idx,
+            stage: 1,
+            k: cout,
+            c: cout,
+            kernel: 3,
+            spatial: sp,
+        });
+    };
+    push_block(block_ids::ENC_HI[0], c, c, s);
+    push_block(block_ids::ENC_HI[1], c, c, s);
+    push_block(block_ids::ENC_LO[0], c, c2, s2);
+    push_block(block_ids::ENC_LO[1], c2, c2, s2);
+    push_block(block_ids::MID_CONV, c2, c2, s2);
+    push_block(block_ids::DEC_LO, c2, c2, s2);
+    push_block(block_ids::DEC_HI[0], c, c, s);
+    push_block(block_ids::DEC_HI[1], c, c, s);
+    // Output conv consumes the (block 11, stage 0) activation.
+    v.push(ConvSite {
+        block: block_ids::OUT_CONV,
+        stage: 0,
+        k: cfg.in_channels,
+        c,
+        kernel: 3,
+        spatial: s,
+    });
+    v
+}
+
+/// Builds the accelerator workload of one time step: one [`ConvWorkload`]
+/// per conv site with the per-channel sparsities recorded at `step`.
+///
+/// Sites without a trace (possible if the model config changed) fall back
+/// to dense.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Inconsistent`] if a trace exists but its channel
+/// count does not match the site.
+pub fn workloads_at_step(
+    sites: &[ConvSite],
+    traces: &BTreeMap<LayerKey, TemporalTrace>,
+    step: usize,
+) -> Result<Vec<ConvWorkload>> {
+    sites
+        .iter()
+        .map(|site| {
+            let sparsity = match traces.get(&(site.block, site.stage)) {
+                Some(tr) if step < tr.steps() => {
+                    // stage-0 traces can have fewer channels than the conv
+                    // consumes only on mismatch; validate.
+                    if tr.channels() != site.c {
+                        return Err(CoreError::Inconsistent {
+                            reason: format!(
+                                "trace ({},{}) has {} channels, conv expects {}",
+                                site.block,
+                                site.stage,
+                                tr.channels(),
+                                site.c
+                            ),
+                        });
+                    }
+                    tr.step(step).to_vec()
+                }
+                _ => vec![0.0; site.c],
+            };
+            Ok(ConvWorkload::with_sparsity(
+                site.k,
+                site.c,
+                site.kernel,
+                site.kernel,
+                site.spatial,
+                site.spatial,
+                sparsity,
+            ))
+        })
+        .collect()
+}
+
+/// Test-only support: one shared trained pair per process, so every
+/// experiment test does not pay its own training run.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::sync::OnceLock;
+
+    static PAIR: OnceLock<TrainedPair> = OnceLock::new();
+
+    /// A clone of the process-wide quick-scale trained pair.
+    pub(crate) fn shared_pair() -> TrainedPair {
+        PAIR.get_or_init(|| {
+            prepare(DatasetKind::CifarLike, ExperimentScale::quick())
+                .expect("quick-scale training must succeed")
+        })
+        .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::shared_pair;
+    use super::*;
+    use sqdm_tensor::ops::Activation;
+
+    #[test]
+    fn prepare_trains_both_models() {
+        let pair = shared_pair();
+        assert_eq!(pair.silu.activation(), Activation::Silu);
+        assert_eq!(pair.relu.activation(), Activation::Relu);
+    }
+
+    #[test]
+    fn relu_model_has_higher_activation_sparsity() {
+        // The paper's §III-C: ~10% for SiLU vs ~65% for ReLU. At micro
+        // scale the gap is smaller but must be decisive.
+        let mut pair = shared_pair();
+        let scale = pair.scale;
+        let t_silu = record_traces(&mut pair.silu, &pair.denoiser, &scale, None).unwrap();
+        let t_relu = record_traces(&mut pair.relu, &pair.denoiser, &scale, None).unwrap();
+        let avg = |ts: &BTreeMap<LayerKey, TemporalTrace>| {
+            let v: Vec<f64> = ts.values().map(|t| t.mean_sparsity()).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let s_silu = avg(&t_silu);
+        let s_relu = avg(&t_relu);
+        assert!(
+            s_relu > s_silu + 0.2,
+            "relu {s_relu} should far exceed silu {s_silu}"
+        );
+        assert!(s_relu > 0.3, "relu sparsity {s_relu}");
+    }
+
+    #[test]
+    fn traces_cover_all_steps() {
+        let mut pair = shared_pair();
+        let scale = pair.scale;
+        let traces = record_traces(&mut pair.relu, &pair.denoiser, &scale, None).unwrap();
+        assert!(!traces.is_empty());
+        for tr in traces.values() {
+            assert_eq!(tr.steps(), scale.sampler.steps);
+        }
+    }
+
+    #[test]
+    fn conv_sites_match_traces() {
+        let mut pair = shared_pair();
+        let scale = pair.scale;
+        let traces = record_traces(&mut pair.relu, &pair.denoiser, &scale, None).unwrap();
+        let sites = conv_sites(&scale.model);
+        let ws = workloads_at_step(&sites, &traces, 0).unwrap();
+        assert_eq!(ws.len(), sites.len());
+        // ReLU model: a majority of conv inputs show nonzero sparsity.
+        let sparse_sites = ws.iter().filter(|w| w.mean_sparsity() > 0.05).count();
+        assert!(
+            sparse_sites * 2 > ws.len(),
+            "{sparse_sites}/{} sites sparse",
+            ws.len()
+        );
+    }
+
+    #[test]
+    fn sfid_prefers_trained_over_untrained() {
+        let mut pair = shared_pair();
+        let scale = pair.scale;
+        let trained =
+            eval_sfid(&mut pair.silu, &pair.denoiser, &pair.dataset, None, &scale).unwrap();
+        let mut rng = Rng::seed_from(99);
+        let mut fresh = UNet::new(scale.model, &mut rng).unwrap();
+        let untrained =
+            eval_sfid(&mut fresh, &pair.denoiser, &pair.dataset, None, &scale).unwrap();
+        assert!(
+            trained < untrained,
+            "trained {trained} vs untrained {untrained}"
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Synthetic image distributions standing in for the paper's datasets.
+//!
+//! The paper evaluates on CIFAR-10, AFHQv2, FFHQ and ImageNet. Those
+//! datasets (and the pre-trained checkpoints that go with them) are not
+//! available here, so each is replaced by a *procedural* distribution with a
+//! loosely analogous structure: smooth multi-modal images with spatial
+//! correlations, so that a small EDM can actually learn them and
+//! quantization error shows up as measurable distribution shift. What
+//! matters for the reproduction is not photorealism but that the four
+//! distributions differ in diversity and difficulty, giving four distinct
+//! columns in Tables I/II.
+
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::{Rng, Tensor};
+
+/// The four synthetic stand-in distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Stand-in for CIFAR-10: small colored blob scenes.
+    CifarLike,
+    /// Stand-in for AFHQv2: centered "face" compositions (ellipse + eyes).
+    AfhqLike,
+    /// Stand-in for FFHQ: vertically symmetric portrait-like gradients.
+    FfhqLike,
+    /// Stand-in for ImageNet: a high-diversity texture mixture (hardest).
+    ImageNetLike,
+}
+
+impl DatasetKind {
+    /// All four datasets in the paper's column order.
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::CifarLike,
+        DatasetKind::AfhqLike,
+        DatasetKind::FfhqLike,
+        DatasetKind::ImageNetLike,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::CifarLike => "CIFAR-10(syn)",
+            DatasetKind::AfhqLike => "AFHQv2(syn)",
+            DatasetKind::FfhqLike => "FFHQ(syn)",
+            DatasetKind::ImageNetLike => "ImageNet(syn)",
+        }
+    }
+}
+
+/// A synthetic dataset: a deterministic sampler over procedural images.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Which distribution to draw from.
+    pub kind: DatasetKind,
+    /// Image channels.
+    pub channels: usize,
+    /// Square image extent.
+    pub size: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset sampler.
+    pub fn new(kind: DatasetKind, channels: usize, size: usize) -> Self {
+        Dataset {
+            kind,
+            channels,
+            size,
+        }
+    }
+
+    /// Draws one image `[C, S, S]` with values in `[-1, 1]`.
+    pub fn sample(&self, rng: &mut Rng) -> Tensor {
+        let (c, s) = (self.channels, self.size);
+        let mut img = vec![0.0f32; c * s * s];
+        match self.kind {
+            DatasetKind::CifarLike => self.blobs(&mut img, rng),
+            DatasetKind::AfhqLike => self.face(&mut img, rng),
+            DatasetKind::FfhqLike => self.portrait(&mut img, rng),
+            DatasetKind::ImageNetLike => self.texture_mixture(&mut img, rng),
+        }
+        for v in &mut img {
+            *v = v.clamp(-1.0, 1.0);
+        }
+        Tensor::from_vec(img, [c, s, s]).expect("buffer sized to shape")
+    }
+
+    /// Draws a batch `[N, C, S, S]`.
+    pub fn batch(&self, n: usize, rng: &mut Rng) -> Tensor {
+        let (c, s) = (self.channels, self.size);
+        let mut out = Tensor::zeros([n, c, s, s]);
+        let stride = c * s * s;
+        for i in 0..n {
+            let img = self.sample(rng);
+            out.as_mut_slice()[i * stride..(i + 1) * stride].copy_from_slice(img.as_slice());
+        }
+        out
+    }
+
+    fn set(&self, img: &mut [f32], ch: usize, y: usize, x: usize, v: f32) {
+        let s = self.size;
+        img[ch * s * s + y * s + x] = v;
+    }
+
+    fn add(&self, img: &mut [f32], ch: usize, y: usize, x: usize, v: f32) {
+        let s = self.size;
+        img[ch * s * s + y * s + x] += v;
+    }
+
+    /// Gradient background + 2–3 colored Gaussian blobs.
+    fn blobs(&self, img: &mut [f32], rng: &mut Rng) {
+        let (c, s) = (self.channels, self.size);
+        let gdir = rng.uniform_in(-1.0, 1.0);
+        let gbase: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.5, 0.2)).collect();
+        for ch in 0..c {
+            for y in 0..s {
+                for x in 0..s {
+                    let t = (x as f32 + gdir * y as f32) / s as f32;
+                    self.set(img, ch, y, x, gbase[ch] + 0.3 * t);
+                }
+            }
+        }
+        let nblobs = 2 + rng.index(2);
+        for _ in 0..nblobs {
+            let (cy, cx) = (rng.uniform_in(0.2, 0.8), rng.uniform_in(0.2, 0.8));
+            let r = rng.uniform_in(0.1, 0.25);
+            let color: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.9, 0.9)).collect();
+            for ch in 0..c {
+                for y in 0..s {
+                    for x in 0..s {
+                        let dy = y as f32 / s as f32 - cy;
+                        let dx = x as f32 / s as f32 - cx;
+                        let d2 = (dy * dy + dx * dx) / (r * r);
+                        self.add(img, ch, y, x, color[ch] * (-d2).exp());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Centered ellipse "head" with two darker "eyes".
+    fn face(&self, img: &mut [f32], rng: &mut Rng) {
+        let (c, s) = (self.channels, self.size);
+        let bg: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.8, -0.2)).collect();
+        let fur: Vec<f32> = (0..c).map(|_| rng.uniform_in(0.0, 0.8)).collect();
+        let (ry, rx) = (rng.uniform_in(0.3, 0.42), rng.uniform_in(0.25, 0.4));
+        let eye_y = rng.uniform_in(0.38, 0.48);
+        let eye_dx = rng.uniform_in(0.12, 0.2);
+        for ch in 0..c {
+            for y in 0..s {
+                for x in 0..s {
+                    let fy = y as f32 / s as f32 - 0.5;
+                    let fx = x as f32 / s as f32 - 0.5;
+                    let inside = (fy / ry).powi(2) + (fx / rx).powi(2);
+                    let mut v = if inside < 1.0 { fur[ch] } else { bg[ch] };
+                    // Eyes: two dark dots.
+                    for side in [-1.0f32, 1.0] {
+                        let dy = y as f32 / s as f32 - eye_y;
+                        let dx = x as f32 / s as f32 - (0.5 + side * eye_dx);
+                        if dy * dy + dx * dx < 0.003 {
+                            v = -0.9;
+                        }
+                    }
+                    self.set(img, ch, y, x, v);
+                }
+            }
+        }
+    }
+
+    /// Vertically symmetric smooth portrait-like composition.
+    fn portrait(&self, img: &mut [f32], rng: &mut Rng) {
+        let (c, s) = (self.channels, self.size);
+        let tone: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.2, 0.6)).collect();
+        let hair: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.9, -0.3)).collect();
+        let hairline = rng.uniform_in(0.15, 0.35);
+        let chin = rng.uniform_in(0.7, 0.9);
+        let width = rng.uniform_in(0.25, 0.4);
+        for ch in 0..c {
+            for y in 0..s {
+                for x in 0..s {
+                    let fy = y as f32 / s as f32;
+                    // Pixel-center coordinates so even sizes mirror exactly.
+                    let fx = ((x as f32 + 0.5) / s as f32 - 0.5).abs();
+                    let v = if fy < hairline || fx > width + 0.05 * (fy - 0.5).abs() {
+                        hair[ch]
+                    } else if fy < chin {
+                        tone[ch] + 0.15 * (1.0 - fy)
+                    } else {
+                        hair[ch] * 0.5
+                    };
+                    self.set(img, ch, y, x, v);
+                }
+            }
+        }
+    }
+
+    /// High-diversity mixture of texture families.
+    fn texture_mixture(&self, img: &mut [f32], rng: &mut Rng) {
+        let mode = rng.index(4);
+        match mode {
+            0 => self.blobs(img, rng),
+            1 => {
+                // Checkerboard with random period and phase.
+                let (c, s) = (self.channels, self.size);
+                let period = 2 + rng.index(4);
+                let phase = rng.index(period);
+                let hi: Vec<f32> = (0..c).map(|_| rng.uniform_in(0.2, 0.9)).collect();
+                let lo: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.9, -0.2)).collect();
+                for ch in 0..c {
+                    for y in 0..s {
+                        for x in 0..s {
+                            let on = ((x + phase) / period + y / period) % 2 == 0;
+                            self.set(img, ch, y, x, if on { hi[ch] } else { lo[ch] });
+                        }
+                    }
+                }
+            }
+            2 => {
+                // Sinusoidal plaid.
+                let (c, s) = (self.channels, self.size);
+                let (fx, fy) = (rng.uniform_in(0.5, 3.0), rng.uniform_in(0.5, 3.0));
+                let ph = rng.uniform_in(0.0, std::f32::consts::TAU);
+                for ch in 0..c {
+                    let amp = rng.uniform_in(0.4, 0.9);
+                    for y in 0..s {
+                        for x in 0..s {
+                            let v = amp
+                                * ((fx * std::f32::consts::TAU * x as f32 / s as f32 + ph).sin()
+                                    * (fy * std::f32::consts::TAU * y as f32 / s as f32).cos());
+                            self.set(img, ch, y, x, v);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Diagonal stripes.
+                let (c, s) = (self.channels, self.size);
+                let period = 2 + rng.index(5);
+                let hi: Vec<f32> = (0..c).map(|_| rng.uniform_in(0.1, 0.9)).collect();
+                let lo: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.9, -0.1)).collect();
+                for ch in 0..c {
+                    for y in 0..s {
+                        for x in 0..s {
+                            let on = ((x + y) / period) % 2 == 0;
+                            self.set(img, ch, y, x, if on { hi[ch] } else { lo[ch] });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_tensor::stats::Moments;
+
+    #[test]
+    fn samples_in_range_and_deterministic() {
+        for kind in DatasetKind::ALL {
+            let ds = Dataset::new(kind, 3, 16);
+            let mut r1 = Rng::seed_from(7);
+            let mut r2 = Rng::seed_from(7);
+            let a = ds.sample(&mut r1);
+            let b = ds.sample(&mut r2);
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            assert_eq!(a.dims(), &[3, 16, 16]);
+            assert!(a.max() <= 1.0 && a.min() >= -1.0, "{kind:?} out of range");
+        }
+    }
+
+    #[test]
+    fn batch_shape() {
+        let ds = Dataset::new(DatasetKind::CifarLike, 1, 8);
+        let mut rng = Rng::seed_from(1);
+        let b = ds.batch(5, &mut rng);
+        assert_eq!(b.dims(), &[5, 1, 8, 8]);
+    }
+
+    #[test]
+    fn distributions_are_distinct() {
+        // Mean images across the four datasets should differ measurably.
+        let mut means = Vec::new();
+        for kind in DatasetKind::ALL {
+            let ds = Dataset::new(kind, 1, 8);
+            let mut rng = Rng::seed_from(11);
+            let b = ds.batch(64, &mut rng);
+            means.push(Moments::of(&b).mean);
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    (means[i] - means[j]).abs() > 1e-4,
+                    "datasets {i} and {j} have identical means"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn imagenet_like_is_most_diverse() {
+        // Per-pixel variance across samples should be highest for the
+        // texture mixture (it has four distinct modes).
+        let pixel_var = |kind: DatasetKind| -> f64 {
+            let ds = Dataset::new(kind, 1, 8);
+            let mut rng = Rng::seed_from(13);
+            let b = ds.batch(128, &mut rng);
+            // Variance of pixel (0, 4, 4) across the batch.
+            let vals: Vec<f32> = (0..128)
+                .map(|i| b.get(&[i, 0, 4, 4]).unwrap())
+                .collect();
+            let m = vals.iter().sum::<f32>() as f64 / 128.0;
+            vals.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / 128.0
+        };
+        let vi = pixel_var(DatasetKind::ImageNetLike);
+        let vf = pixel_var(DatasetKind::FfhqLike);
+        assert!(vi > vf, "imagenet {vi} vs ffhq {vf}");
+    }
+
+    #[test]
+    fn ffhq_like_is_symmetric() {
+        let ds = Dataset::new(DatasetKind::FfhqLike, 1, 16);
+        let mut rng = Rng::seed_from(3);
+        let img = ds.sample(&mut rng);
+        for y in 0..16 {
+            for x in 0..8 {
+                let l = img.get(&[0, y, x]).unwrap();
+                let r = img.get(&[0, y, 15 - x]).unwrap();
+                assert_eq!(l, r, "asymmetry at ({y},{x})");
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the EDM crate.
+
+use std::fmt;
+
+/// Error produced by model construction, training, sampling or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdmError {
+    /// Invalid configuration.
+    Config {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// An operation required state that was not present (e.g. backward
+    /// before forward).
+    MissingState {
+        /// What was missing.
+        what: &'static str,
+    },
+    /// An underlying tensor kernel failed.
+    Tensor(sqdm_tensor::TensorError),
+    /// An underlying layer failed.
+    Nn(sqdm_nn::NnError),
+    /// An underlying quantization operation failed.
+    Quant(sqdm_quant::QuantError),
+}
+
+impl fmt::Display for EdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdmError::Config { reason } => write!(f, "configuration error: {reason}"),
+            EdmError::MissingState { what } => write!(f, "missing state: {what}"),
+            EdmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EdmError::Nn(e) => write!(f, "layer error: {e}"),
+            EdmError::Quant(e) => write!(f, "quantization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EdmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdmError::Tensor(e) => Some(e),
+            EdmError::Nn(e) => Some(e),
+            EdmError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sqdm_tensor::TensorError> for EdmError {
+    fn from(e: sqdm_tensor::TensorError) -> Self {
+        EdmError::Tensor(e)
+    }
+}
+
+impl From<sqdm_nn::NnError> for EdmError {
+    fn from(e: sqdm_nn::NnError) -> Self {
+        EdmError::Nn(e)
+    }
+}
+
+impl From<sqdm_quant::QuantError> for EdmError {
+    fn from(e: sqdm_quant::QuantError) -> Self {
+        EdmError::Quant(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, EdmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = EdmError::Config {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        let e: EdmError = sqdm_tensor::TensorError::ReshapeMismatch { from: 1, to: 2 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

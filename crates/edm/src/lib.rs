@@ -1,0 +1,56 @@
+//! # sqdm-edm
+//!
+//! A complete, trainable Elucidated Diffusion Model (EDM, Karras et al.) in
+//! Rust: the preconditioned denoiser, Karras sigma schedule, deterministic
+//! Heun sampler, a U-Net with the paper's four block types (Conv+Act, Skip,
+//! Embedding, Attention), EDM training, the SiLU→ReLU finetuning procedure,
+//! four synthetic stand-in datasets, and the sFID quality metric.
+//!
+//! This crate is the substrate on which all of SQ-DM's model-side
+//! experiments (Tables I/II, Figures 3–7) run.
+//!
+//! # Examples
+//!
+//! Train a tiny model and draw a sample:
+//!
+//! ```
+//! use sqdm_edm::{
+//!     Dataset, DatasetKind, Denoiser, EdmSchedule, SamplerConfig, TrainConfig, UNet,
+//!     UNetConfig,
+//! };
+//! use sqdm_tensor::Rng;
+//! # fn main() -> Result<(), sqdm_edm::EdmError> {
+//! let mut rng = Rng::seed_from(0);
+//! let mut net = UNet::new(UNetConfig::micro(), &mut rng)?;
+//! let den = Denoiser::new(EdmSchedule::default());
+//! let ds = Dataset::new(DatasetKind::CifarLike, 1, 8);
+//! sqdm_edm::train(&mut net, &den, &ds, TrainConfig { steps: 3, batch: 2, lr: 1e-3 }, &mut rng)?;
+//! let imgs = sqdm_edm::sample(&mut net, &den, 1, SamplerConfig { steps: 3 }, None, &mut rng)?;
+//! assert_eq!(imgs.dims(), &[1, 1, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod denoiser;
+mod error;
+mod fid;
+pub mod model;
+mod model_stats;
+mod sampler;
+mod schedule;
+mod train;
+
+pub use dataset::{Dataset, DatasetKind};
+pub use denoiser::Denoiser;
+pub use error::{EdmError, Result};
+pub use fid::{frechet_distance, sfid, FeatureExtractor};
+pub use model::{block_ids, ActEvent, ActObserver, RunConfig, UNet, UNetConfig};
+pub use model_stats::{block_profiles, breakdown_by_kind, KindShare};
+pub use sampler::{
+    sample, sample_stochastic, sample_with_observer, ChurnConfig, SamplerConfig, StepObserver,
+};
+pub use schedule::EdmSchedule;
+pub use train::{finetune_relu, train, train_step, TrainConfig, TrainReport};

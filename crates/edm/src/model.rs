@@ -1,0 +1,933 @@
+//! The EDM U-Net.
+//!
+//! A small but architecturally faithful version of the paper's Figure 2
+//! model: an encoder/decoder convolutional U-Net with the four block types
+//! the paper profiles — **Conv+Act** residual blocks, a **Skip** block that
+//! merges the encoder feature map into the decoder, **Embedding** linear
+//! layers carrying the noise level, and a spatial **Attention** block at the
+//! bottleneck.
+//!
+//! Every block has a stable index so mixed-precision policies
+//! ([`sqdm_quant::PrecisionAssignment`]) and sensitivity sweeps can target
+//! blocks individually, and every forward pass can stream post-activation
+//! tensors to an observer for the sparsity analyses of Figures 5 and 7.
+
+use crate::error::{EdmError, Result};
+use serde::{Deserialize, Serialize};
+use sqdm_nn::layers::{
+    avg_pool2, avg_pool2_backward, upsample_nearest2, upsample_nearest2_backward, ActLayer,
+    Conv2d, GroupNorm, Linear, SelfAttention2d,
+};
+use sqdm_nn::{Param, QuantExecutor};
+use sqdm_quant::{BlockKind, PrecisionAssignment};
+use sqdm_tensor::ops::{Activation, Conv2dGeometry};
+use sqdm_tensor::{Rng, Tensor};
+
+/// Configuration of the U-Net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UNetConfig {
+    /// Image channels (e.g. 3 for RGB-like synthetic data).
+    pub in_channels: usize,
+    /// Base feature channels at full resolution.
+    pub base_channels: usize,
+    /// Noise-embedding width.
+    pub emb_dim: usize,
+    /// Square image extent; must be divisible by 4.
+    pub image_size: usize,
+    /// GroupNorm group count; must divide `base_channels`.
+    pub groups: usize,
+}
+
+impl Default for UNetConfig {
+    fn default() -> Self {
+        UNetConfig {
+            in_channels: 3,
+            base_channels: 12,
+            emb_dim: 24,
+            image_size: 16,
+            groups: 4,
+        }
+    }
+}
+
+impl UNetConfig {
+    /// A micro configuration for fast unit tests.
+    pub fn micro() -> Self {
+        UNetConfig {
+            in_channels: 1,
+            base_channels: 8,
+            emb_dim: 16,
+            image_size: 8,
+            groups: 4,
+        }
+    }
+
+    /// Validates divisibility constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdmError::Config`] when constraints are violated.
+    pub fn validate(&self) -> Result<()> {
+        if self.image_size % 4 != 0 || self.image_size == 0 {
+            return Err(EdmError::Config {
+                reason: format!("image_size {} must be a positive multiple of 4", self.image_size),
+            });
+        }
+        if self.groups == 0 || self.base_channels % self.groups != 0 {
+            return Err(EdmError::Config {
+                reason: format!(
+                    "groups {} must divide base_channels {}",
+                    self.groups, self.base_channels
+                ),
+            });
+        }
+        if self.emb_dim == 0 || self.in_channels == 0 || self.base_channels == 0 {
+            return Err(EdmError::Config {
+                reason: "all extents must be nonzero".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A post-activation tensor observed during a forward pass.
+///
+/// `tensor` is the activation feeding the next convolution — exactly the
+/// data whose sparsity the accelerator exploits.
+#[derive(Debug)]
+pub struct ActEvent<'t> {
+    /// Index of the emitting block.
+    pub block_index: usize,
+    /// Block type.
+    pub kind: BlockKind,
+    /// Stage within the block (0 = after first activation, 1 = after
+    /// second).
+    pub stage: usize,
+    /// The post-activation feature map `[N, C, H, W]`.
+    pub tensor: &'t Tensor,
+}
+
+/// Observer callback for activation events.
+pub type ActObserver<'a> = dyn FnMut(ActEvent<'_>) + 'a;
+
+/// Execution settings for one forward pass.
+pub struct RunConfig<'a> {
+    /// Cache intermediates for a subsequent backward pass.
+    pub train: bool,
+    /// Optional per-block precision (fake quantization). `None` = FP32.
+    pub assignment: Option<&'a PrecisionAssignment>,
+    /// Optional activation observer.
+    pub observer: Option<&'a mut ActObserver<'a>>,
+}
+
+impl RunConfig<'_> {
+    /// Full-precision training pass.
+    pub fn train() -> Self {
+        RunConfig {
+            train: true,
+            assignment: None,
+            observer: None,
+        }
+    }
+
+    /// Full-precision inference pass.
+    pub fn infer() -> Self {
+        RunConfig {
+            train: false,
+            assignment: None,
+            observer: None,
+        }
+    }
+
+    fn exec_for(&self, block: usize) -> QuantExecutor {
+        match self.assignment {
+            None => QuantExecutor::full_precision(),
+            Some(a) => QuantExecutor::new(a.block(block)),
+        }
+    }
+}
+
+/// Adds a per-(sample, channel) bias to a feature map.
+fn add_channel_bias(x: &mut Tensor, bias: &Tensor) -> Result<()> {
+    let (n, c, h, w) = x.shape().as_nchw()?;
+    debug_assert_eq!(bias.dims(), [n, c]);
+    let bv = bias.as_slice();
+    let xv = x.as_mut_slice();
+    for nn in 0..n {
+        for ch in 0..c {
+            let b = bv[nn * c + ch];
+            let start = (nn * c + ch) * h * w;
+            for v in &mut xv[start..start + h * w] {
+                *v += b;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reduces a feature-map gradient to a per-(sample, channel) bias gradient.
+fn reduce_channel_bias(g: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = g.shape().as_nchw()?;
+    let gv = g.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for nn in 0..n {
+        for ch in 0..c {
+            let start = (nn * c + ch) * h * w;
+            out[nn * c + ch] = gv[start..start + h * w].iter().sum();
+        }
+    }
+    Ok(Tensor::from_vec(out, [n, c])?)
+}
+
+/// Concatenates two `[N, C?, H, W]` tensors along the channel axis.
+fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (n, ca, h, w) = a.shape().as_nchw()?;
+    let (nb, cb, hb, wb) = b.shape().as_nchw()?;
+    if n != nb || h != hb || w != wb {
+        return Err(EdmError::Config {
+            reason: format!("concat mismatch: {:?} vs {:?}", a.dims(), b.dims()),
+        });
+    }
+    let mut out = vec![0.0f32; n * (ca + cb) * h * w];
+    let hw = h * w;
+    for nn in 0..n {
+        let dst_base = nn * (ca + cb) * hw;
+        out[dst_base..dst_base + ca * hw]
+            .copy_from_slice(&a.as_slice()[nn * ca * hw..(nn + 1) * ca * hw]);
+        out[dst_base + ca * hw..dst_base + (ca + cb) * hw]
+            .copy_from_slice(&b.as_slice()[nn * cb * hw..(nn + 1) * cb * hw]);
+    }
+    Ok(Tensor::from_vec(out, [n, ca + cb, h, w])?)
+}
+
+/// Splits a channel-concatenated gradient back into its two parts.
+fn split_channels(g: &Tensor, ca: usize) -> Result<(Tensor, Tensor)> {
+    let (n, c, h, w) = g.shape().as_nchw()?;
+    let cb = c - ca;
+    let hw = h * w;
+    let mut ga = vec![0.0f32; n * ca * hw];
+    let mut gb = vec![0.0f32; n * cb * hw];
+    for nn in 0..n {
+        let src = nn * c * hw;
+        ga[nn * ca * hw..(nn + 1) * ca * hw]
+            .copy_from_slice(&g.as_slice()[src..src + ca * hw]);
+        gb[nn * cb * hw..(nn + 1) * cb * hw]
+            .copy_from_slice(&g.as_slice()[src + ca * hw..src + c * hw]);
+    }
+    Ok((
+        Tensor::from_vec(ga, [n, ca, h, w])?,
+        Tensor::from_vec(gb, [n, cb, h, w])?,
+    ))
+}
+
+/// A residual Conv+Act block: `y = conv2(act(gn2(conv1(act(gn1(x))) + emb)))
+/// + skip(x)`, the paper's dominant block type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvBlock {
+    index: usize,
+    gn1: GroupNorm,
+    act1: ActLayer,
+    conv1: Conv2d,
+    emb_proj: Linear,
+    gn2: GroupNorm,
+    act2: ActLayer,
+    conv2: Conv2d,
+    skip: Option<Conv2d>,
+    #[serde(skip)]
+    cache: Option<ConvBlockCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvBlockCache {
+    /// Input, for the residual-skip backward.
+    had_skip_input: bool,
+}
+
+impl ConvBlock {
+    fn new(
+        index: usize,
+        in_ch: usize,
+        out_ch: usize,
+        emb_dim: usize,
+        groups: usize,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        let skip = if in_ch != out_ch {
+            Some(Conv2d::new(in_ch, out_ch, 1, Conv2dGeometry::new(1, 0), rng))
+        } else {
+            None
+        };
+        Ok(ConvBlock {
+            index,
+            gn1: GroupNorm::new(in_ch, groups.min(in_ch))?,
+            act1: ActLayer::new(Activation::Silu),
+            conv1: Conv2d::new(in_ch, out_ch, 3, Conv2dGeometry::same(3), rng),
+            emb_proj: Linear::new(emb_dim, out_ch, rng),
+            gn2: GroupNorm::new(out_ch, groups.min(out_ch))?,
+            act2: ActLayer::new(Activation::Silu),
+            conv2: Conv2d::new(out_ch, out_ch, 3, Conv2dGeometry::same(3), rng),
+            skip,
+            cache: None,
+        })
+    }
+
+    /// The block's index in the execution order.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The activation function currently used.
+    pub fn activation(&self) -> Activation {
+        self.act1.kind()
+    }
+
+    /// Replaces both activations (SiLU → ReLU surgery).
+    pub fn set_activation(&mut self, act: Activation) {
+        self.act1.set_kind(act);
+        self.act2.set_kind(act);
+    }
+
+    fn forward(&mut self, x: &Tensor, emb: &Tensor, rc: &mut RunConfig<'_>) -> Result<Tensor> {
+        let exec = rc.exec_for(self.index);
+        let mut h = self.gn1.forward(x, rc.train)?;
+        h = self.act1.forward(&h, rc.train);
+        if let Some(obs) = rc.observer.as_deref_mut() {
+            obs(ActEvent {
+                block_index: self.index,
+                kind: BlockKind::ConvAct,
+                stage: 0,
+                tensor: &h,
+            });
+        }
+        let mut h = if rc.train {
+            self.conv1.forward(&h, true)?
+        } else {
+            exec.conv_forward(&self.conv1, &h)?
+        };
+        let bias = if rc.train {
+            self.emb_proj.forward(emb, true)?
+        } else {
+            // The embedding vector is signed even in unsigned-activation
+            // (post-ReLU) blocks.
+            exec.signed_activations().linear_forward(&self.emb_proj, emb)?
+        };
+        add_channel_bias(&mut h, &bias)?;
+        let mut h2 = self.gn2.forward(&h, rc.train)?;
+        h2 = self.act2.forward(&h2, rc.train);
+        if let Some(obs) = rc.observer.as_deref_mut() {
+            obs(ActEvent {
+                block_index: self.index,
+                kind: BlockKind::ConvAct,
+                stage: 1,
+                tensor: &h2,
+            });
+        }
+        let h2 = if rc.train {
+            self.conv2.forward(&h2, true)?
+        } else {
+            exec.conv_forward(&self.conv2, &h2)?
+        };
+        let res = match &mut self.skip {
+            Some(sc) => {
+                if rc.train {
+                    sc.forward(x, true)?
+                } else {
+                    // The block input is a signed residual stream, not a
+                    // ReLU output: quantize it with the signed variant.
+                    exec.signed_activations().conv_forward(sc, x)?
+                }
+            }
+            None => x.clone(),
+        };
+        if rc.train {
+            self.cache = Some(ConvBlockCache {
+                had_skip_input: self.skip.is_some(),
+            });
+        }
+        Ok(h2.add(&res)?)
+    }
+
+    /// Backward; returns `(grad_x, grad_emb)`.
+    fn backward(&mut self, grad_y: &Tensor) -> Result<(Tensor, Tensor)> {
+        let cache = self.cache.take().ok_or(EdmError::MissingState {
+            what: "ConvBlock backward without forward",
+        })?;
+        // Residual path.
+        let g_skip = if cache.had_skip_input {
+            self.skip.as_mut().unwrap().backward(grad_y)?
+        } else {
+            grad_y.clone()
+        };
+        // Main path, reversed.
+        let g = self.conv2.backward(grad_y)?;
+        let g = self.act2.backward(&g)?;
+        let g = self.gn2.backward(&g)?;
+        let g_bias = reduce_channel_bias(&g)?;
+        let g_emb = self.emb_proj.backward(&g_bias)?;
+        let g = self.conv1.backward(&g)?;
+        let g = self.act1.backward(&g)?;
+        let g = self.gn1.backward(&g)?;
+        Ok((g.add(&g_skip)?, g_emb))
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = Vec::new();
+        ps.extend(self.gn1.params_mut());
+        ps.extend(self.conv1.params_mut());
+        ps.extend(self.emb_proj.params_mut());
+        ps.extend(self.gn2.params_mut());
+        ps.extend(self.conv2.params_mut());
+        if let Some(sc) = &mut self.skip {
+            ps.extend(sc.params_mut());
+        }
+        ps
+    }
+}
+
+/// Block index constants for the fixed topology below.
+pub mod block_ids {
+    /// Input convolution.
+    pub const IN_CONV: usize = 0;
+    /// Encoder full-resolution blocks.
+    pub const ENC_HI: [usize; 2] = [1, 2];
+    /// Encoder half-resolution blocks.
+    pub const ENC_LO: [usize; 2] = [3, 4];
+    /// Bottleneck attention.
+    pub const MID_ATTN: usize = 5;
+    /// Bottleneck conv block.
+    pub const MID_CONV: usize = 6;
+    /// Decoder half-resolution block.
+    pub const DEC_LO: usize = 7;
+    /// Skip-merge block (concat + 1×1 conv).
+    pub const SKIP_MERGE: usize = 8;
+    /// Decoder full-resolution blocks.
+    pub const DEC_HI: [usize; 2] = [9, 10];
+    /// Output convolution.
+    pub const OUT_CONV: usize = 11;
+    /// Noise-embedding MLP layers.
+    pub const EMB: [usize; 2] = [12, 13];
+    /// Total number of profiled blocks.
+    pub const COUNT: usize = 14;
+}
+
+/// The EDM U-Net denoiser backbone `F(x, c_noise)`.
+///
+/// Topology (image size S, base channels C):
+///
+/// ```text
+/// in_conv(3→C) → enc_hi₀ → enc_hi₁ ──────────────┐ (skip)
+///   ↓ avgpool                                     │
+/// enc_lo₀(C→2C) → enc_lo₁ → attn → mid → dec_lo   │
+///   ↑ upsample                                    │
+/// skip_merge(concat 2C+C → 1×1 conv → C) ←────────┘
+/// → dec_hi₀ → dec_hi₁ → out_norm/act/conv(C→3)
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UNet {
+    cfg: UNetConfig,
+    /// Fixed Fourier frequencies for the noise embedding, `[emb_dim / 2]`.
+    fourier_freqs: Tensor,
+    emb_lin1: Linear,
+    emb_lin2: Linear,
+    emb_act: ActLayer,
+    in_conv: Conv2d,
+    enc_hi: Vec<ConvBlock>,
+    enc_lo: Vec<ConvBlock>,
+    mid_attn: SelfAttention2d,
+    mid_conv: ConvBlock,
+    dec_lo: ConvBlock,
+    skip_conv: Conv2d,
+    dec_hi: Vec<ConvBlock>,
+    out_gn: GroupNorm,
+    out_act: ActLayer,
+    out_conv: Conv2d,
+    #[serde(skip)]
+    cache: Option<UNetCache>,
+}
+
+#[derive(Debug, Clone)]
+struct UNetCache {
+    skip_channels: usize,
+}
+
+impl UNet {
+    /// Builds a freshly initialized U-Net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdmError::Config`] for invalid configurations.
+    pub fn new(cfg: UNetConfig, rng: &mut Rng) -> Result<Self> {
+        cfg.validate()?;
+        let c = cfg.base_channels;
+        let c2 = 2 * c;
+        let e = cfg.emb_dim;
+        let g = cfg.groups;
+        let freqs = Tensor::randn([e / 2], rng).scale(2.0);
+        Ok(UNet {
+            cfg,
+            fourier_freqs: freqs,
+            emb_lin1: Linear::new(e, e, rng),
+            emb_lin2: Linear::new(e, e, rng),
+            emb_act: ActLayer::new(Activation::Silu),
+            in_conv: Conv2d::new(cfg.in_channels, c, 3, Conv2dGeometry::same(3), rng),
+            enc_hi: vec![
+                ConvBlock::new(block_ids::ENC_HI[0], c, c, e, g, rng)?,
+                ConvBlock::new(block_ids::ENC_HI[1], c, c, e, g, rng)?,
+            ],
+            enc_lo: vec![
+                ConvBlock::new(block_ids::ENC_LO[0], c, c2, e, g, rng)?,
+                ConvBlock::new(block_ids::ENC_LO[1], c2, c2, e, g, rng)?,
+            ],
+            mid_attn: SelfAttention2d::new(c2, rng),
+            mid_conv: ConvBlock::new(block_ids::MID_CONV, c2, c2, e, g, rng)?,
+            dec_lo: ConvBlock::new(block_ids::DEC_LO, c2, c2, e, g, rng)?,
+            skip_conv: Conv2d::new(c2 + c, c, 1, Conv2dGeometry::new(1, 0), rng),
+            dec_hi: vec![
+                ConvBlock::new(block_ids::DEC_HI[0], c, c, e, g, rng)?,
+                ConvBlock::new(block_ids::DEC_HI[1], c, c, e, g, rng)?,
+            ],
+            out_gn: GroupNorm::new(c, g.min(c))?,
+            out_act: ActLayer::new(Activation::Silu),
+            out_conv: Conv2d::new(c, cfg.in_channels, 3, Conv2dGeometry::same(3), rng),
+            cache: None,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &UNetConfig {
+        &self.cfg
+    }
+
+    /// The activation function of the Conv+Act blocks.
+    pub fn activation(&self) -> Activation {
+        self.enc_hi[0].activation()
+    }
+
+    /// Replaces every Conv+Act activation (the §III-B SiLU → ReLU surgery).
+    pub fn set_activation(&mut self, act: Activation) {
+        for b in self.conv_blocks_mut() {
+            b.set_activation(act);
+        }
+        self.out_act.set_kind(act);
+    }
+
+    fn conv_blocks_mut(&mut self) -> Vec<&mut ConvBlock> {
+        let mut v: Vec<&mut ConvBlock> = Vec::new();
+        v.extend(self.enc_hi.iter_mut());
+        v.extend(self.enc_lo.iter_mut());
+        v.push(&mut self.mid_conv);
+        v.push(&mut self.dec_lo);
+        v.extend(self.dec_hi.iter_mut());
+        v
+    }
+
+    /// Noise embedding: fixed Fourier features of `c_noise` through a
+    /// two-layer MLP. `c_noise` has one entry per batch element.
+    fn embed(&mut self, c_noise: &[f32], rc: &mut RunConfig<'_>) -> Result<Tensor> {
+        let n = c_noise.len();
+        let half = self.fourier_freqs.len();
+        let mut feats = vec![0.0f32; n * half * 2];
+        let fv = self.fourier_freqs.as_slice();
+        for (i, &cn) in c_noise.iter().enumerate() {
+            for (j, &f) in fv.iter().enumerate() {
+                let phase = 2.0 * std::f32::consts::PI * f * cn;
+                feats[i * half * 2 + j] = phase.sin();
+                feats[i * half * 2 + half + j] = phase.cos();
+            }
+        }
+        let feats = Tensor::from_vec(feats, [n, half * 2])?;
+        let e1 = rc.exec_for(block_ids::EMB[0]);
+        let h = if rc.train {
+            self.emb_lin1.forward(&feats, true)?
+        } else {
+            e1.linear_forward(&self.emb_lin1, &feats)?
+        };
+        let h = self.emb_act.forward(&h, rc.train);
+        let e2 = rc.exec_for(block_ids::EMB[1]);
+        let out = if rc.train {
+            self.emb_lin2.forward(&h, true)?
+        } else {
+            e2.linear_forward(&self.emb_lin2, &h)?
+        };
+        Ok(out)
+    }
+
+    /// Raw network forward `F(x, c_noise)`.
+    ///
+    /// `x` is `[N, in_channels, S, S]`; `c_noise` has length `N`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (shape mismatches, invalid quantization).
+    pub fn forward(
+        &mut self,
+        x: &Tensor,
+        c_noise: &[f32],
+        rc: &mut RunConfig<'_>,
+    ) -> Result<Tensor> {
+        let (n, _, _, _) = x.shape().as_nchw()?;
+        if c_noise.len() != n {
+            return Err(EdmError::Config {
+                reason: format!("c_noise has {} entries for batch {n}", c_noise.len()),
+            });
+        }
+        let emb = self.embed(c_noise, rc)?;
+
+        // Input conv (block 0).
+        let exec0 = rc.exec_for(block_ids::IN_CONV);
+        let mut h = if rc.train {
+            self.in_conv.forward(x, true)?
+        } else {
+            exec0.conv_forward(&self.in_conv, x)?
+        };
+        // Encoder, full resolution.
+        for b in &mut self.enc_hi {
+            h = b.forward(&h, &emb, rc)?;
+        }
+        let skip = h.clone();
+        // Down.
+        h = avg_pool2(&h)?;
+        for b in &mut self.enc_lo {
+            h = b.forward(&h, &emb, rc)?;
+        }
+        // Bottleneck attention + conv.
+        h = self.mid_attn.forward(&h, rc.train)?;
+        if let Some(obs) = rc.observer.as_deref_mut() {
+            obs(ActEvent {
+                block_index: block_ids::MID_ATTN,
+                kind: BlockKind::Attention,
+                stage: 0,
+                tensor: &h,
+            });
+        }
+        h = self.mid_conv.forward(&h, &emb, rc)?;
+        h = self.dec_lo.forward(&h, &emb, rc)?;
+        // Up + skip merge (block 8).
+        h = upsample_nearest2(&h)?;
+        let merged = concat_channels(&h, &skip)?;
+        let exec8 = rc.exec_for(block_ids::SKIP_MERGE);
+        h = if rc.train {
+            self.skip_conv.forward(&merged, true)?
+        } else {
+            exec8.conv_forward(&self.skip_conv, &merged)?
+        };
+        if let Some(obs) = rc.observer.as_deref_mut() {
+            obs(ActEvent {
+                block_index: block_ids::SKIP_MERGE,
+                kind: BlockKind::Skip,
+                stage: 0,
+                tensor: &h,
+            });
+        }
+        // Decoder, full resolution.
+        for b in &mut self.dec_hi {
+            h = b.forward(&h, &emb, rc)?;
+        }
+        // Output head (block 11).
+        let mut o = self.out_gn.forward(&h, rc.train)?;
+        o = self.out_act.forward(&o, rc.train);
+        if let Some(obs) = rc.observer.as_deref_mut() {
+            obs(ActEvent {
+                block_index: block_ids::OUT_CONV,
+                kind: BlockKind::ConvAct,
+                stage: 0,
+                tensor: &o,
+            });
+        }
+        let exec11 = rc.exec_for(block_ids::OUT_CONV);
+        let y = if rc.train {
+            self.out_conv.forward(&o, true)?
+        } else {
+            exec11.conv_forward(&self.out_conv, &o)?
+        };
+        if rc.train {
+            self.cache = Some(UNetCache {
+                skip_channels: 2 * self.cfg.base_channels,
+            });
+        }
+        Ok(y)
+    }
+
+    /// Backward pass through the whole network, accumulating parameter
+    /// gradients. Returns the gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdmError::MissingState`] without a preceding training
+    /// forward.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or(EdmError::MissingState {
+            what: "UNet backward without training forward",
+        })?;
+        let mut g_emb_total: Option<Tensor> = None;
+        let add_emb = |acc: &mut Option<Tensor>, g: Tensor| -> Result<()> {
+            match acc {
+                None => *acc = Some(g),
+                Some(a) => a.add_scaled(&g, 1.0)?,
+            }
+            Ok(())
+        };
+
+        // Output head.
+        let g = self.out_conv.backward(grad_out)?;
+        let g = self.out_act.backward(&g)?;
+        let mut g = self.out_gn.backward(&g)?;
+        // Decoder full-res blocks.
+        for b in self.dec_hi.iter_mut().rev() {
+            let (gx, ge) = b.backward(&g)?;
+            g = gx;
+            add_emb(&mut g_emb_total, ge)?;
+        }
+        // Skip merge.
+        let g_merged = self.skip_conv.backward(&g)?;
+        let (g_up, mut g_skip) = split_channels(&g_merged, cache.skip_channels)?;
+        let mut g = upsample_nearest2_backward(&g_up)?;
+        // Bottleneck.
+        let (gx, ge) = self.dec_lo.backward(&g)?;
+        g = gx;
+        add_emb(&mut g_emb_total, ge)?;
+        let (gx, ge) = self.mid_conv.backward(&g)?;
+        g = gx;
+        add_emb(&mut g_emb_total, ge)?;
+        g = self.mid_attn.backward(&g)?;
+        // Encoder low-res.
+        for b in self.enc_lo.iter_mut().rev() {
+            let (gx, ge) = b.backward(&g)?;
+            g = gx;
+            add_emb(&mut g_emb_total, ge)?;
+        }
+        // Down: gradient joins the skip branch at full resolution.
+        let g_full = avg_pool2_backward(&g)?;
+        g_skip.add_scaled(&g_full, 1.0)?;
+        let mut g = g_skip;
+        for b in self.enc_hi.iter_mut().rev() {
+            let (gx, ge) = b.backward(&g)?;
+            g = gx;
+            add_emb(&mut g_emb_total, ge)?;
+        }
+        let g_in = self.in_conv.backward(&g)?;
+
+        // Embedding MLP.
+        if let Some(ge) = g_emb_total {
+            let g = self.emb_lin2.backward(&ge)?;
+            let g = self.emb_act.backward(&g)?;
+            let _ = self.emb_lin1.backward(&g)?;
+        }
+        Ok(g_in)
+    }
+
+    /// All trainable parameters, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps: Vec<&mut Param> = Vec::new();
+        ps.extend(self.emb_lin1.params_mut());
+        ps.extend(self.emb_lin2.params_mut());
+        ps.extend(self.in_conv.params_mut());
+        for b in &mut self.enc_hi {
+            ps.extend(b.params_mut());
+        }
+        for b in &mut self.enc_lo {
+            ps.extend(b.params_mut());
+        }
+        ps.extend(self.mid_attn.params_mut());
+        ps.extend(self.mid_conv.params_mut());
+        ps.extend(self.dec_lo.params_mut());
+        ps.extend(self.skip_conv.params_mut());
+        for b in &mut self.dec_hi {
+            ps.extend(b.params_mut());
+        }
+        ps.extend(self.out_gn.params_mut());
+        ps.extend(self.out_conv.params_mut());
+        ps
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = Rng::seed_from(1);
+        let cfg = UNetConfig::micro();
+        let mut net = UNet::new(cfg, &mut rng).unwrap();
+        let x = Tensor::randn([2, 1, 8, 8], &mut rng);
+        let y1 = net.forward(&x, &[0.1, -0.3], &mut RunConfig::infer()).unwrap();
+        let y2 = net.forward(&x, &[0.1, -0.3], &mut RunConfig::infer()).unwrap();
+        assert_eq!(y1.dims(), x.dims());
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn noise_level_changes_output() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let x = Tensor::randn([1, 1, 8, 8], &mut rng);
+        let y1 = net.forward(&x, &[0.0], &mut RunConfig::infer()).unwrap();
+        let y2 = net.forward(&x, &[1.0], &mut RunConfig::infer()).unwrap();
+        assert!(y1.mse(&y2).unwrap() > 1e-8);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = Rng::seed_from(3);
+        let mut bad = UNetConfig::micro();
+        bad.image_size = 6;
+        assert!(UNet::new(bad, &mut rng).is_err());
+        let mut bad2 = UNetConfig::micro();
+        bad2.groups = 3;
+        assert!(UNet::new(bad2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn backward_populates_all_gradients() {
+        let mut rng = Rng::seed_from(4);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let x = Tensor::randn([1, 1, 8, 8], &mut rng);
+        let y = net.forward(&x, &[0.2], &mut RunConfig::train()).unwrap();
+        net.backward(&Tensor::ones(y.dims())).unwrap();
+        let nonzero = net
+            .params_mut()
+            .iter()
+            .filter(|p| p.grad.abs_max() > 0.0)
+            .count();
+        let total = net.params_mut().len();
+        assert!(
+            nonzero as f64 > 0.9 * total as f64,
+            "{nonzero}/{total} params have gradient"
+        );
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_on_input() {
+        let mut rng = Rng::seed_from(5);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let x = Tensor::randn([1, 1, 8, 8], &mut rng);
+        let wloss = Tensor::randn([1, 1, 8, 8], &mut rng);
+        net.forward(&x, &[0.1], &mut RunConfig::train()).unwrap();
+        let gin = net.backward(&wloss).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor| -> f32 {
+            let mut m = net.clone();
+            m.forward(x, &[0.1], &mut RunConfig::infer())
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(wloss.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for idx in [0usize, 13, 37, 63] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            let an = gin.as_slice()[idx];
+            assert!((fd - an).abs() < 0.05, "idx {idx}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn activation_surgery_reaches_all_blocks() {
+        let mut rng = Rng::seed_from(6);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        assert_eq!(net.activation(), Activation::Silu);
+        net.set_activation(Activation::Relu);
+        assert_eq!(net.activation(), Activation::Relu);
+        // ReLU model produces sparse observed activations.
+        let x = Tensor::randn([1, 1, 8, 8], &mut rng);
+        let mut sparsities = Vec::new();
+        let mut obs = |ev: ActEvent<'_>| {
+            if ev.kind == BlockKind::ConvAct {
+                sparsities.push(ev.tensor.sparsity());
+            }
+        };
+        let mut rc = RunConfig {
+            train: false,
+            assignment: None,
+            observer: Some(&mut obs),
+        };
+        net.forward(&x, &[0.0], &mut rc).unwrap();
+        drop(rc);
+        assert!(!sparsities.is_empty());
+        let avg: f64 = sparsities.iter().sum::<f64>() / sparsities.len() as f64;
+        assert!(avg > 0.2, "relu sparsity {avg}");
+    }
+
+    #[test]
+    fn observer_sees_all_conv_blocks() {
+        let mut rng = Rng::seed_from(7);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let x = Tensor::randn([1, 1, 8, 8], &mut rng);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut obs = |ev: ActEvent<'_>| {
+            seen.insert(ev.block_index);
+        };
+        let mut rc = RunConfig {
+            train: false,
+            assignment: None,
+            observer: Some(&mut obs),
+        };
+        net.forward(&x, &[0.0], &mut rc).unwrap();
+        drop(rc);
+        // All conv blocks + attention + skip + out.
+        for idx in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11] {
+            assert!(seen.contains(&idx), "missing block {idx}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_inference_differs_but_stays_close_at_8bit() {
+        use sqdm_quant::{BlockPrecision, QuantFormat};
+        let mut rng = Rng::seed_from(8);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let x = Tensor::randn([1, 1, 8, 8], &mut rng);
+        let exact = net.forward(&x, &[0.0], &mut RunConfig::infer()).unwrap();
+        let a8 = PrecisionAssignment::uniform(
+            block_ids::COUNT,
+            BlockPrecision::uniform(QuantFormat::mxint8()),
+            "MXINT8",
+        );
+        let a4 = PrecisionAssignment::uniform(
+            block_ids::COUNT,
+            BlockPrecision::uniform(QuantFormat::int4()),
+            "INT4",
+        );
+        let mut rc8 = RunConfig {
+            train: false,
+            assignment: Some(&a8),
+            observer: None,
+        };
+        let y8 = net.forward(&x, &[0.0], &mut rc8).unwrap();
+        let mut rc4 = RunConfig {
+            train: false,
+            assignment: Some(&a4),
+            observer: None,
+        };
+        let y4 = net.forward(&x, &[0.0], &mut rc4).unwrap();
+        let e8 = exact.mse(&y8).unwrap();
+        let e4 = exact.mse(&y4).unwrap();
+        assert!(e8 > 0.0 && e4 > e8, "e8={e8} e4={e4}");
+    }
+
+    #[test]
+    fn param_count_is_substantial() {
+        let mut rng = Rng::seed_from(9);
+        let mut net = UNet::new(UNetConfig::default(), &mut rng).unwrap();
+        let n = net.param_count();
+        assert!(n > 20_000, "{n} params");
+    }
+}

@@ -1,0 +1,204 @@
+//! Static workload analysis of the U-Net: per-block MAC and memory counts,
+//! and the compute/memory breakdown by block type (paper Figure 4).
+
+use crate::model::{block_ids, UNetConfig};
+use serde::{Deserialize, Serialize};
+use sqdm_quant::{BlockKind, BlockProfile};
+
+fn conv_macs(k: usize, c: usize, kh: usize, oh: usize, ow: usize) -> u64 {
+    (k * c * kh * kh * oh * ow) as u64
+}
+
+/// Computes the [`BlockProfile`] of every block for a batch-1 forward pass.
+///
+/// Block indices match [`block_ids`]; the profiles drive both the
+/// mixed-precision cost model (Table II's savings columns) and the
+/// accelerator workload generator.
+pub fn block_profiles(cfg: &UNetConfig) -> Vec<BlockProfile> {
+    let c = cfg.base_channels;
+    let c2 = 2 * c;
+    let s = cfg.image_size;
+    let s2 = s / 2;
+    let e = cfg.emb_dim;
+    let ic = cfg.in_channels;
+    let mut out = Vec::with_capacity(block_ids::COUNT);
+
+    let conv_block = |index: usize, cin: usize, cout: usize, sp: usize| -> BlockProfile {
+        let macs = conv_macs(cout, cin, 3, sp, sp)
+            + conv_macs(cout, cout, 3, sp, sp)
+            + if cin != cout {
+                conv_macs(cout, cin, 1, sp, sp)
+            } else {
+                0
+            }
+            + (e * cout) as u64; // embedding projection
+        let weight_elems = (cout * cin * 9
+            + cout * cout * 9
+            + if cin != cout { cout * cin } else { 0 }
+            + e * cout) as u64;
+        let act_elems = (cin * sp * sp + cout * sp * sp) as u64;
+        BlockProfile {
+            index,
+            kind: BlockKind::ConvAct,
+            macs,
+            weight_elems,
+            act_elems,
+            channel_len: cin * 9,
+        }
+    };
+
+    // 0: input conv.
+    out.push(BlockProfile {
+        index: block_ids::IN_CONV,
+        kind: BlockKind::ConvAct,
+        macs: conv_macs(c, ic, 3, s, s),
+        weight_elems: (c * ic * 9) as u64,
+        act_elems: (ic * s * s + c * s * s) as u64,
+        channel_len: ic * 9,
+    });
+    // 1-2: encoder full-res.
+    out.push(conv_block(block_ids::ENC_HI[0], c, c, s));
+    out.push(conv_block(block_ids::ENC_HI[1], c, c, s));
+    // 3-4: encoder half-res.
+    out.push(conv_block(block_ids::ENC_LO[0], c, c2, s2));
+    out.push(conv_block(block_ids::ENC_LO[1], c2, c2, s2));
+    // 5: attention at s2.
+    let sp = s2 * s2;
+    out.push(BlockProfile {
+        index: block_ids::MID_ATTN,
+        kind: BlockKind::Attention,
+        macs: (4 * sp * c2 * c2 + 2 * sp * sp * c2) as u64,
+        weight_elems: (4 * c2 * c2) as u64,
+        act_elems: (2 * c2 * sp) as u64,
+        channel_len: c2,
+    });
+    // 6: mid conv, 7: decoder low.
+    out.push(conv_block(block_ids::MID_CONV, c2, c2, s2));
+    out.push(conv_block(block_ids::DEC_LO, c2, c2, s2));
+    // 8: skip merge (1×1 conv over concat).
+    out.push(BlockProfile {
+        index: block_ids::SKIP_MERGE,
+        kind: BlockKind::Skip,
+        macs: conv_macs(c, c2 + c, 1, s, s),
+        weight_elems: (c * (c2 + c)) as u64,
+        act_elems: ((c2 + c) * s * s + c * s * s) as u64,
+        channel_len: c2 + c,
+    });
+    // 9-10: decoder full-res.
+    out.push(conv_block(block_ids::DEC_HI[0], c, c, s));
+    out.push(conv_block(block_ids::DEC_HI[1], c, c, s));
+    // 11: output conv.
+    out.push(BlockProfile {
+        index: block_ids::OUT_CONV,
+        kind: BlockKind::ConvAct,
+        macs: conv_macs(ic, c, 3, s, s),
+        weight_elems: (ic * c * 9) as u64,
+        act_elems: (c * s * s + ic * s * s) as u64,
+        channel_len: c * 9,
+    });
+    // 12-13: embedding MLP.
+    for idx in block_ids::EMB {
+        out.push(BlockProfile {
+            index: idx,
+            kind: BlockKind::Embedding,
+            macs: (e * e) as u64,
+            weight_elems: (e * e) as u64,
+            act_elems: (2 * e) as u64,
+            channel_len: e,
+        });
+    }
+    out
+}
+
+/// One row of the Figure 4 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KindShare {
+    /// Block type.
+    pub kind: BlockKind,
+    /// Fraction of total MACs.
+    pub compute_fraction: f64,
+    /// Fraction of total memory traffic (weights + activations).
+    pub memory_fraction: f64,
+}
+
+/// Aggregates profiles into per-kind compute and memory shares (Figure 4).
+pub fn breakdown_by_kind(profiles: &[BlockProfile]) -> Vec<KindShare> {
+    let total_macs: f64 = profiles.iter().map(|p| p.macs as f64).sum();
+    let total_mem: f64 = profiles
+        .iter()
+        .map(|p| (p.weight_elems + p.act_elems) as f64)
+        .sum();
+    BlockKind::ALL
+        .iter()
+        .map(|&kind| {
+            let macs: f64 = profiles
+                .iter()
+                .filter(|p| p.kind == kind)
+                .map(|p| p.macs as f64)
+                .sum();
+            let mem: f64 = profiles
+                .iter()
+                .filter(|p| p.kind == kind)
+                .map(|p| (p.weight_elems + p.act_elems) as f64)
+                .sum();
+            KindShare {
+                kind,
+                compute_fraction: macs / total_macs.max(1.0),
+                memory_fraction: mem / total_mem.max(1.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_count_and_indices() {
+        let profiles = block_profiles(&UNetConfig::default());
+        assert_eq!(profiles.len(), block_ids::COUNT);
+        for (i, p) in profiles.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert!(p.macs > 0);
+            assert!(p.weight_elems > 0);
+        }
+    }
+
+    #[test]
+    fn conv_act_dominates_compute() {
+        // Paper Figure 4: >90% of compute and >85% of memory in Conv+Act.
+        let shares = breakdown_by_kind(&block_profiles(&UNetConfig::default()));
+        let conv = shares
+            .iter()
+            .find(|s| s.kind == BlockKind::ConvAct)
+            .unwrap();
+        assert!(
+            conv.compute_fraction > 0.80,
+            "conv share {}",
+            conv.compute_fraction
+        );
+        assert!(conv.memory_fraction > 0.70, "{}", conv.memory_fraction);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let shares = breakdown_by_kind(&block_profiles(&UNetConfig::default()));
+        let cs: f64 = shares.iter().map(|s| s.compute_fraction).sum();
+        let ms: f64 = shares.iter().map(|s| s.memory_fraction).sum();
+        assert!((cs - 1.0).abs() < 1e-9);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embedding_blocks_are_cheap() {
+        let profiles = block_profiles(&UNetConfig::default());
+        let emb_macs: u64 = profiles
+            .iter()
+            .filter(|p| p.kind == BlockKind::Embedding)
+            .map(|p| p.macs)
+            .sum();
+        let total: u64 = profiles.iter().map(|p| p.macs).sum();
+        assert!((emb_macs as f64) < 0.01 * total as f64);
+    }
+}

@@ -1,0 +1,304 @@
+//! Deterministic second-order (Heun) EDM sampler — Algorithm 1 of the EDM
+//! paper without stochastic churn.
+
+use crate::denoiser::Denoiser;
+use crate::error::Result;
+use crate::model::{RunConfig, UNet};
+use serde::{Deserialize, Serialize};
+use sqdm_quant::PrecisionAssignment;
+use sqdm_tensor::{Rng, Tensor};
+
+/// Sampler settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Number of sigma grid points (model evaluations ≈ 2·steps − 1).
+    pub steps: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig { steps: 12 }
+    }
+}
+
+/// Callback invoked once per time step with `(step_index, sigma, x)` so
+/// callers can trace activation sparsity across the diffusion trajectory.
+pub type StepObserver<'a> = dyn FnMut(usize, f32, &Tensor) + 'a;
+
+/// Generates a batch of samples by integrating the probability-flow ODE
+/// with Heun's method on the Karras sigma grid.
+///
+/// `assignment` optionally fake-quantizes the model per block, which is how
+/// every quantization-quality experiment in the paper samples.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn sample(
+    net: &mut UNet,
+    den: &Denoiser,
+    batch: usize,
+    cfg: SamplerConfig,
+    assignment: Option<&PrecisionAssignment>,
+    rng: &mut Rng,
+) -> Result<Tensor> {
+    sample_with_observer(net, den, batch, cfg, assignment, rng, None)
+}
+
+/// [`sample`] with a per-step observer (used by the temporal-sparsity
+/// analyses, which must see the model state at every time step).
+///
+/// # Errors
+///
+/// Propagates model errors.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_with_observer(
+    net: &mut UNet,
+    den: &Denoiser,
+    batch: usize,
+    cfg: SamplerConfig,
+    assignment: Option<&PrecisionAssignment>,
+    rng: &mut Rng,
+    mut step_observer: Option<&mut StepObserver<'_>>,
+) -> Result<Tensor> {
+    let mcfg = *net.config();
+    let s = mcfg.image_size;
+    let grid = den.schedule.sigma_steps(cfg.steps);
+    let mut x = Tensor::randn([batch, mcfg.in_channels, s, s], rng).scale(grid[0]);
+
+    for i in 0..cfg.steps {
+        let (sig, sig_next) = (grid[i], grid[i + 1]);
+        if let Some(obs) = step_observer.as_deref_mut() {
+            obs(i, sig, &x);
+        }
+        let sigmas = vec![sig; batch];
+        let d0 = {
+            let mut rc = RunConfig {
+                train: false,
+                assignment,
+                observer: None,
+            };
+            den.denoise(net, &x, &sigmas, &mut rc)?
+        };
+        // dx/dσ = (x − D(x, σ)) / σ
+        let slope = x.sub(&d0)?.scale(1.0 / sig);
+        let mut x_next = x.clone();
+        x_next.add_scaled(&slope, sig_next - sig)?;
+
+        if sig_next > 0.0 {
+            // Heun correction.
+            let sigmas_next = vec![sig_next; batch];
+            let d1 = {
+                let mut rc = RunConfig {
+                    train: false,
+                    assignment,
+                    observer: None,
+                };
+                den.denoise(net, &x_next, &sigmas_next, &mut rc)?
+            };
+            let slope2 = x_next.sub(&d1)?.scale(1.0 / sig_next);
+            let mut avg = slope.clone();
+            avg.add_scaled(&slope2, 1.0)?;
+            x_next = x.clone();
+            x_next.add_scaled(&avg, 0.5 * (sig_next - sig))?;
+        }
+        x = x_next;
+    }
+    Ok(x)
+}
+
+/// Stochastic churn settings for [`sample_stochastic`] (EDM Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Total churn budget `S_churn`; 0 recovers the deterministic sampler.
+    pub s_churn: f32,
+    /// Lower sigma bound for churn injection.
+    pub s_tmin: f32,
+    /// Upper sigma bound for churn injection.
+    pub s_tmax: f32,
+    /// Noise inflation factor `S_noise`.
+    pub s_noise: f32,
+}
+
+impl Default for ChurnConfig {
+    /// EDM's ImageNet defaults.
+    fn default() -> Self {
+        ChurnConfig {
+            s_churn: 10.0,
+            s_tmin: 0.05,
+            s_tmax: 50.0,
+            s_noise: 1.003,
+        }
+    }
+}
+
+/// Stochastic EDM sampler (Algorithm 2): at each step within
+/// `[s_tmin, s_tmax]` the state is re-noised up to `σ̂ = σ·(1 + γ)` before
+/// the Heun update, trading determinism for sample diversity.
+///
+/// # Errors
+///
+/// Propagates model errors.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_stochastic(
+    net: &mut UNet,
+    den: &Denoiser,
+    batch: usize,
+    cfg: SamplerConfig,
+    churn: ChurnConfig,
+    assignment: Option<&PrecisionAssignment>,
+    rng: &mut Rng,
+) -> Result<Tensor> {
+    let mcfg = *net.config();
+    let s = mcfg.image_size;
+    let grid = den.schedule.sigma_steps(cfg.steps);
+    let mut x = Tensor::randn([batch, mcfg.in_channels, s, s], rng).scale(grid[0]);
+    let gamma_base = (churn.s_churn / cfg.steps as f32).min(2.0f32.sqrt() - 1.0);
+
+    for i in 0..cfg.steps {
+        let (sig, sig_next) = (grid[i], grid[i + 1]);
+        // Churn: inflate sigma and inject matching noise.
+        let gamma = if churn.s_churn > 0.0 && sig >= churn.s_tmin && sig <= churn.s_tmax {
+            gamma_base
+        } else {
+            0.0
+        };
+        let sig_hat = sig * (1.0 + gamma);
+        if gamma > 0.0 {
+            let extra = (sig_hat * sig_hat - sig * sig).max(0.0).sqrt() * churn.s_noise;
+            let noise = Tensor::randn(x.dims(), rng);
+            x.add_scaled(&noise, extra)?;
+        }
+
+        let sigmas = vec![sig_hat; batch];
+        let d0 = {
+            let mut rc = RunConfig {
+                train: false,
+                assignment,
+                observer: None,
+            };
+            den.denoise(net, &x, &sigmas, &mut rc)?
+        };
+        let slope = x.sub(&d0)?.scale(1.0 / sig_hat);
+        let mut x_next = x.clone();
+        x_next.add_scaled(&slope, sig_next - sig_hat)?;
+        if sig_next > 0.0 {
+            let sigmas_next = vec![sig_next; batch];
+            let d1 = {
+                let mut rc = RunConfig {
+                    train: false,
+                    assignment,
+                    observer: None,
+                };
+                den.denoise(net, &x_next, &sigmas_next, &mut rc)?
+            };
+            let slope2 = x_next.sub(&d1)?.scale(1.0 / sig_next);
+            let mut avg = slope.clone();
+            avg.add_scaled(&slope2, 1.0)?;
+            x_next = x.clone();
+            x_next.add_scaled(&avg, 0.5 * (sig_next - sig_hat))?;
+        }
+        x = x_next;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::UNetConfig;
+    use crate::schedule::EdmSchedule;
+
+    #[test]
+    fn sample_shape_and_determinism() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let cfg = SamplerConfig { steps: 4 };
+        let mut r1 = Rng::seed_from(9);
+        let a = sample(&mut net, &den, 2, cfg, None, &mut r1).unwrap();
+        let mut r2 = Rng::seed_from(9);
+        let b = sample(&mut net, &den, 2, cfg, None, &mut r2).unwrap();
+        assert_eq!(a.dims(), &[2, 1, 8, 8]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_finite_and_bounded() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let mut r = Rng::seed_from(3);
+        let x = sample(&mut net, &den, 1, SamplerConfig { steps: 6 }, None, &mut r).unwrap();
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+        // Even an untrained net contracts the σ_max=80 initial noise: the
+        // c_skip path alone brings magnitudes down to data scale.
+        assert!(x.abs_max() < 40.0, "max {}", x.abs_max());
+    }
+
+    #[test]
+    fn zero_churn_matches_deterministic_sampler() {
+        let mut rng = Rng::seed_from(6);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let cfg = SamplerConfig { steps: 5 };
+        let no_churn = ChurnConfig {
+            s_churn: 0.0,
+            ..ChurnConfig::default()
+        };
+        let mut r1 = Rng::seed_from(21);
+        let det = sample(&mut net, &den, 1, cfg, None, &mut r1).unwrap();
+        let mut r2 = Rng::seed_from(21);
+        let sto = sample_stochastic(&mut net, &den, 1, cfg, no_churn, None, &mut r2).unwrap();
+        assert_eq!(det, sto);
+    }
+
+    #[test]
+    fn churn_changes_trajectory_but_stays_bounded() {
+        let mut rng = Rng::seed_from(7);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let cfg = SamplerConfig { steps: 6 };
+        let mut r1 = Rng::seed_from(22);
+        let det = sample(&mut net, &den, 1, cfg, None, &mut r1).unwrap();
+        let mut r2 = Rng::seed_from(22);
+        let sto = sample_stochastic(
+            &mut net,
+            &den,
+            1,
+            cfg,
+            ChurnConfig::default(),
+            None,
+            &mut r2,
+        )
+        .unwrap();
+        assert!(det.mse(&sto).unwrap() > 1e-8);
+        assert!(sto.as_slice().iter().all(|v| v.is_finite()));
+        assert!(sto.abs_max() < 40.0);
+    }
+
+    #[test]
+    fn observer_sees_every_step_with_decreasing_sigma() {
+        let mut rng = Rng::seed_from(4);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let mut seen: Vec<(usize, f32)> = Vec::new();
+        let mut obs = |i: usize, s: f32, _x: &Tensor| seen.push((i, s));
+        let mut r = Rng::seed_from(5);
+        sample_with_observer(
+            &mut net,
+            &den,
+            1,
+            SamplerConfig { steps: 5 },
+            None,
+            &mut r,
+            Some(&mut obs),
+        )
+        .unwrap();
+        assert_eq!(seen.len(), 5);
+        for w in seen.windows(2) {
+            assert!(w[0].1 > w[1].1);
+            assert_eq!(w[0].0 + 1, w[1].0);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! EDM noise schedule and preconditioning (Karras et al., NeurIPS 2022).
+//!
+//! The denoiser is parameterized as
+//! `D(x, σ) = c_skip(σ)·x + c_out(σ)·F(c_in(σ)·x, c_noise(σ))`
+//! and sampling walks the Karras sigma grid
+//! `σ_i = (σ_max^{1/ρ} + i/(N-1)·(σ_min^{1/ρ} − σ_max^{1/ρ}))^ρ`.
+
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::Rng;
+
+/// Hyper-parameters of the EDM formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdmSchedule {
+    /// Data standard deviation (0.5 for images scaled to `[-1, 1]`).
+    pub sigma_data: f32,
+    /// Smallest sampling noise level.
+    pub sigma_min: f32,
+    /// Largest sampling noise level.
+    pub sigma_max: f32,
+    /// Karras grid curvature.
+    pub rho: f32,
+    /// Mean of `ln σ` for training noise draws.
+    pub p_mean: f32,
+    /// Std of `ln σ` for training noise draws.
+    pub p_std: f32,
+}
+
+impl Default for EdmSchedule {
+    /// The EDM paper's image defaults.
+    fn default() -> Self {
+        EdmSchedule {
+            sigma_data: 0.5,
+            sigma_min: 0.002,
+            sigma_max: 80.0,
+            rho: 7.0,
+            p_mean: -1.2,
+            p_std: 1.2,
+        }
+    }
+}
+
+impl EdmSchedule {
+    /// `c_skip(σ) = σ_d² / (σ² + σ_d²)`.
+    pub fn c_skip(&self, sigma: f32) -> f32 {
+        let sd2 = self.sigma_data * self.sigma_data;
+        sd2 / (sigma * sigma + sd2)
+    }
+
+    /// `c_out(σ) = σ·σ_d / √(σ² + σ_d²)`.
+    pub fn c_out(&self, sigma: f32) -> f32 {
+        let sd = self.sigma_data;
+        sigma * sd / (sigma * sigma + sd * sd).sqrt()
+    }
+
+    /// `c_in(σ) = 1 / √(σ² + σ_d²)`.
+    pub fn c_in(&self, sigma: f32) -> f32 {
+        1.0 / (sigma * sigma + self.sigma_data * self.sigma_data).sqrt()
+    }
+
+    /// `c_noise(σ) = ln(σ) / 4`.
+    pub fn c_noise(&self, sigma: f32) -> f32 {
+        sigma.max(1e-20).ln() / 4.0
+    }
+
+    /// EDM loss weight `λ(σ) = (σ² + σ_d²) / (σ·σ_d)²`.
+    pub fn loss_weight(&self, sigma: f32) -> f32 {
+        let sd = self.sigma_data;
+        (sigma * sigma + sd * sd) / (sigma * sd).powi(2)
+    }
+
+    /// Draws a training noise level: `ln σ ~ N(p_mean, p_std²)`.
+    pub fn sample_sigma(&self, rng: &mut Rng) -> f32 {
+        (self.p_mean + self.p_std * rng.normal()).exp()
+    }
+
+    /// The Karras sampling grid of `n` decreasing sigmas, followed by the
+    /// terminal 0 (so the returned vector has `n + 1` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn sigma_steps(&self, n: usize) -> Vec<f32> {
+        assert!(n >= 2, "need at least 2 sampling steps");
+        let inv_rho = 1.0 / self.rho;
+        let smax = self.sigma_max.powf(inv_rho);
+        let smin = self.sigma_min.powf(inv_rho);
+        let mut out: Vec<f32> = (0..n)
+            .map(|i| {
+                let t = i as f32 / (n - 1) as f32;
+                (smax + t * (smin - smax)).powf(self.rho)
+            })
+            .collect();
+        out.push(0.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preconditioning_identities() {
+        let s = EdmSchedule::default();
+        for sigma in [0.01f32, 0.5, 2.0, 80.0] {
+            // c_skip² + c_out²/σ_d² · (σ²+σ_d²)… simpler: the EDM identity
+            // c_skip(σ)·σ² + c_out(σ)²... verify the defining property:
+            // c_in² · (σ² + σ_d²) = 1.
+            let cin = s.c_in(sigma);
+            assert!(
+                (cin * cin * (sigma * sigma + 0.25) - 1.0).abs() < 1e-5,
+                "sigma {sigma}"
+            );
+            // c_out² + c_skip²·σ²… EDM: c_out(σ)² = σ²σ_d²/(σ²+σ_d²) and
+            // c_skip·(σ²+σ_d²) = σ_d².
+            assert!((s.c_skip(sigma) * (sigma * sigma + 0.25) - 0.25).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn c_skip_limits() {
+        let s = EdmSchedule::default();
+        assert!(s.c_skip(0.001) > 0.99); // low noise: mostly pass-through
+        assert!(s.c_skip(80.0) < 0.001); // high noise: mostly network output
+    }
+
+    #[test]
+    fn sigma_grid_is_decreasing_with_terminal_zero() {
+        let s = EdmSchedule::default();
+        let grid = s.sigma_steps(18);
+        assert_eq!(grid.len(), 19);
+        assert!((grid[0] - 80.0).abs() < 1e-3);
+        assert!((grid[17] - 0.002).abs() < 1e-5);
+        assert_eq!(grid[18], 0.0);
+        for w in grid.windows(2) {
+            assert!(w[0] > w[1], "grid not decreasing: {w:?}");
+        }
+    }
+
+    #[test]
+    fn rho_seven_shrinks_steps_toward_low_noise() {
+        // Karras grids take huge absolute strides at high sigma and tiny
+        // ones near the data manifold: the linear step sizes must decrease
+        // monotonically along the trajectory.
+        let s = EdmSchedule::default();
+        let grid = s.sigma_steps(10);
+        let steps: Vec<f32> = grid.windows(2).map(|w| w[0] - w[1]).collect();
+        for w in steps[..steps.len() - 1].windows(2) {
+            assert!(w[0] > w[1], "step sizes not decreasing: {steps:?}");
+        }
+        // And the first stride dwarfs the last sigma-to-sigma stride.
+        assert!(steps[0] > 1000.0 * steps[steps.len() - 2]);
+    }
+
+    #[test]
+    fn training_sigmas_are_lognormal() {
+        let s = EdmSchedule::default();
+        let mut rng = Rng::seed_from(1);
+        let n = 10_000;
+        let lns: Vec<f32> = (0..n).map(|_| s.sample_sigma(&mut rng).ln()).collect();
+        let mean = lns.iter().sum::<f32>() / n as f32;
+        let var = lns.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean + 1.2).abs() < 0.05, "mean {mean}");
+        assert!((var - 1.44).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn loss_weight_positive_and_normalizing() {
+        let s = EdmSchedule::default();
+        for sigma in [0.01f32, 0.5, 5.0] {
+            let lw = s.loss_weight(sigma);
+            assert!(lw > 0.0);
+            // λ(σ)·c_out(σ)² = 1: the weight exactly undoes the output
+            // scaling, keeping gradient magnitude uniform across σ.
+            assert!((lw * s.c_out(sigma).powi(2) - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! EDM training and the SiLU→ReLU finetuning procedure (§III-B).
+
+use crate::dataset::Dataset;
+use crate::denoiser::{scale_per_sample, Denoiser};
+use crate::error::Result;
+use crate::model::{RunConfig, UNet};
+use serde::{Deserialize, Serialize};
+use sqdm_nn::optim::Adam;
+use sqdm_tensor::ops::Activation;
+use sqdm_tensor::{Rng, Tensor};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Optimization steps.
+    pub steps: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            steps: 300,
+            batch: 8,
+            lr: 2e-3,
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Per-step EDM losses.
+    pub losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Mean loss over the first quarter of training.
+    pub fn early_loss(&self) -> f32 {
+        let k = (self.losses.len() / 4).max(1);
+        self.losses[..k].iter().sum::<f32>() / k as f32
+    }
+
+    /// Mean loss over the last quarter of training.
+    pub fn late_loss(&self) -> f32 {
+        let k = (self.losses.len() / 4).max(1);
+        let n = self.losses.len();
+        self.losses[n - k..].iter().sum::<f32>() / k as f32
+    }
+}
+
+/// Runs one EDM training step and returns the weighted loss.
+///
+/// Loss: `E[λ(σ)·‖D(y + σ·n, σ) − y‖²]` with `ln σ ~ N(p_mean, p_std²)`.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn train_step(
+    net: &mut UNet,
+    den: &Denoiser,
+    batch_clean: &Tensor,
+    opt: &mut Adam,
+    rng: &mut Rng,
+) -> Result<f32> {
+    let (n, _, _, _) = batch_clean.shape().as_nchw()?;
+    let sigmas: Vec<f32> = (0..n).map(|_| den.schedule.sample_sigma(rng)).collect();
+    let noise = Tensor::randn(batch_clean.dims(), rng);
+    let mut x = batch_clean.clone();
+    x.add_scaled(&scale_per_sample(&noise, &sigmas)?, 1.0)?;
+
+    let d = den.denoise(net, &x, &sigmas, &mut RunConfig::train())?;
+    let diff = d.sub(batch_clean)?;
+    let weights: Vec<f32> = sigmas.iter().map(|&s| den.schedule.loss_weight(s)).collect();
+    let weighted = scale_per_sample(&diff.mul(&diff)?, &weights)?;
+    let loss = weighted.mean();
+
+    // dL/dD = 2·λ(σ)·(D − y) / total_elems ; dL/dF = c_out(σ)·dL/dD.
+    let total = diff.len() as f32;
+    let c_out: Vec<f32> = sigmas.iter().map(|&s| den.schedule.c_out(s)).collect();
+    let g = scale_per_sample(&scale_per_sample(&diff, &weights)?, &c_out)?.scale(2.0 / total);
+    net.backward(&g)?;
+    let mut params = net.params_mut();
+    opt.step(&mut params);
+    Ok(loss)
+}
+
+/// Trains a network on a dataset from scratch.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn train(
+    net: &mut UNet,
+    den: &Denoiser,
+    dataset: &Dataset,
+    cfg: TrainConfig,
+    rng: &mut Rng,
+) -> Result<TrainReport> {
+    let mut opt = Adam::new(cfg.lr);
+    let mut losses = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let batch = dataset.batch(cfg.batch, rng);
+        losses.push(train_step(net, den, &batch, &mut opt, rng)?);
+    }
+    Ok(TrainReport { losses })
+}
+
+/// The paper's §III-B procedure: swap every SiLU for ReLU, then finetune.
+///
+/// The paper reports the finetune budget as <10% of pre-training; callers
+/// typically pass a `TrainConfig` with `steps` scaled accordingly, though a
+/// larger budget is accepted (the tiny models here benefit from a bit more).
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn finetune_relu(
+    net: &mut UNet,
+    den: &Denoiser,
+    dataset: &Dataset,
+    cfg: TrainConfig,
+    rng: &mut Rng,
+) -> Result<TrainReport> {
+    net.set_activation(Activation::Relu);
+    train(net, den, dataset, cfg, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetKind;
+    use crate::model::UNetConfig;
+    use crate::schedule::EdmSchedule;
+
+    fn quick_setup() -> (UNet, Denoiser, Dataset, Rng) {
+        let mut rng = Rng::seed_from(42);
+        let net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let ds = Dataset::new(DatasetKind::CifarLike, 1, 8);
+        (net, den, ds, rng)
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let (mut net, den, ds, mut rng) = quick_setup();
+        let report = train(
+            &mut net,
+            &den,
+            &ds,
+            TrainConfig {
+                steps: 60,
+                batch: 4,
+                lr: 3e-3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            report.late_loss() < report.early_loss(),
+            "early {} late {}",
+            report.early_loss(),
+            report.late_loss()
+        );
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn finetune_switches_activation_and_trains() {
+        let (mut net, den, ds, mut rng) = quick_setup();
+        train(
+            &mut net,
+            &den,
+            &ds,
+            TrainConfig {
+                steps: 20,
+                batch: 4,
+                lr: 3e-3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(net.activation(), Activation::Silu);
+        let report = finetune_relu(
+            &mut net,
+            &den,
+            &ds,
+            TrainConfig {
+                steps: 30,
+                batch: 4,
+                lr: 2e-3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(net.activation(), Activation::Relu);
+        // Finetuning recovers: final loss comparable to or better than the
+        // loss right after the swap.
+        assert!(report.late_loss() <= report.early_loss() * 1.5);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let cfg = TrainConfig {
+            steps: 5,
+            batch: 2,
+            lr: 1e-3,
+        };
+        let run = |seed: u64| -> Vec<f32> {
+            let mut rng = Rng::seed_from(seed);
+            let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+            let den = Denoiser::new(EdmSchedule::default());
+            let ds = Dataset::new(DatasetKind::CifarLike, 1, 8);
+            train(&mut net, &den, &ds, cfg, &mut rng).unwrap().losses
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

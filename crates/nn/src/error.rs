@@ -1,0 +1,76 @@
+//! Error type for layer operations.
+
+use std::fmt;
+
+/// Error produced by layer construction, forward or backward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor kernel failed.
+    Tensor(sqdm_tensor::TensorError),
+    /// An underlying quantization operation failed.
+    Quant(sqdm_quant::QuantError),
+    /// `backward` was called without a preceding `forward` (no cache).
+    MissingCache {
+        /// Layer type name for diagnostics.
+        layer: &'static str,
+    },
+    /// A layer was configured inconsistently.
+    Config {
+        /// Layer type name for diagnostics.
+        layer: &'static str,
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Quant(e) => write!(f, "quantization error: {e}"),
+            NnError::MissingCache { layer } => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::Config { layer, reason } => write!(f, "{layer}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sqdm_tensor::TensorError> for NnError {
+    fn from(e: sqdm_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<sqdm_quant::QuantError> for NnError {
+    fn from(e: sqdm_quant::QuantError) -> Self {
+        NnError::Quant(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NnError::MissingCache { layer: "Conv2d" }
+            .to_string()
+            .contains("Conv2d"));
+        let e: NnError = sqdm_tensor::TensorError::ReshapeMismatch { from: 1, to: 2 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! Weight initialization schemes.
+
+use sqdm_tensor::{Rng, Shape, Tensor};
+
+/// Kaiming (He) normal initialization for layers followed by a ReLU-family
+/// non-linearity: `std = sqrt(2 / fan_in)`.
+pub fn kaiming_normal(shape: impl Into<Shape>, fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(shape, rng).scale(std)
+}
+
+/// Xavier (Glorot) uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut Rng,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_tensor::stats::Moments;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = Rng::seed_from(1);
+        let w = kaiming_normal([64, 128], 128, &mut rng);
+        let m = Moments::of(&w);
+        let want = (2.0f64 / 128.0).sqrt();
+        assert!((m.std() - want).abs() < 0.02, "std {} want {want}", m.std());
+        assert!(m.mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = Rng::seed_from(2);
+        let w = xavier_uniform([32, 32], 32, 32, &mut rng);
+        let a = (6.0f32 / 64.0).sqrt();
+        assert!(w.max() <= a && w.min() >= -a);
+        assert!(w.max() > 0.8 * a); // actually spans the range
+    }
+}

@@ -1,0 +1,84 @@
+//! Activation layer wrapping the scalar functions from `sqdm-tensor`.
+
+use crate::error::{NnError, Result};
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::ops::Activation;
+use sqdm_tensor::Tensor;
+
+/// A stateless activation layer with cached pre-activations for backprop.
+///
+/// Switching `kind` from [`Activation::Silu`] to [`Activation::Relu`] is the
+/// paper's §III-B model surgery; the layer exposes
+/// [`set_kind`](ActLayer::set_kind) for exactly that.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActLayer {
+    kind: Activation,
+    #[serde(skip)]
+    cache: Option<Tensor>,
+}
+
+impl ActLayer {
+    /// Creates an activation layer.
+    pub fn new(kind: Activation) -> Self {
+        ActLayer { kind, cache: None }
+    }
+
+    /// The current activation function.
+    pub fn kind(&self) -> Activation {
+        self.kind
+    }
+
+    /// Replaces the activation function (SiLU → ReLU surgery).
+    pub fn set_kind(&mut self, kind: Activation) {
+        self.kind = kind;
+    }
+
+    /// Forward pass; caches pre-activations when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache = Some(x.clone());
+        }
+        self.kind.forward(x)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] without a preceding training
+    /// forward.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingCache { layer: "ActLayer" })?;
+        Ok(self.kind.backward(&x, grad_out)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surgery_swaps_function() {
+        let mut a = ActLayer::new(Activation::Silu);
+        let x = Tensor::from_slice(&[-1.0, 1.0]);
+        let silu_out = a.forward(&x, false);
+        assert!(silu_out.get(&[0]).unwrap() < 0.0);
+        a.set_kind(Activation::Relu);
+        assert_eq!(a.kind(), Activation::Relu);
+        let relu_out = a.forward(&x, false);
+        assert_eq!(relu_out.get(&[0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn backward_uses_pre_activation() {
+        let mut a = ActLayer::new(Activation::Relu);
+        let x = Tensor::from_slice(&[-2.0, 3.0]);
+        a.forward(&x, true);
+        let g = a.backward(&Tensor::from_slice(&[5.0, 5.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+        assert!(a.backward(&Tensor::from_slice(&[1.0, 1.0])).is_err());
+    }
+}

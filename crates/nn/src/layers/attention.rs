@@ -1,0 +1,253 @@
+//! Single-head spatial self-attention with residual connection — the
+//! paper's Attention block (present at selected U-Net resolutions, e.g.
+//! `enc.16x16_block_1` in EDM1 for CIFAR-10).
+
+use crate::error::{NnError, Result};
+use crate::init::xavier_uniform;
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::ops::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, softmax_rows_backward};
+use sqdm_tensor::{Rng, Tensor};
+
+/// Image self-attention over spatial positions, `[N, C, H, W] → same`.
+///
+/// Each pixel attends to every other pixel of its image:
+/// `Y = X + softmax(QKᵀ/√C)·V·Woᵀ` with `Q = XWqᵀ`, `K = XWkᵀ`, `V = XWvᵀ`
+/// computed per batch element over the flattened spatial axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelfAttention2d {
+    /// Query projection, `[C, C]`.
+    pub wq: Param,
+    /// Key projection, `[C, C]`.
+    pub wk: Param,
+    /// Value projection, `[C, C]`.
+    pub wv: Param,
+    /// Output projection, `[C, C]`.
+    pub wo: Param,
+    channels: usize,
+    #[serde(skip)]
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    /// Per batch element: (X [S,C], Q, K, V [S,C], A [S,S], O [S,C]).
+    per_batch: Vec<(Tensor, Tensor, Tensor, Tensor, Tensor, Tensor)>,
+    n: usize,
+}
+
+/// Converts one batch element of `[N, C, H, W]` to `[S, C]` (S = H·W).
+fn to_sc(x: &Tensor, n: usize) -> Result<Tensor> {
+    let (_, c, h, w) = x.shape().as_nchw()?;
+    let s = h * w;
+    let xv = x.as_slice();
+    let base = n * c * s;
+    let mut out = vec![0.0f32; s * c];
+    for ch in 0..c {
+        for i in 0..s {
+            out[i * c + ch] = xv[base + ch * s + i];
+        }
+    }
+    Ok(Tensor::from_vec(out, [s, c])?)
+}
+
+/// Writes a `[S, C]` matrix back into batch element `n` of `[N, C, H, W]`.
+fn from_sc(dst: &mut Tensor, src: &Tensor, n: usize) -> Result<()> {
+    let (_, c, h, w) = dst.shape().as_nchw()?;
+    let s = h * w;
+    let sv = src.as_slice();
+    let base = n * c * s;
+    let dv = dst.as_mut_slice();
+    for ch in 0..c {
+        for i in 0..s {
+            dv[base + ch * s + i] = sv[i * c + ch];
+        }
+    }
+    Ok(())
+}
+
+impl SelfAttention2d {
+    /// Creates an attention layer over `channels` feature channels.
+    pub fn new(channels: usize, rng: &mut Rng) -> Self {
+        let mk = |rng: &mut Rng| {
+            Param::new(xavier_uniform(
+                [channels, channels],
+                channels,
+                channels,
+                rng,
+            ))
+        };
+        SelfAttention2d {
+            wq: mk(rng),
+            wk: mk(rng),
+            wv: mk(rng),
+            wo: mk(rng),
+            channels,
+            cache: None,
+        }
+    }
+
+    /// The channel count this layer was built for.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Forward pass; caches intermediates when `train` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for non-rank-4 input or a channel mismatch.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let (n, c, _h, _w) = x.shape().as_nchw()?;
+        if c != self.channels {
+            return Err(NnError::Config {
+                layer: "SelfAttention2d",
+                reason: format!("input has {c} channels, layer has {}", self.channels),
+            });
+        }
+        let inv = 1.0 / (c as f32).sqrt();
+        let mut out = x.clone(); // residual
+        let mut per_batch = Vec::with_capacity(n);
+        for nn in 0..n {
+            let xs = to_sc(x, nn)?; // [S, C]
+            let q = matmul_a_bt(&xs, &self.wq.value)?;
+            let k = matmul_a_bt(&xs, &self.wk.value)?;
+            let v = matmul_a_bt(&xs, &self.wv.value)?;
+            let p = matmul_a_bt(&q, &k)?.scale(inv); // [S, S]
+            let a = softmax_rows(&p)?;
+            let o = matmul(&a, &v)?; // [S, C]
+            let y = matmul_a_bt(&o, &self.wo.value)?; // [S, C]
+            // out[nn] += y
+            let mut slab = to_sc(&out, nn)?;
+            slab.add_scaled(&y, 1.0)?;
+            from_sc(&mut out, &slab, nn)?;
+            if train {
+                per_batch.push((xs, q, k, v, a, o));
+            }
+        }
+        if train {
+            self.cache = Some(AttnCache { per_batch, n });
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates projection gradients, returns the input
+    /// gradient (including the residual path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] without a preceding training
+    /// forward.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or(NnError::MissingCache {
+            layer: "SelfAttention2d",
+        })?;
+        let c = self.channels;
+        let inv = 1.0 / (c as f32).sqrt();
+        let mut grad_in = grad_out.clone(); // residual path
+        for nn in 0..cache.n {
+            let (xs, q, k, v, a, o) = &cache.per_batch[nn];
+            let gy = to_sc(grad_out, nn)?; // [S, C]
+            // Y = O Woᵀ → dO = gy Wo ; dWo += gyᵀ O
+            let go = matmul(&gy, &self.wo.value)?;
+            self.wo.grad.add_scaled(&matmul_at_b(&gy, o)?, 1.0)?;
+            // O = A V → dA = go Vᵀ ; dV = Aᵀ go
+            let ga = matmul_a_bt(&go, v)?;
+            let gv = matmul_at_b(a, &go)?;
+            // A = softmax(P), P = QKᵀ·inv
+            let gp = softmax_rows_backward(a, &ga)?.scale(inv);
+            let gq = matmul(&gp, k)?;
+            let gk = matmul_at_b(&gp, q)?;
+            // Q = X Wqᵀ → dX += gq Wq ; dWq += gqᵀ X  (same for K, V)
+            self.wq.grad.add_scaled(&matmul_at_b(&gq, xs)?, 1.0)?;
+            self.wk.grad.add_scaled(&matmul_at_b(&gk, xs)?, 1.0)?;
+            self.wv.grad.add_scaled(&matmul_at_b(&gv, xs)?, 1.0)?;
+            let mut gx = matmul(&gq, &self.wq.value)?;
+            gx.add_scaled(&matmul(&gk, &self.wk.value)?, 1.0)?;
+            gx.add_scaled(&matmul(&gv, &self.wv.value)?, 1.0)?;
+            // Accumulate onto the residual gradient already in grad_in.
+            let mut slab = to_sc(&grad_in, nn)?;
+            slab.add_scaled(&gx, 1.0)?;
+            from_sc(&mut grad_in, &slab, nn)?;
+        }
+        Ok(grad_in)
+    }
+
+    /// Mutable references to the layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_preserves_shape() {
+        let mut rng = Rng::seed_from(1);
+        let mut attn = SelfAttention2d::new(4, &mut rng);
+        let x = Tensor::randn([2, 4, 3, 3], &mut rng);
+        let y = attn.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), x.dims());
+    }
+
+    #[test]
+    fn zero_projections_give_identity() {
+        let mut rng = Rng::seed_from(2);
+        let mut attn = SelfAttention2d::new(3, &mut rng);
+        attn.wo.value = Tensor::zeros([3, 3]);
+        let x = Tensor::randn([1, 3, 4, 4], &mut rng);
+        let y = attn.forward(&x, false).unwrap();
+        assert_eq!(y, x); // residual only
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let mut rng = Rng::seed_from(3);
+        let mut attn = SelfAttention2d::new(4, &mut rng);
+        assert!(attn.forward(&Tensor::zeros([1, 5, 2, 2]), false).is_err());
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = Rng::seed_from(4);
+        let mut attn = SelfAttention2d::new(2, &mut rng);
+        let x = Tensor::randn([1, 2, 2, 2], &mut rng);
+        let wloss = Tensor::randn([1, 2, 2, 2], &mut rng);
+
+        attn.forward(&x, true).unwrap();
+        let gin = attn.backward(&wloss).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |attn: &SelfAttention2d, x: &Tensor| -> f32 {
+            let mut a = attn.clone();
+            a.forward(x, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(wloss.as_slice())
+                .map(|(p, q)| p * q)
+                .sum()
+        };
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&attn, &xp) - loss(&attn, &xm)) / (2.0 * eps);
+            let an = gin.as_slice()[idx];
+            assert!((fd - an).abs() < 3e-2, "x idx {idx}: fd={fd} an={an}");
+        }
+        // Spot-check one projection gradient (wq).
+        for idx in 0..4 {
+            let mut ap = attn.clone();
+            ap.wq.value.as_mut_slice()[idx] += eps;
+            let mut am = attn.clone();
+            am.wq.value.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&ap, &x) - loss(&am, &x)) / (2.0 * eps);
+            let an = attn.wq.grad.as_slice()[idx];
+            assert!((fd - an).abs() < 3e-2, "wq idx {idx}: fd={fd} an={an}");
+        }
+    }
+}

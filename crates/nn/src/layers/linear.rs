@@ -1,0 +1,180 @@
+//! Fully-connected (linear) layer.
+
+use crate::error::{NnError, Result};
+use crate::init::xavier_uniform;
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::ops::{matmul, matmul_a_bt, matmul_at_b};
+use sqdm_tensor::{Rng, Tensor};
+
+/// A linear layer `y = x Wᵀ + b` over rank-2 inputs `[batch, in]`.
+///
+/// Weight layout `[out, in]`; used by the paper's Embedding blocks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, `[out, in]`.
+    pub weight: Param,
+    /// Bias vector, `[out]`.
+    pub bias: Param,
+    #[serde(skip)]
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-initialized weights.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        Linear {
+            weight: Param::new(xavier_uniform(
+                [out_features, in_features],
+                in_features,
+                out_features,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros([out_features])),
+            cache: None,
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    /// Forward pass over `[batch, in]`. With `train` set, caches the input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (input must be rank 2 with matching feature
+    /// count).
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let mut y = matmul_a_bt(x, &self.weight.value)?;
+        let (b, o) = (y.dims()[0], y.dims()[1]);
+        let bias = self.bias.value.as_slice();
+        let yv = y.as_mut_slice();
+        for i in 0..b {
+            for j in 0..o {
+                yv[i * o + j] += bias[j];
+            }
+        }
+        if train {
+            self.cache = Some(x.clone());
+        }
+        Ok(y)
+    }
+
+    /// Inference forward with substituted weights (fake-quantization hook).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_with_weight(&self, x: &Tensor, weight: &Tensor) -> Result<Tensor> {
+        let mut y = matmul_a_bt(x, weight)?;
+        let (b, o) = (y.dims()[0], y.dims()[1]);
+        let bias = self.bias.value.as_slice();
+        let yv = y.as_mut_slice();
+        for i in 0..b {
+            for j in 0..o {
+                yv[i * o + j] += bias[j];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Backward pass: accumulates gradients, returns input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] if no training forward preceded.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingCache { layer: "Linear" })?;
+        // dW = gᵀ x, dx = g W, db = column sums of g.
+        let gw = matmul_at_b(grad_out, &x)?;
+        self.weight.grad.add_scaled(&gw, 1.0)?;
+        let (b, o) = (grad_out.dims()[0], grad_out.dims()[1]);
+        let gv = grad_out.as_slice();
+        let mut db = vec![0.0f32; o];
+        for i in 0..b {
+            for j in 0..o {
+                db[j] += gv[i * o + j];
+            }
+        }
+        self.bias
+            .grad
+            .add_scaled(&Tensor::from_vec(db, [o])?, 1.0)?;
+        Ok(matmul(grad_out, &self.weight.value)?)
+    }
+
+    /// Mutable references to the layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = Rng::seed_from(1);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        lin.bias.value = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        lin.weight.value = Tensor::zeros([3, 4]);
+        let x = Tensor::randn([2, 4], &mut rng);
+        let y = lin.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(y.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(y.get(&[1, 2]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = Rng::seed_from(2);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = Tensor::randn([2, 3], &mut rng);
+        let y = lin.forward(&x, true).unwrap();
+        let gout = Tensor::ones(y.dims());
+        let gin = lin.backward(&gout).unwrap();
+
+        let eps = 1e-2f32;
+        // Input gradient check.
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let mut l2 = lin.clone();
+            let fp = l2.forward(&xp, false).unwrap().sum();
+            let fm = l2.forward(&xm, false).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - gin.as_slice()[idx]).abs() < 1e-2);
+        }
+        // Weight gradient check.
+        for idx in 0..lin.weight.value.len() {
+            let mut lp = lin.clone();
+            lp.weight.value.as_mut_slice()[idx] += eps;
+            let mut lm = lin.clone();
+            lm.weight.value.as_mut_slice()[idx] -= eps;
+            let fp = lp.forward(&x, false).unwrap().sum();
+            let fm = lm.forward(&x, false).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - lin.weight.grad.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn feature_counts() {
+        let mut rng = Rng::seed_from(3);
+        let lin = Linear::new(7, 5, &mut rng);
+        assert_eq!(lin.in_features(), 7);
+        assert_eq!(lin.out_features(), 5);
+    }
+}

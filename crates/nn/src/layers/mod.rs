@@ -1,0 +1,15 @@
+//! Layer implementations with explicit forward/backward passes.
+
+mod act;
+mod attention;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+
+pub use act::ActLayer;
+pub use attention::SelfAttention2d;
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use norm::GroupNorm;
+pub use pool::{avg_pool2, avg_pool2_backward, upsample_nearest2, upsample_nearest2_backward};

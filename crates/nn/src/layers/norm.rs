@@ -1,0 +1,269 @@
+//! Group normalization.
+//!
+//! EDM's U-Net normalizes with GroupNorm before each convolution; keeping it
+//! in the reproduction preserves the activation distributions that the
+//! quantization study (Figure 5) depends on.
+
+use crate::error::{NnError, Result};
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::Tensor;
+
+/// Group normalization over `[N, C, H, W]` with per-channel affine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupNorm {
+    /// Number of channel groups.
+    pub groups: usize,
+    /// Per-channel scale, `[C]`.
+    pub gamma: Param,
+    /// Per-channel shift, `[C]`.
+    pub beta: Param,
+    eps: f32,
+    #[serde(skip)]
+    cache: Option<GnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct GnCache {
+    x: Tensor,
+    mean: Vec<f32>,    // per (n, group)
+    inv_std: Vec<f32>, // per (n, group)
+}
+
+impl GroupNorm {
+    /// Creates a GroupNorm layer with unit scale and zero shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns a config error if `groups` does not divide `channels` or is
+    /// zero.
+    pub fn new(channels: usize, groups: usize) -> Result<Self> {
+        if groups == 0 || channels % groups != 0 {
+            return Err(NnError::Config {
+                layer: "GroupNorm",
+                reason: format!("groups {groups} must divide channels {channels}"),
+            });
+        }
+        Ok(GroupNorm {
+            groups,
+            gamma: Param::new(Tensor::ones([channels])),
+            beta: Param::new(Tensor::zeros([channels])),
+            eps: 1e-5,
+            cache: None,
+        })
+    }
+
+    /// Forward pass over `[N, C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for non-rank-4 input or a channel mismatch.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let (n, c, h, w) = x.shape().as_nchw()?;
+        if c != self.gamma.value.len() {
+            return Err(NnError::Config {
+                layer: "GroupNorm",
+                reason: format!("input has {c} channels, layer has {}", self.gamma.value.len()),
+            });
+        }
+        let cpg = c / self.groups; // channels per group
+        let gsize = cpg * h * w; // elements per (n, group)
+        let xv = x.as_slice();
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut out = vec![0.0f32; xv.len()];
+        let mut means = vec![0.0f32; n * self.groups];
+        let mut inv_stds = vec![0.0f32; n * self.groups];
+
+        for nn in 0..n {
+            for g in 0..self.groups {
+                let start = (nn * c + g * cpg) * h * w;
+                let slice = &xv[start..start + gsize];
+                let mean = slice.iter().sum::<f32>() / gsize as f32;
+                let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+                    / gsize as f32;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                means[nn * self.groups + g] = mean;
+                inv_stds[nn * self.groups + g] = inv_std;
+                for ci in 0..cpg {
+                    let ch = g * cpg + ci;
+                    let cstart = (nn * c + ch) * h * w;
+                    for i in 0..h * w {
+                        let xhat = (xv[cstart + i] - mean) * inv_std;
+                        out[cstart + i] = gamma[ch] * xhat + beta[ch];
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(GnCache {
+                x: x.clone(),
+                mean: means,
+                inv_std: inv_stds,
+            });
+        }
+        Ok(Tensor::from_vec(out, [n, c, h, w])?)
+    }
+
+    /// Backward pass: accumulates `gamma`/`beta` gradients, returns the
+    /// input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] without a preceding training
+    /// forward, or shape errors.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or(NnError::MissingCache {
+            layer: "GroupNorm",
+        })?;
+        let (n, c, h, w) = cache.x.shape().as_nchw()?;
+        if grad_out.dims() != [n, c, h, w] {
+            return Err(NnError::Tensor(sqdm_tensor::TensorError::ShapeMismatch {
+                op: "GroupNorm::backward",
+                lhs: grad_out.dims().to_vec(),
+                rhs: vec![n, c, h, w],
+            }));
+        }
+        let cpg = c / self.groups;
+        let gsize = (cpg * h * w) as f32;
+        let xv = cache.x.as_slice();
+        let gv = grad_out.as_slice();
+        let gamma = self.gamma.value.as_slice();
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        let mut dx = vec![0.0f32; xv.len()];
+
+        for nn in 0..n {
+            for g in 0..self.groups {
+                let mean = cache.mean[nn * self.groups + g];
+                let inv_std = cache.inv_std[nn * self.groups + g];
+                // First accumulate the two group-level reductions.
+                let mut sum_dxhat = 0.0f32;
+                let mut sum_dxhat_xhat = 0.0f32;
+                for ci in 0..cpg {
+                    let ch = g * cpg + ci;
+                    let cstart = (nn * c + ch) * h * w;
+                    for i in 0..h * w {
+                        let xhat = (xv[cstart + i] - mean) * inv_std;
+                        let dy = gv[cstart + i];
+                        dgamma[ch] += dy * xhat;
+                        dbeta[ch] += dy;
+                        let dxhat = dy * gamma[ch];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                    }
+                }
+                // dx = (dxhat - mean(dxhat) - xhat·mean(dxhat·xhat)) · inv_std
+                let m1 = sum_dxhat / gsize;
+                let m2 = sum_dxhat_xhat / gsize;
+                for ci in 0..cpg {
+                    let ch = g * cpg + ci;
+                    let cstart = (nn * c + ch) * h * w;
+                    for i in 0..h * w {
+                        let xhat = (xv[cstart + i] - mean) * inv_std;
+                        let dxhat = gv[cstart + i] * gamma[ch];
+                        dx[cstart + i] = (dxhat - m1 - xhat * m2) * inv_std;
+                    }
+                }
+            }
+        }
+        self.gamma
+            .grad
+            .add_scaled(&Tensor::from_vec(dgamma, [c])?, 1.0)?;
+        self.beta
+            .grad
+            .add_scaled(&Tensor::from_vec(dbeta, [c])?, 1.0)?;
+        Ok(Tensor::from_vec(dx, [n, c, h, w])?)
+    }
+
+    /// Mutable references to the layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_tensor::Rng;
+
+    #[test]
+    fn output_is_normalized_per_group() {
+        let mut rng = Rng::seed_from(1);
+        let mut gn = GroupNorm::new(4, 2).unwrap();
+        let x = Tensor::randn([2, 4, 6, 6], &mut rng).scale(3.0).map(|v| v + 5.0);
+        let y = gn.forward(&x, false).unwrap();
+        // Each (n, group) slab should have ~zero mean, ~unit variance.
+        for nn in 0..2 {
+            let mut vals = Vec::new();
+            for ch in 0..2 {
+                vals.extend_from_slice(y.channel(nn, ch).unwrap().as_slice());
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn invalid_group_config_rejected() {
+        assert!(GroupNorm::new(6, 4).is_err());
+        assert!(GroupNorm::new(6, 0).is_err());
+        assert!(GroupNorm::new(6, 3).is_ok());
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = Rng::seed_from(2);
+        let mut gn = GroupNorm::new(2, 1).unwrap();
+        gn.gamma.value = Tensor::from_slice(&[1.3, 0.7]);
+        gn.beta.value = Tensor::from_slice(&[0.1, -0.2]);
+        let x = Tensor::randn([1, 2, 3, 3], &mut rng);
+        // Weighted-sum loss for a non-trivial upstream gradient.
+        let wloss = Tensor::randn([1, 2, 3, 3], &mut rng);
+
+        let y = gn.forward(&x, true).unwrap();
+        let _ = y;
+        let gin = gn.backward(&wloss).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |gn: &GroupNorm, x: &Tensor| -> f32 {
+            let mut g = gn.clone();
+            g.forward(x, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(wloss.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&gn, &xp) - loss(&gn, &xm)) / (2.0 * eps);
+            let an = gin.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "idx {idx}: fd={fd} an={an}");
+        }
+        // gamma gradient.
+        for idx in 0..2 {
+            let mut gp = gn.clone();
+            gp.gamma.value.as_mut_slice()[idx] += eps;
+            let mut gm = gn.clone();
+            gm.gamma.value.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&gp, &x) - loss(&gm, &x)) / (2.0 * eps);
+            let an = gn.gamma.grad.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "gamma {idx}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let mut gn = GroupNorm::new(4, 2).unwrap();
+        let x = Tensor::zeros([1, 6, 2, 2]);
+        assert!(gn.forward(&x, false).is_err());
+    }
+}

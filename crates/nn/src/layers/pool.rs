@@ -1,0 +1,176 @@
+//! Spatial resampling: 2× average-pool downsampling and 2× nearest-neighbor
+//! upsampling, the U-Net's encoder/decoder transitions.
+
+use crate::error::{NnError, Result};
+use sqdm_tensor::{TensorError, Tensor};
+
+/// 2× average pooling over `[N, C, H, W]` (H and W must be even).
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or odd spatial extents.
+pub fn avg_pool2(x: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = x.shape().as_nchw()?;
+    if h % 2 != 0 || w % 2 != 0 {
+        return Err(NnError::Tensor(TensorError::InvalidArgument {
+            op: "avg_pool2",
+            reason: format!("spatial extents must be even, got {h}x{w}"),
+        }));
+    }
+    let (oh, ow) = (h / 2, w / 2);
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for nc in 0..n * c {
+        let src = &xv[nc * h * w..(nc + 1) * h * w];
+        let dst = &mut out[nc * oh * ow..(nc + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let s = src[(2 * oy) * w + 2 * ox]
+                    + src[(2 * oy) * w + 2 * ox + 1]
+                    + src[(2 * oy + 1) * w + 2 * ox]
+                    + src[(2 * oy + 1) * w + 2 * ox + 1];
+                dst[oy * ow + ox] = 0.25 * s;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, [n, c, oh, ow])?)
+}
+
+/// Backward of [`avg_pool2`]: spreads each output gradient uniformly over
+/// its 2×2 input window.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input.
+pub fn avg_pool2_backward(grad_out: &Tensor) -> Result<Tensor> {
+    let (n, c, oh, ow) = grad_out.shape().as_nchw()?;
+    let (h, w) = (oh * 2, ow * 2);
+    let gv = grad_out.as_slice();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for nc in 0..n * c {
+        let src = &gv[nc * oh * ow..(nc + 1) * oh * ow];
+        let dst = &mut out[nc * h * w..(nc + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = 0.25 * src[oy * ow + ox];
+                dst[(2 * oy) * w + 2 * ox] = g;
+                dst[(2 * oy) * w + 2 * ox + 1] = g;
+                dst[(2 * oy + 1) * w + 2 * ox] = g;
+                dst[(2 * oy + 1) * w + 2 * ox + 1] = g;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, [n, c, h, w])?)
+}
+
+/// 2× nearest-neighbor upsampling over `[N, C, H, W]`.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input.
+pub fn upsample_nearest2(x: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = x.shape().as_nchw()?;
+    let (oh, ow) = (h * 2, w * 2);
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for nc in 0..n * c {
+        let src = &xv[nc * h * w..(nc + 1) * h * w];
+        let dst = &mut out[nc * oh * ow..(nc + 1) * oh * ow];
+        for y in 0..oh {
+            for x_ in 0..ow {
+                dst[y * ow + x_] = src[(y / 2) * w + x_ / 2];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, [n, c, oh, ow])?)
+}
+
+/// Backward of [`upsample_nearest2`]: sums each 2×2 output window back onto
+/// its source pixel.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or odd spatial extents.
+pub fn upsample_nearest2_backward(grad_out: &Tensor) -> Result<Tensor> {
+    let (n, c, oh, ow) = grad_out.shape().as_nchw()?;
+    if oh % 2 != 0 || ow % 2 != 0 {
+        return Err(NnError::Tensor(TensorError::InvalidArgument {
+            op: "upsample_nearest2_backward",
+            reason: format!("spatial extents must be even, got {oh}x{ow}"),
+        }));
+    }
+    let (h, w) = (oh / 2, ow / 2);
+    let gv = grad_out.as_slice();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for nc in 0..n * c {
+        let src = &gv[nc * oh * ow..(nc + 1) * oh * ow];
+        let dst = &mut out[nc * h * w..(nc + 1) * h * w];
+        for y in 0..oh {
+            for x_ in 0..ow {
+                dst[(y / 2) * w + x_ / 2] += src[y * ow + x_];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, [n, c, h, w])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_tensor::Rng;
+
+    #[test]
+    fn avg_pool_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]).unwrap();
+        let y = avg_pool2(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.get(&[0, 0, 0, 0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn upsample_replicates() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]).unwrap();
+        let y = upsample_nearest2(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.get(&[0, 0, 0, 1]).unwrap(), 1.0);
+        assert_eq!(y.get(&[0, 0, 3, 3]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn pool_then_upsample_shapes_round_trip() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let y = upsample_nearest2(&avg_pool2(&x).unwrap()).unwrap();
+        assert_eq!(y.dims(), x.dims());
+    }
+
+    #[test]
+    fn avg_pool_backward_is_adjoint() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn([1, 2, 4, 4], &mut rng);
+        let y = avg_pool2(&x).unwrap();
+        let g = Tensor::randn(y.dims(), &mut rng);
+        let gx = avg_pool2_backward(&g).unwrap();
+        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn upsample_backward_is_adjoint() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn([1, 2, 3, 3], &mut rng);
+        let y = upsample_nearest2(&x).unwrap();
+        let g = Tensor::randn(y.dims(), &mut rng);
+        let gx = upsample_nearest2_backward(&g).unwrap();
+        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn odd_extent_rejected() {
+        assert!(avg_pool2(&Tensor::zeros([1, 1, 3, 4])).is_err());
+        assert!(upsample_nearest2_backward(&Tensor::zeros([1, 1, 3, 4])).is_err());
+    }
+}

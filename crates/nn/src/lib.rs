@@ -1,0 +1,39 @@
+//! # sqdm-nn
+//!
+//! Neural-network building blocks for the SQ-DM reproduction: convolution,
+//! linear, group-norm, activation, pooling and spatial self-attention layers
+//! — each with an explicit backward pass — plus SGD/Adam optimizers and a
+//! fake-quantized inference executor.
+//!
+//! There is no autograd tape: every layer caches what its own backward pass
+//! needs during a training-mode forward. The `sqdm-edm` crate composes these
+//! layers into the EDM U-Net and drives training and sampling.
+//!
+//! # Examples
+//!
+//! ```
+//! use sqdm_nn::layers::Conv2d;
+//! use sqdm_tensor::{ops::Conv2dGeometry, Rng, Tensor};
+//! # fn main() -> Result<(), sqdm_nn::NnError> {
+//! let mut rng = Rng::seed_from(0);
+//! let mut conv = Conv2d::new(3, 8, 3, Conv2dGeometry::same(3), &mut rng);
+//! let x = Tensor::randn([1, 3, 8, 8], &mut rng);
+//! let y = conv.forward(&x, true)?;
+//! let grad_in = conv.backward(&Tensor::ones(y.dims()))?;
+//! assert_eq!(grad_in.dims(), x.dims());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod init;
+pub mod layers;
+pub mod optim;
+mod param;
+mod quantized;
+
+pub use error::{NnError, Result};
+pub use param::Param;
+pub use quantized::QuantExecutor;

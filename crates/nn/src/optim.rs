@@ -1,0 +1,182 @@
+//! Optimizers: SGD and Adam.
+//!
+//! Because the layer structs own their parameters, optimizers are stateless
+//! over *which* parameters exist: state is keyed by the order parameters are
+//! presented in, which the model keeps stable across steps.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update step to `params` (ordered) and clears gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims()))
+                .collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                *v = v.scale(self.momentum);
+                v.add_scaled(&p.grad, 1.0).expect("shape stable");
+                let upd = v.clone();
+                p.value.add_scaled(&upd, -self.lr).expect("shape stable");
+            } else {
+                let g = p.grad.clone();
+                p.value.add_scaled(&g, -self.lr).expect("shape stable");
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard (0.9, 0.999) betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update step to `params` (ordered) and clears gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims()))
+                .collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let g = p.grad.as_slice();
+            let m = self.m[i].as_mut_slice();
+            let v = self.v[i].as_mut_slice();
+            let val = p.value.as_mut_slice();
+            for j in 0..g.len() {
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g[j];
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g[j] * g[j];
+                let mhat = m[j] / bc1;
+                let vhat = v[j] / bc2;
+                val[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)² from x = 0 with each optimizer.
+    fn run_quadratic(opt: &mut dyn FnMut(&mut [&mut Param])) -> f32 {
+        let mut p = Param::new(Tensor::from_slice(&[0.0]));
+        for _ in 0..200 {
+            let x = p.value.get(&[0]).unwrap();
+            p.grad = Tensor::from_slice(&[2.0 * (x - 3.0)]);
+            opt(&mut [&mut p]);
+        }
+        p.value.get(&[0]).unwrap()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let x = run_quadratic(&mut |ps| sgd.step(ps));
+        assert!((x - 3.0).abs() < 1e-3, "{x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut sgd = Sgd::new(0.05, 0.9);
+        let x = run_quadratic(&mut |ps| sgd.step(ps));
+        assert!((x - 3.0).abs() < 1e-2, "{x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.1);
+        let x = run_quadratic(&mut |ps| adam.step(ps));
+        assert!((x - 3.0).abs() < 0.05, "{x}");
+        assert_eq!(adam.steps(), 200);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut adam = Adam::new(0.01);
+        let mut p = Param::new(Tensor::from_slice(&[1.0]));
+        p.grad = Tensor::from_slice(&[5.0]);
+        adam.step(&mut [&mut p]);
+        assert_eq!(p.grad.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn adam_scale_invariance_of_direction() {
+        // Adam normalizes by gradient magnitude: two params with gradients
+        // of very different scales move by comparable amounts.
+        let mut adam = Adam::new(0.1);
+        let mut a = Param::new(Tensor::from_slice(&[0.0]));
+        let mut b = Param::new(Tensor::from_slice(&[0.0]));
+        a.grad = Tensor::from_slice(&[1000.0]);
+        b.grad = Tensor::from_slice(&[0.001]);
+        adam.step(&mut [&mut a, &mut b]);
+        let da = a.value.get(&[0]).unwrap().abs();
+        let db = b.value.get(&[0]).unwrap().abs();
+        assert!((da - db).abs() / da.max(db) < 0.01, "{da} vs {db}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Trainable parameters.
+
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::Tensor;
+
+/// A trainable parameter: a value tensor plus its accumulated gradient.
+///
+/// Layers accumulate into `grad` during [`backward`](crate::Layer::backward);
+/// optimizers consume and reset it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with zero gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.dims());
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_starts_zero_and_resets() {
+        let mut p = Param::new(Tensor::ones([2, 3]));
+        assert_eq!(p.grad, Tensor::zeros([2, 3]));
+        p.grad = Tensor::ones([2, 3]);
+        p.zero_grad();
+        assert_eq!(p.grad, Tensor::zeros([2, 3]));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Static activation calibration.
+//!
+//! The fake-quantization in [`crate::fake_quant`] computes scales
+//! *dynamically* from each tensor it sees — the idealized setting.
+//! Hardware deployments (and the paper's PTQ baselines) fix activation
+//! scales *statically* from a calibration set and reuse them for every
+//! input. This module collects running absolute-maximum statistics over
+//! calibration tensors and then quantizes new tensors with the frozen
+//! scales, exposing the static-vs-dynamic gap as a measurable quantity.
+
+use crate::error::{QuantError, Result};
+use crate::format::{Granularity, QuantFormat};
+use crate::qtensor::ChannelLayout;
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::Tensor;
+
+/// Running calibration statistics for one activation site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibrator {
+    format: QuantFormat,
+    layout: ChannelLayout,
+    /// Per-group absolute maxima (layout depends on granularity).
+    group_absmax: Vec<f32>,
+    /// Shape the calibrator was locked to by the first observation.
+    dims: Option<Vec<usize>>,
+    samples: usize,
+}
+
+impl Calibrator {
+    /// Creates an empty calibrator for a format and layout.
+    pub fn new(format: QuantFormat, layout: ChannelLayout) -> Self {
+        Calibrator {
+            format,
+            layout,
+            group_absmax: Vec::new(),
+            dims: None,
+            samples: 0,
+        }
+    }
+
+    /// Number of calibration tensors observed.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Observes one calibration tensor, updating per-group maxima.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor shape differs from earlier
+    /// observations or the layout is invalid.
+    pub fn observe(&mut self, x: &Tensor) -> Result<()> {
+        match &self.dims {
+            None => self.dims = Some(x.dims().to_vec()),
+            Some(d) if d != x.dims() => {
+                return Err(QuantError::Layout {
+                    reason: format!(
+                        "calibration shape changed from {:?} to {:?}",
+                        d,
+                        x.dims()
+                    ),
+                });
+            }
+            _ => {}
+        }
+        let (num_slices, slice_len) = self.layout.slices(x.dims())?;
+        let block_len = self.format.granularity.block_len(slice_len);
+        let blocks_per_slice = match self.format.granularity {
+            Granularity::PerTensor => 1,
+            Granularity::PerChannel => 1,
+            Granularity::PerBlock(_) => slice_len.div_ceil(block_len.max(1)).max(1),
+        };
+        let total_groups = match self.format.granularity {
+            Granularity::PerTensor => 1,
+            _ => num_slices * blocks_per_slice,
+        };
+        if self.group_absmax.len() != total_groups {
+            self.group_absmax = vec![0.0; total_groups];
+        }
+        let xv = x.as_slice();
+        match self.format.granularity {
+            Granularity::PerTensor => {
+                self.group_absmax[0] = self.group_absmax[0].max(x.abs_max());
+            }
+            Granularity::PerChannel => {
+                for s in 0..num_slices {
+                    let m = xv[s * slice_len..(s + 1) * slice_len]
+                        .iter()
+                        .fold(0.0f32, |m, &v| m.max(v.abs()));
+                    self.group_absmax[s] = self.group_absmax[s].max(m);
+                }
+            }
+            Granularity::PerBlock(_) => {
+                for s in 0..num_slices {
+                    let slice = &xv[s * slice_len..(s + 1) * slice_len];
+                    for (b, block) in slice.chunks(block_len).enumerate() {
+                        let m = block.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                        let g = s * blocks_per_slice + b;
+                        self.group_absmax[g] = self.group_absmax[g].max(m);
+                    }
+                }
+            }
+        }
+        self.samples += 1;
+        Ok(())
+    }
+
+    /// The frozen per-group scales implied by the observed maxima
+    /// (encoded per the format's scale encoding).
+    pub fn scales(&self) -> Vec<f32> {
+        let qmax = self.format.grid.qmax() as f32;
+        self.group_absmax
+            .iter()
+            .map(|&m| self.format.scale_encoding.encode(m / qmax))
+            .collect()
+    }
+
+    /// Quantize-dequantizes a tensor with the *frozen* calibration scales.
+    ///
+    /// Values beyond the calibrated range clip, exactly as they would in
+    /// hardware with static scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no calibration was observed or the shape
+    /// mismatches.
+    pub fn fake_quant_static(&self, x: &Tensor) -> Result<Tensor> {
+        let Some(dims) = &self.dims else {
+            return Err(QuantError::Layout {
+                reason: "calibrator has observed no data".into(),
+            });
+        };
+        if dims != x.dims() {
+            return Err(QuantError::Layout {
+                reason: format!("expected shape {:?}, got {:?}", dims, x.dims()),
+            });
+        }
+        let (num_slices, slice_len) = self.layout.slices(x.dims())?;
+        let block_len = self.format.granularity.block_len(slice_len);
+        let blocks_per_slice = slice_len.div_ceil(block_len.max(1)).max(1);
+        let scales = self.scales();
+        let grid = self.format.grid;
+        let xv = x.as_slice();
+        let mut out = vec![0.0f32; xv.len()];
+        for s in 0..num_slices {
+            for i in 0..slice_len {
+                let g = match self.format.granularity {
+                    Granularity::PerTensor => 0,
+                    Granularity::PerChannel => s,
+                    Granularity::PerBlock(_) => s * blocks_per_slice + i / block_len,
+                };
+                let scale = scales[g];
+                let idx = s * slice_len + i;
+                out[idx] = grid.decode(grid.encode(xv[idx], scale), scale);
+            }
+        }
+        Ok(Tensor::from_vec(out, x.dims().to_vec())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qtensor::fake_quant;
+    use sqdm_tensor::Rng;
+
+    #[test]
+    fn calibrated_matches_dynamic_on_calibration_data() {
+        // If the evaluation tensor *is* the calibration tensor, static and
+        // dynamic scales coincide.
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn([1, 4, 8, 8], &mut rng);
+        let fmt = QuantFormat::int8();
+        let mut cal = Calibrator::new(fmt, ChannelLayout::ACTIVATION);
+        cal.observe(&x).unwrap();
+        let st = cal.fake_quant_static(&x).unwrap();
+        let dy = fake_quant(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+        assert_eq!(st, dy);
+    }
+
+    #[test]
+    fn static_scales_clip_out_of_range_data() {
+        let fmt = QuantFormat::int8();
+        let mut cal = Calibrator::new(fmt, ChannelLayout { axis: 0 });
+        cal.observe(&Tensor::from_slice(&[1.0, -1.0, 0.5, 0.2])).unwrap();
+        // New data exceeds the calibrated range: clips at ±1.
+        let y = cal
+            .fake_quant_static(&Tensor::from_slice(&[5.0, -3.0, 0.5, 0.0]))
+            .unwrap();
+        assert!((y.get(&[0]).unwrap() - 1.0).abs() < 0.02, "{y:?}");
+        assert!((y.get(&[1]).unwrap() + 1.0).abs() < 0.02);
+        assert_eq!(y.get(&[3]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn maxima_accumulate_across_batches() {
+        let fmt = QuantFormat::int8();
+        let mut cal = Calibrator::new(fmt, ChannelLayout { axis: 0 });
+        cal.observe(&Tensor::from_slice(&[0.5, 0.1])).unwrap();
+        cal.observe(&Tensor::from_slice(&[0.2, 2.0])).unwrap();
+        assert_eq!(cal.samples(), 2);
+        // Per-channel groups (axis 0 of a rank-1 tensor = one group per
+        // element): each tracks its own running maximum.
+        let s = cal.scales();
+        assert!((s[0] - 0.5 / 127.0).abs() < 1e-6, "{s:?}");
+        assert!((s[1] - 2.0 / 127.0).abs() < 1e-6, "{s:?}");
+    }
+
+    #[test]
+    fn static_error_at_least_dynamic_error() {
+        // Dynamic scaling adapts to each tensor; frozen scales cannot do
+        // better on unseen data (up to clipping ties).
+        let mut rng = Rng::seed_from(2);
+        let fmt = QuantFormat::int4();
+        let mut cal = Calibrator::new(fmt, ChannelLayout::ACTIVATION);
+        for _ in 0..4 {
+            cal.observe(&Tensor::randn([1, 4, 8, 8], &mut rng)).unwrap();
+        }
+        let mut static_err = 0.0f64;
+        let mut dynamic_err = 0.0f64;
+        for _ in 0..4 {
+            let x = Tensor::randn([1, 4, 8, 8], &mut rng);
+            static_err += x.mse(&cal.fake_quant_static(&x).unwrap()).unwrap() as f64;
+            dynamic_err += x
+                .mse(&fake_quant(&x, fmt, ChannelLayout::ACTIVATION).unwrap())
+                .unwrap() as f64;
+        }
+        assert!(
+            static_err >= 0.8 * dynamic_err,
+            "static {static_err} vs dynamic {dynamic_err}"
+        );
+    }
+
+    #[test]
+    fn shape_changes_rejected() {
+        let mut cal = Calibrator::new(QuantFormat::int8(), ChannelLayout { axis: 0 });
+        cal.observe(&Tensor::zeros([4])).unwrap();
+        assert!(cal.observe(&Tensor::zeros([5])).is_err());
+        assert!(cal.fake_quant_static(&Tensor::zeros([5])).is_err());
+        let empty = Calibrator::new(QuantFormat::int8(), ChannelLayout { axis: 0 });
+        assert!(empty.fake_quant_static(&Tensor::zeros([4])).is_err());
+    }
+
+    #[test]
+    fn per_block_calibration_tracks_groups() {
+        let mut rng = Rng::seed_from(3);
+        let fmt = QuantFormat::mxint8();
+        let mut cal = Calibrator::new(fmt, ChannelLayout::ACTIVATION);
+        let x = Tensor::randn([1, 2, 8, 8], &mut rng);
+        cal.observe(&x).unwrap();
+        // 2 slices × (64/32) blocks = 4 groups.
+        assert_eq!(cal.scales().len(), 4);
+        let y = cal.fake_quant_static(&x).unwrap();
+        assert!(x.mse(&y).unwrap() < 1e-3);
+    }
+}

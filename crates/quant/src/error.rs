@@ -1,0 +1,64 @@
+//! Error type for quantization operations.
+
+use std::fmt;
+
+/// Error produced by quantizer construction and application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A tensor axis or layout was incompatible with the requested
+    /// granularity.
+    Layout {
+        /// Explanation of the incompatibility.
+        reason: String,
+    },
+    /// A format parameter was invalid (e.g. zero bits, zero block size).
+    InvalidFormat {
+        /// Explanation of the invalid parameter.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(sqdm_tensor::TensorError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::Layout { reason } => write!(f, "layout error: {reason}"),
+            QuantError::InvalidFormat { reason } => write!(f, "invalid format: {reason}"),
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sqdm_tensor::TensorError> for QuantError {
+    fn from(e: sqdm_tensor::TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, QuantError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QuantError::Layout {
+            reason: "bad axis".into(),
+        };
+        assert!(e.to_string().contains("bad axis"));
+        let t = QuantError::from(sqdm_tensor::TensorError::ReshapeMismatch { from: 1, to: 2 });
+        assert!(std::error::Error::source(&t).is_some());
+    }
+}

@@ -1,0 +1,215 @@
+//! Software emulation of the narrow floating-point formats used by SQ-DM:
+//! IEEE half precision (FP16) and OCP FP8 E4M3 (used for the scale factors
+//! of the paper's 4-bit format, §III-A).
+
+/// Parameters of a saturating small-float format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatFormat {
+    /// Mantissa bits (excluding the implicit leading one).
+    pub mantissa_bits: i32,
+    /// Minimum normal exponent (unbiased).
+    pub min_exponent: i32,
+    /// Largest finite magnitude; values beyond saturate.
+    pub max_finite: f32,
+    /// Display name.
+    pub name: &'static str,
+}
+
+/// IEEE 754 binary16: 10 mantissa bits, exponents down to 2⁻¹⁴, max 65504.
+pub const FP16: FloatFormat = FloatFormat {
+    mantissa_bits: 10,
+    min_exponent: -14,
+    max_finite: 65504.0,
+    name: "FP16",
+};
+
+/// OCP FP8 E4M3 (the "FN" variant): 3 mantissa bits, exponents down to 2⁻⁶,
+/// max finite 448.
+pub const FP8_E4M3: FloatFormat = FloatFormat {
+    mantissa_bits: 3,
+    min_exponent: -6,
+    max_finite: 448.0,
+    name: "FP8-E4M3",
+};
+
+impl FloatFormat {
+    /// Rounds `x` to the nearest representable value of this format
+    /// (round-to-nearest-even), saturating at `max_finite` and flushing
+    /// values below half the smallest subnormal to zero.
+    ///
+    /// NaN is propagated unchanged.
+    pub fn round(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return f32::NAN;
+        }
+        let sign = if x.is_sign_negative() { -1.0 } else { 1.0 };
+        let a = x.abs();
+        if a == 0.0 {
+            return 0.0;
+        }
+        if a >= self.max_finite {
+            return sign * self.max_finite;
+        }
+        // True floor(log2(a)) for normal f32 inputs, read from the exponent
+        // bits; f32 subnormals are far below any target format's range.
+        let bits = a.to_bits();
+        let e_raw = ((bits >> 23) & 0xff) as i32;
+        let e = if e_raw == 0 { -127 } else { e_raw - 127 };
+        let step_exp = if e < self.min_exponent {
+            // Subnormal range of the target: fixed grid.
+            self.min_exponent - self.mantissa_bits
+        } else {
+            e - self.mantissa_bits
+        };
+        let step = (step_exp as f32).exp2();
+        let y = (a / step).round_ties_even() * step;
+        if y > self.max_finite {
+            sign * self.max_finite
+        } else {
+            sign * y
+        }
+    }
+
+    /// Rounds `x` *up* to the nearest representable value at or above it
+    /// (in magnitude). Used for scale factors, where rounding a scale down
+    /// would clip the largest tensor element.
+    pub fn round_up(&self, x: f32) -> f32 {
+        let r = self.round(x);
+        if r.abs() >= x.abs() {
+            return r;
+        }
+        // Nudge one ulp of the target grid upward.
+        let a = x.abs();
+        let bits = a.to_bits();
+        let e_raw = ((bits >> 23) & 0xff) as i32;
+        let e = if e_raw == 0 { -127 } else { e_raw - 127 };
+        let step_exp = if e < self.min_exponent {
+            self.min_exponent - self.mantissa_bits
+        } else {
+            e - self.mantissa_bits
+        };
+        let step = (step_exp as f32).exp2();
+        let y = ((r.abs() + step).min(self.max_finite)) * x.signum();
+        y
+    }
+
+    /// Smallest positive representable value (subnormal).
+    pub fn min_positive(&self) -> f32 {
+        ((self.min_exponent - self.mantissa_bits) as f32).exp2()
+    }
+}
+
+/// Rounds every element of a slice to FP16, in place.
+pub fn round_slice_fp16(xs: &mut [f32]) {
+    for x in xs {
+        *x = FP16.round(*x);
+    }
+}
+
+/// Rounds a positive scale factor up to the next power of two.
+///
+/// This models the MX shared-exponent (E8M0) scale encoding: scales are pure
+/// powers of two, chosen upward so the block maximum never clips.
+///
+/// Returns 1.0 for non-positive input (degenerate all-zero blocks).
+pub fn round_up_pow2(s: f32) -> f32 {
+    if s <= 0.0 || !s.is_finite() {
+        return 1.0;
+    }
+    let e = s.log2().ceil();
+    let p = e.exp2();
+    // Guard against log2 round-off putting us one step low.
+    if p < s {
+        (e + 1.0).exp2()
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_exact_values_pass_through() {
+        for v in [0.0f32, 1.0, -2.0, 0.5, 65504.0, 1024.0, -0.25] {
+            assert_eq!(FP16.round(v), v);
+        }
+    }
+
+    #[test]
+    fn fp16_rounds_to_11_bit_significand() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10 → ties to
+        // even → 1.0.
+        let x = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(FP16.round(x), 1.0);
+        // 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9 → ties to even →
+        // 1 + 2^-9... check: mantissa candidates 1 and 2 (in 2^-10 units);
+        // tie goes to 2 (even).
+        let y = 1.0 + 3.0 * (2.0f32).powi(-11);
+        assert_eq!(FP16.round(y), 1.0 + 2.0 * (2.0f32).powi(-10));
+    }
+
+    #[test]
+    fn fp16_saturates() {
+        assert_eq!(FP16.round(1e9), 65504.0);
+        assert_eq!(FP16.round(-1e9), -65504.0);
+    }
+
+    #[test]
+    fn fp16_flushes_tiny_to_zero() {
+        assert_eq!(FP16.round(1e-12), 0.0);
+        // Smallest FP16 subnormal is 2^-24; just above half of it rounds up.
+        let sub = (2.0f32).powi(-24);
+        assert_eq!(FP16.round(sub), sub);
+        assert_eq!(FP16.round(sub * 0.4), 0.0);
+    }
+
+    #[test]
+    fn e4m3_representable_grid() {
+        // E4M3 around 1.0: steps of 1/8.
+        assert_eq!(FP8_E4M3.round(1.0), 1.0);
+        assert_eq!(FP8_E4M3.round(1.0625), 1.0); // 1+1/16 ties to even → 1.0
+        assert_eq!(FP8_E4M3.round(1.1), 1.125);
+        assert_eq!(FP8_E4M3.round(440.0), 448.0);
+        assert_eq!(FP8_E4M3.round(1000.0), 448.0);
+        assert_eq!(FP8_E4M3.round(-3.1), -3.0);
+    }
+
+    #[test]
+    fn e4m3_subnormals() {
+        // Min subnormal 2^-9.
+        let m = FP8_E4M3.min_positive();
+        assert_eq!(m, (2.0f32).powi(-9));
+        assert_eq!(FP8_E4M3.round(m), m);
+        assert_eq!(FP8_E4M3.round(m * 0.4), 0.0);
+    }
+
+    #[test]
+    fn round_up_never_below_input() {
+        for v in [0.001f32, 0.3, 1.0, 1.01, 7.3, 100.0, 447.0] {
+            let r = FP8_E4M3.round_up(v);
+            assert!(r >= v, "round_up({v}) = {r}");
+        }
+    }
+
+    #[test]
+    fn pow2_rounding() {
+        assert_eq!(round_up_pow2(1.0), 1.0);
+        assert_eq!(round_up_pow2(0.9), 1.0);
+        assert_eq!(round_up_pow2(1.1), 2.0);
+        assert_eq!(round_up_pow2(0.25), 0.25);
+        assert_eq!(round_up_pow2(0.0), 1.0);
+        for s in [0.003f32, 0.7, 3.0, 100.0] {
+            let p = round_up_pow2(s);
+            assert!(p >= s && p < 2.0 * s);
+            assert_eq!(p.log2().fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(FP16.round(f32::NAN).is_nan());
+        assert!(FP8_E4M3.round(f32::NAN).is_nan());
+    }
+}

@@ -1,0 +1,124 @@
+//! Quantization-level utilization analysis (paper Figure 6).
+//!
+//! SiLU outputs on `x ∈ [-1, 1]` span `[-0.269, 0.731]`: quantizing with a
+//! signed INT4 grid scaled to the positive maximum leaves the deep negative
+//! codes unreachable, wasting levels. ReLU outputs span `[0, 1]` and an
+//! unsigned UINT4 grid reaches all 16 codes.
+
+use crate::format::IntGrid;
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::ops::Activation;
+
+/// Result of a level-utilization measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelUtilization {
+    /// The activation function measured.
+    pub activation: String,
+    /// The integer grid used.
+    pub grid: IntGrid,
+    /// Number of distinct codes reachable.
+    pub used_levels: u32,
+    /// Total representable codes of the grid (16 for 4-bit two's-complement
+    /// hardware, counting the asymmetric minimum).
+    pub total_levels: u32,
+    /// `used / total`.
+    pub utilization: f64,
+}
+
+/// Measures how many quantization codes the composition
+/// `quantize(activation(x))` can reach for pre-activations `x ∈ [lo, hi]`.
+///
+/// The scale is calibrated symmetrically to the output's absolute maximum
+/// (the uniform symmetric scheme of §II-A). `total_levels` counts the full
+/// two's-complement range (`2^bits`), matching the paper's "10 of the 16
+/// levels" phrasing for signed INT4.
+pub fn level_utilization(
+    activation: Activation,
+    grid: IntGrid,
+    lo: f32,
+    hi: f32,
+    samples: usize,
+) -> LevelUtilization {
+    let samples = samples.max(2);
+    let mut abs_max = 0.0f32;
+    let mut outputs = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let x = lo + (hi - lo) * i as f32 / (samples - 1) as f32;
+        let y = activation.apply(x);
+        abs_max = abs_max.max(y.abs());
+        outputs.push(y);
+    }
+    let scale = if abs_max > 0.0 {
+        abs_max / grid.qmax() as f32
+    } else {
+        1.0
+    };
+    let mut used = std::collections::BTreeSet::new();
+    for y in outputs {
+        used.insert(grid.encode(y, scale));
+    }
+    let total = 1u32 << grid.bits;
+    LevelUtilization {
+        activation: format!("{activation:?}"),
+        grid,
+        used_levels: used.len() as u32,
+        total_levels: total,
+        utilization: used.len() as f64 / total as f64,
+    }
+}
+
+/// The paper's Figure 6 comparison: SiLU + signed INT4 versus ReLU + UINT4
+/// on `x ∈ [-1, 1]`.
+///
+/// Returns `(silu_int4, relu_uint4)`.
+pub fn figure6_comparison() -> (LevelUtilization, LevelUtilization) {
+    let silu = level_utilization(Activation::Silu, IntGrid::signed(4), -1.0, 1.0, 100_000);
+    let relu = level_utilization(Activation::Relu, IntGrid::unsigned(4), -1.0, 1.0, 100_000);
+    (silu, relu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_uint4_uses_all_levels() {
+        let u = level_utilization(Activation::Relu, IntGrid::unsigned(4), -1.0, 1.0, 10_000);
+        assert_eq!(u.used_levels, 16);
+        assert_eq!(u.total_levels, 16);
+        assert!((u.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silu_int4_wastes_levels() {
+        // Paper: ~10 of 16 levels. SiLU on [-1,1] spans [-0.269, 0.731], so
+        // codes below round(-0.269/0.731 · 7) ≈ -3 are unreachable, as are
+        // -8..-4: at most 11 of 16 codes.
+        let u = level_utilization(Activation::Silu, IntGrid::signed(4), -1.0, 1.0, 100_000);
+        assert!(u.used_levels <= 11, "used {}", u.used_levels);
+        assert!(u.used_levels >= 9, "used {}", u.used_levels);
+        assert_eq!(u.total_levels, 16);
+        assert!(u.utilization < 0.75);
+    }
+
+    #[test]
+    fn figure6_ordering() {
+        let (silu, relu) = figure6_comparison();
+        assert!(relu.utilization > silu.utilization);
+        assert_eq!(relu.used_levels, 16);
+    }
+
+    #[test]
+    fn identity_signed_uses_nearly_full_symmetric_range() {
+        let u = level_utilization(Activation::Identity, IntGrid::signed(4), -1.0, 1.0, 10_000);
+        // Symmetric data reaches -7..7 = 15 of the 16 two's-complement codes.
+        assert_eq!(u.used_levels, 15);
+    }
+
+    #[test]
+    fn degenerate_zero_range() {
+        let u = level_utilization(Activation::Relu, IntGrid::unsigned(4), -2.0, -1.0, 100);
+        // ReLU of negative inputs is identically zero: one code.
+        assert_eq!(u.used_levels, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # sqdm-quant
+//!
+//! Quantization machinery for the SQ-DM reproduction: the data formats of
+//! the paper's Tables I/II (INT8, MXINT8, INT4, INT4-VSQ and the proposed
+//! INT4/UINT4 with FP8 scale factors), software FP16/FP8 rounding, scale
+//! granularities, fake quantization, mixed-precision policies and the
+//! compute/memory cost model.
+//!
+//! # Examples
+//!
+//! ```
+//! use sqdm_quant::{fake_quant, ChannelLayout, QuantFormat};
+//! use sqdm_tensor::{Rng, Tensor};
+//! # fn main() -> Result<(), sqdm_quant::QuantError> {
+//! let mut rng = Rng::seed_from(1);
+//! let acts = Tensor::randn([1, 8, 16, 16], &mut rng);
+//! // MXINT8 keeps the tensor close to the original…
+//! let q8 = fake_quant(&acts, QuantFormat::mxint8(), ChannelLayout::ACTIVATION)?;
+//! // …while coarse INT4 does not (Table I).
+//! let q4 = fake_quant(&acts, QuantFormat::int4(), ChannelLayout::ACTIVATION)?;
+//! let err8 = acts.mse(&q8).unwrap();
+//! let err4 = acts.mse(&q4).unwrap();
+//! assert!(err8 < err4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod error;
+pub mod float;
+mod format;
+mod levels;
+mod policy;
+mod prune;
+mod qtensor;
+
+pub use calibrate::Calibrator;
+pub use error::{QuantError, Result};
+pub use format::{Granularity, IntGrid, QuantFormat, ScaleEncoding};
+pub use levels::{figure6_comparison, level_utilization, LevelUtilization};
+pub use policy::{
+    evaluate_cost, BlockKind, BlockPrecision, BlockProfile, CostSavings, PrecisionAssignment,
+};
+pub use prune::{prune_2_4, prune_m_of_n, satisfies_m_of_n};
+pub use qtensor::{fake_quant, quant_rmse, ChannelLayout, QuantizedTensor};

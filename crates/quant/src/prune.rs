@@ -1,0 +1,147 @@
+//! Structured 2:4 weight pruning.
+//!
+//! The paper's §II-B notes that its activation sparsity "can be combined
+//! with weight sparsity to enable additional efficiency": current-gen
+//! tensor cores double math throughput for weights where at most 2 of
+//! every 4 adjacent values are nonzero. This module provides the pruning
+//! transform; the accelerator consumes the resulting density through
+//! [`ConvWorkload::weight_density`](https://docs.rs/sqdm-accel).
+
+use crate::error::{QuantError, Result};
+use crate::qtensor::ChannelLayout;
+use sqdm_tensor::Tensor;
+
+/// Zeroes the `n - m` smallest-magnitude values in every group of `n`
+/// consecutive elements within each channel slice (m:n structured
+/// sparsity; the hardware-standard case is 2:4).
+///
+/// Groups shorter than `n` at a slice boundary are pruned proportionally
+/// (keep `ceil(len·m/n)` values).
+///
+/// # Errors
+///
+/// Returns an error if `m > n`, `n == 0`, or the layout is invalid.
+pub fn prune_m_of_n(
+    weights: &Tensor,
+    m: usize,
+    n: usize,
+    layout: ChannelLayout,
+) -> Result<Tensor> {
+    if n == 0 || m > n {
+        return Err(QuantError::InvalidFormat {
+            reason: format!("invalid m:n sparsity pattern {m}:{n}"),
+        });
+    }
+    let (num_slices, slice_len) = layout.slices(weights.dims())?;
+    let mut out = weights.clone();
+    let ov = out.as_mut_slice();
+    for s in 0..num_slices {
+        let slice = &mut ov[s * slice_len..(s + 1) * slice_len];
+        for group in slice.chunks_mut(n) {
+            let keep = if group.len() == n {
+                m
+            } else {
+                (group.len() * m).div_ceil(n)
+            };
+            if keep >= group.len() {
+                continue;
+            }
+            // Indices sorted by |value| descending; zero the tail.
+            let mut idx: Vec<usize> = (0..group.len()).collect();
+            idx.sort_by(|&a, &b| group[b].abs().total_cmp(&group[a].abs()));
+            for &i in &idx[keep..] {
+                group[i] = 0.0;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Standard 2:4 structured pruning of a weight tensor.
+///
+/// # Errors
+///
+/// Propagates layout errors.
+pub fn prune_2_4(weights: &Tensor) -> Result<Tensor> {
+    prune_m_of_n(weights, 2, 4, ChannelLayout::WEIGHT)
+}
+
+/// Checks that a tensor satisfies the m:n pattern under a layout.
+pub fn satisfies_m_of_n(weights: &Tensor, m: usize, n: usize, layout: ChannelLayout) -> bool {
+    let Ok((num_slices, slice_len)) = layout.slices(weights.dims()) else {
+        return false;
+    };
+    let wv = weights.as_slice();
+    for s in 0..num_slices {
+        let slice = &wv[s * slice_len..(s + 1) * slice_len];
+        for group in slice.chunks(n) {
+            let limit = if group.len() == n {
+                m
+            } else {
+                (group.len() * m).div_ceil(n)
+            };
+            if group.iter().filter(|&&v| v != 0.0).count() > limit {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_tensor::Rng;
+
+    #[test]
+    fn prunes_exactly_half() {
+        let mut rng = Rng::seed_from(1);
+        let w = Tensor::randn([8, 4, 3, 3], &mut rng);
+        let p = prune_2_4(&w).unwrap();
+        assert!(satisfies_m_of_n(&p, 2, 4, ChannelLayout::WEIGHT));
+        // 36 elements per slice = 9 groups of 4 → exactly 18 nonzero kept
+        // per slice (assuming no exact zeros in the random input).
+        assert!((p.sparsity() - 0.5).abs() < 1e-9, "{}", p.sparsity());
+    }
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let w = Tensor::from_vec(vec![1.0, -5.0, 0.1, 3.0], [1, 1, 2, 2]).unwrap();
+        let p = prune_2_4(&w).unwrap();
+        assert_eq!(p.as_slice(), &[0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn ragged_tail_pruned_proportionally() {
+        // Slice of 6 = one group of 4 + tail of 2; tail keeps ceil(2·2/4)=1.
+        let w = Tensor::from_vec(vec![4.0, 3.0, 2.0, 1.0, 9.0, 8.0], [1, 6]).unwrap();
+        let p = prune_m_of_n(&w, 2, 4, ChannelLayout::WEIGHT).unwrap();
+        assert_eq!(p.as_slice(), &[4.0, 3.0, 0.0, 0.0, 9.0, 0.0]);
+    }
+
+    #[test]
+    fn already_sparse_is_fixed_point() {
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], [1, 4]).unwrap();
+        let p = prune_m_of_n(&w, 2, 4, ChannelLayout::WEIGHT).unwrap();
+        assert_eq!(p, w);
+    }
+
+    #[test]
+    fn invalid_patterns_rejected() {
+        let w = Tensor::zeros([2, 4]);
+        assert!(prune_m_of_n(&w, 5, 4, ChannelLayout::WEIGHT).is_err());
+        assert!(prune_m_of_n(&w, 1, 0, ChannelLayout::WEIGHT).is_err());
+    }
+
+    #[test]
+    fn pruning_error_is_moderate() {
+        // Dropping the two smallest of four Gaussian values loses little
+        // energy: relative RMS error well under the tensor's own RMS.
+        let mut rng = Rng::seed_from(2);
+        let w = Tensor::randn([16, 16, 3, 3], &mut rng);
+        let p = prune_2_4(&w).unwrap();
+        let err = w.mse(&p).unwrap().sqrt();
+        let rms = (w.map(|v| v * v).mean()).sqrt();
+        assert!(err < 0.5 * rms, "err {err} vs rms {rms}");
+    }
+}

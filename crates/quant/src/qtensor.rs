@@ -1,0 +1,426 @@
+//! Quantized tensors: encode, decode, and fake-quantization.
+//!
+//! The quantizer views a tensor through a [`ChannelLayout`]: a channel axis
+//! splits the flat buffer into contiguous channel slices, and the format's
+//! granularity splits each slice into scale blocks. Weights `[K, C, kh, kw]`
+//! use axis 0 (per output channel); activations `[N, C, H, W]` use axis 1
+//! (per channel within each batch element).
+
+use crate::error::{QuantError, Result};
+use crate::format::{Granularity, QuantFormat, ScaleEncoding};
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::Tensor;
+
+/// Identifies which tensor axis is the channel axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelLayout {
+    /// Index of the channel axis.
+    pub axis: usize,
+}
+
+impl ChannelLayout {
+    /// Layout for weight tensors `[K, C, kh, kw]` (channel = output channel).
+    pub const WEIGHT: ChannelLayout = ChannelLayout { axis: 0 };
+    /// Layout for activation tensors `[N, C, H, W]`.
+    pub const ACTIVATION: ChannelLayout = ChannelLayout { axis: 1 };
+
+    /// Splits `dims` into `(num_slices, slice_len)`: the number of contiguous
+    /// channel slices and the length of each.
+    ///
+    /// # Errors
+    ///
+    /// Returns a layout error if the axis is out of range.
+    pub fn slices(&self, dims: &[usize]) -> Result<(usize, usize)> {
+        if self.axis >= dims.len() {
+            return Err(QuantError::Layout {
+                reason: format!("channel axis {} out of range for dims {dims:?}", self.axis),
+            });
+        }
+        let outer: usize = dims[..=self.axis].iter().product();
+        let inner: usize = dims[self.axis + 1..].iter().product();
+        Ok((outer, inner))
+    }
+}
+
+/// A tensor quantized under some [`QuantFormat`].
+///
+/// Stores the integer codes, the (already encoded) per-block scales and
+/// enough layout information to reconstruct the dense tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    format: QuantFormat,
+    dims: Vec<usize>,
+    layout: ChannelLayout,
+    /// One code per element, row-major (i16 holds INT4 and INT8 plus
+    /// unsigned ranges).
+    codes: Vec<i16>,
+    /// One effective scale per block, in block order.
+    scales: Vec<f32>,
+    /// Block length actually used (granularity clipped to slice length).
+    block_len: usize,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a dense tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a layout error if the channel axis is invalid for the
+    /// tensor's shape.
+    pub fn quantize(x: &Tensor, format: QuantFormat, layout: ChannelLayout) -> Result<Self> {
+        let dims = x.dims().to_vec();
+        let (num_slices, slice_len) = layout.slices(&dims)?;
+        let xv = x.as_slice();
+        let grid = format.grid;
+        let qmax = grid.qmax() as f32;
+
+        // Per-tensor granularity: one scale over everything.
+        if matches!(format.granularity, Granularity::PerTensor) {
+            let raw = x.abs_max() / qmax;
+            let s = format.scale_encoding.encode(raw);
+            let codes = xv.iter().map(|&v| grid.encode(v, s) as i16).collect();
+            return Ok(QuantizedTensor {
+                format,
+                dims,
+                layout,
+                codes,
+                scales: vec![s],
+                block_len: xv.len().max(1),
+            });
+        }
+
+        let block_len = format.granularity.block_len(slice_len);
+        let blocks_per_slice = slice_len.div_ceil(block_len.max(1)).max(1);
+        let mut codes = vec![0i16; xv.len()];
+        let mut scales = Vec::with_capacity(num_slices * blocks_per_slice);
+
+        for s_idx in 0..num_slices {
+            let slice = &xv[s_idx * slice_len..(s_idx + 1) * slice_len];
+
+            match format.scale_encoding {
+                ScaleEncoding::VsqTwoLevel { scale_bits } => {
+                    // Two-level VS-Quant: raw per-vector scales, a coarse
+                    // per-channel scale covering their max, then integer
+                    // per-vector multipliers (rounded up so nothing clips).
+                    let svmax = ((1u32 << scale_bits) - 1) as f32;
+                    let raw: Vec<f32> = slice
+                        .chunks(block_len)
+                        .map(|b| b.iter().fold(0.0f32, |m, &v| m.max(v.abs())) / qmax)
+                        .collect();
+                    let max_raw = raw.iter().fold(0.0f32, |m, &v| m.max(v));
+                    let s_c = if max_raw > 0.0 { max_raw / svmax } else { 0.0 };
+                    for (b_idx, block) in slice.chunks(block_len).enumerate() {
+                        let sv = if s_c > 0.0 {
+                            (raw[b_idx] / s_c).ceil().clamp(1.0, svmax)
+                        } else {
+                            1.0
+                        };
+                        let eff = sv * s_c;
+                        scales.push(eff);
+                        let base = s_idx * slice_len + b_idx * block_len;
+                        for (j, &v) in block.iter().enumerate() {
+                            codes[base + j] = grid.encode(v, eff) as i16;
+                        }
+                    }
+                }
+                _ => {
+                    let per_channel = matches!(format.granularity, Granularity::PerChannel);
+                    if per_channel {
+                        let raw = slice.iter().fold(0.0f32, |m, &v| m.max(v.abs())) / qmax;
+                        let s = format.scale_encoding.encode(raw);
+                        scales.push(s);
+                        let base = s_idx * slice_len;
+                        for (j, &v) in slice.iter().enumerate() {
+                            codes[base + j] = grid.encode(v, s) as i16;
+                        }
+                    } else {
+                        for (b_idx, block) in slice.chunks(block_len).enumerate() {
+                            let raw =
+                                block.iter().fold(0.0f32, |m, &v| m.max(v.abs())) / qmax;
+                            let s = format.scale_encoding.encode(raw);
+                            scales.push(s);
+                            let base = s_idx * slice_len + b_idx * block_len;
+                            for (j, &v) in block.iter().enumerate() {
+                                codes[base + j] = grid.encode(v, s) as i16;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(QuantizedTensor {
+            format,
+            dims,
+            layout,
+            codes,
+            scales,
+            block_len,
+        })
+    }
+
+    /// Reconstructs the dense tensor from codes and scales.
+    pub fn dequantize(&self) -> Tensor {
+        let (num_slices, slice_len) = self
+            .layout
+            .slices(&self.dims)
+            .expect("layout validated at construction");
+        let mut out = vec![0.0f32; self.codes.len()];
+
+        if self.scales.len() == 1 {
+            let s = self.scales[0];
+            for (o, &c) in out.iter_mut().zip(self.codes.iter()) {
+                *o = self.format.grid.decode(c as i32, s);
+            }
+        } else {
+            let blocks_per_slice = slice_len.div_ceil(self.block_len.max(1)).max(1);
+            for s_idx in 0..num_slices {
+                for b_idx in 0..blocks_per_slice {
+                    let s = self.scales[s_idx * blocks_per_slice + b_idx];
+                    let start = s_idx * slice_len + b_idx * self.block_len;
+                    let end = (start + self.block_len).min((s_idx + 1) * slice_len);
+                    for i in start..end {
+                        out[i] = self.format.grid.decode(self.codes[i] as i32, s);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, self.dims.clone()).expect("dims consistent with codes")
+    }
+
+    /// The format this tensor was quantized with.
+    pub fn format(&self) -> &QuantFormat {
+        &self.format
+    }
+
+    /// The original tensor dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The integer codes, row-major.
+    pub fn codes(&self) -> &[i16] {
+        &self.codes
+    }
+
+    /// The encoded per-block scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The effective block length (granularity clipped to the slice length).
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Total storage in bits (codes + scales), for memory-cost accounting.
+    pub fn storage_bits(&self) -> u64 {
+        let code_bits = self.codes.len() as u64 * self.format.grid.bits as u64;
+        let scale_bits = self.scales.len() as u64
+            * match self.format.scale_encoding {
+                ScaleEncoding::F32 => 16,
+                ScaleEncoding::Fp8E4M3 | ScaleEncoding::PowerOfTwo => 8,
+                ScaleEncoding::VsqTwoLevel { scale_bits } => scale_bits as u64,
+            };
+        code_bits + scale_bits
+    }
+}
+
+/// Quantizes and immediately dequantizes a tensor: the standard
+/// fake-quantization used to evaluate format quality in a float pipeline.
+///
+/// # Errors
+///
+/// Returns a layout error if the channel axis is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use sqdm_quant::{fake_quant, ChannelLayout, QuantFormat};
+/// use sqdm_tensor::Tensor;
+/// # fn main() -> Result<(), sqdm_quant::QuantError> {
+/// let x = Tensor::from_slice(&[0.1, -0.9, 0.5, 0.72]);
+/// let q = fake_quant(&x, QuantFormat::mxint8(), ChannelLayout { axis: 0 })?;
+/// assert_eq!(q.dims(), x.dims());
+/// # Ok(())
+/// # }
+/// ```
+pub fn fake_quant(x: &Tensor, format: QuantFormat, layout: ChannelLayout) -> Result<Tensor> {
+    Ok(QuantizedTensor::quantize(x, format, layout)?.dequantize())
+}
+
+/// Root-mean-square quantization error of a format on a tensor.
+///
+/// # Errors
+///
+/// Returns a layout error if the channel axis is invalid.
+pub fn quant_rmse(x: &Tensor, format: QuantFormat, layout: ChannelLayout) -> Result<f64> {
+    let fq = fake_quant(x, format, layout)?;
+    let mut acc = 0.0f64;
+    for (&a, &b) in x.as_slice().iter().zip(fq.as_slice()) {
+        let d = (a - b) as f64;
+        acc += d * d;
+    }
+    Ok((acc / x.len().max(1) as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_tensor::Rng;
+
+    #[test]
+    fn round_trip_preserves_shape_and_bounds_error() {
+        let mut rng = Rng::seed_from(50);
+        let x = Tensor::randn([2, 8, 4, 4], &mut rng);
+        for fmt in [
+            QuantFormat::int8(),
+            QuantFormat::mxint8(),
+            QuantFormat::int4(),
+            QuantFormat::int4_vsq(),
+            QuantFormat::ours_int4(),
+        ] {
+            let q = QuantizedTensor::quantize(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+            let y = q.dequantize();
+            assert_eq!(y.dims(), x.dims());
+            // Error is bounded by one step of the coarsest per-slice scale.
+            let rmse = quant_rmse(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+            assert!(rmse < 0.6, "{}: rmse {rmse}", fmt.name);
+        }
+    }
+
+    #[test]
+    fn finer_granularity_gives_lower_error() {
+        // The premise of Table I: per-block beats per-channel at 4 bits.
+        let mut rng = Rng::seed_from(51);
+        // Heavy-tailed data: mostly small values with a few large outliers.
+        let x = Tensor::randn([1, 4, 8, 8], &mut rng).map(|v| v * v * v);
+        let coarse = quant_rmse(&x, QuantFormat::int4(), ChannelLayout::ACTIVATION).unwrap();
+        let fine = quant_rmse(&x, QuantFormat::ours_int4(), ChannelLayout::ACTIVATION).unwrap();
+        assert!(
+            fine < coarse,
+            "fine {fine} should beat coarse {coarse} on outlier data"
+        );
+    }
+
+    #[test]
+    fn int8_beats_int4_on_error() {
+        let mut rng = Rng::seed_from(52);
+        let x = Tensor::randn([1, 4, 8, 8], &mut rng);
+        let e8 = quant_rmse(&x, QuantFormat::int8(), ChannelLayout::ACTIVATION).unwrap();
+        let e4 = quant_rmse(&x, QuantFormat::int4(), ChannelLayout::ACTIVATION).unwrap();
+        assert!(e8 < e4);
+    }
+
+    #[test]
+    fn uint4_on_nonnegative_beats_int4() {
+        // Figure 6's claim: for ReLU (non-negative) data, UINT4 uses all 16
+        // levels where signed INT4 wastes the negative half.
+        let mut rng = Rng::seed_from(53);
+        let x = Tensor::randn([1, 2, 16, 16], &mut rng).map(|v| v.max(0.0));
+        let eu = quant_rmse(&x, QuantFormat::ours_uint4(), ChannelLayout::ACTIVATION).unwrap();
+        let es = quant_rmse(
+            &x,
+            QuantFormat {
+                grid: crate::format::IntGrid::signed(4),
+                granularity: Granularity::PerBlock(32),
+                scale_encoding: ScaleEncoding::Fp8E4M3,
+                name: "INT4-FP8S",
+            },
+            ChannelLayout::ACTIVATION,
+        )
+        .unwrap();
+        assert!(eu < es, "uint4 {eu} vs int4 {es}");
+    }
+
+    #[test]
+    fn zeros_stay_exactly_zero() {
+        // Symmetric quantization must preserve exact zeros — this is what
+        // lets quantization and activation sparsity compose (§III-C).
+        let x = Tensor::from_slice(&[0.0, 0.5, 0.0, -0.25, 0.0, 0.0, 1.0, 0.0]);
+        for fmt in [
+            QuantFormat::int8(),
+            QuantFormat::mxint8(),
+            QuantFormat::int4_vsq(),
+            QuantFormat::ours_int4(),
+            QuantFormat::ours_uint4(),
+        ] {
+            let y = fake_quant(&x, fmt, ChannelLayout { axis: 0 }).unwrap();
+            for (i, (&a, &b)) in x.as_slice().iter().zip(y.as_slice()).enumerate() {
+                if a == 0.0 {
+                    assert_eq!(b, 0.0, "{}: index {i}", fmt.name);
+                }
+            }
+            assert!(y.sparsity() >= x.sparsity());
+        }
+    }
+
+    #[test]
+    fn all_zero_tensor_round_trips() {
+        let x = Tensor::zeros([2, 4, 2, 2]);
+        for fmt in [
+            QuantFormat::int4(),
+            QuantFormat::int4_vsq(),
+            QuantFormat::mxint8(),
+        ] {
+            let y = fake_quant(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+            assert_eq!(y, x);
+        }
+    }
+
+    #[test]
+    fn per_tensor_granularity() {
+        let x = Tensor::from_slice(&[1.0, -2.0, 4.0, -8.0]);
+        let fmt = QuantFormat {
+            grid: crate::format::IntGrid::signed(8),
+            granularity: Granularity::PerTensor,
+            scale_encoding: ScaleEncoding::F32,
+            name: "INT8-PT",
+        };
+        let q = QuantizedTensor::quantize(&x, fmt, ChannelLayout { axis: 0 }).unwrap();
+        assert_eq!(q.scales().len(), 1);
+        let y = q.dequantize();
+        assert!((y.get(&[3]).unwrap() + 8.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn scale_counts_match_granularity() {
+        let x = Tensor::zeros([1, 4, 8, 8]); // slice len 64
+        let q =
+            QuantizedTensor::quantize(&x, QuantFormat::mxint8(), ChannelLayout::ACTIVATION)
+                .unwrap();
+        // 4 slices × (64/32) blocks = 8 scales.
+        assert_eq!(q.scales().len(), 8);
+        let q2 = QuantizedTensor::quantize(&x, QuantFormat::int4(), ChannelLayout::ACTIVATION)
+            .unwrap();
+        assert_eq!(q2.scales().len(), 4);
+    }
+
+    #[test]
+    fn vsq_never_clips_block_max() {
+        let mut rng = Rng::seed_from(54);
+        let x = Tensor::randn([1, 2, 8, 8], &mut rng).scale(3.0);
+        let y = fake_quant(&x, QuantFormat::int4_vsq(), ChannelLayout::ACTIVATION).unwrap();
+        // Round-up scale encoding: reconstruction of the max never falls
+        // short by more than one quantization step.
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!(b.abs() <= a.abs() + 1.0, "{a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn invalid_axis_rejected() {
+        let x = Tensor::zeros([4]);
+        assert!(fake_quant(&x, QuantFormat::int8(), ChannelLayout { axis: 3 }).is_err());
+    }
+
+    #[test]
+    fn storage_bits_accounting() {
+        let x = Tensor::zeros([1, 2, 4, 8]); // 64 elements, slice 32
+        let q =
+            QuantizedTensor::quantize(&x, QuantFormat::ours_int4(), ChannelLayout::ACTIVATION)
+                .unwrap();
+        // 64 codes × 4 bits + 2 scales × 8 bits = 272.
+        assert_eq!(q.storage_bits(), 272);
+    }
+}

@@ -1,0 +1,313 @@
+//! Dense/sparse channel classification — the temporal sparsity detector's
+//! decision (paper §IV-C).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's chosen sparsity threshold: 30% zeros marks a channel sparse,
+/// balancing the dense and sparse engines' workloads while keeping the
+/// sparse portion ~70% sparse (Figure 11, left).
+pub const PAPER_THRESHOLD: f64 = 0.30;
+
+/// A dense/sparse partition of a layer's channels at one time step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPartition {
+    threshold: f64,
+    /// `true` = sparse channel.
+    sparse: Vec<bool>,
+    /// The per-channel sparsities the classification was made from.
+    sparsity: Vec<f64>,
+}
+
+impl ChannelPartition {
+    /// Classifies channels: sparsity ≥ `threshold` → sparse.
+    pub fn classify(channel_sparsity: &[f64], threshold: f64) -> Self {
+        ChannelPartition {
+            threshold,
+            sparse: channel_sparsity.iter().map(|&s| s >= threshold).collect(),
+            sparsity: channel_sparsity.to_vec(),
+        }
+    }
+
+    /// Re-classifies *stale* sparsities (from an earlier step) but keeps
+    /// the current step's true sparsities for cost accounting. Models the
+    /// update-frequency study of Figure 11 (right).
+    pub fn classify_stale(
+        stale_sparsity: &[f64],
+        current_sparsity: &[f64],
+        threshold: f64,
+    ) -> Self {
+        assert_eq!(stale_sparsity.len(), current_sparsity.len());
+        ChannelPartition {
+            threshold,
+            sparse: stale_sparsity.iter().map(|&s| s >= threshold).collect(),
+            sparsity: current_sparsity.to_vec(),
+        }
+    }
+
+    /// Routes channels to balance the dense and sparse engines — the
+    /// criterion the paper uses to choose its threshold ("determined to
+    /// balance the execution time between the dense PE and sparse PE",
+    /// §IV-C).
+    ///
+    /// The sparsest `k` channels go to the sparse engine; `k` is chosen to
+    /// minimize `max(dense_work, sparse_nnz_work / spe_utilization)`. By an
+    /// exchange argument, sparsest-prefix assignments contain the optimum
+    /// for this cost structure.
+    pub fn balanced(channel_sparsity: &[f64], spe_utilization: f64) -> Self {
+        let util = spe_utilization.clamp(0.05, 1.0);
+        let n = channel_sparsity.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| channel_sparsity[b].total_cmp(&channel_sparsity[a]));
+        // Prefix sums of sparse-engine work in sorted order.
+        let mut best_k = 0usize;
+        let mut best_cost = f64::INFINITY;
+        let mut sparse_work = 0.0f64;
+        for k in 0..=n {
+            if k > 0 {
+                sparse_work += (1.0 - channel_sparsity[order[k - 1]]) / util;
+            }
+            let dense_work = (n - k) as f64;
+            let cost = dense_work.max(sparse_work);
+            if cost < best_cost {
+                best_cost = cost;
+                best_k = k;
+            }
+        }
+        let mut sparse = vec![false; n];
+        for &i in &order[..best_k] {
+            sparse[i] = true;
+        }
+        // Report the implied boundary sparsity as the threshold.
+        let threshold = if best_k > 0 && best_k < n {
+            channel_sparsity[order[best_k - 1]]
+        } else if best_k == n {
+            0.0
+        } else {
+            1.0
+        };
+        ChannelPartition {
+            threshold,
+            sparse,
+            sparsity: channel_sparsity.to_vec(),
+        }
+    }
+
+    /// [`balanced`](Self::balanced) computed from *stale* sparsities (an
+    /// earlier detector update) while keeping the current step's true
+    /// sparsities for cost accounting — the Figure 11 (right) staleness
+    /// model.
+    pub fn balanced_stale(
+        stale_sparsity: &[f64],
+        current_sparsity: &[f64],
+        spe_utilization: f64,
+    ) -> Self {
+        assert_eq!(stale_sparsity.len(), current_sparsity.len());
+        let p = Self::balanced(stale_sparsity, spe_utilization);
+        ChannelPartition {
+            threshold: p.threshold,
+            sparse: p.sparse,
+            sparsity: current_sparsity.to_vec(),
+        }
+    }
+
+    /// The classification threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.sparse.len()
+    }
+
+    /// Whether channel `ch` is classified sparse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn is_sparse(&self, ch: usize) -> bool {
+        self.sparse[ch]
+    }
+
+    /// True per-channel sparsities backing this partition.
+    pub fn sparsities(&self) -> &[f64] {
+        &self.sparsity
+    }
+
+    /// Indices of sparse channels.
+    pub fn sparse_indices(&self) -> Vec<usize> {
+        (0..self.sparse.len()).filter(|&i| self.sparse[i]).collect()
+    }
+
+    /// Indices of dense channels.
+    pub fn dense_indices(&self) -> Vec<usize> {
+        (0..self.sparse.len())
+            .filter(|&i| !self.sparse[i])
+            .collect()
+    }
+
+    /// Fraction of channels classified sparse.
+    pub fn sparse_fraction(&self) -> f64 {
+        if self.sparse.is_empty() {
+            return 0.0;
+        }
+        self.sparse.iter().filter(|&&b| b).count() as f64 / self.sparse.len() as f64
+    }
+
+    /// Mean true sparsity of the channels *classified* sparse (the paper's
+    /// "average sparsity of the sparse tensor portion").
+    pub fn sparse_portion_sparsity(&self) -> f64 {
+        let idx = self.sparse_indices();
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| self.sparsity[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    /// Mean true sparsity of the channels classified dense.
+    pub fn dense_portion_sparsity(&self) -> f64 {
+        let idx = self.dense_indices();
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| self.sparsity[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    /// Nonzero-work fractions `(dense_work, sparse_work)` relative to the
+    /// full dense workload. A sparse engine skips zeros, so its work is the
+    /// *nonzero* fraction of its channels; the dense engine pays full cost
+    /// for every assigned channel.
+    pub fn work_split(&self) -> (f64, f64) {
+        let n = self.sparse.len().max(1) as f64;
+        let dense_work = self.dense_indices().len() as f64 / n;
+        let sparse_work: f64 = self
+            .sparse_indices()
+            .iter()
+            .map(|&i| (1.0 - self.sparsity[i]) / n)
+            .sum();
+        (dense_work, sparse_work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_splits_on_threshold() {
+        let p = ChannelPartition::classify(&[0.9, 0.1, 0.3, 0.29], 0.3);
+        assert!(p.is_sparse(0));
+        assert!(!p.is_sparse(1));
+        assert!(p.is_sparse(2)); // boundary is inclusive
+        assert!(!p.is_sparse(3));
+        assert_eq!(p.sparse_indices(), vec![0, 2]);
+        assert_eq!(p.dense_indices(), vec![1, 3]);
+        assert_eq!(p.sparse_fraction(), 0.5);
+    }
+
+    #[test]
+    fn portion_sparsities() {
+        let p = ChannelPartition::classify(&[0.8, 0.6, 0.1, 0.2], 0.5);
+        assert!((p.sparse_portion_sparsity() - 0.7).abs() < 1e-12);
+        assert!((p.dense_portion_sparsity() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_split_accounts_for_skipped_zeros() {
+        // 2 dense channels (full cost) + 2 sparse at 75% (quarter cost each).
+        let p = ChannelPartition::classify(&[0.75, 0.75, 0.0, 0.0], 0.5);
+        let (d, s) = p.work_split();
+        assert!((d - 0.5).abs() < 1e-12);
+        assert!((s - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_classification_uses_old_data_for_routing() {
+        // Channel was sparse at the stale step but is dense now: it is
+        // still routed sparse, and the true (current) sparsity is kept for
+        // cost computation.
+        let p = ChannelPartition::classify_stale(&[0.9], &[0.05], 0.3);
+        assert!(p.is_sparse(0));
+        assert_eq!(p.sparsities(), &[0.05]);
+        let (_, sparse_work) = p.work_split();
+        assert!((sparse_work - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partition_is_safe() {
+        let p = ChannelPartition::classify(&[], 0.3);
+        assert_eq!(p.channels(), 0);
+        assert_eq!(p.sparse_fraction(), 0.0);
+        assert_eq!(p.work_split(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn paper_threshold_value() {
+        assert_eq!(PAPER_THRESHOLD, 0.30);
+    }
+
+    #[test]
+    fn balanced_equalizes_engine_work() {
+        // Uniform 60% sparsity: threshold routing sends everything sparse
+        // (sparse engine bottleneck); balanced routing splits the load.
+        let sp = vec![0.6; 10];
+        let p = ChannelPartition::balanced(&sp, 1.0);
+        let (d, s) = p.work_split();
+        assert!((d - s).abs() <= 1.0 / 10.0 + 1e-9, "dense {d} sparse {s}");
+        // Both engines carry well under the full workload.
+        assert!(d.max(s) < 0.5);
+    }
+
+    #[test]
+    fn balanced_splits_even_fully_dense_data() {
+        // SIGMA-style engines process dense operands too (at a utilization
+        // penalty), so the balancer still shares load at zero sparsity.
+        let sp = vec![0.0; 8];
+        let p = ChannelPartition::balanced(&sp, 0.9);
+        let (d, s) = p.work_split();
+        assert!(d > 0.0 && s > 0.0);
+    }
+
+    #[test]
+    fn balanced_prefers_sparsest_channels_for_spe() {
+        let sp = vec![0.9, 0.1, 0.8, 0.2];
+        let p = ChannelPartition::balanced(&sp, 1.0);
+        // Whatever the split size, every sparse-routed channel is at least
+        // as sparse as every dense-routed one.
+        let min_sparse = p
+            .sparse_indices()
+            .iter()
+            .map(|&i| sp[i])
+            .fold(f64::INFINITY, f64::min);
+        let max_dense = p
+            .dense_indices()
+            .iter()
+            .map(|&i| sp[i])
+            .fold(0.0f64, f64::max);
+        assert!(min_sparse >= max_dense);
+    }
+
+    #[test]
+    fn balanced_stale_keeps_current_costs() {
+        let p = ChannelPartition::balanced_stale(&[0.9, 0.0], &[0.1, 0.1], 1.0);
+        assert_eq!(p.sparsities(), &[0.1, 0.1]);
+    }
+
+    #[test]
+    fn balanced_beats_threshold_on_uniform_mid_sparsity() {
+        let sp = vec![0.55; 12];
+        let th = ChannelPartition::classify(&sp, PAPER_THRESHOLD);
+        let ba = ChannelPartition::balanced(&sp, 1.0);
+        let cost = |p: &ChannelPartition| {
+            let (d, s) = p.work_split();
+            d.max(s)
+        };
+        assert!(cost(&ba) < cost(&th), "{} vs {}", cost(&ba), cost(&th));
+    }
+
+    #[test]
+    fn empty_balanced_is_safe() {
+        let p = ChannelPartition::balanced(&[], 0.9);
+        assert_eq!(p.channels(), 0);
+    }
+}

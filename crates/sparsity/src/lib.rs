@@ -1,0 +1,33 @@
+//! # sqdm-sparsity
+//!
+//! Temporal per-channel activation-sparsity analysis for the SQ-DM
+//! reproduction: sparsity traces across diffusion time steps (Figure 7),
+//! the dense/sparse channel classifier with the paper's 30% threshold,
+//! threshold sweeps (Figure 11 left) and update-frequency scheduling
+//! (Figure 11 right).
+//!
+//! The crate is deliberately model-agnostic: it consumes plain per-channel
+//! zero fractions, so both the EDM pipeline and the accelerator simulator
+//! can use it without depending on each other.
+//!
+//! # Examples
+//!
+//! ```
+//! use sqdm_sparsity::{ChannelPartition, PAPER_THRESHOLD};
+//! let partition = ChannelPartition::classify(&[0.9, 0.05, 0.7, 0.2], PAPER_THRESHOLD);
+//! assert_eq!(partition.sparse_indices(), vec![0, 2]);
+//! let (dense_work, sparse_work) = partition.work_split();
+//! assert!(dense_work > sparse_work);
+//! ```
+
+#![warn(missing_docs)]
+
+mod classify;
+mod schedule;
+mod threshold;
+mod trace;
+
+pub use classify::{ChannelPartition, PAPER_THRESHOLD};
+pub use schedule::UpdateSchedule;
+pub use threshold::{best_balanced_threshold, threshold_sweep, ThresholdPoint};
+pub use trace::{channel_sparsity, TemporalTrace};

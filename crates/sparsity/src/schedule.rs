@@ -1,0 +1,131 @@
+//! Sparsity-update scheduling (paper Figure 11, right, and §IV-C).
+//!
+//! The temporal sparsity detector re-classifies channels every `period`
+//! time steps. Stale classifications route channels to the wrong engine:
+//! a channel that turned dense still goes to the sparse engine (which then
+//! finds few zeros to skip), and vice versa. The paper finds per-step
+//! updates (`period = 1`) best, with negligible update overhead.
+
+use crate::classify::ChannelPartition;
+use crate::trace::TemporalTrace;
+use serde::{Deserialize, Serialize};
+
+/// A periodic sparsity-update schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateSchedule {
+    /// Steps between detector updates (1 = every step).
+    pub period: usize,
+}
+
+impl UpdateSchedule {
+    /// Creates a schedule; `period` is clamped to at least 1.
+    pub fn every(period: usize) -> Self {
+        UpdateSchedule {
+            period: period.max(1),
+        }
+    }
+
+    /// The step whose classification is in effect at `step`.
+    pub fn effective_step(&self, step: usize) -> usize {
+        (step / self.period) * self.period
+    }
+
+    /// Builds the per-step partitions a detector with this schedule would
+    /// produce over a recorded trace: classification from the last update
+    /// step, true sparsities from the current step.
+    pub fn partitions(&self, trace: &TemporalTrace, threshold: f64) -> Vec<ChannelPartition> {
+        (0..trace.steps())
+            .map(|step| {
+                let eff = self.effective_step(step);
+                ChannelPartition::classify_stale(trace.step(eff), trace.step(step), threshold)
+            })
+            .collect()
+    }
+
+    /// Fraction of (step, channel) pairs whose stale classification
+    /// disagrees with the fresh one.
+    pub fn misclassification_rate(&self, trace: &TemporalTrace, threshold: f64) -> f64 {
+        if trace.steps() == 0 || trace.channels() == 0 {
+            return 0.0;
+        }
+        let mut wrong = 0usize;
+        for step in 0..trace.steps() {
+            let eff = self.effective_step(step);
+            for ch in 0..trace.channels() {
+                let stale = trace.sparsity(eff, ch) >= threshold;
+                let fresh = trace.sparsity(step, ch) >= threshold;
+                if stale != fresh {
+                    wrong += 1;
+                }
+            }
+        }
+        wrong as f64 / (trace.steps() * trace.channels()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flippy_trace(steps: usize) -> TemporalTrace {
+        // Channel 0 alternates sparse/dense each step; channel 1 is stable.
+        let mut tr = TemporalTrace::new(2);
+        for i in 0..steps {
+            tr.push_step(vec![if i % 2 == 0 { 0.9 } else { 0.1 }, 0.8]);
+        }
+        tr
+    }
+
+    #[test]
+    fn per_step_updates_never_misclassify() {
+        let tr = flippy_trace(12);
+        let s = UpdateSchedule::every(1);
+        assert_eq!(s.misclassification_rate(&tr, 0.5), 0.0);
+    }
+
+    #[test]
+    fn stale_updates_misclassify_flipping_channels() {
+        let tr = flippy_trace(12);
+        let s2 = UpdateSchedule::every(2);
+        // Channel 0 is wrong on every odd step: rate = 0.5 · 0.5 = 0.25.
+        assert!((s2.misclassification_rate(&tr, 0.5) - 0.25).abs() < 1e-9);
+        let s4 = UpdateSchedule::every(4);
+        assert!(s4.misclassification_rate(&tr, 0.5) >= 0.25 - 1e-9);
+    }
+
+    #[test]
+    fn misclassification_monotone_in_period_for_flippy() {
+        let tr = flippy_trace(16);
+        let rates: Vec<f64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&p| UpdateSchedule::every(p).misclassification_rate(&tr, 0.5))
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn effective_step_quantizes() {
+        let s = UpdateSchedule::every(4);
+        assert_eq!(s.effective_step(0), 0);
+        assert_eq!(s.effective_step(3), 0);
+        assert_eq!(s.effective_step(4), 4);
+        assert_eq!(s.effective_step(11), 8);
+    }
+
+    #[test]
+    fn partitions_carry_current_sparsities() {
+        let tr = flippy_trace(4);
+        let parts = UpdateSchedule::every(2).partitions(&tr, 0.5);
+        assert_eq!(parts.len(), 4);
+        // Step 1 uses step 0's classification (sparse) but step 1's data.
+        assert!(parts[1].is_sparse(0));
+        assert_eq!(parts[1].sparsities()[0], 0.1);
+    }
+
+    #[test]
+    fn zero_period_clamped() {
+        assert_eq!(UpdateSchedule::every(0).period, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Temporal per-channel sparsity traces (paper Figure 7).
+//!
+//! A [`TemporalTrace`] records, for one layer, the zero-fraction of every
+//! activation channel at every diffusion time step. The paper's key
+//! observation is that this map is *structured*: channels differ strongly
+//! from one another, and individual channels flip between sparse and dense
+//! as sampling progresses.
+
+use serde::{Deserialize, Serialize};
+use sqdm_tensor::Tensor;
+
+/// Per-channel zero fractions of one activation tensor `[N, C, H, W]`,
+/// aggregated over batch and spatial dimensions.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4.
+pub fn channel_sparsity(t: &Tensor) -> Vec<f64> {
+    let (n, c, h, w) = t
+        .shape()
+        .as_nchw()
+        .expect("channel_sparsity requires [N, C, H, W]");
+    let tv = t.as_slice();
+    let mut out = vec![0.0f64; c];
+    let hw = h * w;
+    for ch in 0..c {
+        let mut zeros = 0usize;
+        for nn in 0..n {
+            let start = (nn * c + ch) * hw;
+            zeros += tv[start..start + hw].iter().filter(|&&v| v == 0.0).count();
+        }
+        out[ch] = zeros as f64 / (n * hw).max(1) as f64;
+    }
+    out
+}
+
+/// The sparsity history of one layer across diffusion time steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalTrace {
+    channels: usize,
+    /// `data[step][channel]` = zero fraction in `[0, 1]`.
+    data: Vec<Vec<f64>>,
+}
+
+impl TemporalTrace {
+    /// Creates an empty trace for a layer with `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        TemporalTrace {
+            channels,
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends the per-channel sparsity of one time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity.len()` differs from the channel count.
+    pub fn push_step(&mut self, sparsity: Vec<f64>) {
+        assert_eq!(
+            sparsity.len(),
+            self.channels,
+            "step has {} channels, trace has {}",
+            sparsity.len(),
+            self.channels
+        );
+        self.data.push(sparsity);
+    }
+
+    /// Number of recorded time steps.
+    pub fn steps(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Sparsity of `channel` at `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn sparsity(&self, step: usize, channel: usize) -> f64 {
+        self.data[step][channel]
+    }
+
+    /// Per-channel sparsities at one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range.
+    pub fn step(&self, step: usize) -> &[f64] {
+        &self.data[step]
+    }
+
+    /// Mean sparsity over all steps and channels.
+    pub fn mean_sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.data.iter().flat_map(|s| s.iter()).sum();
+        total / (self.data.len() * self.channels) as f64
+    }
+
+    /// Mean sparsity of one channel across time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_mean(&self, channel: usize) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|s| s[channel]).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// How often a channel's dense/sparse classification (at `threshold`)
+    /// changes between consecutive steps, averaged over channels — a direct
+    /// measure of the "temporal" in temporal sparsity.
+    pub fn flip_rate(&self, threshold: f64) -> f64 {
+        if self.data.len() < 2 || self.channels == 0 {
+            return 0.0;
+        }
+        let mut flips = 0usize;
+        for w in self.data.windows(2) {
+            for ch in 0..self.channels {
+                if (w[0][ch] >= threshold) != (w[1][ch] >= threshold) {
+                    flips += 1;
+                }
+            }
+        }
+        flips as f64 / ((self.data.len() - 1) * self.channels) as f64
+    }
+
+    /// Renders the trace as the paper's Figure 7 bitmap: one row per
+    /// channel, one column per time step; `#` marks channels classified
+    /// sparse at `threshold`, `.` dense.
+    pub fn ascii_bitmap(&self, threshold: f64) -> String {
+        let mut s = String::new();
+        for ch in 0..self.channels {
+            s.push_str(&format!("ch{ch:>3} |"));
+            for step in &self.data {
+                s.push(if step[ch] >= threshold { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_sparsity_counts_zeros_per_channel() {
+        let mut t = Tensor::zeros([1, 2, 2, 2]);
+        // Channel 0: 2 of 4 zero. Channel 1: all nonzero.
+        t.set(&[0, 0, 0, 0], 1.0).unwrap();
+        t.set(&[0, 0, 0, 1], 2.0).unwrap();
+        for y in 0..2 {
+            for x in 0..2 {
+                t.set(&[0, 1, y, x], 3.0).unwrap();
+            }
+        }
+        let s = channel_sparsity(&t);
+        assert_eq!(s, vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn channel_sparsity_aggregates_batch() {
+        let mut t = Tensor::zeros([2, 1, 1, 2]);
+        t.set(&[0, 0, 0, 0], 1.0).unwrap(); // batch 0: 1 of 2 zero
+                                            // batch 1: 2 of 2 zero
+        let s = channel_sparsity(&t);
+        assert_eq!(s, vec![0.75]);
+    }
+
+    #[test]
+    fn trace_accumulates_and_averages() {
+        let mut tr = TemporalTrace::new(2);
+        tr.push_step(vec![0.9, 0.1]);
+        tr.push_step(vec![0.7, 0.3]);
+        assert_eq!(tr.steps(), 2);
+        assert_eq!(tr.channels(), 2);
+        assert!((tr.mean_sparsity() - 0.5).abs() < 1e-12);
+        assert!((tr.channel_mean(0) - 0.8).abs() < 1e-12);
+        assert_eq!(tr.sparsity(1, 1), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn wrong_channel_count_panics() {
+        let mut tr = TemporalTrace::new(3);
+        tr.push_step(vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn flip_rate_detects_temporal_change() {
+        let mut stable = TemporalTrace::new(1);
+        let mut flippy = TemporalTrace::new(1);
+        for i in 0..10 {
+            stable.push_step(vec![0.9]);
+            flippy.push_step(vec![if i % 2 == 0 { 0.9 } else { 0.1 }]);
+        }
+        assert_eq!(stable.flip_rate(0.5), 0.0);
+        assert_eq!(flippy.flip_rate(0.5), 1.0);
+    }
+
+    #[test]
+    fn bitmap_renders_threshold() {
+        let mut tr = TemporalTrace::new(2);
+        tr.push_step(vec![0.9, 0.1]);
+        tr.push_step(vec![0.2, 0.8]);
+        let bmp = tr.ascii_bitmap(0.5);
+        let lines: Vec<&str> = bmp.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with("#."));
+        assert!(lines[1].ends_with(".#"));
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let tr = TemporalTrace::new(4);
+        assert_eq!(tr.mean_sparsity(), 0.0);
+        assert_eq!(tr.flip_rate(0.5), 0.0);
+        assert_eq!(tr.channel_mean(2), 0.0);
+    }
+}

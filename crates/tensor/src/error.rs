@@ -1,0 +1,145 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Error produced by tensor construction and tensor math kernels.
+///
+/// Every fallible public function in this crate returns
+/// `Result<_, TensorError>`; the variants carry enough context to diagnose
+/// the failing call without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the length of
+    /// the provided data buffer.
+    DataLenMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Length of the provided buffer.
+        actual: usize,
+    },
+    /// Two tensors participating in an operation have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// A tensor had a different rank (number of dimensions) than required.
+    RankMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Actual rank of the tensor.
+        actual: usize,
+    },
+    /// A reshape would change the total number of elements.
+    ReshapeMismatch {
+        /// Element count of the source shape.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// Convolution geometry is invalid (e.g. kernel larger than padded input).
+    InvalidConvGeometry {
+        /// Explanation of the geometric inconsistency.
+        reason: String,
+    },
+    /// A parameter value was invalid for the operation.
+    InvalidArgument {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Explanation of why the argument is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLenMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "reshape would change element count from {from} to {to}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidConvGeometry { reason } => {
+                write!(f, "invalid convolution geometry: {reason}")
+            }
+            TensorError::InvalidArgument { op, reason } => {
+                write!(f, "{op}: invalid argument: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::DataLenMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                op: "add",
+                lhs: vec![2, 2],
+                rhs: vec![3],
+            },
+            TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 4,
+                actual: 2,
+            },
+            TensorError::ReshapeMismatch { from: 6, to: 8 },
+            TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+            TensorError::InvalidConvGeometry {
+                reason: "kernel exceeds input".into(),
+            },
+            TensorError::InvalidArgument {
+                op: "softmax",
+                reason: "empty axis".into(),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! # sqdm-tensor
+//!
+//! Dense `f32` tensors and the neural-network math kernels used across the
+//! SQ-DM reproduction: convolution (forward and backward), matrix
+//! multiplication, softmax, activation functions, small linear algebra
+//! (symmetric eigendecomposition, PSD matrix square root) and descriptive
+//! statistics.
+//!
+//! The crate is deliberately minimal: a single contiguous row-major `f32`
+//! container ([`Tensor`]), a seeded RNG ([`Rng`]) so every experiment is
+//! reproducible, and free functions in [`ops`] implementing the kernels the
+//! EDM U-Net needs. There is no autograd graph; the `sqdm-nn` crate composes
+//! explicit forward/backward passes from these kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use sqdm_tensor::{ops, Rng, Tensor};
+//! # fn main() -> Result<(), sqdm_tensor::TensorError> {
+//! let mut rng = Rng::seed_from(0);
+//! let x = Tensor::randn([1, 3, 8, 8], &mut rng);
+//! let w = Tensor::randn([4, 3, 3, 3], &mut rng);
+//! let y = ops::conv2d(&x, &w, None, ops::Conv2dGeometry::same(3))?;
+//! assert_eq!(y.dims(), &[1, 4, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod ops;
+mod rng;
+mod shape;
+pub mod stats;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;

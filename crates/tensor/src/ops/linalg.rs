@@ -1,0 +1,253 @@
+//! Small dense linear-algebra routines: symmetric eigendecomposition and the
+//! positive-semidefinite matrix square root.
+//!
+//! These power the Fréchet distance ("sFID") metric used to reproduce the
+//! paper's image-quality tables: `FD² = |μ₁-μ₂|² + Tr(C₁ + C₂ - 2(C₁C₂)^½)`,
+//! where the trace term is evaluated via the symmetric form
+//! `Tr((C₁^½ C₂ C₁^½)^½)`.
+
+use crate::error::{Result, TensorError};
+use crate::ops::matmul::matmul;
+use crate::tensor::Tensor;
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in unspecified order.
+    pub values: Vec<f32>,
+    /// Eigenvectors as the columns of a `[n, n]` tensor.
+    pub vectors: Tensor,
+}
+
+fn check_square_symmetric(a: &Tensor, op: &'static str) -> Result<usize> {
+    if a.rank() != 2 || a.dims()[0] != a.dims()[1] {
+        return Err(TensorError::InvalidArgument {
+            op,
+            reason: format!("expected square matrix, got shape {:?}", a.dims()),
+        });
+    }
+    let n = a.dims()[0];
+    let av = a.as_slice();
+    let scale = a.abs_max().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (av[i * n + j] - av[j * n + i]).abs() > 1e-3 * scale {
+                return Err(TensorError::InvalidArgument {
+                    op,
+                    reason: format!(
+                        "matrix not symmetric at ({i},{j}): {} vs {}",
+                        av[i * n + j],
+                        av[j * n + i]
+                    ),
+                });
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Converges quadratically for the modest sizes (≤ 256) used by the sFID
+/// feature covariances.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the input is not square and
+/// symmetric (to a small tolerance).
+pub fn sym_eigen(a: &Tensor) -> Result<SymEigen> {
+    let n = check_square_symmetric(a, "sym_eigen")?;
+    let mut m: Vec<f64> = a.as_slice().iter().map(|&x| x as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let off = |m: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[i * n + j] * m[i * n + j];
+                }
+            }
+        }
+        s
+    };
+
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        if off(&m) < 1e-18 * (n * n) as f64 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) on both sides: M ← GᵀMG.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let values: Vec<f32> = (0..n).map(|i| m[i * n + i] as f32).collect();
+    let vectors = Tensor::from_vec(v.iter().map(|&x| x as f32).collect(), [n, n])?;
+    Ok(SymEigen { values, vectors })
+}
+
+/// Principal square root of a symmetric positive-semidefinite matrix.
+///
+/// Small negative eigenvalues arising from round-off are clamped to zero.
+///
+/// # Errors
+///
+/// Returns an error if the input is not square/symmetric, or has an
+/// eigenvalue significantly below zero (not PSD).
+pub fn sqrtm_psd(a: &Tensor) -> Result<Tensor> {
+    let n = check_square_symmetric(a, "sqrtm_psd")?;
+    let eig = sym_eigen(a)?;
+    let tol = -1e-3 * a.abs_max().max(1.0);
+    for &l in &eig.values {
+        if l < tol {
+            return Err(TensorError::InvalidArgument {
+                op: "sqrtm_psd",
+                reason: format!("matrix has negative eigenvalue {l}"),
+            });
+        }
+    }
+    // A^{1/2} = V diag(sqrt(λ)) Vᵀ
+    let vv = eig.vectors.as_slice();
+    let mut vs = vec![0.0f32; n * n]; // V · diag(sqrt λ)
+    for i in 0..n {
+        for j in 0..n {
+            vs[i * n + j] = vv[i * n + j] * eig.values[j].max(0.0).sqrt();
+        }
+    }
+    let vs = Tensor::from_vec(vs, [n, n])?;
+    let vt = crate::ops::matmul::transpose(&eig.vectors)?;
+    matmul(&vs, &vt)
+}
+
+/// Trace of a square matrix.
+///
+/// # Errors
+///
+/// Returns an error if the matrix is not square.
+pub fn trace(a: &Tensor) -> Result<f32> {
+    if a.rank() != 2 || a.dims()[0] != a.dims()[1] {
+        return Err(TensorError::InvalidArgument {
+            op: "trace",
+            reason: format!("expected square matrix, got shape {:?}", a.dims()),
+        });
+    }
+    let n = a.dims()[0];
+    Ok((0..n).map(|i| a.as_slice()[i * n + i]).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul::{matmul_a_bt, transpose};
+    use crate::rng::Rng;
+
+    fn random_psd(n: usize, rng: &mut Rng) -> Tensor {
+        let b = Tensor::randn([n, n], rng);
+        matmul_a_bt(&b, &b).unwrap().scale(1.0 / n as f32)
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let mut rng = Rng::seed_from(30);
+        let a = random_psd(6, &mut rng);
+        let eig = sym_eigen(&a).unwrap();
+        // Reconstruct V diag(λ) Vᵀ and compare with A.
+        let n = 6;
+        let vv = eig.vectors.as_slice();
+        let mut vl = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                vl[i * n + j] = vv[i * n + j] * eig.values[j];
+            }
+        }
+        let vl = Tensor::from_vec(vl, [n, n]).unwrap();
+        let recon = matmul(&vl, &transpose(&eig.vectors).unwrap()).unwrap();
+        for (x, y) in recon.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let mut rng = Rng::seed_from(31);
+        let a = random_psd(5, &mut rng);
+        let eig = sym_eigen(&a).unwrap();
+        let vtv = matmul(&transpose(&eig.vectors).unwrap(), &eig.vectors).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                let got = vtv.get(&[i, j]).unwrap();
+                assert!((got - want).abs() < 1e-4, "({i},{j}) = {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        let mut rng = Rng::seed_from(32);
+        let a = random_psd(7, &mut rng);
+        let s = sqrtm_psd(&a).unwrap();
+        let s2 = matmul(&s, &s).unwrap();
+        for (x, y) in s2.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sqrtm_of_diagonal() {
+        let a = Tensor::from_vec(vec![4.0, 0.0, 0.0, 9.0], [2, 2]).unwrap();
+        let s = sqrtm_psd(&a).unwrap();
+        let got: Vec<f32> = s.as_slice().to_vec();
+        assert!((got[0] - 2.0).abs() < 1e-4);
+        assert!((got[3] - 3.0).abs() < 1e-4);
+        assert!(got[1].abs() < 1e-4 && got[2].abs() < 1e-4);
+    }
+
+    #[test]
+    fn sqrtm_rejects_indefinite() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, -5.0], [2, 2]).unwrap();
+        assert!(sqrtm_psd(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        assert!(sym_eigen(&a).is_err());
+        assert!(trace(&Tensor::zeros([2, 3])).is_err());
+        assert!((trace(&Tensor::ones([3, 3])).unwrap() - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,257 @@
+//! Dense matrix multiplication kernels.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+///
+/// The kernel is a cache-friendly i-k-j loop over contiguous rows; it is the
+/// workhorse behind `conv2d` (via im2col), the linear layers and attention.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use sqdm_tensor::{Tensor, ops::matmul};
+/// # fn main() -> Result<(), sqdm_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2])?;
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matmul",
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matmul",
+            expected: 2,
+            actual: b.rank(),
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &bv[kk * n..(kk + 1) * n];
+            for (o, &b_kj) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ik * b_kj;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Multiplies `aᵀ × b`: `[k, m]ᵀ × [k, n] → [m, n]` without materializing the
+/// transpose.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`], with the inner dimension taken from the
+/// *first* axis of both operands.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matmul_at_b",
+            expected: 2,
+            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
+        });
+    }
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for kk in 0..k {
+        let a_row = &av[kk * m..(kk + 1) * m];
+        let b_row = &bv[kk * n..(kk + 1) * n];
+        for (i, &a_ki) in a_row.iter().enumerate() {
+            if a_ki == 0.0 {
+                continue;
+            }
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_kj) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ki * b_kj;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Multiplies `a × bᵀ`: `[m, k] × [n, k]ᵀ → [m, n]` without materializing the
+/// transpose.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`], with the inner dimension taken from the
+/// *second* axis of both operands.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matmul_a_bt",
+            expected: 2,
+            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 2.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "transpose",
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, [n, m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.get(&[i, kk]).unwrap() * b.get(&[kk, j]).unwrap();
+                }
+                out.set(&[i, j], acc).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let mut rng = Rng::seed_from(1);
+        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (7, 2, 9), (8, 8, 8)] {
+            let a = Tensor::randn([m, k], &mut rng);
+            let b = Tensor::randn([k, n], &mut rng);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = naive(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut rng = Rng::seed_from(2);
+        let a = Tensor::randn([4, 6], &mut rng);
+        let b = Tensor::randn([4, 5], &mut rng);
+        let via_t = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        let direct = matmul_at_b(&a, &b).unwrap();
+        for (x, y) in via_t.as_slice().iter().zip(direct.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        let c = Tensor::randn([3, 6], &mut rng);
+        let via_t2 = matmul(&a, &transpose(&c).unwrap()).unwrap();
+        let direct2 = matmul_a_bt(&a, &c).unwrap();
+        for (x, y) in via_t2.as_slice().iter().zip(direct2.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros([3])).is_err());
+        assert!(transpose(&Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let mut eye = Tensor::zeros([3, 3]);
+        for i in 0..3 {
+            eye.set(&[i, i], 1.0).unwrap();
+        }
+        assert_eq!(matmul(&a, &eye).unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::randn([5, 7], &mut rng);
+        assert_eq!(transpose(&transpose(&a).unwrap()).unwrap(), a);
+    }
+}

@@ -1,0 +1,201 @@
+//! Shape utilities shared by all tensor kernels.
+
+use crate::error::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// The shape of a tensor: a list of dimension extents, outermost first.
+///
+/// `Shape` is a thin, validated wrapper around `Vec<usize>` that provides the
+/// stride arithmetic used by every kernel in this crate. Dimensions of extent
+/// zero are allowed (producing empty tensors).
+///
+/// # Examples
+///
+/// ```
+/// use sqdm_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents, outermost first.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of all extents; 1 for rank 0).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the index rank differs
+    /// from the shape rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::InvalidArgument {
+                op: "offset",
+                reason: format!(
+                    "index rank {} does not match shape rank {}",
+                    index.len(),
+                    self.0.len()
+                ),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+            if i >= d {
+                return Err(TensorError::InvalidArgument {
+                    op: "offset",
+                    reason: format!("coordinate {i} out of range {d} on axis {axis}"),
+                });
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+
+    /// Converts a flat row-major offset back into a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `offset >= len()`.
+    pub fn unravel(&self, offset: usize) -> Result<Vec<usize>> {
+        if offset >= self.len().max(1) {
+            return Err(TensorError::InvalidArgument {
+                op: "unravel",
+                reason: format!("offset {offset} out of range for {} elements", self.len()),
+            });
+        }
+        let mut idx = vec![0usize; self.0.len()];
+        let mut rem = offset;
+        for (axis, stride) in self.strides().iter().enumerate() {
+            idx[axis] = rem / stride;
+            rem %= stride;
+        }
+        Ok(idx)
+    }
+
+    /// Validates that this shape matches the 4-D convention `[N, C, H, W]`
+    /// and returns the four extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for any rank other than 4.
+    pub fn as_nchw(&self) -> Result<(usize, usize, usize, usize)> {
+        if self.0.len() != 4 {
+            return Err(TensorError::RankMismatch {
+                op: "as_nchw",
+                expected: 4,
+                actual: self.0.len(),
+            });
+        }
+        Ok((self.0[0], self.0[1], self.0[2], self.0[3]))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert_eq!(Shape::new(vec![]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_unravel_round_trip() {
+        let s = Shape::from([3, 4, 5]);
+        for off in 0..s.len() {
+            let idx = s.unravel(off).unwrap();
+            assert_eq!(s.offset(&idx).unwrap(), off);
+        }
+    }
+
+    #[test]
+    fn offset_rejects_out_of_range() {
+        let s = Shape::from([2, 2]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.unravel(4).is_err());
+    }
+
+    #[test]
+    fn nchw_validation() {
+        assert_eq!(Shape::from([1, 2, 3, 4]).as_nchw().unwrap(), (1, 2, 3, 4));
+        assert!(Shape::from([2, 3]).as_nchw().is_err());
+    }
+
+    #[test]
+    fn zero_extent_is_empty() {
+        let s = Shape::from([2, 0, 3]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,455 @@
+//! The dense `f32` tensor type.
+
+use crate::error::{Result, TensorError};
+use crate::rng::Rng;
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the single numeric container used throughout the SQ-DM
+/// reproduction: model weights, activations, quantization scratch buffers and
+/// simulator traces are all `Tensor`s. The layout is always contiguous
+/// row-major (C order); the 4-D convention for feature maps is `[N, C, H, W]`.
+///
+/// # Examples
+///
+/// ```
+/// use sqdm_tensor::Tensor;
+/// # fn main() -> Result<(), sqdm_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// assert_eq!(t.get(&[1, 0])?, 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLenMismatch`] if `data.len()` does not equal
+    /// the element count of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::DataLenMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::from([data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(vec![]),
+            data: vec![value],
+        }
+    }
+
+    /// Samples a tensor with i.i.d. standard-normal entries from `rng`.
+    pub fn randn(shape: impl Into<Shape>, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| rng.normal()).collect();
+        Tensor { shape, data }
+    }
+
+    /// Samples a tensor with i.i.d. uniform entries in `[lo, hi)` from `rng`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len())
+            .map(|_| lo + (hi - lo) * rng.uniform())
+            .collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The extents as a plain slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is out of range or has the wrong rank.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is out of range or has the wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.data.len(),
+                to: shape.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination of two equal-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_with(&self, other: &Tensor, mut f: impl FnMut(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_with",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        // Kahan summation keeps results stable for the large reductions used
+        // by the loss and statistics code.
+        let mut sum = 0.0f32;
+        let mut c = 0.0f32;
+        for &x in &self.data {
+            let y = x - c;
+            let t = sum + y;
+            c = (t - sum) - y;
+            sum = t;
+        }
+        sum
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Minimum element (+inf for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().fold(f32::INFINITY, |m, &x| m.min(x))
+    }
+
+    /// Maximum element (-inf for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+    }
+
+    /// Fraction of elements exactly equal to zero (0 for an empty tensor).
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise product (Hadamard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Accumulates `other * alpha` into `self` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_scaled",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Mean squared difference between two equal-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mse(&self, other: &Tensor) -> Result<f32> {
+        let diff = self.sub(other)?;
+        Ok(diff.map(|x| x * x).mean())
+    }
+
+    /// Extracts one channel `[H, W]` from a `[N, C, H, W]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 4 or indices are out of
+    /// range.
+    pub fn channel(&self, n: usize, c: usize) -> Result<Tensor> {
+        let (nn, cc, h, w) = self.shape.as_nchw()?;
+        if n >= nn || c >= cc {
+            return Err(TensorError::InvalidArgument {
+                op: "channel",
+                reason: format!("index (n={n}, c={c}) out of range ({nn}, {cc})"),
+            });
+        }
+        let start = ((n * cc) + c) * h * w;
+        Ok(Tensor {
+            shape: Shape::from([h, w]),
+            data: self.data[start..start + h * w].to_vec(),
+        })
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros([0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        assert_eq!(t.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(t.get(&[1, 2]).unwrap(), 6.0);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], [2, 3]),
+            Err(TensorError::DataLenMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([4]);
+        assert!(a.add(&b).is_err());
+        assert!(a.mse(&b).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[-3.0, 1.0, 2.0]);
+        assert_eq!(t.sum(), 0.0);
+        assert!((t.mean() - 0.0).abs() < 1e-6);
+        assert_eq!(t.abs_max(), 3.0);
+        assert_eq!(t.min(), -3.0);
+        assert_eq!(t.max(), 2.0);
+    }
+
+    #[test]
+    fn sparsity_counts_exact_zeros() {
+        let t = Tensor::from_slice(&[0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(t.sparsity(), 0.5);
+        assert_eq!(Tensor::zeros([0]).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn reshape_round_trip() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), [2, 3, 4]).unwrap();
+        let r = t.reshape([4, 6]).unwrap();
+        assert_eq!(r.dims(), &[4, 6]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape([5, 5]).is_err());
+    }
+
+    #[test]
+    fn channel_extraction() {
+        let mut t = Tensor::zeros([1, 2, 2, 2]);
+        for (i, x) in t.as_mut_slice().iter_mut().enumerate() {
+            *x = i as f32;
+        }
+        let c1 = t.channel(0, 1).unwrap();
+        assert_eq!(c1.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        assert!(t.channel(0, 2).is_err());
+        assert!(t.channel(1, 0).is_err());
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let mut r1 = Rng::seed_from(42);
+        let mut r2 = Rng::seed_from(42);
+        let a = Tensor::randn([8], &mut r1);
+        let b = Tensor::randn([8], &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let b = Tensor::from_slice(&[2.0, 4.0]);
+        a.add_scaled(&b, 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+}

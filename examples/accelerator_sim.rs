@@ -1,0 +1,71 @@
+//! Accelerator simulation walkthrough: run one convolution layer through
+//! the heterogeneous dense/sparse accelerator and the 2-DPE dense
+//! baseline, at several precisions and sparsity levels, and inspect the
+//! cycle and energy breakdowns.
+//!
+//! Run with `cargo run --release --example accelerator_sim`.
+
+use sqdm::accel::{
+    Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, SparseChannel,
+};
+use sqdm::sparsity::ChannelPartition;
+use sqdm::tensor::{Rng, Tensor};
+
+fn main() {
+    let het = Accelerator::new(AcceleratorConfig::paper());
+    let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+
+    // A mid-network EDM layer: 24->24 channels, 3x3, 16x16 outputs.
+    println!("layer: 24->24 channels, 3x3 kernel, 16x16 output\n");
+    println!("{:>9} {:>10} {:>12} {:>12} {:>10}", "sparsity", "precision", "base cycles", "ours cycles", "speed-up");
+    for sparsity in [0.0, 0.35, 0.65, 0.85] {
+        for quant in [LayerQuant::fp16(), LayerQuant::int8(), LayerQuant::int4()] {
+            let w = ConvWorkload::uniform(24, 24, 3, 3, 16, 16, sparsity);
+            let p = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+            let sb = base.run_layer(&w, None, quant);
+            let sh = het.run_layer(&w, Some(&p), quant);
+            println!(
+                "{:>8.0}% {:>10} {:>12} {:>12} {:>9.2}x",
+                sparsity * 100.0,
+                format!("{:?}", quant.mac),
+                sb.cycles,
+                sh.cycles,
+                sb.cycles as f64 / sh.cycles as f64
+            );
+        }
+    }
+
+    // Energy breakdown at the paper's operating point.
+    let w = ConvWorkload::uniform(24, 24, 3, 3, 16, 16, 0.65);
+    let p = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+    let sh = het.run_layer(&w, Some(&p), LayerQuant::int4());
+    let sb = base.run_layer(&w, None, LayerQuant::int4());
+    println!("\nenergy breakdown at 65% sparsity, INT4 (pJ):");
+    println!(
+        "  ours    : compute {:>9.0}  sram {:>8.0}  noc {:>7.0}  leakage {:>7.0}  total {:>9.0}",
+        sh.energy.compute_pj, sh.energy.sram_pj, sh.energy.noc_pj, sh.energy.leakage_pj,
+        sh.energy.total_pj()
+    );
+    println!(
+        "  baseline: compute {:>9.0}  sram {:>8.0}  noc {:>7.0}  leakage {:>7.0}  total {:>9.0}",
+        sb.energy.compute_pj, sb.energy.sram_pj, sb.energy.noc_pj, sb.energy.leakage_pj,
+        sb.energy.total_pj()
+    );
+    println!(
+        "  saving  : {:.1}%",
+        (1.0 - sh.energy.total_pj() / sb.energy.total_pj()) * 100.0
+    );
+
+    // The sparse storage format the SPE consumes.
+    let mut rng = Rng::seed_from(1);
+    let act = Tensor::randn([1, 1, 16, 16], &mut rng).map(|v| v.max(0.0));
+    let chan = SparseChannel::encode_channels(&act).remove(0);
+    println!(
+        "\nsparse channel format: {} elements, {} nonzero ({:.0}% sparse), {} bits vs {} dense",
+        chan.len(),
+        chan.nnz(),
+        chan.sparsity() * 100.0,
+        chan.storage_bits(4),
+        chan.dense_bits(4)
+    );
+}

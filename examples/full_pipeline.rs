@@ -1,0 +1,42 @@
+//! End-to-end miniature reproduction: train, quantize, trace sparsity,
+//! simulate the accelerator, and print the paper's headline numbers — all
+//! at quick scale (a few minutes). The `repro_all` binary in `sqdm-bench`
+//! runs the same flow at paper scale.
+//!
+//! Run with `cargo run --release --example full_pipeline`.
+
+use sqdm::core::experiments::{fig12, fig4, fig6, table2};
+use sqdm::core::{prepare, ExperimentScale};
+use sqdm::edm::DatasetKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::quick();
+
+    // Static analyses (no training needed).
+    println!("{}", fig4::run(&scale.model).render());
+    println!("{}", fig6::run().render());
+
+    // Train two datasets' model pairs.
+    println!("training models (2 datasets x SiLU + ReLU finetune)…\n");
+    let mut pairs = vec![
+        prepare(DatasetKind::CifarLike, scale)?,
+        prepare(DatasetKind::ImageNetLike, scale)?,
+    ];
+
+    // Table II: the proposed schemes.
+    let t2 = table2::run(&mut pairs, &scale)?;
+    println!("{}", t2.render());
+
+    // Figure 12: the system evaluation.
+    let f12 = fig12::run(&mut pairs, &scale)?;
+    println!("{}", f12.render());
+
+    println!("headline (paper → this run):");
+    println!(
+        "  sparsity speed-up 1.83x → {:.2}x | energy saving 51.5% → {:.1}% | total 6.91x → {:.2}x",
+        f12.mean_sparsity_speedup(),
+        f12.mean_energy_saving() * 100.0,
+        f12.mean_total_speedup()
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quantization explorer: how each data format of the paper's Table I
+//! damages a diffusion model's sampling trajectory, plus the Figure 6
+//! level-utilization analysis that motivates ReLU+UINT4.
+//!
+//! Run with `cargo run --release --example quantization_explorer`.
+
+use sqdm::core::{prepare, sample_divergence, ExperimentScale};
+use sqdm::core::experiments::table1::table1_formats;
+use sqdm::edm::DatasetKind;
+use sqdm::quant::{figure6_comparison, quant_rmse, ChannelLayout, QuantFormat};
+use sqdm::tensor::{Rng, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Raw per-tensor quantization error of each format on random
+    // activations — granularity is everything.
+    let mut rng = Rng::seed_from(3);
+    let acts = Tensor::randn([1, 24, 16, 16], &mut rng);
+    println!("RMS quantization error on N(0,1) activations:");
+    for fmt in [
+        QuantFormat::int8(),
+        QuantFormat::mxint8(),
+        QuantFormat::int4(),
+        QuantFormat::int4_vsq(),
+        QuantFormat::ours_int4(),
+    ] {
+        let rmse = quant_rmse(&acts, fmt, ChannelLayout::ACTIVATION)?;
+        println!(
+            "  {:<11} {:>8.5}  ({:.2} bits/element)",
+            fmt.name,
+            rmse,
+            fmt.bits_per_element(256)
+        );
+    }
+
+    // Figure 6: why ReLU lets the model use unsigned 4-bit.
+    let (silu, relu) = figure6_comparison();
+    println!("\nquantization level utilization (x in [-1, 1]):");
+    println!(
+        "  SiLU + signed INT4 : {}/{} levels",
+        silu.used_levels, silu.total_levels
+    );
+    println!(
+        "  ReLU + UINT4       : {}/{} levels",
+        relu.used_levels, relu.total_levels
+    );
+
+    // End-to-end: trajectory divergence of each Table I format on a small
+    // trained model (identical noise seeds).
+    println!("\ntraining a small model for end-to-end divergence…");
+    let scale = ExperimentScale::quick();
+    let mut pair = prepare(DatasetKind::AfhqLike, scale)?;
+    println!("sampling divergence vs FP32 (lower is better):");
+    for (name, assignment) in table1_formats(scale.block_count()) {
+        let d = sample_divergence(&mut pair.silu, &pair.denoiser, assignment.as_ref(), &scale)?;
+        println!("  {name:<10} {d:>12.6}");
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Temporal sparsity explorer: train a ReLU diffusion model, record the
+//! per-channel sparsity of its activations across sampling time steps
+//! (paper Figure 7), and analyze the detector threshold (Figure 11, left).
+//!
+//! Run with `cargo run --release --example temporal_sparsity`.
+
+use sqdm::core::experiments::fig11::combined_trace;
+use sqdm::core::{prepare, record_traces, ExperimentScale};
+use sqdm::edm::{block_ids, DatasetKind};
+use sqdm::sparsity::{best_balanced_threshold, threshold_sweep, PAPER_THRESHOLD};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training SiLU model and ReLU-finetuned variant…");
+    let scale = ExperimentScale::quick();
+    let mut pair = prepare(DatasetKind::CifarLike, scale)?;
+
+    // Average activation sparsity of both models (paper §III-C: ~10% vs
+    // ~65%).
+    let silu_traces = record_traces(&mut pair.silu, &pair.denoiser, &scale, None)?;
+    let relu_traces = record_traces(&mut pair.relu, &pair.denoiser, &scale, None)?;
+    let mean = |ts: &std::collections::BTreeMap<_, sqdm::sparsity::TemporalTrace>| {
+        let v: Vec<f64> = ts.values().map(|t| t.mean_sparsity()).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    println!(
+        "mean activation sparsity: SiLU {:.1}%  |  ReLU {:.1}%",
+        mean(&silu_traces) * 100.0,
+        mean(&relu_traces) * 100.0
+    );
+
+    // Figure 7 bitmap for one mid-network layer.
+    let key = (block_ids::ENC_LO[1], 1);
+    let trace = &relu_traces[&key];
+    println!(
+        "\ntemporal per-channel sparsity of layer {key:?} (rows = channels, cols = steps, '#' = sparse):"
+    );
+    print!("{}", trace.ascii_bitmap(PAPER_THRESHOLD));
+    println!(
+        "flip rate at the {:.0}% threshold: {:.2} (channels change class between steps)",
+        PAPER_THRESHOLD * 100.0,
+        trace.flip_rate(PAPER_THRESHOLD)
+    );
+
+    // Figure 11 (left): threshold sweep over the whole model.
+    let combined = combined_trace(&relu_traces);
+    let points = threshold_sweep(&combined, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]);
+    println!("\nthreshold sweep (whole model):");
+    println!("  thresh  sparse-frac  sparse-portion  imbalance");
+    for p in &points {
+        println!(
+            "  {:>5.1}   {:>9.1}%   {:>12.1}%   {:>8.3}",
+            p.threshold,
+            p.sparse_channel_fraction * 100.0,
+            p.sparse_portion_sparsity * 100.0,
+            p.imbalance
+        );
+    }
+    if let Some(best) = best_balanced_threshold(&points) {
+        println!(
+            "best-balanced threshold: {:.1} (paper selects {:.1})",
+            best.threshold, PAPER_THRESHOLD
+        );
+    }
+    Ok(())
+}

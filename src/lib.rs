@@ -1,0 +1,44 @@
+//! # SQ-DM: Accelerating Diffusion Models with Aggressive Quantization and Temporal Sparsity
+//!
+//! A from-scratch Rust reproduction of the DAC 2025 paper, spanning the
+//! full stack the paper builds on:
+//!
+//! * [`tensor`] — dense `f32` tensors and NN math kernels,
+//! * [`quant`] — the quantization formats of Tables I/II and the
+//!   mixed-precision cost model,
+//! * [`nn`] — layers with explicit backprop and fake-quantized execution,
+//! * [`edm`] — a trainable Elucidated Diffusion Model (U-Net, Karras
+//!   schedule, Heun sampler, SiLU→ReLU finetuning, synthetic datasets,
+//!   sFID metric),
+//! * [`sparsity`] — temporal per-channel sparsity analysis,
+//! * [`accel`] — the cycle-level heterogeneous dense/sparse accelerator
+//!   simulator,
+//! * [`core`] — the end-to-end pipeline and one runnable experiment per
+//!   table/figure.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `sqdm-bench`'s `repro_*` binaries for full paper reproductions.
+//!
+//! # Examples
+//!
+//! ```
+//! use sqdm::quant::{fake_quant, ChannelLayout, QuantFormat};
+//! use sqdm::tensor::{Rng, Tensor};
+//! # fn main() -> Result<(), sqdm::quant::QuantError> {
+//! let mut rng = Rng::seed_from(0);
+//! let acts = Tensor::randn([1, 16, 8, 8], &mut rng);
+//! let q = fake_quant(&acts, QuantFormat::ours_int4(), ChannelLayout::ACTIVATION)?;
+//! assert_eq!(q.dims(), acts.dims());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sqdm_accel as accel;
+pub use sqdm_core as core;
+pub use sqdm_edm as edm;
+pub use sqdm_nn as nn;
+pub use sqdm_quant as quant;
+pub use sqdm_sparsity as sparsity;
+pub use sqdm_tensor as tensor;

@@ -1,0 +1,136 @@
+//! Property-based tests of the accelerator simulator's conservation laws
+//! and the sparse-format/addressing substrates.
+
+use proptest::prelude::*;
+use sqdm::accel::{
+    ActAddressMap, Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, SparseChannel,
+    WeightAddressMap,
+};
+use sqdm::sparsity::ChannelPartition;
+
+fn any_workload() -> impl Strategy<Value = ConvWorkload> {
+    (1usize..17, 1usize..17, 1usize..9).prop_flat_map(|(k, c, sp)| {
+        proptest::collection::vec(0.0f64..1.0, c).prop_map(move |sparsity| {
+            ConvWorkload::with_sparsity(k, c, 3, 3, sp, sp, sparsity)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MAC conservation: a dense run executes exactly the layer's MACs;
+    /// a partitioned run executes no more.
+    #[test]
+    fn mac_conservation(w in any_workload()) {
+        let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+        let het = Accelerator::new(AcceleratorConfig::paper());
+        let sd = base.run_layer(&w, None, LayerQuant::int4());
+        prop_assert_eq!(sd.macs_executed, w.total_macs());
+        let p = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+        let sh = het.run_layer(&w, Some(&p), LayerQuant::int4());
+        prop_assert!(sh.macs_executed <= w.total_macs());
+    }
+
+    /// Cycles and energy are positive and monotone in precision width.
+    #[test]
+    fn wider_precision_never_faster(w in any_workload()) {
+        let acc = Accelerator::new(AcceleratorConfig::dense_baseline());
+        let s4 = acc.run_layer(&w, None, LayerQuant::int4());
+        let s8 = acc.run_layer(&w, None, LayerQuant::int8());
+        let s16 = acc.run_layer(&w, None, LayerQuant::fp16());
+        prop_assert!(s4.cycles <= s8.cycles);
+        prop_assert!(s8.cycles <= s16.cycles);
+        prop_assert!(s4.energy.total_pj() <= s16.energy.total_pj());
+        prop_assert!(s4.cycles > 0);
+    }
+
+    /// Higher sparsity never increases heterogeneous cycles (with fresh
+    /// balanced partitions).
+    #[test]
+    fn sparsity_monotonicity(
+        k in 4usize..17,
+        c in 4usize..17,
+        lo in 0.0f64..0.5,
+    ) {
+        let hi = lo + 0.4;
+        let het = Accelerator::new(AcceleratorConfig::paper());
+        let w_lo = ConvWorkload::uniform(k, c, 3, 3, 8, 8, lo);
+        let w_hi = ConvWorkload::uniform(k, c, 3, 3, 8, 8, hi);
+        let p_lo = ChannelPartition::balanced(&w_lo.act_sparsity, 0.9);
+        let p_hi = ChannelPartition::balanced(&w_hi.act_sparsity, 0.9);
+        let s_lo = het.run_layer(&w_lo, Some(&p_lo), LayerQuant::int4());
+        let s_hi = het.run_layer(&w_hi, Some(&p_hi), LayerQuant::int4());
+        // Monotone up to the fixed structural overheads (SPE per-channel
+        // setup and reduction-tree fill), which routing more channels
+        // sparse can add on very small layers.
+        let slack = 4 * c as u64 + 14;
+        prop_assert!(
+            s_hi.cycles <= s_lo.cycles + slack,
+            "sparser layer slower: {} vs {}", s_hi.cycles, s_lo.cycles
+        );
+    }
+
+    /// Sparse bitmap codec round-trips exactly.
+    #[test]
+    fn sparse_codec_round_trip(
+        dense in proptest::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 2 => -10.0f32..10.0], 0..300
+        )
+    ) {
+        let enc = SparseChannel::encode(&dense);
+        prop_assert_eq!(enc.decode(), dense.clone());
+        let nnz_expected = dense.iter().filter(|&&v| v != 0.0).count();
+        prop_assert_eq!(enc.nnz(), nnz_expected);
+    }
+
+    /// Channel-last activation addressing is a bijection onto 0..len.
+    #[test]
+    fn act_addressing_bijective(c in 1usize..9, h in 1usize..9, w in 1usize..9) {
+        let m = ActAddressMap::channel_last(c, h, w);
+        let mut seen = vec![false; m.len()];
+        for cc in 0..c {
+            for hh in 0..h {
+                for ww in 0..w {
+                    let a = m.addr(cc, hh, ww);
+                    prop_assert!(a < m.len());
+                    prop_assert!(!seen[a], "duplicate address {a}");
+                    seen[a] = true;
+                }
+            }
+        }
+    }
+
+    /// Weight addressing groups every weight of an input channel into its
+    /// declared contiguous range.
+    #[test]
+    fn weight_channel_ranges_partition(k in 1usize..6, c in 1usize..6) {
+        let m = WeightAddressMap::new(k, c, 3, 3);
+        let mut covered = vec![false; m.len()];
+        for ch in 0..c {
+            for a in m.input_channel_range(ch) {
+                prop_assert!(!covered[a]);
+                covered[a] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&b| b));
+    }
+
+    /// The balanced partition never produces a worse bottleneck than
+    /// routing everything dense or everything sparse.
+    #[test]
+    fn balanced_partition_is_no_worse_than_extremes(
+        sparsity in proptest::collection::vec(0.0f64..1.0, 1..64),
+        util in 0.5f64..1.0,
+    ) {
+        let cost = |p: &ChannelPartition| {
+            let (d, s) = p.work_split();
+            d.max(s / util)
+        };
+        let balanced = ChannelPartition::balanced(&sparsity, util);
+        let all_dense = ChannelPartition::classify(&sparsity, 1.1);
+        let all_sparse = ChannelPartition::classify(&sparsity, -0.1);
+        prop_assert!(cost(&balanced) <= cost(&all_dense) + 1e-9);
+        prop_assert!(cost(&balanced) <= cost(&all_sparse) + 1e-9);
+    }
+}

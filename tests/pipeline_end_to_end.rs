@@ -1,0 +1,126 @@
+//! Cross-crate integration: the full SQ-DM pipeline from training through
+//! accelerator simulation, exercised through the public facade crate.
+
+use sqdm::core::{prepare, record_traces, sample_divergence, ExperimentScale};
+use sqdm::edm::DatasetKind;
+use sqdm::quant::{PrecisionAssignment, QuantFormat};
+use sqdm::sparsity::TemporalTrace;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+fn shared() -> &'static (sqdm::core::TrainedPair, ExperimentScale) {
+    static PAIR: OnceLock<(sqdm::core::TrainedPair, ExperimentScale)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let scale = ExperimentScale::quick();
+        (prepare(DatasetKind::CifarLike, scale).unwrap(), scale)
+    })
+}
+
+#[test]
+fn relu_finetune_preserves_generation_quality() {
+    let (pair, scale) = shared();
+    let mut pair = pair.clone();
+    let silu_sfid = sqdm::core::eval_sfid(
+        &mut pair.silu,
+        &pair.denoiser,
+        &pair.dataset,
+        None,
+        scale,
+    )
+    .unwrap();
+    let relu_sfid = sqdm::core::eval_sfid(
+        &mut pair.relu,
+        &pair.denoiser,
+        &pair.dataset,
+        None,
+        scale,
+    )
+    .unwrap();
+    // §III-B: the ReLU model achieves similar image quality. Allow a wide
+    // band at this tiny scale, but it must be the same order of magnitude.
+    assert!(
+        relu_sfid < 3.0 * silu_sfid + 1.0,
+        "silu {silu_sfid} relu {relu_sfid}"
+    );
+}
+
+#[test]
+fn mixed_precision_hurts_less_than_uniform_int4() {
+    let (pair, scale) = shared();
+    let mut pair = pair.clone();
+    let n = scale.block_count();
+    let uniform4 = PrecisionAssignment::uniform(
+        n,
+        sqdm::quant::BlockPrecision::uniform(QuantFormat::int4()),
+        "INT4",
+    );
+    let mixed = PrecisionAssignment::paper_mixed(
+        &sqdm::edm::block_profiles(&scale.model),
+        1,
+        1,
+        false,
+    );
+    let d_uniform =
+        sample_divergence(&mut pair.silu, &pair.denoiser, Some(&uniform4), scale).unwrap();
+    let d_mixed =
+        sample_divergence(&mut pair.silu, &pair.denoiser, Some(&mixed), scale).unwrap();
+    assert!(
+        d_mixed < d_uniform,
+        "mixed {d_mixed} should beat uniform int4 {d_uniform}"
+    );
+}
+
+#[test]
+fn quantization_does_not_destroy_sparsity_traces() {
+    // The accelerator consumes quantized activations; symmetric formats
+    // preserve exact zeros, so sparsity under 4-bit must not collapse.
+    let (pair, scale) = shared();
+    let mut pair = pair.clone();
+    let mixed = PrecisionAssignment::paper_mixed(
+        &sqdm::edm::block_profiles(&scale.model),
+        1,
+        1,
+        true,
+    );
+    let plain = record_traces(&mut pair.relu, &pair.denoiser, scale, None).unwrap();
+    let quant = record_traces(&mut pair.relu, &pair.denoiser, scale, Some(&mixed)).unwrap();
+    let mean = |ts: &BTreeMap<(usize, usize), TemporalTrace>| {
+        let v: Vec<f64> = ts.values().map(|t| t.mean_sparsity()).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let (mp, mq) = (mean(&plain), mean(&quant));
+    assert!(
+        mq > 0.7 * mp,
+        "quantized sparsity {mq} collapsed vs plain {mp}"
+    );
+}
+
+#[test]
+fn accelerator_speedup_holds_on_real_traces() {
+    use sqdm::accel::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
+    use sqdm::sparsity::ChannelPartition;
+
+    let (pair, scale) = shared();
+    let mut pair = pair.clone();
+    let traces = record_traces(&mut pair.relu, &pair.denoiser, scale, None).unwrap();
+    let sites = sqdm::core::conv_sites(&scale.model);
+    let het = Accelerator::new(AcceleratorConfig::paper());
+    let base = Accelerator::new(AcceleratorConfig::dense_baseline());
+    let mut ours = RunStats::default();
+    let mut dense = RunStats::default();
+    for step in 0..scale.sampler.steps {
+        let ws = sqdm::core::workloads_at_step(&sites, &traces, step).unwrap();
+        for w in &ws {
+            let p = ChannelPartition::balanced(&w.act_sparsity, 0.9);
+            ours.push(&het.run_layer(w, Some(&p), LayerQuant::int4()));
+            dense.push(&base.run_layer(w, None, LayerQuant::int4()));
+        }
+    }
+    let speedup = ours.speedup_vs(&dense);
+    assert!(
+        speedup > 1.0 && speedup < 2.5,
+        "speed-up {speedup} outside plausible band"
+    );
+    let saving = ours.energy_saving_vs(&dense);
+    assert!(saving > 0.0 && saving < 0.8, "energy saving {saving}");
+}

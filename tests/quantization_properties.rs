@@ -1,0 +1,162 @@
+//! Property-based tests of the quantization stack's invariants.
+
+use proptest::prelude::*;
+use sqdm::quant::{
+    fake_quant, ChannelLayout, Granularity, IntGrid, QuantFormat, QuantizedTensor,
+    ScaleEncoding,
+};
+use sqdm::tensor::Tensor;
+
+fn any_format() -> impl Strategy<Value = QuantFormat> {
+    (
+        prop_oneof![Just(4u8), Just(8u8)],
+        any::<bool>(),
+        prop_oneof![
+            Just(Granularity::PerTensor),
+            Just(Granularity::PerChannel),
+            Just(Granularity::PerBlock(16)),
+            Just(Granularity::PerBlock(32)),
+        ],
+        prop_oneof![
+            Just(ScaleEncoding::F32),
+            Just(ScaleEncoding::Fp8E4M3),
+            Just(ScaleEncoding::PowerOfTwo),
+            Just(ScaleEncoding::VsqTwoLevel { scale_bits: 4 }),
+        ],
+    )
+        .prop_map(|(bits, signed, granularity, scale_encoding)| QuantFormat {
+            grid: if signed {
+                IntGrid::signed(bits)
+            } else {
+                IntGrid::unsigned(bits)
+            },
+            granularity,
+            scale_encoding,
+            name: "prop",
+        })
+}
+
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..3, 1usize..5, 1usize..5, 1usize..9)
+        .prop_flat_map(|(n, c, h, w)| {
+            proptest::collection::vec(-100.0f32..100.0, n * c * h * w)
+                .prop_map(move |data| Tensor::from_vec(data, [n, c, h, w]).unwrap())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fake quantization never changes shape, and every reconstructed
+    /// value is finite.
+    #[test]
+    fn fake_quant_preserves_shape_and_finiteness(
+        x in small_tensor(),
+        fmt in any_format(),
+    ) {
+        let y = fake_quant(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+        prop_assert_eq!(y.dims(), x.dims());
+        prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Reconstruction error is bounded by one quantization step of the
+    /// group's scale: |x - q(x)| <= scale/2 + epsilon for unsaturated
+    /// signed grids (round-up scale encodings guarantee no saturation of
+    /// the group max).
+    #[test]
+    fn signed_error_bounded_by_half_step(
+        x in small_tensor(),
+        granularity in prop_oneof![
+            Just(Granularity::PerTensor),
+            Just(Granularity::PerBlock(16)),
+        ],
+    ) {
+        let fmt = QuantFormat {
+            grid: IntGrid::signed(8),
+            granularity,
+            scale_encoding: ScaleEncoding::F32,
+            name: "prop",
+        };
+        let q = QuantizedTensor::quantize(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+        let y = q.dequantize();
+        // One global bound: the largest scale in the tensor.
+        let max_scale = q.scales().iter().fold(0.0f32, |m, &s| m.max(s));
+        for (&a, &b) in x.as_slice().iter().zip(y.as_slice()) {
+            prop_assert!(
+                (a - b).abs() <= 0.5 * max_scale + 1e-5,
+                "err {} > half-step {}", (a - b).abs(), 0.5 * max_scale
+            );
+        }
+    }
+
+    /// Exact zeros always survive symmetric quantization — the invariant
+    /// that lets quantization compose with activation sparsity.
+    #[test]
+    fn zeros_survive_quantization(
+        mut x in small_tensor(),
+        fmt in any_format(),
+        zero_mask in proptest::collection::vec(any::<bool>(), 1..256),
+    ) {
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            if zero_mask[i % zero_mask.len()] {
+                *v = 0.0;
+            }
+        }
+        let before = x.sparsity();
+        let y = fake_quant(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+        prop_assert!(y.sparsity() >= before);
+        for (&a, &b) in x.as_slice().iter().zip(y.as_slice()) {
+            if a == 0.0 {
+                prop_assert_eq!(b, 0.0);
+            }
+        }
+    }
+
+    /// With exact (f32) scales quantization is idempotent: re-quantizing
+    /// an already-quantized tensor is the identity.
+    #[test]
+    fn quantization_idempotent_with_f32_scales(x in small_tensor()) {
+        let fmt = QuantFormat {
+            grid: IntGrid::signed(4),
+            granularity: Granularity::PerBlock(32),
+            scale_encoding: ScaleEncoding::F32,
+            name: "prop",
+        };
+        let once = fake_quant(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+        let twice = fake_quant(&once, fmt, ChannelLayout::ACTIVATION).unwrap();
+        for (&a, &b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// With lossy (FP8 round-up) scale encoding, re-quantization may drift
+    /// — but never by more than one quantization step of the new scale.
+    #[test]
+    fn requantization_drift_is_bounded_for_fp8_scales(x in small_tensor()) {
+        let fmt = QuantFormat::ours_int4();
+        let once = fake_quant(&x, fmt, ChannelLayout::ACTIVATION).unwrap();
+        let q2 = QuantizedTensor::quantize(&once, fmt, ChannelLayout::ACTIVATION).unwrap();
+        let twice = q2.dequantize();
+        let max_scale = q2.scales().iter().fold(0.0f32, |m, &s| m.max(s));
+        for (&a, &b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!(
+                (a - b).abs() <= max_scale * 0.5 + 1e-5,
+                "drift {} exceeds half-step {}", (a - b).abs(), 0.5 * max_scale
+            );
+        }
+    }
+
+    /// More bits never hurt: 8-bit RMSE <= 4-bit RMSE at equal granularity.
+    #[test]
+    fn more_bits_never_hurt(x in small_tensor()) {
+        let mk = |bits: u8| QuantFormat {
+            grid: IntGrid::signed(bits),
+            granularity: Granularity::PerBlock(16),
+            scale_encoding: ScaleEncoding::F32,
+            name: "prop",
+        };
+        let e8 = sqdm::quant::quant_rmse(&x, mk(8), ChannelLayout::ACTIVATION).unwrap();
+        let e4 = sqdm::quant::quant_rmse(&x, mk(4), ChannelLayout::ACTIVATION).unwrap();
+        prop_assert!(e8 <= e4 + 1e-9, "e8 {e8} > e4 {e4}");
+    }
+}
