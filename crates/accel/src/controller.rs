@@ -92,13 +92,15 @@ impl Controller {
             for (l, w) in layers.iter().enumerate() {
                 if update || routing[l].is_none() {
                     // Fresh detection on the stream being consumed.
-                    routing[l] =
-                        Some(ChannelPartition::balanced(&w.act_sparsity, self.spe_utilization));
+                    routing[l] = Some(ChannelPartition::balanced(
+                        &w.act_sparsity,
+                        self.spe_utilization,
+                    ));
                 } else if let Some(stale) = &routing[l] {
                     // Keep stale routing but account costs with the true
                     // current sparsities.
                     routing[l] = Some(ChannelPartition::balanced_stale(
-                        &stale.sparsities().to_vec(),
+                        stale.sparsities(),
                         &w.act_sparsity,
                         self.spe_utilization,
                     ));
@@ -143,8 +145,7 @@ mod tests {
                         let sp: Vec<f64> = (0..channels)
                             .map(|ch| {
                                 let base = if ch % 4 == 0 { 0.2 } else { 0.8 };
-                                (base - drift + 0.1 * (rng.uniform() as f64 - 0.5))
-                                    .clamp(0.0, 1.0)
+                                (base - drift + 0.1 * (rng.uniform() as f64 - 0.5)).clamp(0.0, 1.0)
                             })
                             .collect();
                         ConvWorkload::with_sparsity(16, channels, 3, 3, 16, 16, sp)

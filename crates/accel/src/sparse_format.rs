@@ -41,9 +41,9 @@ impl SparseChannel {
     pub fn decode(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.len];
         let mut vi = 0usize;
-        for i in 0..self.len {
+        for (i, o) in out.iter_mut().enumerate() {
             if self.bitmap[i / 64] & (1u64 << (i % 64)) != 0 {
-                out[i] = self.values[vi];
+                *o = self.values[vi];
                 vi += 1;
             }
         }
@@ -162,8 +162,9 @@ mod tests {
     #[test]
     fn storage_wins_for_sparse_losses_for_dense() {
         // 75% sparse at 4-bit values: 16 + 4·4 = 32 bits vs dense 64.
-        let sc = SparseChannel::encode(&[0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0,
-                                         0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 4.0]);
+        let sc = SparseChannel::encode(&[
+            0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 4.0,
+        ]);
         assert!(sc.storage_bits(4) < sc.dense_bits(4));
         // Fully dense: bitmap is pure overhead.
         let dense = SparseChannel::encode(&[1.0; 16]);

@@ -385,8 +385,7 @@ mod tests {
     fn heterogeneous_beats_dense_baseline_on_sparse_data() {
         // Figure 12 (top): ~1.8× from temporal sparsity at equal precision.
         let w = bimodal_layer();
-        let partition =
-            ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
+        let partition = ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
         let base = Accelerator::new(AcceleratorConfig::dense_baseline());
         let het = Accelerator::new(AcceleratorConfig::paper());
         let sb = base.run_layer(&w, None, LayerQuant::int4());
@@ -398,8 +397,7 @@ mod tests {
     #[test]
     fn sparse_energy_saving_is_substantial() {
         let w = bimodal_layer();
-        let partition =
-            ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
+        let partition = ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
         let base = Accelerator::new(AcceleratorConfig::dense_baseline());
         let het = Accelerator::new(AcceleratorConfig::paper());
         let mut b = RunStats::default();
@@ -459,16 +457,14 @@ mod tests {
         let l1 = acc.run_layer(&layers[1].0, None, layers[1].1);
         assert_eq!(stats.cycles, l0.cycles + l1.cycles);
         assert!(
-            (stats.energy.total_pj() - l0.energy.total_pj() - l1.energy.total_pj()).abs()
-                < 1e-6
+            (stats.energy.total_pj() - l0.energy.total_pj() - l1.energy.total_pj()).abs() < 1e-6
         );
     }
 
     #[test]
     fn compressed_sparse_fetch_reduces_traffic() {
         let w = bimodal_layer();
-        let partition =
-            ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
+        let partition = ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
         let het = Accelerator::new(AcceleratorConfig::paper());
         let with = het.run_layer(&w, Some(&partition), LayerQuant::int4());
         let without = het.run_layer(&w, None, LayerQuant::int4());
@@ -480,8 +476,7 @@ mod tests {
         // §IV-D: the architecture is scalable. Two D/S pairs finish a big
         // layer in roughly half the cycles of one pair.
         let w = ConvWorkload::uniform(96, 96, 3, 3, 32, 32, 0.65);
-        let partition =
-            ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
+        let partition = ChannelPartition::classify(&w.act_sparsity, sqdm_sparsity::PAPER_THRESHOLD);
         let one = Accelerator::new(AcceleratorConfig::scaled(1));
         let two = Accelerator::new(AcceleratorConfig::scaled(2));
         let s1 = one.run_layer(&w, Some(&partition), LayerQuant::int4());
@@ -503,7 +498,12 @@ mod tests {
         let half = acc.run_layer(&pruned, Some(&p), LayerQuant::int4());
         // Per-channel rounding of nnz counts leaves ±1 MAC per channel.
         let diff = (half.macs_executed * 2).abs_diff(full.macs_executed);
-        assert!(diff <= w.c as u64, "2x{} vs {}", half.macs_executed, full.macs_executed);
+        assert!(
+            diff <= w.c as u64,
+            "2x{} vs {}",
+            half.macs_executed,
+            full.macs_executed
+        );
         assert!(half.cycles < full.cycles);
         assert!(half.energy.total_pj() < full.energy.total_pj());
     }

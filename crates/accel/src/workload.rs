@@ -92,8 +92,7 @@ impl ConvWorkload {
     /// MACs contributed by one input channel (dense activations; weight
     /// sparsity already factored in).
     pub fn macs_per_channel(&self) -> u64 {
-        ((self.k * self.r * self.s * self.oh * self.ow) as f64 * self.weight_density).round()
-            as u64
+        ((self.k * self.r * self.s * self.oh * self.ow) as f64 * self.weight_density).round() as u64
     }
 
     /// Total dense MACs of the layer.

@@ -1,0 +1,88 @@
+//! Property-style round-trip tests of the sparse bitmap codec
+//! (`SparseChannel`): encode→decode must be the identity for any channel
+//! contents, including the empty and fully-dense edge cases the bitmap
+//! word-packing is most likely to get wrong.
+
+use proptest::prelude::*;
+use sqdm_accel::SparseChannel;
+use sqdm_tensor::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode→decode is the identity for arbitrary sparsity mixes and for
+    /// lengths straddling the 64-element bitmap word boundary.
+    #[test]
+    fn encode_decode_identity(
+        dense in proptest::collection::vec(
+            prop_oneof![2 => Just(0.0f32), 1 => -100.0f32..100.0],
+            0..520,
+        )
+    ) {
+        let enc = SparseChannel::encode(&dense);
+        prop_assert_eq!(enc.decode(), dense.clone());
+        prop_assert_eq!(enc.len(), dense.len());
+        let nnz = dense.iter().filter(|&&v| v != 0.0).count();
+        prop_assert_eq!(enc.nnz(), nnz);
+        let sum_enc: f32 = enc.values().iter().sum();
+        let sum_dense: f32 = dense.iter().sum();
+        prop_assert!((sum_enc - sum_dense).abs() < 1e-3);
+    }
+
+    /// The presence bitmap agrees element-by-element with the dense input.
+    #[test]
+    fn bitmap_matches_dense(
+        dense in proptest::collection::vec(
+            prop_oneof![Just(0.0f32), Just(1.0f32)],
+            1..200,
+        )
+    ) {
+        let enc = SparseChannel::encode(&dense);
+        for (i, &v) in dense.iter().enumerate() {
+            prop_assert_eq!(enc.contains(i), v != 0.0, "element {}", i);
+        }
+    }
+}
+
+#[test]
+fn seeded_random_channels_round_trip() {
+    // Deterministic seeded sweep across densities and word-boundary lengths.
+    let mut rng = Rng::seed_from(0xC0DEC);
+    for &len in &[0usize, 1, 63, 64, 65, 127, 128, 129, 4096] {
+        for &density in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            let dense: Vec<f32> = (0..len)
+                .map(|_| {
+                    if rng.bernoulli(density) {
+                        rng.normal()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let enc = SparseChannel::encode(&dense);
+            assert_eq!(enc.decode(), dense, "len {len} density {density}");
+        }
+    }
+}
+
+#[test]
+fn empty_channel_round_trips() {
+    let enc = SparseChannel::encode(&[]);
+    assert!(enc.is_empty());
+    assert_eq!(enc.len(), 0);
+    assert_eq!(enc.nnz(), 0);
+    assert_eq!(enc.decode(), Vec::<f32>::new());
+    // An empty channel occupies no storage at all.
+    assert_eq!(enc.storage_bits(4), 0);
+}
+
+#[test]
+fn all_dense_channel_round_trips() {
+    // No zeros anywhere: every element must survive, in scan order.
+    let dense: Vec<f32> = (1..=130).map(|i| i as f32).collect();
+    let enc = SparseChannel::encode(&dense);
+    assert_eq!(enc.nnz(), dense.len());
+    assert_eq!(enc.sparsity(), 0.0);
+    assert_eq!(enc.values(), dense.as_slice());
+    assert_eq!(enc.decode(), dense);
+}

@@ -3,14 +3,12 @@
 //! classification, and channel-last vs interleaved mapping.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_accel::{Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, RunStats};
-use sqdm_quant::{
-    quant_rmse, ChannelLayout, Granularity, IntGrid, QuantFormat, ScaleEncoding,
-};
+use sqdm_quant::{quant_rmse, ChannelLayout, Granularity, IntGrid, QuantFormat, ScaleEncoding};
 use sqdm_sparsity::{ChannelPartition, TemporalTrace};
 use sqdm_tensor::{Rng, Tensor};
 use std::hint::black_box;
+use std::time::Duration;
 
 /// FP8-encoded scales vs ideal f32 scales for the proposed 4-bit format:
 /// the error penalty of the cheaper scale storage.

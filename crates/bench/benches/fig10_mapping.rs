@@ -2,9 +2,9 @@
 //! plan construction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_accel::{ActAddressMap, FetchPlan};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_fig10(c: &mut Criterion) {
     let cl = ActAddressMap::channel_last(64, 32, 32);

@@ -2,11 +2,11 @@
 //! classification, the load-balanced partitioner and the threshold sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_accel::SparsityDetector;
 use sqdm_sparsity::{threshold_sweep, ChannelPartition, TemporalTrace};
 use sqdm_tensor::Rng;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn synthetic_trace(channels: usize, steps: usize) -> TemporalTrace {
     let mut rng = Rng::seed_from(30);

@@ -2,11 +2,11 @@
 //! speed-up/energy numbers on a paper-shaped workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_accel::{Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, RunStats};
 use sqdm_sparsity::ChannelPartition;
 use sqdm_tensor::Rng;
 use std::hint::black_box;
+use std::time::Duration;
 
 /// A U-Net-shaped layer stack with ReLU-like per-channel sparsities.
 fn model_layers(rng: &mut Rng) -> Vec<ConvWorkload> {

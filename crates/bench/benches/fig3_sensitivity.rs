@@ -2,11 +2,11 @@
 //! the sensitivity sweep is built from.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_core::experiments::fig3::single_block_4bit;
 use sqdm_edm::{block_ids, Denoiser, EdmSchedule, RunConfig, UNet, UNetConfig};
 use sqdm_tensor::{Rng, Tensor};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_fig3(c: &mut Criterion) {
     let mut rng = Rng::seed_from(12);

@@ -2,10 +2,10 @@
 //! figure's numbers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_quant::{figure6_comparison, level_utilization, IntGrid};
 use sqdm_tensor::ops::Activation;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_fig6(c: &mut Criterion) {
     let (silu, relu) = figure6_comparison();

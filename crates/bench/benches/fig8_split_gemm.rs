@@ -3,12 +3,12 @@
 //! times full vs split execution in the simulator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_accel::{Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant};
 use sqdm_sparsity::ChannelPartition;
 use sqdm_tensor::ops::{conv2d, Conv2dGeometry};
 use sqdm_tensor::{Rng, Tensor};
 use std::hint::black_box;
+use std::time::Duration;
 
 /// Functional check: conv over dense channel group + conv over sparse
 /// channel group equals conv over all channels (Figure 8's partial-sum

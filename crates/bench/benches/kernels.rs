@@ -3,12 +3,12 @@
 //! sparse bitmap codec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_accel::SparseChannel;
 use sqdm_quant::{fake_quant, ChannelLayout, QuantFormat};
 use sqdm_tensor::ops::{conv2d, conv2d_backward, matmul, softmax_rows, Conv2dGeometry};
 use sqdm_tensor::{Rng, Tensor};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = Rng::seed_from(1);
@@ -63,7 +63,13 @@ fn bench_quantizers(c: &mut Criterion) {
 fn bench_sparse_codec(c: &mut Criterion) {
     let mut rng = Rng::seed_from(5);
     let dense: Vec<f32> = (0..4096)
-        .map(|_| if rng.bernoulli(0.65) { 0.0 } else { rng.normal() })
+        .map(|_| {
+            if rng.bernoulli(0.65) {
+                0.0
+            } else {
+                rng.normal()
+            }
+        })
         .collect();
     c.bench_function("sparse_encode_4096_65pct", |bch| {
         bch.iter(|| SparseChannel::encode(black_box(&dense)))

@@ -2,11 +2,11 @@
 //! table is built from, and prints the divergence each format induces.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_core::experiments::table1::table1_formats;
 use sqdm_edm::{Denoiser, EdmSchedule, RunConfig, UNet, UNetConfig};
 use sqdm_tensor::{Rng, Tensor};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_table1(c: &mut Criterion) {
     let mut rng = Rng::seed_from(10);

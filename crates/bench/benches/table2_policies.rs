@@ -2,11 +2,11 @@
 //! precision assignments and prints the modeled savings columns.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sqdm_edm::{block_profiles, Denoiser, EdmSchedule, RunConfig, UNet, UNetConfig};
 use sqdm_quant::{evaluate_cost, PrecisionAssignment, QuantFormat};
 use sqdm_tensor::{Rng, Tensor};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_table2(c: &mut Criterion) {
     let cfg = UNetConfig::default();

@@ -14,7 +14,10 @@ fn main() {
 
     println!("=== SQ-DM full reproduction report ===\n");
 
-    println!("{}", sqdm_core::experiments::fig4::run(&scale.model).render());
+    println!(
+        "{}",
+        sqdm_core::experiments::fig4::run(&scale.model).render()
+    );
     println!("{}", sqdm_core::experiments::fig6::run().render());
 
     let t1 = sqdm_core::experiments::table1::run(&mut pairs, &scale).expect("table1");
@@ -34,8 +37,7 @@ fn main() {
     println!("{}", f12.render());
     let f1 = sqdm_core::experiments::fig1::run(&mut pairs[0], &scale).expect("fig1");
     println!("{}", f1.render());
-    let ext = sqdm_core::experiments::ext_weight_sparsity::run(&mut pairs[0], &scale)
-        .expect("ext");
+    let ext = sqdm_core::experiments::ext_weight_sparsity::run(&mut pairs[0], &scale).expect("ext");
     println!("{}", ext.render());
 
     println!("=== headline numbers (paper vs measured) ===");

@@ -31,8 +31,7 @@ pub fn bench_scale() -> ExperimentScale {
     ExperimentScale::quick()
 }
 
-static PAIRS: OnceLock<Mutex<Vec<(DatasetKind, ExperimentScale, TrainedPair)>>> =
-    OnceLock::new();
+static PAIRS: OnceLock<Mutex<Vec<(DatasetKind, ExperimentScale, TrainedPair)>>> = OnceLock::new();
 
 /// A trained pair for `kind` at `scale`, cached per process so benches and
 /// multi-figure reports never train the same model twice.

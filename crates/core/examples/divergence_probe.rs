@@ -1,0 +1,45 @@
+//! Diagnostic probe for the Fig. 1 quality comparison: prints the sampling
+//! trajectory divergence of both trained models under every headline format.
+use sqdm_core::{prepare, sample_divergence, ExperimentScale};
+use sqdm_edm::DatasetKind;
+use sqdm_quant::{PrecisionAssignment, QuantFormat};
+
+fn uniform(n: usize, f: QuantFormat) -> PrecisionAssignment {
+    PrecisionAssignment::uniform(n, sqdm_quant::BlockPrecision::uniform(f), "u")
+}
+
+fn main() {
+    let scale = ExperimentScale::quick();
+    let n = scale.block_count();
+    let mut pair = prepare(DatasetKind::CifarLike, scale).unwrap();
+    for (name, net) in [("silu", &mut pair.silu), ("relu", &mut pair.relu)] {
+        let net: &mut sqdm_edm::UNet = net;
+        for (fname, asg) in [
+            ("fp16", uniform(n, QuantFormat::fp16_surrogate())),
+            ("mxint8", uniform(n, QuantFormat::mxint8())),
+            ("int4_vsq", uniform(n, QuantFormat::int4_vsq())),
+            ("int4", uniform(n, QuantFormat::int4())),
+            (
+                "mixed_signed",
+                PrecisionAssignment::paper_mixed(
+                    &sqdm_edm::block_profiles(&scale.model),
+                    1,
+                    1,
+                    false,
+                ),
+            ),
+            (
+                "mixed_relu",
+                PrecisionAssignment::paper_mixed(
+                    &sqdm_edm::block_profiles(&scale.model),
+                    1,
+                    1,
+                    true,
+                ),
+            ),
+        ] {
+            let d = sample_divergence(net, &pair.denoiser, Some(&asg), &scale).unwrap();
+            println!("{name:>5} {fname:<14} {d:.6}");
+        }
+    }
+}

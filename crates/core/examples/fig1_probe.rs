@@ -1,0 +1,11 @@
+//! Diagnostic probe: prints the Figure 1 headline rows at quick scale.
+use sqdm_core::experiments::fig1;
+use sqdm_core::{prepare, ExperimentScale};
+use sqdm_edm::DatasetKind;
+
+fn main() {
+    let scale = ExperimentScale::quick();
+    let mut pair = prepare(DatasetKind::CifarLike, scale).unwrap();
+    let f = fig1::run(&mut pair, &scale).unwrap();
+    print!("{}", f.render());
+}

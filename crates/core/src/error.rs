@@ -67,9 +67,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CoreError::Inconsistent {
-            reason: "x".into(),
-        };
+        let e = CoreError::Inconsistent { reason: "x".into() };
         assert!(e.to_string().contains("inconsistent"));
         let e: CoreError = sqdm_tensor::TensorError::ReshapeMismatch { from: 1, to: 2 }.into();
         assert!(std::error::Error::source(&e).is_some());

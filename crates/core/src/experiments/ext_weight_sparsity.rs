@@ -8,9 +8,7 @@
 //! routing.
 
 use crate::error::Result;
-use crate::pipeline::{
-    conv_sites, record_traces, workloads_at_step, ExperimentScale, TrainedPair,
-};
+use crate::pipeline::{conv_sites, record_traces, workloads_at_step, ExperimentScale, TrainedPair};
 use serde::{Deserialize, Serialize};
 use sqdm_accel::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
 use sqdm_edm::UNet;
@@ -44,12 +42,7 @@ pub fn prune_model_weights_2_4(net: &mut UNet) -> Result<usize> {
         // Conv weights are the rank-4 parameters [K, C, kh, kw] with a
         // reduction slice of at least one 2:4 group.
         if p.value.rank() == 4 && p.value.len() >= p.value.dims()[0] * 4 {
-            p.value = prune_m_of_n(
-                &p.value,
-                2,
-                4,
-                sqdm_quant::ChannelLayout::WEIGHT,
-            )?;
+            p.value = prune_m_of_n(&p.value, 2, 4, sqdm_quant::ChannelLayout::WEIGHT)?;
             count += 1;
         }
     }

@@ -7,8 +7,8 @@
 //! the reproduction's accelerator model and sFID scores.
 
 use crate::error::Result;
-use crate::experiments::util::uniform;
 use crate::experiments::fig12;
+use crate::experiments::util::uniform;
 use crate::pipeline::{ExperimentScale, TrainedPair};
 use serde::{Deserialize, Serialize};
 use sqdm_accel::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
@@ -66,8 +66,7 @@ pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig1> {
     let (fp16_cycles, int8_cycles, int4_cycles) = {
         let base = Accelerator::new(AcceleratorConfig::dense_baseline());
         let sites = crate::pipeline::conv_sites(&scale.model);
-        let traces =
-            crate::pipeline::record_traces(&mut pair.relu, &pair.denoiser, scale, None)?;
+        let traces = crate::pipeline::record_traces(&mut pair.relu, &pair.denoiser, scale, None)?;
         let mut c16 = RunStats::default();
         let mut c8 = RunStats::default();
         let mut c4 = RunStats::default();
@@ -125,9 +124,15 @@ impl Fig1 {
     /// Renders the headline table.
     pub fn render(&self) -> String {
         let mut s = String::from("Figure 1: quality and speed-up per format\n");
-        s.push_str(&format!("{:<10}{:>10}{:>10}\n", "Format", "sFID", "Speed-up"));
+        s.push_str(&format!(
+            "{:<10}{:>10}{:>10}\n",
+            "Format", "sFID", "Speed-up"
+        ));
         for r in &self.rows {
-            s.push_str(&format!("{:<10}{:>10.2}{:>9.2}x\n", r.name, r.sfid, r.speedup));
+            s.push_str(&format!(
+                "{:<10}{:>10.2}{:>9.2}x\n",
+                r.name, r.sfid, r.speedup
+            ));
         }
         s
     }
@@ -155,30 +160,53 @@ mod tests {
                 w[1].speedup
             );
         }
-        // Quality (deterministic divergence): the proposed 4-bit scheme
-        // damages the trajectory far less than INT4-VSQ.
-        let scale2 = ExperimentScale::quick();
-        let n = scale2.block_count();
-        let vsq_div = crate::pipeline::sample_divergence(
-            &mut pair.silu,
-            &pair.denoiser,
-            Some(&uniform(n, QuantFormat::int4_vsq())),
-            &scale2,
-        )
-        .unwrap();
+        // Quality: the figure's own sFID rows must tell the paper's story —
+        // only Ours retains image quality at 4-bit. (Trajectory divergence
+        // is not comparable across the SiLU and ReLU models, so the claim is
+        // checked on sFID, which is computed per model against the dataset.)
+        let sfid = |name: &str| {
+            f.rows
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .sfid
+        };
+        let (fp16, vsq, ours) = (sfid("FP16"), sfid("INT4-VSQ"), sfid("Ours"));
+        // A degenerate metric (near-zero or non-finite sFID) would make any
+        // ordering below meaningless, so rule it out first.
+        assert!(
+            fp16.is_finite() && ours.is_finite() && fp16 > 0.1 && ours > 0.1,
+            "degenerate sFID: fp16 {fp16} ours {ours}"
+        );
+        // Quality retained: Ours at 4-bit stays within a modest band of the
+        // FP16 reference...
+        assert!(ours < 1.2 * fp16 + 0.1, "ours {ours} vs fp16 {fp16}");
+        // ...and must not be worse than the uniform 4-bit VSQ baseline.
+        assert!(ours <= vsq, "ours {ours} should not trail INT4-VSQ {vsq}");
+        // On the same model, the mixed policy damages the trajectory less
+        // than uniform plain INT4 (the naive 4-bit headline contrast).
+        let n = scale.block_count();
+        let mixed = sqdm_quant::PrecisionAssignment::paper_mixed(
+            &sqdm_edm::block_profiles(&scale.model),
+            1,
+            1,
+            true,
+        );
         let ours_div = crate::pipeline::sample_divergence(
             &mut pair.relu,
             &pair.denoiser,
-            Some(&sqdm_quant::PrecisionAssignment::paper_mixed(
-                &sqdm_edm::block_profiles(&scale2.model),
-                1,
-                1,
-                true,
-            )),
-            &scale2,
+            Some(&mixed),
+            &scale,
         )
         .unwrap();
-        assert!(ours_div < vsq_div, "ours {ours_div} vsq {vsq_div}");
+        let int4_div = crate::pipeline::sample_divergence(
+            &mut pair.relu,
+            &pair.denoiser,
+            Some(&uniform(n, QuantFormat::int4())),
+            &scale,
+        )
+        .unwrap();
+        assert!(ours_div < int4_div, "ours {ours_div} int4 {int4_div}");
         assert!(f.render().contains("Ours"));
     }
 }

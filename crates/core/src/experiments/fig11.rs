@@ -95,11 +95,7 @@ pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig11> {
             for (w, w_eff) in ws.iter().zip(ws_eff.iter()) {
                 // Classification from the stale step, true sparsity from
                 // the current one.
-                let p = ChannelPartition::balanced_stale(
-                    &w_eff.act_sparsity,
-                    &w.act_sparsity,
-                    0.9,
-                );
+                let p = ChannelPartition::balanced_stale(&w_eff.act_sparsity, &w.act_sparsity, 0.9);
                 het_stats.push(&het.run_layer(w, Some(&p), LayerQuant::int4()));
             }
         }
@@ -170,11 +166,7 @@ mod tests {
         // and misclassification grows with the period.
         assert_eq!(f.periods[0].period, 1);
         assert_eq!(f.periods[0].misclassification, 0.0);
-        let best = f
-            .periods
-            .iter()
-            .map(|p| p.speedup)
-            .fold(f64::MIN, f64::max);
+        let best = f.periods.iter().map(|p| p.speedup).fold(f64::MIN, f64::max);
         assert!(f.periods[0].speedup >= best - 1e-9, "{:?}", f.periods);
         assert!(f.render().contains("update frequency"));
     }

@@ -8,9 +8,7 @@
 
 use crate::error::Result;
 use crate::experiments::util::layer_quant_for;
-use crate::pipeline::{
-    conv_sites, record_traces, workloads_at_step, ExperimentScale, TrainedPair,
-};
+use crate::pipeline::{conv_sites, record_traces, workloads_at_step, ExperimentScale, TrainedPair};
 use serde::{Deserialize, Serialize};
 use sqdm_accel::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
 use sqdm_edm::block_profiles;

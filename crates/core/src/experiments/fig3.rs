@@ -64,7 +64,13 @@ pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig3> {
     let mut blocks = Vec::with_capacity(n);
     for b in 0..n {
         let a = single_block_4bit(n, b);
-        let sfid = eval_sfid(&mut pair.silu, &pair.denoiser, &pair.dataset, Some(&a), scale)?;
+        let sfid = eval_sfid(
+            &mut pair.silu,
+            &pair.denoiser,
+            &pair.dataset,
+            Some(&a),
+            scale,
+        )?;
         blocks.push(BlockSensitivity { block: b, sfid });
     }
     Ok(Fig3 {

@@ -41,7 +41,7 @@ fn collect(
     denoiser: &sqdm_edm::Denoiser,
     scale: &ExperimentScale,
 ) -> Result<ActDistribution> {
-    let mut rng = Rng::seed_from(scale.seed ^ 0xF16_5);
+    let mut rng = Rng::seed_from(scale.seed ^ 0xF165);
     let cfg = *net.config();
     // Mid-trajectory noisy input at a representative sigma.
     let sigma = 1.0f32;

@@ -114,9 +114,7 @@ impl Table1 {
 
     /// Renders the paper-style table.
     pub fn render(&self) -> String {
-        let mut s = String::from(
-            "Table I: sFID comparison of existing quantization formats\n",
-        );
+        let mut s = String::from("Table I: sFID comparison of existing quantization formats\n");
         if let Some(first) = self.rows.first() {
             s.push_str(&format!("{:<10}", "Format"));
             for c in &first.cells {
@@ -173,8 +171,7 @@ mod tests {
         let formats = table1_formats(scale.block_count());
         let mut div = std::collections::BTreeMap::new();
         for (name, a) in &formats {
-            let d =
-                sample_divergence(&mut pair.silu, &pair.denoiser, a.as_ref(), &scale).unwrap();
+            let d = sample_divergence(&mut pair.silu, &pair.denoiser, a.as_ref(), &scale).unwrap();
             div.insert(name.clone(), d);
         }
         // FP16 is indistinguishable from FP32.

@@ -25,7 +25,6 @@ mod pipeline;
 
 pub use error::{CoreError, Result};
 pub use pipeline::{
-    conv_sites, eval_sfid, prepare, record_traces, sample_divergence, workloads_at_step,
-    ConvSite, ExperimentScale,
-    LayerKey, TrainedPair,
+    conv_sites, eval_sfid, prepare, record_traces, sample_divergence, workloads_at_step, ConvSite,
+    ExperimentScale, LayerKey, TrainedPair,
 };

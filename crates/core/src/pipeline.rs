@@ -175,7 +175,9 @@ pub fn sample_divergence(
     let reference = sqdm_edm::sample(net, denoiser, batch, scale.sampler, None, &mut r1)?;
     let mut r2 = Rng::seed_from(scale.seed ^ 0xD1FF);
     let quantized = sqdm_edm::sample(net, denoiser, batch, scale.sampler, assignment, &mut r2)?;
-    Ok(reference.mse(&quantized).map_err(sqdm_edm::EdmError::from)? as f64)
+    Ok(reference
+        .mse(&quantized)
+        .map_err(sqdm_edm::EdmError::from)? as f64)
 }
 
 /// Identifier of one activation site: `(block index, stage)`.
@@ -453,8 +455,7 @@ mod tests {
             eval_sfid(&mut pair.silu, &pair.denoiser, &pair.dataset, None, &scale).unwrap();
         let mut rng = Rng::seed_from(99);
         let mut fresh = UNet::new(scale.model, &mut rng).unwrap();
-        let untrained =
-            eval_sfid(&mut fresh, &pair.denoiser, &pair.dataset, None, &scale).unwrap();
+        let untrained = eval_sfid(&mut fresh, &pair.denoiser, &pair.dataset, None, &scale).unwrap();
         assert!(
             trained < untrained,
             "trained {trained} vs untrained {untrained}"

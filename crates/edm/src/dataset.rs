@@ -110,11 +110,11 @@ impl Dataset {
         let (c, s) = (self.channels, self.size);
         let gdir = rng.uniform_in(-1.0, 1.0);
         let gbase: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.5, 0.2)).collect();
-        for ch in 0..c {
+        for (ch, &gb) in gbase.iter().enumerate() {
             for y in 0..s {
                 for x in 0..s {
                     let t = (x as f32 + gdir * y as f32) / s as f32;
-                    self.set(img, ch, y, x, gbase[ch] + 0.3 * t);
+                    self.set(img, ch, y, x, gb + 0.3 * t);
                 }
             }
         }
@@ -123,13 +123,13 @@ impl Dataset {
             let (cy, cx) = (rng.uniform_in(0.2, 0.8), rng.uniform_in(0.2, 0.8));
             let r = rng.uniform_in(0.1, 0.25);
             let color: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.9, 0.9)).collect();
-            for ch in 0..c {
+            for (ch, &col) in color.iter().enumerate() {
                 for y in 0..s {
                     for x in 0..s {
                         let dy = y as f32 / s as f32 - cy;
                         let dx = x as f32 / s as f32 - cx;
                         let d2 = (dy * dy + dx * dx) / (r * r);
-                        self.add(img, ch, y, x, color[ch] * (-d2).exp());
+                        self.add(img, ch, y, x, col * (-d2).exp());
                     }
                 }
             }
@@ -207,7 +207,7 @@ impl Dataset {
                 for ch in 0..c {
                     for y in 0..s {
                         for x in 0..s {
-                            let on = ((x + phase) / period + y / period) % 2 == 0;
+                            let on = ((x + phase) / period + y / period).is_multiple_of(2);
                             self.set(img, ch, y, x, if on { hi[ch] } else { lo[ch] });
                         }
                     }
@@ -239,7 +239,7 @@ impl Dataset {
                 for ch in 0..c {
                     for y in 0..s {
                         for x in 0..s {
-                            let on = ((x + y) / period) % 2 == 0;
+                            let on = ((x + y) / period).is_multiple_of(2);
                             self.set(img, ch, y, x, if on { hi[ch] } else { lo[ch] });
                         }
                     }
@@ -305,9 +305,7 @@ mod tests {
             let mut rng = Rng::seed_from(13);
             let b = ds.batch(128, &mut rng);
             // Variance of pixel (0, 4, 4) across the batch.
-            let vals: Vec<f32> = (0..128)
-                .map(|i| b.get(&[i, 0, 4, 4]).unwrap())
-                .collect();
+            let vals: Vec<f32> = (0..128).map(|i| b.get(&[i, 0, 4, 4]).unwrap()).collect();
             let m = vals.iter().sum::<f32>() as f64 / 128.0;
             vals.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / 128.0
         };

@@ -15,8 +15,8 @@
 use crate::error::{EdmError, Result};
 use serde::{Deserialize, Serialize};
 use sqdm_nn::layers::{
-    avg_pool2, avg_pool2_backward, upsample_nearest2, upsample_nearest2_backward, ActLayer,
-    Conv2d, GroupNorm, Linear, SelfAttention2d,
+    avg_pool2, avg_pool2_backward, upsample_nearest2, upsample_nearest2_backward, ActLayer, Conv2d,
+    GroupNorm, Linear, SelfAttention2d,
 };
 use sqdm_nn::{Param, QuantExecutor};
 use sqdm_quant::{BlockKind, PrecisionAssignment};
@@ -68,12 +68,15 @@ impl UNetConfig {
     ///
     /// Returns [`EdmError::Config`] when constraints are violated.
     pub fn validate(&self) -> Result<()> {
-        if self.image_size % 4 != 0 || self.image_size == 0 {
+        if !self.image_size.is_multiple_of(4) || self.image_size == 0 {
             return Err(EdmError::Config {
-                reason: format!("image_size {} must be a positive multiple of 4", self.image_size),
+                reason: format!(
+                    "image_size {} must be a positive multiple of 4",
+                    self.image_size
+                ),
             });
         }
-        if self.groups == 0 || self.base_channels % self.groups != 0 {
+        if self.groups == 0 || !self.base_channels.is_multiple_of(self.groups) {
             return Err(EdmError::Config {
                 reason: format!(
                     "groups {} must divide base_channels {}",
@@ -209,8 +212,7 @@ fn split_channels(g: &Tensor, ca: usize) -> Result<(Tensor, Tensor)> {
     let mut gb = vec![0.0f32; n * cb * hw];
     for nn in 0..n {
         let src = nn * c * hw;
-        ga[nn * ca * hw..(nn + 1) * ca * hw]
-            .copy_from_slice(&g.as_slice()[src..src + ca * hw]);
+        ga[nn * ca * hw..(nn + 1) * ca * hw].copy_from_slice(&g.as_slice()[src..src + ca * hw]);
         gb[nn * cb * hw..(nn + 1) * cb * hw]
             .copy_from_slice(&g.as_slice()[src + ca * hw..src + c * hw]);
     }
@@ -253,7 +255,13 @@ impl ConvBlock {
         rng: &mut Rng,
     ) -> Result<Self> {
         let skip = if in_ch != out_ch {
-            Some(Conv2d::new(in_ch, out_ch, 1, Conv2dGeometry::new(1, 0), rng))
+            Some(Conv2d::new(
+                in_ch,
+                out_ch,
+                1,
+                Conv2dGeometry::new(1, 0),
+                rng,
+            ))
         } else {
             None
         };
@@ -309,7 +317,8 @@ impl ConvBlock {
         } else {
             // The embedding vector is signed even in unsigned-activation
             // (post-ReLU) blocks.
-            exec.signed_activations().linear_forward(&self.emb_proj, emb)?
+            exec.signed_activations()
+                .linear_forward(&self.emb_proj, emb)?
         };
         add_channel_bias(&mut h, &bias)?;
         let mut h2 = self.gn2.forward(&h, rc.train)?;
@@ -763,8 +772,12 @@ mod tests {
         let cfg = UNetConfig::micro();
         let mut net = UNet::new(cfg, &mut rng).unwrap();
         let x = Tensor::randn([2, 1, 8, 8], &mut rng);
-        let y1 = net.forward(&x, &[0.1, -0.3], &mut RunConfig::infer()).unwrap();
-        let y2 = net.forward(&x, &[0.1, -0.3], &mut RunConfig::infer()).unwrap();
+        let y1 = net
+            .forward(&x, &[0.1, -0.3], &mut RunConfig::infer())
+            .unwrap();
+        let y2 = net
+            .forward(&x, &[0.1, -0.3], &mut RunConfig::infer())
+            .unwrap();
         assert_eq!(y1.dims(), x.dims());
         assert_eq!(y1, y2);
     }
@@ -861,7 +874,6 @@ mod tests {
             observer: Some(&mut obs),
         };
         net.forward(&x, &[0.0], &mut rc).unwrap();
-        drop(rc);
         assert!(!sparsities.is_empty());
         let avg: f64 = sparsities.iter().sum::<f64>() / sparsities.len() as f64;
         assert!(avg > 0.2, "relu sparsity {avg}");
@@ -882,7 +894,6 @@ mod tests {
             observer: Some(&mut obs),
         };
         net.forward(&x, &[0.0], &mut rc).unwrap();
-        drop(rc);
         // All conv blocks + attention + skip + out.
         for idx in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11] {
             assert!(seen.contains(&idx), "missing block {idx}: {seen:?}");

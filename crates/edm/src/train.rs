@@ -74,7 +74,10 @@ pub fn train_step(
 
     let d = den.denoise(net, &x, &sigmas, &mut RunConfig::train())?;
     let diff = d.sub(batch_clean)?;
-    let weights: Vec<f32> = sigmas.iter().map(|&s| den.schedule.loss_weight(s)).collect();
+    let weights: Vec<f32> = sigmas
+        .iter()
+        .map(|&s| den.schedule.loss_weight(s))
+        .collect();
     let weighted = scale_per_sample(&diff.mul(&diff)?, &weights)?;
     let loss = weighted.mean();
 

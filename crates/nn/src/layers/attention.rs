@@ -117,6 +117,7 @@ impl SelfAttention2d {
             let a = softmax_rows(&p)?;
             let o = matmul(&a, &v)?; // [S, C]
             let y = matmul_a_bt(&o, &self.wo.value)?; // [S, C]
+
             // out[nn] += y
             let mut slab = to_sc(&out, nn)?;
             slab.add_scaled(&y, 1.0)?;
@@ -148,6 +149,7 @@ impl SelfAttention2d {
         for nn in 0..cache.n {
             let (xs, q, k, v, a, o) = &cache.per_batch[nn];
             let gy = to_sc(grad_out, nn)?; // [S, C]
+
             // Y = O Woᵀ → dO = gy Wo ; dWo += gyᵀ O
             let go = matmul(&gy, &self.wo.value)?;
             self.wo.grad.add_scaled(&matmul_at_b(&gy, o)?, 1.0)?;

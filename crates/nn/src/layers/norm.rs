@@ -38,7 +38,7 @@ impl GroupNorm {
     /// Returns a config error if `groups` does not divide `channels` or is
     /// zero.
     pub fn new(channels: usize, groups: usize) -> Result<Self> {
-        if groups == 0 || channels % groups != 0 {
+        if groups == 0 || !channels.is_multiple_of(groups) {
             return Err(NnError::Config {
                 layer: "GroupNorm",
                 reason: format!("groups {groups} must divide channels {channels}"),
@@ -63,7 +63,10 @@ impl GroupNorm {
         if c != self.gamma.value.len() {
             return Err(NnError::Config {
                 layer: "GroupNorm",
-                reason: format!("input has {c} channels, layer has {}", self.gamma.value.len()),
+                reason: format!(
+                    "input has {c} channels, layer has {}",
+                    self.gamma.value.len()
+                ),
             });
         }
         let cpg = c / self.groups; // channels per group
@@ -80,8 +83,8 @@ impl GroupNorm {
                 let start = (nn * c + g * cpg) * h * w;
                 let slice = &xv[start..start + gsize];
                 let mean = slice.iter().sum::<f32>() / gsize as f32;
-                let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-                    / gsize as f32;
+                let var =
+                    slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / gsize as f32;
                 let inv_std = 1.0 / (var + self.eps).sqrt();
                 means[nn * self.groups + g] = mean;
                 inv_stds[nn * self.groups + g] = inv_std;
@@ -113,9 +116,10 @@ impl GroupNorm {
     /// Returns [`NnError::MissingCache`] without a preceding training
     /// forward, or shape errors.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.take().ok_or(NnError::MissingCache {
-            layer: "GroupNorm",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingCache { layer: "GroupNorm" })?;
         let (n, c, h, w) = cache.x.shape().as_nchw()?;
         if grad_out.dims() != [n, c, h, w] {
             return Err(NnError::Tensor(sqdm_tensor::TensorError::ShapeMismatch {
@@ -191,7 +195,9 @@ mod tests {
     fn output_is_normalized_per_group() {
         let mut rng = Rng::seed_from(1);
         let mut gn = GroupNorm::new(4, 2).unwrap();
-        let x = Tensor::randn([2, 4, 6, 6], &mut rng).scale(3.0).map(|v| v + 5.0);
+        let x = Tensor::randn([2, 4, 6, 6], &mut rng)
+            .scale(3.0)
+            .map(|v| v + 5.0);
         let y = gn.forward(&x, false).unwrap();
         // Each (n, group) slab should have ~zero mean, ~unit variance.
         for nn in 0..2 {

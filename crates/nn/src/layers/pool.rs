@@ -2,7 +2,7 @@
 //! upsampling, the U-Net's encoder/decoder transitions.
 
 use crate::error::{NnError, Result};
-use sqdm_tensor::{TensorError, Tensor};
+use sqdm_tensor::{Tensor, TensorError};
 
 /// 2× average pooling over `[N, C, H, W]` (H and W must be even).
 ///
@@ -151,8 +151,18 @@ mod tests {
         let y = avg_pool2(&x).unwrap();
         let g = Tensor::randn(y.dims(), &mut rng);
         let gx = avg_pool2_backward(&g).unwrap();
-        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = y
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(gx.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-4);
     }
 
@@ -163,8 +173,18 @@ mod tests {
         let y = upsample_nearest2(&x).unwrap();
         let g = Tensor::randn(y.dims(), &mut rng);
         let gx = upsample_nearest2_backward(&g).unwrap();
-        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = y
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(gx.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-4);
     }
 

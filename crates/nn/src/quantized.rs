@@ -70,7 +70,11 @@ impl QuantExecutor {
     pub fn quant_activation(&self, x: &Tensor) -> Result<Tensor> {
         match self.precision.activations {
             None => Ok(x.clone()),
-            Some(fmt) => Ok(fake_quant(x, activation_format(fmt), ChannelLayout::ACTIVATION)?),
+            Some(fmt) => Ok(fake_quant(
+                x,
+                activation_format(fmt),
+                ChannelLayout::ACTIVATION,
+            )?),
         }
     }
 

@@ -54,11 +54,7 @@ impl Calibrator {
             None => self.dims = Some(x.dims().to_vec()),
             Some(d) if d != x.dims() => {
                 return Err(QuantError::Layout {
-                    reason: format!(
-                        "calibration shape changed from {:?} to {:?}",
-                        d,
-                        x.dims()
-                    ),
+                    reason: format!("calibration shape changed from {:?} to {:?}", d, x.dims()),
                 });
             }
             _ => {}
@@ -182,7 +178,8 @@ mod tests {
     fn static_scales_clip_out_of_range_data() {
         let fmt = QuantFormat::int8();
         let mut cal = Calibrator::new(fmt, ChannelLayout { axis: 0 });
-        cal.observe(&Tensor::from_slice(&[1.0, -1.0, 0.5, 0.2])).unwrap();
+        cal.observe(&Tensor::from_slice(&[1.0, -1.0, 0.5, 0.2]))
+            .unwrap();
         // New data exceeds the calibrated range: clips at ±1.
         let y = cal
             .fake_quant_static(&Tensor::from_slice(&[5.0, -3.0, 0.5, 0.0]))

@@ -89,8 +89,8 @@ impl FloatFormat {
             e - self.mantissa_bits
         };
         let step = (step_exp as f32).exp2();
-        let y = ((r.abs() + step).min(self.max_finite)) * x.signum();
-        y
+
+        ((r.abs() + step).min(self.max_finite)) * x.signum()
     }
 
     /// Smallest positive representable value (subnormal).

@@ -142,8 +142,12 @@ impl PrecisionAssignment {
     /// Conv+Act blocks run the 4-bit format (`ours_int4` weights, and
     /// `ours_uint4` activations when `relu_activations` is set, since ReLU
     /// outputs are non-negative).
-    pub fn paper_mixed(profiles: &[BlockProfile], head: usize, tail: usize,
-                       relu_activations: bool) -> Self {
+    pub fn paper_mixed(
+        profiles: &[BlockProfile],
+        head: usize,
+        tail: usize,
+        relu_activations: bool,
+    ) -> Self {
         let n = profiles.len();
         let eight = BlockPrecision::uniform(QuantFormat::mxint8());
         let four = BlockPrecision {

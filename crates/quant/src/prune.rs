@@ -21,12 +21,7 @@ use sqdm_tensor::Tensor;
 /// # Errors
 ///
 /// Returns an error if `m > n`, `n == 0`, or the layout is invalid.
-pub fn prune_m_of_n(
-    weights: &Tensor,
-    m: usize,
-    n: usize,
-    layout: ChannelLayout,
-) -> Result<Tensor> {
+pub fn prune_m_of_n(weights: &Tensor, m: usize, n: usize, layout: ChannelLayout) -> Result<Tensor> {
     if n == 0 || m > n {
         return Err(QuantError::InvalidFormat {
             reason: format!("invalid m:n sparsity pattern {m}:{n}"),

@@ -135,8 +135,7 @@ impl QuantizedTensor {
                         }
                     } else {
                         for (b_idx, block) in slice.chunks(block_len).enumerate() {
-                            let raw =
-                                block.iter().fold(0.0f32, |m, &v| m.max(v.abs())) / qmax;
+                            let raw = block.iter().fold(0.0f32, |m, &v| m.max(v.abs())) / qmax;
                             let s = format.scale_encoding.encode(raw);
                             scales.push(s);
                             let base = s_idx * slice_len + b_idx * block_len;
@@ -179,8 +178,8 @@ impl QuantizedTensor {
                     let s = self.scales[s_idx * blocks_per_slice + b_idx];
                     let start = s_idx * slice_len + b_idx * self.block_len;
                     let end = (start + self.block_len).min((s_idx + 1) * slice_len);
-                    for i in start..end {
-                        out[i] = self.format.grid.decode(self.codes[i] as i32, s);
+                    for (o, &code) in out[start..end].iter_mut().zip(&self.codes[start..end]) {
+                        *o = self.format.grid.decode(code as i32, s);
                     }
                 }
             }
@@ -386,13 +385,12 @@ mod tests {
     #[test]
     fn scale_counts_match_granularity() {
         let x = Tensor::zeros([1, 4, 8, 8]); // slice len 64
-        let q =
-            QuantizedTensor::quantize(&x, QuantFormat::mxint8(), ChannelLayout::ACTIVATION)
-                .unwrap();
+        let q = QuantizedTensor::quantize(&x, QuantFormat::mxint8(), ChannelLayout::ACTIVATION)
+            .unwrap();
         // 4 slices × (64/32) blocks = 8 scales.
         assert_eq!(q.scales().len(), 8);
-        let q2 = QuantizedTensor::quantize(&x, QuantFormat::int4(), ChannelLayout::ACTIVATION)
-            .unwrap();
+        let q2 =
+            QuantizedTensor::quantize(&x, QuantFormat::int4(), ChannelLayout::ACTIVATION).unwrap();
         assert_eq!(q2.scales().len(), 4);
     }
 
@@ -417,9 +415,8 @@ mod tests {
     #[test]
     fn storage_bits_accounting() {
         let x = Tensor::zeros([1, 2, 4, 8]); // 64 elements, slice 32
-        let q =
-            QuantizedTensor::quantize(&x, QuantFormat::ours_int4(), ChannelLayout::ACTIVATION)
-                .unwrap();
+        let q = QuantizedTensor::quantize(&x, QuantFormat::ours_int4(), ChannelLayout::ACTIVATION)
+            .unwrap();
         // 64 codes × 4 bits + 2 scales × 8 bits = 272.
         assert_eq!(q.storage_bits(), 272);
     }

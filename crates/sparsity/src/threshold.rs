@@ -127,8 +127,7 @@ mod tests {
         // sparse-portion's zero fraction share.
         let tr = bimodal_trace();
         for p in threshold_sweep(&tr, &[0.3]) {
-            let skipped: f64 =
-                p.sparse_channel_fraction * p.sparse_portion_sparsity;
+            let skipped: f64 = p.sparse_channel_fraction * p.sparse_portion_sparsity;
             assert!(
                 (p.dense_work + p.sparse_work + skipped - 1.0).abs() < 1e-9,
                 "{p:?}"

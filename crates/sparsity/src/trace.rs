@@ -23,13 +23,13 @@ pub fn channel_sparsity(t: &Tensor) -> Vec<f64> {
     let tv = t.as_slice();
     let mut out = vec![0.0f64; c];
     let hw = h * w;
-    for ch in 0..c {
+    for (ch, o) in out.iter_mut().enumerate() {
         let mut zeros = 0usize;
         for nn in 0..n {
             let start = (nn * c + ch) * hw;
             zeros += tv[start..start + hw].iter().filter(|&&v| v == 0.0).count();
         }
-        out[ch] = zeros as f64 / (n * hw).max(1) as f64;
+        *o = zeros as f64 / (n * hw).max(1) as f64;
     }
     out
 }
@@ -125,8 +125,8 @@ impl TemporalTrace {
         }
         let mut flips = 0usize;
         for w in self.data.windows(2) {
-            for ch in 0..self.channels {
-                if (w[0][ch] >= threshold) != (w[1][ch] >= threshold) {
+            for (&prev, &next) in w[0].iter().zip(&w[1]) {
+                if (prev >= threshold) != (next >= threshold) {
                     flips += 1;
                 }
             }

@@ -1,9 +1,9 @@
 //! 2-D convolution: forward and backward kernels built on im2col.
 //!
 //! The EDM U-Net is convolution-dominated (the paper's Figure 4 attributes
-//! >90% of compute to Conv+activation blocks), so these kernels carry almost
-//! all of the model's arithmetic. The im2col lowering also mirrors how the
-//! accelerator simulator lowers convolutions to GEMM workloads.
+//! over 90% of compute to Conv+activation blocks), so these kernels carry
+//! almost all of the model's arithmetic. The im2col lowering also mirrors how
+//! the accelerator simulator lowers convolutions to GEMM workloads.
 
 use crate::error::{Result, TensorError};
 use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
@@ -74,12 +74,7 @@ impl Conv2dGeometry {
 /// # Errors
 ///
 /// Returns an error for non-rank-4 input or invalid geometry.
-pub fn im2col(
-    input: &Tensor,
-    kh: usize,
-    kw: usize,
-    geom: Conv2dGeometry,
-) -> Result<Tensor> {
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, geom: Conv2dGeometry) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     let oh = geom.out_extent(h, kh)?;
     let ow = geom.out_extent(w, kw)?;
@@ -103,8 +98,8 @@ pub fn im2col(
                                 continue;
                             }
                             let row = (cc * kh + ky) * kw + kx;
-                            out[row * cols + col] = iv
-                                [((nn * c + cc) * h + iy as usize) * w + ix as usize];
+                            out[row * cols + col] =
+                                iv[((nn * c + cc) * h + iy as usize) * w + ix as usize];
                         }
                     }
                 }
@@ -123,6 +118,7 @@ pub fn im2col(
 /// # Errors
 ///
 /// Returns an error if the matrix shape is inconsistent with the geometry.
+#[allow(clippy::too_many_arguments)] // mirrors im2col's full geometry tuple
 pub fn col2im(
     cols_mat: &Tensor,
     n: usize,
@@ -365,9 +361,7 @@ mod tests {
                                     if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
-                                    acc += input
-                                        .get(&[nn, cc, iy as usize, ix as usize])
-                                        .unwrap()
+                                    acc += input.get(&[nn, cc, iy as usize, ix as usize]).unwrap()
                                         * weight.get(&[kk, cc, ky, kx]).unwrap();
                                 }
                             }

@@ -26,7 +26,8 @@ impl Histogram {
     /// Returns [`TensorError::InvalidArgument`] if `bins == 0` or
     /// `lo >= hi`.
     pub fn new(lo: f32, hi: f32, bins: usize) -> Result<Self> {
-        if bins == 0 || !(lo < hi) {
+        // `partial_cmp` keeps the NaN-rejecting behavior of `!(lo < hi)`.
+        if bins == 0 || lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
             return Err(TensorError::InvalidArgument {
                 op: "Histogram::new",
                 reason: format!("need bins > 0 and lo < hi, got bins={bins} lo={lo} hi={hi}"),

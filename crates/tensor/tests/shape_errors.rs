@@ -1,0 +1,67 @@
+//! Pins the `error.rs` contract for the math kernels: dimension mismatches
+//! must surface as `Err(TensorError::...)`, never as panics, so callers can
+//! route bad configurations into experiment-level error reporting.
+
+use sqdm_tensor::ops::{conv2d, matmul, Conv2dGeometry};
+use sqdm_tensor::{Rng, Tensor, TensorError};
+
+#[test]
+fn matmul_inner_dim_mismatch_is_err() {
+    let mut rng = Rng::seed_from(1);
+    let a = Tensor::randn([4, 3], &mut rng);
+    let b = Tensor::randn([5, 2], &mut rng); // inner dims 3 vs 5
+    match matmul(&a, &b) {
+        Err(TensorError::ShapeMismatch { op, lhs, rhs }) => {
+            assert_eq!(op, "matmul");
+            assert_eq!(lhs, vec![4, 3]);
+            assert_eq!(rhs, vec![5, 2]);
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn matmul_rank_mismatch_is_err() {
+    let mut rng = Rng::seed_from(2);
+    let a = Tensor::randn([2, 3, 4], &mut rng); // rank 3, not a matrix
+    let b = Tensor::randn([4, 2], &mut rng);
+    assert!(matches!(
+        matmul(&a, &b),
+        Err(TensorError::RankMismatch { .. })
+    ));
+}
+
+#[test]
+fn conv2d_rank_mismatch_is_err() {
+    let mut rng = Rng::seed_from(3);
+    let x = Tensor::randn([3, 8, 8], &mut rng); // rank 3, needs [N, C, H, W]
+    let w = Tensor::randn([4, 3, 3, 3], &mut rng);
+    assert!(matches!(
+        conv2d(&x, &w, None, Conv2dGeometry::same(3)),
+        Err(TensorError::RankMismatch { .. })
+    ));
+}
+
+#[test]
+fn conv2d_channel_mismatch_is_err() {
+    let mut rng = Rng::seed_from(4);
+    let x = Tensor::randn([1, 3, 8, 8], &mut rng);
+    let w = Tensor::randn([4, 5, 3, 3], &mut rng); // expects 5 input channels
+    let result = conv2d(&x, &w, None, Conv2dGeometry::same(3));
+    assert!(
+        matches!(result, Err(TensorError::ShapeMismatch { .. })),
+        "expected ShapeMismatch, got {result:?}"
+    );
+}
+
+#[test]
+fn conv2d_oversized_kernel_is_err() {
+    let mut rng = Rng::seed_from(5);
+    let x = Tensor::randn([1, 2, 4, 4], &mut rng);
+    let w = Tensor::randn([2, 2, 9, 9], &mut rng); // kernel exceeds padded input
+    let g = Conv2dGeometry {
+        stride: 1,
+        padding: 0,
+    };
+    assert!(conv2d(&x, &w, None, g).is_err());
+}

@@ -5,9 +5,7 @@
 //!
 //! Run with `cargo run --release --example accelerator_sim`.
 
-use sqdm::accel::{
-    Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, SparseChannel,
-};
+use sqdm::accel::{Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, SparseChannel};
 use sqdm::sparsity::ChannelPartition;
 use sqdm::tensor::{Rng, Tensor};
 
@@ -17,7 +15,10 @@ fn main() {
 
     // A mid-network EDM layer: 24->24 channels, 3x3, 16x16 outputs.
     println!("layer: 24->24 channels, 3x3 kernel, 16x16 output\n");
-    println!("{:>9} {:>10} {:>12} {:>12} {:>10}", "sparsity", "precision", "base cycles", "ours cycles", "speed-up");
+    println!(
+        "{:>9} {:>10} {:>12} {:>12} {:>10}",
+        "sparsity", "precision", "base cycles", "ours cycles", "speed-up"
+    );
     for sparsity in [0.0, 0.35, 0.65, 0.85] {
         for quant in [LayerQuant::fp16(), LayerQuant::int8(), LayerQuant::int4()] {
             let w = ConvWorkload::uniform(24, 24, 3, 3, 16, 16, sparsity);
@@ -43,12 +44,18 @@ fn main() {
     println!("\nenergy breakdown at 65% sparsity, INT4 (pJ):");
     println!(
         "  ours    : compute {:>9.0}  sram {:>8.0}  noc {:>7.0}  leakage {:>7.0}  total {:>9.0}",
-        sh.energy.compute_pj, sh.energy.sram_pj, sh.energy.noc_pj, sh.energy.leakage_pj,
+        sh.energy.compute_pj,
+        sh.energy.sram_pj,
+        sh.energy.noc_pj,
+        sh.energy.leakage_pj,
         sh.energy.total_pj()
     );
     println!(
         "  baseline: compute {:>9.0}  sram {:>8.0}  noc {:>7.0}  leakage {:>7.0}  total {:>9.0}",
-        sb.energy.compute_pj, sb.energy.sram_pj, sb.energy.noc_pj, sb.energy.leakage_pj,
+        sb.energy.compute_pj,
+        sb.energy.sram_pj,
+        sb.energy.noc_pj,
+        sb.energy.leakage_pj,
         sb.energy.total_pj()
     );
     println!(

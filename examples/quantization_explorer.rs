@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release --example quantization_explorer`.
 
-use sqdm::core::{prepare, sample_divergence, ExperimentScale};
 use sqdm::core::experiments::table1::table1_formats;
+use sqdm::core::{prepare, sample_divergence, ExperimentScale};
 use sqdm::edm::DatasetKind;
 use sqdm::quant::{figure6_comparison, quant_rmse, ChannelLayout, QuantFormat};
 use sqdm::tensor::{Rng, Tensor};

@@ -5,8 +5,8 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use sqdm::edm::{
-    block_profiles, Dataset, DatasetKind, Denoiser, EdmSchedule, SamplerConfig, TrainConfig,
-    UNet, UNetConfig,
+    block_profiles, Dataset, DatasetKind, Denoiser, EdmSchedule, SamplerConfig, TrainConfig, UNet,
+    UNetConfig,
 };
 use sqdm::quant::PrecisionAssignment;
 use sqdm::tensor::Rng;

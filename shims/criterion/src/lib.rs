@@ -1,0 +1,208 @@
+//! Minimal, API-compatible stand-in for the parts of Criterion.rs this
+//! workspace's benches use, vendored because the build environment has no
+//! network access to crates.io.
+//!
+//! It is a real (if simple) measurement harness, not a no-op: each
+//! `bench_function` warms the closure up, picks an iteration count that
+//! fills the configured measurement window, collects per-sample timings and
+//! prints min / mean / max per iteration. Statistical analysis, plots and
+//! baselines of real Criterion are out of scope.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Passed to bench closures; times the inner loop. Mirrors
+/// `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the harness-chosen number of iterations and
+    /// records the elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver. Mirrors the subset of `criterion::Criterion` the
+/// workspace configures: sample count, warm-up time and measurement time.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run the routine before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: repeat single iterations until the warm-up window is
+        // spent, which also yields a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        // Pick an iteration count so that `sample_size` samples roughly fill
+        // the measurement window.
+        let budget_per_sample = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (budget_per_sample / per_iter.max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let min = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter_ns.iter().copied().fold(0.0f64, f64::max);
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples x {iters} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            per_iter_ns.len(),
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's configuration.
+/// Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run(&full, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Identity function that hides a value from the optimizer, so benchmarked
+/// code is not removed as dead. Re-exported for parity with
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a single named group function, with an
+/// optional custom [`Criterion`] configuration. Supports both call forms of
+/// the real macro:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

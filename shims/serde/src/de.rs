@@ -1,0 +1,244 @@
+//! Deserialization half of the shim.
+//!
+//! Real serde drives deserialization through a visitor-based `Deserializer`
+//! trait; nothing in this workspace deserializes through an external format,
+//! so the shim uses a simpler self-describing model: a [`Deserializer`]
+//! produces a [`Value`] tree, and `#[derive(Deserialize)]` generates a
+//! [`Deserialize::from_value`] that reconstructs the type from that tree.
+//! The derived impls follow serde's conventions (structs as maps keyed by
+//! field name, unit variants as strings, data variants as single-entry
+//! maps, `#[serde(skip)]` fields restored via `Default`).
+
+use std::fmt::Display;
+
+/// Trait for deserialization errors, mirroring `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds a custom error from a displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A self-describing value tree — the shim's deserialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / null.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, `Vec`, tuples, tuple structs).
+    Seq(Vec<Value>),
+    /// Map (structs keyed by field name, data-carrying enum variants as a
+    /// single-entry map keyed by variant name).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short tag naming the value kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "i64",
+            Value::U64(_) => "u64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// A format that can produce a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced on failure.
+    type Error: Error;
+    /// Parses the input into a value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A data structure that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, String>;
+
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.deserialize_value()?;
+        Self::from_value(&value).map_err(D::Error::custom)
+    }
+}
+
+/// Looks up `key` in a struct map and deserializes the matching value.
+/// Support routine for derived [`Deserialize`] impls.
+pub fn field<'de, T: Deserialize<'de>>(
+    entries: &[(String, Value)],
+    key: &str,
+) -> Result<T, String> {
+    let value = entries
+        .iter()
+        .find(|(name, _)| name == key)
+        .map(|(_, value)| value)
+        .ok_or_else(|| format!("missing field `{key}`"))?;
+    T::from_value(value).map_err(|e| format!("field `{key}`: {e}"))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                match value {
+                    Value::I64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| format!("{v} out of range for {}", stringify!($ty))),
+                    Value::U64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| format!("{v} out of range for {}", stringify!($ty))),
+                    other => Err(format!(
+                        "expected integer for {}, found {}",
+                        stringify!($ty),
+                        other.kind()
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                match value {
+                    Value::F64(v) => Ok(*v as $ty),
+                    Value::I64(v) => Ok(*v as $ty),
+                    Value::U64(v) => Ok(*v as $ty),
+                    other => Err(format!(
+                        "expected number for {}, found {}",
+                        stringify!($ty),
+                        other.kind()
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Bool(v) => Ok(*v),
+            other => Err(format!("expected bool, found {}", other.kind())),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Str(v) => Ok(v.clone()),
+            other => Err(format!("expected string, found {}", other.kind())),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Str(v) if v.chars().count() == 1 => Ok(v.chars().next().unwrap()),
+            other => Err(format!(
+                "expected single-char string, found {}",
+                other.kind()
+            )),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Unit => Ok(()),
+            other => Err(format!("expected unit, found {}", other.kind())),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Unit => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| format!("expected sequence, found {}", value.kind()))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let vec: Vec<T> = Vec::from_value(value)?;
+        let len = vec.len();
+        vec.try_into()
+            .map_err(|_| format!("expected array of length {N}, found {len}"))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident . $idx:tt),+) with $len:expr;)*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, String> {
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| format!("expected sequence, found {}", value.kind()))?;
+                if items.len() != $len {
+                    return Err(format!("expected tuple of {}, found {}", $len, items.len()));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (A.0) with 1;
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+}

@@ -1,0 +1,22 @@
+//! Minimal, API-compatible stand-in for the parts of `serde` this workspace
+//! uses, vendored because the build environment has no network access to
+//! crates.io.
+//!
+//! The `ser` side mirrors serde's real `Serialize`/`Serializer` data model
+//! (the workspace's serialization tests implement a full JSON `Serializer`
+//! against it). The `de` side is a simplified self-describing model built
+//! around a [`de::Value`] tree; derived `Deserialize` impls reconstruct a
+//! type from such a tree. Derive macros are re-exported from the companion
+//! `serde_derive` shim crate.
+
+pub mod ser;
+
+pub mod de;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in a separate proc-macro crate, as in real serde. The
+// trait and macro share a name in different namespaces, exactly like the
+// real crate.
+pub use serde_derive::{Deserialize, Serialize};

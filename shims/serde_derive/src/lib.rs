@@ -1,0 +1,527 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored serde shim.
+//!
+//! The build environment has no access to crates.io, so this crate uses only
+//! the compiler-provided `proc_macro` API: the input item is parsed by
+//! walking its token stream directly (no `syn`), and the generated impl is
+//! assembled as source text and re-parsed (no `quote`). Supported shapes are
+//! exactly what the workspace needs: non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple and struct variants), with the
+//! `#[serde(skip)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named or positional field of a struct or struct variant.
+struct Field {
+    /// Field identifier; positional index as text for tuple fields.
+    name: String,
+    /// Whether the field carries `#[serde(skip)]`.
+    skip: bool,
+}
+
+/// One variant of an enum.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the given number of fields.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Named(Vec<Field>),
+}
+
+/// The parsed shape of the deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shim's `serde::Serialize` for structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim's `serde::Deserialize` for structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes one `#[...]` attribute (the `#` has already been peeked, not
+/// consumed) and reports whether it is `#[serde(skip)]`.
+fn consume_attr(iter: &mut TokenIter) -> Result<bool, String> {
+    iter.next(); // the `#`
+    let group = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        _ => return Err("malformed attribute".into()),
+    };
+    let mut inner = group.stream().into_iter();
+    let is_serde = matches!(&inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+    if !is_serde {
+        return Ok(false);
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => {
+            let has_skip = args
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
+            if has_skip {
+                Ok(true)
+            } else {
+                Err(format!(
+                    "unsupported serde attribute `#[serde({})]` (shim supports only `skip`)",
+                    args.stream()
+                ))
+            }
+        }
+        _ => Err("malformed #[serde] attribute".into()),
+    }
+}
+
+/// Skips any run of attributes; returns true if one of them was
+/// `#[serde(skip)]`.
+fn skip_attrs(iter: &mut TokenIter) -> Result<bool, String> {
+    let mut skip = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        skip |= consume_attr(iter)?;
+    }
+    Ok(skip)
+}
+
+/// Skips a `pub` / `pub(...)` visibility qualifier if present.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Consumes tokens up to (and including) the next top-level comma, treating
+/// `<`/`>` pairs as nesting so commas inside generic arguments don't split.
+fn skip_to_comma(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    for token in iter.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses the fields of a brace-delimited body: `a: T, #[serde(skip)] b: U`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while iter.peek().is_some() {
+        let skip = skip_attrs(&mut iter)?;
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_to_comma(&mut iter);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Parses the fields of a parenthesized tuple body: `T, #[serde(skip)] U`.
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while iter.peek().is_some() {
+        let skip = skip_attrs(&mut iter)?;
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_to_comma(&mut iter);
+        fields.push(Field {
+            name: fields.len().to_string(),
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while iter.peek().is_some() {
+        skip_attrs(&mut iter)?;
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Tuple(parse_tuple_fields(g.stream())?.len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and the separating comma.
+        skip_to_comma(&mut iter);
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Outer attributes (including doc comments) and visibility.
+    skip_attrs(&mut iter)?;
+    skip_visibility(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found `{other:?}`")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    fields: parse_tuple_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: `{other:?}`")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body: `{other:?}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut b = String::new();
+            b.push_str("#[allow(unused_imports)] use ::serde::ser::SerializeStruct as _;\n");
+            b.push_str(&format!(
+                "let mut __st = __serializer.serialize_struct({name:?}, {}usize)?;\n",
+                live.len()
+            ));
+            for f in &live {
+                b.push_str(&format!(
+                    "__st.serialize_field({:?}, &self.{})?;\n",
+                    f.name, f.name
+                ));
+            }
+            b.push_str("__st.end()");
+            (name, b)
+        }
+        Item::TupleStruct { name, fields } if fields.len() == 1 && !fields[0].skip => (
+            name,
+            format!("__serializer.serialize_newtype_struct({name:?}, &self.0)"),
+        ),
+        Item::TupleStruct { name, fields } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut b = String::new();
+            b.push_str("#[allow(unused_imports)] use ::serde::ser::SerializeTupleStruct as _;\n");
+            b.push_str(&format!(
+                "let mut __st = __serializer.serialize_tuple_struct({name:?}, {}usize)?;\n",
+                live.len()
+            ));
+            for f in &live {
+                b.push_str(&format!("__st.serialize_field(&self.{})?;\n", f.name));
+            }
+            b.push_str("__st.end()");
+            (name, b)
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!("__serializer.serialize_unit_struct({name:?})"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut b = String::new();
+            b.push_str(
+                "#[allow(unused_imports)] use ::serde::ser::{SerializeTupleVariant as _, \
+                 SerializeStructVariant as _};\n",
+            );
+            b.push_str("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => b.push_str(&format!(
+                        "{name}::{vname} => \
+                         __serializer.serialize_unit_variant({name:?}, {idx}u32, {vname:?}),\n"
+                    )),
+                    VariantKind::Tuple(1) => b.push_str(&format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\
+                         {name:?}, {idx}u32, {vname:?}, __f0),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        b.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __st = __serializer.serialize_tuple_variant(\
+                             {name:?}, {idx}u32, {vname:?}, {n}usize)?;\n",
+                            binders.join(", ")
+                        ));
+                        for binder in &binders {
+                            b.push_str(&format!("__st.serialize_field({binder})?;\n"));
+                        }
+                        b.push_str("__st.end()\n},\n");
+                    }
+                    VariantKind::Named(fields) => {
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        b.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __st = __serializer.serialize_struct_variant(\
+                             {name:?}, {idx}u32, {vname:?}, {}usize)?;\n",
+                            binders.join(", "),
+                            live.len()
+                        ));
+                        for f in &live {
+                            b.push_str(&format!(
+                                "__st.serialize_field({:?}, {})?;\n",
+                                f.name, f.name
+                            ));
+                        }
+                        for f in fields.iter().filter(|f| f.skip) {
+                            b.push_str(&format!("let _ = {};\n", f.name));
+                        }
+                        b.push_str("__st.end()\n},\n");
+                    }
+                }
+            }
+            b.push('}');
+            (name, b)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Generates a struct-literal body restoring named fields from `__map`
+/// (skipped fields come from `Default`).
+fn named_fields_ctor(fields: &[Field]) -> String {
+    let mut b = String::new();
+    for f in fields {
+        if f.skip {
+            b.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            b.push_str(&format!(
+                "{}: ::serde::de::field(__map, {:?})?,\n",
+                f.name, f.name
+            ));
+        }
+    }
+    b
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let body = format!(
+                "let __map = __value.as_map().ok_or_else(|| ::std::format!(\
+                 \"expected map for struct `{name}`, found {{}}\", __value.kind()))?;\n\
+                 Ok({name} {{\n{}}})",
+                named_fields_ctor(fields)
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, fields } if fields.len() == 1 && !fields[0].skip => (
+            name,
+            format!("Ok({name}(::serde::de::Deserialize::from_value(__value)?))"),
+        ),
+        Item::TupleStruct { name, fields } => {
+            let live = fields.iter().filter(|f| !f.skip).count();
+            let mut b = format!(
+                "let __items = __value.as_seq().ok_or_else(|| ::std::format!(\
+                 \"expected sequence for tuple struct `{name}`, found {{}}\", \
+                 __value.kind()))?;\n\
+                 if __items.len() != {live}usize {{\n\
+                 return Err(::std::format!(\"expected {live} fields for `{name}`, \
+                 found {{}}\", __items.len()));\n}}\n\
+                 Ok({name}("
+            );
+            let mut next = 0usize;
+            for f in fields {
+                if f.skip {
+                    b.push_str("::core::default::Default::default(), ");
+                } else {
+                    b.push_str(&format!(
+                        "::serde::de::Deserialize::from_value(&__items[{next}])?, "
+                    ));
+                    next += 1;
+                }
+            }
+            b.push_str("))");
+            (name, b)
+        }
+        Item::UnitStruct { name } => (name, format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vname:?} => Ok({name}::{vname}(\
+                             ::serde::de::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::de::Deserialize::from_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __items = __inner.as_seq().ok_or_else(|| ::std::format!(\
+                             \"expected sequence for variant `{name}::{vname}`\"))?;\n\
+                             if __items.len() != {n}usize {{\n\
+                             return Err(::std::format!(\"expected {n} fields for \
+                             `{name}::{vname}`, found {{}}\", __items.len()));\n}}\n\
+                             Ok({name}::{vname}({}))\n}},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __map = __inner.as_map().ok_or_else(|| ::std::format!(\
+                             \"expected map for variant `{name}::{vname}`\"))?;\n\
+                             Ok({name}::{vname} {{\n{}}})\n}},\n",
+                            named_fields_ctor(fields)
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __value {{\n\
+                 ::serde::de::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::std::format!(\
+                 \"unknown variant `{{__other}}` for enum `{name}`\")),\n\
+                 }},\n\
+                 ::serde::de::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(::std::format!(\
+                 \"unknown variant `{{__other}}` for enum `{name}`\")),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::std::format!(\
+                 \"expected variant of enum `{name}`, found {{}}\", __other.kind())),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__value: &::serde::de::Value) \
+         -> ::core::result::Result<Self, ::std::string::String> {{\n\
+         #[allow(unused_variables)] let __value = __value;\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

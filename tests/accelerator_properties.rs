@@ -3,16 +3,15 @@
 
 use proptest::prelude::*;
 use sqdm::accel::{
-    ActAddressMap, Accelerator, AcceleratorConfig, ConvWorkload, LayerQuant, SparseChannel,
+    Accelerator, AcceleratorConfig, ActAddressMap, ConvWorkload, LayerQuant, SparseChannel,
     WeightAddressMap,
 };
 use sqdm::sparsity::ChannelPartition;
 
 fn any_workload() -> impl Strategy<Value = ConvWorkload> {
     (1usize..17, 1usize..17, 1usize..9).prop_flat_map(|(k, c, sp)| {
-        proptest::collection::vec(0.0f64..1.0, c).prop_map(move |sparsity| {
-            ConvWorkload::with_sparsity(k, c, 3, 3, sp, sp, sparsity)
-        })
+        proptest::collection::vec(0.0f64..1.0, c)
+            .prop_map(move |sparsity| ConvWorkload::with_sparsity(k, c, 3, 3, sp, sp, sparsity))
     })
 }
 

@@ -106,7 +106,11 @@ fn per_sample_sigmas_are_independent() {
     let j1 = Tensor::from_vec(joint.as_slice()[64..].to_vec(), [1, 1, 8, 8]).unwrap();
     // GroupNorm statistics are per-sample, so the results must agree to
     // floating-point tolerance.
-    assert!(j0.mse(&solo0).unwrap() < 1e-9, "{}", j0.mse(&solo0).unwrap());
+    assert!(
+        j0.mse(&solo0).unwrap() < 1e-9,
+        "{}",
+        j0.mse(&solo0).unwrap()
+    );
     assert!(j1.mse(&solo1).unwrap() < 1e-9);
 }
 
@@ -118,8 +122,8 @@ fn sampler_step_count_trades_quality_for_speed() {
     let den = Denoiser::new(EdmSchedule::default());
     for steps in [2usize, 4, 16] {
         let mut r = Rng::seed_from(9);
-        let s = sqdm::edm::sample(&mut net, &den, 1, SamplerConfig { steps }, None, &mut r)
-            .unwrap();
+        let s =
+            sqdm::edm::sample(&mut net, &den, 1, SamplerConfig { steps }, None, &mut r).unwrap();
         assert!(s.as_slice().iter().all(|v| v.is_finite()), "steps {steps}");
         // Very coarse grids on an untrained net take one huge stride; the
         // contraction bound only applies once the grid resolves the

@@ -8,34 +8,49 @@ use sqdm::sparsity::TemporalTrace;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
-fn shared() -> &'static (sqdm::core::TrainedPair, ExperimentScale) {
-    static PAIR: OnceLock<(sqdm::core::TrainedPair, ExperimentScale)> = OnceLock::new();
+fn shared() -> &'static (
+    sqdm::core::TrainedPair,
+    ExperimentScale,
+    std::time::Duration,
+) {
+    static PAIR: OnceLock<(
+        sqdm::core::TrainedPair,
+        ExperimentScale,
+        std::time::Duration,
+    )> = OnceLock::new();
     PAIR.get_or_init(|| {
         let scale = ExperimentScale::quick();
-        (prepare(DatasetKind::CifarLike, scale).unwrap(), scale)
+        let start = std::time::Instant::now();
+        let pair = prepare(DatasetKind::CifarLike, scale).unwrap();
+        (pair, scale, start.elapsed())
     })
 }
 
 #[test]
+fn quick_fixture_stays_in_ci_budget() {
+    // The whole suite shares one prepare() call; if ExperimentScale::quick()
+    // grows past this budget, shrink it rather than raising the bound. The
+    // override exists for slow runners (emulation, coverage instrumentation),
+    // not for absorbing fixture growth.
+    let budget = std::env::var("SQDM_FIXTURE_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60u64);
+    let (_, _, elapsed) = shared();
+    assert!(
+        *elapsed < std::time::Duration::from_secs(budget),
+        "shared prepare() fixture took {elapsed:?}, budget is {budget}s — shrink ExperimentScale::quick()"
+    );
+}
+
+#[test]
 fn relu_finetune_preserves_generation_quality() {
-    let (pair, scale) = shared();
+    let (pair, scale, _) = shared();
     let mut pair = pair.clone();
-    let silu_sfid = sqdm::core::eval_sfid(
-        &mut pair.silu,
-        &pair.denoiser,
-        &pair.dataset,
-        None,
-        scale,
-    )
-    .unwrap();
-    let relu_sfid = sqdm::core::eval_sfid(
-        &mut pair.relu,
-        &pair.denoiser,
-        &pair.dataset,
-        None,
-        scale,
-    )
-    .unwrap();
+    let silu_sfid =
+        sqdm::core::eval_sfid(&mut pair.silu, &pair.denoiser, &pair.dataset, None, scale).unwrap();
+    let relu_sfid =
+        sqdm::core::eval_sfid(&mut pair.relu, &pair.denoiser, &pair.dataset, None, scale).unwrap();
     // §III-B: the ReLU model achieves similar image quality. Allow a wide
     // band at this tiny scale, but it must be the same order of magnitude.
     assert!(
@@ -46,7 +61,7 @@ fn relu_finetune_preserves_generation_quality() {
 
 #[test]
 fn mixed_precision_hurts_less_than_uniform_int4() {
-    let (pair, scale) = shared();
+    let (pair, scale, _) = shared();
     let mut pair = pair.clone();
     let n = scale.block_count();
     let uniform4 = PrecisionAssignment::uniform(
@@ -54,16 +69,11 @@ fn mixed_precision_hurts_less_than_uniform_int4() {
         sqdm::quant::BlockPrecision::uniform(QuantFormat::int4()),
         "INT4",
     );
-    let mixed = PrecisionAssignment::paper_mixed(
-        &sqdm::edm::block_profiles(&scale.model),
-        1,
-        1,
-        false,
-    );
+    let mixed =
+        PrecisionAssignment::paper_mixed(&sqdm::edm::block_profiles(&scale.model), 1, 1, false);
     let d_uniform =
         sample_divergence(&mut pair.silu, &pair.denoiser, Some(&uniform4), scale).unwrap();
-    let d_mixed =
-        sample_divergence(&mut pair.silu, &pair.denoiser, Some(&mixed), scale).unwrap();
+    let d_mixed = sample_divergence(&mut pair.silu, &pair.denoiser, Some(&mixed), scale).unwrap();
     assert!(
         d_mixed < d_uniform,
         "mixed {d_mixed} should beat uniform int4 {d_uniform}"
@@ -74,14 +84,10 @@ fn mixed_precision_hurts_less_than_uniform_int4() {
 fn quantization_does_not_destroy_sparsity_traces() {
     // The accelerator consumes quantized activations; symmetric formats
     // preserve exact zeros, so sparsity under 4-bit must not collapse.
-    let (pair, scale) = shared();
+    let (pair, scale, _) = shared();
     let mut pair = pair.clone();
-    let mixed = PrecisionAssignment::paper_mixed(
-        &sqdm::edm::block_profiles(&scale.model),
-        1,
-        1,
-        true,
-    );
+    let mixed =
+        PrecisionAssignment::paper_mixed(&sqdm::edm::block_profiles(&scale.model), 1, 1, true);
     let plain = record_traces(&mut pair.relu, &pair.denoiser, scale, None).unwrap();
     let quant = record_traces(&mut pair.relu, &pair.denoiser, scale, Some(&mixed)).unwrap();
     let mean = |ts: &BTreeMap<(usize, usize), TemporalTrace>| {
@@ -100,7 +106,7 @@ fn accelerator_speedup_holds_on_real_traces() {
     use sqdm::accel::{Accelerator, AcceleratorConfig, LayerQuant, RunStats};
     use sqdm::sparsity::ChannelPartition;
 
-    let (pair, scale) = shared();
+    let (pair, scale, _) = shared();
     let mut pair = pair.clone();
     let traces = record_traces(&mut pair.relu, &pair.denoiser, scale, None).unwrap();
     let sites = sqdm::core::conv_sites(&scale.model);

@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use sqdm::quant::{
-    fake_quant, ChannelLayout, Granularity, IntGrid, QuantFormat, QuantizedTensor,
-    ScaleEncoding,
+    fake_quant, ChannelLayout, Granularity, IntGrid, QuantFormat, QuantizedTensor, ScaleEncoding,
 };
 use sqdm::tensor::Tensor;
 
@@ -37,11 +36,10 @@ fn any_format() -> impl Strategy<Value = QuantFormat> {
 }
 
 fn small_tensor() -> impl Strategy<Value = Tensor> {
-    (1usize..3, 1usize..5, 1usize..5, 1usize..9)
-        .prop_flat_map(|(n, c, h, w)| {
-            proptest::collection::vec(-100.0f32..100.0, n * c * h * w)
-                .prop_map(move |data| Tensor::from_vec(data, [n, c, h, w]).unwrap())
-        })
+    (1usize..3, 1usize..5, 1usize..5, 1usize..9).prop_flat_map(|(n, c, h, w)| {
+        proptest::collection::vec(-100.0f32..100.0, n * c * h * w)
+            .prop_map(move |data| Tensor::from_vec(data, [n, c, h, w]).unwrap())
+    })
 }
 
 proptest! {

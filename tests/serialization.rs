@@ -167,11 +167,7 @@ mod mini_json {
                 close: '}',
             })
         }
-        fn serialize_struct(
-            self,
-            _: &'static str,
-            _: usize,
-        ) -> Result<Compound<'a>, Error> {
+        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Compound<'a>, Error> {
             self.out.push('{');
             Ok(Compound {
                 ser: self,
@@ -314,8 +310,7 @@ fn quantized_tensor_serializes() {
     let mut rng = Rng::seed_from(2);
     let x = Tensor::randn([1, 4, 4, 4], &mut rng);
     let q =
-        QuantizedTensor::quantize(&x, QuantFormat::ours_int4(), ChannelLayout::ACTIVATION)
-            .unwrap();
+        QuantizedTensor::quantize(&x, QuantFormat::ours_int4(), ChannelLayout::ACTIVATION).unwrap();
     let s = mini_json::to_string(&q).unwrap();
     assert!(s.contains("codes"));
     assert!(s.contains("scales"));
