@@ -15,6 +15,7 @@ use sqdm_sparsity::{
     threshold_sweep, ChannelPartition, TemporalTrace, ThresholdPoint, UpdateSchedule,
     PAPER_THRESHOLD,
 };
+use sqdm_tensor::parallel;
 use std::collections::BTreeMap;
 
 /// One point of the update-period sweep.
@@ -81,11 +82,14 @@ pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig11> {
         }
     }
 
-    let mut periods = Vec::new();
+    // The update-period sweep points are independent (each reads the
+    // shared traces and simulates its own accelerator run), so they run
+    // in parallel over the `sqdm_tensor::parallel` worker pool.
     let mut candidates = vec![1usize, 2, 3, 4, 6, steps.max(1)];
     candidates.retain(|&p| p <= steps);
     candidates.dedup();
-    for period in candidates {
+    let periods = parallel::par_map_indexed(candidates.len(), 1 << 20, |pi| {
+        let period = candidates[pi];
         let sched = UpdateSchedule::every(period);
         let mut het_stats = RunStats::default();
         for step in 0..steps {
@@ -99,12 +103,14 @@ pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig11> {
                 het_stats.push(&het.run_layer(w, Some(&p), LayerQuant::int4()));
             }
         }
-        periods.push(PeriodPoint {
+        Ok(PeriodPoint {
             period,
             speedup: het_stats.speedup_vs(&base_stats),
             misclassification: sched.misclassification_rate(&combined, PAPER_THRESHOLD),
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>>>()?;
 
     Ok(Fig11 {
         thresholds,

@@ -8,6 +8,7 @@ use crate::error::Result;
 use crate::pipeline::{eval_sfid, ExperimentScale, TrainedPair};
 use serde::{Deserialize, Serialize};
 use sqdm_quant::{BlockPrecision, PrecisionAssignment, QuantFormat};
+use sqdm_tensor::parallel;
 
 /// Sensitivity of one block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +46,10 @@ pub fn single_block_4bit(n_blocks: usize, block: usize) -> PrecisionAssignment {
 /// Runs the sensitivity sweep on one dataset pair (SiLU model, as in the
 /// paper's EDM study).
 ///
+/// The per-block sweep points are independent (each evaluation seeds its
+/// own RNG), so they run in parallel over the `sqdm_tensor::parallel`
+/// worker pool, each against its own clone of the SiLU model.
+///
 /// # Errors
 ///
 /// Propagates sampling/metric errors.
@@ -61,18 +66,15 @@ pub fn run(pair: &mut TrainedPair, scale: &ExperimentScale) -> Result<Fig3> {
         )),
         scale,
     )?;
-    let mut blocks = Vec::with_capacity(n);
-    for b in 0..n {
+    let silu = &pair.silu;
+    let blocks = parallel::par_map_indexed(n, 1 << 20, |b| {
+        let mut net = silu.clone();
         let a = single_block_4bit(n, b);
-        let sfid = eval_sfid(
-            &mut pair.silu,
-            &pair.denoiser,
-            &pair.dataset,
-            Some(&a),
-            scale,
-        )?;
-        blocks.push(BlockSensitivity { block: b, sfid });
-    }
+        eval_sfid(&mut net, &pair.denoiser, &pair.dataset, Some(&a), scale)
+            .map(|sfid| BlockSensitivity { block: b, sfid })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>>>()?;
     Ok(Fig3 {
         reference_sfid: reference,
         blocks,

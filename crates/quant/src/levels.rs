@@ -70,11 +70,15 @@ pub fn level_utilization(
 /// The paper's Figure 6 comparison: SiLU + signed INT4 versus ReLU + UINT4
 /// on `x ∈ [-1, 1]`.
 ///
+/// The two level sweeps are independent, so they run as one
+/// [`sqdm_tensor::parallel::par_join`] pair on the worker pool.
+///
 /// Returns `(silu_int4, relu_uint4)`.
 pub fn figure6_comparison() -> (LevelUtilization, LevelUtilization) {
-    let silu = level_utilization(Activation::Silu, IntGrid::signed(4), -1.0, 1.0, 100_000);
-    let relu = level_utilization(Activation::Relu, IntGrid::unsigned(4), -1.0, 1.0, 100_000);
-    (silu, relu)
+    sqdm_tensor::parallel::par_join(
+        || level_utilization(Activation::Silu, IntGrid::signed(4), -1.0, 1.0, 100_000),
+        || level_utilization(Activation::Relu, IntGrid::unsigned(4), -1.0, 1.0, 100_000),
+    )
 }
 
 #[cfg(test)]

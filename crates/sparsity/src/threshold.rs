@@ -8,6 +8,7 @@
 use crate::classify::ChannelPartition;
 use crate::trace::TemporalTrace;
 use serde::{Deserialize, Serialize};
+use sqdm_tensor::parallel;
 
 /// One row of the threshold sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,37 +31,46 @@ pub struct ThresholdPoint {
 
 /// Sweeps classification thresholds over a recorded trace, averaging each
 /// metric over all time steps.
+///
+/// An empty trace yields an empty sweep: there are no statistics to
+/// average, and fabricating all-zero points would let
+/// [`best_balanced_threshold`] report a fake "perfectly balanced"
+/// threshold (`imbalance == 0`) that no data supports.
+///
+/// Sweep points are independent, so they are computed in parallel over
+/// the [`sqdm_tensor::parallel`] worker pool, in input order.
 pub fn threshold_sweep(trace: &TemporalTrace, thresholds: &[f64]) -> Vec<ThresholdPoint> {
-    thresholds
-        .iter()
-        .map(|&th| {
-            let mut frac = 0.0;
-            let mut sparse_sp = 0.0;
-            let mut dense_sp = 0.0;
-            let mut dwork = 0.0;
-            let mut swork = 0.0;
-            let steps = trace.steps().max(1);
-            for step in 0..trace.steps() {
-                let p = ChannelPartition::classify(trace.step(step), th);
-                frac += p.sparse_fraction();
-                sparse_sp += p.sparse_portion_sparsity();
-                dense_sp += p.dense_portion_sparsity();
-                let (d, s) = p.work_split();
-                dwork += d;
-                swork += s;
-            }
-            let n = steps as f64;
-            ThresholdPoint {
-                threshold: th,
-                sparse_channel_fraction: frac / n,
-                sparse_portion_sparsity: sparse_sp / n,
-                dense_portion_sparsity: dense_sp / n,
-                dense_work: dwork / n,
-                sparse_work: swork / n,
-                imbalance: (dwork / n - swork / n).abs(),
-            }
-        })
-        .collect()
+    if trace.steps() == 0 {
+        return Vec::new();
+    }
+    let point_work = trace.steps() * trace.channels() * 8;
+    parallel::par_map_indexed(thresholds.len(), point_work, |ti| {
+        let th = thresholds[ti];
+        let mut frac = 0.0;
+        let mut sparse_sp = 0.0;
+        let mut dense_sp = 0.0;
+        let mut dwork = 0.0;
+        let mut swork = 0.0;
+        for step in 0..trace.steps() {
+            let p = ChannelPartition::classify(trace.step(step), th);
+            frac += p.sparse_fraction();
+            sparse_sp += p.sparse_portion_sparsity();
+            dense_sp += p.dense_portion_sparsity();
+            let (d, s) = p.work_split();
+            dwork += d;
+            swork += s;
+        }
+        let n = trace.steps() as f64;
+        ThresholdPoint {
+            threshold: th,
+            sparse_channel_fraction: frac / n,
+            sparse_portion_sparsity: sparse_sp / n,
+            dense_portion_sparsity: dense_sp / n,
+            dense_work: dwork / n,
+            sparse_work: swork / n,
+            imbalance: (dwork / n - swork / n).abs(),
+        }
+    })
 }
 
 /// Picks the threshold with the smallest dense/sparse work imbalance — the
@@ -136,11 +146,26 @@ mod tests {
     }
 
     #[test]
-    fn empty_sweep() {
+    fn empty_trace_yields_empty_sweep() {
+        // Regression: the sweep used to divide by `steps.max(1)` and emit
+        // all-zero points for an empty trace, whose `imbalance == 0` made
+        // `best_balanced_threshold` report a fake perfectly-balanced
+        // threshold. An empty trace must produce no points at all.
         let tr = TemporalTrace::new(4);
-        let pts = threshold_sweep(&tr, &[0.3]);
-        assert_eq!(pts.len(), 1);
-        assert_eq!(pts[0].sparse_channel_fraction, 0.0);
+        let pts = threshold_sweep(&tr, &[0.1, 0.3, 0.9]);
+        assert!(pts.is_empty(), "{pts:?}");
+        assert!(best_balanced_threshold(&pts).is_none());
         assert!(best_balanced_threshold(&[]).is_none());
+    }
+
+    #[test]
+    fn sweep_is_identical_at_any_thread_count() {
+        let tr = bimodal_trace();
+        let ths: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+        let serial = parallel::with_threads(1, || threshold_sweep(&tr, &ths));
+        for t in [2, 7] {
+            let par = parallel::with_threads(t, || threshold_sweep(&tr, &ths));
+            assert_eq!(serial, par, "thread count {t}");
+        }
     }
 }

@@ -12,6 +12,12 @@
 //! EDM U-Net needs. There is no autograd graph; the `sqdm-nn` crate composes
 //! explicit forward/backward passes from these kernels.
 //!
+//! The hot kernels run on the deterministic worker pool in [`parallel`]
+//! (sized by `SQDM_THREADS`, defaulting to the machine's available
+//! parallelism). Work is partitioned so every output element is computed in
+//! the exact serial order, so results are bitwise identical at any thread
+//! count.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,6 +36,7 @@
 
 mod error;
 pub mod ops;
+pub mod parallel;
 mod rng;
 mod shape;
 pub mod stats;

@@ -5,8 +5,14 @@
 //! ReLU permits unsigned formats and clamps ~65% of activations to exact
 //! zero.
 
+use crate::parallel;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// Approximate work units per element for the activation sweeps: SiLU
+/// costs an `exp` plus a division, so give the pool's grain heuristic a
+/// realistic per-element cost rather than a single flop.
+const ACT_WORK_PER_ELEM: usize = 16;
 
 /// The activation functions used by the EDM U-Net blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -50,18 +56,36 @@ impl Activation {
         }
     }
 
-    /// Applies the activation element-wise to a tensor.
+    /// Applies the activation element-wise to a tensor, in parallel over
+    /// the worker pool for large tensors (elementwise work is trivially
+    /// order-preserving, so results are identical at any thread count).
     pub fn forward(self, x: &Tensor) -> Tensor {
-        x.map(|v| self.apply(v))
+        let mut out = x.clone();
+        parallel::par_map_inplace(out.as_mut_slice(), ACT_WORK_PER_ELEM, move |v| {
+            self.apply(v)
+        });
+        out
     }
 
-    /// Element-wise `grad_out * f'(x)` for backprop.
+    /// Element-wise `grad_out * f'(x)` for backprop, parallel like
+    /// [`Activation::forward`].
     ///
     /// # Errors
     ///
     /// Returns a shape-mismatch error if the tensors differ in shape.
     pub fn backward(self, x: &Tensor, grad_out: &Tensor) -> crate::error::Result<Tensor> {
-        grad_out.zip_with(x, |g, v| g * self.derivative(v))
+        if x.shape() != grad_out.shape() {
+            // Delegate to zip_with for the canonical shape-mismatch error.
+            return grad_out.zip_with(x, |g, v| g * self.derivative(v));
+        }
+        let mut out = grad_out.clone();
+        parallel::par_zip_inplace(
+            out.as_mut_slice(),
+            x.as_slice(),
+            ACT_WORK_PER_ELEM,
+            |g, v| g * self.derivative(v),
+        );
+        Ok(out)
     }
 
     /// Global minimum of the activation's output range.

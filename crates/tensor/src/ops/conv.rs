@@ -7,6 +7,7 @@
 
 use crate::error::{Result, TensorError};
 use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::parallel;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -69,7 +70,10 @@ impl Conv2dGeometry {
 ///
 /// Column `((n*oh + oy)*ow + ox)` holds the receptive field of output pixel
 /// `(oy, ox)` of batch element `n`, flattened in `(c, ky, kx)` order. This
-/// matches the weight layout `[K, C*kh*kw]` used by [`conv2d`].
+/// matches the weight layout `[K, C*kh*kw]` used by [`conv2d`]. Rows of the
+/// matrix are gathered independently, so they are distributed over the
+/// worker pool; every matrix element is written exactly once, making the
+/// result identical at any thread count.
 ///
 /// # Errors
 ///
@@ -82,29 +86,29 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, geom: Conv2dGeometry) -> Res
     let cols = n * oh * ow;
     let iv = input.as_slice();
     let mut out = vec![0.0f32; rows * cols];
-    for nn in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let col = (nn * oh + oy) * ow + ox;
-                for cc in 0..c {
-                    for ky in 0..kh {
-                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                        if iy < 0 || iy >= h as isize {
+    if rows > 0 && cols > 0 {
+        parallel::par_chunks_mut(&mut out, cols, 2 * cols, |row, o_row| {
+            let cc = row / (kh * kw);
+            let ky = (row / kw) % kh;
+            let kx = row % kw;
+            for nn in 0..n {
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_row = &iv[((nn * c + cc) * h + iy as usize) * w..][..w];
+                    let o_base = (nn * oh + oy) * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        for kx in 0..kw {
-                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let row = (cc * kh + ky) * kw + kx;
-                            out[row * cols + col] =
-                                iv[((nn * c + cc) * h + iy as usize) * w + ix as usize];
-                        }
+                        o_row[o_base + ox] = in_row[ix as usize];
                     }
                 }
             }
-        }
+        });
     }
     Tensor::from_vec(out, [rows, cols])
 }
@@ -142,11 +146,17 @@ pub fn col2im(
     }
     let cv = cols_mat.as_slice();
     let mut out = vec![0.0f32; n * c * h * w];
-    for nn in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let col = (nn * oh + oy) * ow + ox;
-                for cc in 0..c {
+    // Scatter one (n, c) image plane per chunk: all contributions to a
+    // plane come from its own channel's rows, so planes are independent,
+    // and within a plane the (oy, ox, ky, kx) accumulation order matches
+    // the serial loop — bitwise identical at any thread count.
+    if n * c > 0 && h * w > 0 {
+        parallel::par_chunks_mut(&mut out, h * w, 2 * oh * ow * kh * kw, |plane, o_plane| {
+            let nn = plane / c;
+            let cc = plane % c;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let col = (nn * oh + oy) * ow + ox;
                     for ky in 0..kh {
                         let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
                         if iy < 0 || iy >= h as isize {
@@ -158,13 +168,12 @@ pub fn col2im(
                                 continue;
                             }
                             let row = (cc * kh + ky) * kw + kx;
-                            out[((nn * c + cc) * h + iy as usize) * w + ix as usize] +=
-                                cv[row * cols + col];
+                            o_plane[iy as usize * w + ix as usize] += cv[row * cols + col];
                         }
                     }
                 }
             }
-        }
+        });
     }
     Tensor::from_vec(out, [n, c, h, w])
 }
@@ -226,19 +235,21 @@ pub fn conv2d(
     // [K, C*kh*kw] x [C*kh*kw, N*oh*ow] -> [K, N*oh*ow]
     let prod = matmul(&wmat, &cols)?;
 
-    // Re-lay out from [K, N*oh*ow] to [N, K, oh, ow] and add bias.
+    // Re-lay out from [K, N*oh*ow] to [N, K, oh, ow] and add bias, one
+    // (n, k) output plane per chunk.
     let pv = prod.as_slice();
     let mut out = vec![0.0f32; n * k * oh * ow];
     let spatial = oh * ow;
-    for kk in 0..k {
-        let b = bias.map(|b| b.as_slice()[kk]).unwrap_or(0.0);
-        for nn in 0..n {
+    if n * k > 0 && spatial > 0 {
+        parallel::par_chunks_mut(&mut out, spatial, 2 * spatial, |plane, dst| {
+            let nn = plane / k;
+            let kk = plane % k;
+            let b = bias.map(|b| b.as_slice()[kk]).unwrap_or(0.0);
             let src = &pv[kk * n * spatial + nn * spatial..kk * n * spatial + (nn + 1) * spatial];
-            let dst = &mut out[(nn * k + kk) * spatial..(nn * k + kk + 1) * spatial];
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
                 *d = s + b;
             }
-        }
+        });
     }
     Tensor::from_vec(out, [n, k, oh, ow])
 }

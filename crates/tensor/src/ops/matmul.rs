@@ -1,11 +1,80 @@
 //! Dense matrix multiplication kernels.
+//!
+//! All three variants (`a×b`, `aᵀ×b`, `a×bᵀ`) reduce to one shared
+//! row-blocked i-k-j core ([`gemm_rows`]): the transposed operands are
+//! packed into row-major layout once, then every output row is produced by
+//! the same inner loop. That gives the variants identical cache behavior
+//! *and* identical floating-point semantics — per output element the
+//! reduction always runs over `k` in ascending order, which is what makes
+//! the worker-pool parallelism bitwise-deterministic at any thread count.
+//!
+//! These kernels are strictly dense: every operand element participates,
+//! so non-finite values propagate exactly as IEEE 754 dictates (`0 × NaN =
+//! NaN`, `0 × ∞ = NaN`). Sparsity-aware zero skipping is the business of
+//! the quantization/accelerator layers (`sqdm-quant`, `sqdm-accel`), not
+//! of the dense reference kernels.
 
 use crate::error::{Result, TensorError};
+use crate::parallel;
 use crate::tensor::Tensor;
+
+/// The shared GEMM core: `out[i, :] += Σ_k lhs[i, k] · rhs[k, :]` with
+/// `lhs` `[m, k]` and `rhs` `[k, n]`, both row-major, `out` zeroed on
+/// entry.
+///
+/// Rows of `out` are distributed over the worker pool in contiguous
+/// blocks; each row's reduction runs over `k` in ascending order on
+/// exactly one thread, so the result is bitwise identical to the serial
+/// i-k-j loop for every thread count.
+fn gemm_rows(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(lhs.len(), m * k);
+    debug_assert_eq!(rhs.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    parallel::par_chunks_mut(out, n, 2 * k * n, |i, o_row| {
+        let a_row = &lhs[i * k..(i + 1) * k];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            let b_row = &rhs[kk * n..(kk + 1) * n];
+            for (o, &b_kj) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ik * b_kj;
+            }
+        }
+    });
+}
+
+/// Packs the transpose of a row-major `[rows, cols]` slice into a new
+/// row-major `[cols, rows]` buffer, in parallel for large matrices.
+fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    debug_assert_eq!(src.len(), rows * cols);
+    let mut out = vec![0.0f32; src.len()];
+    if rows == 0 || cols == 0 {
+        return out;
+    }
+    parallel::par_chunks_mut(&mut out, rows, 2 * rows, |j, o_row| {
+        for (i, o) in o_row.iter_mut().enumerate() {
+            *o = src[i * cols + j];
+        }
+    });
+    out
+}
+
+fn check_rank2(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
+        });
+    }
+    Ok(())
+}
 
 /// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
 ///
-/// The kernel is a cache-friendly i-k-j loop over contiguous rows; it is the
+/// The kernel is a cache-friendly i-k-j loop over contiguous rows,
+/// row-parallelized over the [`crate::parallel`] worker pool; it is the
 /// workhorse behind `conv2d` (via im2col), the linear layers and attention.
 ///
 /// # Errors
@@ -25,20 +94,7 @@ use crate::tensor::Tensor;
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    if a.rank() != 2 {
-        return Err(TensorError::RankMismatch {
-            op: "matmul",
-            expected: 2,
-            actual: a.rank(),
-        });
-    }
-    if b.rank() != 2 {
-        return Err(TensorError::RankMismatch {
-            op: "matmul",
-            expected: 2,
-            actual: b.rank(),
-        });
-    }
+    check_rank2("matmul", a, b)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     if k != k2 {
@@ -48,40 +104,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
-    let av = a.as_slice();
-    let bv = b.as_slice();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        let o_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &bv[kk * n..(kk + 1) * n];
-            for (o, &b_kj) in o_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ik * b_kj;
-            }
-        }
-    }
+    gemm_rows(a.as_slice(), b.as_slice(), &mut out, m, k, n);
     Tensor::from_vec(out, [m, n])
 }
 
-/// Multiplies `aᵀ × b`: `[k, m]ᵀ × [k, n] → [m, n]` without materializing the
-/// transpose.
+/// Multiplies `aᵀ × b`: `[k, m]ᵀ × [k, n] → [m, n]`.
+///
+/// `a` is packed into row-major `[m, k]` once and fed to the same blocked
+/// core as [`matmul`], so the two share one inner loop and one set of
+/// floating-point semantics.
 ///
 /// # Errors
 ///
 /// Same conditions as [`matmul`], with the inner dimension taken from the
 /// *first* axis of both operands.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    if a.rank() != 2 || b.rank() != 2 {
-        return Err(TensorError::RankMismatch {
-            op: "matmul_at_b",
-            expected: 2,
-            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
-        });
-    }
+    check_rank2("matmul_at_b", a, b)?;
     let (k, m) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     if k != k2 {
@@ -91,40 +130,25 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
-    let av = a.as_slice();
-    let bv = b.as_slice();
+    let at = pack_transpose(a.as_slice(), k, m);
     let mut out = vec![0.0f32; m * n];
-    for kk in 0..k {
-        let a_row = &av[kk * m..(kk + 1) * m];
-        let b_row = &bv[kk * n..(kk + 1) * n];
-        for (i, &a_ki) in a_row.iter().enumerate() {
-            if a_ki == 0.0 {
-                continue;
-            }
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_kj) in o_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ki * b_kj;
-            }
-        }
-    }
+    gemm_rows(&at, b.as_slice(), &mut out, m, k, n);
     Tensor::from_vec(out, [m, n])
 }
 
-/// Multiplies `a × bᵀ`: `[m, k] × [n, k]ᵀ → [m, n]` without materializing the
-/// transpose.
+/// Multiplies `a × bᵀ`: `[m, k] × [n, k]ᵀ → [m, n]`.
+///
+/// `b` is packed into row-major `[k, n]` once and fed to the same blocked
+/// core as [`matmul`] — previously this variant used its own j-inner
+/// dot-product loop with different cache behavior (and different
+/// zero-skip semantics) from its siblings.
 ///
 /// # Errors
 ///
 /// Same conditions as [`matmul`], with the inner dimension taken from the
 /// *second* axis of both operands.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    if a.rank() != 2 || b.rank() != 2 {
-        return Err(TensorError::RankMismatch {
-            op: "matmul_a_bt",
-            expected: 2,
-            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
-        });
-    }
+    check_rank2("matmul_a_bt", a, b)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     if k != k2 {
@@ -134,20 +158,9 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
-    let av = a.as_slice();
-    let bv = b.as_slice();
+    let bt = pack_transpose(b.as_slice(), n, k);
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            out[i * n + j] = acc;
-        }
-    }
+    gemm_rows(a.as_slice(), &bt, &mut out, m, k, n);
     Tensor::from_vec(out, [m, n])
 }
 
@@ -165,13 +178,7 @@ pub fn transpose(a: &Tensor) -> Result<Tensor> {
         });
     }
     let (m, n) = (a.dims()[0], a.dims()[1]);
-    let av = a.as_slice();
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = av[i * n + j];
-        }
-    }
+    let out = pack_transpose(a.as_slice(), m, n);
     Tensor::from_vec(out, [n, m])
 }
 
@@ -253,5 +260,72 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let a = Tensor::randn([5, 7], &mut rng);
         assert_eq!(transpose(&transpose(&a).unwrap()).unwrap(), a);
+    }
+
+    /// Regression for the zero-skip bug: `if a_ik == 0.0 { continue; }`
+    /// silently masked NaN/Inf in the other operand, violating `0 × NaN =
+    /// NaN` and making the variants disagree on non-finite inputs.
+    #[test]
+    fn zero_times_nan_propagates_in_all_variants() {
+        // a's first row is exactly zero where b's first row holds the
+        // non-finite values, so the old skip would have hidden them.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0, 1.0], [2, 2]).unwrap();
+
+        let y = matmul(&a, &b).unwrap();
+        // out[0, 0] = 0·NaN + 1·1 and out[0, 1] = 0·∞ + 1·1: both NaN.
+        assert!(y.get(&[0, 0]).unwrap().is_nan());
+        assert!(y.get(&[0, 1]).unwrap().is_nan());
+        // Rows without a zero-masked non-finite stay finite or propagate ∞.
+        assert!(y.get(&[1, 0]).unwrap().is_nan()); // 2·NaN + 3·1
+
+        let y_atb = matmul_at_b(&transpose(&a).unwrap(), &b).unwrap();
+        let y_abt = matmul_a_bt(&a, &transpose(&b).unwrap()).unwrap();
+        for (via, name) in [(y_atb, "matmul_at_b"), (y_abt, "matmul_a_bt")] {
+            for (lhs, rhs) in y.as_slice().iter().zip(via.as_slice()) {
+                assert!(
+                    lhs.to_bits() == rhs.to_bits() || (lhs.is_nan() && rhs.is_nan()),
+                    "{name} disagrees with matmul on non-finite input: {lhs} vs {rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infinity_times_zero_is_nan_not_zero() {
+        // The mirrored case: zero in *b*, non-finite in *a*.
+        let a = Tensor::from_vec(vec![f32::INFINITY, 2.0], [1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 1.0], [2, 2]).unwrap();
+        let y = matmul(&a, &b).unwrap();
+        assert!(y.get(&[0, 0]).unwrap().is_nan()); // ∞·0 + 2·1
+        assert!(y.get(&[0, 1]).unwrap().is_infinite()); // ∞·1 + 2·1
+    }
+
+    #[test]
+    fn nan_row_poisons_only_its_own_output_row() {
+        let a = Tensor::from_vec(vec![f32::NAN, 0.0, 0.0, 1.0], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let y = matmul(&a, &b).unwrap();
+        assert!(y.get(&[0, 0]).unwrap().is_nan());
+        assert!(y.get(&[0, 1]).unwrap().is_nan());
+        assert_eq!(y.get(&[1, 0]).unwrap(), 3.0);
+        assert_eq!(y.get(&[1, 1]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn empty_inner_dimension_yields_zeros() {
+        let a = Tensor::zeros([3, 0]);
+        let b = Tensor::zeros([0, 4]);
+        let y = matmul(&a, &b).unwrap();
+        assert_eq!(y.dims(), &[3, 4]);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(
+            matmul_a_bt(&a, &Tensor::zeros([4, 0])).unwrap().dims(),
+            &[3, 4]
+        );
+        assert_eq!(
+            matmul_at_b(&Tensor::zeros([0, 3]), &b).unwrap().dims(),
+            &[3, 4]
+        );
     }
 }

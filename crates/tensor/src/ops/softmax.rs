@@ -4,12 +4,15 @@
 //! self-attention in the paper's Figure 2).
 
 use crate::error::{Result, TensorError};
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// Row-wise softmax over the last axis of a rank-2 tensor.
 ///
 /// Numerically stabilized by subtracting the row maximum before
-/// exponentiation.
+/// exponentiation. Rows are independent, so they are distributed over the
+/// worker pool in contiguous blocks; each row is reduced serially, making
+/// the result bitwise identical at any thread count.
 ///
 /// # Errors
 ///
@@ -44,11 +47,10 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
     }
     let xv = x.as_slice();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
+    parallel::par_chunks_mut(&mut out, n, 8 * n, |i, orow| {
         let row = &xv[i * n..(i + 1) * n];
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let mut sum = 0.0f32;
-        let orow = &mut out[i * n..(i + 1) * n];
         for (o, &v) in orow.iter_mut().zip(row.iter()) {
             *o = (v - max).exp();
             sum += *o;
@@ -56,7 +58,7 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
         for o in orow.iter_mut() {
             *o /= sum;
         }
-    }
+    });
     Tensor::from_vec(out, [m, n])
 }
 
@@ -87,14 +89,15 @@ pub fn softmax_rows_backward(y: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
     let yv = y.as_slice();
     let gv = grad_out.as_slice();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let yrow = &yv[i * n..(i + 1) * n];
-        let grow = &gv[i * n..(i + 1) * n];
-        let dot: f32 = yrow.iter().zip(grow.iter()).map(|(a, b)| a * b).sum();
-        let orow = &mut out[i * n..(i + 1) * n];
-        for ((o, &yy), &gg) in orow.iter_mut().zip(yrow.iter()).zip(grow.iter()) {
-            *o = yy * (gg - dot);
-        }
+    if n > 0 {
+        parallel::par_chunks_mut(&mut out, n, 4 * n, |i, orow| {
+            let yrow = &yv[i * n..(i + 1) * n];
+            let grow = &gv[i * n..(i + 1) * n];
+            let dot: f32 = yrow.iter().zip(grow.iter()).map(|(a, b)| a * b).sum();
+            for ((o, &yy), &gg) in orow.iter_mut().zip(yrow.iter()).zip(grow.iter()) {
+                *o = yy * (gg - dot);
+            }
+        });
     }
     Tensor::from_vec(out, [m, n])
 }
