@@ -209,4 +209,76 @@ mod tests {
         assert!(ours_div < int4_div, "ours {ours_div} int4 {int4_div}");
         assert!(f.render().contains("Ours"));
     }
+
+    /// The figure's quality metric, evaluated end-to-end on the integer
+    /// engine: `NativeInt` sampling must reproduce the fake-quant sFID
+    /// within a small band at INT8 (the two paths quantize identically and
+    /// differ only by accumulation rounding), and the full mixed-precision
+    /// headline configuration must run and stay in the fake-quant row's
+    /// quality regime.
+    #[test]
+    fn quality_metric_matches_under_native_int_execution() {
+        use sqdm_quant::{BlockPrecision, ExecMode};
+        let scale = ExperimentScale::quick();
+        let mut pair = shared_pair();
+        let n = scale.block_count();
+
+        let int8 = sqdm_quant::PrecisionAssignment::uniform(
+            n,
+            BlockPrecision::uniform(QuantFormat::int8()),
+            "INT8",
+        );
+        let fake = crate::pipeline::eval_sfid(
+            &mut pair.silu,
+            &pair.denoiser,
+            &pair.dataset,
+            Some(&int8.clone().with_mode(ExecMode::FakeQuant)),
+            &scale,
+        )
+        .unwrap();
+        let native = crate::pipeline::eval_sfid(
+            &mut pair.silu,
+            &pair.denoiser,
+            &pair.dataset,
+            Some(&int8.with_mode(ExecMode::NativeInt)),
+            &scale,
+        )
+        .unwrap();
+        assert!(fake.is_finite() && native.is_finite() && fake > 0.1);
+        assert!(
+            (native - fake).abs() < 0.15 * fake + 0.05,
+            "INT8 sFID diverges across engines: fake {fake} native {native}"
+        );
+
+        // The headline mixed policy (fig 1's "Ours" row) end-to-end on the
+        // integer engine: 4-bit blocks run per-tensor-scaled UINT4/INT4
+        // natively, so the tolerance is the fake-quant row's own band.
+        let mixed = sqdm_quant::PrecisionAssignment::paper_mixed(
+            &sqdm_edm::block_profiles(&scale.model),
+            1,
+            1,
+            true,
+        );
+        let ours_fake = crate::pipeline::eval_sfid(
+            &mut pair.relu,
+            &pair.denoiser,
+            &pair.dataset,
+            Some(&mixed.clone().with_mode(ExecMode::FakeQuant)),
+            &scale,
+        )
+        .unwrap();
+        let ours_native = crate::pipeline::eval_sfid(
+            &mut pair.relu,
+            &pair.denoiser,
+            &pair.dataset,
+            Some(&mixed.with_mode(ExecMode::NativeInt)),
+            &scale,
+        )
+        .unwrap();
+        assert!(ours_native.is_finite(), "native sFID {ours_native}");
+        assert!(
+            ours_native < 1.5 * ours_fake + 0.2,
+            "mixed-policy native sFID {ours_native} vs fake {ours_fake}"
+        );
+    }
 }

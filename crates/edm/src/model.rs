@@ -145,7 +145,7 @@ impl RunConfig<'_> {
     fn exec_for(&self, block: usize) -> QuantExecutor {
         match self.assignment {
             None => QuantExecutor::full_precision(),
-            Some(a) => QuantExecutor::new(a.block(block)),
+            Some(a) => QuantExecutor::new(a.block(block)).with_mode(a.mode()),
         }
     }
 }
@@ -599,8 +599,20 @@ impl UNet {
         for b in &mut self.enc_lo {
             h = b.forward(&h, &emb, rc)?;
         }
-        // Bottleneck attention + conv.
-        h = self.mid_attn.forward(&h, rc.train)?;
+        // Bottleneck attention + conv. Inference runs the q/k/v/out
+        // projections under the block's precision and execution mode;
+        // training keeps the cache-building f32 path. The attention input
+        // is the signed residual stream (and the softmax·V mix feeding the
+        // output projection is signed too), so unsigned post-ReLU
+        // activation formats switch to their signed variant here, as for
+        // the skip convolutions.
+        h = if rc.train {
+            self.mid_attn.forward(&h, true)?
+        } else {
+            rc.exec_for(block_ids::MID_ATTN)
+                .signed_activations()
+                .attention_forward(&self.mid_attn, &h)?
+        };
         if let Some(obs) = rc.observer.as_deref_mut() {
             obs(ActEvent {
                 block_index: block_ids::MID_ATTN,
@@ -932,6 +944,46 @@ mod tests {
         let e8 = exact.mse(&y8).unwrap();
         let e4 = exact.mse(&y4).unwrap();
         assert!(e8 > 0.0 && e4 > e8, "e8={e8} e4={e4}");
+    }
+
+    #[test]
+    fn native_int_inference_tracks_fake_quant_at_8bit() {
+        use sqdm_quant::{BlockPrecision, ExecMode, QuantFormat};
+        let mut rng = Rng::seed_from(10);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let x = Tensor::randn([1, 1, 8, 8], &mut rng);
+        let exact = net.forward(&x, &[0.0], &mut RunConfig::infer()).unwrap();
+        let base = PrecisionAssignment::uniform(
+            block_ids::COUNT,
+            BlockPrecision::uniform(QuantFormat::int8()),
+            "INT8",
+        );
+        let fake = base.clone().with_mode(ExecMode::FakeQuant);
+        let native = base.with_mode(ExecMode::NativeInt);
+        let mut rcf = RunConfig {
+            train: false,
+            assignment: Some(&fake),
+            observer: None,
+        };
+        let yf = net.forward(&x, &[0.0], &mut rcf).unwrap();
+        let mut rcn = RunConfig {
+            train: false,
+            assignment: Some(&native),
+            observer: None,
+        };
+        let yn = net.forward(&x, &[0.0], &mut rcn).unwrap();
+        // INT8 has per-channel weights and per-tensor activations, so the
+        // integer engine quantizes identically to the fake-quant path; the
+        // two differ by accumulation rounding (occasionally amplified when
+        // a near-boundary value flips a code downstream), which must stay
+        // far below the quantization error itself.
+        let q_err = exact.mse(&yf).unwrap();
+        let path_gap = yf.mse(&yn).unwrap();
+        assert!(q_err > 0.0);
+        assert!(
+            path_gap < 0.05 * q_err + 1e-10,
+            "native/fake gap {path_gap} vs quant error {q_err}"
+        );
     }
 
     #[test]

@@ -9,6 +9,39 @@ use serde::{Deserialize, Serialize};
 use sqdm_tensor::ops::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, softmax_rows_backward};
 use sqdm_tensor::{Rng, Tensor};
 
+/// Identifies one of the four attention projection matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttnProjection {
+    /// The query projection `Wq`.
+    Query,
+    /// The key projection `Wk`.
+    Key,
+    /// The value projection `Wv`.
+    Value,
+    /// The output projection `Wo`.
+    Output,
+}
+
+impl AttnProjection {
+    /// All four projections in application order.
+    pub const ALL: [AttnProjection; 4] = [
+        AttnProjection::Query,
+        AttnProjection::Key,
+        AttnProjection::Value,
+        AttnProjection::Output,
+    ];
+
+    /// Stable index of this projection in [`AttnProjection::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            AttnProjection::Query => 0,
+            AttnProjection::Key => 1,
+            AttnProjection::Value => 2,
+            AttnProjection::Output => 3,
+        }
+    }
+}
+
 /// Image self-attention over spatial positions, `[N, C, H, W] → same`.
 ///
 /// Each pixel attends to every other pixel of its image:
@@ -90,6 +123,67 @@ impl SelfAttention2d {
     /// The channel count this layer was built for.
     pub fn channels(&self) -> usize {
         self.channels
+    }
+
+    /// Inference forward with the four projections (`Q`, `K`, `V`, output)
+    /// computed by a caller-supplied projector — the hook the quantized
+    /// executor uses to run projections fake-quantized or on the integer
+    /// engine while the attention math (scores, softmax, value mix) stays
+    /// in f32.
+    ///
+    /// `project(xs, which)` must compute `xs · wᵀ` for `xs` `[S, C]` and
+    /// the layer weight selected by `which` (see [`AttnProjection`]); the
+    /// indirection lets the caller pre-quantize each weight once per
+    /// forward instead of once per batch element. Per batch element the
+    /// projector is invoked in `Query`, `Key`, `Value`, `Output` order,
+    /// with the first three sharing one input tensor — a contract callers
+    /// may rely on to quantize that input once. With
+    /// `project = |xs, which| matmul_a_bt(xs, attn.projection_weight(which))`
+    /// this is bitwise identical to `forward(x, false)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for non-rank-4 input or a channel mismatch,
+    /// and propagates projector errors.
+    pub fn forward_with_projector(
+        &self,
+        x: &Tensor,
+        project: &mut dyn FnMut(&Tensor, AttnProjection) -> Result<Tensor>,
+    ) -> Result<Tensor> {
+        let (n, c, _h, _w) = x.shape().as_nchw()?;
+        if c != self.channels {
+            return Err(NnError::Config {
+                layer: "SelfAttention2d",
+                reason: format!("input has {c} channels, layer has {}", self.channels),
+            });
+        }
+        let inv = 1.0 / (c as f32).sqrt();
+        let mut out = x.clone(); // residual
+        for nn in 0..n {
+            let xs = to_sc(x, nn)?; // [S, C]
+            let q = project(&xs, AttnProjection::Query)?;
+            let k = project(&xs, AttnProjection::Key)?;
+            let v = project(&xs, AttnProjection::Value)?;
+            let p = matmul_a_bt(&q, &k)?.scale(inv); // [S, S]
+            let a = softmax_rows(&p)?;
+            let o = matmul(&a, &v)?; // [S, C]
+            let y = project(&o, AttnProjection::Output)?; // [S, C]
+
+            let mut slab = to_sc(&out, nn)?;
+            slab.add_scaled(&y, 1.0)?;
+            from_sc(&mut out, &slab, nn)?;
+        }
+        Ok(out)
+    }
+
+    /// The weight tensor of one projection, `[C, C]`.
+    pub fn projection_weight(&self, which: AttnProjection) -> &Tensor {
+        match which {
+            AttnProjection::Query => &self.wq.value,
+            AttnProjection::Key => &self.wk.value,
+            AttnProjection::Value => &self.wv.value,
+            AttnProjection::Output => &self.wo.value,
+        }
     }
 
     /// Forward pass; caches intermediates when `train` is set.
@@ -209,6 +303,27 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let mut attn = SelfAttention2d::new(4, &mut rng);
         assert!(attn.forward(&Tensor::zeros([1, 5, 2, 2]), false).is_err());
+        let probe = attn.clone();
+        assert!(probe
+            .forward_with_projector(&Tensor::zeros([1, 5, 2, 2]), &mut |a, which| {
+                Ok(matmul_a_bt(a, probe.projection_weight(which))?)
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn projector_identity_matches_plain_forward_bitwise() {
+        let mut rng = Rng::seed_from(5);
+        let mut attn = SelfAttention2d::new(4, &mut rng);
+        let x = Tensor::randn([2, 4, 3, 3], &mut rng);
+        let plain = attn.forward(&x, false).unwrap();
+        let probe = attn.clone();
+        let hooked = probe
+            .forward_with_projector(&x, &mut |a, which| {
+                Ok(matmul_a_bt(a, probe.projection_weight(which))?)
+            })
+            .unwrap();
+        assert_eq!(plain, hooked);
     }
 
     #[test]

@@ -8,7 +8,7 @@ mod norm;
 mod pool;
 
 pub use act::ActLayer;
-pub use attention::SelfAttention2d;
+pub use attention::{AttnProjection, SelfAttention2d};
 pub use conv::Conv2d;
 pub use linear::Linear;
 pub use norm::GroupNorm;

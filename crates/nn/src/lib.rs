@@ -30,6 +30,7 @@
 mod error;
 pub mod init;
 pub mod layers;
+pub mod native;
 pub mod optim;
 mod param;
 mod quantized;

@@ -1,0 +1,322 @@
+//! Native integer layer execution.
+//!
+//! Quantizes layer operands to ≤8-bit integer codes and runs the
+//! `sqdm_tensor::ops::int` kernels — i8 multiply, exact i32 accumulation,
+//! one requantization per scale block — instead of simulating quantization
+//! in f32. This is the compute model the paper's accelerator executes; the
+//! fake-quant path in [`crate::QuantExecutor`] remains the evaluation
+//! reference.
+//!
+//! # Engine contract
+//!
+//! * **Weights** keep their format's granularity: per-tensor, per-channel,
+//!   or per-block — weight scale blocks tile the GEMM reduction dimension,
+//!   so blocked formats (MXINT8, INT4-FP8S) execute exactly.
+//! * **Activations** get one per-tensor scale (zero point 0 — the
+//!   workspace's grids are symmetric). Per-channel activation scales
+//!   cannot be folded out of an integer dot product over channels, and
+//!   per-block activation scales would need requantization inside im2col;
+//!   real INT deployments — and the paper's Table I baselines — scale
+//!   activations per tensor for exactly this reason. For formats whose
+//!   fake-quant path also uses per-tensor activations (INT8, INT4), the
+//!   two paths agree to accumulation rounding; for block-scaled
+//!   activation formats the engine is a per-tensor approximation.
+//! * **Supported precisions**: both weight and activation formats present
+//!   with codes that fit i8. Anything else (FP16 slots, 16-bit surrogate
+//!   grids) falls back to fake-quant at the call site.
+
+use crate::error::Result;
+use crate::layers::{Conv2d, Linear};
+use sqdm_quant::{BlockPrecision, ChannelLayout, Granularity, QuantFormat, QuantizedTensor};
+use sqdm_tensor::ops::int::{conv2d_i8, qgemm, transpose_i8, QuantizedMatrix, XQuant};
+use sqdm_tensor::ops::transpose;
+use sqdm_tensor::Tensor;
+
+/// Whether the integer engine can execute a block precision: both formats
+/// must be present and their code grids must fit an i8 datapath.
+pub fn supports(p: &BlockPrecision) -> bool {
+    let fits = |f: &QuantFormat| f.grid.qmax() <= i8::MAX as i32 && f.grid.qmin() >= i8::MIN as i32;
+    matches!((&p.weights, &p.activations), (Some(w), Some(a)) if fits(w) && fits(a))
+}
+
+/// Quantizes an activation tensor to per-tensor i8 codes.
+///
+/// The format's grid and scale encoding are honored; its granularity is
+/// coerced to per-tensor (see the module contract).
+fn quantize_activation(x: &Tensor, fmt: QuantFormat) -> Result<(Vec<i8>, XQuant)> {
+    let pt = QuantFormat {
+        granularity: Granularity::PerTensor,
+        ..fmt
+    };
+    let q = QuantizedTensor::quantize(x, pt, ChannelLayout { axis: 0 })?;
+    let codes = q.codes().iter().map(|&c| c as i8).collect();
+    Ok((codes, XQuant::symmetric(q.scales()[0])))
+}
+
+/// Quantizes a weight tensor (channel axis 0) into the GEMM operand:
+/// `[out, reduction]` codes with the format's scale blocks tiling the
+/// reduction dimension.
+fn quantize_weight(w: &Tensor, fmt: QuantFormat) -> Result<QuantizedMatrix> {
+    let q = QuantizedTensor::quantize(w, fmt, ChannelLayout::WEIGHT)?;
+    let rows = w.dims()[0];
+    let cols = w.len() / rows.max(1);
+    let codes: Vec<i8> = q.codes().iter().map(|&c| c as i8).collect();
+    let qm = match fmt.granularity {
+        // One scale for the whole tensor: replicate per row.
+        Granularity::PerTensor => {
+            QuantizedMatrix::per_channel(codes, rows, cols, vec![q.scales()[0]; rows])
+        }
+        // QuantizedTensor's slice = one output channel = one GEMM row, so
+        // its scale layout is already `[rows, blocks_per_row]`.
+        Granularity::PerChannel | Granularity::PerBlock(_) => {
+            QuantizedMatrix::new(codes, rows, cols, q.scales().to_vec(), q.block_len())
+        }
+    };
+    Ok(qm?)
+}
+
+/// Runs a convolution on the integer engine.
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn conv_forward(conv: &Conv2d, x: &Tensor, p: &BlockPrecision) -> Result<Tensor> {
+    debug_assert!(supports(p));
+    let (wfmt, afmt) = (
+        p.weights.expect("supports"),
+        p.activations.expect("supports"),
+    );
+    let (n, c, h, w) = x.shape().as_nchw()?;
+    let (xcodes, xq) = quantize_activation(x, afmt)?;
+    let wq = quantize_weight(&conv.weight.value, wfmt)?;
+    let kh = conv.weight.value.dims()[2];
+    let kw = conv.weight.value.dims()[3];
+    Ok(conv2d_i8(
+        &xcodes,
+        n,
+        c,
+        h,
+        w,
+        &wq,
+        kh,
+        kw,
+        Some(conv.bias.value.as_slice()),
+        conv.geometry(),
+        xq,
+    )?)
+}
+
+/// Integer GEMM epilogue shared by linear and projection paths:
+/// `y = (W · xᵀ)ᵀ` with `x` `[batch, in]` and `W` `[out, in]`.
+fn project_codes(
+    wq: &QuantizedMatrix,
+    xcodes: &[i8],
+    batch: usize,
+    in_features: usize,
+    xq: XQuant,
+) -> Result<Tensor> {
+    let xt = transpose_i8(xcodes, batch, in_features)?;
+    let mut yt = vec![0.0f32; wq.rows() * batch];
+    qgemm(wq, &xt, batch, xq, &mut yt)?;
+    let yt = Tensor::from_vec(yt, [wq.rows(), batch])?;
+    Ok(transpose(&yt)?)
+}
+
+/// Runs a linear layer on the integer engine.
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn linear_forward(lin: &Linear, x: &Tensor, p: &BlockPrecision) -> Result<Tensor> {
+    debug_assert!(supports(p));
+    let (wfmt, afmt) = (
+        p.weights.expect("supports"),
+        p.activations.expect("supports"),
+    );
+    let (xcodes, xq) = quantize_activation(x, afmt)?;
+    let wq = quantize_weight(&lin.weight.value, wfmt)?;
+    let (b, i) = (x.dims()[0], x.dims()[1]);
+    let mut y = project_codes(&wq, &xcodes, b, i, xq)?;
+    let o = y.dims()[1];
+    let bias = lin.bias.value.as_slice();
+    let yv = y.as_mut_slice();
+    for bi in 0..b {
+        for j in 0..o {
+            yv[bi * o + j] += bias[j];
+        }
+    }
+    Ok(y)
+}
+
+/// A weight pre-quantized for repeated projections — lets callers that
+/// apply the same weight to many inputs (the attention q/k/v/out
+/// projections, once per batch element) pay the weight quantization once.
+#[derive(Debug, Clone)]
+pub struct PreparedWeight {
+    wq: QuantizedMatrix,
+    afmt: QuantFormat,
+}
+
+impl PreparedWeight {
+    /// Quantizes `weight` (`[Cout, C]`, channel axis 0) under the block
+    /// precision's weight format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer layout errors.
+    pub fn new(weight: &Tensor, p: &BlockPrecision) -> Result<Self> {
+        debug_assert!(supports(p));
+        Ok(PreparedWeight {
+            wq: quantize_weight(weight, p.weights.expect("supports"))?,
+            afmt: p.activations.expect("supports"),
+        })
+    }
+
+    /// Quantizes a projection input `x` (`[S, C]`) once, for reuse across
+    /// every prepared weight of the same block precision (the Q/K/V
+    /// projections all consume the same input).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer layout errors.
+    pub fn prepare_input(&self, x: &Tensor) -> Result<QuantizedActivation> {
+        let (codes, xq) = quantize_activation(x, self.afmt)?;
+        Ok(QuantizedActivation {
+            xt: transpose_i8(&codes, x.dims()[0], x.dims()[1])?,
+            batch: x.dims()[0],
+            xq,
+        })
+    }
+
+    /// Runs the bias-free projection `x Wᵀ` on a pre-quantized input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn project_prepared(&self, qa: &QuantizedActivation) -> Result<Tensor> {
+        let mut yt = vec![0.0f32; self.wq.rows() * qa.batch];
+        qgemm(&self.wq, &qa.xt, qa.batch, qa.xq, &mut yt)?;
+        let yt = Tensor::from_vec(yt, [self.wq.rows(), qa.batch])?;
+        Ok(transpose(&yt)?)
+    }
+
+    /// Runs the bias-free projection `x Wᵀ` (`x` `[S, C]`) on the integer
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer layout errors and kernel shape errors.
+    pub fn project(&self, x: &Tensor) -> Result<Tensor> {
+        self.project_prepared(&self.prepare_input(x)?)
+    }
+}
+
+/// A projection input quantized (and transposed into GEMM layout) once,
+/// shared by several [`PreparedWeight::project_prepared`] calls.
+#[derive(Debug, Clone)]
+pub struct QuantizedActivation {
+    /// Transposed codes, `[C, S]` row-major.
+    xt: Vec<i8>,
+    /// Number of input rows `S`.
+    batch: usize,
+    xq: XQuant,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_quant::IntGrid;
+    use sqdm_tensor::Rng;
+
+    fn pow2_per_channel_int8() -> QuantFormat {
+        QuantFormat {
+            grid: IntGrid::signed(8),
+            granularity: Granularity::PerChannel,
+            scale_encoding: sqdm_quant::ScaleEncoding::PowerOfTwo,
+            name: "INT8-POW2",
+        }
+    }
+
+    #[test]
+    fn supports_requires_both_i8_formats() {
+        assert!(supports(&BlockPrecision::uniform(QuantFormat::int8())));
+        assert!(supports(
+            &BlockPrecision::uniform(QuantFormat::ours_uint4())
+        ));
+        assert!(!supports(&BlockPrecision::FP16));
+        assert!(!supports(&BlockPrecision::uniform(
+            QuantFormat::fp16_surrogate()
+        )));
+        assert!(!supports(&BlockPrecision {
+            weights: Some(QuantFormat::int8()),
+            activations: None,
+        }));
+    }
+
+    #[test]
+    fn linear_matches_fake_quant_bitwise_on_pow2_scales() {
+        // Power-of-two scales make every fake-quant f32 intermediate exact,
+        // so the integer engine must reproduce it bit for bit.
+        let mut rng = Rng::seed_from(11);
+        let mut lin = Linear::new(12, 5, &mut rng);
+        lin.bias.value = Tensor::randn([5], &mut rng);
+        let x = Tensor::randn([3, 12], &mut rng);
+        let fmt = pow2_per_channel_int8();
+        let p = BlockPrecision::uniform(fmt);
+
+        let native = linear_forward(&lin, &x, &p).unwrap();
+
+        // Fake-quant reference with identical granularity: per-tensor
+        // activations, per-channel weights.
+        let pt = QuantFormat {
+            granularity: Granularity::PerTensor,
+            ..fmt
+        };
+        let xq = sqdm_quant::fake_quant(&x, pt, ChannelLayout { axis: 0 }).unwrap();
+        let wq = sqdm_quant::fake_quant(&lin.weight.value, fmt, ChannelLayout::WEIGHT).unwrap();
+        let fake = lin.forward_with_weight(&xq, &wq).unwrap();
+        assert_eq!(native.dims(), fake.dims());
+        for (a, b) in native.as_slice().iter().zip(fake.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_matches_fake_quant_bitwise_on_pow2_scales() {
+        use sqdm_tensor::ops::Conv2dGeometry;
+        let mut rng = Rng::seed_from(12);
+        let mut conv = Conv2d::new(3, 4, 3, Conv2dGeometry::same(3), &mut rng);
+        conv.bias.value = Tensor::randn([4], &mut rng);
+        let x = Tensor::randn([2, 3, 6, 6], &mut rng);
+        let fmt = pow2_per_channel_int8();
+        let p = BlockPrecision::uniform(fmt);
+
+        let native = conv_forward(&conv, &x, &p).unwrap();
+
+        let pt = QuantFormat {
+            granularity: Granularity::PerTensor,
+            ..fmt
+        };
+        let xq = sqdm_quant::fake_quant(&x, pt, ChannelLayout::ACTIVATION).unwrap();
+        let wq = sqdm_quant::fake_quant(&conv.weight.value, fmt, ChannelLayout::WEIGHT).unwrap();
+        let fake = conv.forward_with_weight(&xq, &wq).unwrap();
+        for (a, b) in native.as_slice().iter().zip(fake.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn blocked_weight_format_executes() {
+        // MXINT8 weights: 32-element scale blocks along the reduction dim.
+        let mut rng = Rng::seed_from(13);
+        let lin = Linear::new(80, 6, &mut rng);
+        let x = Tensor::randn([2, 80], &mut rng);
+        let p = BlockPrecision::uniform(QuantFormat::mxint8());
+        let y = linear_forward(&lin, &x, &p).unwrap();
+        assert_eq!(y.dims(), &[2, 6]);
+        // Sanity: close to the unquantized layer at 8 bits.
+        let mut lref = lin.clone();
+        let exact = lref.forward(&x, false).unwrap();
+        assert!(exact.mse(&y).unwrap() < 1e-3);
+    }
+}

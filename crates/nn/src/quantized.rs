@@ -1,14 +1,20 @@
-//! Fake-quantized inference execution.
+//! Quantized inference execution.
 //!
-//! A [`QuantExecutor`] wraps a [`BlockPrecision`] and executes layers with
-//! weights and input activations passed through quantize→dequantize, the
-//! standard methodology for evaluating post-training quantization quality
-//! in a floating-point pipeline (paper §II-A, §III-A).
+//! A [`QuantExecutor`] wraps a [`BlockPrecision`] plus an [`ExecMode`] and
+//! executes layers either by **fake quantization** — weights and input
+//! activations passed through quantize→dequantize, the standard
+//! methodology for evaluating post-training quantization quality in a
+//! floating-point pipeline (paper §II-A, §III-A) — or **natively** on the
+//! integer engine ([`crate::native`]): i8 codes, exact i32 accumulation,
+//! requantized epilogue. Native execution falls back to fake quantization
+//! for precisions the engine does not support (FP16 slots, >8-bit grids).
 
 use crate::error::Result;
-use crate::layers::{Conv2d, Linear};
+use crate::layers::{AttnProjection, Conv2d, Linear, SelfAttention2d};
+use crate::native;
 use serde::{Deserialize, Serialize};
-use sqdm_quant::{fake_quant, BlockPrecision, ChannelLayout, Granularity, QuantFormat};
+use sqdm_quant::{fake_quant, BlockPrecision, ChannelLayout, ExecMode, Granularity, QuantFormat};
+use sqdm_tensor::ops::matmul_a_bt;
 use sqdm_tensor::Tensor;
 
 /// Adapts a format for *activation* quantization.
@@ -29,11 +35,13 @@ fn activation_format(fmt: QuantFormat) -> QuantFormat {
     }
 }
 
-/// Executes layers under a given block precision with fake quantization.
+/// Executes layers under a given block precision and execution mode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QuantExecutor {
     /// Precision applied to this block's weights and activations.
     pub precision: BlockPrecision,
+    /// Whether layers run fake-quantized (f32) or on the integer engine.
+    pub mode: ExecMode,
 }
 
 impl QuantExecutor {
@@ -41,12 +49,22 @@ impl QuantExecutor {
     pub fn full_precision() -> Self {
         QuantExecutor {
             precision: BlockPrecision::FP16,
+            mode: ExecMode::FakeQuant,
         }
     }
 
-    /// Creates an executor for a block precision.
+    /// Creates a fake-quantizing executor for a block precision.
     pub fn new(precision: BlockPrecision) -> Self {
-        QuantExecutor { precision }
+        QuantExecutor {
+            precision,
+            mode: ExecMode::FakeQuant,
+        }
+    }
+
+    /// This executor with the given execution mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// A variant of this executor whose activation format is signed —
@@ -58,7 +76,13 @@ impl QuantExecutor {
                 weights: self.precision.weights,
                 activations: self.precision.activations.map(|f| f.as_signed()),
             },
+            mode: self.mode,
         }
+    }
+
+    /// True when this layer call should run on the integer engine.
+    fn native(&self) -> bool {
+        self.mode == ExecMode::NativeInt && native::supports(&self.precision)
     }
 
     /// Quantize-dequantizes an activation tensor (`[N, C, H, W]` layout)
@@ -108,26 +132,95 @@ impl QuantExecutor {
         }
     }
 
-    /// Runs a convolution with fake-quantized weights and input.
+    /// Runs a convolution under this executor's mode: fake-quantized, or
+    /// natively on the integer engine when the precision supports it.
     ///
     /// # Errors
     ///
     /// Propagates quantizer and convolution errors.
     pub fn conv_forward(&self, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        if self.native() {
+            return native::conv_forward(conv, x, &self.precision);
+        }
         let xq = self.quant_activation(x)?;
         let wq = self.quant_weight(&conv.weight.value)?;
         conv.forward_with_weight(&xq, &wq)
     }
 
-    /// Runs a linear layer with fake-quantized weights and input.
+    /// Runs a linear layer under this executor's mode: fake-quantized, or
+    /// natively on the integer engine when the precision supports it.
     ///
     /// # Errors
     ///
     /// Propagates quantizer and matmul errors.
     pub fn linear_forward(&self, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        if self.native() {
+            return native::linear_forward(lin, x, &self.precision);
+        }
         let xq = self.quant_activation_2d(x)?;
         let wq = self.quant_weight(&lin.weight.value)?;
         lin.forward_with_weight(&xq, &wq)
+    }
+
+    /// Runs a self-attention block with quantized q/k/v/out projections
+    /// (the attention math itself — scores, softmax, the value mix — stays
+    /// in f32, as on real accelerators where only the projections are
+    /// GEMMs worth quantizing).
+    ///
+    /// Under [`BlockPrecision::FP16`] this is bitwise identical to the
+    /// layer's plain inference forward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and matmul errors.
+    pub fn attention_forward(&self, attn: &SelfAttention2d, x: &Tensor) -> Result<Tensor> {
+        // Quantize each projection weight once per forward (the projector
+        // runs once per batch element per projection), and each input
+        // once: per batch element the projector is called in Q, K, V,
+        // Output order with Q/K/V sharing one input, so the input is
+        // quantized at Query and reused for Key/Value; Output consumes a
+        // different tensor and quantizes fresh.
+        if self.native() {
+            let prepared = AttnProjection::ALL
+                .iter()
+                .map(|&w| native::PreparedWeight::new(attn.projection_weight(w), &self.precision))
+                .collect::<Result<Vec<_>>>()?;
+            let mut qkv_input: Option<native::QuantizedActivation> = None;
+            return attn.forward_with_projector(x, &mut |xs, which| {
+                let pw = &prepared[which.index()];
+                match which {
+                    AttnProjection::Output => pw.project_prepared(&pw.prepare_input(xs)?),
+                    AttnProjection::Query => {
+                        let qa = pw.prepare_input(xs)?;
+                        let y = pw.project_prepared(&qa);
+                        qkv_input = Some(qa);
+                        y
+                    }
+                    AttnProjection::Key | AttnProjection::Value => {
+                        pw.project_prepared(qkv_input.as_ref().expect("Query projected first"))
+                    }
+                }
+            });
+        }
+        let quantized = AttnProjection::ALL
+            .iter()
+            .map(|&w| self.quant_weight(attn.projection_weight(w)))
+            .collect::<Result<Vec<_>>>()?;
+        let mut qkv_input: Option<Tensor> = None;
+        attn.forward_with_projector(x, &mut |xs, which| {
+            let xq = match which {
+                AttnProjection::Output => self.quant_activation_2d(xs)?,
+                AttnProjection::Query => {
+                    let xq = self.quant_activation_2d(xs)?;
+                    qkv_input = Some(xq.clone());
+                    xq
+                }
+                AttnProjection::Key | AttnProjection::Value => {
+                    qkv_input.as_ref().expect("Query projected first").clone()
+                }
+            };
+            Ok(matmul_a_bt(&xq, &quantized[which.index()])?)
+        })
     }
 }
 

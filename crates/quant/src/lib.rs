@@ -41,7 +41,8 @@ pub use error::{QuantError, Result};
 pub use format::{Granularity, IntGrid, QuantFormat, ScaleEncoding};
 pub use levels::{figure6_comparison, level_utilization, LevelUtilization};
 pub use policy::{
-    evaluate_cost, BlockKind, BlockPrecision, BlockProfile, CostSavings, PrecisionAssignment,
+    evaluate_cost, BlockKind, BlockPrecision, BlockProfile, CostSavings, ExecMode,
+    PrecisionAssignment,
 };
 pub use prune::{prune_2_4, prune_m_of_n, satisfies_m_of_n};
 pub use qtensor::{fake_quant, quant_rmse, ChannelLayout, QuantizedTensor};

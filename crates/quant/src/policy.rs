@@ -8,6 +8,37 @@
 
 use crate::format::QuantFormat;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// How quantized layers are executed.
+///
+/// `FakeQuant` is the evaluation methodology (quantize→dequantize, then
+/// f32 math); `NativeInt` runs the integer engine: operands stay in ≤8-bit
+/// codes, multiply-accumulate is exact i32, and one requantization step
+/// maps accumulators back to real values. Both paths share the same
+/// deterministic worker-pool partitioning, so each is bitwise reproducible
+/// at any `SQDM_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Quantize→dequantize, then f32 kernels (paper §II-A methodology).
+    #[default]
+    FakeQuant,
+    /// Integer kernels: i8 codes, i32 accumulation, requantized epilogue.
+    NativeInt,
+}
+
+impl ExecMode {
+    /// The process-wide default mode: `SQDM_EXEC=native-int` selects
+    /// [`ExecMode::NativeInt`]; anything else (or unset) selects
+    /// [`ExecMode::FakeQuant`]. Read once and cached.
+    pub fn from_env() -> ExecMode {
+        static DEFAULT: OnceLock<ExecMode> = OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("SQDM_EXEC") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("native-int") => ExecMode::NativeInt,
+            _ => ExecMode::FakeQuant,
+        })
+    }
+}
 
 /// The four block types of the EDM architecture (paper Figure 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -117,6 +148,11 @@ pub struct PrecisionAssignment {
     per_block: Vec<BlockPrecision>,
     /// Display name of the policy that produced this assignment.
     pub name: String,
+    /// Execution mode the assignment is evaluated under. Constructors
+    /// default this to [`ExecMode::from_env`], so `SQDM_EXEC=native-int`
+    /// switches every experiment to the integer engine without code
+    /// changes; [`PrecisionAssignment::with_mode`] overrides per run.
+    mode: ExecMode,
 }
 
 impl PrecisionAssignment {
@@ -125,6 +161,7 @@ impl PrecisionAssignment {
         PrecisionAssignment {
             per_block: vec![precision; n_blocks],
             name: name.into(),
+            mode: ExecMode::from_env(),
         }
     }
 
@@ -134,7 +171,19 @@ impl PrecisionAssignment {
         PrecisionAssignment {
             per_block,
             name: name.into(),
+            mode: ExecMode::from_env(),
         }
+    }
+
+    /// This assignment with an explicit execution mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The execution mode layers run under.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// The paper's mixed-precision policy (§III-A): the first `head` and
@@ -176,6 +225,7 @@ impl PrecisionAssignment {
             } else {
                 "Ours(MP-only)".to_string()
             },
+            mode: ExecMode::from_env(),
         }
     }
 

@@ -30,4 +30,4 @@ mod trace;
 pub use classify::{ChannelPartition, PAPER_THRESHOLD};
 pub use schedule::UpdateSchedule;
 pub use threshold::{best_balanced_threshold, threshold_sweep, ThresholdPoint};
-pub use trace::{channel_sparsity, TemporalTrace};
+pub use trace::{channel_sparsity, ChangeMask, TemporalTrace};

@@ -134,6 +134,40 @@ impl TemporalTrace {
         flips as f64 / ((self.data.len() - 1) * self.channels) as f64
     }
 
+    /// The temporal change mask at `step`: which channels' activations
+    /// must be recomputed, and which can ride along from the previous
+    /// denoising step.
+    ///
+    /// A channel is marked changed when its zero fraction moved by more
+    /// than `tol` since the previous step — the trace-level proxy for "the
+    /// channel's activation pattern shifted". **Step 0 is always fully
+    /// dense** (every channel changed): there is no previous step, so
+    /// there are no deltas to apply and the first evaluation must compute
+    /// everything. This is the mask the sparse-delta GEMM
+    /// (`sqdm_tensor::ops::int::qgemm_delta`) consumes, expanded to
+    /// reduction rows via [`ChangeMask::expand_rows`] for convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is outside the recorded range.
+    pub fn change_mask(&self, step: usize, tol: f64) -> ChangeMask {
+        assert!(
+            step < self.data.len(),
+            "step {step} out of range for a {}-step trace",
+            self.data.len()
+        );
+        let changed = if step == 0 {
+            vec![true; self.channels]
+        } else {
+            self.data[step]
+                .iter()
+                .zip(&self.data[step - 1])
+                .map(|(&now, &before)| (now - before).abs() > tol)
+                .collect()
+        };
+        ChangeMask { changed }
+    }
+
     /// Renders the trace as the paper's Figure 7 bitmap: one row per
     /// channel, one column per time step; `#` marks channels classified
     /// sparse at `threshold`, `.` dense.
@@ -147,6 +181,52 @@ impl TemporalTrace {
             s.push('\n');
         }
         s
+    }
+}
+
+/// Which channels changed between two consecutive denoising steps.
+///
+/// Produced by [`TemporalTrace::change_mask`]; consumed (after
+/// [`ChangeMask::expand_rows`]) by the sparse-delta GEMM, which skips the
+/// contributions of unchanged channels entirely.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeMask {
+    changed: Vec<bool>,
+}
+
+impl ChangeMask {
+    /// Per-channel change flags.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.changed
+    }
+
+    /// Number of channels that must be recomputed.
+    pub fn changed_count(&self) -> usize {
+        self.changed.iter().filter(|&&c| c).count()
+    }
+
+    /// Fraction of channels that must be recomputed (1.0 = fully dense).
+    pub fn fraction_changed(&self) -> f64 {
+        if self.changed.is_empty() {
+            return 1.0;
+        }
+        self.changed_count() as f64 / self.changed.len() as f64
+    }
+
+    /// True when every channel must be recomputed — no deltas to apply.
+    pub fn is_fully_dense(&self) -> bool {
+        self.changed.iter().all(|&c| c)
+    }
+
+    /// Expands the per-channel mask to GEMM reduction rows: each channel
+    /// owns `rows_per_channel` consecutive rows (for a convolution lowered
+    /// by im2col, `kh · kw`).
+    pub fn expand_rows(&self, rows_per_channel: usize) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.changed.len() * rows_per_channel);
+        for &c in &self.changed {
+            out.extend(std::iter::repeat_n(c, rows_per_channel));
+        }
+        out
     }
 }
 
@@ -219,6 +299,58 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].ends_with("#."));
         assert!(lines[1].ends_with(".#"));
+    }
+
+    /// Regression for the single-step (and first-step) case: step 0 has no
+    /// predecessor, so its change mask must be fully dense — every channel
+    /// recomputed, no deltas to apply — regardless of the tolerance.
+    #[test]
+    fn single_step_trace_has_fully_dense_step0_mask() {
+        let mut tr = TemporalTrace::new(3);
+        tr.push_step(vec![0.9, 0.0, 0.5]);
+        for tol in [0.0, 0.1, 1.0] {
+            let m = tr.change_mask(0, tol);
+            assert!(m.is_fully_dense(), "tol {tol}");
+            assert_eq!(m.changed_count(), 3);
+            assert_eq!(m.fraction_changed(), 1.0);
+            assert_eq!(m.as_slice(), &[true, true, true]);
+        }
+        // Still fully dense at step 0 of a longer trace.
+        tr.push_step(vec![0.9, 0.0, 0.5]);
+        assert!(tr.change_mask(0, 0.5).is_fully_dense());
+    }
+
+    #[test]
+    fn change_mask_flags_moved_channels_only() {
+        let mut tr = TemporalTrace::new(3);
+        tr.push_step(vec![0.5, 0.5, 0.5]);
+        tr.push_step(vec![0.5, 0.9, 0.45]);
+        let m = tr.change_mask(1, 0.1);
+        assert_eq!(m.as_slice(), &[false, true, false]);
+        assert_eq!(m.changed_count(), 1);
+        assert!((m.fraction_changed() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(!m.is_fully_dense());
+        // Tighter tolerance also catches the 0.05 move.
+        assert_eq!(tr.change_mask(1, 0.01).as_slice(), &[false, true, true]);
+    }
+
+    #[test]
+    fn change_mask_expands_to_reduction_rows() {
+        let mut tr = TemporalTrace::new(2);
+        tr.push_step(vec![0.0, 0.0]);
+        tr.push_step(vec![0.8, 0.0]);
+        let rows = tr.change_mask(1, 0.5).expand_rows(9); // 3x3 kernel
+        assert_eq!(rows.len(), 18);
+        assert!(rows[..9].iter().all(|&c| c));
+        assert!(rows[9..].iter().all(|&c| !c));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn change_mask_rejects_unrecorded_step() {
+        let mut tr = TemporalTrace::new(1);
+        tr.push_step(vec![0.5]);
+        let _ = tr.change_mask(1, 0.1);
     }
 
     #[test]

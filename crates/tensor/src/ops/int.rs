@@ -1,0 +1,749 @@
+//! Native integer execution kernels: i8×i8→i32 GEMM with scale/zero-point
+//! requantization, integer im2col/conv2d, and a temporal sparse-delta GEMM.
+//!
+//! The dense f32 kernels in this crate *simulate* quantization
+//! (quantize→dequantize, then float math). The kernels here execute the
+//! compute model the paper actually accelerates: operands stay in low-bit
+//! integer codes, multiply-accumulate runs in exact i32 arithmetic, and a
+//! single requantization step maps each block's accumulator back to real
+//! values. The sparse-delta GEMM additionally consumes a temporal change
+//! mask (`sqdm-sparsity`'s per-channel change masks, expanded to reduction
+//! rows) and only accumulates contributions from rows that changed since
+//! the previous denoising step — unchanged rows ride along from the
+//! previous output for free.
+//!
+//! Layout and determinism follow the f32 kernel layer: the left operand is
+//! a [`QuantizedMatrix`] whose per-row scale blocks tile the reduction
+//! dimension, the right operand is a row-major code matrix with one
+//! per-tensor scale/zero-point ([`XQuant`]), and output rows are fanned out
+//! over the [`crate::parallel`] worker pool in contiguous blocks. Every
+//! output element is produced by exactly one task running the serial inner
+//! loop in serial order, so results are bitwise identical at any
+//! `SQDM_THREADS`.
+//!
+//! **Accumulator range.** Block accumulators are i32, matching the
+//! accumulator width of real INT8 datapaths. One product is bounded by
+//! `128 · 255 = 32 640`, so a scale block may span up to ~65 000 reduction
+//! elements before overflow becomes possible — far beyond any layer in
+//! this workspace (the largest reduction is `C·kh·kw` of a convolution).
+
+use crate::error::{Result, TensorError};
+use crate::ops::Conv2dGeometry;
+use crate::parallel;
+use crate::tensor::Tensor;
+
+/// Per-tensor quantization parameters of the right-hand (activation)
+/// operand: `real = scale · (code − zero_point)`.
+///
+/// The workspace's symmetric formats always use `zero_point = 0`; the
+/// kernels still honor a nonzero zero point so asymmetric activation
+/// grids can be executed (and tested) without a separate code path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XQuant {
+    /// Real value of one code step.
+    pub scale: f32,
+    /// Code representing real zero.
+    pub zero_point: i32,
+}
+
+impl XQuant {
+    /// Symmetric per-tensor quantization (zero point 0).
+    pub fn symmetric(scale: f32) -> Self {
+        XQuant {
+            scale,
+            zero_point: 0,
+        }
+    }
+}
+
+/// An integer-code matrix with per-row scale blocks along its columns —
+/// the weight operand of the integer GEMM family.
+///
+/// `codes` is row-major `[rows, cols]`. Row `i` is requantized in blocks
+/// of `block_len` consecutive columns; `scales[i · n_blocks + b]` is the
+/// real value of one code step in block `b` of row `i`. Per-channel
+/// quantization is the single-block case (`block_len == cols`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    codes: Vec<i8>,
+    rows: usize,
+    cols: usize,
+    scales: Vec<f32>,
+    block_len: usize,
+}
+
+impl QuantizedMatrix {
+    /// Builds a matrix from codes and per-row blocked scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the code or scale
+    /// buffer length is inconsistent with `rows × cols` and the block
+    /// structure, or if `block_len` is zero while `cols` is not.
+    pub fn new(
+        codes: Vec<i8>,
+        rows: usize,
+        cols: usize,
+        scales: Vec<f32>,
+        block_len: usize,
+    ) -> Result<Self> {
+        if codes.len() != rows * cols {
+            return Err(TensorError::InvalidArgument {
+                op: "QuantizedMatrix::new",
+                reason: format!("{} codes for a {rows}x{cols} matrix", codes.len()),
+            });
+        }
+        if cols > 0 && block_len == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "QuantizedMatrix::new",
+                reason: "block_len must be nonzero for a nonempty matrix".into(),
+            });
+        }
+        let n_blocks = if cols == 0 {
+            0
+        } else {
+            cols.div_ceil(block_len)
+        };
+        if scales.len() != rows * n_blocks {
+            return Err(TensorError::InvalidArgument {
+                op: "QuantizedMatrix::new",
+                reason: format!(
+                    "{} scales for {rows} rows x {n_blocks} blocks",
+                    scales.len()
+                ),
+            });
+        }
+        Ok(QuantizedMatrix {
+            codes,
+            rows,
+            cols,
+            scales,
+            block_len,
+        })
+    }
+
+    /// Builds a per-channel matrix: one scale per row, a single block
+    /// spanning all columns.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantizedMatrix::new`].
+    pub fn per_channel(codes: Vec<i8>, rows: usize, cols: usize, scales: Vec<f32>) -> Result<Self> {
+        Self::new(codes, rows, cols, scales, cols.max(1))
+    }
+
+    /// Number of rows (output channels of the GEMM).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the reduction length).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Scale-block length along the columns.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Number of scale blocks per row.
+    pub fn n_blocks(&self) -> usize {
+        if self.cols == 0 {
+            0
+        } else {
+            self.cols.div_ceil(self.block_len)
+        }
+    }
+
+    /// The integer codes, row-major.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The per-row blocked scales, `[rows, n_blocks]` row-major.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+}
+
+fn check_qgemm(op: &'static str, w: &QuantizedMatrix, x_len: usize, n: usize) -> Result<()> {
+    if x_len != w.cols * n {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: vec![w.rows, w.cols],
+            rhs: vec![x_len / n.max(1), n],
+        });
+    }
+    Ok(())
+}
+
+/// Integer GEMM with requantization: `out[i, j] = x.scale · Σ_b w.scale[i, b]
+/// · Σ_{k ∈ block b} w[i, k] · (x[k, j] − x.zero_point)`.
+///
+/// `w` is `[m, k]`, `x_codes` is row-major `[k, n]`, `out` is `[m, n]` and
+/// is fully overwritten. The per-block i32 accumulation is exact; the only
+/// roundings are the two f32 scale multiplies per block, so for
+/// power-of-two scales the result is bitwise identical to the fake-quant
+/// f32 reference (which accumulates the same products in the same
+/// ascending-`k` order).
+///
+/// Zero weight codes are skipped — exact in integer arithmetic, unlike the
+/// IEEE-invalid f32 zero-skip removed in PR 2.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if buffer lengths disagree with
+/// the shapes.
+pub fn qgemm(
+    w: &QuantizedMatrix,
+    x_codes: &[i8],
+    n: usize,
+    xq: XQuant,
+    out: &mut [f32],
+) -> Result<()> {
+    check_qgemm("qgemm", w, x_codes.len(), n)?;
+    if out.len() != w.rows * n {
+        return Err(TensorError::ShapeMismatch {
+            op: "qgemm(out)",
+            lhs: vec![out.len()],
+            rhs: vec![w.rows, n],
+        });
+    }
+    if w.rows == 0 || n == 0 {
+        return Ok(());
+    }
+    let k = w.cols;
+    let nb = w.n_blocks();
+    // Widen the activation codes (zero point folded in) once, outside the
+    // m-fold inner loops: the hot loop then reduces to a broadcast
+    // multiply-accumulate over i32 lanes, which vectorizes like the f32
+    // GEMM core. The widened copy costs k·n — amortized over m rows.
+    let xi = widen_codes(x_codes, xq.zero_point);
+    parallel::par_chunks_mut(out, n, 2 * k * n, |i, o_row| {
+        o_row.fill(0.0);
+        let mut acc = vec![0i32; n];
+        let w_row = &w.codes[i * k..(i + 1) * k];
+        for b in 0..nb {
+            let k0 = b * w.block_len;
+            let k1 = (k0 + w.block_len).min(k);
+            acc.fill(0);
+            for (kk, &w_ik) in w_row[k0..k1].iter().enumerate() {
+                if w_ik == 0 {
+                    continue;
+                }
+                let w_ik = w_ik as i32;
+                let x_row = &xi[(k0 + kk) * n..(k0 + kk + 1) * n];
+                for (a, &x_kj) in acc.iter_mut().zip(x_row.iter()) {
+                    *a += w_ik * x_kj;
+                }
+            }
+            let s = w.scales[i * nb + b] * xq.scale;
+            for (o, &a) in o_row.iter_mut().zip(acc.iter()) {
+                *o += a as f32 * s;
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Widens i8 codes to zero-point-adjusted i32, in parallel for large
+/// buffers.
+fn widen_codes(codes: &[i8], zero_point: i32) -> Vec<i32> {
+    let mut out = vec![0i32; codes.len()];
+    if codes.is_empty() {
+        return out;
+    }
+    let chunk = parallel::elementwise_chunk_len(codes.len());
+    parallel::par_chunks_mut(&mut out, chunk, chunk, |ci, block| {
+        let src = &codes[ci * chunk..ci * chunk + block.len()];
+        for (o, &c) in block.iter_mut().zip(src.iter()) {
+            *o = c as i32 - zero_point;
+        }
+    });
+    out
+}
+
+/// Temporal sparse-delta GEMM: recomputes only the contributions of
+/// reduction rows whose activation changed since the previous step.
+///
+/// Given the previous step's output `prev_out = qgemm(w, x_prev)` and a
+/// change mask over the `k` reduction rows, computes
+///
+/// ```text
+/// out[i, j] = prev_out[i, j]
+///           + x.scale · Σ_b w.scale[i, b] · Σ_{k ∈ b, changed[k]}
+///                 w[i, k] · (x_curr[k, j] − x_prev[k, j])
+/// ```
+///
+/// which equals the dense `qgemm(w, x_curr)` whenever the mask covers
+/// every row that actually differs (zero points cancel in the code
+/// delta). Rows marked unchanged are not read at all, so the arithmetic
+/// cost scales with the changed fraction — the paper's temporal-sparsity
+/// win. Both steps must share one activation scale (static calibration),
+/// otherwise the code-space delta is meaningless.
+///
+/// The mask typically comes from
+/// `sqdm_sparsity::TemporalTrace::change_mask`, expanded to reduction
+/// rows for convolutions (each channel owns `kh·kw` consecutive rows).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on any buffer-length
+/// disagreement (codes, mask, previous output, output).
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+pub fn qgemm_delta(
+    w: &QuantizedMatrix,
+    x_curr: &[i8],
+    x_prev: &[i8],
+    changed: &[bool],
+    n: usize,
+    xq: XQuant,
+    prev_out: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    check_qgemm("qgemm_delta", w, x_curr.len(), n)?;
+    if x_prev.len() != x_curr.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "qgemm_delta(prev)",
+            lhs: vec![x_prev.len()],
+            rhs: vec![x_curr.len()],
+        });
+    }
+    if changed.len() != w.cols {
+        return Err(TensorError::ShapeMismatch {
+            op: "qgemm_delta(mask)",
+            lhs: vec![changed.len()],
+            rhs: vec![w.cols],
+        });
+    }
+    if out.len() != w.rows * n || prev_out.len() != out.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "qgemm_delta(out)",
+            lhs: vec![prev_out.len(), out.len()],
+            rhs: vec![w.rows, n],
+        });
+    }
+    if w.rows == 0 || n == 0 {
+        return Ok(());
+    }
+    let k = w.cols;
+    let nb = w.n_blocks();
+    // Widen the code deltas of the *changed* rows once (zero points
+    // cancel); unchanged rows stay zero and are never read. As in
+    // [`qgemm`], this keeps the hot loop a vectorizable i32
+    // multiply-accumulate.
+    let mut di = vec![0i32; x_curr.len()];
+    parallel::par_chunks_mut(&mut di, n, 2 * n, |row, block| {
+        if changed[row] {
+            let cur = &x_curr[row * n..row * n + block.len()];
+            let prv = &x_prev[row * n..row * n + block.len()];
+            for ((o, &c), &p) in block.iter_mut().zip(cur.iter()).zip(prv.iter()) {
+                *o = c as i32 - p as i32;
+            }
+        }
+    });
+    parallel::par_chunks_mut(out, n, 2 * k * n, |i, o_row| {
+        o_row.copy_from_slice(&prev_out[i * n..(i + 1) * n]);
+        let mut acc = vec![0i32; n];
+        let w_row = &w.codes[i * k..(i + 1) * k];
+        for b in 0..nb {
+            let k0 = b * w.block_len;
+            let k1 = (k0 + w.block_len).min(k);
+            if !changed[k0..k1].iter().any(|&c| c) {
+                continue;
+            }
+            acc.fill(0);
+            for (kk, &w_ik) in w_row[k0..k1].iter().enumerate() {
+                if w_ik == 0 || !changed[k0 + kk] {
+                    continue;
+                }
+                let w_ik = w_ik as i32;
+                let d_row = &di[(k0 + kk) * n..(k0 + kk + 1) * n];
+                for (a, &d_kj) in acc.iter_mut().zip(d_row.iter()) {
+                    *a += w_ik * d_kj;
+                }
+            }
+            let s = w.scales[i * nb + b] * xq.scale;
+            for (o, &a) in o_row.iter_mut().zip(acc.iter()) {
+                *o += a as f32 * s;
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Packs the transpose of a row-major `[rows, cols]` code matrix into a
+/// new row-major `[cols, rows]` buffer (the integer analogue of the f32
+/// `pack_transpose`, used to feed `[batch, features]` activations to
+/// [`qgemm`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `src.len() != rows · cols`.
+pub fn transpose_i8(src: &[i8], rows: usize, cols: usize) -> Result<Vec<i8>> {
+    if src.len() != rows * cols {
+        return Err(TensorError::InvalidArgument {
+            op: "transpose_i8",
+            reason: format!("{} codes for a {rows}x{cols} matrix", src.len()),
+        });
+    }
+    let mut out = vec![0i8; src.len()];
+    if rows == 0 || cols == 0 {
+        return Ok(out);
+    }
+    parallel::par_chunks_mut(&mut out, rows, 2 * rows, |j, o_row| {
+        for (i, o) in o_row.iter_mut().enumerate() {
+            *o = src[i * cols + j];
+        }
+    });
+    Ok(out)
+}
+
+/// Integer im2col: lowers an `[N, C, H, W]` code map into the
+/// `[C·kh·kw, N·oh·ow]` GEMM operand, exactly mirroring the f32
+/// [`crate::ops::im2col`] layout.
+///
+/// Padding positions are filled with `pad_code` — the code representing
+/// real zero, i.e. the activation zero point (0 for the workspace's
+/// symmetric formats).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the code buffer does not
+/// match the dimensions, or geometry errors from
+/// [`Conv2dGeometry::out_extent`].
+#[allow(clippy::too_many_arguments)] // mirrors the f32 im2col geometry tuple
+pub fn im2col_i8(
+    codes: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    geom: Conv2dGeometry,
+    pad_code: i8,
+) -> Result<Vec<i8>> {
+    if codes.len() != n * c * h * w {
+        return Err(TensorError::InvalidArgument {
+            op: "im2col_i8",
+            reason: format!("{} codes for [{n}, {c}, {h}, {w}]", codes.len()),
+        });
+    }
+    let oh = geom.out_extent(h, kh)?;
+    let ow = geom.out_extent(w, kw)?;
+    let rows = c * kh * kw;
+    let cols = n * oh * ow;
+    let mut out = vec![pad_code; rows * cols];
+    if rows > 0 && cols > 0 {
+        parallel::par_chunks_mut(&mut out, cols, 2 * cols, |row, o_row| {
+            let cc = row / (kh * kw);
+            let ky = (row / kw) % kh;
+            let kx = row % kw;
+            for nn in 0..n {
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_row = &codes[((nn * c + cc) * h + iy as usize) * w..][..w];
+                    let o_base = (nn * oh + oy) * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        o_row[o_base + ox] = in_row[ix as usize];
+                    }
+                }
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Native integer 2-D convolution: integer im2col, [`qgemm`], then the
+/// same `[K, N·oh·ow] → [N, K, oh, ow]` epilogue (with bias) as the f32
+/// [`crate::ops::conv2d`].
+///
+/// * `x_codes`: activation codes, `[N, C, H, W]` row-major
+/// * `wq`: weight codes `[K, C·kh·kw]` with per-row scale blocks
+/// * `bias`: optional `[K]` real-valued bias
+///
+/// # Errors
+///
+/// Returns shape/geometry errors from the lowering or the GEMM, and
+/// [`TensorError::ShapeMismatch`] if `wq` or `bias` disagree with the
+/// activation geometry.
+#[allow(clippy::too_many_arguments)] // conv geometry + quantization params
+pub fn conv2d_i8(
+    x_codes: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    wq: &QuantizedMatrix,
+    kh: usize,
+    kw: usize,
+    bias: Option<&[f32]>,
+    geom: Conv2dGeometry,
+    xq: XQuant,
+) -> Result<Tensor> {
+    if wq.cols() != c * kh * kw {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_i8",
+            lhs: vec![wq.rows(), wq.cols()],
+            rhs: vec![c * kh * kw],
+        });
+    }
+    let k = wq.rows();
+    if let Some(b) = bias {
+        if b.len() != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_i8(bias)",
+                lhs: vec![b.len()],
+                rhs: vec![k],
+            });
+        }
+    }
+    let oh = geom.out_extent(h, kh)?;
+    let ow = geom.out_extent(w, kw)?;
+    let pad_code = xq.zero_point.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+    let cols = im2col_i8(x_codes, n, c, h, w, kh, kw, geom, pad_code)?;
+    let ncols = n * oh * ow;
+    let mut prod = vec![0.0f32; k * ncols];
+    qgemm(wq, &cols, ncols, xq, &mut prod)?;
+
+    let spatial = oh * ow;
+    let mut out = vec![0.0f32; n * k * spatial];
+    if n * k > 0 && spatial > 0 {
+        parallel::par_chunks_mut(&mut out, spatial, 2 * spatial, |plane, dst| {
+            let nn = plane / k;
+            let kk = plane % k;
+            let b = bias.map(|b| b[kk]).unwrap_or(0.0);
+            let src = &prod[kk * n * spatial + nn * spatial..kk * n * spatial + (nn + 1) * spatial];
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = s + b;
+            }
+        });
+    }
+    Tensor::from_vec(out, [n, k, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::with_threads;
+
+    /// Reference f64 requantized GEMM, straight from the definition.
+    fn naive(w: &QuantizedMatrix, x: &[i8], n: usize, xq: XQuant) -> Vec<f32> {
+        let (m, k, nb) = (w.rows(), w.cols(), w.n_blocks());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut y = 0.0f32;
+                for b in 0..nb {
+                    let k0 = b * w.block_len();
+                    let k1 = (k0 + w.block_len()).min(k);
+                    let mut acc = 0i32;
+                    for kk in k0..k1 {
+                        acc +=
+                            w.codes()[i * k + kk] as i32 * (x[kk * n + j] as i32 - xq.zero_point);
+                    }
+                    y += acc as f32 * (w.scales()[i * nb + b] * xq.scale);
+                }
+                out[i * n + j] = y;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn qgemm_matches_naive_reference() {
+        // 3x4 weights (two scale blocks of 2) times 4x5 activations.
+        let codes: Vec<i8> = (0..12).map(|v| (v as i8) - 6).collect();
+        let scales = vec![0.5, 0.25, 1.0, 0.125, 2.0, 0.5];
+        let w = QuantizedMatrix::new(codes, 3, 4, scales, 2).unwrap();
+        let x: Vec<i8> = (0..20).map(|v| ((v * 7) % 23) as i8 - 11).collect();
+        let xq = XQuant {
+            scale: 0.0625,
+            zero_point: 3,
+        };
+        let mut out = vec![0.0f32; 15];
+        qgemm(&w, &x, 5, xq, &mut out).unwrap();
+        assert_eq!(out, naive(&w, &x, 5, xq));
+    }
+
+    #[test]
+    fn qgemm_is_bitwise_deterministic_across_threads() {
+        let codes: Vec<i8> = (0..64 * 48).map(|v| ((v * 31) % 251) as i8).collect();
+        let scales: Vec<f32> = (0..64 * 3).map(|v| 0.01 + v as f32 * 1e-4).collect();
+        let w = QuantizedMatrix::new(codes, 64, 48, scales, 16).unwrap();
+        let x: Vec<i8> = (0..48 * 33).map(|v| ((v * 17) % 199) as i8).collect();
+        let xq = XQuant::symmetric(0.03);
+        let mut serial = vec![0.0f32; 64 * 33];
+        with_threads(1, || qgemm(&w, &x, 33, xq, &mut serial).unwrap());
+        for t in [2usize, 7] {
+            let mut par = vec![0.0f32; 64 * 33];
+            with_threads(t, || qgemm(&w, &x, 33, xq, &mut par).unwrap());
+            let sb: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u32> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, pb, "qgemm differs at {t} threads");
+        }
+    }
+
+    #[test]
+    fn qgemm_delta_with_full_mask_matches_dense() {
+        let codes: Vec<i8> = (0..6 * 8).map(|v| ((v * 13) % 127) as i8 - 60).collect();
+        let scales: Vec<f32> = (0i32..12).map(|b| 0.5f32.powi(b % 5 + 1)).collect();
+        let w = QuantizedMatrix::new(codes, 6, 8, scales, 4).unwrap();
+        let prev: Vec<i8> = (0..8 * 5).map(|v| ((v * 11) % 200) as i8).collect();
+        let curr: Vec<i8> = prev.iter().map(|&v| v.wrapping_add(3)).collect();
+        let xq = XQuant {
+            scale: 0.25,
+            zero_point: -2,
+        };
+        let mut prev_out = vec![0.0f32; 30];
+        qgemm(&w, &prev, 5, xq, &mut prev_out).unwrap();
+        let mut dense = vec![0.0f32; 30];
+        qgemm(&w, &curr, 5, xq, &mut dense).unwrap();
+        let mut delta = vec![0.0f32; 30];
+        qgemm_delta(&w, &curr, &prev, &[true; 8], 5, xq, &prev_out, &mut delta).unwrap();
+        // Power-of-two scales keep every intermediate exact: bitwise match.
+        for (d, e) in delta.iter().zip(dense.iter()) {
+            assert_eq!(d.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn qgemm_delta_skips_unchanged_rows_exactly() {
+        // Only rows 1 and 3 change; the mask marks exactly those, and the
+        // delta result must equal the dense recomputation.
+        let w =
+            QuantizedMatrix::per_channel(vec![1, -2, 3, -4, 5, -6, 7, -8], 2, 4, vec![0.5, 0.25])
+                .unwrap();
+        let prev: Vec<i8> = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120];
+        let mut curr = prev.clone();
+        for j in 0..3 {
+            curr[3 + j] = curr[3 + j].wrapping_add(5); // row 1
+            curr[9 + j] = curr[9 + j].wrapping_sub(7); // row 3
+        }
+        let xq = XQuant::symmetric(0.125);
+        let mut prev_out = vec![0.0f32; 6];
+        qgemm(&w, &prev, 3, xq, &mut prev_out).unwrap();
+        let mut dense = vec![0.0f32; 6];
+        qgemm(&w, &curr, 3, xq, &mut dense).unwrap();
+        let mut delta = vec![0.0f32; 6];
+        qgemm_delta(
+            &w,
+            &curr,
+            &prev,
+            &[false, true, false, true],
+            3,
+            xq,
+            &prev_out,
+            &mut delta,
+        )
+        .unwrap();
+        assert_eq!(delta, dense);
+    }
+
+    #[test]
+    fn transpose_i8_round_trips() {
+        let src: Vec<i8> = (0..15).map(|v| v as i8 - 7).collect();
+        let t = transpose_i8(&src, 3, 5).unwrap();
+        assert_eq!(t[0], src[0]);
+        assert_eq!(t[1], src[5]);
+        assert_eq!(transpose_i8(&t, 5, 3).unwrap(), src);
+        assert!(transpose_i8(&src, 4, 5).is_err());
+    }
+
+    #[test]
+    fn im2col_i8_matches_f32_im2col_layout() {
+        let codes: Vec<i8> = (0..2 * 2 * 4 * 4).map(|v| (v % 17) as i8 - 8).collect();
+        let geom = Conv2dGeometry::new(2, 1);
+        let ic = im2col_i8(&codes, 2, 2, 4, 4, 3, 3, geom, 0).unwrap();
+        let xf = Tensor::from_vec(codes.iter().map(|&v| v as f32).collect(), [2, 2, 4, 4]).unwrap();
+        let fc = crate::ops::im2col(&xf, 3, 3, geom).unwrap();
+        assert_eq!(ic.len(), fc.len());
+        for (a, b) in ic.iter().zip(fc.as_slice()) {
+            assert_eq!(*a as f32, *b);
+        }
+    }
+
+    #[test]
+    fn im2col_i8_pads_with_zero_point_code() {
+        // 1x1x2x2 input, 3x3 kernel, padding 1: corners of the matrix are
+        // entirely padding and must carry the zero-point code.
+        let codes: Vec<i8> = vec![1, 2, 3, 4];
+        let ic = im2col_i8(&codes, 1, 1, 2, 2, 3, 3, Conv2dGeometry::same(3), 5).unwrap();
+        // Row 0 (ky=0, kx=0) column 0 (oy=0, ox=0) reads input (-1, -1): pad.
+        assert_eq!(ic[0], 5);
+        // Center row (ky=1, kx=1) is the identity gather: no padding.
+        let center = 4; // (ky * kw + kx) with ky = kx = 1
+        assert_eq!(&ic[center * 4..center * 4 + 4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn conv2d_i8_matches_f32_conv_on_pow2_scales() {
+        // Codes and power-of-two scales: the f32 conv over dequantized
+        // operands is exact, so the integer path must match bitwise.
+        let xc: Vec<i8> = (0..50).map(|v| ((v * 29) % 255) as i8).collect(); // [1, 2, 5, 5]
+        let wc: Vec<i8> = (0..54).map(|v| ((v * 37) % 251) as i8).collect(); // [3, 2, 3, 3]
+        let w_scales = vec![0.5f32, 0.25, 0.125];
+        let xq = XQuant::symmetric(0.0625);
+        let bias = vec![0.75f32, -1.5, 3.0];
+        let geom = Conv2dGeometry::same(3);
+
+        let wq = QuantizedMatrix::per_channel(wc.clone(), 3, 18, w_scales.clone()).unwrap();
+        let yi = conv2d_i8(&xc, 1, 2, 5, 5, &wq, 3, 3, Some(&bias), geom, xq).unwrap();
+
+        let xf = Tensor::from_vec(
+            xc.iter().map(|&v| v as f32 * xq.scale).collect(),
+            [1, 2, 5, 5],
+        )
+        .unwrap();
+        let wf = Tensor::from_vec(
+            wc.iter()
+                .enumerate()
+                .map(|(i, &v)| v as f32 * w_scales[i / 18])
+                .collect(),
+            [3, 2, 3, 3],
+        )
+        .unwrap();
+        let bf = Tensor::from_vec(bias.clone(), [3]).unwrap();
+        let yf = crate::ops::conv2d(&xf, &wf, Some(&bf), geom).unwrap();
+        assert_eq!(yi.dims(), yf.dims());
+        for (a, b) in yi.as_slice().iter().zip(yf.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let w = QuantizedMatrix::per_channel(vec![1, 2, 3, 4], 2, 2, vec![1.0, 1.0]).unwrap();
+        let xq = XQuant::symmetric(1.0);
+        let mut out = vec![0.0f32; 4];
+        assert!(qgemm(&w, &[1i8; 5], 2, xq, &mut out).is_err());
+        assert!(qgemm(&w, &[1i8; 4], 2, xq, &mut [0.0f32; 3]).is_err());
+        assert!(qgemm_delta(&w, &[1; 4], &[1; 3], &[true; 2], 2, xq, &[0.0; 4], &mut out).is_err());
+        assert!(qgemm_delta(&w, &[1; 4], &[1; 4], &[true; 3], 2, xq, &[0.0; 4], &mut out).is_err());
+        assert!(QuantizedMatrix::new(vec![1], 1, 2, vec![1.0], 2).is_err());
+        assert!(QuantizedMatrix::new(vec![1, 2], 1, 2, vec![1.0, 1.0], 1).is_ok());
+        assert!(QuantizedMatrix::new(vec![1, 2], 1, 2, vec![1.0], 0).is_err());
+        assert!(im2col_i8(&[1i8; 3], 1, 1, 2, 2, 3, 3, Conv2dGeometry::same(3), 0).is_err());
+    }
+
+    #[test]
+    fn empty_operands_yield_empty_or_zero() {
+        let w = QuantizedMatrix::per_channel(Vec::new(), 0, 3, Vec::new()).unwrap();
+        let mut out = Vec::new();
+        qgemm(&w, &[1i8; 6], 2, XQuant::symmetric(1.0), &mut out).unwrap();
+        // Zero-length reduction: no scale blocks exist, output is zeroed.
+        let wk0 = QuantizedMatrix::per_channel(Vec::new(), 2, 0, Vec::new()).unwrap();
+        let mut out2 = vec![9.0f32; 4];
+        qgemm(&wk0, &[], 2, XQuant::symmetric(1.0), &mut out2).unwrap();
+        assert_eq!(out2, vec![0.0; 4]);
+    }
+}

@@ -2,6 +2,7 @@
 
 mod activation;
 mod conv;
+pub mod int;
 mod linalg;
 mod matmul;
 mod softmax;

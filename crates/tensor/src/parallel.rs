@@ -414,7 +414,7 @@ pub fn par_zip_inplace(
 
 /// Chunk length for elementwise sweeps: large enough to amortize
 /// dispatch, small enough to split across the pool.
-fn elementwise_chunk_len(len: usize) -> usize {
+pub(crate) fn elementwise_chunk_len(len: usize) -> usize {
     len.div_ceil(current_threads().max(1)).clamp(1, 1 << 14)
 }
 

@@ -1,0 +1,229 @@
+//! Golden-value tests for the native integer kernels.
+//!
+//! Every case here is small enough to compute by hand: the i32
+//! accumulators are written out in comments, and the expected requantized
+//! outputs are asserted **exactly** (the chosen scales are powers of two,
+//! so no f32 rounding is involved anywhere). These pins are what keep the
+//! integer engine honest under refactors — a wrong zero point, a swapped
+//! scale index or an i8 overflow shows up as a concrete wrong number, not
+//! a tolerance drift.
+
+use sqdm_tensor::ops::int::{conv2d_i8, qgemm, qgemm_delta, QuantizedMatrix, XQuant};
+use sqdm_tensor::ops::Conv2dGeometry;
+
+/// Unit scales make the kernel output the raw i32 accumulators.
+#[test]
+fn gemm_accumulators_match_hand_computation() {
+    // w = | 1 -2  3 |   x = | 10 -1 |
+    //     | 0  4 -5 |       |  2  0 |
+    //                       | -3  7 |
+    let w = QuantizedMatrix::per_channel(vec![1, -2, 3, 0, 4, -5], 2, 3, vec![1.0, 1.0]).unwrap();
+    let x: Vec<i8> = vec![10, -1, 2, 0, -3, 7];
+    let mut out = vec![0.0f32; 4];
+    qgemm(&w, &x, 2, XQuant::symmetric(1.0), &mut out).unwrap();
+    // acc[0,0] = 1·10 − 2·2 + 3·(−3)  = −3
+    // acc[0,1] = 1·(−1) − 2·0 + 3·7   = 20
+    // acc[1,0] = 0·10 + 4·2 − 5·(−3)  = 23
+    // acc[1,1] = 0·(−1) + 4·0 − 5·7   = −35
+    assert_eq!(out, vec![-3.0, 20.0, 23.0, -35.0]);
+}
+
+/// Per-channel scales requantize each output row independently.
+#[test]
+fn gemm_per_channel_requantization() {
+    let w = QuantizedMatrix::per_channel(vec![1, -2, 3, 0, 4, -5], 2, 3, vec![0.5, 0.25]).unwrap();
+    let x: Vec<i8> = vec![10, -1, 2, 0, -3, 7];
+    let mut out = vec![0.0f32; 4];
+    qgemm(&w, &x, 2, XQuant::symmetric(0.5), &mut out).unwrap();
+    // Same accumulators as above, scaled by w_scale[row] · x_scale:
+    // row 0: (−3, 20) · 0.5 · 0.5  = (−0.75, 5.0)
+    // row 1: (23, −35) · 0.25 · 0.5 = (2.875, −4.375)
+    assert_eq!(out, vec![-0.75, 5.0, 2.875, -4.375]);
+}
+
+/// A nonzero activation zero point shifts every code before the MAC.
+#[test]
+fn gemm_zero_point_is_subtracted() {
+    let w = QuantizedMatrix::per_channel(vec![2, -1], 1, 2, vec![0.5]).unwrap();
+    // Codes 5..7 with zero point 5 represent reals 0, 0.25, 0.5, −0.5.
+    let x: Vec<i8> = vec![5, 6, 7, 3];
+    let mut out = vec![0.0f32; 2];
+    let xq = XQuant {
+        scale: 0.25,
+        zero_point: 5,
+    };
+    qgemm(&w, &x, 2, xq, &mut out).unwrap();
+    // acc[0,0] = 2·(5−5) − 1·(7−5) = −2  → −2 · 0.5 · 0.25 = −0.25
+    // acc[0,1] = 2·(6−5) − 1·(3−5) =  4  →  4 · 0.5 · 0.25 =  0.5
+    assert_eq!(out, vec![-0.25, 0.5]);
+}
+
+/// i8::MIN is a legal code: products reach 128², and the accumulator must
+/// hold them without overflow or sign surprises.
+#[test]
+fn gemm_saturation_edge_codes() {
+    let w = QuantizedMatrix::per_channel(vec![-128, 127], 1, 2, vec![1.0]).unwrap();
+    let x: Vec<i8> = vec![-128, 127];
+    let mut out = vec![0.0f32; 1];
+    qgemm(&w, &x, 1, XQuant::symmetric(1.0), &mut out).unwrap();
+    // acc = (−128)·(−128) + 127·127 = 16384 + 16129 = 32513
+    assert_eq!(out, vec![32513.0]);
+
+    // Worst-case negative accumulation over k = 4: 4 · (−128·127).
+    let w2 = QuantizedMatrix::per_channel(vec![-128; 4], 1, 4, vec![1.0]).unwrap();
+    let x2: Vec<i8> = vec![127; 4];
+    let mut out2 = vec![0.0f32; 1];
+    qgemm(&w2, &x2, 1, XQuant::symmetric(1.0), &mut out2).unwrap();
+    assert_eq!(out2, vec![-65024.0]);
+
+    // Zero point −128 pushes |x − zp| to 255, the asymmetric extreme.
+    let w3 = QuantizedMatrix::per_channel(vec![127], 1, 1, vec![1.0]).unwrap();
+    let mut out3 = vec![0.0f32; 1];
+    let xq = XQuant {
+        scale: 1.0,
+        zero_point: -128,
+    };
+    qgemm(&w3, &[127i8], 1, xq, &mut out3).unwrap();
+    // acc = 127 · (127 − (−128)) = 127 · 255 = 32385
+    assert_eq!(out3, vec![32385.0]);
+}
+
+/// Blocked weight scales requantize each reduction block separately.
+#[test]
+fn gemm_blocked_scales() {
+    // One row [1, 1, 2, 2], two blocks of 2 with scales 0.5 and 0.25.
+    let w = QuantizedMatrix::new(vec![1, 1, 2, 2], 1, 4, vec![0.5, 0.25], 2).unwrap();
+    let x: Vec<i8> = vec![4, 4, 4, 4];
+    let mut out = vec![0.0f32; 1];
+    qgemm(&w, &x, 1, XQuant::symmetric(1.0), &mut out).unwrap();
+    // block 0: (1·4 + 1·4) = 8  → 8 · 0.5  = 4
+    // block 1: (2·4 + 2·4) = 16 → 16 · 0.25 = 4
+    assert_eq!(out, vec![8.0]);
+}
+
+/// 2×2 valid convolution on a 3×3 code map, hand-traced.
+#[test]
+fn conv_accumulators_match_hand_computation() {
+    // x = | 1 2 3 |   w = |  2  0 |
+    //     | 4 5 6 |       |  0 −1 |
+    //     | 7 8 9 |
+    let xc: Vec<i8> = vec![1, 2, 3, 4, 5, 6, 7, 8, 9];
+    let wq = QuantizedMatrix::per_channel(vec![2, 0, 0, -1], 1, 4, vec![0.5]).unwrap();
+    let y = conv2d_i8(
+        &xc,
+        1,
+        1,
+        3,
+        3,
+        &wq,
+        2,
+        2,
+        Some(&[0.25]),
+        Conv2dGeometry::new(1, 0),
+        XQuant::symmetric(1.0),
+    )
+    .unwrap();
+    assert_eq!(y.dims(), &[1, 1, 2, 2]);
+    // acc = 2·topleft − bottomright per window: (−3, −2, 0, 1)
+    // requant ·0.5 + bias 0.25: (−1.25, −0.75, 0.25, 0.75)
+    assert_eq!(y.as_slice(), &[-1.25, -0.75, 0.25, 0.75]);
+}
+
+/// Padding must contribute the zero-point code, i.e. real zero: a
+/// constant-zero input (codes == zero point) convolves to pure bias.
+#[test]
+fn conv_padding_respects_zero_point() {
+    let xc: Vec<i8> = vec![7; 4]; // 1×1×2×2, all codes at the zero point
+    let wq =
+        QuantizedMatrix::per_channel(vec![1, 2, 3, 4, 5, 6, 7, 8, 9], 1, 9, vec![1.0]).unwrap();
+    let y = conv2d_i8(
+        &xc,
+        1,
+        1,
+        2,
+        2,
+        &wq,
+        3,
+        3,
+        Some(&[1.5]),
+        Conv2dGeometry::same(3),
+        XQuant {
+            scale: 0.125,
+            zero_point: 7,
+        },
+    )
+    .unwrap();
+    assert_eq!(y.dims(), &[1, 1, 2, 2]);
+    for &v in y.as_slice() {
+        assert_eq!(v, 1.5);
+    }
+}
+
+/// The delta GEMM applies exactly the masked rows' contribution change.
+#[test]
+fn delta_gemm_hand_computation() {
+    let w = QuantizedMatrix::per_channel(vec![1, 2], 1, 2, vec![1.0]).unwrap();
+    let xq = XQuant::symmetric(1.0);
+    let prev: Vec<i8> = vec![1, 2]; // column vector [k=2, n=1]
+    let curr: Vec<i8> = vec![3, 2]; // only row 0 changed
+    let mut prev_out = vec![0.0f32; 1];
+    qgemm(&w, &prev, 1, xq, &mut prev_out).unwrap();
+    assert_eq!(prev_out, vec![5.0]); // 1·1 + 2·2
+
+    let mut out = vec![0.0f32; 1];
+    qgemm_delta(&w, &curr, &prev, &[true, false], 1, xq, &prev_out, &mut out).unwrap();
+    // delta = 1·(3−1) = 2 → 5 + 2 = 7 = dense recomputation 1·3 + 2·2.
+    assert_eq!(out, vec![7.0]);
+
+    // A mask that misses the changed row reuses the stale contribution:
+    // the kernel trusts the mask — correctness is the mask producer's job.
+    let mut stale = vec![0.0f32; 1];
+    qgemm_delta(
+        &w,
+        &curr,
+        &prev,
+        &[false, false],
+        1,
+        xq,
+        &prev_out,
+        &mut stale,
+    )
+    .unwrap();
+    assert_eq!(stale, vec![5.0]);
+}
+
+/// The delta path must also honor zero points (they cancel in the code
+/// delta) and per-channel scales.
+#[test]
+fn delta_gemm_zero_point_cancels() {
+    let w = QuantizedMatrix::per_channel(vec![3, -2, 1, 4], 2, 2, vec![0.5, 0.25]).unwrap();
+    let xq = XQuant {
+        scale: 0.5,
+        zero_point: 3,
+    };
+    let prev: Vec<i8> = vec![5, 1]; // [k=2, n=1]
+    let curr: Vec<i8> = vec![9, 1];
+    let mut prev_out = vec![0.0f32; 2];
+    qgemm(&w, &prev, 1, xq, &mut prev_out).unwrap();
+    let mut dense = vec![0.0f32; 2];
+    qgemm(&w, &curr, 1, xq, &mut dense).unwrap();
+    let mut delta = vec![0.0f32; 2];
+    qgemm_delta(
+        &w,
+        &curr,
+        &prev,
+        &[true, false],
+        1,
+        xq,
+        &prev_out,
+        &mut delta,
+    )
+    .unwrap();
+    // row 0: prev acc = 3·(5−3) − 2·(1−3) = 10 → 10·0.5·0.5 = 2.5
+    //        delta    = 3·(9−5)           = 12 → +12·0.25   = 5.5
+    // row 1: prev acc = 1·2 + 4·(−2) = −6 → −6·0.25·0.5 = −0.75
+    //        delta    = 1·4 = 4          → +4·0.125    = −0.25
+    assert_eq!(prev_out, vec![2.5, -0.75]);
+    assert_eq!(delta, dense);
+    assert_eq!(delta, vec![5.5, -0.25]);
+}
