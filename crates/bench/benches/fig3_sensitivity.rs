@@ -23,6 +23,7 @@ fn bench_fig3(c: &mut Criterion) {
                     train: false,
                     assignment: Some(&a),
                     observer: None,
+                    batched: false,
                 };
                 den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
                     .unwrap()

@@ -24,6 +24,7 @@ fn bench_table1(c: &mut Criterion) {
             train: false,
             assignment: assignment.as_ref(),
             observer: None,
+            batched: false,
         };
         let out = den.denoise(&mut net, &x, &[1.0], &mut rc).unwrap();
         println!(
@@ -36,6 +37,7 @@ fn bench_table1(c: &mut Criterion) {
                     train: false,
                     assignment: assignment.as_ref(),
                     observer: None,
+                    batched: false,
                 };
                 den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
                     .unwrap()

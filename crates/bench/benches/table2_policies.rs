@@ -49,6 +49,7 @@ fn bench_table2(c: &mut Criterion) {
                     train: false,
                     assignment: Some(&assignment),
                     observer: None,
+                    batched: false,
                 };
                 den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
                     .unwrap()

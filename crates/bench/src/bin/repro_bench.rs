@@ -1,0 +1,266 @@
+//! Machine-readable perf smoke harness for the CI perf trajectory.
+//!
+//! Runs small fixed-shape timings of the repo's hot kernels — dense f32
+//! GEMM, native-int `qgemm`, temporal sparse-delta `qgemm_delta`, and a
+//! batched vs. one-at-a-time sampler step — and emits **one JSON object
+//! per result** (NDJSON) on stdout, mirrored into a `BENCH_ci.json`
+//! artifact so every CI run appends a point to the perf trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro_bench --json [--out BENCH_ci.json]
+//! ```
+//!
+//! Without `--json` a short human-readable table is printed instead (the
+//! JSON file is written either way). `ns_per_iter` is the wall-clock
+//! **mean** over a fixed iteration budget (one warmup excluded); the JSON
+//! carries the raw iteration count and total so downstream tooling can
+//! apply its own statistics.
+
+#![warn(missing_docs)]
+
+use sqdm_edm::serve::{BatchSampler, ServeRequest};
+use sqdm_edm::{block_ids, sample, Denoiser, EdmSchedule, SamplerConfig, UNet, UNetConfig};
+use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
+use sqdm_sparsity::TemporalTrace;
+use sqdm_tensor::ops::int::{qgemm, qgemm_delta, QuantizedMatrix, XQuant};
+use sqdm_tensor::ops::matmul;
+use sqdm_tensor::{parallel, Rng, Tensor};
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// GEMM edge for the kernel timings (one mid-sized conv lowering).
+const GEMM_DIM: usize = 256;
+/// Concurrent requests in the sampler-step comparison.
+const BATCH: usize = 4;
+/// Step budget per request in the sampler-step comparison.
+const STEPS: usize = 3;
+
+/// One timing result, serialized by hand (one JSON object per line).
+struct BenchResult {
+    name: &'static str,
+    shape: String,
+    iters: u32,
+    total_ns: u128,
+    /// Extra `"key": value` JSON fields (pre-rendered).
+    extra: Vec<(String, String)>,
+}
+
+impl BenchResult {
+    fn ns_per_iter(&self) -> f64 {
+        self.total_ns as f64 / self.iters.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"bench\": \"{}\", \"shape\": \"{}\", \"iters\": {}, \"total_ns\": {}, \"ns_per_iter\": {:.1}",
+            self.name,
+            self.shape,
+            self.iters,
+            self.total_ns,
+            self.ns_per_iter()
+        );
+        for (k, v) in &self.extra {
+            s.push_str(&format!(", \"{k}\": {v}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Times `f` for `iters` iterations after one warmup call.
+fn time<F: FnMut()>(name: &'static str, shape: String, iters: u32, mut f: F) -> BenchResult {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    BenchResult {
+        name,
+        shape,
+        iters,
+        total_ns: start.elapsed().as_nanos(),
+        extra: Vec::new(),
+    }
+}
+
+/// Change mask over `k` rows with the given fraction unchanged, routed
+/// through the real `TemporalTrace` API.
+fn delta_mask(k: usize, unchanged: f64) -> Vec<bool> {
+    let mut trace = TemporalTrace::new(k);
+    trace.push_step(vec![0.5; k]);
+    let moved = ((1.0 - unchanged) * k as f64).round() as usize;
+    trace.push_step((0..k).map(|c| if c < moved { 0.9 } else { 0.5 }).collect());
+    trace.change_mask(1, 0.1).expand_rows(1)
+}
+
+fn kernel_benches(results: &mut Vec<BenchResult>) {
+    let (m, k, n) = (GEMM_DIM, GEMM_DIM, GEMM_DIM);
+    let shape = format!("{m}x{k}x{n}");
+    let mut rng = Rng::seed_from(1);
+    let w_codes: Vec<i8> = (0..m * k)
+        .map(|_| (rng.uniform() * 254.0 - 127.0) as i8)
+        .collect();
+    let w_scales: Vec<f32> = (0..m).map(|_| 0.005 + rng.uniform() * 0.01).collect();
+    let wq = QuantizedMatrix::per_channel(w_codes.clone(), m, k, w_scales.clone()).unwrap();
+    let xq = XQuant::symmetric(0.02);
+    let x_prev: Vec<i8> = (0..k * n)
+        .map(|_| (rng.uniform() * 254.0 - 127.0) as i8)
+        .collect();
+
+    let wf = Tensor::from_vec(
+        w_codes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v as f32 * w_scales[i / k])
+            .collect(),
+        [m, k],
+    )
+    .unwrap();
+    let xf = Tensor::from_vec(
+        x_prev.iter().map(|&v| v as f32 * xq.scale).collect(),
+        [k, n],
+    )
+    .unwrap();
+
+    results.push(time("dense_gemm_f32", shape.clone(), 20, || {
+        black_box(matmul(black_box(&wf), black_box(&xf)).unwrap());
+    }));
+
+    let mut out = vec![0.0f32; m * n];
+    results.push(time("qgemm_int8", shape.clone(), 20, || {
+        qgemm(black_box(&wq), black_box(&x_prev), n, xq, &mut out).unwrap();
+        black_box(out[0]);
+    }));
+
+    let mut prev_out = vec![0.0f32; m * n];
+    qgemm(&wq, &x_prev, n, xq, &mut prev_out).unwrap();
+    for unchanged in [0.5f64, 0.9] {
+        let mask = delta_mask(k, unchanged);
+        let mut x_curr = x_prev.clone();
+        for (r, &ch) in mask.iter().enumerate() {
+            if ch {
+                for v in &mut x_curr[r * n..(r + 1) * n] {
+                    *v = v.wrapping_add(3);
+                }
+            }
+        }
+        let mut dout = vec![0.0f32; m * n];
+        let mut res = time("qgemm_delta_int8", shape.clone(), 20, || {
+            qgemm_delta(
+                black_box(&wq),
+                black_box(&x_curr),
+                black_box(&x_prev),
+                black_box(&mask),
+                n,
+                xq,
+                black_box(&prev_out),
+                &mut dout,
+            )
+            .unwrap();
+            black_box(dout[0]);
+        });
+        res.extra
+            .push(("unchanged_fraction".into(), format!("{unchanged}")));
+        results.push(res);
+    }
+}
+
+fn sampler_benches(results: &mut Vec<BenchResult>) {
+    let mut rng = Rng::seed_from(7);
+    let mut net = UNet::new(UNetConfig::default(), &mut rng).expect("default UNet");
+    let den = Denoiser::new(EdmSchedule::default());
+    let asg = PrecisionAssignment::uniform(
+        block_ids::COUNT,
+        BlockPrecision::uniform(QuantFormat::int8()),
+        "INT8",
+    )
+    .with_mode(ExecMode::NativeInt);
+    let shape = format!(
+        "{BATCH}x{}x{}x{} steps={STEPS} int8-native",
+        net.config().in_channels,
+        net.config().image_size,
+        net.config().image_size
+    );
+
+    let sequential = time("sampler_steps_sequential", shape.clone(), 3, || {
+        for seed in 0..BATCH as u64 {
+            let mut r = Rng::seed_from(seed + 1);
+            black_box(
+                sample(
+                    &mut net,
+                    &den,
+                    1,
+                    SamplerConfig { steps: STEPS },
+                    Some(&asg),
+                    &mut r,
+                )
+                .unwrap(),
+            );
+        }
+    });
+
+    let sampler = BatchSampler::new(den).with_traces(false);
+    let requests: Vec<ServeRequest> = (0..BATCH as u64)
+        .map(|id| ServeRequest {
+            id,
+            seed: id + 1,
+            steps: STEPS,
+        })
+        .collect();
+    let mut batched = time("sampler_steps_batched", shape, 3, || {
+        black_box(sampler.run(&mut net, &requests, Some(&asg)).unwrap());
+    });
+    let speedup = sequential.ns_per_iter() / batched.ns_per_iter();
+    batched
+        .extra
+        .push(("speedup_vs_sequential".into(), format!("{speedup:.3}")));
+    batched.extra.push(("batch".into(), format!("{BATCH}")));
+    results.push(sequential);
+    results.push(batched);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ci.json".to_string());
+
+    let mut results = Vec::new();
+    kernel_benches(&mut results);
+    sampler_benches(&mut results);
+
+    let meta = format!(
+        "{{\"bench\": \"meta\", \"threads\": {}, \"gemm_dim\": {GEMM_DIM}, \"sampler_batch\": {BATCH}, \"sampler_steps\": {STEPS}}}",
+        parallel::current_threads()
+    );
+    let mut lines = vec![meta];
+    lines.extend(results.iter().map(BenchResult::to_json));
+
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    for line in &lines {
+        writeln!(file, "{line}").expect("write bench line");
+    }
+
+    if json {
+        for line in &lines {
+            println!("{line}");
+        }
+    } else {
+        println!("repro_bench — {} results -> {out_path}", results.len());
+        for r in &results {
+            println!(
+                "  {:<26} {:>12.1} ns/iter  [{}]",
+                r.name,
+                r.ns_per_iter(),
+                r.shape
+            );
+        }
+    }
+}

@@ -62,6 +62,7 @@ fn collect(
             train: false,
             assignment: None,
             observer: Some(&mut obs),
+            batched: false,
         };
         denoiser.denoise(net, &x, &[sigma; 4], &mut rc)?;
     }

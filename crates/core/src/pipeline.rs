@@ -224,6 +224,7 @@ pub fn record_traces(
                 train: false,
                 assignment,
                 observer: Some(&mut obs),
+                batched: false,
             };
             denoiser.denoise(net, &x, &sigmas, &mut rc)?
         };

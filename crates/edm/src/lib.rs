@@ -41,6 +41,7 @@ pub mod model;
 mod model_stats;
 mod sampler;
 mod schedule;
+pub mod serve;
 mod train;
 
 pub use dataset::{Dataset, DatasetKind};
@@ -53,4 +54,5 @@ pub use sampler::{
     sample, sample_stochastic, sample_with_observer, ChurnConfig, SamplerConfig, StepObserver,
 };
 pub use schedule::EdmSchedule;
+pub use serve::{delta_row_masks, serve_batch, BatchSampler, ServeRequest, ServedOutput};
 pub use train::{finetune_relu, train, train_step, TrainConfig, TrainReport};

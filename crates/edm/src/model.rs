@@ -121,6 +121,14 @@ pub struct RunConfig<'a> {
     pub assignment: Option<&'a PrecisionAssignment>,
     /// Optional activation observer.
     pub observer: Option<&'a mut ActObserver<'a>>,
+    /// Per-request batched execution: treat every element of the batch
+    /// axis as an independent serving request. Activations are quantized
+    /// per sample (never across the batch) while each layer's weights are
+    /// quantized once per call, so a batched forward is bitwise identical
+    /// to running the requests one at a time — the contract
+    /// [`crate::serve`] packs concurrent generations on. Ignored by
+    /// training passes.
+    pub batched: bool,
 }
 
 impl RunConfig<'_> {
@@ -130,6 +138,7 @@ impl RunConfig<'_> {
             train: true,
             assignment: None,
             observer: None,
+            batched: false,
         }
     }
 
@@ -139,14 +148,25 @@ impl RunConfig<'_> {
             train: false,
             assignment: None,
             observer: None,
+            batched: false,
+        }
+    }
+
+    /// Inference pass with per-request batched execution (see
+    /// [`RunConfig::batched`]).
+    pub fn infer_batched() -> Self {
+        RunConfig {
+            batched: true,
+            ..RunConfig::infer()
         }
     }
 
     fn exec_for(&self, block: usize) -> QuantExecutor {
-        match self.assignment {
+        let exec = match self.assignment {
             None => QuantExecutor::full_precision(),
             Some(a) => QuantExecutor::new(a.block(block)).with_mode(a.mode()),
-        }
+        };
+        exec.with_batched(self.batched)
     }
 }
 
@@ -669,6 +689,34 @@ impl UNet {
         Ok(y)
     }
 
+    /// Batched-serving forward: one packed `[N, in_channels, S, S]` pass
+    /// over `N` independent requests, bitwise identical to `N` separate
+    /// [`UNet::forward`] calls on the individual samples (with matching
+    /// per-sample `c_noise` entries), in either execution mode and at any
+    /// `SQDM_THREADS`.
+    ///
+    /// Equivalent to calling [`UNet::forward`] with
+    /// [`RunConfig::batched`] set: activations are quantized per request,
+    /// weights once per layer per step — the weight (re)quantization,
+    /// im2col lowerings and GEMM packs are amortized across the batch,
+    /// which is where batched serving gets its throughput.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (shape mismatches, invalid quantization).
+    pub fn forward_batch(
+        &mut self,
+        x: &Tensor,
+        c_noise: &[f32],
+        rc: &mut RunConfig<'_>,
+    ) -> Result<Tensor> {
+        let prev = rc.batched;
+        rc.batched = true;
+        let y = self.forward(x, c_noise, rc);
+        rc.batched = prev;
+        y
+    }
+
     /// Backward pass through the whole network, accumulating parameter
     /// gradients. Returns the gradient with respect to the input.
     ///
@@ -884,6 +932,7 @@ mod tests {
             train: false,
             assignment: None,
             observer: Some(&mut obs),
+            batched: false,
         };
         net.forward(&x, &[0.0], &mut rc).unwrap();
         assert!(!sparsities.is_empty());
@@ -904,6 +953,7 @@ mod tests {
             train: false,
             assignment: None,
             observer: Some(&mut obs),
+            batched: false,
         };
         net.forward(&x, &[0.0], &mut rc).unwrap();
         // All conv blocks + attention + skip + out.
@@ -933,12 +983,14 @@ mod tests {
             train: false,
             assignment: Some(&a8),
             observer: None,
+            batched: false,
         };
         let y8 = net.forward(&x, &[0.0], &mut rc8).unwrap();
         let mut rc4 = RunConfig {
             train: false,
             assignment: Some(&a4),
             observer: None,
+            batched: false,
         };
         let y4 = net.forward(&x, &[0.0], &mut rc4).unwrap();
         let e8 = exact.mse(&y8).unwrap();
@@ -964,12 +1016,14 @@ mod tests {
             train: false,
             assignment: Some(&fake),
             observer: None,
+            batched: false,
         };
         let yf = net.forward(&x, &[0.0], &mut rcf).unwrap();
         let mut rcn = RunConfig {
             train: false,
             assignment: Some(&native),
             observer: None,
+            batched: false,
         };
         let yn = net.forward(&x, &[0.0], &mut rcn).unwrap();
         // INT8 has per-channel weights and per-tensor activations, so the

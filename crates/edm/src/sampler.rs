@@ -82,6 +82,7 @@ pub fn sample_with_observer(
                 train: false,
                 assignment,
                 observer: None,
+                batched: false,
             };
             den.denoise(net, &x, &sigmas, &mut rc)?
         };
@@ -98,6 +99,7 @@ pub fn sample_with_observer(
                     train: false,
                     assignment,
                     observer: None,
+                    batched: false,
                 };
                 den.denoise(net, &x_next, &sigmas_next, &mut rc)?
             };
@@ -181,6 +183,7 @@ pub fn sample_stochastic(
                 train: false,
                 assignment,
                 observer: None,
+                batched: false,
             };
             den.denoise(net, &x, &sigmas, &mut rc)?
         };
@@ -194,6 +197,7 @@ pub fn sample_stochastic(
                     train: false,
                     assignment,
                     observer: None,
+                    batched: false,
                 };
                 den.denoise(net, &x_next, &sigmas_next, &mut rc)?
             };

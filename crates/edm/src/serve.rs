@@ -1,0 +1,504 @@
+//! Batched multi-request inference serving.
+//!
+//! Production diffusion serving does not generate one image at a time: a
+//! [`BatchSampler`] packs N concurrent denoising requests — possibly at
+//! **different** noise steps, with different step budgets — into a single
+//! batched U-Net forward per sampler round, so per-step fixed costs
+//! (weight (re)quantization on the integer engine, fake-quant weight
+//! passes, im2col lowerings, GEMM operand packs) are paid once per round
+//! instead of once per request, and the worker pool sees batch × rows of
+//! work at a time.
+//!
+//! # Determinism contract
+//!
+//! Serving is **bitwise transparent**: the image produced for a request is
+//! bit-for-bit the image [`crate::sample`] would produce for the same
+//! `(seed, steps)` with the same model and precision assignment — at any
+//! batch composition, in either [`sqdm_quant::ExecMode`], at any
+//! `SQDM_THREADS`. Two ingredients make this hold:
+//!
+//! * every packed forward runs with [`RunConfig::batched`], which
+//!   quantizes activations per request (one grid per stream, never across
+//!   the batch) while weights are still packed once per layer call;
+//! * all sampler arithmetic (Heun updates, preconditioning) is
+//!   per-sample, and the batched kernels produce each output element with
+//!   the exact single-request operation sequence.
+//!
+//! # Temporal sparsity per stream
+//!
+//! Each request accumulates its own per-block [`TemporalTrace`] while it
+//! denoises, so the change masks that drive the sparse-delta kernel
+//! (`sqdm_tensor::ops::int::qgemm_delta_multi`) stay per stream: one
+//! request at a fully-dense step coexists with a neighbor that skips
+//! nearly all of its reduction rows. [`delta_row_masks`] assembles the
+//! concatenated per-stream row mask in exactly the layout that kernel
+//! consumes.
+
+use crate::denoiser::Denoiser;
+use crate::error::{EdmError, Result};
+use crate::model::{ActEvent, RunConfig, UNet};
+use serde::{Deserialize, Serialize};
+use sqdm_quant::PrecisionAssignment;
+use sqdm_sparsity::{channel_sparsity, ChangeMask, TemporalTrace};
+use sqdm_tensor::{Rng, Tensor};
+use std::collections::BTreeMap;
+
+/// One queued generation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-chosen identifier, echoed in the matching [`ServedOutput`].
+    pub id: u64,
+    /// Seed of the request's private noise stream. A request's result
+    /// depends only on `(seed, steps)` — never on its batch neighbors.
+    pub seed: u64,
+    /// Sigma-grid points for this request (model evaluations ≈ 2·steps−1);
+    /// must be at least 2 (the Karras grid needs two endpoints). Requests
+    /// in one batch may use different budgets; streams simply retire early
+    /// and the batch shrinks.
+    pub steps: usize,
+}
+
+impl ServeRequest {
+    /// A request with the given id, seeding the noise stream from the id.
+    pub fn new(id: u64, steps: usize) -> Self {
+        ServeRequest {
+            id,
+            seed: id,
+            steps,
+        }
+    }
+}
+
+/// A finished generation plus its per-stream temporal-sparsity record.
+#[derive(Debug, Clone)]
+pub struct ServedOutput {
+    /// The request identifier.
+    pub id: u64,
+    /// The generated image, `[1, C, S, S]`.
+    pub image: Tensor,
+    /// The step budget the request ran with.
+    pub steps: usize,
+    /// Per-(block, stage) activation-sparsity traces recorded at each of
+    /// this stream's denoising steps (first Heun evaluation per step).
+    traces: BTreeMap<(usize, usize), TemporalTrace>,
+}
+
+impl ServedOutput {
+    /// The temporal trace of one observed `(block, stage)` activation, or
+    /// `None` when tracing was disabled or the block was not observed.
+    pub fn trace(&self, block: usize, stage: usize) -> Option<&TemporalTrace> {
+        self.traces.get(&(block, stage))
+    }
+
+    /// The `(block, stage)` keys with recorded traces, in order.
+    pub fn traced_keys(&self) -> Vec<(usize, usize)> {
+        self.traces.keys().copied().collect()
+    }
+
+    /// This stream's change mask for one observed activation at `step`: the
+    /// channels whose sparsity moved more than `tol` since the stream's
+    /// previous denoising step (step 0 is always fully dense).
+    pub fn change_mask(
+        &self,
+        block: usize,
+        stage: usize,
+        step: usize,
+        tol: f64,
+    ) -> Option<ChangeMask> {
+        self.trace(block, stage).map(|t| t.change_mask(step, tol))
+    }
+}
+
+/// Builds the concatenated per-stream reduction-row mask for the batched
+/// sparse-delta GEMM (`sqdm_tensor::ops::int::qgemm_delta_multi`): stream
+/// `s`'s channel mask at `step` is expanded to `rows_per_channel`
+/// consecutive reduction rows (`kh · kw` for a convolution lowered by
+/// im2col) and streams are laid out back to back — `mask[s · k + r]`.
+///
+/// Returns `None` if any stream lacks a trace for `(block, stage)` or has
+/// not reached `step`.
+pub fn delta_row_masks(
+    outputs: &[ServedOutput],
+    block: usize,
+    stage: usize,
+    step: usize,
+    tol: f64,
+    rows_per_channel: usize,
+) -> Option<Vec<bool>> {
+    let mut mask = Vec::new();
+    for out in outputs {
+        let trace = out.trace(block, stage)?;
+        if step >= trace.steps() {
+            return None;
+        }
+        mask.extend(trace.change_mask(step, tol).expand_rows(rows_per_channel));
+    }
+    Some(mask)
+}
+
+/// Packs concurrent denoising requests into batched Heun steps.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSampler {
+    /// The preconditioned denoiser driving every stream.
+    pub den: Denoiser,
+    /// Record per-stream [`TemporalTrace`]s during serving (adds one
+    /// observer pass per step; disable for pure-throughput serving).
+    pub record_traces: bool,
+}
+
+/// One in-flight request stream.
+struct Stream {
+    request: ServeRequest,
+    /// This stream's sigma grid, `steps + 1` points ending at 0.
+    grid: Vec<f32>,
+    /// Next step index; the stream retires at `cursor == request.steps`.
+    cursor: usize,
+    /// Current state, `[1, C, S, S]`.
+    x: Tensor,
+    traces: BTreeMap<(usize, usize), TemporalTrace>,
+}
+
+impl BatchSampler {
+    /// Creates a batch sampler with per-stream trace recording enabled.
+    pub fn new(den: Denoiser) -> Self {
+        BatchSampler {
+            den,
+            record_traces: true,
+        }
+    }
+
+    /// This sampler with trace recording switched on or off.
+    pub fn with_traces(mut self, record: bool) -> Self {
+        self.record_traces = record;
+        self
+    }
+
+    /// Serves a batch of requests to completion and returns one output per
+    /// request, in request order.
+    ///
+    /// Each sampler round advances every in-flight stream by one Heun step
+    /// with **one** batched denoiser evaluation (plus one batched
+    /// correction evaluation for the streams not on their final step).
+    /// Streams that exhaust their step budget retire and the packed batch
+    /// shrinks. See the module docs for the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdmError::Config`] for a zero-step request and propagates
+    /// model errors.
+    pub fn run(
+        &self,
+        net: &mut UNet,
+        requests: &[ServeRequest],
+        assignment: Option<&PrecisionAssignment>,
+    ) -> Result<Vec<ServedOutput>> {
+        let mcfg = *net.config();
+        let s = mcfg.image_size;
+        let chw = mcfg.in_channels * s * s;
+        let mut streams = Vec::with_capacity(requests.len());
+        for req in requests {
+            // The Karras grid needs at least two sigma points.
+            if req.steps < 2 {
+                return Err(EdmError::Config {
+                    reason: format!(
+                        "request {} has step budget {}; at least 2 required",
+                        req.id, req.steps
+                    ),
+                });
+            }
+            let grid = self.den.schedule.sigma_steps(req.steps);
+            let mut rng = Rng::seed_from(req.seed);
+            let x = Tensor::randn([1, mcfg.in_channels, s, s], &mut rng).scale(grid[0]);
+            streams.push(Stream {
+                request: *req,
+                grid,
+                cursor: 0,
+                x,
+                traces: BTreeMap::new(),
+            });
+        }
+
+        loop {
+            let active: Vec<usize> = (0..streams.len())
+                .filter(|&i| streams[i].cursor < streams[i].request.steps)
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            // Pack the in-flight states into one [A, C, S, S] batch; every
+            // stream contributes its own sigma, so streams at different
+            // noise steps share the forward.
+            let packed = pack_states(&streams, &active, chw)?;
+            let sigmas: Vec<f32> = active
+                .iter()
+                .map(|&i| streams[i].grid[streams[i].cursor])
+                .collect();
+            let d0 = {
+                let record = self.record_traces;
+                let mut obs = |ev: ActEvent<'_>| {
+                    record_event(&mut streams, &active, &ev);
+                };
+                let mut rc = RunConfig {
+                    train: false,
+                    assignment,
+                    observer: if record { Some(&mut obs) } else { None },
+                    batched: true,
+                };
+                self.den.denoise(net, &packed, &sigmas, &mut rc)?
+            };
+            // First-order (Euler) update per stream, exactly the arithmetic
+            // of `crate::sample` on this stream's state.
+            let mut midpoints: Vec<(usize, Tensor, Tensor)> = Vec::new(); // (stream, x_next, slope)
+            for (slot, &i) in active.iter().enumerate() {
+                let st = &streams[i];
+                let (sig, sig_next) = (st.grid[st.cursor], st.grid[st.cursor + 1]);
+                let d0_i = d0.batch_sample(slot)?;
+                let slope = st.x.sub(&d0_i)?.scale(1.0 / sig);
+                let mut x_next = st.x.clone();
+                x_next.add_scaled(&slope, sig_next - sig)?;
+                midpoints.push((i, x_next, slope));
+            }
+            // Heun correction, batched over the streams whose next sigma is
+            // nonzero (a stream's final step is first-order, as in
+            // `crate::sample`).
+            let corr: Vec<usize> = midpoints
+                .iter()
+                .enumerate()
+                .filter(|(_, (i, _, _))| {
+                    let st = &streams[*i];
+                    st.grid[st.cursor + 1] > 0.0
+                })
+                .map(|(slot, _)| slot)
+                .collect();
+            if !corr.is_empty() {
+                let mut packed_next = Vec::with_capacity(corr.len() * chw);
+                let mut sig_nexts = Vec::with_capacity(corr.len());
+                for &slot in &corr {
+                    let (i, x_next, _) = &midpoints[slot];
+                    packed_next.extend_from_slice(x_next.as_slice());
+                    let st = &streams[*i];
+                    sig_nexts.push(st.grid[st.cursor + 1]);
+                }
+                let packed_next =
+                    Tensor::from_vec(packed_next, [corr.len(), mcfg.in_channels, s, s])?;
+                let d1 = {
+                    let mut rc = RunConfig {
+                        train: false,
+                        assignment,
+                        observer: None,
+                        batched: true,
+                    };
+                    self.den.denoise(net, &packed_next, &sig_nexts, &mut rc)?
+                };
+                for (cslot, &slot) in corr.iter().enumerate() {
+                    let (i, x_next, slope) = &midpoints[slot];
+                    let st = &streams[*i];
+                    let (sig, sig_next) = (st.grid[st.cursor], st.grid[st.cursor + 1]);
+                    let d1_i = d1.batch_sample(cslot)?;
+                    let slope2 = x_next.sub(&d1_i)?.scale(1.0 / sig_next);
+                    let mut avg = slope.clone();
+                    avg.add_scaled(&slope2, 1.0)?;
+                    let mut corrected = st.x.clone();
+                    corrected.add_scaled(&avg, 0.5 * (sig_next - sig))?;
+                    midpoints[slot].1 = corrected;
+                }
+            }
+            for (i, x_next, _) in midpoints {
+                streams[i].x = x_next;
+                streams[i].cursor += 1;
+            }
+        }
+
+        Ok(streams
+            .into_iter()
+            .map(|st| ServedOutput {
+                id: st.request.id,
+                image: st.x,
+                steps: st.request.steps,
+                traces: st.traces,
+            })
+            .collect())
+    }
+}
+
+/// Concatenates the active streams' states along the batch axis.
+fn pack_states(streams: &[Stream], active: &[usize], chw: usize) -> Result<Tensor> {
+    let dims = streams[active[0]].x.dims();
+    let mut packed = Vec::with_capacity(active.len() * chw);
+    for &i in active {
+        packed.extend_from_slice(streams[i].x.as_slice());
+    }
+    Ok(Tensor::from_vec(
+        packed,
+        [active.len(), dims[1], dims[2], dims[3]],
+    )?)
+}
+
+/// Splits a packed activation event per stream and appends one trace step
+/// to each active stream's `(block, stage)` trace.
+fn record_event(streams: &mut [Stream], active: &[usize], ev: &ActEvent<'_>) {
+    let c = ev.tensor.dims()[1];
+    for (slot, &i) in active.iter().enumerate() {
+        let sample = ev
+            .tensor
+            .batch_sample(slot)
+            .expect("observed activation is [A, C, H, W]");
+        let sparsity = channel_sparsity(&sample);
+        streams[i]
+            .traces
+            .entry((ev.block_index, ev.stage))
+            .or_insert_with(|| TemporalTrace::new(c))
+            .push_step(sparsity);
+    }
+}
+
+/// Convenience wrapper: serves `requests` on a fresh [`BatchSampler`] and
+/// returns the outputs in request order.
+///
+/// # Errors
+///
+/// Propagates [`BatchSampler::run`] errors.
+pub fn serve_batch(
+    net: &mut UNet,
+    den: &Denoiser,
+    requests: &[ServeRequest],
+    assignment: Option<&PrecisionAssignment>,
+) -> Result<Vec<ServedOutput>> {
+    BatchSampler::new(*den).run(net, requests, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::UNetConfig;
+    use crate::sampler::{sample, SamplerConfig};
+    use crate::schedule::EdmSchedule;
+    use sqdm_quant::{BlockPrecision, ExecMode, QuantFormat};
+
+    fn fixture() -> (UNet, Denoiser) {
+        let mut rng = Rng::seed_from(1);
+        let net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        (net, Denoiser::new(EdmSchedule::default()))
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn serving_is_bitwise_identical_to_individual_sampling() {
+        let (mut net, den) = fixture();
+        let requests = [
+            ServeRequest {
+                id: 0,
+                seed: 11,
+                steps: 3,
+            },
+            ServeRequest {
+                id: 1,
+                seed: 12,
+                steps: 5,
+            },
+            ServeRequest {
+                id: 2,
+                seed: 13,
+                steps: 3,
+            },
+        ];
+        let served = serve_batch(&mut net, &den, &requests, None).unwrap();
+        assert_eq!(served.len(), 3);
+        for (req, out) in requests.iter().zip(&served) {
+            assert_eq!(req.id, out.id);
+            let mut rng = Rng::seed_from(req.seed);
+            let single = sample(
+                &mut net,
+                &den,
+                1,
+                SamplerConfig { steps: req.steps },
+                None,
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(out.image.dims(), single.dims());
+            assert_eq!(bits(&out.image), bits(&single), "request {}", req.id);
+        }
+    }
+
+    #[test]
+    fn quantized_serving_matches_individual_sampling_in_both_modes() {
+        let (mut net, den) = fixture();
+        let base = PrecisionAssignment::uniform(
+            crate::model::block_ids::COUNT,
+            BlockPrecision::uniform(QuantFormat::int8()),
+            "INT8",
+        );
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            let asg = base.clone().with_mode(mode);
+            let requests = [ServeRequest::new(7, 2), ServeRequest::new(8, 4)];
+            let served = serve_batch(&mut net, &den, &requests, Some(&asg)).unwrap();
+            for (req, out) in requests.iter().zip(&served) {
+                let mut rng = Rng::seed_from(req.seed);
+                let single = sample(
+                    &mut net,
+                    &den,
+                    1,
+                    SamplerConfig { steps: req.steps },
+                    Some(&asg),
+                    &mut rng,
+                )
+                .unwrap();
+                assert_eq!(
+                    bits(&out.image),
+                    bits(&single),
+                    "{mode:?} request {}",
+                    req.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_stream_traces_cover_every_step_and_yield_masks() {
+        let (mut net, den) = fixture();
+        let requests = [ServeRequest::new(1, 4), ServeRequest::new(2, 2)];
+        let served = serve_batch(&mut net, &den, &requests, None).unwrap();
+        for (req, out) in requests.iter().zip(&served) {
+            let keys = out.traced_keys();
+            assert!(!keys.is_empty(), "request {} recorded no traces", req.id);
+            for &(b, st) in &keys {
+                let trace = out.trace(b, st).unwrap();
+                // One trace step per denoising step of *this* stream, even
+                // though its batch neighbor ran a different budget.
+                assert_eq!(trace.steps(), req.steps, "block {b} stage {st}");
+                let m0 = out.change_mask(b, st, 0, 0.05).unwrap();
+                assert!(m0.is_fully_dense(), "step 0 must recompute everything");
+                assert!(out.change_mask(b, st, req.steps - 1, 0.05).is_some());
+            }
+        }
+        // The per-stream masks assemble into the qgemm_delta_multi layout:
+        // streams back to back, channels expanded to reduction rows.
+        let (b, st) = served[0].traced_keys()[0];
+        let rows = delta_row_masks(&served, b, st, 1, 0.05, 9).unwrap();
+        let per: usize = served[0].trace(b, st).unwrap().channels() * 9;
+        assert_eq!(rows.len(), served.len() * per);
+        // Requesting a step beyond the shortest stream yields None.
+        assert!(delta_row_masks(&served, b, st, 3, 0.05, 9).is_none());
+    }
+
+    #[test]
+    fn trace_recording_can_be_disabled() {
+        let (mut net, den) = fixture();
+        let out = BatchSampler::new(den)
+            .with_traces(false)
+            .run(&mut net, &[ServeRequest::new(0, 2)], None)
+            .unwrap();
+        assert!(out[0].traced_keys().is_empty());
+    }
+
+    #[test]
+    fn zero_step_requests_are_rejected_and_empty_batches_are_fine() {
+        let (mut net, den) = fixture();
+        assert!(serve_batch(&mut net, &den, &[ServeRequest::new(0, 0)], None).is_err());
+        assert!(serve_batch(&mut net, &den, &[], None).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Batched serving vs. one-at-a-time sampling: the bitwise contract.
+//!
+//! `sqdm_edm::serve` promises that packing N concurrent requests into
+//! batched forwards changes *nothing* about any request's result: the
+//! image equals the one `sample` produces for the same `(seed, steps)`,
+//! bit for bit, for any batch composition (mixed step budgets included),
+//! in both execution modes, at any `SQDM_THREADS`. These property tests
+//! pin that contract over random request mixes and thread counts
+//! `{1, 2, 7}`, plus `forward_batch` directly against per-sample
+//! `forward` calls.
+
+use proptest::prelude::*;
+use sqdm_edm::serve::{serve_batch, ServeRequest};
+use sqdm_edm::{
+    block_ids, sample, Denoiser, EdmSchedule, RunConfig, SamplerConfig, UNet, UNetConfig,
+};
+use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
+use sqdm_tensor::parallel::with_threads;
+use sqdm_tensor::{Rng, Tensor};
+
+/// Serial reference plus even and lopsided pool partitions.
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn int8_assignment(mode: ExecMode) -> PrecisionAssignment {
+    PrecisionAssignment::uniform(
+        block_ids::COUNT,
+        BlockPrecision::uniform(QuantFormat::int8()),
+        "INT8",
+    )
+    .with_mode(mode)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// A batched `forward_batch` over N packed samples equals N
+    /// single-sample `forward` calls, bitwise, in both execution modes
+    /// and at every thread count.
+    #[test]
+    fn forward_batch_is_bitwise_equal_to_single_sample_forwards(
+        (n, seed) in (2usize..5, 0u64..1 << 32)
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let x = Tensor::randn([n, 1, 8, 8], &mut rng);
+        let c_noise: Vec<f32> = (0..n).map(|i| -0.7 + 0.45 * i as f32).collect();
+        let stride = 8 * 8;
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            let asg = int8_assignment(mode);
+            for t in THREADS {
+                let batched = with_threads(t, || {
+                    let mut rc = RunConfig {
+                        train: false,
+                        assignment: Some(&asg),
+                        observer: None,
+                        batched: false,
+                    };
+                    net.forward_batch(&x, &c_noise, &mut rc).unwrap()
+                });
+                for nn in 0..n {
+                    let sample = Tensor::from_vec(
+                        x.as_slice()[nn * stride..(nn + 1) * stride].to_vec(),
+                        [1, 1, 8, 8],
+                    )
+                    .unwrap();
+                    let single = with_threads(t, || {
+                        let mut rc = RunConfig {
+                            train: false,
+                            assignment: Some(&asg),
+                            observer: None,
+                            batched: false,
+                        };
+                        net.forward(&sample, &c_noise[nn..nn + 1], &mut rc).unwrap()
+                    });
+                    let bv = &batched.as_slice()[nn * stride..(nn + 1) * stride];
+                    let sv = single.as_slice();
+                    for (j, (a, b)) in bv.iter().zip(sv.iter()).enumerate() {
+                        prop_assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{:?} sample {} elem {} at {} threads",
+                            mode, nn, j, t
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    /// Serving a random mix of requests (distinct seeds, mixed step
+    /// budgets) equals one-at-a-time sampling, bitwise, in both execution
+    /// modes and at every thread count.
+    #[test]
+    fn batched_serving_equals_individual_sampling(
+        (net_seed, s0, s1, s2, extra) in
+            (0u64..1 << 16, 2usize..4, 2usize..6, 2usize..4, 0u64..1 << 16)
+    ) {
+        let mut rng = Rng::seed_from(net_seed);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let requests = [
+            ServeRequest { id: 0, seed: extra.wrapping_add(1), steps: s0 },
+            ServeRequest { id: 1, seed: extra.wrapping_add(2), steps: s1 },
+            ServeRequest { id: 2, seed: extra.wrapping_add(3), steps: s2 },
+        ];
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            let asg = int8_assignment(mode);
+            for t in THREADS {
+                let served = with_threads(t, || {
+                    serve_batch(&mut net, &den, &requests, Some(&asg)).unwrap()
+                });
+                for (req, out) in requests.iter().zip(&served) {
+                    let single = with_threads(t, || {
+                        let mut r = Rng::seed_from(req.seed);
+                        sample(
+                            &mut net,
+                            &den,
+                            1,
+                            SamplerConfig { steps: req.steps },
+                            Some(&asg),
+                            &mut r,
+                        )
+                        .unwrap()
+                    });
+                    prop_assert_eq!(
+                        bits(&out.image),
+                        bits(&single),
+                        "{:?} request {} at {} threads",
+                        mode, req.id, t
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The full-precision (no assignment) path holds the same contract — and
+/// the batched flag is a no-op there, so this also pins that plain f32
+/// packing is per-sample transparent.
+#[test]
+fn full_precision_serving_is_bitwise_transparent_across_threads() {
+    let mut rng = Rng::seed_from(77);
+    let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+    let den = Denoiser::new(EdmSchedule::default());
+    let requests = [
+        ServeRequest {
+            id: 0,
+            seed: 5,
+            steps: 2,
+        },
+        ServeRequest {
+            id: 1,
+            seed: 6,
+            steps: 4,
+        },
+    ];
+    let reference = with_threads(1, || {
+        requests
+            .iter()
+            .map(|r| {
+                let mut rr = Rng::seed_from(r.seed);
+                sample(
+                    &mut net,
+                    &den,
+                    1,
+                    SamplerConfig { steps: r.steps },
+                    None,
+                    &mut rr,
+                )
+                .unwrap()
+            })
+            .collect::<Vec<_>>()
+    });
+    for t in THREADS {
+        let served = with_threads(t, || serve_batch(&mut net, &den, &requests, None).unwrap());
+        for (single, out) in reference.iter().zip(&served) {
+            assert_eq!(bits(single), bits(&out.image), "{t} threads");
+        }
+    }
+}

@@ -28,7 +28,9 @@
 use crate::error::Result;
 use crate::layers::{Conv2d, Linear};
 use sqdm_quant::{BlockPrecision, ChannelLayout, Granularity, QuantFormat, QuantizedTensor};
-use sqdm_tensor::ops::int::{conv2d_i8, qgemm, transpose_i8, QuantizedMatrix, XQuant};
+use sqdm_tensor::ops::int::{
+    conv2d_i8, conv2d_i8_multi, qgemm, qgemm_multi, transpose_i8, QuantizedMatrix, XQuant,
+};
 use sqdm_tensor::ops::transpose;
 use sqdm_tensor::Tensor;
 
@@ -104,6 +106,98 @@ pub fn conv_forward(conv: &Conv2d, x: &Tensor, p: &BlockPrecision) -> Result<Ten
         conv.geometry(),
         xq,
     )?)
+}
+
+/// Runs a convolution on the integer engine with **per-request**
+/// activation quantization: each element of the batch axis is quantized
+/// with its own per-tensor scale, while the weight is quantized once for
+/// the whole batch.
+///
+/// This is the batched-serving entry point. Bitwise identical to calling
+/// [`conv_forward`] on each `[1, C, H, W]` sample separately — packing
+/// requests into one batch must not let one request's activation range
+/// perturb another's quantization grid.
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn conv_forward_batch(conv: &Conv2d, x: &Tensor, p: &BlockPrecision) -> Result<Tensor> {
+    debug_assert!(supports(p));
+    let (wfmt, afmt) = (
+        p.weights.expect("supports"),
+        p.activations.expect("supports"),
+    );
+    let (n, c, h, w) = x.shape().as_nchw()?;
+    let stride = c * h * w;
+    let mut codes = vec![0i8; x.len()];
+    let mut xqs = Vec::with_capacity(n);
+    for nn in 0..n {
+        let (sc, sq) = quantize_activation(&x.batch_sample(nn)?, afmt)?;
+        codes[nn * stride..(nn + 1) * stride].copy_from_slice(&sc);
+        xqs.push(sq);
+    }
+    let wq = quantize_weight(&conv.weight.value, wfmt)?;
+    let kh = conv.weight.value.dims()[2];
+    let kw = conv.weight.value.dims()[3];
+    Ok(conv2d_i8_multi(
+        &codes,
+        n,
+        c,
+        h,
+        w,
+        &wq,
+        kh,
+        kw,
+        Some(conv.bias.value.as_slice()),
+        conv.geometry(),
+        &xqs,
+    )?)
+}
+
+/// Runs a linear layer on the integer engine with **per-request** (per
+/// input row) activation quantization and one shared weight pack.
+///
+/// Bitwise identical to calling [`linear_forward`] on each `[1, in]` row
+/// separately, for the same reason as [`conv_forward_batch`].
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn linear_forward_batch(lin: &Linear, x: &Tensor, p: &BlockPrecision) -> Result<Tensor> {
+    debug_assert!(supports(p));
+    let (wfmt, afmt) = (
+        p.weights.expect("supports"),
+        p.activations.expect("supports"),
+    );
+    let (b, f) = (x.dims()[0], x.dims()[1]);
+    let xv = x.as_slice();
+    // Quantize each request row with its own scale, writing the codes
+    // straight into the transposed `[in, batch]` GEMM layout — request
+    // `r` becomes column stripe `r` of width 1.
+    let mut xt = vec![0i8; xv.len()];
+    let mut xqs = Vec::with_capacity(b);
+    for r in 0..b {
+        let row = Tensor::from_vec(xv[r * f..(r + 1) * f].to_vec(), [1, f])?;
+        let (rc, rq) = quantize_activation(&row, afmt)?;
+        for (ff, &code) in rc.iter().enumerate() {
+            xt[ff * b + r] = code;
+        }
+        xqs.push(rq);
+    }
+    let wq = quantize_weight(&lin.weight.value, wfmt)?;
+    let mut yt = vec![0.0f32; wq.rows() * b];
+    qgemm_multi(&wq, &xt, 1, &xqs, &mut yt)?;
+    let yt = Tensor::from_vec(yt, [wq.rows(), b])?;
+    let mut y = transpose(&yt)?;
+    let o = wq.rows();
+    let bias = lin.bias.value.as_slice();
+    let yv = y.as_mut_slice();
+    for bi in 0..b {
+        for j in 0..o {
+            yv[bi * o + j] += bias[j];
+        }
+    }
+    Ok(y)
 }
 
 /// Integer GEMM epilogue shared by linear and projection paths:

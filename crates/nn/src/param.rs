@@ -5,7 +5,7 @@ use sqdm_tensor::Tensor;
 
 /// A trainable parameter: a value tensor plus its accumulated gradient.
 ///
-/// Layers accumulate into `grad` during [`backward`](crate::Layer::backward);
+/// Layers accumulate into `grad` during their `backward` passes;
 /// optimizers consume and reset it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Param {

@@ -42,6 +42,14 @@ pub struct QuantExecutor {
     pub precision: BlockPrecision,
     /// Whether layers run fake-quantized (f32) or on the integer engine.
     pub mode: ExecMode,
+    /// Per-request batching: when set, every element of the input's batch
+    /// axis is treated as an independent serving request — activations are
+    /// quantized per sample (one scale per request, never across the
+    /// batch) while weights are still quantized once per layer call. This
+    /// makes a batched forward bitwise identical to the same requests run
+    /// one at a time, which is the contract batched serving
+    /// (`sqdm_edm::serve`) is built on.
+    pub batched: bool,
 }
 
 impl QuantExecutor {
@@ -50,6 +58,7 @@ impl QuantExecutor {
         QuantExecutor {
             precision: BlockPrecision::FP16,
             mode: ExecMode::FakeQuant,
+            batched: false,
         }
     }
 
@@ -58,12 +67,20 @@ impl QuantExecutor {
         QuantExecutor {
             precision,
             mode: ExecMode::FakeQuant,
+            batched: false,
         }
     }
 
     /// This executor with the given execution mode.
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// This executor with per-request batched execution enabled (see the
+    /// [`QuantExecutor::batched`] field).
+    pub fn with_batched(mut self, batched: bool) -> Self {
+        self.batched = batched;
         self
     }
 
@@ -77,6 +94,7 @@ impl QuantExecutor {
                 activations: self.precision.activations.map(|f| f.as_signed()),
             },
             mode: self.mode,
+            batched: self.batched,
         }
     }
 
@@ -132,13 +150,68 @@ impl QuantExecutor {
         }
     }
 
+    /// Quantize-dequantizes each sample of an `[N, C, H, W]` activation
+    /// batch independently: sample `nn` gets its own quantization grid,
+    /// exactly as if it were the only tensor in a single-request forward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer layout errors.
+    fn quant_activation_per_sample(&self, x: &Tensor) -> Result<Tensor> {
+        let Some(fmt) = self.precision.activations else {
+            return Ok(x.clone());
+        };
+        let (n, c, h, w) = x.shape().as_nchw()?;
+        if n <= 1 {
+            return self.quant_activation(x);
+        }
+        let mut out = Vec::with_capacity(x.len());
+        for nn in 0..n {
+            let sample = x.batch_sample(nn)?;
+            let q = fake_quant(&sample, activation_format(fmt), ChannelLayout::ACTIVATION)?;
+            out.extend_from_slice(q.as_slice());
+        }
+        Ok(Tensor::from_vec(out, [n, c, h, w])?)
+    }
+
+    /// Quantize-dequantizes each row of a `[batch, features]` activation
+    /// independently — the rank-2 analogue of
+    /// [`QuantExecutor::quant_activation_per_sample`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer layout errors.
+    fn quant_activation_2d_per_row(&self, x: &Tensor) -> Result<Tensor> {
+        let Some(fmt) = self.precision.activations else {
+            return Ok(x.clone());
+        };
+        let (b, f) = (x.dims()[0], x.dims()[1]);
+        if b <= 1 {
+            return self.quant_activation_2d(x);
+        }
+        let xv = x.as_slice();
+        let mut out = Vec::with_capacity(xv.len());
+        for r in 0..b {
+            let row = Tensor::from_vec(xv[r * f..(r + 1) * f].to_vec(), [1, f])?;
+            let q = fake_quant(&row, activation_format(fmt), ChannelLayout { axis: 0 })?;
+            out.extend_from_slice(q.as_slice());
+        }
+        Ok(Tensor::from_vec(out, [b, f])?)
+    }
+
     /// Runs a convolution under this executor's mode: fake-quantized, or
     /// natively on the integer engine when the precision supports it.
+    ///
+    /// With [`QuantExecutor::batched`] set this dispatches to
+    /// [`QuantExecutor::conv_forward_batch`].
     ///
     /// # Errors
     ///
     /// Propagates quantizer and convolution errors.
     pub fn conv_forward(&self, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        if self.batched {
+            return self.conv_forward_batch(conv, x);
+        }
         if self.native() {
             return native::conv_forward(conv, x, &self.precision);
         }
@@ -147,17 +220,59 @@ impl QuantExecutor {
         conv.forward_with_weight(&xq, &wq)
     }
 
+    /// Runs a convolution over a batch of independent requests: each
+    /// sample of the `[N, C, H, W]` input is quantized with its own
+    /// activation grid, the weight is quantized once for the whole batch,
+    /// and one batched kernel call produces every output. Bitwise
+    /// identical to N separate [`QuantExecutor::conv_forward`] calls (in
+    /// either execution mode, at any `SQDM_THREADS`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and convolution errors.
+    pub fn conv_forward_batch(&self, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        if self.native() {
+            return native::conv_forward_batch(conv, x, &self.precision);
+        }
+        let xq = self.quant_activation_per_sample(x)?;
+        let wq = self.quant_weight(&conv.weight.value)?;
+        conv.forward_with_weight(&xq, &wq)
+    }
+
     /// Runs a linear layer under this executor's mode: fake-quantized, or
     /// natively on the integer engine when the precision supports it.
+    ///
+    /// With [`QuantExecutor::batched`] set this dispatches to
+    /// [`QuantExecutor::linear_forward_batch`].
     ///
     /// # Errors
     ///
     /// Propagates quantizer and matmul errors.
     pub fn linear_forward(&self, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        if self.batched {
+            return self.linear_forward_batch(lin, x);
+        }
         if self.native() {
             return native::linear_forward(lin, x, &self.precision);
         }
         let xq = self.quant_activation_2d(x)?;
+        let wq = self.quant_weight(&lin.weight.value)?;
+        lin.forward_with_weight(&xq, &wq)
+    }
+
+    /// Runs a linear layer over a batch of independent requests: each row
+    /// of the `[batch, features]` input is quantized with its own
+    /// activation grid, the weight once for the whole batch. Bitwise
+    /// identical to per-row [`QuantExecutor::linear_forward`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and matmul errors.
+    pub fn linear_forward_batch(&self, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        if self.native() {
+            return native::linear_forward_batch(lin, x, &self.precision);
+        }
+        let xq = self.quant_activation_2d_per_row(x)?;
         let wq = self.quant_weight(&lin.weight.value)?;
         lin.forward_with_weight(&xq, &wq)
     }
@@ -169,6 +284,13 @@ impl QuantExecutor {
     ///
     /// Under [`BlockPrecision::FP16`] this is bitwise identical to the
     /// layer's plain inference forward.
+    ///
+    /// This path is already batch-safe for serving: the projector runs per
+    /// batch element on `[S, C]` slabs, so activations are quantized per
+    /// request by construction, and the projection weights are prepared
+    /// once per call — amortized across the batch. A batched forward is
+    /// therefore bitwise identical to per-request forwards with no extra
+    /// dispatch ([`QuantExecutor::attention_forward_batch`] is an alias).
     ///
     /// # Errors
     ///
@@ -222,6 +344,16 @@ impl QuantExecutor {
             Ok(matmul_a_bt(&xq, &quantized[which.index()])?)
         })
     }
+
+    /// Batched-serving alias of [`QuantExecutor::attention_forward`],
+    /// which is per-request-safe by construction (see its documentation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and matmul errors.
+    pub fn attention_forward_batch(&self, attn: &SelfAttention2d, x: &Tensor) -> Result<Tensor> {
+        self.attention_forward(attn, x)
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +391,95 @@ mod tests {
         let err4 = exact.mse(&e4).unwrap();
         assert!(err8 < err4, "mxint8 {err8} should beat int4 {err4}");
         assert!(err8 < 1e-3, "mxint8 error {err8}");
+    }
+
+    /// Extracts sample `nn` of an `[N, C, H, W]` tensor as `[1, C, H, W]`.
+    fn sample_of(x: &Tensor, nn: usize) -> Tensor {
+        x.batch_sample(nn).unwrap()
+    }
+
+    #[test]
+    fn batched_conv_is_bitwise_identical_to_per_request_runs() {
+        use sqdm_quant::ExecMode;
+        let mut rng = Rng::seed_from(21);
+        let mut conv = Conv2d::new(3, 4, 3, Conv2dGeometry::same(3), &mut rng);
+        conv.bias.value = Tensor::randn([4], &mut rng);
+        // Scale the samples very differently so a shared (batch-wide)
+        // activation grid would visibly change per-request results.
+        let mut x = Tensor::randn([3, 3, 6, 6], &mut rng);
+        let stride = 3 * 6 * 6;
+        for (nn, s) in [1.0f32, 37.0, 0.02].iter().enumerate() {
+            for v in &mut x.as_mut_slice()[nn * stride..(nn + 1) * stride] {
+                *v *= s;
+            }
+        }
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            let exec = QuantExecutor::new(BlockPrecision::uniform(QuantFormat::int8()))
+                .with_mode(mode)
+                .with_batched(true);
+            let batched = exec.conv_forward(&conv, &x).unwrap();
+            for nn in 0..3 {
+                let single = exec
+                    .with_batched(false)
+                    .conv_forward(&conv, &sample_of(&x, nn))
+                    .unwrap();
+                let per = single.len();
+                for (a, b) in batched.as_slice()[nn * per..(nn + 1) * per]
+                    .iter()
+                    .zip(single.as_slice())
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{mode:?} sample {nn}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_linear_is_bitwise_identical_to_per_request_runs() {
+        use sqdm_quant::ExecMode;
+        let mut rng = Rng::seed_from(22);
+        let mut lin = Linear::new(10, 6, &mut rng);
+        lin.bias.value = Tensor::randn([6], &mut rng);
+        let mut x = Tensor::randn([4, 10], &mut rng);
+        for (r, s) in [5.0f32, 0.1, 1.0, 80.0].iter().enumerate() {
+            for v in &mut x.as_mut_slice()[r * 10..(r + 1) * 10] {
+                *v *= s;
+            }
+        }
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            let exec = QuantExecutor::new(BlockPrecision::uniform(QuantFormat::int8()))
+                .with_mode(mode)
+                .with_batched(true);
+            let batched = exec.linear_forward(&lin, &x).unwrap();
+            for r in 0..4 {
+                let row =
+                    Tensor::from_vec(x.as_slice()[r * 10..(r + 1) * 10].to_vec(), [1, 10]).unwrap();
+                let single = exec.with_batched(false).linear_forward(&lin, &row).unwrap();
+                for (a, b) in batched.as_slice()[r * 6..(r + 1) * 6]
+                    .iter()
+                    .zip(single.as_slice())
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{mode:?} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batching_actually_changes_shared_grid_results() {
+        // Sanity check that the per-request contract is load-bearing: with
+        // wildly different sample magnitudes, a batch-wide activation grid
+        // (the non-batched executor) disagrees with per-request grids.
+        let mut rng = Rng::seed_from(23);
+        let conv = Conv2d::new(2, 2, 3, Conv2dGeometry::same(3), &mut rng);
+        let mut x = Tensor::randn([2, 2, 5, 5], &mut rng);
+        for v in &mut x.as_mut_slice()[..2 * 5 * 5] {
+            *v *= 50.0;
+        }
+        let exec = QuantExecutor::new(BlockPrecision::uniform(QuantFormat::int8()));
+        let shared = exec.conv_forward(&conv, &x).unwrap();
+        let per_request = exec.with_batched(true).conv_forward(&conv, &x).unwrap();
+        assert!(shared.mse(&per_request).unwrap() > 0.0);
     }
 
     #[test]

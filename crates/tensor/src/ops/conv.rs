@@ -254,6 +254,65 @@ pub fn conv2d(
     Tensor::from_vec(out, [n, k, oh, ow])
 }
 
+/// Multi-request 2-D convolution: applies one weight (and bias) to a
+/// batch of independent inputs in a single [`conv2d`] call.
+///
+/// Each request `xs[i]` is `[Nᵢ, C, H, W]` over a shared spatial
+/// geometry; the inputs are stacked along the batch axis, lowered and
+/// multiplied once — one im2col, one weight reshape, one GEMM for the
+/// whole batch — and the outputs are split back per request. Because the
+/// convolution's im2col columns, GEMM reductions and bias epilogue are
+/// all per-sample independent, each returned tensor is bitwise identical
+/// to `conv2d(&xs[i], weight, bias, geom)` at any `SQDM_THREADS`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the requests disagree on
+/// `[C, H, W]`, plus all [`conv2d`] error conditions.
+pub fn conv2d_multi(
+    xs: &[Tensor],
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: Conv2dGeometry,
+) -> Result<Vec<Tensor>> {
+    if xs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (_, c, h, w) = xs[0].shape().as_nchw()?;
+    let mut total_n = 0usize;
+    for x in xs {
+        let (nx, cx, hx, wx) = x.shape().as_nchw()?;
+        if (cx, hx, wx) != (c, h, w) {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_multi",
+                lhs: x.dims().to_vec(),
+                rhs: xs[0].dims().to_vec(),
+            });
+        }
+        total_n += nx;
+    }
+    let mut packed = Vec::with_capacity(total_n * c * h * w);
+    for x in xs {
+        packed.extend_from_slice(x.as_slice());
+    }
+    let packed = Tensor::from_vec(packed, [total_n, c, h, w])?;
+    let y = conv2d(&packed, weight, bias, geom)?;
+    let (_, k, oh, ow) = y.shape().as_nchw()?;
+    let stride = k * oh * ow;
+    let yv = y.as_slice();
+    let mut results = Vec::with_capacity(xs.len());
+    let mut row = 0usize;
+    for x in xs {
+        let nx = x.dims()[0];
+        results.push(Tensor::from_vec(
+            yv[row * stride..(row + nx) * stride].to_vec(),
+            [nx, k, oh, ow],
+        )?);
+        row += nx;
+    }
+    Ok(results)
+}
+
 /// Gradients of a 2-D convolution.
 #[derive(Debug, Clone)]
 pub struct Conv2dGrads {
@@ -404,6 +463,32 @@ mod tests {
                 assert!((a - b).abs() < 1e-3, "{a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn multi_request_conv_matches_per_request_calls_bitwise() {
+        let mut rng = Rng::seed_from(23);
+        let geom = Conv2dGeometry::same(3);
+        let wt = Tensor::randn([4, 3, 3, 3], &mut rng);
+        let b = Tensor::randn([4], &mut rng);
+        let xs = [
+            Tensor::randn([1, 3, 6, 6], &mut rng),
+            Tensor::randn([2, 3, 6, 6], &mut rng),
+            Tensor::randn([1, 3, 6, 6], &mut rng),
+        ];
+        let batched = conv2d_multi(&xs, &wt, Some(&b), geom).unwrap();
+        assert_eq!(batched.len(), xs.len());
+        for (x, y) in xs.iter().zip(&batched) {
+            let single = conv2d(x, &wt, Some(&b), geom).unwrap();
+            assert_eq!(single.dims(), y.dims());
+            for (a, c) in single.as_slice().iter().zip(y.as_slice()) {
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+        }
+        // Spatial mismatch across requests is rejected.
+        let bad = [Tensor::zeros([1, 3, 6, 6]), Tensor::zeros([1, 3, 4, 4])];
+        assert!(conv2d_multi(&bad, &wt, Some(&b), geom).is_err());
+        assert!(conv2d_multi(&[], &wt, None, geom).unwrap().is_empty());
     }
 
     #[test]

@@ -178,6 +178,30 @@ fn check_qgemm(op: &'static str, w: &QuantizedMatrix, x_len: usize, n: usize) ->
     Ok(())
 }
 
+/// Widens i8 codes to zero-point-adjusted i32 where the columns of the
+/// `[k, stripe · xqs.len()]` matrix are striped per request: columns
+/// `[s · stripe, (s + 1) · stripe)` of every row use `xqs[s].zero_point`.
+///
+/// When every request shares one zero point (the workspace's symmetric
+/// formats always do) this collapses to the flat [`widen_codes`] sweep.
+fn widen_codes_striped(codes: &[i8], stripe: usize, xqs: &[XQuant]) -> Vec<i32> {
+    if xqs.iter().all(|q| q.zero_point == xqs[0].zero_point) {
+        return widen_codes(codes, xqs.first().map_or(0, |q| q.zero_point));
+    }
+    let n = stripe * xqs.len();
+    let mut out = vec![0i32; codes.len()];
+    parallel::par_chunks_mut(&mut out, n, 2 * n, |row, block| {
+        for (s, xq) in xqs.iter().enumerate() {
+            let src = &codes[row * n + s * stripe..][..stripe];
+            let dst = &mut block[s * stripe..(s + 1) * stripe];
+            for (o, &c) in dst.iter_mut().zip(src.iter()) {
+                *o = c as i32 - xq.zero_point;
+            }
+        }
+    });
+    out
+}
+
 /// Integer GEMM with requantization: `out[i, j] = x.scale · Σ_b w.scale[i, b]
 /// · Σ_{k ∈ block b} w[i, k] · (x[k, j] − x.zero_point)`.
 ///
@@ -202,6 +226,39 @@ pub fn qgemm(
     xq: XQuant,
     out: &mut [f32],
 ) -> Result<()> {
+    qgemm_multi(w, x_codes, n, &[xq], out)
+}
+
+/// Batched integer GEMM: one weight pack applied to a batch of
+/// independently quantized activation matrices, in a single kernel call.
+///
+/// The activation operand packs `xqs.len()` request stripes side by side:
+/// columns `[s · stripe, (s + 1) · stripe)` of the `[k, stripe ·
+/// xqs.len()]` code matrix belong to request `s` and are requantized with
+/// `xqs[s]`. This is the batched-serving entry point — the weight codes,
+/// scales and the per-channel requant parameters are shared by every
+/// request, so the (re)quantization cost of `w` is paid once per batch
+/// instead of once per request.
+///
+/// Every output element is produced by the exact per-request [`qgemm`]
+/// operation sequence (exact i32 block accumulation in ascending-`k`
+/// order, then one f32 requantization per scale block), so the result is
+/// **bitwise identical** to `xqs.len()` independent single-request calls —
+/// at any `SQDM_THREADS`, since rows still fan out over the
+/// [`crate::parallel`] pool in contiguous blocks.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if buffer lengths disagree with
+/// the shapes.
+pub fn qgemm_multi(
+    w: &QuantizedMatrix,
+    x_codes: &[i8],
+    stripe: usize,
+    xqs: &[XQuant],
+    out: &mut [f32],
+) -> Result<()> {
+    let n = stripe * xqs.len();
     check_qgemm("qgemm", w, x_codes.len(), n)?;
     if out.len() != w.rows * n {
         return Err(TensorError::ShapeMismatch {
@@ -215,11 +272,11 @@ pub fn qgemm(
     }
     let k = w.cols;
     let nb = w.n_blocks();
-    // Widen the activation codes (zero point folded in) once, outside the
+    // Widen the activation codes (zero points folded in) once, outside the
     // m-fold inner loops: the hot loop then reduces to a broadcast
     // multiply-accumulate over i32 lanes, which vectorizes like the f32
     // GEMM core. The widened copy costs k·n — amortized over m rows.
-    let xi = widen_codes(x_codes, xq.zero_point);
+    let xi = widen_codes_striped(x_codes, stripe, xqs);
     parallel::par_chunks_mut(out, n, 2 * k * n, |i, o_row| {
         o_row.fill(0.0);
         let mut acc = vec![0i32; n];
@@ -238,9 +295,14 @@ pub fn qgemm(
                     *a += w_ik * x_kj;
                 }
             }
-            let s = w.scales[i * nb + b] * xq.scale;
-            for (o, &a) in o_row.iter_mut().zip(acc.iter()) {
-                *o += a as f32 * s;
+            let ws = w.scales[i * nb + b];
+            for (s, xq) in xqs.iter().enumerate() {
+                let sc = ws * xq.scale;
+                let o_stripe = &mut o_row[s * stripe..(s + 1) * stripe];
+                let a_stripe = &acc[s * stripe..(s + 1) * stripe];
+                for (o, &a) in o_stripe.iter_mut().zip(a_stripe.iter()) {
+                    *o += a as f32 * sc;
+                }
             }
         }
     });
@@ -302,6 +364,40 @@ pub fn qgemm_delta(
     prev_out: &[f32],
     out: &mut [f32],
 ) -> Result<()> {
+    qgemm_delta_multi(w, x_curr, x_prev, changed, n, &[xq], prev_out, out)
+}
+
+/// Batched temporal sparse-delta GEMM: [`qgemm_delta`] over a batch of
+/// independent request streams, each with its **own** change mask.
+///
+/// Columns are striped per request exactly as in [`qgemm_multi`]; the
+/// mask is the per-stream concatenation `changed[s · k + r]` = "reduction
+/// row `r` of stream `s` changed since that stream's previous denoising
+/// step" (`k = w.cols()`). Streams are fully independent: one stream at a
+/// fully-dense step (mask all true) recomputes everything while a
+/// converged neighbor stream skips nearly all of its rows — the
+/// sparse-delta win applies per stream, not per batch.
+///
+/// Bitwise identical to `xqs.len()` independent [`qgemm_delta`] calls at
+/// any thread count, by the same argument as [`qgemm_multi`] (exact i32
+/// accumulation; per-element f32 requantization in identical order).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on any buffer-length
+/// disagreement (codes, mask, previous output, output).
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+pub fn qgemm_delta_multi(
+    w: &QuantizedMatrix,
+    x_curr: &[i8],
+    x_prev: &[i8],
+    changed: &[bool],
+    stripe: usize,
+    xqs: &[XQuant],
+    prev_out: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    let n = stripe * xqs.len();
     check_qgemm("qgemm_delta", w, x_curr.len(), n)?;
     if x_prev.len() != x_curr.len() {
         return Err(TensorError::ShapeMismatch {
@@ -310,11 +406,11 @@ pub fn qgemm_delta(
             rhs: vec![x_curr.len()],
         });
     }
-    if changed.len() != w.cols {
+    if changed.len() != w.cols * xqs.len() {
         return Err(TensorError::ShapeMismatch {
             op: "qgemm_delta(mask)",
             lhs: vec![changed.len()],
-            rhs: vec![w.cols],
+            rhs: vec![xqs.len(), w.cols],
         });
     }
     if out.len() != w.rows * n || prev_out.len() != out.len() {
@@ -332,41 +428,50 @@ pub fn qgemm_delta(
     // Widen the code deltas of the *changed* rows once (zero points
     // cancel); unchanged rows stay zero and are never read. As in
     // [`qgemm`], this keeps the hot loop a vectorizable i32
-    // multiply-accumulate.
+    // multiply-accumulate. Each stream widens only its own changed rows.
     let mut di = vec![0i32; x_curr.len()];
     parallel::par_chunks_mut(&mut di, n, 2 * n, |row, block| {
-        if changed[row] {
-            let cur = &x_curr[row * n..row * n + block.len()];
-            let prv = &x_prev[row * n..row * n + block.len()];
-            for ((o, &c), &p) in block.iter_mut().zip(cur.iter()).zip(prv.iter()) {
+        for s in 0..xqs.len() {
+            if !changed[s * k + row] {
+                continue;
+            }
+            let cols = row * n + s * stripe;
+            let cur = &x_curr[cols..cols + stripe];
+            let prv = &x_prev[cols..cols + stripe];
+            let dst = &mut block[s * stripe..(s + 1) * stripe];
+            for ((o, &c), &p) in dst.iter_mut().zip(cur.iter()).zip(prv.iter()) {
                 *o = c as i32 - p as i32;
             }
         }
     });
     parallel::par_chunks_mut(out, n, 2 * k * n, |i, o_row| {
         o_row.copy_from_slice(&prev_out[i * n..(i + 1) * n]);
-        let mut acc = vec![0i32; n];
+        let mut acc = vec![0i32; stripe];
         let w_row = &w.codes[i * k..(i + 1) * k];
-        for b in 0..nb {
-            let k0 = b * w.block_len;
-            let k1 = (k0 + w.block_len).min(k);
-            if !changed[k0..k1].iter().any(|&c| c) {
-                continue;
-            }
-            acc.fill(0);
-            for (kk, &w_ik) in w_row[k0..k1].iter().enumerate() {
-                if w_ik == 0 || !changed[k0 + kk] {
+        for (s, xq) in xqs.iter().enumerate() {
+            let mask = &changed[s * k..(s + 1) * k];
+            let o_stripe = &mut o_row[s * stripe..(s + 1) * stripe];
+            for b in 0..nb {
+                let k0 = b * w.block_len;
+                let k1 = (k0 + w.block_len).min(k);
+                if !mask[k0..k1].iter().any(|&c| c) {
                     continue;
                 }
-                let w_ik = w_ik as i32;
-                let d_row = &di[(k0 + kk) * n..(k0 + kk + 1) * n];
-                for (a, &d_kj) in acc.iter_mut().zip(d_row.iter()) {
-                    *a += w_ik * d_kj;
+                acc.fill(0);
+                for (kk, &w_ik) in w_row[k0..k1].iter().enumerate() {
+                    if w_ik == 0 || !mask[k0 + kk] {
+                        continue;
+                    }
+                    let w_ik = w_ik as i32;
+                    let d_row = &di[(k0 + kk) * n + s * stripe..][..stripe];
+                    for (a, &d_kj) in acc.iter_mut().zip(d_row.iter()) {
+                        *a += w_ik * d_kj;
+                    }
                 }
-            }
-            let s = w.scales[i * nb + b] * xq.scale;
-            for (o, &a) in o_row.iter_mut().zip(acc.iter()) {
-                *o += a as f32 * s;
+                let sc = w.scales[i * nb + b] * xq.scale;
+                for (o, &a) in o_stripe.iter_mut().zip(acc.iter()) {
+                    *o += a as f32 * sc;
+                }
             }
         }
     });
@@ -425,23 +530,54 @@ pub fn im2col_i8(
     geom: Conv2dGeometry,
     pad_code: i8,
 ) -> Result<Vec<i8>> {
+    im2col_i8_multi(codes, n, c, h, w, kh, kw, geom, &vec![pad_code; n])
+}
+
+/// [`im2col_i8`] with a per-request padding code: sample `nn` of the
+/// `[N, C, H, W]` code map pads with `pad_codes[nn]` — its own activation
+/// zero point. The batched-serving lowering, where each batch element was
+/// quantized independently.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col_i8`], plus
+/// [`TensorError::InvalidArgument`] if `pad_codes.len() != n`.
+#[allow(clippy::too_many_arguments)] // mirrors the f32 im2col geometry tuple
+pub fn im2col_i8_multi(
+    codes: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    geom: Conv2dGeometry,
+    pad_codes: &[i8],
+) -> Result<Vec<i8>> {
     if codes.len() != n * c * h * w {
         return Err(TensorError::InvalidArgument {
             op: "im2col_i8",
             reason: format!("{} codes for [{n}, {c}, {h}, {w}]", codes.len()),
         });
     }
+    if pad_codes.len() != n {
+        return Err(TensorError::InvalidArgument {
+            op: "im2col_i8",
+            reason: format!("{} pad codes for batch {n}", pad_codes.len()),
+        });
+    }
     let oh = geom.out_extent(h, kh)?;
     let ow = geom.out_extent(w, kw)?;
     let rows = c * kh * kw;
     let cols = n * oh * ow;
-    let mut out = vec![pad_code; rows * cols];
+    let mut out = vec![0i8; rows * cols];
     if rows > 0 && cols > 0 {
         parallel::par_chunks_mut(&mut out, cols, 2 * cols, |row, o_row| {
             let cc = row / (kh * kw);
             let ky = (row / kw) % kh;
             let kx = row % kw;
             for nn in 0..n {
+                o_row[nn * oh * ow..(nn + 1) * oh * ow].fill(pad_codes[nn]);
                 for oy in 0..oh {
                     let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
                     if iy < 0 || iy >= h as isize {
@@ -490,6 +626,46 @@ pub fn conv2d_i8(
     geom: Conv2dGeometry,
     xq: XQuant,
 ) -> Result<Tensor> {
+    conv2d_i8_multi(x_codes, n, c, h, w, wq, kh, kw, bias, geom, &vec![xq; n])
+}
+
+/// Batched native integer convolution: one weight pack, `n` independently
+/// quantized batch elements.
+///
+/// Sample `nn` of the `[N, C, H, W]` code map carries its own activation
+/// quantization `xqs[nn]` (scale, zero point, and therefore padding
+/// code). The weight matrix — codes, scale blocks, and the per-channel
+/// requantization parameters — is shared across the whole batch, so
+/// batched serving pays the weight quantization once per step instead of
+/// once per request. Bitwise identical to `n` single-sample
+/// [`conv2d_i8`] calls at any thread count.
+///
+/// # Errors
+///
+/// Returns shape/geometry errors from the lowering or the GEMM, and
+/// [`TensorError::ShapeMismatch`] if `wq`, `bias` or `xqs` disagree with
+/// the activation geometry.
+#[allow(clippy::too_many_arguments)] // conv geometry + quantization params
+pub fn conv2d_i8_multi(
+    x_codes: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    wq: &QuantizedMatrix,
+    kh: usize,
+    kw: usize,
+    bias: Option<&[f32]>,
+    geom: Conv2dGeometry,
+    xqs: &[XQuant],
+) -> Result<Tensor> {
+    if xqs.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_i8(xqs)",
+            lhs: vec![xqs.len()],
+            rhs: vec![n],
+        });
+    }
     if wq.cols() != c * kh * kw {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d_i8",
@@ -509,11 +685,13 @@ pub fn conv2d_i8(
     }
     let oh = geom.out_extent(h, kh)?;
     let ow = geom.out_extent(w, kw)?;
-    let pad_code = xq.zero_point.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
-    let cols = im2col_i8(x_codes, n, c, h, w, kh, kw, geom, pad_code)?;
-    let ncols = n * oh * ow;
-    let mut prod = vec![0.0f32; k * ncols];
-    qgemm(wq, &cols, ncols, xq, &mut prod)?;
+    let pad_codes: Vec<i8> = xqs
+        .iter()
+        .map(|q| q.zero_point.clamp(i8::MIN as i32, i8::MAX as i32) as i8)
+        .collect();
+    let cols = im2col_i8_multi(x_codes, n, c, h, w, kh, kw, geom, &pad_codes)?;
+    let mut prod = vec![0.0f32; k * n * oh * ow];
+    qgemm_multi(wq, &cols, oh * ow, xqs, &mut prod)?;
 
     let spatial = oh * ow;
     let mut out = vec![0.0f32; n * k * spatial];
@@ -733,6 +911,256 @@ mod tests {
         assert!(QuantizedMatrix::new(vec![1, 2], 1, 2, vec![1.0, 1.0], 1).is_ok());
         assert!(QuantizedMatrix::new(vec![1, 2], 1, 2, vec![1.0], 0).is_err());
         assert!(im2col_i8(&[1i8; 3], 1, 1, 2, 2, 3, 3, Conv2dGeometry::same(3), 0).is_err());
+    }
+
+    /// Builds an arbitrary blocked 6x8 weight matrix shared by the multi
+    /// tests.
+    fn multi_test_weight() -> QuantizedMatrix {
+        let codes: Vec<i8> = (0..6 * 8).map(|v| ((v * 23) % 251) as i8).collect();
+        let scales: Vec<f32> = (0..12).map(|v| 0.002 + v as f32 * 3e-4).collect();
+        QuantizedMatrix::new(codes, 6, 8, scales, 4).unwrap()
+    }
+
+    #[test]
+    fn qgemm_multi_is_bitwise_identical_to_per_request_calls() {
+        let w = multi_test_weight();
+        let k = w.cols();
+        let stripe = 5;
+        // Three requests with distinct scales *and* zero points.
+        let xqs = [
+            XQuant {
+                scale: 0.03,
+                zero_point: 2,
+            },
+            XQuant::symmetric(0.011),
+            XQuant {
+                scale: 0.25,
+                zero_point: -7,
+            },
+        ];
+        // Per-request code matrices [k, stripe], then packed side by side.
+        let per: Vec<Vec<i8>> = (0..3)
+            .map(|r| {
+                (0..k * stripe)
+                    .map(|v| ((v * 7 + r * 31) % 229) as i8)
+                    .collect()
+            })
+            .collect();
+        let n = stripe * xqs.len();
+        let mut packed = vec![0i8; k * n];
+        for row in 0..k {
+            for (r, p) in per.iter().enumerate() {
+                packed[row * n + r * stripe..row * n + (r + 1) * stripe]
+                    .copy_from_slice(&p[row * stripe..(row + 1) * stripe]);
+            }
+        }
+        for threads in [1usize, 2, 7] {
+            with_threads(threads, || {
+                let mut batched = vec![0.0f32; w.rows() * n];
+                qgemm_multi(&w, &packed, stripe, &xqs, &mut batched).unwrap();
+                for (r, p) in per.iter().enumerate() {
+                    let mut single = vec![0.0f32; w.rows() * stripe];
+                    qgemm(&w, p, stripe, xqs[r], &mut single).unwrap();
+                    for i in 0..w.rows() {
+                        for j in 0..stripe {
+                            let b = batched[i * n + r * stripe + j];
+                            let s = single[i * stripe + j];
+                            assert_eq!(
+                                b.to_bits(),
+                                s.to_bits(),
+                                "request {r} ({i},{j}) at {threads} threads: {b} vs {s}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn qgemm_delta_multi_applies_each_streams_own_mask() {
+        let w = multi_test_weight();
+        let k = w.cols();
+        let stripe = 4;
+        let xqs = [XQuant::symmetric(0.02), XQuant::symmetric(0.05)];
+        // Stream 0 changes rows {1, 6}; stream 1 changes rows {0, 3, 7}.
+        let masks = [
+            [false, true, false, false, false, false, true, false],
+            [true, false, false, true, false, false, false, true],
+        ];
+        let prev: Vec<Vec<i8>> = (0..2)
+            .map(|r| {
+                (0..k * stripe)
+                    .map(|v| ((v * 13 + r * 17) % 211) as i8)
+                    .collect()
+            })
+            .collect();
+        let curr: Vec<Vec<i8>> = prev
+            .iter()
+            .zip(masks.iter())
+            .map(|(p, m)| {
+                let mut c = p.clone();
+                for (row, &ch) in m.iter().enumerate() {
+                    if ch {
+                        for v in &mut c[row * stripe..(row + 1) * stripe] {
+                            *v = v.wrapping_add(4);
+                        }
+                    }
+                }
+                c
+            })
+            .collect();
+        let pack = |srcs: &[Vec<i8>]| {
+            let n = stripe * srcs.len();
+            let mut out = vec![0i8; k * n];
+            for row in 0..k {
+                for (r, p) in srcs.iter().enumerate() {
+                    out[row * n + r * stripe..row * n + (r + 1) * stripe]
+                        .copy_from_slice(&p[row * stripe..(row + 1) * stripe]);
+                }
+            }
+            out
+        };
+        let n = stripe * 2;
+        let packed_prev = pack(&prev);
+        let packed_curr = pack(&curr);
+        let flat_mask: Vec<bool> = masks.iter().flatten().copied().collect();
+        let mut prev_out = vec![0.0f32; w.rows() * n];
+        qgemm_multi(&w, &packed_prev, stripe, &xqs, &mut prev_out).unwrap();
+        for threads in [1usize, 2, 7] {
+            with_threads(threads, || {
+                let mut batched = vec![0.0f32; w.rows() * n];
+                qgemm_delta_multi(
+                    &w,
+                    &packed_curr,
+                    &packed_prev,
+                    &flat_mask,
+                    stripe,
+                    &xqs,
+                    &prev_out,
+                    &mut batched,
+                )
+                .unwrap();
+                for r in 0..2 {
+                    let mut sprev = vec![0.0f32; w.rows() * stripe];
+                    qgemm(&w, &prev[r], stripe, xqs[r], &mut sprev).unwrap();
+                    let mut single = vec![0.0f32; w.rows() * stripe];
+                    qgemm_delta(
+                        &w,
+                        &curr[r],
+                        &prev[r],
+                        &masks[r],
+                        stripe,
+                        xqs[r],
+                        &sprev,
+                        &mut single,
+                    )
+                    .unwrap();
+                    for i in 0..w.rows() {
+                        for j in 0..stripe {
+                            let b = batched[i * n + r * stripe + j];
+                            let s = single[i * stripe + j];
+                            assert_eq!(
+                                b.to_bits(),
+                                s.to_bits(),
+                                "stream {r} ({i},{j}) at {threads} threads"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn conv2d_i8_multi_matches_per_sample_convs_bitwise() {
+        let (n, c, h, w_ext) = (3usize, 2usize, 5usize, 4usize);
+        let geom = Conv2dGeometry::same(3);
+        let wq = QuantizedMatrix::per_channel(
+            (0..2 * 18).map(|v| ((v * 41) % 253) as i8).collect(),
+            2,
+            18,
+            vec![0.004, 0.009],
+        )
+        .unwrap();
+        let bias = [0.5f32, -0.25];
+        let xqs = [
+            XQuant::symmetric(0.02),
+            XQuant {
+                scale: 0.05,
+                zero_point: 3,
+            },
+            XQuant::symmetric(0.013),
+        ];
+        let stride = c * h * w_ext;
+        let codes: Vec<i8> = (0..n * stride).map(|v| ((v * 29) % 241) as i8).collect();
+        let batched =
+            conv2d_i8_multi(&codes, n, c, h, w_ext, &wq, 3, 3, Some(&bias), geom, &xqs).unwrap();
+        for nn in 0..n {
+            let single = conv2d_i8(
+                &codes[nn * stride..(nn + 1) * stride],
+                1,
+                c,
+                h,
+                w_ext,
+                &wq,
+                3,
+                3,
+                Some(&bias),
+                geom,
+                xqs[nn],
+            )
+            .unwrap();
+            let per = single.len();
+            for (j, (&b, &s)) in batched.as_slice()[nn * per..(nn + 1) * per]
+                .iter()
+                .zip(single.as_slice())
+                .enumerate()
+            {
+                assert_eq!(b.to_bits(), s.to_bits(), "sample {nn} element {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_kernels_report_shape_errors() {
+        let w = QuantizedMatrix::per_channel(vec![1, 2, 3, 4], 2, 2, vec![1.0, 1.0]).unwrap();
+        let xqs = [XQuant::symmetric(1.0), XQuant::symmetric(0.5)];
+        let mut out = vec![0.0f32; 2 * 2 * 2];
+        // Wrong code length for 2 stripes of width 2.
+        assert!(qgemm_multi(&w, &[1i8; 7], 2, &xqs, &mut out).is_err());
+        // Mask length must be streams x k.
+        assert!(qgemm_delta_multi(
+            &w, &[1i8; 8], &[1i8; 8], &[true; 3], 2, &xqs, &[0.0; 8], &mut out,
+        )
+        .is_err());
+        // Per-request quantization list must match the batch size.
+        assert!(conv2d_i8_multi(
+            &[1i8; 8],
+            2,
+            1,
+            2,
+            2,
+            &QuantizedMatrix::per_channel(vec![1; 4], 1, 4, vec![1.0]).unwrap(),
+            2,
+            2,
+            None,
+            Conv2dGeometry::new(1, 0),
+            &xqs[..1],
+        )
+        .is_err());
+        assert!(im2col_i8_multi(
+            &[1i8; 8],
+            2,
+            1,
+            2,
+            2,
+            2,
+            2,
+            Conv2dGeometry::new(1, 0),
+            &[0, 0, 0],
+        )
+        .is_err());
     }
 
     #[test]

@@ -164,6 +164,68 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, [m, n])
 }
 
+/// Multi-request `a × bᵀ`: applies one shared right-hand operand to a
+/// batch of row blocks in a single GEMM call.
+///
+/// Each request `xs[i]` is `[mᵢ, k]`; the row blocks are stacked into one
+/// `[Σmᵢ, k]` operand, `b` (`[n, k]`) is packed into row-major `[k, n]`
+/// **once** for the whole batch, and one [`matmul_a_bt`]-shaped GEMM
+/// produces all outputs. This is the f32 batched-serving entry point: the
+/// transpose pack of the (weight) operand is amortized across requests
+/// and the worker pool sees `Σmᵢ` rows instead of `mᵢ` at a time.
+///
+/// Because every output element's reduction runs over `k` in ascending
+/// order on exactly one thread, each returned `[mᵢ, n]` tensor is bitwise
+/// identical to `matmul_a_bt(&xs[i], b)` at any `SQDM_THREADS`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`]/[`TensorError::ShapeMismatch`]
+/// if any request is not rank 2 or disagrees with `b` on the reduction
+/// length.
+pub fn matmul_a_bt_multi(xs: &[Tensor], b: &Tensor) -> Result<Vec<Tensor>> {
+    let (n, k) = match b.dims() {
+        [n, k] => (*n, *k),
+        _ => {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_a_bt_multi",
+                expected: 2,
+                actual: b.rank(),
+            })
+        }
+    };
+    let mut total_rows = 0usize;
+    for x in xs {
+        check_rank2("matmul_a_bt_multi", x, b)?;
+        if x.dims()[1] != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_a_bt_multi",
+                lhs: x.dims().to_vec(),
+                rhs: b.dims().to_vec(),
+            });
+        }
+        total_rows += x.dims()[0];
+    }
+    let mut lhs = Vec::with_capacity(total_rows * k);
+    for x in xs {
+        lhs.extend_from_slice(x.as_slice());
+    }
+    let bt = pack_transpose(b.as_slice(), n, k);
+    let mut out = vec![0.0f32; total_rows * n];
+    gemm_rows(&lhs, &bt, &mut out, total_rows, k, n);
+    let mut results = Vec::with_capacity(xs.len());
+    let mut row = 0usize;
+    for x in xs {
+        let m = x.dims()[0];
+        results.push(Tensor::from_vec(
+            out[row * n..(row + m) * n].to_vec(),
+            [m, n],
+        )?);
+        row += m;
+    }
+    Ok(results)
+}
+
 /// Transposes a rank-2 tensor.
 ///
 /// # Errors
@@ -310,6 +372,29 @@ mod tests {
         assert!(y.get(&[0, 1]).unwrap().is_nan());
         assert_eq!(y.get(&[1, 0]).unwrap(), 3.0);
         assert_eq!(y.get(&[1, 1]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn multi_request_gemm_matches_per_request_calls_bitwise() {
+        let mut rng = Rng::seed_from(9);
+        let b = Tensor::randn([6, 5], &mut rng);
+        let xs = [
+            Tensor::randn([3, 5], &mut rng),
+            Tensor::randn([1, 5], &mut rng),
+            Tensor::randn([4, 5], &mut rng),
+        ];
+        let batched = matmul_a_bt_multi(&xs, &b).unwrap();
+        assert_eq!(batched.len(), xs.len());
+        for (x, y) in xs.iter().zip(&batched) {
+            let single = matmul_a_bt(x, &b).unwrap();
+            assert_eq!(single.dims(), y.dims());
+            for (a, c) in single.as_slice().iter().zip(y.as_slice()) {
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+        }
+        // Reduction-length mismatch is rejected.
+        assert!(matmul_a_bt_multi(&[Tensor::zeros([2, 4])], &b).is_err());
+        assert!(matmul_a_bt_multi(&[], &b).unwrap().is_empty());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!
 //! Small workloads bypass the pool entirely: dispatching a task costs a
 //! queue lock plus a condvar wake, so regions are only split when each
-//! task gets at least [`MIN_WORK_PER_TASK`] work units (roughly flops).
+//! task gets at least `MIN_WORK_PER_TASK` work units (roughly flops).
 
 use std::any::Any;
 use std::cell::Cell;

@@ -351,6 +351,30 @@ impl Tensor {
             data: self.data[start..start + h * w].to_vec(),
         })
     }
+
+    /// Extracts batch element `n` of a rank-4 `[N, C, H, W]` tensor as a
+    /// `[1, C, H, W]` tensor — the per-request slice every batched-serving
+    /// path (per-sample quantization, per-stream traces, output splitting)
+    /// is built on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 4 or `n` is out of
+    /// range.
+    pub fn batch_sample(&self, n: usize) -> Result<Tensor> {
+        let (nn, c, h, w) = self.shape.as_nchw()?;
+        if n >= nn {
+            return Err(TensorError::InvalidArgument {
+                op: "batch_sample",
+                reason: format!("index n={n} out of range ({nn})"),
+            });
+        }
+        let stride = c * h * w;
+        Ok(Tensor {
+            shape: Shape::from([1, c, h, w]),
+            data: self.data[n * stride..(n + 1) * stride].to_vec(),
+        })
+    }
 }
 
 impl Default for Tensor {

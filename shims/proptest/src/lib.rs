@@ -260,7 +260,7 @@ pub mod collection {
     use rand::Rng as _;
     use std::ops::Range;
 
-    /// Number-of-elements specification for [`vec`].
+    /// Number-of-elements specification for [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange(Range<usize>);
 
@@ -285,7 +285,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
