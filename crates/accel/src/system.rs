@@ -203,13 +203,29 @@ impl RunStats {
     }
 
     /// Speed-up of this run relative to a baseline (`baseline / self`).
+    ///
+    /// Returns [`f64::NAN`] when either run is empty (zero cycles): an
+    /// empty run has no speed to compare, and clamping only one side — as
+    /// an earlier version did — silently reported `0×` for an empty
+    /// baseline while inventing a huge finite ratio for an empty `self`.
     pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
-        baseline.cycles as f64 / self.cycles.max(1) as f64
+        if self.cycles == 0 || baseline.cycles == 0 {
+            return f64::NAN;
+        }
+        baseline.cycles as f64 / self.cycles as f64
     }
 
     /// Fractional energy saving relative to a baseline.
+    ///
+    /// Returns [`f64::NAN`] when either run carries no energy: clamping
+    /// only the baseline — as an earlier version did — reported a perfect
+    /// `100%` saving for any empty run.
     pub fn energy_saving_vs(&self, baseline: &RunStats) -> f64 {
-        1.0 - self.energy.total_pj() / baseline.energy.total_pj().max(1e-12)
+        let (own, base) = (self.energy.total_pj(), baseline.energy.total_pj());
+        if own <= 0.0 || base <= 0.0 {
+            return f64::NAN;
+        }
+        1.0 - own / base
     }
 }
 
@@ -506,6 +522,30 @@ mod tests {
         );
         assert!(half.cycles < full.cycles);
         assert!(half.energy.total_pj() < full.energy.total_pj());
+    }
+
+    #[test]
+    fn empty_run_ratios_are_nan_in_both_directions() {
+        // Regression: `speedup_vs` used to clamp only `self.cycles` and
+        // `energy_saving_vs` only the baseline, so an empty run reported
+        // 0× speedup or a perfect 100% saving depending on which side it
+        // sat. Both ratios are now symmetric: any empty side means the
+        // comparison is undefined.
+        let empty = RunStats::default();
+        let mut real = RunStats::default();
+        let acc = Accelerator::new(AcceleratorConfig::dense_baseline());
+        real.push(&acc.run_layer(&demo_layer(0.3), None, LayerQuant::int4()));
+
+        assert!(empty.speedup_vs(&real).is_nan());
+        assert!(real.speedup_vs(&empty).is_nan());
+        assert!(empty.speedup_vs(&empty).is_nan());
+        assert!(empty.energy_saving_vs(&real).is_nan());
+        assert!(real.energy_saving_vs(&empty).is_nan());
+        assert!(empty.energy_saving_vs(&empty).is_nan());
+
+        // Non-empty comparisons are unchanged by the guard.
+        assert_eq!(real.speedup_vs(&real), 1.0);
+        assert!(real.energy_saving_vs(&real).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Online-serving load test: continuous batching vs. gang scheduling.
+//!
+//! `sqdm_edm::serve::Scheduler` admits queued requests into the in-flight
+//! batch at step boundaries (continuous batching); the
+//! `AdmissionPolicy::Gang` baseline waits for `max_batch` requests to
+//! assemble before launching a static batch. Under staggered Poisson
+//! arrivals the two run the same total work — every output is bitwise the
+//! solo `sample()` image either way — but continuous admission starts each
+//! request as soon as capacity allows, so its **mean request latency** (in
+//! virtual steps, from `ServeStats`) is strictly better; the gang
+//! baseline's first arrival idles until the gang fills.
+//!
+//! The Criterion timings compare wall-clock per full trace drain; the
+//! latency comparison is printed (and asserted) once per group from the
+//! schedulers' `ServeStats`, since virtual-step latency is deterministic
+//! and needs no repeated measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqdm_bench::poisson_arrivals;
+use sqdm_edm::serve::{AdmissionPolicy, ScheduledRequest, Scheduler, ServeRequest};
+use sqdm_edm::{block_ids, Denoiser, EdmSchedule, UNet, UNetConfig};
+use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
+use sqdm_tensor::Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Concurrent requests in the load trace.
+const REQUESTS: usize = 8;
+/// Mean arrivals per virtual step of the Poisson trace.
+const RATE: f64 = 0.8;
+/// In-flight batch capacity.
+const MAX_BATCH: usize = 4;
+
+/// The Poisson load trace: mixed 2/3-step budgets, staggered arrivals.
+fn trace() -> Vec<ScheduledRequest> {
+    poisson_arrivals(REQUESTS, RATE, 42)
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival)| {
+            ScheduledRequest::new(
+                ServeRequest {
+                    id: i as u64,
+                    seed: i as u64 + 1,
+                    steps: 2 + i % 2,
+                },
+                arrival,
+            )
+        })
+        .collect()
+}
+
+fn bench_serve_load(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let mut net = UNet::new(UNetConfig::default(), &mut rng).expect("default UNet");
+    let den = Denoiser::new(EdmSchedule::default());
+    let asg = PrecisionAssignment::uniform(
+        block_ids::COUNT,
+        BlockPrecision::uniform(QuantFormat::int8()),
+        "INT8",
+    )
+    .with_mode(ExecMode::NativeInt);
+    let requests = trace();
+
+    let continuous = Scheduler::new(den, MAX_BATCH).with_traces(false);
+    let gang = continuous.with_policy(AdmissionPolicy::Gang);
+
+    // Latency comparison on the virtual clock (deterministic — one run).
+    let (_, cont_stats) = continuous.run(&mut net, &requests, Some(&asg)).unwrap();
+    let (_, gang_stats) = gang.run(&mut net, &requests, Some(&asg)).unwrap();
+    println!(
+        "serve_load: mean latency {:.2} steps continuous vs {:.2} gang \
+         (queue delay {:.2} vs {:.2}, occupancy {:.2} vs {:.2})",
+        cont_stats.mean_latency(),
+        gang_stats.mean_latency(),
+        cont_stats.mean_queue_delay(),
+        gang_stats.mean_queue_delay(),
+        cont_stats.mean_batch_occupancy(),
+        gang_stats.mean_batch_occupancy(),
+    );
+    assert!(
+        cont_stats.mean_latency() < gang_stats.mean_latency(),
+        "continuous batching must beat gang scheduling on mean latency: {} vs {}",
+        cont_stats.mean_latency(),
+        gang_stats.mean_latency()
+    );
+
+    let mut group = c.benchmark_group("serve_load");
+    group.bench_function(format!("continuous_poisson_n{REQUESTS}"), |b| {
+        b.iter(|| black_box(continuous.run(&mut net, &requests, Some(&asg)).unwrap()))
+    });
+    group.bench_function(format!("gang_poisson_n{REQUESTS}"), |b| {
+        b.iter(|| black_box(gang.run(&mut net, &requests, Some(&asg)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench_serve_load
+}
+criterion_main!(benches);

@@ -1,10 +1,13 @@
 //! Machine-readable perf smoke harness for the CI perf trajectory.
 //!
 //! Runs small fixed-shape timings of the repo's hot kernels — dense f32
-//! GEMM, native-int `qgemm`, temporal sparse-delta `qgemm_delta`, and a
-//! batched vs. one-at-a-time sampler step — and emits **one JSON object
-//! per result** (NDJSON) on stdout, mirrored into a `BENCH_ci.json`
-//! artifact so every CI run appends a point to the perf trajectory.
+//! GEMM, native-int `qgemm`, temporal sparse-delta `qgemm_delta`, a
+//! batched vs. one-at-a-time sampler step, and a Poisson-arrival online
+//! serving scenario (continuous batching vs. gang scheduling, with
+//! virtual-step latency metrics) — and emits **one JSON object per
+//! result** (NDJSON) on stdout, mirrored into a `BENCH_ci.json` snapshot
+//! that is committed at the repo root so the perf trajectory accumulates
+//! in git history (CI also uploads it as a workflow artifact).
 //!
 //! Usage:
 //!
@@ -20,7 +23,10 @@
 
 #![warn(missing_docs)]
 
-use sqdm_edm::serve::{BatchSampler, ServeRequest};
+use sqdm_bench::poisson_arrivals;
+use sqdm_edm::serve::{
+    AdmissionPolicy, BatchSampler, ScheduledRequest, Scheduler, ServeRequest, ServeStats,
+};
 use sqdm_edm::{block_ids, sample, Denoiser, EdmSchedule, SamplerConfig, UNet, UNetConfig};
 use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
 use sqdm_sparsity::TemporalTrace;
@@ -37,6 +43,12 @@ const GEMM_DIM: usize = 256;
 const BATCH: usize = 4;
 /// Step budget per request in the sampler-step comparison.
 const STEPS: usize = 3;
+/// Requests in the Poisson-arrival serving scenario.
+const SERVE_REQUESTS: usize = 6;
+/// Mean arrivals per virtual step of the Poisson serving trace.
+const SERVE_RATE: f64 = 0.8;
+/// In-flight capacity of the serving scenario's scheduler.
+const SERVE_MAX_BATCH: usize = 3;
 
 /// One timing result, serialized by hand (one JSON object per line).
 struct BenchResult {
@@ -222,6 +234,83 @@ fn sampler_benches(results: &mut Vec<BenchResult>) {
     results.push(batched);
 }
 
+/// Online-serving scenario: the same Poisson-arrival trace drained by the
+/// continuous-batching scheduler and by the gang-scheduling baseline.
+/// Besides wall-clock, each result carries the deterministic virtual-step
+/// latency metrics from `ServeStats`, so the perf trajectory records what
+/// continuous admission buys (outputs are bitwise identical either way).
+fn serving_benches(results: &mut Vec<BenchResult>) {
+    let mut rng = Rng::seed_from(11);
+    let mut net = UNet::new(UNetConfig::default(), &mut rng).expect("default UNet");
+    let den = Denoiser::new(EdmSchedule::default());
+    let asg = PrecisionAssignment::uniform(
+        block_ids::COUNT,
+        BlockPrecision::uniform(QuantFormat::int8()),
+        "INT8",
+    )
+    .with_mode(ExecMode::NativeInt);
+    let requests: Vec<ScheduledRequest> = poisson_arrivals(SERVE_REQUESTS, SERVE_RATE, 42)
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival)| {
+            ScheduledRequest::new(
+                ServeRequest {
+                    id: i as u64,
+                    seed: i as u64 + 1,
+                    steps: 2 + i % 2,
+                },
+                arrival,
+            )
+        })
+        .collect();
+    let shape = format!(
+        "{SERVE_REQUESTS}req rate={SERVE_RATE} max_batch={SERVE_MAX_BATCH} \
+         {}x{}x{} int8-native",
+        net.config().in_channels,
+        net.config().image_size,
+        net.config().image_size
+    );
+
+    let continuous = Scheduler::new(den, SERVE_MAX_BATCH).with_traces(false);
+    let gang = continuous.with_policy(AdmissionPolicy::Gang);
+    let latency_fields = |stats: &ServeStats| {
+        vec![
+            (
+                "mean_latency_steps".into(),
+                format!("{:.3}", stats.mean_latency()),
+            ),
+            (
+                "mean_queue_delay_steps".into(),
+                format!("{:.3}", stats.mean_queue_delay()),
+            ),
+            (
+                "mean_batch_occupancy".into(),
+                format!("{:.3}", stats.mean_batch_occupancy()),
+            ),
+        ]
+    };
+    let cont_stats = continuous.run(&mut net, &requests, Some(&asg)).unwrap().1;
+    let gang_stats = gang.run(&mut net, &requests, Some(&asg)).unwrap().1;
+
+    let mut cont_res = time("serve_poisson_continuous", shape.clone(), 3, || {
+        black_box(continuous.run(&mut net, &requests, Some(&asg)).unwrap());
+    });
+    cont_res.extra = latency_fields(&cont_stats);
+    cont_res.extra.push((
+        "latency_win_vs_gang".into(),
+        format!(
+            "{:.3}",
+            gang_stats.mean_latency() / cont_stats.mean_latency()
+        ),
+    ));
+    let mut gang_res = time("serve_poisson_gang", shape, 3, || {
+        black_box(gang.run(&mut net, &requests, Some(&asg)).unwrap());
+    });
+    gang_res.extra = latency_fields(&gang_stats);
+    results.push(cont_res);
+    results.push(gang_res);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
@@ -234,9 +323,10 @@ fn main() {
     let mut results = Vec::new();
     kernel_benches(&mut results);
     sampler_benches(&mut results);
+    serving_benches(&mut results);
 
     let meta = format!(
-        "{{\"bench\": \"meta\", \"threads\": {}, \"gemm_dim\": {GEMM_DIM}, \"sampler_batch\": {BATCH}, \"sampler_steps\": {STEPS}}}",
+        "{{\"bench\": \"meta\", \"threads\": {}, \"gemm_dim\": {GEMM_DIM}, \"sampler_batch\": {BATCH}, \"sampler_steps\": {STEPS}, \"serve_requests\": {SERVE_REQUESTS}, \"serve_max_batch\": {SERVE_MAX_BATCH}}}",
         parallel::current_threads()
     );
     let mut lines = vec![meta];

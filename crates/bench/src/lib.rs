@@ -31,6 +31,25 @@ pub fn bench_scale() -> ExperimentScale {
     ExperimentScale::quick()
 }
 
+/// Deterministic Poisson-process arrival trace for the serving benches:
+/// `n` arrival steps with exponential inter-arrival gaps of mean
+/// `1.0 / rate` virtual steps, floored onto the scheduler's integer step
+/// clock. Seeded, so every bench and CI run replays the identical trace.
+pub fn poisson_arrivals(n: usize, rate: f64, seed: u64) -> Vec<usize> {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    let mut rng = sqdm_tensor::Rng::seed_from(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // Inverse-CDF exponential; uniform() is in [0, 1), so the
+            // argument of ln stays strictly positive.
+            let u = f64::from(rng.uniform());
+            t += -(1.0 - u).ln() / rate;
+            t.floor() as usize
+        })
+        .collect()
+}
+
 static PAIRS: OnceLock<Mutex<Vec<(DatasetKind, ExperimentScale, TrainedPair)>>> = OnceLock::new();
 
 /// A trained pair for `kind` at `scale`, cached per process so benches and
@@ -72,5 +91,16 @@ mod tests {
         let _ = bench_scale();
         let s = report_scale();
         assert!(s.train.steps > 0);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_monotone() {
+        let a = poisson_arrivals(16, 0.7, 42);
+        let b = poisson_arrivals(16, 0.7, 42);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals sorted: {a:?}");
+        // A higher rate packs the same requests into fewer steps.
+        let dense = poisson_arrivals(16, 7.0, 42);
+        assert!(dense.last() < a.last(), "{dense:?} vs {a:?}");
     }
 }

@@ -54,5 +54,8 @@ pub use sampler::{
     sample, sample_stochastic, sample_with_observer, ChurnConfig, SamplerConfig, StepObserver,
 };
 pub use schedule::EdmSchedule;
-pub use serve::{delta_row_masks, serve_batch, BatchSampler, ServeRequest, ServedOutput};
+pub use serve::{
+    delta_row_masks, serve_batch, AdmissionPolicy, BatchSampler, RequestStats, ScheduledRequest,
+    Scheduler, ServeRequest, ServeStats, ServedOutput,
+};
 pub use train::{finetune_relu, train, train_step, TrainConfig, TrainReport};

@@ -33,15 +33,36 @@
 //! nearly all of its reduction rows. [`delta_row_masks`] assembles the
 //! concatenated per-stream row mask in exactly the layout that kernel
 //! consumes.
+//!
+//! # Continuous batching
+//!
+//! [`BatchSampler::run`] serves a *static* batch: every request must be
+//! present before the first Heun round. The [`Scheduler`] on top of it is
+//! an Orca-style continuous-batching front-end: requests carry an
+//! [`ScheduledRequest::arrival_step`] on a virtual clock (one tick per
+//! outer denoise round), a pending queue feeds an in-flight batch capped
+//! at [`Scheduler::max_batch`], and queued requests are admitted at step
+//! boundaries — the packed `[A, C, S, S]` state re-forms as streams join
+//! and retire, so a long-running request never blocks a short one behind
+//! a full gang. Admission order is an [`AdmissionPolicy`] (FIFO,
+//! shortest-budget-first, or the gang-scheduling baseline), and every run
+//! records per-request queueing delay and latency plus per-round batch
+//! occupancy and wall-clock into a serializable [`ServeStats`].
+//!
+//! The determinism contract extends unchanged: admission timing only
+//! decides *which* rounds a stream shares with whom, never the arithmetic
+//! inside its own stripe, so any request's output is bitwise identical to
+//! a solo [`crate::sample`] run regardless of who shares its batch.
 
 use crate::denoiser::Denoiser;
 use crate::error::{EdmError, Result};
-use crate::model::{ActEvent, RunConfig, UNet};
+use crate::model::{ActEvent, RunConfig, UNet, UNetConfig};
 use serde::{Deserialize, Serialize};
 use sqdm_quant::PrecisionAssignment;
 use sqdm_sparsity::{channel_sparsity, ChangeMask, TemporalTrace};
 use sqdm_tensor::{Rng, Tensor};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// One queued generation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,6 +179,18 @@ struct Stream {
     traces: BTreeMap<(usize, usize), TemporalTrace>,
 }
 
+impl Stream {
+    /// Consumes a retired stream into its served output.
+    fn into_output(self) -> ServedOutput {
+        ServedOutput {
+            id: self.request.id,
+            image: self.x,
+            steps: self.request.steps,
+            traces: self.traces,
+        }
+    }
+}
+
 impl BatchSampler {
     /// Creates a batch sampler with per-stream trace recording enabled.
     pub fn new(den: Denoiser) -> Self {
@@ -192,31 +225,12 @@ impl BatchSampler {
         requests: &[ServeRequest],
         assignment: Option<&PrecisionAssignment>,
     ) -> Result<Vec<ServedOutput>> {
+        validate_unique_ids(requests.iter().map(|r| r.id))?;
         let mcfg = *net.config();
-        let s = mcfg.image_size;
-        let chw = mcfg.in_channels * s * s;
-        let mut streams = Vec::with_capacity(requests.len());
-        for req in requests {
-            // The Karras grid needs at least two sigma points.
-            if req.steps < 2 {
-                return Err(EdmError::Config {
-                    reason: format!(
-                        "request {} has step budget {}; at least 2 required",
-                        req.id, req.steps
-                    ),
-                });
-            }
-            let grid = self.den.schedule.sigma_steps(req.steps);
-            let mut rng = Rng::seed_from(req.seed);
-            let x = Tensor::randn([1, mcfg.in_channels, s, s], &mut rng).scale(grid[0]);
-            streams.push(Stream {
-                request: *req,
-                grid,
-                cursor: 0,
-                x,
-                traces: BTreeMap::new(),
-            });
-        }
+        let mut streams = requests
+            .iter()
+            .map(|req| self.make_stream(&mcfg, req))
+            .collect::<Result<Vec<_>>>()?;
 
         loop {
             let active: Vec<usize> = (0..streams.len())
@@ -225,99 +239,489 @@ impl BatchSampler {
             if active.is_empty() {
                 break;
             }
-            // Pack the in-flight states into one [A, C, S, S] batch; every
-            // stream contributes its own sigma, so streams at different
-            // noise steps share the forward.
-            let packed = pack_states(&streams, &active, chw)?;
-            let sigmas: Vec<f32> = active
-                .iter()
-                .map(|&i| streams[i].grid[streams[i].cursor])
-                .collect();
-            let d0 = {
-                let record = self.record_traces;
-                let mut obs = |ev: ActEvent<'_>| {
-                    record_event(&mut streams, &active, &ev);
-                };
+            self.round(net, &mut streams, &active, assignment)?;
+        }
+
+        Ok(streams.into_iter().map(Stream::into_output).collect())
+    }
+
+    /// Initializes one stream: validates the step budget and draws the
+    /// request's private initial noise. The state depends only on
+    /// `(seed, steps)`, never on *when* the stream is admitted, which is
+    /// what lets the [`Scheduler`] create streams lazily at admission
+    /// without perturbing results.
+    fn make_stream(&self, mcfg: &UNetConfig, req: &ServeRequest) -> Result<Stream> {
+        // The Karras grid needs at least two sigma points.
+        if req.steps < 2 {
+            return Err(EdmError::Config {
+                reason: format!(
+                    "request {} has step budget {}; at least 2 required",
+                    req.id, req.steps
+                ),
+            });
+        }
+        let s = mcfg.image_size;
+        let grid = self.den.schedule.sigma_steps(req.steps);
+        let mut rng = Rng::seed_from(req.seed);
+        let x = Tensor::randn([1, mcfg.in_channels, s, s], &mut rng).scale(grid[0]);
+        Ok(Stream {
+            request: *req,
+            grid,
+            cursor: 0,
+            x,
+            traces: BTreeMap::new(),
+        })
+    }
+
+    /// Advances the `active` streams by one Heun step with one batched
+    /// denoiser evaluation (plus one batched correction evaluation for the
+    /// streams not on their final step). The batch composition may differ
+    /// on every call — streams join and retire between rounds — and each
+    /// stream's arithmetic is independent of its neighbors, so any
+    /// composition produces the solo-`sample()` bits.
+    fn round(
+        &self,
+        net: &mut UNet,
+        streams: &mut [Stream],
+        active: &[usize],
+        assignment: Option<&PrecisionAssignment>,
+    ) -> Result<()> {
+        let dims = streams[active[0]].x.dims();
+        let (c, s) = (dims[1], dims[2]);
+        let chw = c * s * s;
+        // Pack the in-flight states into one [A, C, S, S] batch; every
+        // stream contributes its own sigma, so streams at different
+        // noise steps share the forward.
+        let packed = pack_states(streams, active, chw)?;
+        let sigmas: Vec<f32> = active
+            .iter()
+            .map(|&i| streams[i].grid[streams[i].cursor])
+            .collect();
+        let d0 = {
+            let record = self.record_traces;
+            let mut obs = |ev: ActEvent<'_>| {
+                record_event(streams, active, &ev);
+            };
+            let mut rc = RunConfig {
+                train: false,
+                assignment,
+                observer: if record { Some(&mut obs) } else { None },
+                batched: true,
+            };
+            self.den.denoise(net, &packed, &sigmas, &mut rc)?
+        };
+        // First-order (Euler) update per stream, exactly the arithmetic
+        // of `crate::sample` on this stream's state.
+        let mut midpoints: Vec<(usize, Tensor, Tensor)> = Vec::new(); // (stream, x_next, slope)
+        for (slot, &i) in active.iter().enumerate() {
+            let st = &streams[i];
+            let (sig, sig_next) = (st.grid[st.cursor], st.grid[st.cursor + 1]);
+            let d0_i = d0.batch_sample(slot)?;
+            let slope = st.x.sub(&d0_i)?.scale(1.0 / sig);
+            let mut x_next = st.x.clone();
+            x_next.add_scaled(&slope, sig_next - sig)?;
+            midpoints.push((i, x_next, slope));
+        }
+        // Heun correction, batched over the streams whose next sigma is
+        // nonzero (a stream's final step is first-order, as in
+        // `crate::sample`).
+        let corr: Vec<usize> = midpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, (i, _, _))| {
+                let st = &streams[*i];
+                st.grid[st.cursor + 1] > 0.0
+            })
+            .map(|(slot, _)| slot)
+            .collect();
+        if !corr.is_empty() {
+            let mut packed_next = Vec::with_capacity(corr.len() * chw);
+            let mut sig_nexts = Vec::with_capacity(corr.len());
+            for &slot in &corr {
+                let (i, x_next, _) = &midpoints[slot];
+                packed_next.extend_from_slice(x_next.as_slice());
+                let st = &streams[*i];
+                sig_nexts.push(st.grid[st.cursor + 1]);
+            }
+            let packed_next = Tensor::from_vec(packed_next, [corr.len(), c, s, s])?;
+            let d1 = {
                 let mut rc = RunConfig {
                     train: false,
                     assignment,
-                    observer: if record { Some(&mut obs) } else { None },
+                    observer: None,
                     batched: true,
                 };
-                self.den.denoise(net, &packed, &sigmas, &mut rc)?
+                self.den.denoise(net, &packed_next, &sig_nexts, &mut rc)?
             };
-            // First-order (Euler) update per stream, exactly the arithmetic
-            // of `crate::sample` on this stream's state.
-            let mut midpoints: Vec<(usize, Tensor, Tensor)> = Vec::new(); // (stream, x_next, slope)
-            for (slot, &i) in active.iter().enumerate() {
-                let st = &streams[i];
+            for (cslot, &slot) in corr.iter().enumerate() {
+                let (i, x_next, slope) = &midpoints[slot];
+                let st = &streams[*i];
                 let (sig, sig_next) = (st.grid[st.cursor], st.grid[st.cursor + 1]);
-                let d0_i = d0.batch_sample(slot)?;
-                let slope = st.x.sub(&d0_i)?.scale(1.0 / sig);
-                let mut x_next = st.x.clone();
-                x_next.add_scaled(&slope, sig_next - sig)?;
-                midpoints.push((i, x_next, slope));
-            }
-            // Heun correction, batched over the streams whose next sigma is
-            // nonzero (a stream's final step is first-order, as in
-            // `crate::sample`).
-            let corr: Vec<usize> = midpoints
-                .iter()
-                .enumerate()
-                .filter(|(_, (i, _, _))| {
-                    let st = &streams[*i];
-                    st.grid[st.cursor + 1] > 0.0
-                })
-                .map(|(slot, _)| slot)
-                .collect();
-            if !corr.is_empty() {
-                let mut packed_next = Vec::with_capacity(corr.len() * chw);
-                let mut sig_nexts = Vec::with_capacity(corr.len());
-                for &slot in &corr {
-                    let (i, x_next, _) = &midpoints[slot];
-                    packed_next.extend_from_slice(x_next.as_slice());
-                    let st = &streams[*i];
-                    sig_nexts.push(st.grid[st.cursor + 1]);
-                }
-                let packed_next =
-                    Tensor::from_vec(packed_next, [corr.len(), mcfg.in_channels, s, s])?;
-                let d1 = {
-                    let mut rc = RunConfig {
-                        train: false,
-                        assignment,
-                        observer: None,
-                        batched: true,
-                    };
-                    self.den.denoise(net, &packed_next, &sig_nexts, &mut rc)?
-                };
-                for (cslot, &slot) in corr.iter().enumerate() {
-                    let (i, x_next, slope) = &midpoints[slot];
-                    let st = &streams[*i];
-                    let (sig, sig_next) = (st.grid[st.cursor], st.grid[st.cursor + 1]);
-                    let d1_i = d1.batch_sample(cslot)?;
-                    let slope2 = x_next.sub(&d1_i)?.scale(1.0 / sig_next);
-                    let mut avg = slope.clone();
-                    avg.add_scaled(&slope2, 1.0)?;
-                    let mut corrected = st.x.clone();
-                    corrected.add_scaled(&avg, 0.5 * (sig_next - sig))?;
-                    midpoints[slot].1 = corrected;
-                }
-            }
-            for (i, x_next, _) in midpoints {
-                streams[i].x = x_next;
-                streams[i].cursor += 1;
+                let d1_i = d1.batch_sample(cslot)?;
+                let slope2 = x_next.sub(&d1_i)?.scale(1.0 / sig_next);
+                let mut avg = slope.clone();
+                avg.add_scaled(&slope2, 1.0)?;
+                let mut corrected = st.x.clone();
+                corrected.add_scaled(&avg, 0.5 * (sig_next - sig))?;
+                midpoints[slot].1 = corrected;
             }
         }
+        for (i, x_next, _) in midpoints {
+            streams[i].x = x_next;
+            streams[i].cursor += 1;
+        }
+        Ok(())
+    }
+}
 
-        Ok(streams
-            .into_iter()
-            .map(|st| ServedOutput {
-                id: st.request.id,
-                image: st.x,
-                steps: st.request.steps,
-                traces: st.traces,
+/// Rejects duplicate request ids up front: a duplicate would make
+/// [`ServedOutput`] lookup by id ambiguous, so serving refuses the batch
+/// at entry instead of silently returning two outputs under one id.
+fn validate_unique_ids(ids: impl Iterator<Item = u64>) -> Result<()> {
+    let mut seen = BTreeSet::new();
+    for id in ids {
+        if !seen.insert(id) {
+            return Err(EdmError::Config {
+                reason: format!("duplicate request id {id}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A [`ServeRequest`] annotated with its arrival time on the scheduler's
+/// virtual clock (one tick per outer denoise round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledRequest {
+    /// The generation request itself.
+    pub request: ServeRequest,
+    /// Virtual step at which the request becomes visible to the scheduler.
+    /// Requests arriving mid-round wait for the next step boundary, which
+    /// is exactly when continuous batching re-packs the in-flight batch.
+    pub arrival_step: usize,
+}
+
+impl ScheduledRequest {
+    /// Wraps a request with an arrival step.
+    pub fn new(request: ServeRequest, arrival_step: usize) -> Self {
+        ScheduledRequest {
+            request,
+            arrival_step,
+        }
+    }
+
+    /// A request with the given id and step budget (seed = id, as in
+    /// [`ServeRequest::new`]) arriving at `arrival_step`.
+    pub fn at(id: u64, steps: usize, arrival_step: usize) -> Self {
+        ScheduledRequest::new(ServeRequest::new(id, steps), arrival_step)
+    }
+}
+
+/// Order in which queued requests are admitted at a step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// First come, first served: arrived requests are admitted in
+    /// `(arrival_step, submission order)` order whenever the in-flight
+    /// batch has capacity. The continuous-batching default.
+    Fifo,
+    /// Shortest budget first: among the arrived requests, the smallest
+    /// step budget is admitted first (ties broken FIFO). Trades worst-case
+    /// fairness for lower mean latency under mixed budgets.
+    ShortestBudgetFirst,
+    /// Gang scheduling, the static-batching baseline: nothing is admitted
+    /// until the in-flight batch has fully drained **and** `max_batch`
+    /// requests have arrived (or no further arrivals are pending, which
+    /// flushes a partial final gang). Exists so benches and tests can
+    /// measure what continuous admission buys; real serving wants
+    /// [`AdmissionPolicy::Fifo`] or
+    /// [`AdmissionPolicy::ShortestBudgetFirst`].
+    Gang,
+}
+
+/// Per-request timing record, in virtual steps (see [`ServeStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// The request identifier.
+    pub id: u64,
+    /// When the request arrived.
+    pub arrival_step: usize,
+    /// Boundary at which it was admitted into the in-flight batch.
+    pub admitted_step: usize,
+    /// Boundary at which its stream retired (its output became final).
+    pub completed_step: usize,
+    /// Steps spent queued: `admitted_step - arrival_step`.
+    pub queue_delay: usize,
+    /// Steps spent in the batch: `completed_step - admitted_step`; equals
+    /// the request's step budget (a stream never stalls once admitted).
+    pub steps_in_batch: usize,
+    /// End-to-end latency: `completed_step - arrival_step`.
+    pub latency: usize,
+}
+
+/// Serializable record of one [`Scheduler::run`]: per-request queueing
+/// delay / time-in-batch / latency on the virtual clock, plus per-round
+/// batch occupancy and wall-clock step latency.
+///
+/// The virtual clock counts outer denoise rounds: every batched Heun round
+/// advances it by one, and an idle scheduler (nothing in flight, next
+/// arrival in the future) jumps forward without spending rounds — so
+/// `rounds <= final_step`, with equality when the system never idles.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Batched Heun rounds executed.
+    pub rounds: usize,
+    /// Virtual clock when the last stream retired.
+    pub final_step: usize,
+    /// In-flight batch size at each executed round.
+    pub batch_occupancy: Vec<usize>,
+    /// Wall-clock nanoseconds spent in each executed round.
+    pub step_latency_ns: Vec<u64>,
+    /// One record per request, in submission order.
+    pub requests: Vec<RequestStats>,
+}
+
+impl ServeStats {
+    /// The stats record for one request id.
+    pub fn request(&self, id: u64) -> Option<&RequestStats> {
+        self.requests.iter().find(|r| r.id == id)
+    }
+
+    /// Mean end-to-end latency in virtual steps (`NaN` for an empty run).
+    pub fn mean_latency(&self) -> f64 {
+        mean(self.requests.iter().map(|r| r.latency as f64))
+    }
+
+    /// Mean queueing delay in virtual steps (`NaN` for an empty run).
+    pub fn mean_queue_delay(&self) -> f64 {
+        mean(self.requests.iter().map(|r| r.queue_delay as f64))
+    }
+
+    /// Mean in-flight batch size over executed rounds (`NaN` if none ran).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        mean(self.batch_occupancy.iter().map(|&o| o as f64))
+    }
+
+    /// Mean wall-clock nanoseconds per round (`NaN` if none ran).
+    pub fn mean_step_latency_ns(&self) -> f64 {
+        mean(self.step_latency_ns.iter().map(|&n| n as f64))
+    }
+}
+
+/// Mean of an iterator, `NaN` when empty (mirrors the empty-run sentinel
+/// convention of `sqdm_accel`'s `RunStats` ratios).
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Continuous-batching front-end over [`BatchSampler`].
+///
+/// See the module docs for the scheduling model; [`Scheduler::run`] is the
+/// entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler {
+    /// The batch sampler that executes each packed Heun round.
+    pub sampler: BatchSampler,
+    /// In-flight batch capacity. `1` degenerates to sequential serving.
+    pub max_batch: usize,
+    /// Admission order for queued requests.
+    pub policy: AdmissionPolicy,
+}
+
+impl Scheduler {
+    /// A FIFO scheduler with the given in-flight capacity and per-stream
+    /// trace recording enabled.
+    pub fn new(den: Denoiser, max_batch: usize) -> Self {
+        Scheduler {
+            sampler: BatchSampler::new(den),
+            max_batch,
+            policy: AdmissionPolicy::Fifo,
+        }
+    }
+
+    /// This scheduler with a different admission policy.
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// This scheduler with trace recording switched on or off.
+    pub fn with_traces(mut self, record: bool) -> Self {
+        self.sampler = self.sampler.with_traces(record);
+        self
+    }
+
+    /// Serves `requests` to completion under continuous batching and
+    /// returns one output per request (in submission order) plus the run's
+    /// [`ServeStats`].
+    ///
+    /// At every step boundary the scheduler admits queued requests whose
+    /// `arrival_step` has passed (in [`AdmissionPolicy`] order, up to
+    /// [`Scheduler::max_batch`] in flight), executes one batched Heun
+    /// round over the in-flight streams, then retires the streams that
+    /// exhausted their budget. When nothing is in flight the clock jumps
+    /// to the next arrival instead of spinning.
+    ///
+    /// Every output is bitwise identical to a solo [`crate::sample`] run
+    /// for the same `(seed, steps)` — admission timing, neighbors, and
+    /// `max_batch` never leak into any stream's arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdmError::Config`] for `max_batch == 0`, duplicate
+    /// request ids, or a step budget below 2; propagates model errors.
+    pub fn run(
+        &self,
+        net: &mut UNet,
+        requests: &[ScheduledRequest],
+        assignment: Option<&PrecisionAssignment>,
+    ) -> Result<(Vec<ServedOutput>, ServeStats)> {
+        if self.max_batch == 0 {
+            return Err(EdmError::Config {
+                reason: "scheduler max_batch must be at least 1".into(),
+            });
+        }
+        validate_unique_ids(requests.iter().map(|r| r.request.id))?;
+        for r in requests {
+            // Validate every budget up front: a malformed request should
+            // fail the submission, not abort the batch mid-serve.
+            if r.request.steps < 2 {
+                return Err(EdmError::Config {
+                    reason: format!(
+                        "request {} has step budget {}; at least 2 required",
+                        r.request.id, r.request.steps
+                    ),
+                });
+            }
+        }
+        let mcfg = *net.config();
+        let n = requests.len();
+        let mut req_stats: Vec<RequestStats> = requests
+            .iter()
+            .map(|r| RequestStats {
+                id: r.request.id,
+                arrival_step: r.arrival_step,
+                admitted_step: 0,
+                completed_step: 0,
+                queue_delay: 0,
+                steps_in_batch: 0,
+                latency: 0,
             })
-            .collect())
+            .collect();
+        let mut stats = ServeStats::default();
+
+        // Streams are created lazily at admission, in admission order;
+        // `owner[k]` maps stream `k` back to its submission index. Retired
+        // streams stay in place (they hold the finished image).
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut streams: Vec<Stream> = Vec::with_capacity(n);
+        let mut owner: Vec<usize> = Vec::with_capacity(n);
+        let mut inflight: Vec<usize> = Vec::new();
+        let mut clock = 0usize;
+
+        while !pending.is_empty() || !inflight.is_empty() {
+            if inflight.is_empty() {
+                // Idle: jump to the earliest pending arrival.
+                let earliest = pending
+                    .iter()
+                    .map(|&i| requests[i].arrival_step)
+                    .min()
+                    .expect("pending nonempty when nothing is in flight");
+                clock = clock.max(earliest);
+            }
+            // Step-boundary admission.
+            let mut arrived: Vec<usize> = pending
+                .iter()
+                .copied()
+                .filter(|&i| requests[i].arrival_step <= clock)
+                .collect();
+            let capacity = self.max_batch - inflight.len();
+            let admit: Vec<usize> = match self.policy {
+                AdmissionPolicy::Fifo => {
+                    arrived.sort_by_key(|&i| (requests[i].arrival_step, i));
+                    arrived.truncate(capacity);
+                    arrived
+                }
+                AdmissionPolicy::ShortestBudgetFirst => {
+                    arrived
+                        .sort_by_key(|&i| (requests[i].request.steps, requests[i].arrival_step, i));
+                    arrived.truncate(capacity);
+                    arrived
+                }
+                AdmissionPolicy::Gang => {
+                    let drained = inflight.is_empty();
+                    let gang_ready = arrived.len() >= self.max_batch
+                        || (arrived.len() == pending.len() && !arrived.is_empty());
+                    if drained && gang_ready {
+                        arrived.sort_by_key(|&i| (requests[i].arrival_step, i));
+                        arrived.truncate(self.max_batch);
+                        arrived
+                    } else {
+                        Vec::new()
+                    }
+                }
+            };
+            for &i in &admit {
+                pending.retain(|&p| p != i);
+                let stream = self.sampler.make_stream(&mcfg, &requests[i].request)?;
+                owner.push(i);
+                inflight.push(streams.len());
+                streams.push(stream);
+                req_stats[i].admitted_step = clock;
+                req_stats[i].queue_delay = clock - requests[i].arrival_step;
+            }
+            if inflight.is_empty() {
+                // A waiting gang: advance to the next future arrival.
+                clock = pending
+                    .iter()
+                    .map(|&i| requests[i].arrival_step)
+                    .filter(|&a| a > clock)
+                    .min()
+                    .expect("a waiting gang implies future arrivals");
+                continue;
+            }
+            // One batched Heun round over the in-flight streams.
+            let t0 = Instant::now();
+            self.sampler
+                .round(net, &mut streams, &inflight, assignment)?;
+            stats.step_latency_ns.push(t0.elapsed().as_nanos() as u64);
+            stats.batch_occupancy.push(inflight.len());
+            stats.rounds += 1;
+            clock += 1;
+            // Retire exhausted streams; the packed batch shrinks here and
+            // refills at the next boundary's admission.
+            inflight.retain(|&k| {
+                let done = streams[k].cursor >= streams[k].request.steps;
+                if done {
+                    let i = owner[k];
+                    req_stats[i].completed_step = clock;
+                    req_stats[i].steps_in_batch = clock - req_stats[i].admitted_step;
+                    req_stats[i].latency = clock - requests[i].arrival_step;
+                }
+                !done
+            });
+        }
+        stats.final_step = clock;
+        stats.requests = req_stats;
+
+        // Outputs back in submission order.
+        let mut slots: Vec<Option<ServedOutput>> = (0..n).map(|_| None).collect();
+        for (k, stream) in streams.into_iter().enumerate() {
+            slots[owner[k]] = Some(stream.into_output());
+        }
+        let outputs = slots
+            .into_iter()
+            .map(|o| o.expect("every request was admitted and served"))
+            .collect();
+        Ok((outputs, stats))
     }
 }
 
@@ -500,5 +904,243 @@ mod tests {
         let (mut net, den) = fixture();
         assert!(serve_batch(&mut net, &den, &[ServeRequest::new(0, 0)], None).is_err());
         assert!(serve_batch(&mut net, &den, &[], None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_request_ids_are_rejected_at_entry() {
+        let (mut net, den) = fixture();
+        let dupes = [ServeRequest::new(3, 2), ServeRequest::new(3, 4)];
+        let err = serve_batch(&mut net, &den, &dupes, None).unwrap_err();
+        assert!(
+            matches!(&err, EdmError::Config { reason } if reason.contains("duplicate")
+                && reason.contains('3')),
+            "unexpected error {err:?}"
+        );
+        // Same ids with distinct seeds are still duplicates — lookup by id
+        // would be ambiguous either way.
+        let sched = [ScheduledRequest::at(9, 2, 0), ScheduledRequest::at(9, 3, 1)];
+        let err = Scheduler::new(den, 4)
+            .run(&mut net, &sched, None)
+            .unwrap_err();
+        assert!(matches!(err, EdmError::Config { .. }));
+    }
+
+    /// Solo `sample()` references for a set of scheduled requests.
+    fn solo_references(
+        net: &mut UNet,
+        den: &Denoiser,
+        requests: &[ScheduledRequest],
+    ) -> Vec<Tensor> {
+        requests
+            .iter()
+            .map(|r| {
+                let mut rng = Rng::seed_from(r.request.seed);
+                sample(
+                    net,
+                    den,
+                    1,
+                    SamplerConfig {
+                        steps: r.request.steps,
+                    },
+                    None,
+                    &mut rng,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn continuous_batching_is_bitwise_identical_to_solo_sampling() {
+        let (mut net, den) = fixture();
+        // Staggered arrivals with mixed budgets: request 2 joins while 0
+        // and 1 are mid-flight, 3 arrives after 1 has already retired.
+        let requests = [
+            ScheduledRequest::at(0, 4, 0),
+            ScheduledRequest::at(1, 2, 0),
+            ScheduledRequest::at(2, 3, 1),
+            ScheduledRequest::at(3, 2, 3),
+        ];
+        let solo = solo_references(&mut net, &den, &requests);
+        let (served, stats) = Scheduler::new(den, 3)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        for ((req, out), single) in requests.iter().zip(&served).zip(&solo) {
+            assert_eq!(req.request.id, out.id);
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        // Request 0/1 admitted at 0; 2 at 1 (capacity 3); 3 at 3.
+        assert_eq!(stats.request(0).unwrap().admitted_step, 0);
+        assert_eq!(stats.request(2).unwrap().admitted_step, 1);
+        assert_eq!(stats.request(2).unwrap().queue_delay, 0);
+        assert_eq!(stats.request(3).unwrap().latency, 2);
+        assert_eq!(stats.rounds, stats.batch_occupancy.len());
+        assert_eq!(stats.step_latency_ns.len(), stats.rounds);
+        assert!(stats.mean_batch_occupancy() > 1.0);
+    }
+
+    #[test]
+    fn requests_arriving_after_step_zero_are_served_after_an_idle_jump() {
+        // Edge case: *nothing* arrives at step 0 — the virtual clock must
+        // jump to the first arrival instead of spinning empty rounds.
+        let (mut net, den) = fixture();
+        let requests = [ScheduledRequest::at(0, 2, 5), ScheduledRequest::at(1, 2, 7)];
+        let solo = solo_references(&mut net, &den, &requests);
+        let (served, stats) = Scheduler::new(den, 2)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        // No queueing: both admitted the moment they arrive.
+        assert_eq!(stats.request(0).unwrap().admitted_step, 5);
+        assert_eq!(stats.request(1).unwrap().admitted_step, 7);
+        assert_eq!(stats.mean_queue_delay(), 0.0);
+        // Rounds executed: steps 5,6 (request 0) and 7,8 (request 1).
+        assert_eq!(stats.rounds, 4);
+        assert_eq!(stats.final_step, 9);
+    }
+
+    #[test]
+    fn minimum_budget_request_joining_the_final_boundary_is_exact() {
+        // Edge case: a `steps == 2` request joins at the last boundary
+        // where the long-running stream is still in flight, so its first
+        // round is the neighbor's last.
+        let (mut net, den) = fixture();
+        let requests = [ScheduledRequest::at(0, 4, 0), ScheduledRequest::at(1, 2, 3)];
+        let solo = solo_references(&mut net, &den, &requests);
+        let (served, stats) = Scheduler::new(den, 2)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        // They overlap exactly at round 3 (occupancy 2), then the short
+        // request finishes alone.
+        assert_eq!(stats.batch_occupancy, vec![1, 1, 1, 2, 1]);
+        assert_eq!(stats.request(1).unwrap().steps_in_batch, 2);
+        assert_eq!(stats.final_step, 5);
+    }
+
+    #[test]
+    fn max_batch_one_degenerates_to_sequential_serving() {
+        let (mut net, den) = fixture();
+        let requests = [
+            ScheduledRequest::at(0, 3, 0),
+            ScheduledRequest::at(1, 2, 0),
+            ScheduledRequest::at(2, 2, 1),
+        ];
+        let solo = solo_references(&mut net, &den, &requests);
+        let (served, stats) = Scheduler::new(den, 1)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        // Strictly one stream in flight at every round, FIFO order.
+        assert!(stats.batch_occupancy.iter().all(|&o| o == 1));
+        assert_eq!(stats.rounds, 3 + 2 + 2);
+        assert_eq!(stats.request(1).unwrap().admitted_step, 3);
+        assert_eq!(stats.request(2).unwrap().admitted_step, 5);
+        assert!(Scheduler::new(den, 0)
+            .run(&mut net, &requests, None)
+            .is_err());
+    }
+
+    #[test]
+    fn shortest_budget_first_reorders_admission() {
+        let (mut net, den) = fixture();
+        // Capacity 1; both arrive at step 0; SBF admits the short request
+        // first even though it was submitted second.
+        let requests = [ScheduledRequest::at(0, 4, 0), ScheduledRequest::at(1, 2, 0)];
+        let solo = solo_references(&mut net, &den, &requests);
+        let sched = Scheduler::new(den, 1).with_policy(AdmissionPolicy::ShortestBudgetFirst);
+        let (served, stats) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.request(1).unwrap().admitted_step, 0);
+        assert_eq!(stats.request(0).unwrap().admitted_step, 2);
+        // Reordering is pure scheduling: outputs still match solo runs.
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+    }
+
+    #[test]
+    fn gang_scheduling_waits_and_loses_on_mean_latency() {
+        let (mut net, den) = fixture();
+        // Staggered arrivals: continuous batching admits each request as
+        // it lands; the gang baseline makes the first arrival wait for the
+        // full batch to assemble.
+        let requests = [
+            ScheduledRequest::at(0, 3, 0),
+            ScheduledRequest::at(1, 3, 2),
+            ScheduledRequest::at(2, 3, 6),
+        ];
+        let solo = solo_references(&mut net, &den, &requests);
+        let (cont_out, cont) = Scheduler::new(den, 3)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        let gang_sched = Scheduler::new(den, 3).with_policy(AdmissionPolicy::Gang);
+        let (gang_out, gang) = gang_sched.run(&mut net, &requests, None).unwrap();
+        // Both admission disciplines are bitwise transparent.
+        for ((out, single), gout) in cont_out.iter().zip(&solo).zip(&gang_out) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+            assert_eq!(bits(&gout.image), bits(single), "gang request {}", gout.id);
+        }
+        // The gang launches only once all three arrived (step 6).
+        assert!(gang.requests.iter().all(|r| r.admitted_step == 6));
+        assert_eq!(gang.request(0).unwrap().queue_delay, 6);
+        assert_eq!(cont.mean_queue_delay(), 0.0);
+        assert!(
+            cont.mean_latency() < gang.mean_latency(),
+            "continuous {} vs gang {}",
+            cont.mean_latency(),
+            gang.mean_latency()
+        );
+        // A partial final gang still flushes: capacity above the request
+        // count must not deadlock.
+        let (flushed, fstats) = Scheduler::new(den, 8)
+            .with_policy(AdmissionPolicy::Gang)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        assert_eq!(flushed.len(), 3);
+        // The flush fires once every pending request has arrived.
+        assert!(fstats.requests.iter().all(|r| r.admitted_step == 6));
+    }
+
+    #[test]
+    fn scheduler_with_simultaneous_arrivals_matches_batch_sampler() {
+        // With everyone present at step 0 and capacity for all, the
+        // scheduler is exactly `serve_batch` (same rounds, same bits,
+        // traces included).
+        let (mut net, den) = fixture();
+        let plain = [ServeRequest::new(4, 3), ServeRequest::new(5, 2)];
+        let batch = serve_batch(&mut net, &den, &plain, None).unwrap();
+        let scheduled: Vec<ScheduledRequest> =
+            plain.iter().map(|&r| ScheduledRequest::new(r, 0)).collect();
+        let (served, stats) = Scheduler::new(den, 2)
+            .run(&mut net, &scheduled, None)
+            .unwrap();
+        for (a, b) in batch.iter().zip(&served) {
+            assert_eq!(bits(&a.image), bits(&b.image));
+            assert_eq!(a.traced_keys(), b.traced_keys());
+        }
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.batch_occupancy, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn serve_stats_serializes_and_empty_means_are_nan() {
+        let (mut net, den) = fixture();
+        let requests = [ScheduledRequest::at(0, 2, 0)];
+        let (_, stats) = Scheduler::new(den, 1)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        assert_eq!(stats.mean_latency(), 2.0);
+        assert!(!stats.mean_step_latency_ns().is_nan());
+        let empty = ServeStats::default();
+        assert!(empty.mean_latency().is_nan());
+        assert!(empty.mean_queue_delay().is_nan());
+        assert!(empty.mean_batch_occupancy().is_nan());
+        assert!(empty.request(0).is_none());
     }
 }

@@ -10,7 +10,7 @@
 //! `forward` calls.
 
 use proptest::prelude::*;
-use sqdm_edm::serve::{serve_batch, ServeRequest};
+use sqdm_edm::serve::{serve_batch, ScheduledRequest, Scheduler, ServeRequest};
 use sqdm_edm::{
     block_ids, sample, Denoiser, EdmSchedule, RunConfig, SamplerConfig, UNet, UNetConfig,
 };
@@ -135,6 +135,78 @@ proptest! {
                         mode, req.id, t
                     );
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    /// Continuous batching holds the same contract under *random
+    /// scheduling*: random arrival steps, step budgets, and `max_batch`
+    /// (1 degenerates to sequential serving), in both execution modes and
+    /// at every thread count, every request's output is bitwise the solo
+    /// `sample()` image — admission timing and batch neighbors never leak
+    /// into a stream's arithmetic.
+    #[test]
+    fn continuous_batching_equals_individual_sampling(
+        (net_seed, max_batch, arrivals, budgets, extra) in (
+            0u64..1 << 16,
+            1usize..4,
+            (0usize..6, 0usize..6, 0usize..6),
+            (2usize..5, 2usize..5, 2usize..5),
+            0u64..1 << 16,
+        )
+    ) {
+        let mut rng = Rng::seed_from(net_seed);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let arrivals = [arrivals.0, arrivals.1, arrivals.2];
+        let budgets = [budgets.0, budgets.1, budgets.2];
+        let requests: Vec<ScheduledRequest> = (0..3)
+            .map(|i| ScheduledRequest::new(
+                ServeRequest {
+                    id: i as u64,
+                    seed: extra.wrapping_add(i as u64 + 1),
+                    steps: budgets[i],
+                },
+                arrivals[i],
+            ))
+            .collect();
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            let asg = int8_assignment(mode);
+            for t in THREADS {
+                let sched = Scheduler::new(den, max_batch);
+                let (served, stats) = with_threads(t, || {
+                    sched.run(&mut net, &requests, Some(&asg)).unwrap()
+                });
+                for (req, out) in requests.iter().zip(&served) {
+                    prop_assert_eq!(req.request.id, out.id);
+                    let single = with_threads(t, || {
+                        let mut r = Rng::seed_from(req.request.seed);
+                        sample(
+                            &mut net,
+                            &den,
+                            1,
+                            SamplerConfig { steps: req.request.steps },
+                            Some(&asg),
+                            &mut r,
+                        )
+                        .unwrap()
+                    });
+                    prop_assert_eq!(
+                        bits(&out.image),
+                        bits(&single),
+                        "{:?} request {} at {} threads (max_batch {})",
+                        mode, req.request.id, t, max_batch
+                    );
+                    // Scheduling bookkeeping is consistent regardless of
+                    // the random mix.
+                    let rs = stats.request(req.request.id).unwrap();
+                    prop_assert_eq!(rs.latency, rs.queue_delay + req.request.steps);
+                    prop_assert!(rs.admitted_step >= req.arrival_step);
+                }
+                prop_assert!(stats.batch_occupancy.iter().all(|&o| o <= max_batch));
             }
         }
     }

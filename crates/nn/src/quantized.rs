@@ -49,6 +49,12 @@ pub struct QuantExecutor {
     /// makes a batched forward bitwise identical to the same requests run
     /// one at a time, which is the contract batched serving
     /// (`sqdm_edm::serve`) is built on.
+    ///
+    /// The batch size is read from the input on **every** call and no
+    /// state is carried between calls, so it may differ per step — the
+    /// continuous-batching scheduler re-packs its in-flight batch at every
+    /// step boundary as streams join and retire (pinned by
+    /// `varying_batch_sizes_across_calls_carry_no_state` below).
     pub batched: bool,
 }
 
@@ -460,6 +466,49 @@ mod tests {
                     .zip(single.as_slice())
                 {
                     assert_eq!(a.to_bits(), b.to_bits(), "{mode:?} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn varying_batch_sizes_across_calls_carry_no_state() {
+        // Continuous-batching audit: the scheduler re-packs its in-flight
+        // batch at every step boundary, so one executor sees a different
+        // batch size on every call (grow, shrink, down to 1). Nothing in
+        // the conv/linear batched paths may key state on a previous call's
+        // batch size — every call must match the per-request reference.
+        use sqdm_quant::ExecMode;
+        let mut rng = Rng::seed_from(24);
+        let mut conv = Conv2d::new(2, 3, 3, Conv2dGeometry::same(3), &mut rng);
+        conv.bias.value = Tensor::randn([3], &mut rng);
+        let stride = 2 * 5 * 5;
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            let exec = QuantExecutor::new(BlockPrecision::uniform(QuantFormat::int8()))
+                .with_mode(mode)
+                .with_batched(true);
+            // The same executor value drives batch sizes 3 → 1 → 4 → 2.
+            for (call, n) in [3usize, 1, 4, 2].into_iter().enumerate() {
+                let mut x = Tensor::randn([n, 2, 5, 5], &mut rng);
+                for nn in 0..n {
+                    let s = 0.05 + 13.0 * (call + nn) as f32;
+                    for v in &mut x.as_mut_slice()[nn * stride..(nn + 1) * stride] {
+                        *v *= s;
+                    }
+                }
+                let batched = exec.conv_forward(&conv, &x).unwrap();
+                for nn in 0..n {
+                    let single = exec
+                        .with_batched(false)
+                        .conv_forward(&conv, &sample_of(&x, nn))
+                        .unwrap();
+                    let per = single.len();
+                    for (a, b) in batched.as_slice()[nn * per..(nn + 1) * per]
+                        .iter()
+                        .zip(single.as_slice())
+                    {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{mode:?} call {call} sample {nn}");
+                    }
                 }
             }
         }
