@@ -23,13 +23,12 @@
 
 #![warn(missing_docs)]
 
-use sqdm_bench::poisson_arrivals;
+use sqdm_bench::{delta_sweep_mask, poisson_arrivals};
 use sqdm_edm::serve::{
     AdmissionPolicy, BatchSampler, ScheduledRequest, Scheduler, ServeRequest, ServeStats,
 };
 use sqdm_edm::{block_ids, sample, Denoiser, EdmSchedule, SamplerConfig, UNet, UNetConfig};
 use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
-use sqdm_sparsity::TemporalTrace;
 use sqdm_tensor::ops::int::{qgemm, qgemm_delta, QuantizedMatrix, XQuant};
 use sqdm_tensor::ops::matmul;
 use sqdm_tensor::{parallel, Rng, Tensor};
@@ -98,15 +97,9 @@ fn time<F: FnMut()>(name: &'static str, shape: String, iters: u32, mut f: F) -> 
     }
 }
 
-/// Change mask over `k` rows with the given fraction unchanged, routed
-/// through the real `TemporalTrace` API.
-fn delta_mask(k: usize, unchanged: f64) -> Vec<bool> {
-    let mut trace = TemporalTrace::new(k);
-    trace.push_step(vec![0.5; k]);
-    let moved = ((1.0 - unchanged) * k as f64).round() as usize;
-    trace.push_step((0..k).map(|c| if c < moved { 0.9 } else { 0.5 }).collect());
-    trace.change_mask(1, 0.1).expand_rows(1)
-}
+/// Seed of the sweep's scattered change masks (fixed so re-runs emit
+/// byte-identical masks and reviewable `BENCH_ci.json` diffs).
+const SWEEP_MASK_SEED: u64 = 1009;
 
 fn kernel_benches(results: &mut Vec<BenchResult>) {
     let (m, k, n) = (GEMM_DIM, GEMM_DIM, GEMM_DIM);
@@ -147,10 +140,19 @@ fn kernel_benches(results: &mut Vec<BenchResult>) {
         black_box(out[0]);
     }));
 
+    let dense_ns = results
+        .last()
+        .map(BenchResult::ns_per_iter)
+        .unwrap_or(f64::NAN);
+
+    // Sparsity sweep: the delta kernel across the fractions the CI perf
+    // gate requires, with seeded scattered masks so every re-run emits
+    // identical rows. `speedup_vs_dense` records the curve against the
+    // dense int8 recomputation above.
     let mut prev_out = vec![0.0f32; m * n];
     qgemm(&wq, &x_prev, n, xq, &mut prev_out).unwrap();
-    for unchanged in [0.5f64, 0.9] {
-        let mask = delta_mask(k, unchanged);
+    for unchanged in sqdm_bench::perf_gate::SWEEP_FRACTIONS {
+        let mask = delta_sweep_mask(k, unchanged, SWEEP_MASK_SEED);
         let mut x_curr = x_prev.clone();
         for (r, &ch) in mask.iter().enumerate() {
             if ch {
@@ -176,6 +178,10 @@ fn kernel_benches(results: &mut Vec<BenchResult>) {
         });
         res.extra
             .push(("unchanged_fraction".into(), format!("{unchanged}")));
+        res.extra.push((
+            "speedup_vs_dense".into(),
+            format!("{:.3}", dense_ns / res.ns_per_iter()),
+        ));
         results.push(res);
     }
 }

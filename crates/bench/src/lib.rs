@@ -50,6 +50,141 @@ pub fn poisson_arrivals(n: usize, rate: f64, seed: u64) -> Vec<usize> {
         .collect()
 }
 
+/// Deterministic scattered change mask for the delta-kernel sparsity
+/// sweep: exactly `round((1 − unchanged_fraction) · k)` of the `k` rows
+/// are marked changed, chosen by a seeded partial Fisher–Yates shuffle so
+/// re-runs emit identical masks (and therefore reviewable `BENCH_ci.json`
+/// diffs), while the scatter keeps the mask representative of real
+/// temporal traces (changed rows spread across scale blocks rather than
+/// packed at the front).
+pub fn delta_sweep_mask(k: usize, unchanged_fraction: f64, seed: u64) -> Vec<bool> {
+    assert!(
+        (0.0..=1.0).contains(&unchanged_fraction),
+        "unchanged_fraction must be in [0, 1]"
+    );
+    let changed = ((1.0 - unchanged_fraction) * k as f64).round() as usize;
+    let changed = changed.min(k);
+    let mut rows: Vec<usize> = (0..k).collect();
+    let mut rng = sqdm_tensor::Rng::seed_from(seed);
+    let mut mask = vec![false; k];
+    for slot in 0..changed {
+        let span = k - slot;
+        let offset = ((f64::from(rng.uniform()) * span as f64) as usize).min(span - 1);
+        rows.swap(slot, slot + offset);
+        mask[rows[slot]] = true;
+    }
+    mask
+}
+
+/// The CI perf gate over `BENCH_ci.json`-style NDJSON reports.
+pub mod perf_gate {
+    /// The GEMM shape the int8-vs-f32 comparison is gated at.
+    pub const GATED_SHAPE: &str = "256x256x256";
+    /// The `unchanged_fraction` sweep points the delta speedup curve must
+    /// cover (0/25/50/75/90 % unchanged rows).
+    pub const SWEEP_FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
+
+    /// One parsed NDJSON benchmark row (only the gated fields).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        /// `"bench"` field.
+        pub bench: String,
+        /// `"shape"` field.
+        pub shape: String,
+        /// `"ns_per_iter"` field, when present.
+        pub ns_per_iter: Option<f64>,
+        /// `"unchanged_fraction"` field, when present.
+        pub unchanged_fraction: Option<f64>,
+    }
+
+    /// Extracts a `"key": <string>` field from one NDJSON line.
+    fn str_field(line: &str, key: &str) -> Option<String> {
+        let tag = format!("\"{key}\": \"");
+        let start = line.find(&tag)? + tag.len();
+        let end = line[start..].find('"')?;
+        Some(line[start..start + end].to_string())
+    }
+
+    /// Extracts a `"key": <number>` field from one NDJSON line.
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// Parses the benchmark rows out of an NDJSON report (lines without a
+    /// `"bench"` field — and the `meta` line — are skipped).
+    pub fn parse_rows(report: &str) -> Vec<Row> {
+        report
+            .lines()
+            .filter_map(|line| {
+                let bench = str_field(line, "bench")?;
+                if bench == "meta" {
+                    return None;
+                }
+                Some(Row {
+                    bench,
+                    shape: str_field(line, "shape").unwrap_or_default(),
+                    ns_per_iter: num_field(line, "ns_per_iter"),
+                    unchanged_fraction: num_field(line, "unchanged_fraction"),
+                })
+            })
+            .collect()
+    }
+
+    /// Checks the perf gate over a report: the quantized kernel must not
+    /// be slower than dense f32 at [`GATED_SHAPE`], and the delta sweep
+    /// must cover every fraction in [`SWEEP_FRACTIONS`]. Returns the list
+    /// of violations (empty ⇒ gate passes).
+    pub fn violations(report: &str) -> Vec<String> {
+        let rows = parse_rows(report);
+        let mut errs = Vec::new();
+        let gemm_at = |name: &str| {
+            rows.iter()
+                .find(|r| r.bench == name && r.shape == GATED_SHAPE)
+                .and_then(|r| r.ns_per_iter)
+        };
+        match (gemm_at("qgemm_int8"), gemm_at("dense_gemm_f32")) {
+            (Some(int8), Some(f32ns)) => {
+                if int8 > f32ns {
+                    errs.push(format!(
+                        "qgemm_int8 ({int8:.1} ns/iter) is slower than dense_gemm_f32 \
+                         ({f32ns:.1} ns/iter) at {GATED_SHAPE}: the quantized path must \
+                         beat the dense baseline"
+                    ));
+                }
+            }
+            (int8, f32ns) => {
+                if int8.is_none() {
+                    errs.push(format!("missing qgemm_int8 row at {GATED_SHAPE}"));
+                }
+                if f32ns.is_none() {
+                    errs.push(format!("missing dense_gemm_f32 row at {GATED_SHAPE}"));
+                }
+            }
+        }
+        for want in SWEEP_FRACTIONS {
+            let present = rows.iter().any(|r| {
+                r.bench == "qgemm_delta_int8"
+                    && r.shape == GATED_SHAPE
+                    && r.unchanged_fraction
+                        .is_some_and(|f| (f - want).abs() < 1e-9)
+            });
+            if !present {
+                errs.push(format!(
+                    "missing qgemm_delta_int8 sweep row at unchanged_fraction={want} \
+                     ({GATED_SHAPE})"
+                ));
+            }
+        }
+        errs
+    }
+}
+
 static PAIRS: OnceLock<Mutex<Vec<(DatasetKind, ExperimentScale, TrainedPair)>>> = OnceLock::new();
 
 /// A trained pair for `kind` at `scale`, cached per process so benches and
@@ -91,6 +226,83 @@ mod tests {
         let _ = bench_scale();
         let s = report_scale();
         assert!(s.train.steps > 0);
+    }
+
+    #[test]
+    fn delta_sweep_mask_is_deterministic_with_exact_counts() {
+        for (k, unchanged) in [
+            (256usize, 0.0f64),
+            (256, 0.25),
+            (256, 0.5),
+            (256, 0.9),
+            (7, 0.75),
+        ] {
+            let a = delta_sweep_mask(k, unchanged, 31);
+            let b = delta_sweep_mask(k, unchanged, 31);
+            assert_eq!(a, b, "mask must be reproducible");
+            let want = ((1.0 - unchanged) * k as f64).round() as usize;
+            assert_eq!(a.iter().filter(|&&c| c).count(), want, "u={unchanged}");
+        }
+        // Different seeds scatter differently (whp for these sizes).
+        assert_ne!(delta_sweep_mask(256, 0.5, 1), delta_sweep_mask(256, 0.5, 2));
+        // The scatter is not a prefix run: at 50% of 256 rows, both
+        // halves of the mask must contain changed rows.
+        let m = delta_sweep_mask(256, 0.5, 31);
+        assert!(m[..128].iter().any(|&c| c) && m[128..].iter().any(|&c| c));
+    }
+
+    #[test]
+    fn perf_gate_passes_on_a_complete_fast_report() {
+        let mut report = String::from(
+            "{\"bench\": \"meta\", \"threads\": 4}\n\
+             {\"bench\": \"dense_gemm_f32\", \"shape\": \"256x256x256\", \"iters\": 20, \"total_ns\": 40, \"ns_per_iter\": 2.0}\n\
+             {\"bench\": \"qgemm_int8\", \"shape\": \"256x256x256\", \"iters\": 20, \"total_ns\": 20, \"ns_per_iter\": 1.0}\n",
+        );
+        for f in perf_gate::SWEEP_FRACTIONS {
+            report.push_str(&format!(
+                "{{\"bench\": \"qgemm_delta_int8\", \"shape\": \"256x256x256\", \"iters\": 20, \"total_ns\": 10, \"ns_per_iter\": 0.5, \"unchanged_fraction\": {f}}}\n"
+            ));
+        }
+        assert_eq!(perf_gate::violations(&report), Vec::<String>::new());
+        // Equality is allowed: the gate is int8 ≤ f32, not strictly less.
+        let tied = report.replace("\"ns_per_iter\": 1.0", "\"ns_per_iter\": 2.0");
+        assert_eq!(perf_gate::violations(&tied), Vec::<String>::new());
+    }
+
+    #[test]
+    fn perf_gate_flags_slow_int8_and_missing_sweep_rows() {
+        // int8 slower than f32, and only one sweep fraction present.
+        let report = "{\"bench\": \"dense_gemm_f32\", \"shape\": \"256x256x256\", \"ns_per_iter\": 2.0}\n\
+                      {\"bench\": \"qgemm_int8\", \"shape\": \"256x256x256\", \"ns_per_iter\": 3.5}\n\
+                      {\"bench\": \"qgemm_delta_int8\", \"shape\": \"256x256x256\", \"ns_per_iter\": 0.5, \"unchanged_fraction\": 0.5}\n";
+        let errs = perf_gate::violations(report);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("slower than dense_gemm_f32")),
+            "{errs:?}"
+        );
+        // 4 of the 5 sweep fractions are missing.
+        assert_eq!(
+            errs.iter().filter(|e| e.contains("sweep row")).count(),
+            4,
+            "{errs:?}"
+        );
+        // An empty report reports every requirement as missing.
+        let errs = perf_gate::violations("");
+        assert!(errs.iter().any(|e| e.contains("missing qgemm_int8")));
+        assert!(errs.iter().any(|e| e.contains("missing dense_gemm_f32")));
+        assert_eq!(errs.iter().filter(|e| e.contains("sweep row")).count(), 5);
+    }
+
+    #[test]
+    fn perf_gate_parses_repro_bench_lines() {
+        let line = "{\"bench\": \"qgemm_delta_int8\", \"shape\": \"256x256x256\", \"iters\": 20, \"total_ns\": 33979976, \"ns_per_iter\": 1698998.8, \"unchanged_fraction\": 0.75, \"speedup_vs_dense\": 1.912}";
+        let rows = perf_gate::parse_rows(line);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].bench, "qgemm_delta_int8");
+        assert_eq!(rows[0].shape, "256x256x256");
+        assert_eq!(rows[0].ns_per_iter, Some(1698998.8));
+        assert_eq!(rows[0].unchanged_fraction, Some(0.75));
     }
 
     #[test]

@@ -29,7 +29,8 @@ use crate::error::Result;
 use crate::layers::{Conv2d, Linear};
 use sqdm_quant::{BlockPrecision, ChannelLayout, Granularity, QuantFormat, QuantizedTensor};
 use sqdm_tensor::ops::int::{
-    conv2d_i8, conv2d_i8_multi, qgemm, qgemm_multi, transpose_i8, QuantizedMatrix, XQuant,
+    conv2d_i8, conv2d_i8_multi, qgemm, qgemm_multi, qgemm_packed, transpose_i8,
+    PackedQuantizedMatrix, QuantizedMatrix, XQuant,
 };
 use sqdm_tensor::ops::transpose;
 use sqdm_tensor::Tensor;
@@ -247,13 +248,14 @@ pub fn linear_forward(lin: &Linear, x: &Tensor, p: &BlockPrecision) -> Result<Te
 /// projections, once per batch element) pay the weight quantization once.
 #[derive(Debug, Clone)]
 pub struct PreparedWeight {
-    wq: QuantizedMatrix,
+    wq: PackedQuantizedMatrix,
     afmt: QuantFormat,
 }
 
 impl PreparedWeight {
     /// Quantizes `weight` (`[Cout, C]`, channel axis 0) under the block
-    /// precision's weight format.
+    /// precision's weight format and packs it into the cache-blocked
+    /// kernel layout, so repeated projections skip the per-call repack.
     ///
     /// # Errors
     ///
@@ -261,7 +263,7 @@ impl PreparedWeight {
     pub fn new(weight: &Tensor, p: &BlockPrecision) -> Result<Self> {
         debug_assert!(supports(p));
         Ok(PreparedWeight {
-            wq: quantize_weight(weight, p.weights.expect("supports"))?,
+            wq: PackedQuantizedMatrix::pack(quantize_weight(weight, p.weights.expect("supports"))?),
             afmt: p.activations.expect("supports"),
         })
     }
@@ -288,9 +290,10 @@ impl PreparedWeight {
     ///
     /// Propagates kernel shape errors.
     pub fn project_prepared(&self, qa: &QuantizedActivation) -> Result<Tensor> {
-        let mut yt = vec![0.0f32; self.wq.rows() * qa.batch];
-        qgemm(&self.wq, &qa.xt, qa.batch, qa.xq, &mut yt)?;
-        let yt = Tensor::from_vec(yt, [self.wq.rows(), qa.batch])?;
+        let rows = self.wq.matrix().rows();
+        let mut yt = vec![0.0f32; rows * qa.batch];
+        qgemm_packed(&self.wq, &qa.xt, qa.batch, qa.xq, &mut yt)?;
+        let yt = Tensor::from_vec(yt, [rows, qa.batch])?;
         Ok(transpose(&yt)?)
     }
 

@@ -1,34 +1,85 @@
-//! Native integer execution kernels: i8×i8→i32 GEMM with scale/zero-point
-//! requantization, integer im2col/conv2d, and a temporal sparse-delta GEMM.
+//! Native integer execution kernels: packed i8×i8 GEMM microkernels with
+//! scale/zero-point requantization, integer im2col/conv2d, and a temporal
+//! sparse-delta GEMM with a density-threshold dense fallback.
 //!
 //! The dense f32 kernels in this crate *simulate* quantization
 //! (quantize→dequantize, then float math). The kernels here execute the
 //! compute model the paper actually accelerates: operands stay in low-bit
 //! integer codes, multiply-accumulate runs in exact i32 arithmetic, and a
 //! single requantization step maps each block's accumulator back to real
-//! values. The sparse-delta GEMM additionally consumes a temporal change
-//! mask (`sqdm-sparsity`'s per-channel change masks, expanded to reduction
-//! rows) and only accumulates contributions from rows that changed since
-//! the previous denoising step — unchanged rows ride along from the
-//! previous output for free.
+//! values.
 //!
-//! Layout and determinism follow the f32 kernel layer: the left operand is
-//! a [`QuantizedMatrix`] whose per-row scale blocks tile the reduction
+//! # Packed microkernel layout
+//!
+//! The hot kernels run on a packed, cache-blocked layout instead of the
+//! raw i8 operands:
+//!
+//! * **Weights** are packed once into a [`PackedQuantizedMatrix`]: each
+//!   row's scale blocks are widened to i16 and padded to
+//!   [`blocking::LANE`]-lane quanta (pads are zero codes), so every
+//!   block-aligned dot product runs over whole vector registers with no
+//!   scalar tail. Rows are grouped into [`blocking::PANEL_ROWS`]-row
+//!   panels — the parallel work unit, sized with the f32 core's shared
+//!   heuristic in [`crate::ops::blocking`].
+//! * **Activations** are packed per call into the transposed `[n,
+//!   packed_k]` i16 layout with the per-stream zero point folded in, so
+//!   the inner loop is a straight dot product over two contiguous i16
+//!   streams.
+//! * **Inner loop.** The dot product is scalar Rust shaped so LLVM
+//!   autovectorizes it to i16×i16→i32 **pair accumulation** (`vpmaddwd`
+//!   on x86). Pair products here are bounded by `128 · 32 768 < 2²³`, so
+//!   the pair sums are exact — the instruction's lone saturating case
+//!   (`−32768 · −32768` in both lanes) cannot occur. A panel sweeps the
+//!   activation columns in L1-sized tiles ([`blocking::col_tile`]) so the
+//!   packed streams stay cache-resident across the panel's rows.
+//! * **ISA dispatch.** At runtime the kernels pick an AVX2-compiled body
+//!   when the CPU has AVX2 (std's `is_x86_feature_detected!`; the build
+//!   stays scalar Rust — no intrinsics, no new dependencies) and a
+//!   portable 4-column-stream body otherwise. Both bodies produce
+//!   bit-identical results (see below); [`force_generic_kernels`] pins
+//!   the portable body for testing.
+//!
+//! # Determinism contract
+//!
+//! Layout and determinism follow the f32 kernel layer: the left operand
+//! is a [`QuantizedMatrix`] whose per-row scale blocks tile the reduction
 //! dimension, the right operand is a row-major code matrix with one
-//! per-tensor scale/zero-point ([`XQuant`]), and output rows are fanned out
-//! over the [`crate::parallel`] worker pool in contiguous blocks. Every
-//! output element is produced by exactly one task running the serial inner
-//! loop in serial order, so results are bitwise identical at any
-//! `SQDM_THREADS`.
+//! per-tensor scale/zero-point ([`XQuant`]), and output panels are fanned
+//! out over the [`crate::parallel`] worker pool in contiguous blocks.
+//! Every output element is `Σ_b asc (acc_b as f32 · (w_scale[i, b] ·
+//! x_scale))` where each block accumulator `acc_b` is **exact** i32 —
+//! integer addition is associative, so the kernels are free to reorder
+//! the reduction (pair accumulation, padded lanes, ISA-specific bodies)
+//! without changing a single bit. The f32 requantization epilogue always
+//! folds blocks in ascending order per element, so results are bitwise
+//! identical at any `SQDM_THREADS`, on either ISA body, and to the
+//! pre-overhaul broadcast kernels.
 //!
 //! **Accumulator range.** Block accumulators are i32, matching the
 //! accumulator width of real INT8 datapaths. One product is bounded by
-//! `128 · 255 = 32 640`, so a scale block may span up to ~65 000 reduction
-//! elements before overflow becomes possible — far beyond any layer in
-//! this workspace (the largest reduction is `C·kh·kw` of a convolution).
+//! `128 · 255 = 32 640` for in-range zero points, so a scale block may
+//! span up to ~65 000 reduction elements before overflow becomes possible
+//! — far beyond any layer in this workspace (the largest reduction is
+//! `C·kh·kw` of a convolution). The packed i16 activation layout bounds
+//! zero points to [`MAX_ZERO_POINT`]; out-of-range zero points (which the
+//! workspace's symmetric formats never produce) are rejected.
+//!
+//! # Temporal sparsity crossover
+//!
+//! [`qgemm_delta_multi`] consumes a temporal change mask
+//! (`sqdm-sparsity`'s per-channel change masks, expanded to reduction
+//! rows) and only accumulates contributions from rows that changed since
+//! the previous denoising step. Row-skipping only wins while the mask is
+//! sparse: above the measured crossover fraction
+//! ([`DELTA_DENSE_THRESHOLD`]) the kernel falls back to the packed dense
+//! microkernel over the masked deltas, which is bitwise identical (masked
+//! rows contribute exact i32 zeros and inactive blocks skip the f32
+//! epilogue either way) but much faster at high change density.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::error::{Result, TensorError};
-use crate::ops::Conv2dGeometry;
+use crate::ops::{blocking, Conv2dGeometry};
 use crate::parallel;
 use crate::tensor::Tensor;
 
@@ -37,7 +88,8 @@ use crate::tensor::Tensor;
 ///
 /// The workspace's symmetric formats always use `zero_point = 0`; the
 /// kernels still honor a nonzero zero point so asymmetric activation
-/// grids can be executed (and tested) without a separate code path.
+/// grids can be executed (and tested) without a separate code path. The
+/// packed i16 layout bounds the magnitude to [`MAX_ZERO_POINT`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct XQuant {
     /// Real value of one code step.
@@ -55,6 +107,11 @@ impl XQuant {
         }
     }
 }
+
+/// Largest zero-point magnitude the packed kernels accept: any i8 code
+/// minus the zero point must fit the packed i16 activation lanes, so
+/// `|zero_point| ≤ i16::MAX − i8::MAX = 32 640`.
+pub const MAX_ZERO_POINT: i32 = i16::MAX as i32 - i8::MAX as i32;
 
 /// An integer-code matrix with per-row scale blocks along its columns —
 /// the weight operand of the integer GEMM family.
@@ -167,6 +224,415 @@ impl QuantizedMatrix {
     }
 }
 
+/// A [`QuantizedMatrix`] pre-packed into the microkernel weight layout:
+/// i16 codes, block-aligned and padded to [`blocking::LANE`]-lane quanta,
+/// rows grouped into [`blocking::PANEL_ROWS`]-row panels (the parallel
+/// work unit).
+///
+/// Packing costs one sweep over the codes; callers that apply the same
+/// weight to many activations (the `nn` executor's prepared projections,
+/// batched serving) pack once and call the `*_packed` kernel entry
+/// points. The unpacked entry points ([`qgemm_multi`] etc.) pack
+/// internally per call — correct, just repaying the pack each time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedQuantizedMatrix {
+    w: QuantizedMatrix,
+    packed: Vec<i16>,
+    /// Packed offset of each scale block within a row, plus the final
+    /// packed row length: `starts[b]` is block `b`'s first lane,
+    /// `starts[n_blocks]` is `packed_cols()`.
+    starts: Vec<usize>,
+}
+
+impl PackedQuantizedMatrix {
+    /// Packs a weight matrix into the microkernel layout.
+    pub fn pack(w: QuantizedMatrix) -> Self {
+        let (starts, pk) = block_spans(w.cols, w.block_len);
+        let packed = pack_weight_codes(&w, &starts, pk);
+        PackedQuantizedMatrix { w, packed, starts }
+    }
+
+    /// The underlying unpacked matrix.
+    pub fn matrix(&self) -> &QuantizedMatrix {
+        &self.w
+    }
+
+    /// Recovers the unpacked matrix.
+    pub fn into_matrix(self) -> QuantizedMatrix {
+        self.w
+    }
+
+    /// Packed row length in i16 lanes: the sum of every scale block's
+    /// length rounded up to a [`blocking::LANE`] multiple.
+    pub fn packed_cols(&self) -> usize {
+        *self.starts.last().unwrap_or(&0)
+    }
+
+    /// The packed i16 codes, `[rows, packed_cols]` row-major; pad lanes
+    /// hold zero codes.
+    pub fn packed_codes(&self) -> &[i16] {
+        &self.packed
+    }
+
+    /// Packed block offsets: `n_blocks() + 1` entries, the last being
+    /// [`Self::packed_cols`].
+    pub fn block_starts(&self) -> &[usize] {
+        &self.starts
+    }
+}
+
+/// Pins the portable (non-AVX2) kernel body, for testing the dispatching
+/// kernels' bitwise-identity claim on machines where AVX2 would otherwise
+/// be selected. Affects all subsequent kernel calls in the process until
+/// re-enabled; both bodies produce identical bits, so flipping this
+/// mid-run never changes results.
+pub fn force_generic_kernels(enabled: bool) {
+    FORCE_GENERIC.store(enabled, Ordering::SeqCst);
+}
+
+static FORCE_GENERIC: AtomicBool = AtomicBool::new(false);
+
+/// Whether the AVX2-compiled kernel body should be used. Decided on the
+/// calling thread before entering the parallel region and passed down as
+/// a plain bool, so every worker runs the same body.
+#[cfg(target_arch = "x86_64")]
+fn kernel_uses_avx2() -> bool {
+    !FORCE_GENERIC.load(Ordering::SeqCst) && std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn kernel_uses_avx2() -> bool {
+    false
+}
+
+/// Packed block offsets for a `[*, k]` matrix with `block_len`-column
+/// scale blocks: returns (`starts`, `packed_k`) where `starts` has
+/// `n_blocks + 1` entries, each block padded to a [`blocking::LANE`]
+/// multiple.
+fn block_spans(k: usize, block_len: usize) -> (Vec<usize>, usize) {
+    let nb = if k == 0 {
+        0
+    } else {
+        k.div_ceil(block_len.max(1))
+    };
+    let mut starts = Vec::with_capacity(nb + 1);
+    starts.push(0usize);
+    let mut off = 0usize;
+    for b in 0..nb {
+        let len = (k - b * block_len).min(block_len);
+        off += len.div_ceil(blocking::LANE) * blocking::LANE;
+        starts.push(off);
+    }
+    (starts, off)
+}
+
+/// Widens weight codes into the padded i16 layout; pad lanes stay zero,
+/// which keeps every padded dot product exact (`0 · x = 0` in i32).
+fn pack_weight_codes(w: &QuantizedMatrix, starts: &[usize], pk: usize) -> Vec<i16> {
+    let mut packed = vec![0i16; w.rows * pk];
+    if packed.is_empty() {
+        return packed;
+    }
+    let k = w.cols;
+    parallel::par_chunks_mut(&mut packed, pk, blocking::gemm_task_work(k, 1), |i, row| {
+        let src = &w.codes[i * k..(i + 1) * k];
+        for (b, win) in starts.windows(2).enumerate() {
+            let k0 = b * w.block_len;
+            let k1 = (k0 + w.block_len).min(k);
+            for (slot, &c) in row[win[0]..win[0] + (k1 - k0)].iter_mut().zip(&src[k0..k1]) {
+                *slot = c as i16;
+            }
+        }
+    });
+    packed
+}
+
+/// Packs the `[k, n]` activation codes into the transposed `[n,
+/// packed_k]` i16 layout, folding each column stripe's zero point in
+/// (columns `[s · stripe, (s + 1) · stripe)` belong to request `s`).
+fn pack_xt(
+    x: &[i8],
+    k: usize,
+    stripe: usize,
+    xqs: &[XQuant],
+    starts: &[usize],
+    block_len: usize,
+    pk: usize,
+) -> Vec<i16> {
+    let n = stripe * xqs.len();
+    let mut xt = vec![0i16; n * pk];
+    if xt.is_empty() {
+        return xt;
+    }
+    parallel::par_chunks_mut(&mut xt, pk, blocking::gemm_task_work(k, 1), |j, row| {
+        let zp = xqs[j / stripe].zero_point as i16;
+        for (b, win) in starts.windows(2).enumerate() {
+            let k0 = b * block_len;
+            let k1 = (k0 + block_len).min(k);
+            for (kk, slot) in row[win[0]..win[0] + (k1 - k0)].iter_mut().enumerate() {
+                *slot = x[(k0 + kk) * n + j] as i16 - zp;
+            }
+        }
+    });
+    xt
+}
+
+/// Packs the **masked code deltas** `x_curr − x_prev` into the transposed
+/// `[n, packed_k]` i16 layout: rows a stream's mask marks unchanged stay
+/// zero (never read), so a packed dense GEMM over this operand computes
+/// exactly the sparse-delta correction (zero points cancel in the delta).
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+fn pack_delta_xt(
+    x_curr: &[i8],
+    x_prev: &[i8],
+    changed: &[bool],
+    k: usize,
+    stripe: usize,
+    streams: usize,
+    starts: &[usize],
+    block_len: usize,
+    pk: usize,
+) -> Vec<i16> {
+    let n = stripe * streams;
+    let mut dt = vec![0i16; n * pk];
+    if dt.is_empty() {
+        return dt;
+    }
+    parallel::par_chunks_mut(&mut dt, pk, blocking::gemm_task_work(k, 1), |j, row| {
+        let mask = &changed[(j / stripe) * k..(j / stripe + 1) * k];
+        for (b, win) in starts.windows(2).enumerate() {
+            let k0 = b * block_len;
+            let k1 = (k0 + block_len).min(k);
+            for (kk, slot) in row[win[0]..win[0] + (k1 - k0)].iter_mut().enumerate() {
+                if mask[k0 + kk] {
+                    let idx = (k0 + kk) * n + j;
+                    *slot = x_curr[idx] as i16 - x_prev[idx] as i16;
+                }
+            }
+        }
+    });
+    dt
+}
+
+/// Per-column activation scales: `xqs[j / stripe].scale` replicated, so
+/// the kernel epilogue needs no division in its hot path.
+fn stream_scales(stripe: usize, xqs: &[XQuant]) -> Vec<f32> {
+    xqs.iter()
+        .flat_map(|q| std::iter::repeat_n(q.scale, stripe))
+        .collect()
+}
+
+/// Single-stream packed dot product, shaped so LLVM autovectorizes it to
+/// i16×i16→i32 pair accumulation (`vpmaddwd` under AVX2). Exact: pair
+/// sums are bounded by `2 · 128 · 32 768 = 2²³` (see the module docs).
+#[inline(always)]
+fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+    let mut s = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        s += x as i32 * y as i32;
+    }
+    s
+}
+
+/// Four-column-stream packed dot product: one weight segment against four
+/// activation segments, four independent accumulator streams. This is the
+/// portable body's inner loop — without AVX2 the extra ILP beats the
+/// single-stream form, while under AVX2 the single-stream `vpmaddwd`
+/// reduction wins (measured at the bench shape).
+#[inline(always)]
+fn dot_i16_x4(w: &[i16], x0: &[i16], x1: &[i16], x2: &[i16], x3: &[i16]) -> [i32; 4] {
+    let len = w.len();
+    let (x0, x1, x2, x3) = (&x0[..len], &x1[..len], &x2[..len], &x3[..len]);
+    let mut s = [0i32; 4];
+    for (i, &wv) in w.iter().enumerate() {
+        let wv = wv as i32;
+        s[0] += wv * x0[i] as i32;
+        s[1] += wv * x1[i] as i32;
+        s[2] += wv * x2[i] as i32;
+        s[3] += wv * x3[i] as i32;
+    }
+    s
+}
+
+/// Borrowed view of everything a packed kernel body needs; one instance
+/// is shared (immutably) by every worker of a parallel region.
+struct PackedKernelCtx<'a> {
+    /// Packed weight codes, `[rows, pk]`.
+    codes: &'a [i16],
+    /// Weight scales, `[rows, nb]`.
+    scales: &'a [f32],
+    /// Packed block offsets, `nb + 1` entries.
+    starts: &'a [usize],
+    /// Packed row length.
+    pk: usize,
+    /// Scale blocks per row.
+    nb: usize,
+    /// Packed activations (or masked deltas), `[n, pk]`.
+    xt: &'a [i16],
+    /// Per-column activation scale, `[n]`.
+    xscale: &'a [f32],
+    /// Output columns.
+    n: usize,
+    /// Activation columns per L1 tile.
+    tile: usize,
+}
+
+/// Dense panel body: produces `chunk` (one panel of output rows, zeroed
+/// semantics) from the packed operands. `X4` selects the 4-stream inner
+/// loop (portable body); the AVX2 instantiation uses the single-stream
+/// form. Per element the f32 epilogue folds blocks in ascending order
+/// from `0.0`, reproducing the pre-overhaul kernel bitwise.
+#[inline(always)]
+fn dense_panel<const X4: bool>(ctx: &PackedKernelCtx<'_>, i0: usize, chunk: &mut [f32]) {
+    let n = ctx.n;
+    let rows = chunk.len() / n;
+    let mut jt = 0usize;
+    while jt < n {
+        let j_end = (jt + ctx.tile).min(n);
+        for r in 0..rows {
+            let i = i0 + r;
+            let w_row = &ctx.codes[i * ctx.pk..(i + 1) * ctx.pk];
+            let w_sc = &ctx.scales[i * ctx.nb..(i + 1) * ctx.nb];
+            let o_row = &mut chunk[r * n..(r + 1) * n];
+            let mut j = jt;
+            if X4 {
+                while j + 4 <= j_end {
+                    let x0 = &ctx.xt[j * ctx.pk..(j + 1) * ctx.pk];
+                    let x1 = &ctx.xt[(j + 1) * ctx.pk..(j + 2) * ctx.pk];
+                    let x2 = &ctx.xt[(j + 2) * ctx.pk..(j + 3) * ctx.pk];
+                    let x3 = &ctx.xt[(j + 3) * ctx.pk..(j + 4) * ctx.pk];
+                    let mut y = [0.0f32; 4];
+                    for (win, &ws) in ctx.starts.windows(2).zip(w_sc) {
+                        let (s0, s1) = (win[0], win[1]);
+                        let acc = dot_i16_x4(
+                            &w_row[s0..s1],
+                            &x0[s0..s1],
+                            &x1[s0..s1],
+                            &x2[s0..s1],
+                            &x3[s0..s1],
+                        );
+                        for (t, (yy, &a)) in y.iter_mut().zip(&acc).enumerate() {
+                            *yy += a as f32 * (ws * ctx.xscale[j + t]);
+                        }
+                    }
+                    o_row[j..j + 4].copy_from_slice(&y);
+                    j += 4;
+                }
+            }
+            while j < j_end {
+                let x_row = &ctx.xt[j * ctx.pk..(j + 1) * ctx.pk];
+                let mut y = 0.0f32;
+                for (win, &ws) in ctx.starts.windows(2).zip(w_sc) {
+                    let acc = dot_i16(&w_row[win[0]..win[1]], &x_row[win[0]..win[1]]);
+                    y += acc as f32 * (ws * ctx.xscale[j]);
+                }
+                o_row[j] = y;
+                j += 1;
+            }
+        }
+        jt = j_end;
+    }
+}
+
+/// Delta panel body: `chunk` arrives pre-initialized to the previous
+/// output; only blocks whose (stream, block) slot in `active` holds a
+/// changed row contribute — skipped blocks leave the element untouched
+/// (no `+ 0.0`, which could flip a `-0.0`), exactly like the sparse path.
+///
+/// `#[inline(always)]` is load-bearing: the AVX2 wrapper's
+/// `#[target_feature]` only reaches code inlined into it.
+#[inline(always)]
+fn delta_panel(
+    ctx: &PackedKernelCtx<'_>,
+    stripe: usize,
+    active: &[bool],
+    i0: usize,
+    chunk: &mut [f32],
+) {
+    let n = ctx.n;
+    let rows = chunk.len() / n;
+    let mut jt = 0usize;
+    while jt < n {
+        let j_end = (jt + ctx.tile).min(n);
+        for r in 0..rows {
+            let i = i0 + r;
+            let w_row = &ctx.codes[i * ctx.pk..(i + 1) * ctx.pk];
+            let w_sc = &ctx.scales[i * ctx.nb..(i + 1) * ctx.nb];
+            let o_row = &mut chunk[r * n..(r + 1) * n];
+            for j in jt..j_end {
+                let act = &active[(j / stripe) * ctx.nb..(j / stripe + 1) * ctx.nb];
+                let x_row = &ctx.xt[j * ctx.pk..(j + 1) * ctx.pk];
+                let mut y = o_row[j];
+                for ((win, &ws), &on) in ctx.starts.windows(2).zip(w_sc).zip(act) {
+                    if !on {
+                        continue;
+                    }
+                    let acc = dot_i16(&w_row[win[0]..win[1]], &x_row[win[0]..win[1]]);
+                    y += acc as f32 * (ws * ctx.xscale[j]);
+                }
+                o_row[j] = y;
+            }
+        }
+        jt = j_end;
+    }
+}
+
+/// AVX2 instantiation of the dense body: same scalar Rust, compiled with
+/// the AVX2 feature so the single-stream dot lowers to `vpmaddwd`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dense_panel_avx2(ctx: &PackedKernelCtx<'_>, i0: usize, chunk: &mut [f32]) {
+    dense_panel::<false>(ctx, i0, chunk);
+}
+
+/// AVX2 instantiation of the delta body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn delta_panel_avx2(
+    ctx: &PackedKernelCtx<'_>,
+    stripe: usize,
+    active: &[bool],
+    i0: usize,
+    chunk: &mut [f32],
+) {
+    delta_panel(ctx, stripe, active, i0, chunk);
+}
+
+/// Dispatches one dense panel to the ISA-selected body.
+fn run_dense_panel(use_avx2: bool, ctx: &PackedKernelCtx<'_>, i0: usize, chunk: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        // SAFETY: `use_avx2` is only true when `kernel_uses_avx2`
+        // observed AVX2 via `is_x86_feature_detected!` on this machine,
+        // which is the target-feature contract of `dense_panel_avx2`.
+        unsafe { dense_panel_avx2(ctx, i0, chunk) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    dense_panel::<true>(ctx, i0, chunk);
+}
+
+/// Dispatches one delta panel to the ISA-selected body.
+fn run_delta_panel(
+    use_avx2: bool,
+    ctx: &PackedKernelCtx<'_>,
+    stripe: usize,
+    active: &[bool],
+    i0: usize,
+    chunk: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        // SAFETY: as in `run_dense_panel` — gated on runtime detection.
+        unsafe { delta_panel_avx2(ctx, stripe, active, i0, chunk) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    delta_panel(ctx, stripe, active, i0, chunk);
+}
+
 fn check_qgemm(op: &'static str, w: &QuantizedMatrix, x_len: usize, n: usize) -> Result<()> {
     if x_len != w.cols * n {
         return Err(TensorError::ShapeMismatch {
@@ -178,28 +644,78 @@ fn check_qgemm(op: &'static str, w: &QuantizedMatrix, x_len: usize, n: usize) ->
     Ok(())
 }
 
-/// Widens i8 codes to zero-point-adjusted i32 where the columns of the
-/// `[k, stripe · xqs.len()]` matrix are striped per request: columns
-/// `[s · stripe, (s + 1) · stripe)` of every row use `xqs[s].zero_point`.
-///
-/// When every request shares one zero point (the workspace's symmetric
-/// formats always do) this collapses to the flat [`widen_codes`] sweep.
-fn widen_codes_striped(codes: &[i8], stripe: usize, xqs: &[XQuant]) -> Vec<i32> {
-    if xqs.iter().all(|q| q.zero_point == xqs[0].zero_point) {
-        return widen_codes(codes, xqs.first().map_or(0, |q| q.zero_point));
-    }
-    let n = stripe * xqs.len();
-    let mut out = vec![0i32; codes.len()];
-    parallel::par_chunks_mut(&mut out, n, 2 * n, |row, block| {
-        for (s, xq) in xqs.iter().enumerate() {
-            let src = &codes[row * n + s * stripe..][..stripe];
-            let dst = &mut block[s * stripe..(s + 1) * stripe];
-            for (o, &c) in dst.iter_mut().zip(src.iter()) {
-                *o = c as i32 - xq.zero_point;
-            }
+/// Rejects zero points the packed i16 activation layout cannot represent.
+fn check_zero_points(xqs: &[XQuant]) -> Result<()> {
+    for q in xqs {
+        if q.zero_point > MAX_ZERO_POINT || q.zero_point < -MAX_ZERO_POINT {
+            return Err(TensorError::InvalidArgument {
+                op: "qgemm(zero_point)",
+                reason: format!(
+                    "zero point {} exceeds the packed-kernel bound ±{MAX_ZERO_POINT}",
+                    q.zero_point
+                ),
+            });
         }
-    });
-    out
+    }
+    Ok(())
+}
+
+/// Shared argument validation of the dense GEMM entry points.
+fn check_dense_call(
+    w: &QuantizedMatrix,
+    x_len: usize,
+    stripe: usize,
+    xqs: &[XQuant],
+    out_len: usize,
+) -> Result<()> {
+    let n = stripe * xqs.len();
+    check_qgemm("qgemm", w, x_len, n)?;
+    if out_len != w.rows * n {
+        return Err(TensorError::ShapeMismatch {
+            op: "qgemm(out)",
+            lhs: vec![out_len],
+            rhs: vec![w.rows, n],
+        });
+    }
+    check_zero_points(xqs)
+}
+
+/// Shared argument validation of the delta GEMM entry points.
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+fn check_delta_call(
+    w: &QuantizedMatrix,
+    x_curr_len: usize,
+    x_prev_len: usize,
+    changed_len: usize,
+    stripe: usize,
+    xqs: &[XQuant],
+    prev_out_len: usize,
+    out_len: usize,
+) -> Result<()> {
+    let n = stripe * xqs.len();
+    check_qgemm("qgemm_delta", w, x_curr_len, n)?;
+    if x_prev_len != x_curr_len {
+        return Err(TensorError::ShapeMismatch {
+            op: "qgemm_delta(prev)",
+            lhs: vec![x_prev_len],
+            rhs: vec![x_curr_len],
+        });
+    }
+    if changed_len != w.cols * xqs.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "qgemm_delta(mask)",
+            lhs: vec![changed_len],
+            rhs: vec![xqs.len(), w.cols],
+        });
+    }
+    if out_len != w.rows * n || prev_out_len != out_len {
+        return Err(TensorError::ShapeMismatch {
+            op: "qgemm_delta(out)",
+            lhs: vec![prev_out_len, out_len],
+            rhs: vec![w.rows, n],
+        });
+    }
+    Ok(())
 }
 
 /// Integer GEMM with requantization: `out[i, j] = x.scale · Σ_b w.scale[i, b]
@@ -212,13 +728,15 @@ fn widen_codes_striped(codes: &[i8], stripe: usize, xqs: &[XQuant]) -> Vec<i32> 
 /// f32 reference (which accumulates the same products in the same
 /// ascending-`k` order).
 ///
-/// Zero weight codes are skipped — exact in integer arithmetic, unlike the
-/// IEEE-invalid f32 zero-skip removed in PR 2.
+/// Runs on the packed microkernels (the weight is packed internally per
+/// call; see [`PackedQuantizedMatrix`] and [`qgemm_packed`] to amortize
+/// the pack across calls).
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if buffer lengths disagree with
-/// the shapes.
+/// the shapes, and [`TensorError::InvalidArgument`] for zero points
+/// beyond [`MAX_ZERO_POINT`].
 pub fn qgemm(
     w: &QuantizedMatrix,
     x_codes: &[i8],
@@ -241,16 +759,16 @@ pub fn qgemm(
 /// instead of once per request.
 ///
 /// Every output element is produced by the exact per-request [`qgemm`]
-/// operation sequence (exact i32 block accumulation in ascending-`k`
-/// order, then one f32 requantization per scale block), so the result is
-/// **bitwise identical** to `xqs.len()` independent single-request calls —
-/// at any `SQDM_THREADS`, since rows still fan out over the
-/// [`crate::parallel`] pool in contiguous blocks.
+/// operation sequence (exact i32 block accumulation, then one f32
+/// requantization per scale block in ascending block order), so the
+/// result is **bitwise identical** to `xqs.len()` independent
+/// single-request calls — at any `SQDM_THREADS` and on either ISA body.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if buffer lengths disagree with
-/// the shapes.
+/// the shapes, and [`TensorError::InvalidArgument`] for zero points
+/// beyond [`MAX_ZERO_POINT`].
 pub fn qgemm_multi(
     w: &QuantizedMatrix,
     x_codes: &[i8],
@@ -258,73 +776,112 @@ pub fn qgemm_multi(
     xqs: &[XQuant],
     out: &mut [f32],
 ) -> Result<()> {
-    let n = stripe * xqs.len();
-    check_qgemm("qgemm", w, x_codes.len(), n)?;
-    if out.len() != w.rows * n {
-        return Err(TensorError::ShapeMismatch {
-            op: "qgemm(out)",
-            lhs: vec![out.len()],
-            rhs: vec![w.rows, n],
-        });
-    }
-    if w.rows == 0 || n == 0 {
+    check_dense_call(w, x_codes.len(), stripe, xqs, out.len())?;
+    if w.rows == 0 || stripe * xqs.len() == 0 {
         return Ok(());
     }
-    let k = w.cols;
-    let nb = w.n_blocks();
-    // Widen the activation codes (zero points folded in) once, outside the
-    // m-fold inner loops: the hot loop then reduces to a broadcast
-    // multiply-accumulate over i32 lanes, which vectorizes like the f32
-    // GEMM core. The widened copy costs k·n — amortized over m rows.
-    let xi = widen_codes_striped(x_codes, stripe, xqs);
-    parallel::par_chunks_mut(out, n, 2 * k * n, |i, o_row| {
-        o_row.fill(0.0);
-        let mut acc = vec![0i32; n];
-        let w_row = &w.codes[i * k..(i + 1) * k];
-        for b in 0..nb {
-            let k0 = b * w.block_len;
-            let k1 = (k0 + w.block_len).min(k);
-            acc.fill(0);
-            for (kk, &w_ik) in w_row[k0..k1].iter().enumerate() {
-                if w_ik == 0 {
-                    continue;
-                }
-                let w_ik = w_ik as i32;
-                let x_row = &xi[(k0 + kk) * n..(k0 + kk + 1) * n];
-                for (a, &x_kj) in acc.iter_mut().zip(x_row.iter()) {
-                    *a += w_ik * x_kj;
-                }
-            }
-            let ws = w.scales[i * nb + b];
-            for (s, xq) in xqs.iter().enumerate() {
-                let sc = ws * xq.scale;
-                let o_stripe = &mut o_row[s * stripe..(s + 1) * stripe];
-                let a_stripe = &acc[s * stripe..(s + 1) * stripe];
-                for (o, &a) in o_stripe.iter_mut().zip(a_stripe.iter()) {
-                    *o += a as f32 * sc;
-                }
-            }
-        }
-    });
+    let (starts, pk) = block_spans(w.cols, w.block_len);
+    let packed = pack_weight_codes(w, &starts, pk);
+    qgemm_packed_run(w, &packed, &starts, x_codes, stripe, xqs, out);
     Ok(())
 }
 
-/// Widens i8 codes to zero-point-adjusted i32, in parallel for large
-/// buffers.
-fn widen_codes(codes: &[i8], zero_point: i32) -> Vec<i32> {
-    let mut out = vec![0i32; codes.len()];
-    if codes.is_empty() {
-        return out;
-    }
-    let chunk = parallel::elementwise_chunk_len(codes.len());
-    parallel::par_chunks_mut(&mut out, chunk, chunk, |ci, block| {
-        let src = &codes[ci * chunk..ci * chunk + block.len()];
-        for (o, &c) in block.iter_mut().zip(src.iter()) {
-            *o = c as i32 - zero_point;
-        }
-    });
-    out
+/// [`qgemm`] on a pre-packed weight: identical results, the pack cost
+/// paid once at [`PackedQuantizedMatrix::pack`] time.
+///
+/// # Errors
+///
+/// Same conditions as [`qgemm`].
+pub fn qgemm_packed(
+    pw: &PackedQuantizedMatrix,
+    x_codes: &[i8],
+    n: usize,
+    xq: XQuant,
+    out: &mut [f32],
+) -> Result<()> {
+    qgemm_packed_multi(pw, x_codes, n, &[xq], out)
 }
+
+/// [`qgemm_multi`] on a pre-packed weight: identical results, the pack
+/// cost paid once at [`PackedQuantizedMatrix::pack`] time.
+///
+/// # Errors
+///
+/// Same conditions as [`qgemm_multi`].
+pub fn qgemm_packed_multi(
+    pw: &PackedQuantizedMatrix,
+    x_codes: &[i8],
+    stripe: usize,
+    xqs: &[XQuant],
+    out: &mut [f32],
+) -> Result<()> {
+    check_dense_call(&pw.w, x_codes.len(), stripe, xqs, out.len())?;
+    if pw.w.rows == 0 || stripe * xqs.len() == 0 {
+        return Ok(());
+    }
+    qgemm_packed_run(&pw.w, &pw.packed, &pw.starts, x_codes, stripe, xqs, out);
+    Ok(())
+}
+
+/// The packed dense core: packs the activations, then fans
+/// [`blocking::PANEL_ROWS`]-row panels of `out` over the worker pool.
+/// Arguments are pre-validated and non-degenerate (`rows > 0`, `n > 0`).
+fn qgemm_packed_run(
+    w: &QuantizedMatrix,
+    packed: &[i16],
+    starts: &[usize],
+    x_codes: &[i8],
+    stripe: usize,
+    xqs: &[XQuant],
+    out: &mut [f32],
+) {
+    let n = stripe * xqs.len();
+    let pk = *starts.last().unwrap_or(&0);
+    let xt = pack_xt(x_codes, w.cols, stripe, xqs, starts, w.block_len, pk);
+    let xscale = stream_scales(stripe, xqs);
+    let ctx = PackedKernelCtx {
+        codes: packed,
+        scales: &w.scales,
+        starts,
+        pk,
+        nb: w.n_blocks(),
+        xt: &xt,
+        xscale: &xscale,
+        n,
+        tile: blocking::col_tile(pk, n),
+    };
+    let use_avx2 = kernel_uses_avx2();
+    let panel = blocking::PANEL_ROWS;
+    parallel::par_chunks_mut(
+        out,
+        panel * n,
+        panel * blocking::gemm_task_work(pk.max(w.cols), n),
+        |p, chunk| run_dense_panel(use_avx2, &ctx, p * panel, chunk),
+    );
+}
+
+/// Changed fraction the delta dispatch compares against the density
+/// threshold (`0.0` for an empty mask).
+fn changed_fraction(changed: &[bool]) -> f32 {
+    if changed.is_empty() {
+        return 0.0;
+    }
+    changed.iter().filter(|&&c| c).count() as f32 / changed.len() as f32
+}
+
+/// Changed-row fraction at or above which [`qgemm_delta_multi`] abandons
+/// row-skipping and recomputes the correction with the packed dense
+/// microkernel over the masked deltas.
+///
+/// Measured on the 256³ bench shape (see `BENCH_ci.json`'s
+/// `qgemm_delta_int8` sparsity sweep): the sparse broadcast path's cost
+/// grows linearly with the changed fraction (≈0.35 ms at 5 % changed,
+/// ≈0.96 ms at 25 %, ≈1.17 ms at 30 %) while the packed dense path is
+/// flat at ≈1.05 ms, so the curves cross between 25 % and 30 % changed
+/// rows; the threshold sits at the low edge of that band. Both paths are
+/// bitwise identical, so the threshold is purely a performance decision;
+/// [`qgemm_delta_multi_with_threshold`] overrides it for testing.
+pub const DELTA_DENSE_THRESHOLD: f32 = 0.25;
 
 /// Temporal sparse-delta GEMM: recomputes only the contributions of
 /// reduction rows whose activation changed since the previous step.
@@ -344,6 +901,10 @@ fn widen_codes(codes: &[i8], zero_point: i32) -> Vec<i32> {
 /// cost scales with the changed fraction — the paper's temporal-sparsity
 /// win. Both steps must share one activation scale (static calibration),
 /// otherwise the code-space delta is meaningless.
+///
+/// Above [`DELTA_DENSE_THRESHOLD`] the kernel switches to the packed
+/// dense microkernel over the masked deltas — bitwise identical, faster
+/// once the mask is dense enough that row-skipping stops paying.
 ///
 /// The mask typically comes from
 /// `sqdm_sparsity::TemporalTrace::change_mask`, expanded to reduction
@@ -380,7 +941,9 @@ pub fn qgemm_delta(
 ///
 /// Bitwise identical to `xqs.len()` independent [`qgemm_delta`] calls at
 /// any thread count, by the same argument as [`qgemm_multi`] (exact i32
-/// accumulation; per-element f32 requantization in identical order).
+/// accumulation; per-element f32 requantization in identical order). The
+/// dense-fallback dispatch (see [`DELTA_DENSE_THRESHOLD`]) looks at the
+/// overall changed fraction of the batch.
 ///
 /// # Errors
 ///
@@ -397,38 +960,192 @@ pub fn qgemm_delta_multi(
     prev_out: &[f32],
     out: &mut [f32],
 ) -> Result<()> {
-    let n = stripe * xqs.len();
-    check_qgemm("qgemm_delta", w, x_curr.len(), n)?;
-    if x_prev.len() != x_curr.len() {
-        return Err(TensorError::ShapeMismatch {
-            op: "qgemm_delta(prev)",
-            lhs: vec![x_prev.len()],
-            rhs: vec![x_curr.len()],
-        });
-    }
-    if changed.len() != w.cols * xqs.len() {
-        return Err(TensorError::ShapeMismatch {
-            op: "qgemm_delta(mask)",
-            lhs: vec![changed.len()],
-            rhs: vec![xqs.len(), w.cols],
-        });
-    }
-    if out.len() != w.rows * n || prev_out.len() != out.len() {
-        return Err(TensorError::ShapeMismatch {
-            op: "qgemm_delta(out)",
-            lhs: vec![prev_out.len(), out.len()],
-            rhs: vec![w.rows, n],
-        });
-    }
-    if w.rows == 0 || n == 0 {
+    qgemm_delta_multi_with_threshold(
+        w,
+        x_curr,
+        x_prev,
+        changed,
+        stripe,
+        xqs,
+        prev_out,
+        out,
+        DELTA_DENSE_THRESHOLD,
+    )
+}
+
+/// [`qgemm_delta_multi`] with an explicit density threshold, for tests
+/// and calibration sweeps: `dense_threshold <= 0.0` forces the packed
+/// dense fallback, `dense_threshold > 1.0` forces the row-skipping sparse
+/// path. Both paths are bitwise identical; the threshold only moves the
+/// crossover.
+///
+/// # Errors
+///
+/// Same conditions as [`qgemm_delta_multi`].
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+pub fn qgemm_delta_multi_with_threshold(
+    w: &QuantizedMatrix,
+    x_curr: &[i8],
+    x_prev: &[i8],
+    changed: &[bool],
+    stripe: usize,
+    xqs: &[XQuant],
+    prev_out: &[f32],
+    out: &mut [f32],
+    dense_threshold: f32,
+) -> Result<()> {
+    check_delta_call(
+        w,
+        x_curr.len(),
+        x_prev.len(),
+        changed.len(),
+        stripe,
+        xqs,
+        prev_out.len(),
+        out.len(),
+    )?;
+    if w.rows == 0 || stripe * xqs.len() == 0 {
         return Ok(());
     }
+    if changed_fraction(changed) >= dense_threshold {
+        let (starts, pk) = block_spans(w.cols, w.block_len);
+        let packed = pack_weight_codes(w, &starts, pk);
+        qgemm_delta_packed_run(
+            w, &packed, &starts, x_curr, x_prev, changed, stripe, xqs, prev_out, out,
+        );
+    } else {
+        qgemm_delta_sparse_run(w, x_curr, x_prev, changed, stripe, xqs, prev_out, out);
+    }
+    Ok(())
+}
+
+/// [`qgemm_delta_multi`] on a pre-packed weight: the dense-fallback
+/// branch reuses the pack instead of repacking per call; the sparse
+/// branch reads the unpacked codes held by the pack. Identical results.
+///
+/// # Errors
+///
+/// Same conditions as [`qgemm_delta_multi`].
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+pub fn qgemm_delta_packed_multi(
+    pw: &PackedQuantizedMatrix,
+    x_curr: &[i8],
+    x_prev: &[i8],
+    changed: &[bool],
+    stripe: usize,
+    xqs: &[XQuant],
+    prev_out: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    check_delta_call(
+        &pw.w,
+        x_curr.len(),
+        x_prev.len(),
+        changed.len(),
+        stripe,
+        xqs,
+        prev_out.len(),
+        out.len(),
+    )?;
+    if pw.w.rows == 0 || stripe * xqs.len() == 0 {
+        return Ok(());
+    }
+    if changed_fraction(changed) >= DELTA_DENSE_THRESHOLD {
+        qgemm_delta_packed_run(
+            &pw.w, &pw.packed, &pw.starts, x_curr, x_prev, changed, stripe, xqs, prev_out, out,
+        );
+    } else {
+        qgemm_delta_sparse_run(&pw.w, x_curr, x_prev, changed, stripe, xqs, prev_out, out);
+    }
+    Ok(())
+}
+
+/// Dense-fallback delta core: packs the masked deltas and runs the packed
+/// microkernel, skipping (stream, block) slots with no changed rows so
+/// the f32 epilogue touches exactly the elements the sparse path touches.
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+fn qgemm_delta_packed_run(
+    w: &QuantizedMatrix,
+    packed: &[i16],
+    starts: &[usize],
+    x_curr: &[i8],
+    x_prev: &[i8],
+    changed: &[bool],
+    stripe: usize,
+    xqs: &[XQuant],
+    prev_out: &[f32],
+    out: &mut [f32],
+) {
+    let n = stripe * xqs.len();
+    let k = w.cols;
+    let nb = w.n_blocks();
+    let pk = *starts.last().unwrap_or(&0);
+    let dt = pack_delta_xt(
+        x_curr,
+        x_prev,
+        changed,
+        k,
+        stripe,
+        xqs.len(),
+        starts,
+        w.block_len,
+        pk,
+    );
+    let xscale = stream_scales(stripe, xqs);
+    let mut active = vec![false; xqs.len() * nb];
+    for (s, row) in active.chunks_mut(nb.max(1)).enumerate() {
+        let mask = &changed[s * k..(s + 1) * k];
+        for (b, slot) in row.iter_mut().enumerate() {
+            let k0 = b * w.block_len;
+            let k1 = (k0 + w.block_len).min(k);
+            *slot = mask[k0..k1].iter().any(|&c| c);
+        }
+    }
+    let ctx = PackedKernelCtx {
+        codes: packed,
+        scales: &w.scales,
+        starts,
+        pk,
+        nb,
+        xt: &dt,
+        xscale: &xscale,
+        n,
+        tile: blocking::col_tile(pk, n),
+    };
+    let use_avx2 = kernel_uses_avx2();
+    let panel = blocking::PANEL_ROWS;
+    parallel::par_chunks_mut(
+        out,
+        panel * n,
+        panel * blocking::gemm_task_work(pk.max(k), n),
+        |p, chunk| {
+            let base = p * panel * n;
+            chunk.copy_from_slice(&prev_out[base..base + chunk.len()]);
+            run_delta_panel(use_avx2, &ctx, stripe, &active, p * panel, chunk);
+        },
+    );
+}
+
+/// Row-skipping sparse delta core (the pre-overhaul kernel): widens the
+/// changed rows' code deltas once, then runs the broadcast
+/// multiply-accumulate over only the changed rows of each stream.
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+fn qgemm_delta_sparse_run(
+    w: &QuantizedMatrix,
+    x_curr: &[i8],
+    x_prev: &[i8],
+    changed: &[bool],
+    stripe: usize,
+    xqs: &[XQuant],
+    prev_out: &[f32],
+    out: &mut [f32],
+) {
+    let n = stripe * xqs.len();
     let k = w.cols;
     let nb = w.n_blocks();
     // Widen the code deltas of the *changed* rows once (zero points
-    // cancel); unchanged rows stay zero and are never read. As in
-    // [`qgemm`], this keeps the hot loop a vectorizable i32
-    // multiply-accumulate. Each stream widens only its own changed rows.
+    // cancel); unchanged rows stay zero and are never read. Each stream
+    // widens only its own changed rows.
     let mut di = vec![0i32; x_curr.len()];
     parallel::par_chunks_mut(&mut di, n, 2 * n, |row, block| {
         for s in 0..xqs.len() {
@@ -444,7 +1161,7 @@ pub fn qgemm_delta_multi(
             }
         }
     });
-    parallel::par_chunks_mut(out, n, 2 * k * n, |i, o_row| {
+    parallel::par_chunks_mut(out, n, blocking::gemm_task_work(k, n), |i, o_row| {
         o_row.copy_from_slice(&prev_out[i * n..(i + 1) * n]);
         let mut acc = vec![0i32; stripe];
         let w_row = &w.codes[i * k..(i + 1) * k];
@@ -475,7 +1192,6 @@ pub fn qgemm_delta_multi(
             }
         }
     });
-    Ok(())
 }
 
 /// Packs the transpose of a row-major `[rows, cols]` code matrix into a
@@ -637,8 +1353,9 @@ pub fn conv2d_i8(
 /// code). The weight matrix — codes, scale blocks, and the per-channel
 /// requantization parameters — is shared across the whole batch, so
 /// batched serving pays the weight quantization once per step instead of
-/// once per request. Bitwise identical to `n` single-sample
-/// [`conv2d_i8`] calls at any thread count.
+/// once per request. The GEMM stage runs on the packed microkernels via
+/// [`qgemm_multi`]. Bitwise identical to `n` single-sample [`conv2d_i8`]
+/// calls at any thread count.
 ///
 /// # Errors
 ///
@@ -768,6 +1485,118 @@ mod tests {
             let sb: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
             let pb: Vec<u32> = par.iter().map(|v| v.to_bits()).collect();
             assert_eq!(sb, pb, "qgemm differs at {t} threads");
+        }
+    }
+
+    #[test]
+    fn packed_entry_points_match_unpacked_bitwise() {
+        let codes: Vec<i8> = (0..9 * 21).map(|v| ((v * 31) % 251) as i8).collect();
+        let scales: Vec<f32> = (0..9 * 3).map(|v| 0.01 + v as f32 * 1e-4).collect();
+        let w = QuantizedMatrix::new(codes, 9, 21, scales, 8).unwrap();
+        let pw = PackedQuantizedMatrix::pack(w.clone());
+        assert_eq!(pw.matrix(), &w);
+        let x: Vec<i8> = (0..21 * 7).map(|v| ((v * 17) % 199) as i8).collect();
+        let xq = XQuant {
+            scale: 0.03,
+            zero_point: -4,
+        };
+        let mut plain = vec![0.0f32; 9 * 7];
+        qgemm(&w, &x, 7, xq, &mut plain).unwrap();
+        let mut packed = vec![0.0f32; 9 * 7];
+        qgemm_packed(&pw, &x, 7, xq, &mut packed).unwrap();
+        for (a, b) in plain.iter().zip(&packed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(pw.clone().into_matrix(), w);
+    }
+
+    #[test]
+    fn generic_and_dispatched_bodies_agree_bitwise() {
+        let codes: Vec<i8> = (0..10 * 37).map(|v| ((v * 29) % 253) as i8).collect();
+        let scales: Vec<f32> = (0..10 * 5).map(|v| 0.002 + v as f32 * 2e-4).collect();
+        let w = QuantizedMatrix::new(codes, 10, 37, scales, 8).unwrap();
+        let x: Vec<i8> = (0..37 * 11).map(|v| ((v * 13) % 241) as i8).collect();
+        let xq = XQuant {
+            scale: 0.05,
+            zero_point: 2,
+        };
+        let mut dispatched = vec![0.0f32; 10 * 11];
+        qgemm(&w, &x, 11, xq, &mut dispatched).unwrap();
+        force_generic_kernels(true);
+        let mut generic = vec![0.0f32; 10 * 11];
+        let r = qgemm(&w, &x, 11, xq, &mut generic);
+        force_generic_kernels(false);
+        r.unwrap();
+        for (a, b) in dispatched.iter().zip(&generic) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn out_of_range_zero_points_are_rejected() {
+        let w = QuantizedMatrix::per_channel(vec![1, 2, 3, 4], 2, 2, vec![1.0, 1.0]).unwrap();
+        let mut out = vec![0.0f32; 4];
+        for zp in [MAX_ZERO_POINT, -MAX_ZERO_POINT] {
+            let xq = XQuant {
+                scale: 1.0,
+                zero_point: zp,
+            };
+            qgemm(&w, &[1i8; 4], 2, xq, &mut out).unwrap();
+            assert_eq!(out, naive(&w, &[1i8; 4], 2, xq));
+        }
+        for zp in [MAX_ZERO_POINT + 1, -MAX_ZERO_POINT - 1, i32::MIN, i32::MAX] {
+            let xq = XQuant {
+                scale: 1.0,
+                zero_point: zp,
+            };
+            assert!(qgemm(&w, &[1i8; 4], 2, xq, &mut out).is_err(), "zp {zp}");
+        }
+    }
+
+    #[test]
+    fn delta_threshold_zero_and_above_one_agree_bitwise() {
+        let w = multi_test_weight();
+        let k = w.cols();
+        let stripe = 5;
+        let xqs = [XQuant::symmetric(0.02), XQuant::symmetric(0.07)];
+        let n = stripe * xqs.len();
+        let prev: Vec<i8> = (0..k * n).map(|v| ((v * 11) % 201) as i8).collect();
+        let mut curr = prev.clone();
+        let mask: Vec<bool> = (0..k * xqs.len()).map(|r| r % 3 == 1).collect();
+        for (s, chunk) in mask.chunks(k).enumerate() {
+            for (row, &ch) in chunk.iter().enumerate() {
+                if ch {
+                    for v in &mut curr[row * n + s * stripe..row * n + (s + 1) * stripe] {
+                        *v = v.wrapping_add(6);
+                    }
+                }
+            }
+        }
+        let mut prev_out = vec![0.0f32; w.rows() * n];
+        qgemm_multi(&w, &prev, stripe, &xqs, &mut prev_out).unwrap();
+        let mut dense = vec![0.0f32; w.rows() * n];
+        qgemm_delta_multi_with_threshold(
+            &w, &curr, &prev, &mask, stripe, &xqs, &prev_out, &mut dense, 0.0,
+        )
+        .unwrap();
+        let mut sparse = vec![0.0f32; w.rows() * n];
+        qgemm_delta_multi_with_threshold(
+            &w,
+            &curr,
+            &prev,
+            &mask,
+            stripe,
+            &xqs,
+            &prev_out,
+            &mut sparse,
+            1.5,
+        )
+        .unwrap();
+        let mut dflt = vec![0.0f32; w.rows() * n];
+        qgemm_delta_multi(&w, &curr, &prev, &mask, stripe, &xqs, &prev_out, &mut dflt).unwrap();
+        for ((a, b), c) in dense.iter().zip(&sparse).zip(&dflt) {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), c.to_bits());
         }
     }
 

@@ -15,6 +15,7 @@
 //! of the dense reference kernels.
 
 use crate::error::{Result, TensorError};
+use crate::ops::blocking;
 use crate::parallel;
 use crate::tensor::Tensor;
 
@@ -26,6 +27,11 @@ use crate::tensor::Tensor;
 /// blocks; each row's reduction runs over `k` in ascending order on
 /// exactly one thread, so the result is bitwise identical to the serial
 /// i-k-j loop for every thread count.
+///
+/// Task sizing comes from the shared [`blocking`] heuristic; the loop
+/// itself stays untiled on purpose — see the module docs of
+/// [`blocking`](crate::ops::blocking) for why the broadcast-form f32 core
+/// does not take the panel/tile advice the integer kernels use.
 fn gemm_rows(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(lhs.len(), m * k);
     debug_assert_eq!(rhs.len(), k * n);
@@ -33,7 +39,7 @@ fn gemm_rows(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     if m == 0 || n == 0 {
         return;
     }
-    parallel::par_chunks_mut(out, n, 2 * k * n, |i, o_row| {
+    parallel::par_chunks_mut(out, n, blocking::gemm_task_work(k, n), |i, o_row| {
         let a_row = &lhs[i * k..(i + 1) * k];
         for (kk, &a_ik) in a_row.iter().enumerate() {
             let b_row = &rhs[kk * n..(kk + 1) * n];

@@ -1,6 +1,7 @@
 //! Math kernels operating on [`Tensor`](crate::Tensor)s.
 
 mod activation;
+pub mod blocking;
 mod conv;
 pub mod int;
 mod linalg;

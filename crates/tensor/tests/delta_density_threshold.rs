@@ -1,0 +1,169 @@
+//! Regression pins for the `qgemm_delta` density-threshold fallback.
+//!
+//! Above the measured sparse/dense crossover, recomputing through the
+//! packed dense kernel is faster than walking the sparse delta path — but
+//! the fallback is only sound because both branches are bitwise
+//! identical. These tests force each branch explicitly through
+//! `qgemm_delta_multi_with_threshold` (threshold `0.0` ⇒ every mask takes
+//! the dense path, `2.0` ⇒ every mask stays sparse), check both against
+//! the default-threshold entry point, and pin the exported threshold to a
+//! sane range so a bad edit can't quietly disable the fallback.
+
+use sqdm_tensor::ops::int::{
+    qgemm_delta_multi, qgemm_delta_multi_with_threshold, qgemm_multi, QuantizedMatrix, XQuant,
+    DELTA_DENSE_THRESHOLD,
+};
+use sqdm_tensor::parallel::with_threads;
+use sqdm_tensor::Rng;
+
+fn weight(m: usize, k: usize, block_len: usize, seed: u64) -> QuantizedMatrix {
+    let mut rng = Rng::seed_from(seed);
+    let nb = k.div_ceil(block_len);
+    let scales: Vec<f32> = (0..m * nb).map(|_| 0.001 + rng.uniform() * 0.02).collect();
+    let codes: Vec<i8> = (0..m * k)
+        .map(|_| (rng.uniform() * 254.0 - 127.0) as i8)
+        .collect();
+    QuantizedMatrix::new(codes, m, k, scales, block_len).unwrap()
+}
+
+/// Builds a delta scenario with exactly `changed_rows` masked rows per
+/// stream, scattered deterministically.
+struct Scenario {
+    w: QuantizedMatrix,
+    curr: Vec<i8>,
+    prev: Vec<i8>,
+    changed: Vec<bool>,
+    stripe: usize,
+    xqs: Vec<XQuant>,
+    prev_out: Vec<f32>,
+}
+
+fn scenario(changed_rows: usize, seed: u64) -> Scenario {
+    let (m, k, stripe) = (17usize, 40usize, 3usize);
+    let w = weight(m, k, 8, seed);
+    let xqs = vec![
+        XQuant::symmetric(0.02),
+        XQuant {
+            scale: 0.07,
+            zero_point: -4,
+        },
+    ];
+    let n = stripe * xqs.len();
+    let mut rng = Rng::seed_from(seed ^ 0x5a5a);
+    let prev: Vec<i8> = (0..k * n)
+        .map(|_| (rng.uniform() * 254.0 - 127.0) as i8)
+        .collect();
+    let mut changed = vec![false; xqs.len() * k];
+    for (s, mask) in changed.chunks_mut(k).enumerate() {
+        let mut marked = 0usize;
+        let mut row = (s * 7 + 3) % k;
+        while marked < changed_rows.min(k) {
+            if !mask[row] {
+                mask[row] = true;
+                marked += 1;
+            }
+            row = (row + 11) % k;
+        }
+    }
+    let mut curr = prev.clone();
+    for (s, mask) in changed.chunks(k).enumerate() {
+        for (row, &ch) in mask.iter().enumerate() {
+            if ch {
+                for v in &mut curr[row * n + s * stripe..row * n + (s + 1) * stripe] {
+                    *v = v.wrapping_add(3 + (row % 7) as i8);
+                }
+            }
+        }
+    }
+    let mut prev_out = vec![0.0f32; m * n];
+    qgemm_multi(&w, &prev, stripe, &xqs, &mut prev_out).unwrap();
+    Scenario {
+        w,
+        curr,
+        prev,
+        changed,
+        stripe,
+        xqs,
+        prev_out,
+    }
+}
+
+fn run_with_threshold(sc: &Scenario, threshold: f32) -> Vec<u32> {
+    let n = sc.stripe * sc.xqs.len();
+    let mut out = vec![0.0f32; sc.w.rows() * n];
+    qgemm_delta_multi_with_threshold(
+        &sc.w,
+        &sc.curr,
+        &sc.prev,
+        &sc.changed,
+        sc.stripe,
+        &sc.xqs,
+        &sc.prev_out,
+        &mut out,
+        threshold,
+    )
+    .unwrap();
+    out.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The exported crossover must stay a real fraction: 0 would force every
+/// delta call dense (destroying the sparse win the paper is about), and
+/// anything above 1 would never trigger the fallback.
+#[test]
+#[allow(clippy::assertions_on_constants)] // pinning the constant is the point
+fn default_threshold_is_a_meaningful_fraction() {
+    assert!(DELTA_DENSE_THRESHOLD > 0.0);
+    assert!(DELTA_DENSE_THRESHOLD <= 1.0);
+}
+
+/// Below-crossover (nearly dense) masks take the dense path by default;
+/// the result must be bitwise identical to the forced-sparse branch and
+/// to a full dense recomputation.
+#[test]
+fn dense_fallback_is_bitwise_identical_to_sparse_path() {
+    for (changed_rows, seed) in [(40usize, 11u64), (30, 12), (9, 13), (1, 14), (0, 15)] {
+        let sc = scenario(changed_rows, seed);
+        let dense_forced = run_with_threshold(&sc, 0.0);
+        let sparse_forced = run_with_threshold(&sc, 2.0);
+        assert_eq!(
+            dense_forced, sparse_forced,
+            "branch divergence at {changed_rows} changed rows"
+        );
+
+        // The default entry point picks one of the two branches based on
+        // the changed fraction — whichever it is, same bits.
+        let n = sc.stripe * sc.xqs.len();
+        let mut dflt = vec![0.0f32; sc.w.rows() * n];
+        qgemm_delta_multi(
+            &sc.w,
+            &sc.curr,
+            &sc.prev,
+            &sc.changed,
+            sc.stripe,
+            &sc.xqs,
+            &sc.prev_out,
+            &mut dflt,
+        )
+        .unwrap();
+        let dflt_bits: Vec<u32> = dflt.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(dflt_bits, dense_forced, "default threshold diverges");
+    }
+}
+
+/// The branch equivalence holds at every thread count the CI legs pin.
+#[test]
+fn threshold_branches_agree_across_thread_counts() {
+    let sc = scenario(13, 99);
+    let mut reference: Option<Vec<u32>> = None;
+    for t in [1usize, 2, 7] {
+        with_threads(t, || {
+            let dense_forced = run_with_threshold(&sc, 0.0);
+            let sparse_forced = run_with_threshold(&sc, 2.0);
+            assert_eq!(dense_forced, sparse_forced, "divergence at {t} threads");
+            match &reference {
+                None => reference = Some(dense_forced),
+                Some(r) => assert_eq!(r, &dense_forced, "thread count changed bits"),
+            }
+        });
+    }
+}

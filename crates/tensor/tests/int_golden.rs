@@ -227,3 +227,112 @@ fn delta_gemm_zero_point_cancels() {
     assert_eq!(delta, dense);
     assert_eq!(delta, vec![5.5, -0.25]);
 }
+
+// ---------------------------------------------------------------------
+// Pack-layout goldens for the cache-blocked kernel overhaul.
+// ---------------------------------------------------------------------
+
+use sqdm_tensor::ops::blocking::LANE;
+use sqdm_tensor::ops::int::PackedQuantizedMatrix;
+
+/// The packed layout pads every scale block to a whole number of vector
+/// lanes: k = 21 in blocks of 8 gives blocks of 8, 8, 5, each widened to
+/// one 16-lane span, so `packed_cols` is 48 with starts `[0, 16, 32, 48]`
+/// and zeroed pad slots.
+#[test]
+fn pack_layout_pads_tail_blocks_to_lanes() {
+    assert_eq!(LANE, 16, "goldens below assume 16 i16 lanes per span");
+    let k = 21usize;
+    let codes: Vec<i8> = (0..2 * k).map(|v| (v % 100) as i8 + 1).collect();
+    let scales = vec![1.0f32; 2 * 3];
+    let w = QuantizedMatrix::new(codes.clone(), 2, k, scales, 8).unwrap();
+    let pw = PackedQuantizedMatrix::pack(w);
+    assert_eq!(pw.block_starts(), &[0, 16, 32, 48]);
+    assert_eq!(pw.packed_cols(), 48);
+    assert_eq!(pw.packed_codes().len(), 2 * 48);
+    for i in 0..2usize {
+        let row = &pw.packed_codes()[i * 48..(i + 1) * 48];
+        let src = &codes[i * k..(i + 1) * k];
+        // Block payloads sit at the span starts…
+        for (kk, &c) in src[0..8].iter().enumerate() {
+            assert_eq!(row[kk], c as i16);
+        }
+        for (kk, &c) in src[8..16].iter().enumerate() {
+            assert_eq!(row[16 + kk], c as i16);
+        }
+        for (kk, &c) in src[16..21].iter().enumerate() {
+            assert_eq!(row[32 + kk], c as i16);
+        }
+        // …and every pad slot is exactly zero (an i32 no-op in the MAC).
+        for &pad in row[8..16].iter().chain(&row[24..32]).chain(&row[37..48]) {
+            assert_eq!(pad, 0);
+        }
+    }
+}
+
+/// A reduction dim not divisible by the block or lane size still
+/// requantizes each block separately — tail block included.
+#[test]
+fn gemm_tail_block_requantization() {
+    // One row [1, 2, 3, 4, 5], blocks of 2 → blocks (1,2), (3,4), (5).
+    let w = QuantizedMatrix::new(vec![1, 2, 3, 4, 5], 1, 5, vec![0.5, 0.25, 2.0], 2).unwrap();
+    let x: Vec<i8> = vec![1, 1, 1, 1, 1];
+    let mut out = vec![0.0f32; 1];
+    qgemm(&w, &x, 1, XQuant::symmetric(0.5), &mut out).unwrap();
+    // block 0: (1 + 2) · 0.5  = 1.5
+    // block 1: (3 + 4) · 0.25 = 1.75
+    // tail:     5      · 2.0  = 10.0
+    // total 13.25, times x scale 0.5 = 6.625
+    assert_eq!(out, vec![6.625]);
+}
+
+/// Extreme operands inside the i16 pair accumulation: with the zero point
+/// at the ±`MAX_ZERO_POINT` packing boundary the shifted activation hits
+/// ±32768 exactly, and the i8::MIN weight code makes the pair products as
+/// large as they can get. The accumulator must stay exact.
+#[test]
+fn gemm_pair_accumulation_extremes_are_exact() {
+    use sqdm_tensor::ops::int::MAX_ZERO_POINT;
+    assert_eq!(MAX_ZERO_POINT, 32640);
+    let w = QuantizedMatrix::per_channel(vec![-128, -128], 1, 2, vec![1.0]).unwrap();
+
+    // zp = +32640, codes −128: shifted lanes are −32768 (the i16 floor).
+    // acc = 2 · (−128 · −32768) = 8 388 608.
+    let mut out = vec![0.0f32; 1];
+    let xq = XQuant {
+        scale: 1.0,
+        zero_point: MAX_ZERO_POINT,
+    };
+    qgemm(&w, &[-128i8, -128], 1, xq, &mut out).unwrap();
+    assert_eq!(out, vec![8_388_608.0]);
+
+    // zp = −32640, codes 127: shifted lanes are +32767 (the i16 ceiling).
+    // acc = 2 · (−128 · 32767) = −8 388 352.
+    let xq = XQuant {
+        scale: 1.0,
+        zero_point: -MAX_ZERO_POINT,
+    };
+    qgemm(&w, &[127i8, 127], 1, xq, &mut out).unwrap();
+    assert_eq!(out, vec![-8_388_352.0]);
+}
+
+/// Per-channel requantization with k far from a lane multiple: the padded
+/// columns must not leak into the per-row scale application.
+#[test]
+fn gemm_per_channel_requant_ignores_padded_columns() {
+    // k = 3 pads 13 zero lanes onto every row; outputs must match the
+    // 3-element hand computation exactly.
+    let w = QuantizedMatrix::per_channel(vec![1, -2, 3, 0, 4, -5], 2, 3, vec![0.5, 0.25]).unwrap();
+    let x: Vec<i8> = vec![10, 2, -3];
+    let mut out = vec![0.0f32; 2];
+    qgemm(&w, &x, 1, XQuant::symmetric(0.5), &mut out).unwrap();
+    // row 0: (1·10 − 2·2 + 3·(−3)) = −3 → −3 · 0.5 · 0.5  = −0.75
+    // row 1: (0·10 + 4·2 − 5·(−3)) = 23 → 23 · 0.25 · 0.5 = 2.875
+    assert_eq!(out, vec![-0.75, 2.875]);
+
+    // The packed entry point sees the identical pad handling.
+    let pw = PackedQuantizedMatrix::pack(w);
+    let mut packed = vec![0.0f32; 2];
+    sqdm_tensor::ops::int::qgemm_packed(&pw, &x, 1, XQuant::symmetric(0.5), &mut packed).unwrap();
+    assert_eq!(packed, vec![-0.75, 2.875]);
+}
