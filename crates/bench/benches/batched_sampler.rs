@@ -43,6 +43,7 @@ fn bench_batched_sampler(c: &mut Criterion) {
         let requests: Vec<ServeRequest> = (0..batch as u64)
             .map(|id| ServeRequest {
                 id,
+                tenant: 0,
                 seed: id + 1,
                 steps: STEPS,
             })

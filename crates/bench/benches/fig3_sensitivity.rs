@@ -24,6 +24,8 @@ fn bench_fig3(c: &mut Criterion) {
                     assignment: Some(&a),
                     observer: None,
                     batched: false,
+                    packs: None,
+                    delta: None,
                 };
                 den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
                     .unwrap()

@@ -40,6 +40,7 @@ fn trace() -> Vec<ScheduledRequest> {
             ScheduledRequest::new(
                 ServeRequest {
                     id: i as u64,
+                    tenant: 0,
                     seed: i as u64 + 1,
                     steps: 2 + i % 2,
                 },

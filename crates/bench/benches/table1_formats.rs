@@ -25,6 +25,8 @@ fn bench_table1(c: &mut Criterion) {
             assignment: assignment.as_ref(),
             observer: None,
             batched: false,
+            packs: None,
+            delta: None,
         };
         let out = den.denoise(&mut net, &x, &[1.0], &mut rc).unwrap();
         println!(
@@ -38,6 +40,8 @@ fn bench_table1(c: &mut Criterion) {
                     assignment: assignment.as_ref(),
                     observer: None,
                     batched: false,
+                    packs: None,
+                    delta: None,
                 };
                 den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
                     .unwrap()

@@ -50,6 +50,8 @@ fn bench_table2(c: &mut Criterion) {
                     assignment: Some(&assignment),
                     observer: None,
                     batched: false,
+                    packs: None,
+                    delta: None,
                 };
                 den.denoise(black_box(&mut net), black_box(&x), &[1.0], &mut rc)
                     .unwrap()

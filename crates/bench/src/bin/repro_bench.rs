@@ -27,7 +27,10 @@ use sqdm_bench::{delta_sweep_mask, poisson_arrivals};
 use sqdm_edm::serve::{
     AdmissionPolicy, BatchSampler, ScheduledRequest, Scheduler, ServeRequest, ServeStats,
 };
-use sqdm_edm::{block_ids, sample, Denoiser, EdmSchedule, SamplerConfig, UNet, UNetConfig};
+use sqdm_edm::{
+    block_ids, sample, Denoiser, EdmSchedule, ModelRegistry, RegistryRequest, RegistryScheduler,
+    SamplerConfig, UNet, UNetConfig,
+};
 use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
 use sqdm_tensor::ops::int::{qgemm, qgemm_delta, QuantizedMatrix, XQuant};
 use sqdm_tensor::ops::matmul;
@@ -224,6 +227,7 @@ fn sampler_benches(results: &mut Vec<BenchResult>) {
     let requests: Vec<ServeRequest> = (0..BATCH as u64)
         .map(|id| ServeRequest {
             id,
+            tenant: 0,
             seed: id + 1,
             steps: STEPS,
         })
@@ -262,6 +266,7 @@ fn serving_benches(results: &mut Vec<BenchResult>) {
             ScheduledRequest::new(
                 ServeRequest {
                     id: i as u64,
+                    tenant: 0,
                     seed: i as u64 + 1,
                     steps: 2 + i % 2,
                 },
@@ -317,6 +322,137 @@ fn serving_benches(results: &mut Vec<BenchResult>) {
     results.push(gang_res);
 }
 
+/// Multi-tenant registry serving: two resident models, two tenants, the
+/// shared Poisson arrival trace, fair-share admission. One timed row for
+/// the trajectory plus the zero-allocation steady-state accounting row.
+///
+/// The steady-state measurement compares two serves that differ only in
+/// step budget: the per-request setup cost (streams, stats, noise draws)
+/// is identical, so the allocation difference divided by the round
+/// difference is the marginal heap cost of one warm serving round. It
+/// runs on a single thread — worker threads keep their arena pools
+/// disabled by design, so the zero-allocation contract is a property of
+/// the serial schedule (see `sqdm_tensor::arena`).
+fn registry_benches(results: &mut Vec<BenchResult>) {
+    const MODELS: usize = 2;
+    const TENANTS: u32 = 2;
+    let mut rng = Rng::seed_from(13);
+    let den = Denoiser::new(EdmSchedule::default());
+    let asg = PrecisionAssignment::uniform(
+        block_ids::COUNT,
+        BlockPrecision::uniform(QuantFormat::int8()),
+        "INT8",
+    )
+    .with_mode(ExecMode::NativeInt);
+    let mut registry = ModelRegistry::new();
+    for m in 0..MODELS {
+        let net = UNet::new(UNetConfig::default(), &mut rng).expect("default UNet");
+        registry.register(format!("model-{m}"), net, Some(asg.clone()), den);
+    }
+    let mcfg = *registry.model(0).expect("model 0").config();
+    let requests = |steps_of: &dyn Fn(usize) -> usize| -> Vec<RegistryRequest> {
+        poisson_arrivals(SERVE_REQUESTS, SERVE_RATE, 42)
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                RegistryRequest::new(
+                    i % MODELS,
+                    ScheduledRequest::new(
+                        ServeRequest {
+                            id: i as u64,
+                            tenant: (i as u32) % TENANTS,
+                            seed: i as u64 + 1,
+                            steps: steps_of(i),
+                        },
+                        arrival,
+                    ),
+                )
+            })
+            .collect()
+    };
+    let shape = format!(
+        "{MODELS}models {SERVE_REQUESTS}req {TENANTS}tenants rate={SERVE_RATE} \
+         max_batch={SERVE_MAX_BATCH} {}x{}x{} int8-native",
+        mcfg.in_channels, mcfg.image_size, mcfg.image_size
+    );
+    let sched = RegistryScheduler::new(SERVE_MAX_BATCH);
+
+    // Timed multi-tenant scenario, with the per-tenant rollups attached.
+    let mixed = requests(&|i| 2 + i % 2);
+    let (_, stats) = sched.run(&mut registry, &mixed).expect("registry serve");
+    let mut timed = time("serve_multi_tenant", shape.clone(), 3, || {
+        black_box(sched.run(&mut registry, &mixed).unwrap());
+    });
+    timed
+        .extra
+        .push(("rounds".into(), format!("{}", stats.rounds)));
+    for r in stats.tenant_rollups() {
+        timed.extra.push((
+            format!("tenant{}_mean_latency_steps", r.tenant),
+            format!("{:.3}", r.mean_latency),
+        ));
+    }
+    results.push(timed);
+
+    // Steady-state allocation accounting, serial by construction.
+    let short = requests(&|_| 3);
+    let long = requests(&|_| 8);
+    let steady = parallel::with_threads(1, || {
+        // Warm the pack caches and the arena pool for every shape class
+        // the measured serves will touch.
+        sched.run(&mut registry, &long).expect("warmup serve");
+        let builds_before = registry.pack_builds();
+        let t0 = Instant::now();
+        let a0 = allocations();
+        let (_, s_short) = sched.run(&mut registry, &short).expect("short serve");
+        let a1 = allocations();
+        let (_, s_long) = sched.run(&mut registry, &long).expect("long serve");
+        let a2 = allocations();
+        let elapsed = t0.elapsed().as_nanos();
+        let extra_rounds = (s_long.rounds - s_short.rounds) as f64;
+        let marginal = match (a0, a1, a2) {
+            (Some(a0), Some(a1), Some(a2)) => Some((a2 - a1) as f64 - (a1 - a0) as f64),
+            _ => None,
+        };
+        let mut res = BenchResult {
+            name: "serve_steady_state",
+            shape,
+            iters: 2,
+            total_ns: elapsed,
+            extra: Vec::new(),
+        };
+        if let Some(marginal) = marginal {
+            res.extra.push((
+                "allocs_per_round".into(),
+                format!("{:.3}", marginal / extra_rounds),
+            ));
+        }
+        res.extra.push((
+            "redundant_pack_builds".into(),
+            format!("{}", registry.pack_builds() - builds_before),
+        ));
+        res.extra
+            .push(("rounds_measured".into(), format!("{extra_rounds}")));
+        res
+    });
+    results.push(steady);
+}
+
+/// Allocator calls so far, when the counting allocator is installed.
+#[cfg(feature = "alloc-count")]
+fn allocations() -> Option<u64> {
+    Some(sqdm_bench::alloc_count::allocations())
+}
+
+/// Without `--features alloc-count` there is nothing to count; the
+/// steady-state row is still emitted (the scenario-coverage diff keys on
+/// it) but carries no `allocs_per_round`, which the perf gate rejects —
+/// regenerating the committed snapshot requires the counting build.
+#[cfg(not(feature = "alloc-count"))]
+fn allocations() -> Option<u64> {
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
@@ -330,9 +466,25 @@ fn main() {
     kernel_benches(&mut results);
     sampler_benches(&mut results);
     serving_benches(&mut results);
+    registry_benches(&mut results);
 
+    // The process default exec mode (`SQDM_EXEC`) and the git revision
+    // make a trajectory row attributable without consulting CI logs. The
+    // scenarios above pin their modes explicitly; the meta field records
+    // the environment the harness ran under.
+    let exec_mode = match ExecMode::from_env() {
+        ExecMode::NativeInt => "native-int",
+        ExecMode::FakeQuant => "fake-quant",
+    };
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
     let meta = format!(
-        "{{\"bench\": \"meta\", \"threads\": {}, \"gemm_dim\": {GEMM_DIM}, \"sampler_batch\": {BATCH}, \"sampler_steps\": {STEPS}, \"serve_requests\": {SERVE_REQUESTS}, \"serve_max_batch\": {SERVE_MAX_BATCH}}}",
+        "{{\"bench\": \"meta\", \"threads\": {}, \"exec_mode\": \"{exec_mode}\", \"rev\": \"{rev}\", \"gemm_dim\": {GEMM_DIM}, \"sampler_batch\": {BATCH}, \"sampler_steps\": {STEPS}, \"serve_requests\": {SERVE_REQUESTS}, \"serve_max_batch\": {SERVE_MAX_BATCH}}}",
         parallel::current_threads()
     );
     let mut lines = vec![meta];

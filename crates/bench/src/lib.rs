@@ -76,6 +76,52 @@ pub fn delta_sweep_mask(k: usize, unchanged_fraction: f64, seed: u64) -> Vec<boo
     mask
 }
 
+/// Allocation accounting for the zero-allocation steady-state gate.
+///
+/// With the `alloc-count` feature a counting [`std::alloc::GlobalAlloc`]
+/// wraps the system allocator so `repro_bench` can measure how many real
+/// allocator calls a steady-state serving round performs (the arena pool
+/// is deliberately *not* an allocator wrapper, so pool hits are invisible
+/// here — exactly the point of the metric).
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// The counting allocator: system allocation plus one relaxed atomic
+    /// increment per `alloc`/`realloc` call.
+    struct CountingAlloc;
+
+    // SAFETY: delegates every operation unchanged to `System`; the counter
+    // has no effect on the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Total allocator calls (`alloc` + `realloc`) since process start.
+    /// Monotone; measure an interval by differencing two reads.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 /// The CI perf gate over `BENCH_ci.json`-style NDJSON reports.
 pub mod perf_gate {
     /// The GEMM shape the int8-vs-f32 comparison is gated at.
@@ -83,6 +129,10 @@ pub mod perf_gate {
     /// The `unchanged_fraction` sweep points the delta speedup curve must
     /// cover (0/25/50/75/90 % unchanged rows).
     pub const SWEEP_FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
+    /// Ceiling on marginal heap allocations per steady-state serving
+    /// round. The arena pool absorbs every per-round buffer after warmup;
+    /// the small slack covers amortized growth of the stats vectors.
+    pub const MAX_ALLOCS_PER_ROUND: f64 = 2.0;
 
     /// One parsed NDJSON benchmark row (only the gated fields).
     #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +145,10 @@ pub mod perf_gate {
         pub ns_per_iter: Option<f64>,
         /// `"unchanged_fraction"` field, when present.
         pub unchanged_fraction: Option<f64>,
+        /// `"allocs_per_round"` field, when present.
+        pub allocs_per_round: Option<f64>,
+        /// `"redundant_pack_builds"` field, when present.
+        pub redundant_pack_builds: Option<f64>,
     }
 
     /// Extracts a `"key": <string>` field from one NDJSON line.
@@ -131,6 +185,8 @@ pub mod perf_gate {
                     shape: str_field(line, "shape").unwrap_or_default(),
                     ns_per_iter: num_field(line, "ns_per_iter"),
                     unchanged_fraction: num_field(line, "unchanged_fraction"),
+                    allocs_per_round: num_field(line, "allocs_per_round"),
+                    redundant_pack_builds: num_field(line, "redundant_pack_builds"),
                 })
             })
             .collect()
@@ -179,6 +235,39 @@ pub mod perf_gate {
                     "missing qgemm_delta_int8 sweep row at unchanged_fraction={want} \
                      ({GATED_SHAPE})"
                 ));
+            }
+        }
+        // Multi-tenant registry serving must be in the trajectory.
+        if !rows.iter().any(|r| r.bench == "serve_multi_tenant") {
+            errs.push("missing serve_multi_tenant row (registry serving scenario)".into());
+        }
+        // Zero-allocation steady state: the row must exist, must have been
+        // produced by an `alloc-count` build, and must stay within the
+        // pinned per-round allocation budget with no redundant pack
+        // builds.
+        match rows.iter().find(|r| r.bench == "serve_steady_state") {
+            None => errs.push("missing serve_steady_state row (allocation gate)".into()),
+            Some(row) => {
+                match row.allocs_per_round {
+                    None => errs.push(
+                        "serve_steady_state row lacks allocs_per_round (regenerate the \
+                         report with --features alloc-count)"
+                            .into(),
+                    ),
+                    Some(a) if a > MAX_ALLOCS_PER_ROUND => errs.push(format!(
+                        "serve_steady_state allocates {a:.2} times per round; the \
+                         steady-state budget is {MAX_ALLOCS_PER_ROUND}"
+                    )),
+                    Some(_) => {}
+                }
+                match row.redundant_pack_builds {
+                    None => errs.push("serve_steady_state row lacks redundant_pack_builds".into()),
+                    Some(b) if b != 0.0 => errs.push(format!(
+                        "serve_steady_state rebuilt {b} weight packs after warmup; the \
+                         registry contract is zero"
+                    )),
+                    Some(_) => {}
+                }
             }
         }
         errs
@@ -263,10 +352,75 @@ mod tests {
                 "{{\"bench\": \"qgemm_delta_int8\", \"shape\": \"256x256x256\", \"iters\": 20, \"total_ns\": 10, \"ns_per_iter\": 0.5, \"unchanged_fraction\": {f}}}\n"
             ));
         }
+        report.push_str(
+            "{\"bench\": \"serve_multi_tenant\", \"shape\": \"2models\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0}\n\
+             {\"bench\": \"serve_steady_state\", \"shape\": \"2models\", \"iters\": 1, \"total_ns\": 10, \"ns_per_iter\": 10.0, \"allocs_per_round\": 0.45, \"redundant_pack_builds\": 0}\n",
+        );
         assert_eq!(perf_gate::violations(&report), Vec::<String>::new());
         // Equality is allowed: the gate is int8 ≤ f32, not strictly less.
         let tied = report.replace("\"ns_per_iter\": 1.0", "\"ns_per_iter\": 2.0");
         assert_eq!(perf_gate::violations(&tied), Vec::<String>::new());
+        // The allocation budget is a ceiling, so sitting exactly on it
+        // passes too.
+        let at_budget = report.replace(
+            "\"allocs_per_round\": 0.45",
+            &format!("\"allocs_per_round\": {}", perf_gate::MAX_ALLOCS_PER_ROUND),
+        );
+        assert_eq!(perf_gate::violations(&at_budget), Vec::<String>::new());
+    }
+
+    #[test]
+    fn perf_gate_flags_allocation_and_scenario_regressions() {
+        let mut report = String::from(
+            "{\"bench\": \"dense_gemm_f32\", \"shape\": \"256x256x256\", \"ns_per_iter\": 2.0}\n\
+             {\"bench\": \"qgemm_int8\", \"shape\": \"256x256x256\", \"ns_per_iter\": 1.0}\n",
+        );
+        for f in perf_gate::SWEEP_FRACTIONS {
+            report.push_str(&format!(
+                "{{\"bench\": \"qgemm_delta_int8\", \"shape\": \"256x256x256\", \"ns_per_iter\": 0.5, \"unchanged_fraction\": {f}}}\n"
+            ));
+        }
+        // No serving rows at all: both scenarios reported missing.
+        let errs = perf_gate::violations(&report);
+        assert!(
+            errs.iter().any(|e| e.contains("serve_multi_tenant")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("serve_steady_state")),
+            "{errs:?}"
+        );
+        // A steady-state row over the allocation budget, with redundant
+        // pack builds, from a build without the counter: each violation is
+        // its own error.
+        report.push_str(
+            "{\"bench\": \"serve_multi_tenant\", \"shape\": \"2models\", \"ns_per_iter\": 10.0}\n",
+        );
+        let over = format!(
+            "{report}{{\"bench\": \"serve_steady_state\", \"shape\": \"2models\", \"ns_per_iter\": 10.0, \"allocs_per_round\": 37.5, \"redundant_pack_builds\": 4}}\n"
+        );
+        let errs = perf_gate::violations(&over);
+        assert!(
+            errs.iter().any(|e| e.contains("37.50 times per round")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("rebuilt 4 weight packs")),
+            "{errs:?}"
+        );
+        let uncounted = format!(
+            "{report}{{\"bench\": \"serve_steady_state\", \"shape\": \"2models\", \"ns_per_iter\": 10.0}}\n"
+        );
+        let errs = perf_gate::violations(&uncounted);
+        assert!(
+            errs.iter().any(|e| e.contains("lacks allocs_per_round")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("lacks redundant_pack_builds")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -63,6 +63,8 @@ fn collect(
             assignment: None,
             observer: Some(&mut obs),
             batched: false,
+            packs: None,
+            delta: None,
         };
         denoiser.denoise(net, &x, &[sigma; 4], &mut rc)?;
     }

@@ -225,6 +225,8 @@ pub fn record_traces(
                 assignment,
                 observer: Some(&mut obs),
                 batched: false,
+                packs: None,
+                delta: None,
             };
             denoiser.denoise(net, &x, &sigmas, &mut rc)?
         };

@@ -1,0 +1,223 @@
+//! Temporal-delta execution of the U-Net's Conv+Act convolutions.
+//!
+//! The paper's temporal-sparsity observation (Figure 7) is that between
+//! consecutive denoising steps most activation channels barely move. A
+//! [`DeltaSession`] exploits that on the integer engine: for each Conv+Act
+//! convolution it keeps the previous step's im2col codes and output, derives
+//! a per-channel change mask from the layer's [`TemporalTrace`], and asks
+//! the sparse-delta kernel
+//! ([`sqdm_tensor::ops::int::conv2d_i8_packed_delta_multi`]) to recompute
+//! only the reduction rows whose inputs actually changed.
+//!
+//! Correctness does not depend on the trace being right: the kernel unions
+//! the trace mask with an exact per-row code comparison, so the recomputed
+//! set is always a superset of the truly-changed rows, and it falls back to
+//! a full dense pass whenever the activation scale or geometry shifts
+//! between steps. The sparse and dense dispatch paths of the kernel are
+//! bitwise identical to each other; see the kernel docs for when the delta
+//! path is bitwise equal to a from-scratch dense pass.
+//!
+//! The session is keyed by weight-buffer identity, so one session can serve
+//! every Conv+Act block of a U-Net across a whole sampling trajectory. Use
+//! one session per trajectory (or [`DeltaSession::reset`] between
+//! trajectories): carrying state across unrelated inputs is safe — the
+//! exact-diff union would recompute everything — but wastes the first step.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use sqdm_nn::layers::Conv2d;
+use sqdm_nn::{PackCache, QuantExecutor};
+use sqdm_sparsity::{channel_sparsity, TemporalTrace};
+use sqdm_tensor::ops::int::{ConvDeltaState, DELTA_DENSE_THRESHOLD};
+use sqdm_tensor::{arena, Tensor};
+
+/// Default trace tolerance: a channel counts as changed when its zero
+/// fraction moved by more than this between consecutive steps. Loose on
+/// purpose — the kernel's exact-diff union keeps the result correct, the
+/// trace only biases *which* rows are assumed unchanged.
+pub const DEFAULT_TRACE_TOL: f64 = 0.05;
+
+/// Per-layer delta state: the sparsity trace driving the change mask plus
+/// the kernel's carried codes and outputs.
+#[derive(Debug)]
+struct LayerDelta {
+    trace: TemporalTrace,
+    state: ConvDeltaState,
+}
+
+/// Drives sparse temporal-delta convolutions across denoising steps.
+///
+/// Thread the session through [`crate::RunConfig::delta`]; the U-Net's
+/// Conv+Act blocks route their two main convolutions through
+/// [`DeltaSession::conv_forward`] when it is present. Only the native
+/// integer engine has a delta kernel — fake-quant and batched executors
+/// fall through to the ordinary cached path, so a session is always safe
+/// to install.
+#[derive(Debug)]
+pub struct DeltaSession {
+    tol: f64,
+    dense_threshold: f32,
+    layers: HashMap<(usize, usize), LayerDelta>,
+}
+
+impl Default for DeltaSession {
+    fn default() -> Self {
+        DeltaSession::new(DEFAULT_TRACE_TOL)
+    }
+}
+
+impl DeltaSession {
+    /// Creates a session with the given trace tolerance and the kernel's
+    /// default dense-fallback threshold.
+    pub fn new(tol: f64) -> Self {
+        DeltaSession {
+            tol,
+            dense_threshold: DELTA_DENSE_THRESHOLD,
+            layers: HashMap::new(),
+        }
+    }
+
+    /// Overrides the changed-row fraction above which the kernel runs the
+    /// packed dense path instead of the sparse delta path. `<= 0.0` forces
+    /// dense dispatch, `> 1.0` forces sparse dispatch; both produce bitwise
+    /// identical outputs (pinned by tests).
+    #[must_use]
+    pub fn with_dense_threshold(mut self, dense_threshold: f32) -> Self {
+        self.dense_threshold = dense_threshold;
+        self
+    }
+
+    /// Drops all carried per-layer state; the next step of every layer runs
+    /// dense. Call between unrelated trajectories when reusing a session.
+    pub fn reset(&mut self) {
+        self.layers.clear();
+    }
+
+    /// Total steps executed through the sparse delta path, over all layers.
+    pub fn delta_steps(&self) -> usize {
+        self.layers.values().map(|l| l.state.delta_steps).sum()
+    }
+
+    /// Total steps executed through the dense path, over all layers.
+    pub fn dense_steps(&self) -> usize {
+        self.layers.values().map(|l| l.state.dense_steps).sum()
+    }
+
+    /// Number of distinct convolution layers the session has seen.
+    pub fn layers_tracked(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs one convolution through the delta engine.
+    ///
+    /// Pushes the input's per-channel sparsity onto the layer's trace,
+    /// derives the change mask against the previous step, and invokes the
+    /// executor's delta-aware convolution (which falls back to the plain
+    /// cached path off the native engine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and quantization errors from the executor.
+    pub fn conv_forward(
+        &mut self,
+        exec: &QuantExecutor,
+        conv: &Conv2d,
+        x: &Tensor,
+        packs: Option<&PackCache>,
+    ) -> Result<Tensor> {
+        let (n, c, _, _) = x.shape().as_nchw()?;
+        let wv = conv.weight.value.as_slice();
+        let key = (wv.as_ptr() as usize, wv.len());
+        let entry = self.layers.entry(key).or_insert_with(|| LayerDelta {
+            trace: TemporalTrace::new(c),
+            state: ConvDeltaState::new(),
+        });
+        entry.trace.push_step(channel_sparsity(x));
+        let mask = entry.trace.change_mask(entry.trace.steps() - 1, self.tol);
+        // The kernel wants a per-(stream, channel) mask; the trace is
+        // aggregated over the batch, so replicate it per stream. The
+        // exact-diff union inside the kernel recovers any per-stream
+        // difference the aggregate hides.
+        let mut changed = arena::take::<bool>(n * c);
+        for _ in 0..n {
+            changed.extend_from_slice(mask.as_slice());
+        }
+        let y = exec.conv_forward_delta_cached(
+            conv,
+            x,
+            packs,
+            &changed,
+            &mut entry.state,
+            self.dense_threshold,
+        );
+        arena::recycle(changed);
+        Ok(y?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqdm_quant::{BlockPrecision, ExecMode, QuantFormat};
+    use sqdm_tensor::ops::Conv2dGeometry;
+    use sqdm_tensor::Rng;
+
+    fn int8_native_exec() -> QuantExecutor {
+        QuantExecutor::new(BlockPrecision::uniform(QuantFormat::int8()))
+            .with_mode(ExecMode::NativeInt)
+    }
+
+    #[test]
+    fn session_tracks_layers_and_step_kinds() {
+        let mut rng = Rng::seed_from(11);
+        let conv = Conv2d::new(3, 4, 3, Conv2dGeometry::same(3), &mut rng);
+        let exec = int8_native_exec();
+        let mut ds = DeltaSession::new(0.05);
+        let x = Tensor::randn([2, 3, 6, 6], &mut rng);
+        let y0 = ds.conv_forward(&exec, &conv, &x, None).unwrap();
+        // Same input again: the carry engages (same scale), all rows
+        // unchanged under the exact diff.
+        let y1 = ds.conv_forward(&exec, &conv, &x, None).unwrap();
+        assert_eq!(y0.as_slice(), y1.as_slice());
+        assert_eq!(ds.layers_tracked(), 1);
+        assert_eq!(ds.dense_steps() + ds.delta_steps(), 2);
+        assert!(ds.dense_steps() >= 1, "first step must run dense");
+        ds.reset();
+        assert_eq!(ds.layers_tracked(), 0);
+    }
+
+    #[test]
+    fn delta_matches_plain_cached_path_closely() {
+        // The delta path re-quantizes against the *current* activation
+        // scale and falls back dense on scale changes, so across a slowly
+        // drifting input sequence it stays numerically equal to the plain
+        // path whenever the carry is exact, and bitwise-equal dispatch is
+        // pinned at the kernel level. Here: same input → identical output.
+        let mut rng = Rng::seed_from(12);
+        let conv = Conv2d::new(2, 2, 3, Conv2dGeometry::same(3), &mut rng);
+        let exec = int8_native_exec();
+        let x = Tensor::randn([1, 2, 5, 5], &mut rng);
+        let plain = exec.conv_forward(&conv, &x).unwrap();
+        let mut ds = DeltaSession::new(0.05);
+        for _ in 0..3 {
+            let y = ds.conv_forward(&exec, &conv, &x, None).unwrap();
+            assert_eq!(y.as_slice(), plain.as_slice());
+        }
+    }
+
+    #[test]
+    fn fake_quant_executor_falls_through() {
+        let mut rng = Rng::seed_from(13);
+        let conv = Conv2d::new(2, 3, 3, Conv2dGeometry::same(3), &mut rng);
+        let exec = QuantExecutor::new(BlockPrecision::uniform(QuantFormat::int8()))
+            .with_mode(ExecMode::FakeQuant);
+        let x = Tensor::randn([1, 2, 4, 4], &mut rng);
+        let plain = exec.conv_forward(&conv, &x).unwrap();
+        let mut ds = DeltaSession::new(0.05);
+        let y = ds.conv_forward(&exec, &conv, &x, None).unwrap();
+        assert_eq!(y.as_slice(), plain.as_slice());
+        // The fallback path never touches the delta state.
+        assert_eq!(ds.delta_steps() + ds.dense_steps(), 0);
+    }
+}

@@ -3,21 +3,23 @@
 use crate::error::Result;
 use crate::model::{RunConfig, UNet};
 use crate::schedule::EdmSchedule;
-use sqdm_tensor::Tensor;
+use sqdm_tensor::{arena, Tensor};
 
-/// Scales each batch element of `[N, C, H, W]` by its own scalar.
+/// Scales each batch element of `[N, C, H, W]` by its own scalar. The
+/// output spine comes from the arena pool, so inside an [`arena::scope`]
+/// this is allocation-free once the pool is warm.
 pub(crate) fn scale_per_sample(x: &Tensor, scales: &[f32]) -> Result<Tensor> {
     let (n, c, h, w) = x.shape().as_nchw()?;
     debug_assert_eq!(scales.len(), n);
-    let mut out = x.clone();
-    let ov = out.as_mut_slice();
+    let mut ov = arena::take::<f32>(x.len());
+    ov.extend_from_slice(x.as_slice());
     let stride = c * h * w;
     for (nn, &s) in scales.iter().enumerate() {
         for v in &mut ov[nn * stride..(nn + 1) * stride] {
             *v *= s;
         }
     }
-    Ok(out)
+    Ok(Tensor::from_vec(ov, [n, c, h, w])?)
 }
 
 /// A U-Net wrapped in EDM preconditioning.
@@ -50,15 +52,26 @@ impl Denoiser {
         rc: &mut RunConfig<'_>,
     ) -> Result<Tensor> {
         let s = &self.schedule;
-        let c_in: Vec<f32> = sigmas.iter().map(|&g| s.c_in(g)).collect();
-        let c_noise: Vec<f32> = sigmas.iter().map(|&g| s.c_noise(g)).collect();
-        let c_skip: Vec<f32> = sigmas.iter().map(|&g| s.c_skip(g)).collect();
-        let c_out: Vec<f32> = sigmas.iter().map(|&g| s.c_out(g)).collect();
+        // Coefficient vectors come from the arena pool: at steady state a
+        // serving loop evaluates `denoise` every round and these four small
+        // buffers must not hit the allocator.
+        let mut c_in = arena::take::<f32>(sigmas.len());
+        c_in.extend(sigmas.iter().map(|&g| s.c_in(g)));
+        let mut c_noise = arena::take::<f32>(sigmas.len());
+        c_noise.extend(sigmas.iter().map(|&g| s.c_noise(g)));
+        let mut c_skip = arena::take::<f32>(sigmas.len());
+        c_skip.extend(sigmas.iter().map(|&g| s.c_skip(g)));
+        let mut c_out = arena::take::<f32>(sigmas.len());
+        c_out.extend(sigmas.iter().map(|&g| s.c_out(g)));
 
         let xin = scale_per_sample(x, &c_in)?;
         let f = net.forward(&xin, &c_noise, rc)?;
         let mut out = scale_per_sample(x, &c_skip)?;
         out.add_scaled(&scale_per_sample(&f, &c_out)?, 1.0)?;
+        arena::recycle(c_in);
+        arena::recycle(c_noise);
+        arena::recycle(c_skip);
+        arena::recycle(c_out);
         Ok(out)
     }
 }

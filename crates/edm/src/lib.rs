@@ -34,28 +34,38 @@
 #![warn(missing_docs)]
 
 mod dataset;
+pub mod delta;
 mod denoiser;
 mod error;
 mod fid;
 pub mod model;
 mod model_stats;
+pub mod registry;
 mod sampler;
 mod schedule;
 pub mod serve;
 mod train;
 
 pub use dataset::{Dataset, DatasetKind};
+pub use delta::{DeltaSession, DEFAULT_TRACE_TOL};
 pub use denoiser::Denoiser;
 pub use error::{EdmError, Result};
 pub use fid::{frechet_distance, sfid, FeatureExtractor};
 pub use model::{block_ids, ActEvent, ActObserver, RunConfig, UNet, UNetConfig};
 pub use model_stats::{block_profiles, breakdown_by_kind, KindShare};
+pub use registry::{
+    ModelId, ModelRegistry, RegistryRequest, RegistryScheduler, RegistryStats, ResidentModel,
+};
 pub use sampler::{
-    sample, sample_stochastic, sample_with_observer, ChurnConfig, SamplerConfig, StepObserver,
+    sample, sample_delta, sample_stochastic, sample_with_observer, ChurnConfig, SamplerConfig,
+    StepObserver,
 };
 pub use schedule::EdmSchedule;
+// Re-exported so `RunConfig::packs` and the registry types are usable
+// without naming `sqdm_nn` directly.
 pub use serve::{
     delta_row_masks, serve_batch, AdmissionPolicy, BatchSampler, RequestStats, ScheduledRequest,
-    Scheduler, ServeRequest, ServeStats, ServedOutput,
+    Scheduler, ServeRequest, ServeStats, ServedOutput, TenantId, TenantRollup,
 };
+pub use sqdm_nn::PackCache;
 pub use train::{finetune_relu, train, train_step, TrainConfig, TrainReport};

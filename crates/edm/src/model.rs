@@ -12,16 +12,17 @@
 //! blocks individually, and every forward pass can stream post-activation
 //! tensors to an observer for the sparsity analyses of Figures 5 and 7.
 
+use crate::delta::DeltaSession;
 use crate::error::{EdmError, Result};
 use serde::{Deserialize, Serialize};
 use sqdm_nn::layers::{
     avg_pool2, avg_pool2_backward, upsample_nearest2, upsample_nearest2_backward, ActLayer, Conv2d,
     GroupNorm, Linear, SelfAttention2d,
 };
-use sqdm_nn::{Param, QuantExecutor};
+use sqdm_nn::{PackCache, Param, QuantExecutor};
 use sqdm_quant::{BlockKind, PrecisionAssignment};
 use sqdm_tensor::ops::{Activation, Conv2dGeometry};
-use sqdm_tensor::{Rng, Tensor};
+use sqdm_tensor::{arena, Rng, Tensor};
 
 /// Configuration of the U-Net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,6 +130,17 @@ pub struct RunConfig<'a> {
     /// [`crate::serve`] packs concurrent generations on. Ignored by
     /// training passes.
     pub batched: bool,
+    /// Optional weight-pack cache: every layer fetches its quantization
+    /// artifact (integer kernel pack or fake-quant weight) from here
+    /// instead of rebuilding it per call. Bitwise identical to the
+    /// uncached pass. A resident model of the serving registry owns one
+    /// cache for its lifetime; solo sampling uses a per-trajectory cache.
+    pub packs: Option<&'a PackCache>,
+    /// Optional temporal-delta session: Conv+Act convolutions on the
+    /// integer engine recompute only reduction rows whose inputs changed
+    /// since the previous denoiser evaluation (see [`crate::delta`]).
+    /// Ignored by training, fake-quant and batched passes.
+    pub delta: Option<&'a mut DeltaSession>,
 }
 
 impl RunConfig<'_> {
@@ -139,6 +151,8 @@ impl RunConfig<'_> {
             assignment: None,
             observer: None,
             batched: false,
+            packs: None,
+            delta: None,
         }
     }
 
@@ -149,6 +163,8 @@ impl RunConfig<'_> {
             assignment: None,
             observer: None,
             batched: false,
+            packs: None,
+            delta: None,
         }
     }
 
@@ -211,7 +227,7 @@ fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             reason: format!("concat mismatch: {:?} vs {:?}", a.dims(), b.dims()),
         });
     }
-    let mut out = vec![0.0f32; n * (ca + cb) * h * w];
+    let mut out = arena::take_zeroed::<f32>(n * (ca + cb) * h * w);
     let hw = h * w;
     for nn in 0..n {
         let dst_base = nn * (ca + cb) * hw;
@@ -329,8 +345,10 @@ impl ConvBlock {
         }
         let mut h = if rc.train {
             self.conv1.forward(&h, true)?
+        } else if let Some(ds) = rc.delta.as_deref_mut() {
+            ds.conv_forward(&exec, &self.conv1, &h, rc.packs)?
         } else {
-            exec.conv_forward(&self.conv1, &h)?
+            exec.conv_forward_cached(&self.conv1, &h, rc.packs)?
         };
         let bias = if rc.train {
             self.emb_proj.forward(emb, true)?
@@ -338,7 +356,7 @@ impl ConvBlock {
             // The embedding vector is signed even in unsigned-activation
             // (post-ReLU) blocks.
             exec.signed_activations()
-                .linear_forward(&self.emb_proj, emb)?
+                .linear_forward_cached(&self.emb_proj, emb, rc.packs)?
         };
         add_channel_bias(&mut h, &bias)?;
         let mut h2 = self.gn2.forward(&h, rc.train)?;
@@ -353,8 +371,10 @@ impl ConvBlock {
         }
         let h2 = if rc.train {
             self.conv2.forward(&h2, true)?
+        } else if let Some(ds) = rc.delta.as_deref_mut() {
+            ds.conv_forward(&exec, &self.conv2, &h2, rc.packs)?
         } else {
-            exec.conv_forward(&self.conv2, &h2)?
+            exec.conv_forward_cached(&self.conv2, &h2, rc.packs)?
         };
         let res = match &mut self.skip {
             Some(sc) => {
@@ -363,7 +383,8 @@ impl ConvBlock {
                 } else {
                     // The block input is a signed residual stream, not a
                     // ReLU output: quantize it with the signed variant.
-                    exec.signed_activations().conv_forward(sc, x)?
+                    exec.signed_activations()
+                        .conv_forward_cached(sc, x, rc.packs)?
                 }
             }
             None => x.clone(),
@@ -555,7 +576,7 @@ impl UNet {
     fn embed(&mut self, c_noise: &[f32], rc: &mut RunConfig<'_>) -> Result<Tensor> {
         let n = c_noise.len();
         let half = self.fourier_freqs.len();
-        let mut feats = vec![0.0f32; n * half * 2];
+        let mut feats = arena::take_zeroed::<f32>(n * half * 2);
         let fv = self.fourier_freqs.as_slice();
         for (i, &cn) in c_noise.iter().enumerate() {
             for (j, &f) in fv.iter().enumerate() {
@@ -569,14 +590,14 @@ impl UNet {
         let h = if rc.train {
             self.emb_lin1.forward(&feats, true)?
         } else {
-            e1.linear_forward(&self.emb_lin1, &feats)?
+            e1.linear_forward_cached(&self.emb_lin1, &feats, rc.packs)?
         };
         let h = self.emb_act.forward(&h, rc.train);
         let e2 = rc.exec_for(block_ids::EMB[1]);
         let out = if rc.train {
             self.emb_lin2.forward(&h, true)?
         } else {
-            e2.linear_forward(&self.emb_lin2, &h)?
+            e2.linear_forward_cached(&self.emb_lin2, &h, rc.packs)?
         };
         Ok(out)
     }
@@ -607,7 +628,7 @@ impl UNet {
         let mut h = if rc.train {
             self.in_conv.forward(x, true)?
         } else {
-            exec0.conv_forward(&self.in_conv, x)?
+            exec0.conv_forward_cached(&self.in_conv, x, rc.packs)?
         };
         // Encoder, full resolution.
         for b in &mut self.enc_hi {
@@ -631,7 +652,7 @@ impl UNet {
         } else {
             rc.exec_for(block_ids::MID_ATTN)
                 .signed_activations()
-                .attention_forward(&self.mid_attn, &h)?
+                .attention_forward_cached(&self.mid_attn, &h, rc.packs)?
         };
         if let Some(obs) = rc.observer.as_deref_mut() {
             obs(ActEvent {
@@ -650,7 +671,7 @@ impl UNet {
         h = if rc.train {
             self.skip_conv.forward(&merged, true)?
         } else {
-            exec8.conv_forward(&self.skip_conv, &merged)?
+            exec8.conv_forward_cached(&self.skip_conv, &merged, rc.packs)?
         };
         if let Some(obs) = rc.observer.as_deref_mut() {
             obs(ActEvent {
@@ -679,7 +700,7 @@ impl UNet {
         let y = if rc.train {
             self.out_conv.forward(&o, true)?
         } else {
-            exec11.conv_forward(&self.out_conv, &o)?
+            exec11.conv_forward_cached(&self.out_conv, &o, rc.packs)?
         };
         if rc.train {
             self.cache = Some(UNetCache {
@@ -933,6 +954,8 @@ mod tests {
             assignment: None,
             observer: Some(&mut obs),
             batched: false,
+            packs: None,
+            delta: None,
         };
         net.forward(&x, &[0.0], &mut rc).unwrap();
         assert!(!sparsities.is_empty());
@@ -954,6 +977,8 @@ mod tests {
             assignment: None,
             observer: Some(&mut obs),
             batched: false,
+            packs: None,
+            delta: None,
         };
         net.forward(&x, &[0.0], &mut rc).unwrap();
         // All conv blocks + attention + skip + out.
@@ -984,6 +1009,8 @@ mod tests {
             assignment: Some(&a8),
             observer: None,
             batched: false,
+            packs: None,
+            delta: None,
         };
         let y8 = net.forward(&x, &[0.0], &mut rc8).unwrap();
         let mut rc4 = RunConfig {
@@ -991,6 +1018,8 @@ mod tests {
             assignment: Some(&a4),
             observer: None,
             batched: false,
+            packs: None,
+            delta: None,
         };
         let y4 = net.forward(&x, &[0.0], &mut rc4).unwrap();
         let e8 = exact.mse(&y8).unwrap();
@@ -1017,6 +1046,8 @@ mod tests {
             assignment: Some(&fake),
             observer: None,
             batched: false,
+            packs: None,
+            delta: None,
         };
         let yf = net.forward(&x, &[0.0], &mut rcf).unwrap();
         let mut rcn = RunConfig {
@@ -1024,6 +1055,8 @@ mod tests {
             assignment: Some(&native),
             observer: None,
             batched: false,
+            packs: None,
+            delta: None,
         };
         let yn = net.forward(&x, &[0.0], &mut rcn).unwrap();
         // INT8 has per-channel weights and per-tensor activations, so the

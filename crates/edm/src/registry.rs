@@ -1,0 +1,584 @@
+//! Multi-tenant, multi-model serving: a registry of resident models.
+//!
+//! A deployment rarely serves one diffusion model. The [`ModelRegistry`]
+//! keeps several U-Nets **resident** — each with its own precision
+//! assignment, [`Denoiser`] schedule, and a private [`PackCache`] — so the
+//! quantization artifacts of every resident model are built exactly once
+//! per `(weight, precision)` pair and reused across every request, batch,
+//! and serve call for the model's whole lifetime.
+//!
+//! The [`RegistryScheduler`] multiplexes a continuous-batching loop over
+//! the registry: requests are tagged with a [`ModelId`] and a
+//! [`TenantId`], each model keeps its own in-flight batch (capped at
+//! [`RegistryScheduler::max_batch`]), and at every step boundary each
+//! model admits arrived requests under deterministic round-robin
+//! fair-share across tenants (the same cycle as
+//! [`crate::serve::AdmissionPolicy::FairShare`], with a per-model resume cursor). Each
+//! outer tick then advances every non-idle model by one batched Heun
+//! round.
+//!
+//! # Determinism contract
+//!
+//! The registry inherits the serving contract unchanged: every request's
+//! image is bitwise identical to the solo [`crate::sample`] run with the
+//! same `(seed, steps)` on its model, in either execution mode, at any
+//! `SQDM_THREADS`. Model co-residency, tenancy, admission timing, and
+//! pack-cache reuse are all invisible to a stream's arithmetic. Admission
+//! order itself is deterministic (a pure function of the request set), so
+//! [`RegistryStats`] are reproducible run to run.
+//!
+//! # Allocation discipline
+//!
+//! The serve loop runs inside an [`arena::scope`]: after the first round
+//! of each batch shape, every transient buffer — packed states, im2col
+//! scratch, coefficient vectors, activation tensors — is a pool hit, and
+//! the steady state performs (approximately) zero heap allocations. The
+//! `serve_steady_state` scenario in `sqdm-bench` pins this with a
+//! counting allocator.
+
+use crate::denoiser::Denoiser;
+use crate::error::{EdmError, Result};
+use crate::model::{UNet, UNetConfig};
+use crate::serve::{
+    fair_share_admit, validate_unique_ids, BatchSampler, RequestStats, ScheduledRequest,
+    ServeStats, ServedOutput, Stream, TenantId, TenantRollup,
+};
+use sqdm_nn::PackCache;
+use sqdm_quant::PrecisionAssignment;
+use sqdm_tensor::arena;
+use std::time::Instant;
+
+/// Index of a resident model inside its [`ModelRegistry`].
+pub type ModelId = usize;
+
+/// One model held resident for serving: the network, its precision
+/// assignment, its denoiser schedule, and the pack cache that amortizes
+/// weight packing across the model's lifetime.
+#[derive(Debug)]
+pub struct ResidentModel {
+    name: String,
+    net: UNet,
+    assignment: Option<PrecisionAssignment>,
+    den: Denoiser,
+    packs: PackCache,
+}
+
+impl ResidentModel {
+    /// The human-readable name the model was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The model's precision assignment (`None` = full precision).
+    pub fn assignment(&self) -> Option<&PrecisionAssignment> {
+        self.assignment.as_ref()
+    }
+
+    /// The model's U-Net configuration.
+    pub fn config(&self) -> &UNetConfig {
+        self.net.config()
+    }
+
+    /// How many weight packs this model's cache has built so far. Flat
+    /// after warmup: serving never rebuilds a pack.
+    pub fn pack_builds(&self) -> usize {
+        self.packs.builds()
+    }
+}
+
+/// Several resident models, each owning its pack cache.
+///
+/// Registration order assigns dense [`ModelId`]s starting at 0.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: Vec<ResidentModel>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Makes a model resident and returns its id. The model's pack cache
+    /// starts cold; the first batch it serves warms it and every later
+    /// batch reuses the packs.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        net: UNet,
+        assignment: Option<PrecisionAssignment>,
+        den: Denoiser,
+    ) -> ModelId {
+        self.models.push(ResidentModel {
+            name: name.into(),
+            net,
+            assignment,
+            den,
+            packs: PackCache::new(),
+        });
+        self.models.len() - 1
+    }
+
+    /// The resident model with this id.
+    pub fn model(&self, id: ModelId) -> Option<&ResidentModel> {
+        self.models.get(id)
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry has no resident models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Total weight packs built across all resident models. Measured
+    /// before/after a serve call this exposes redundant pack builds; the
+    /// registry contract is that the delta is zero once every model has
+    /// served one batch per precision assignment.
+    pub fn pack_builds(&self) -> usize {
+        self.models.iter().map(|m| m.packs.builds()).sum()
+    }
+}
+
+/// A scheduled request addressed to one resident model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryRequest {
+    /// The target model.
+    pub model: ModelId,
+    /// The request and its arrival step.
+    pub scheduled: ScheduledRequest,
+}
+
+impl RegistryRequest {
+    /// Addresses a scheduled request to a model.
+    pub fn new(model: ModelId, scheduled: ScheduledRequest) -> Self {
+        RegistryRequest { model, scheduled }
+    }
+}
+
+/// Aggregate statistics of one registry serve: per-model [`ServeStats`]
+/// plus the shared virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct RegistryStats {
+    /// Total batched rounds executed, summed over models.
+    pub rounds: usize,
+    /// Value of the shared virtual clock when the last stream retired.
+    pub final_step: usize,
+    /// Per-model serving statistics, indexed by [`ModelId`]. Request
+    /// entries appear under the model they were addressed to.
+    pub per_model: Vec<ServeStats>,
+}
+
+impl RegistryStats {
+    /// Statistics of one request, searched across all models.
+    pub fn request(&self, id: u64) -> Option<&RequestStats> {
+        self.per_model.iter().find_map(|s| s.request(id))
+    }
+
+    /// Per-tenant rollups aggregated across every model, ascending by
+    /// tenant id.
+    pub fn tenant_rollups(&self) -> Vec<TenantRollup> {
+        let all = ServeStats {
+            requests: self
+                .per_model
+                .iter()
+                .flat_map(|s| s.requests.iter().cloned())
+                .collect(),
+            ..ServeStats::default()
+        };
+        all.tenant_rollups()
+    }
+
+    /// The rollup of one tenant, if it submitted any requests.
+    pub fn tenant(&self, tenant: TenantId) -> Option<TenantRollup> {
+        self.tenant_rollups()
+            .into_iter()
+            .find(|r| r.tenant == tenant)
+    }
+}
+
+/// Continuous-batching scheduler over a [`ModelRegistry`].
+///
+/// Tenancy-aware admission with the [`crate::serve::AdmissionPolicy::FairShare`] cycle
+/// per model; one batched Heun round per non-idle model per tick of the
+/// shared virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryScheduler {
+    /// Per-model in-flight batch capacity.
+    pub max_batch: usize,
+    /// Record per-stream temporal traces (off by default: resident
+    /// serving favors the zero-allocation steady state).
+    pub record_traces: bool,
+}
+
+impl RegistryScheduler {
+    /// A scheduler with the given per-model batch capacity and trace
+    /// recording disabled.
+    pub fn new(max_batch: usize) -> Self {
+        RegistryScheduler {
+            max_batch,
+            record_traces: false,
+        }
+    }
+
+    /// This scheduler with trace recording switched on or off.
+    #[must_use]
+    pub fn with_traces(mut self, record: bool) -> Self {
+        self.record_traces = record;
+        self
+    }
+
+    /// Serves every request to completion and returns the outputs in
+    /// submission order plus the aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdmError::Config`] for `max_batch == 0`, an unknown
+    /// [`ModelId`], duplicate request ids (globally, across models), or a
+    /// step budget below 2; propagates model errors.
+    pub fn run(
+        &self,
+        registry: &mut ModelRegistry,
+        requests: &[RegistryRequest],
+    ) -> Result<(Vec<ServedOutput>, RegistryStats)> {
+        if self.max_batch == 0 {
+            return Err(EdmError::Config {
+                reason: "registry scheduler max_batch must be at least 1".into(),
+            });
+        }
+        validate_unique_ids(requests.iter().map(|r| r.scheduled.request.id))?;
+        let nm = registry.models.len();
+        for r in requests {
+            if r.model >= nm {
+                return Err(EdmError::Config {
+                    reason: format!(
+                        "request {} targets model {} but the registry holds {}",
+                        r.scheduled.request.id, r.model, nm
+                    ),
+                });
+            }
+            if r.scheduled.request.steps < 2 {
+                return Err(EdmError::Config {
+                    reason: format!(
+                        "request {} has step budget {}; at least 2 required",
+                        r.scheduled.request.id, r.scheduled.request.steps
+                    ),
+                });
+            }
+        }
+
+        // Partition submissions per model, keeping the global submission
+        // index so outputs come back in submission order.
+        let mut reqs: Vec<Vec<ScheduledRequest>> = vec![Vec::new(); nm];
+        let mut global: Vec<Vec<usize>> = vec![Vec::new(); nm];
+        for (gi, r) in requests.iter().enumerate() {
+            reqs[r.model].push(r.scheduled);
+            global[r.model].push(gi);
+        }
+
+        let samplers: Vec<BatchSampler> = registry
+            .models
+            .iter()
+            .map(|m| BatchSampler::new(m.den).with_traces(self.record_traces))
+            .collect();
+        let mcfgs: Vec<UNetConfig> = registry.models.iter().map(|m| *m.net.config()).collect();
+
+        // Per-model scheduler state, mirroring `Scheduler::run_with_packs`.
+        let mut pending: Vec<Vec<usize>> = (0..nm).map(|m| (0..reqs[m].len()).collect()).collect();
+        let mut streams: Vec<Vec<Stream>> = (0..nm).map(|_| Vec::new()).collect();
+        let mut owner: Vec<Vec<usize>> = (0..nm).map(|_| Vec::new()).collect();
+        let mut inflight: Vec<Vec<usize>> = (0..nm).map(|_| Vec::new()).collect();
+        let mut fair_resume: Vec<TenantId> = vec![0; nm];
+        let mut per_model: Vec<ServeStats> = (0..nm)
+            .map(|m| ServeStats {
+                requests: reqs[m]
+                    .iter()
+                    .map(|r| RequestStats {
+                        id: r.request.id,
+                        tenant: r.request.tenant,
+                        arrival_step: r.arrival_step,
+                        admitted_step: 0,
+                        completed_step: 0,
+                        queue_delay: 0,
+                        steps_in_batch: 0,
+                        latency: 0,
+                    })
+                    .collect(),
+                ..ServeStats::default()
+            })
+            .collect();
+        let mut clock = 0usize;
+        let mut total_rounds = 0usize;
+
+        arena::scope(|| {
+            loop {
+                let busy = inflight.iter().any(|f| !f.is_empty());
+                let waiting = pending.iter().any(|p| !p.is_empty());
+                if !busy && !waiting {
+                    break;
+                }
+                if !busy {
+                    // Idle: jump the shared clock to the earliest arrival.
+                    let reqs = &reqs;
+                    let earliest = pending
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(m, p)| p.iter().map(move |&i| reqs[m][i].arrival_step))
+                        .min()
+                        .expect("pending nonempty when nothing is in flight");
+                    clock = clock.max(earliest);
+                }
+                // Step-boundary admission, per model, fair-share across
+                // tenants with a per-model resume cursor.
+                for m in 0..nm {
+                    let mut arrived: Vec<usize> = pending[m]
+                        .iter()
+                        .copied()
+                        .filter(|&i| reqs[m][i].arrival_step <= clock)
+                        .collect();
+                    let capacity = self.max_batch - inflight[m].len();
+                    let admit =
+                        fair_share_admit(&mut arrived, &reqs[m], capacity, &mut fair_resume[m]);
+                    for &i in &admit {
+                        pending[m].retain(|&p| p != i);
+                        let stream = samplers[m].make_stream(&mcfgs[m], &reqs[m][i].request)?;
+                        owner[m].push(i);
+                        inflight[m].push(streams[m].len());
+                        streams[m].push(stream);
+                        per_model[m].requests[i].admitted_step = clock;
+                        per_model[m].requests[i].queue_delay = clock - reqs[m][i].arrival_step;
+                    }
+                }
+                // One batched Heun round per non-idle model.
+                for m in 0..nm {
+                    if inflight[m].is_empty() {
+                        continue;
+                    }
+                    let model = &mut registry.models[m];
+                    let t0 = Instant::now();
+                    samplers[m].round(
+                        &mut model.net,
+                        &mut streams[m],
+                        &inflight[m],
+                        model.assignment.as_ref(),
+                        &model.packs,
+                    )?;
+                    per_model[m]
+                        .step_latency_ns
+                        .push(t0.elapsed().as_nanos() as u64);
+                    per_model[m].batch_occupancy.push(inflight[m].len());
+                    per_model[m].rounds += 1;
+                    total_rounds += 1;
+                }
+                clock += 1;
+                // Retire exhausted streams.
+                for m in 0..nm {
+                    let (streams_m, owner_m, stats_m) = (&streams[m], &owner[m], &mut per_model[m]);
+                    let reqs_m = &reqs[m];
+                    inflight[m].retain(|&k| {
+                        let done = streams_m[k].cursor >= streams_m[k].request.steps;
+                        if done {
+                            let i = owner_m[k];
+                            stats_m.requests[i].completed_step = clock;
+                            stats_m.requests[i].steps_in_batch =
+                                clock - stats_m.requests[i].admitted_step;
+                            stats_m.requests[i].latency = clock - reqs_m[i].arrival_step;
+                        }
+                        !done
+                    });
+                }
+            }
+            Ok::<(), EdmError>(())
+        })?;
+
+        for s in &mut per_model {
+            s.final_step = clock;
+        }
+        let stats = RegistryStats {
+            rounds: total_rounds,
+            final_step: clock,
+            per_model,
+        };
+
+        // Outputs back in global submission order.
+        let mut slots: Vec<Option<ServedOutput>> = (0..requests.len()).map(|_| None).collect();
+        for m in 0..nm {
+            for (k, stream) in std::mem::take(&mut streams[m]).into_iter().enumerate() {
+                slots[global[m][owner[m][k]]] = Some(stream.into_output());
+            }
+        }
+        let outputs = slots
+            .into_iter()
+            .map(|o| o.expect("every request was admitted and served"))
+            .collect();
+        Ok((outputs, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{sample, SamplerConfig};
+    use crate::schedule::EdmSchedule;
+    use crate::serve::ServeRequest;
+    use sqdm_quant::{BlockPrecision, ExecMode, QuantFormat};
+    use sqdm_tensor::{Rng, Tensor};
+
+    fn int8_native() -> PrecisionAssignment {
+        PrecisionAssignment::uniform(
+            crate::model::block_ids::COUNT,
+            BlockPrecision::uniform(QuantFormat::int8()),
+            "INT8",
+        )
+        .with_mode(ExecMode::NativeInt)
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn two_model_registry() -> ModelRegistry {
+        let den = Denoiser::new(EdmSchedule::default());
+        let mut registry = ModelRegistry::new();
+        let mut rng = Rng::seed_from(31);
+        let net_a = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let net_b = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        registry.register("quantized", net_a, Some(int8_native()), den);
+        registry.register("full-precision", net_b, None, den);
+        registry
+    }
+
+    fn req(
+        model: ModelId,
+        id: u64,
+        tenant: TenantId,
+        steps: usize,
+        arrival: usize,
+    ) -> RegistryRequest {
+        RegistryRequest::new(
+            model,
+            ScheduledRequest::new(ServeRequest::new(id, steps).with_tenant(tenant), arrival),
+        )
+    }
+
+    #[test]
+    fn registry_serving_is_bitwise_identical_to_solo_sampling_per_model() {
+        let mut registry = two_model_registry();
+        let requests = [
+            req(0, 10, 1, 3, 0),
+            req(1, 11, 2, 2, 0),
+            req(0, 12, 2, 2, 1),
+            req(1, 13, 1, 4, 3),
+        ];
+        let sched = RegistryScheduler::new(2);
+        let (outputs, stats) = sched.run(&mut registry, &requests).unwrap();
+        assert_eq!(outputs.len(), 4);
+        // Solo references on fresh, identically seeded models.
+        let den = Denoiser::new(EdmSchedule::default());
+        let mut rng = Rng::seed_from(31);
+        let mut net_a = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let mut net_b = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let asg = int8_native();
+        for (r, out) in requests.iter().zip(&outputs) {
+            assert_eq!(r.scheduled.request.id, out.id);
+            let (net, asg): (&mut UNet, Option<&PrecisionAssignment>) = if r.model == 0 {
+                (&mut net_a, Some(&asg))
+            } else {
+                (&mut net_b, None)
+            };
+            let mut rr = Rng::seed_from(r.scheduled.request.seed);
+            let solo = sample(
+                net,
+                &den,
+                1,
+                SamplerConfig {
+                    steps: r.scheduled.request.steps,
+                },
+                asg,
+                &mut rr,
+            )
+            .unwrap();
+            assert_eq!(bits(&out.image), bits(&solo), "request {}", out.id);
+        }
+        // Both models served; the shared clock covers the longest stream.
+        assert_eq!(stats.per_model.len(), 2);
+        assert!(stats.rounds >= 4);
+        assert!(stats.final_step >= 5);
+    }
+
+    #[test]
+    fn registry_builds_packs_once_across_serves() {
+        let mut registry = two_model_registry();
+        let requests = [req(0, 0, 1, 2, 0), req(0, 1, 2, 3, 0), req(1, 2, 1, 2, 0)];
+        let sched = RegistryScheduler::new(2);
+        let (out1, _) = sched.run(&mut registry, &requests).unwrap();
+        let builds = registry.pack_builds();
+        assert!(builds > 0, "the quantized model must have packed weights");
+        // Even the full-precision reference path caches its FP16 weight
+        // casts; what matters is that NO model rebuilds anything later.
+        assert!(registry.model(1).unwrap().pack_builds() > 0);
+        // Second serve of the same registry: zero new packs, same bits.
+        let (out2, _) = sched.run(&mut registry, &requests).unwrap();
+        assert_eq!(registry.pack_builds(), builds, "packs were rebuilt");
+        for (a, b) in out1.iter().zip(&out2) {
+            assert_eq!(bits(&a.image), bits(&b.image));
+        }
+    }
+
+    #[test]
+    fn fair_share_cycles_tenants_per_model_and_stats_roll_up() {
+        let mut registry = two_model_registry();
+        // Model 0: tenant 5 floods, tenant 3 submits one late-indexed
+        // request; fair share admits tenant 3 in the first wave.
+        let requests = [
+            req(0, 0, 5, 2, 0),
+            req(0, 1, 5, 2, 0),
+            req(0, 2, 5, 2, 0),
+            req(0, 3, 3, 2, 0),
+            req(1, 4, 5, 2, 0),
+        ];
+        let sched = RegistryScheduler::new(2);
+        let (_, stats) = sched.run(&mut registry, &requests).unwrap();
+        assert_eq!(stats.request(3).unwrap().admitted_step, 0);
+        assert_eq!(stats.request(0).unwrap().admitted_step, 0);
+        assert_eq!(stats.request(1).unwrap().admitted_step, 2);
+        assert_eq!(stats.request(2).unwrap().admitted_step, 2);
+        // Model 1 runs independently at full capacity.
+        assert_eq!(stats.request(4).unwrap().admitted_step, 0);
+        // Rollups aggregate across models: tenant 5 appears in both.
+        let r5 = stats.tenant(5).unwrap();
+        assert_eq!(r5.requests, 4);
+        assert_eq!(r5.total_steps, 8);
+        let r3 = stats.tenant(3).unwrap();
+        assert_eq!(r3.requests, 1);
+        assert!(stats.tenant(9).is_none());
+        let rollups = stats.tenant_rollups();
+        assert_eq!(
+            rollups.iter().map(|r| r.tenant).collect::<Vec<_>>(),
+            vec![3, 5]
+        );
+    }
+
+    #[test]
+    fn registry_rejects_bad_requests() {
+        let mut registry = two_model_registry();
+        let sched = RegistryScheduler::new(2);
+        // Unknown model.
+        let bad_model = [req(7, 0, 0, 2, 0)];
+        assert!(sched.run(&mut registry, &bad_model).is_err());
+        // Duplicate ids across different models.
+        let dup = [req(0, 1, 0, 2, 0), req(1, 1, 0, 2, 0)];
+        assert!(sched.run(&mut registry, &dup).is_err());
+        // Step budget below the Karras minimum.
+        let short = [req(0, 2, 0, 1, 0)];
+        assert!(sched.run(&mut registry, &short).is_err());
+        // Zero batch capacity.
+        assert!(RegistryScheduler::new(0)
+            .run(&mut registry, &[req(0, 3, 0, 2, 0)])
+            .is_err());
+    }
+}

@@ -1,10 +1,12 @@
 //! Deterministic second-order (Heun) EDM sampler — Algorithm 1 of the EDM
 //! paper without stochastic churn.
 
+use crate::delta::DeltaSession;
 use crate::denoiser::Denoiser;
 use crate::error::Result;
 use crate::model::{RunConfig, UNet};
 use serde::{Deserialize, Serialize};
+use sqdm_nn::PackCache;
 use sqdm_quant::PrecisionAssignment;
 use sqdm_tensor::{Rng, Tensor};
 
@@ -64,12 +66,51 @@ pub fn sample_with_observer(
     cfg: SamplerConfig,
     assignment: Option<&PrecisionAssignment>,
     rng: &mut Rng,
+    step_observer: Option<&mut StepObserver<'_>>,
+) -> Result<Tensor> {
+    sample_inner(net, den, batch, cfg, assignment, rng, step_observer, None)
+}
+
+/// [`sample`] with a temporal-delta session: the U-Net's Conv+Act
+/// convolutions carry codes and outputs across the trajectory's denoiser
+/// evaluations and recompute only changed reduction rows on the integer
+/// engine (see [`crate::delta`]). Off the native engine the session is
+/// inert and this is exactly [`sample`].
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn sample_delta(
+    net: &mut UNet,
+    den: &Denoiser,
+    batch: usize,
+    cfg: SamplerConfig,
+    assignment: Option<&PrecisionAssignment>,
+    rng: &mut Rng,
+    session: &mut DeltaSession,
+) -> Result<Tensor> {
+    sample_inner(net, den, batch, cfg, assignment, rng, None, Some(session))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sample_inner(
+    net: &mut UNet,
+    den: &Denoiser,
+    batch: usize,
+    cfg: SamplerConfig,
+    assignment: Option<&PrecisionAssignment>,
+    rng: &mut Rng,
     mut step_observer: Option<&mut StepObserver<'_>>,
+    mut delta: Option<&mut DeltaSession>,
 ) -> Result<Tensor> {
     let mcfg = *net.config();
     let s = mcfg.image_size;
     let grid = den.schedule.sigma_steps(cfg.steps);
     let mut x = Tensor::randn([batch, mcfg.in_channels, s, s], rng).scale(grid[0]);
+    // One weight-pack cache per trajectory: every layer's quantization
+    // artifact is built on the first denoiser evaluation and reused by the
+    // remaining ~2·steps−1 evaluations.
+    let packs = PackCache::new();
 
     for i in 0..cfg.steps {
         let (sig, sig_next) = (grid[i], grid[i + 1]);
@@ -83,6 +124,8 @@ pub fn sample_with_observer(
                 assignment,
                 observer: None,
                 batched: false,
+                packs: Some(&packs),
+                delta: delta.as_deref_mut(),
             };
             den.denoise(net, &x, &sigmas, &mut rc)?
         };
@@ -100,6 +143,8 @@ pub fn sample_with_observer(
                     assignment,
                     observer: None,
                     batched: false,
+                    packs: Some(&packs),
+                    delta: delta.as_deref_mut(),
                 };
                 den.denoise(net, &x_next, &sigmas_next, &mut rc)?
             };
@@ -161,6 +206,7 @@ pub fn sample_stochastic(
     let grid = den.schedule.sigma_steps(cfg.steps);
     let mut x = Tensor::randn([batch, mcfg.in_channels, s, s], rng).scale(grid[0]);
     let gamma_base = (churn.s_churn / cfg.steps as f32).min(2.0f32.sqrt() - 1.0);
+    let packs = PackCache::new();
 
     for i in 0..cfg.steps {
         let (sig, sig_next) = (grid[i], grid[i + 1]);
@@ -184,6 +230,8 @@ pub fn sample_stochastic(
                 assignment,
                 observer: None,
                 batched: false,
+                packs: Some(&packs),
+                delta: None,
             };
             den.denoise(net, &x, &sigmas, &mut rc)?
         };
@@ -198,6 +246,8 @@ pub fn sample_stochastic(
                     assignment,
                     observer: None,
                     batched: false,
+                    packs: Some(&packs),
+                    delta: None,
                 };
                 den.denoise(net, &x_next, &sigmas_next, &mut rc)?
             };
@@ -275,6 +325,75 @@ mod tests {
         assert!(yn.as_slice().iter().all(|v| v.is_finite()));
         let gap = yf.mse(&yn).unwrap();
         assert!(gap < 1e-3, "trajectory gap {gap}");
+    }
+
+    #[test]
+    fn delta_sampling_dispatch_paths_agree_bitwise() {
+        use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
+        let mut rng = Rng::seed_from(14);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let cfg = SamplerConfig { steps: 4 };
+        let native = PrecisionAssignment::uniform(
+            crate::model::block_ids::COUNT,
+            BlockPrecision::uniform(QuantFormat::int8()),
+            "INT8",
+        )
+        .with_mode(ExecMode::NativeInt);
+
+        // Force the row-skipping sparse path vs the packed dense fallback:
+        // the kernel's two dispatch paths are bitwise identical, so whole
+        // trajectories must be too.
+        let mut sparse = DeltaSession::new(0.05).with_dense_threshold(2.0);
+        let mut r1 = Rng::seed_from(41);
+        let ys = sample_delta(&mut net, &den, 1, cfg, Some(&native), &mut r1, &mut sparse).unwrap();
+        let mut dense = DeltaSession::new(0.05).with_dense_threshold(0.0);
+        let mut r2 = Rng::seed_from(41);
+        let yd = sample_delta(&mut net, &den, 1, cfg, Some(&native), &mut r2, &mut dense).unwrap();
+        assert_eq!(ys, yd);
+        // Both sessions saw work, and every step ran through the delta
+        // engine (carry or dense refresh).
+        let total = sparse.delta_steps() + sparse.dense_steps();
+        assert!(total > 0, "delta engine never engaged");
+        assert_eq!(total, dense.delta_steps() + dense.dense_steps());
+
+        // Determinism of the delta trajectory itself.
+        let mut again = DeltaSession::new(0.05).with_dense_threshold(2.0);
+        let mut r3 = Rng::seed_from(41);
+        let ys2 = sample_delta(&mut net, &den, 1, cfg, Some(&native), &mut r3, &mut again).unwrap();
+        assert_eq!(ys, ys2);
+    }
+
+    #[test]
+    fn delta_sampling_stays_close_to_plain_native_sampling() {
+        use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
+        let mut rng = Rng::seed_from(15);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let cfg = SamplerConfig { steps: 4 };
+        let native = PrecisionAssignment::uniform(
+            crate::model::block_ids::COUNT,
+            BlockPrecision::uniform(QuantFormat::int8()),
+            "INT8",
+        )
+        .with_mode(ExecMode::NativeInt);
+        let mut r1 = Rng::seed_from(42);
+        let plain = sample(&mut net, &den, 1, cfg, Some(&native), &mut r1).unwrap();
+        let mut session = DeltaSession::default();
+        let mut r2 = Rng::seed_from(42);
+        let delta =
+            sample_delta(&mut net, &den, 1, cfg, Some(&native), &mut r2, &mut session).unwrap();
+        assert!(delta.as_slice().iter().all(|v| v.is_finite()));
+        // The delta engine carries a sticky activation scale (up to 2x
+        // coarser than the per-step fresh scale) so consecutive steps share
+        // a grid; that costs a small, bounded quantization gap versus the
+        // from-scratch native path. Pin it relative to the signal power.
+        let gap = plain.mse(&delta).unwrap();
+        let power = plain.as_slice().iter().map(|v| v * v).sum::<f32>() / plain.len() as f32;
+        assert!(
+            gap < 0.05 * power.max(1.0),
+            "trajectory gap {gap} vs power {power}"
+        );
     }
 
     #[test]

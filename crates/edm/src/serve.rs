@@ -58,11 +58,18 @@ use crate::denoiser::Denoiser;
 use crate::error::{EdmError, Result};
 use crate::model::{ActEvent, RunConfig, UNet, UNetConfig};
 use serde::{Deserialize, Serialize};
+use sqdm_nn::PackCache;
 use sqdm_quant::PrecisionAssignment;
 use sqdm_sparsity::{channel_sparsity, ChangeMask, TemporalTrace};
-use sqdm_tensor::{Rng, Tensor};
+use sqdm_tensor::{arena, Rng, Tensor};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
+
+/// Identifies the tenant (customer, workload class) a request belongs to.
+/// Tenancy is a pure scheduling attribute: it decides admission order under
+/// [`AdmissionPolicy::FairShare`] and how [`ServeStats`] roll up, never the
+/// arithmetic of any stream.
+pub type TenantId = u32;
 
 /// One queued generation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,6 +84,9 @@ pub struct ServeRequest {
     /// in one batch may use different budgets; streams simply retire early
     /// and the batch shrinks.
     pub steps: usize,
+    /// The submitting tenant (0 when unspecified). Only admission order and
+    /// stat rollups look at it.
+    pub tenant: TenantId,
 }
 
 impl ServeRequest {
@@ -86,7 +96,15 @@ impl ServeRequest {
             id,
             seed: id,
             steps,
+            tenant: 0,
         }
+    }
+
+    /// This request tagged with a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -168,12 +186,12 @@ pub struct BatchSampler {
 }
 
 /// One in-flight request stream.
-struct Stream {
-    request: ServeRequest,
+pub(crate) struct Stream {
+    pub(crate) request: ServeRequest,
     /// This stream's sigma grid, `steps + 1` points ending at 0.
     grid: Vec<f32>,
     /// Next step index; the stream retires at `cursor == request.steps`.
-    cursor: usize,
+    pub(crate) cursor: usize,
     /// Current state, `[1, C, S, S]`.
     x: Tensor,
     traces: BTreeMap<(usize, usize), TemporalTrace>,
@@ -181,7 +199,7 @@ struct Stream {
 
 impl Stream {
     /// Consumes a retired stream into its served output.
-    fn into_output(self) -> ServedOutput {
+    pub(crate) fn into_output(self) -> ServedOutput {
         ServedOutput {
             id: self.request.id,
             image: self.x,
@@ -225,24 +243,52 @@ impl BatchSampler {
         requests: &[ServeRequest],
         assignment: Option<&PrecisionAssignment>,
     ) -> Result<Vec<ServedOutput>> {
+        let packs = PackCache::new();
+        self.run_with_packs(net, requests, assignment, &packs)
+    }
+
+    /// [`BatchSampler::run`] against a caller-owned [`PackCache`]: every
+    /// layer's quantization artifact is fetched from (or built once into)
+    /// `packs`, so a resident model serving many batches over its lifetime
+    /// never rebuilds a weight pack. Bitwise identical to
+    /// [`BatchSampler::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchSampler::run`].
+    pub fn run_with_packs(
+        &self,
+        net: &mut UNet,
+        requests: &[ServeRequest],
+        assignment: Option<&PrecisionAssignment>,
+        packs: &PackCache,
+    ) -> Result<Vec<ServedOutput>> {
         validate_unique_ids(requests.iter().map(|r| r.id))?;
         let mcfg = *net.config();
-        let mut streams = requests
-            .iter()
-            .map(|req| self.make_stream(&mcfg, req))
-            .collect::<Result<Vec<_>>>()?;
+        // The arena scope turns every transient buffer the rounds take —
+        // activation tensors, im2col scratch, packed states — into pool
+        // hits after the first round: the steady state allocates nothing.
+        arena::scope(|| {
+            let mut streams = requests
+                .iter()
+                .map(|req| self.make_stream(&mcfg, req))
+                .collect::<Result<Vec<_>>>()?;
 
-        loop {
-            let active: Vec<usize> = (0..streams.len())
-                .filter(|&i| streams[i].cursor < streams[i].request.steps)
-                .collect();
-            if active.is_empty() {
-                break;
+            loop {
+                let mut active = arena::take::<usize>(streams.len());
+                active.extend(
+                    (0..streams.len()).filter(|&i| streams[i].cursor < streams[i].request.steps),
+                );
+                if active.is_empty() {
+                    arena::recycle(active);
+                    break;
+                }
+                self.round(net, &mut streams, &active, assignment, packs)?;
+                arena::recycle(active);
             }
-            self.round(net, &mut streams, &active, assignment)?;
-        }
 
-        Ok(streams.into_iter().map(Stream::into_output).collect())
+            Ok(streams.into_iter().map(Stream::into_output).collect())
+        })
     }
 
     /// Initializes one stream: validates the step budget and draws the
@@ -250,7 +296,7 @@ impl BatchSampler {
     /// `(seed, steps)`, never on *when* the stream is admitted, which is
     /// what lets the [`Scheduler`] create streams lazily at admission
     /// without perturbing results.
-    fn make_stream(&self, mcfg: &UNetConfig, req: &ServeRequest) -> Result<Stream> {
+    pub(crate) fn make_stream(&self, mcfg: &UNetConfig, req: &ServeRequest) -> Result<Stream> {
         // The Karras grid needs at least two sigma points.
         if req.steps < 2 {
             return Err(EdmError::Config {
@@ -279,24 +325,24 @@ impl BatchSampler {
     /// on every call — streams join and retire between rounds — and each
     /// stream's arithmetic is independent of its neighbors, so any
     /// composition produces the solo-`sample()` bits.
-    fn round(
+    pub(crate) fn round(
         &self,
         net: &mut UNet,
         streams: &mut [Stream],
         active: &[usize],
         assignment: Option<&PrecisionAssignment>,
+        packs: &PackCache,
     ) -> Result<()> {
         let dims = streams[active[0]].x.dims();
         let (c, s) = (dims[1], dims[2]);
         let chw = c * s * s;
+        let a = active.len();
         // Pack the in-flight states into one [A, C, S, S] batch; every
         // stream contributes its own sigma, so streams at different
         // noise steps share the forward.
         let packed = pack_states(streams, active, chw)?;
-        let sigmas: Vec<f32> = active
-            .iter()
-            .map(|&i| streams[i].grid[streams[i].cursor])
-            .collect();
+        let mut sigmas = arena::take::<f32>(a);
+        sigmas.extend(active.iter().map(|&i| streams[i].grid[streams[i].cursor]));
         let d0 = {
             let record = self.record_traces;
             let mut obs = |ev: ActEvent<'_>| {
@@ -307,12 +353,19 @@ impl BatchSampler {
                 assignment,
                 observer: if record { Some(&mut obs) } else { None },
                 batched: true,
+                packs: Some(packs),
+                delta: None,
             };
             self.den.denoise(net, &packed, &sigmas, &mut rc)?
         };
-        // First-order (Euler) update per stream, exactly the arithmetic
-        // of `crate::sample` on this stream's state.
-        let mut midpoints: Vec<(usize, Tensor, Tensor)> = Vec::new(); // (stream, x_next, slope)
+        arena::recycle(sigmas);
+        // First-order (Euler) update per stream, exactly the arithmetic of
+        // `crate::sample` on this stream's state. Midpoints and slopes land
+        // in pooled flat buffers (slot-major) instead of per-stream
+        // tensors, so the round's spine stays allocation-free; the values
+        // pass through unchanged, which preserves the bitwise contract.
+        let mut nexts = arena::take_zeroed::<f32>(a * chw);
+        let mut slopes = arena::take_zeroed::<f32>(a * chw);
         for (slot, &i) in active.iter().enumerate() {
             let st = &streams[i];
             let (sig, sig_next) = (st.grid[st.cursor], st.grid[st.cursor + 1]);
@@ -320,27 +373,23 @@ impl BatchSampler {
             let slope = st.x.sub(&d0_i)?.scale(1.0 / sig);
             let mut x_next = st.x.clone();
             x_next.add_scaled(&slope, sig_next - sig)?;
-            midpoints.push((i, x_next, slope));
+            nexts[slot * chw..(slot + 1) * chw].copy_from_slice(x_next.as_slice());
+            slopes[slot * chw..(slot + 1) * chw].copy_from_slice(slope.as_slice());
         }
         // Heun correction, batched over the streams whose next sigma is
         // nonzero (a stream's final step is first-order, as in
         // `crate::sample`).
-        let corr: Vec<usize> = midpoints
-            .iter()
-            .enumerate()
-            .filter(|(_, (i, _, _))| {
-                let st = &streams[*i];
-                st.grid[st.cursor + 1] > 0.0
-            })
-            .map(|(slot, _)| slot)
-            .collect();
+        let mut corr = arena::take::<usize>(a);
+        corr.extend((0..a).filter(|&slot| {
+            let st = &streams[active[slot]];
+            st.grid[st.cursor + 1] > 0.0
+        }));
         if !corr.is_empty() {
-            let mut packed_next = Vec::with_capacity(corr.len() * chw);
-            let mut sig_nexts = Vec::with_capacity(corr.len());
-            for &slot in &corr {
-                let (i, x_next, _) = &midpoints[slot];
-                packed_next.extend_from_slice(x_next.as_slice());
-                let st = &streams[*i];
+            let mut packed_next = arena::take::<f32>(corr.len() * chw);
+            let mut sig_nexts = arena::take::<f32>(corr.len());
+            for &slot in corr.iter() {
+                packed_next.extend_from_slice(&nexts[slot * chw..(slot + 1) * chw]);
+                let st = &streams[active[slot]];
                 sig_nexts.push(st.grid[st.cursor + 1]);
             }
             let packed_next = Tensor::from_vec(packed_next, [corr.len(), c, s, s])?;
@@ -350,34 +399,51 @@ impl BatchSampler {
                     assignment,
                     observer: None,
                     batched: true,
+                    packs: Some(packs),
+                    delta: None,
                 };
                 self.den.denoise(net, &packed_next, &sig_nexts, &mut rc)?
             };
+            arena::recycle(sig_nexts);
             for (cslot, &slot) in corr.iter().enumerate() {
-                let (i, x_next, slope) = &midpoints[slot];
-                let st = &streams[*i];
+                let st = &streams[active[slot]];
                 let (sig, sig_next) = (st.grid[st.cursor], st.grid[st.cursor + 1]);
                 let d1_i = d1.batch_sample(cslot)?;
+                let x_next = tensor_from(&nexts[slot * chw..(slot + 1) * chw], [1, c, s, s])?;
+                let slope = tensor_from(&slopes[slot * chw..(slot + 1) * chw], [1, c, s, s])?;
                 let slope2 = x_next.sub(&d1_i)?.scale(1.0 / sig_next);
-                let mut avg = slope.clone();
+                let mut avg = slope;
                 avg.add_scaled(&slope2, 1.0)?;
                 let mut corrected = st.x.clone();
                 corrected.add_scaled(&avg, 0.5 * (sig_next - sig))?;
-                midpoints[slot].1 = corrected;
+                nexts[slot * chw..(slot + 1) * chw].copy_from_slice(corrected.as_slice());
             }
         }
-        for (i, x_next, _) in midpoints {
-            streams[i].x = x_next;
+        arena::recycle(corr);
+        for (slot, &i) in active.iter().enumerate() {
+            streams[i]
+                .x
+                .as_mut_slice()
+                .copy_from_slice(&nexts[slot * chw..(slot + 1) * chw]);
             streams[i].cursor += 1;
         }
+        arena::recycle(nexts);
+        arena::recycle(slopes);
         Ok(())
     }
+}
+
+/// A `[1, C, S, S]` tensor holding a copy of `data`, drawn from the pool.
+fn tensor_from(data: &[f32], dims: [usize; 4]) -> Result<Tensor> {
+    let mut buf = arena::take::<f32>(data.len());
+    buf.extend_from_slice(data);
+    Ok(Tensor::from_vec(buf, dims)?)
 }
 
 /// Rejects duplicate request ids up front: a duplicate would make
 /// [`ServedOutput`] lookup by id ambiguous, so serving refuses the batch
 /// at entry instead of silently returning two outputs under one id.
-fn validate_unique_ids(ids: impl Iterator<Item = u64>) -> Result<()> {
+pub(crate) fn validate_unique_ids(ids: impl Iterator<Item = u64>) -> Result<()> {
     let mut seen = BTreeSet::new();
     for id in ids {
         if !seen.insert(id) {
@@ -436,6 +502,15 @@ pub enum AdmissionPolicy {
     /// [`AdmissionPolicy::Fifo`] or
     /// [`AdmissionPolicy::ShortestBudgetFirst`].
     Gang,
+    /// Deterministic round-robin fair share across tenants: at each step
+    /// boundary the arrived requests are grouped by [`TenantId`] (FIFO
+    /// within a tenant) and admission cycles through the tenants in
+    /// ascending id order, one request per tenant per turn, resuming after
+    /// the last tenant served at the previous boundary. A tenant flooding
+    /// the queue therefore gets at most its per-cycle share while sparse
+    /// tenants are never starved. Fully deterministic: admission order is a
+    /// function of the request set alone.
+    FairShare,
 }
 
 /// Per-request timing record, in virtual steps (see [`ServeStats`]).
@@ -443,6 +518,8 @@ pub enum AdmissionPolicy {
 pub struct RequestStats {
     /// The request identifier.
     pub id: u64,
+    /// The submitting tenant.
+    pub tenant: TenantId,
     /// When the request arrived.
     pub arrival_step: usize,
     /// Boundary at which it was admitted into the in-flight batch.
@@ -505,6 +582,47 @@ impl ServeStats {
     pub fn mean_step_latency_ns(&self) -> f64 {
         mean(self.step_latency_ns.iter().map(|&n| n as f64))
     }
+
+    /// Per-tenant rollups of the request records, ascending by tenant id.
+    pub fn tenant_rollups(&self) -> Vec<TenantRollup> {
+        let mut by_tenant: BTreeMap<TenantId, Vec<&RequestStats>> = BTreeMap::new();
+        for r in &self.requests {
+            by_tenant.entry(r.tenant).or_default().push(r);
+        }
+        by_tenant
+            .into_iter()
+            .map(|(tenant, rs)| TenantRollup {
+                tenant,
+                requests: rs.len(),
+                total_steps: rs.iter().map(|r| r.steps_in_batch).sum(),
+                mean_latency: mean(rs.iter().map(|r| r.latency as f64)),
+                mean_queue_delay: mean(rs.iter().map(|r| r.queue_delay as f64)),
+            })
+            .collect()
+    }
+
+    /// The rollup for one tenant, or `None` if it submitted nothing.
+    pub fn tenant(&self, tenant: TenantId) -> Option<TenantRollup> {
+        self.tenant_rollups()
+            .into_iter()
+            .find(|t| t.tenant == tenant)
+    }
+}
+
+/// Per-tenant aggregate of one serving run (see
+/// [`ServeStats::tenant_rollups`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantRollup {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Requests this tenant completed.
+    pub requests: usize,
+    /// Total denoise steps executed for the tenant (its compute share).
+    pub total_steps: usize,
+    /// Mean end-to-end latency of the tenant's requests, virtual steps.
+    pub mean_latency: f64,
+    /// Mean queueing delay of the tenant's requests, virtual steps.
+    pub mean_queue_delay: f64,
 }
 
 /// Mean of an iterator, `NaN` when empty (mirrors the empty-run sentinel
@@ -584,6 +702,25 @@ impl Scheduler {
         requests: &[ScheduledRequest],
         assignment: Option<&PrecisionAssignment>,
     ) -> Result<(Vec<ServedOutput>, ServeStats)> {
+        let packs = PackCache::new();
+        self.run_with_packs(net, requests, assignment, &packs)
+    }
+
+    /// [`Scheduler::run`] against a caller-owned [`PackCache`] (see
+    /// [`BatchSampler::run_with_packs`]); how a resident model of a
+    /// [`crate::registry::ModelRegistry`] serves without ever rebuilding
+    /// its weight packs. Bitwise identical to [`Scheduler::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scheduler::run`].
+    pub fn run_with_packs(
+        &self,
+        net: &mut UNet,
+        requests: &[ScheduledRequest],
+        assignment: Option<&PrecisionAssignment>,
+        packs: &PackCache,
+    ) -> Result<(Vec<ServedOutput>, ServeStats)> {
         if self.max_batch == 0 {
             return Err(EdmError::Config {
                 reason: "scheduler max_batch must be at least 1".into(),
@@ -608,6 +745,7 @@ impl Scheduler {
             .iter()
             .map(|r| RequestStats {
                 id: r.request.id,
+                tenant: r.request.tenant,
                 arrival_step: r.arrival_step,
                 admitted_step: 0,
                 completed_step: 0,
@@ -626,89 +764,100 @@ impl Scheduler {
         let mut owner: Vec<usize> = Vec::with_capacity(n);
         let mut inflight: Vec<usize> = Vec::new();
         let mut clock = 0usize;
+        // Fair-share rotation state: the tenant id after the last one
+        // served, so the next boundary resumes the cycle instead of
+        // restarting at the smallest tenant.
+        let mut fair_resume: TenantId = 0;
 
-        while !pending.is_empty() || !inflight.is_empty() {
-            if inflight.is_empty() {
-                // Idle: jump to the earliest pending arrival.
-                let earliest = pending
+        arena::scope(|| {
+            while !pending.is_empty() || !inflight.is_empty() {
+                if inflight.is_empty() {
+                    // Idle: jump to the earliest pending arrival.
+                    let earliest = pending
+                        .iter()
+                        .map(|&i| requests[i].arrival_step)
+                        .min()
+                        .expect("pending nonempty when nothing is in flight");
+                    clock = clock.max(earliest);
+                }
+                // Step-boundary admission.
+                let mut arrived: Vec<usize> = pending
                     .iter()
-                    .map(|&i| requests[i].arrival_step)
-                    .min()
-                    .expect("pending nonempty when nothing is in flight");
-                clock = clock.max(earliest);
-            }
-            // Step-boundary admission.
-            let mut arrived: Vec<usize> = pending
-                .iter()
-                .copied()
-                .filter(|&i| requests[i].arrival_step <= clock)
-                .collect();
-            let capacity = self.max_batch - inflight.len();
-            let admit: Vec<usize> = match self.policy {
-                AdmissionPolicy::Fifo => {
-                    arrived.sort_by_key(|&i| (requests[i].arrival_step, i));
-                    arrived.truncate(capacity);
-                    arrived
-                }
-                AdmissionPolicy::ShortestBudgetFirst => {
-                    arrived
-                        .sort_by_key(|&i| (requests[i].request.steps, requests[i].arrival_step, i));
-                    arrived.truncate(capacity);
-                    arrived
-                }
-                AdmissionPolicy::Gang => {
-                    let drained = inflight.is_empty();
-                    let gang_ready = arrived.len() >= self.max_batch
-                        || (arrived.len() == pending.len() && !arrived.is_empty());
-                    if drained && gang_ready {
+                    .copied()
+                    .filter(|&i| requests[i].arrival_step <= clock)
+                    .collect();
+                let capacity = self.max_batch - inflight.len();
+                let admit: Vec<usize> = match self.policy {
+                    AdmissionPolicy::Fifo => {
                         arrived.sort_by_key(|&i| (requests[i].arrival_step, i));
-                        arrived.truncate(self.max_batch);
+                        arrived.truncate(capacity);
                         arrived
-                    } else {
-                        Vec::new()
                     }
+                    AdmissionPolicy::ShortestBudgetFirst => {
+                        arrived.sort_by_key(|&i| {
+                            (requests[i].request.steps, requests[i].arrival_step, i)
+                        });
+                        arrived.truncate(capacity);
+                        arrived
+                    }
+                    AdmissionPolicy::Gang => {
+                        let drained = inflight.is_empty();
+                        let gang_ready = arrived.len() >= self.max_batch
+                            || (arrived.len() == pending.len() && !arrived.is_empty());
+                        if drained && gang_ready {
+                            arrived.sort_by_key(|&i| (requests[i].arrival_step, i));
+                            arrived.truncate(self.max_batch);
+                            arrived
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                    AdmissionPolicy::FairShare => {
+                        fair_share_admit(&mut arrived, requests, capacity, &mut fair_resume)
+                    }
+                };
+                for &i in &admit {
+                    pending.retain(|&p| p != i);
+                    let stream = self.sampler.make_stream(&mcfg, &requests[i].request)?;
+                    owner.push(i);
+                    inflight.push(streams.len());
+                    streams.push(stream);
+                    req_stats[i].admitted_step = clock;
+                    req_stats[i].queue_delay = clock - requests[i].arrival_step;
                 }
-            };
-            for &i in &admit {
-                pending.retain(|&p| p != i);
-                let stream = self.sampler.make_stream(&mcfg, &requests[i].request)?;
-                owner.push(i);
-                inflight.push(streams.len());
-                streams.push(stream);
-                req_stats[i].admitted_step = clock;
-                req_stats[i].queue_delay = clock - requests[i].arrival_step;
-            }
-            if inflight.is_empty() {
-                // A waiting gang: advance to the next future arrival.
-                clock = pending
-                    .iter()
-                    .map(|&i| requests[i].arrival_step)
-                    .filter(|&a| a > clock)
-                    .min()
-                    .expect("a waiting gang implies future arrivals");
-                continue;
-            }
-            // One batched Heun round over the in-flight streams.
-            let t0 = Instant::now();
-            self.sampler
-                .round(net, &mut streams, &inflight, assignment)?;
-            stats.step_latency_ns.push(t0.elapsed().as_nanos() as u64);
-            stats.batch_occupancy.push(inflight.len());
-            stats.rounds += 1;
-            clock += 1;
-            // Retire exhausted streams; the packed batch shrinks here and
-            // refills at the next boundary's admission.
-            inflight.retain(|&k| {
-                let done = streams[k].cursor >= streams[k].request.steps;
-                if done {
-                    let i = owner[k];
-                    req_stats[i].completed_step = clock;
-                    req_stats[i].steps_in_batch = clock - req_stats[i].admitted_step;
-                    req_stats[i].latency = clock - requests[i].arrival_step;
+                if inflight.is_empty() {
+                    // A waiting gang: advance to the next future arrival.
+                    clock = pending
+                        .iter()
+                        .map(|&i| requests[i].arrival_step)
+                        .filter(|&a| a > clock)
+                        .min()
+                        .expect("a waiting gang implies future arrivals");
+                    continue;
                 }
-                !done
-            });
-        }
+                // One batched Heun round over the in-flight streams.
+                let t0 = Instant::now();
+                self.sampler
+                    .round(net, &mut streams, &inflight, assignment, packs)?;
+                stats.step_latency_ns.push(t0.elapsed().as_nanos() as u64);
+                stats.batch_occupancy.push(inflight.len());
+                stats.rounds += 1;
+                clock += 1;
+                // Retire exhausted streams; the packed batch shrinks here
+                // and refills at the next boundary's admission.
+                inflight.retain(|&k| {
+                    let done = streams[k].cursor >= streams[k].request.steps;
+                    if done {
+                        let i = owner[k];
+                        req_stats[i].completed_step = clock;
+                        req_stats[i].steps_in_batch = clock - req_stats[i].admitted_step;
+                        req_stats[i].latency = clock - requests[i].arrival_step;
+                    }
+                    !done
+                });
+            }
+            Ok::<(), crate::error::EdmError>(())
+        })?;
         stats.final_step = clock;
         stats.requests = req_stats;
 
@@ -725,10 +874,56 @@ impl Scheduler {
     }
 }
 
+/// The fair-share admission order: requests grouped by tenant (FIFO within
+/// a tenant by `(arrival_step, submission index)`), tenants cycled in
+/// ascending id order one request per turn, starting from the first tenant
+/// at or after `resume` and wrapping. `resume` is updated to the tenant
+/// after the last one served so consecutive boundaries continue the cycle.
+pub(crate) fn fair_share_admit(
+    arrived: &mut [usize],
+    requests: &[ScheduledRequest],
+    capacity: usize,
+    resume: &mut TenantId,
+) -> Vec<usize> {
+    if arrived.is_empty() || capacity == 0 {
+        return Vec::new();
+    }
+    // Tenant-major, FIFO within tenant.
+    arrived.sort_by_key(|&i| (requests[i].request.tenant, requests[i].arrival_step, i));
+    // Per-tenant queues over the sorted slice: (tenant, start, len, taken).
+    let mut queues: Vec<(TenantId, usize, usize, usize)> = Vec::new();
+    for (pos, &i) in arrived.iter().enumerate() {
+        let t = requests[i].request.tenant;
+        match queues.last_mut() {
+            Some(q) if q.0 == t => q.2 += 1,
+            _ => queues.push((t, pos, 1, 0)),
+        }
+    }
+    // Start the cycle at the first tenant at or after the resume point.
+    let start = queues.iter().position(|q| q.0 >= *resume).unwrap_or(0usize);
+    let mut admit = Vec::with_capacity(capacity.min(arrived.len()));
+    let mut qi = start;
+    let mut exhausted = 0usize;
+    let nq = queues.len();
+    while admit.len() < capacity && exhausted < nq {
+        let q = &mut queues[qi % nq];
+        if q.3 < q.2 {
+            admit.push(arrived[q.1 + q.3]);
+            q.3 += 1;
+            *resume = q.0.wrapping_add(1);
+            exhausted = 0;
+        } else {
+            exhausted += 1;
+        }
+        qi += 1;
+    }
+    admit
+}
+
 /// Concatenates the active streams' states along the batch axis.
 fn pack_states(streams: &[Stream], active: &[usize], chw: usize) -> Result<Tensor> {
     let dims = streams[active[0]].x.dims();
-    let mut packed = Vec::with_capacity(active.len() * chw);
+    let mut packed = arena::take::<f32>(active.len() * chw);
     for &i in active {
         packed.extend_from_slice(streams[i].x.as_slice());
     }
@@ -797,16 +992,19 @@ mod tests {
                 id: 0,
                 seed: 11,
                 steps: 3,
+                tenant: 0,
             },
             ServeRequest {
                 id: 1,
                 seed: 12,
                 steps: 5,
+                tenant: 0,
             },
             ServeRequest {
                 id: 2,
                 seed: 13,
                 steps: 3,
+                tenant: 0,
             },
         ];
         let served = serve_batch(&mut net, &den, &requests, None).unwrap();
@@ -1105,6 +1303,119 @@ mod tests {
         assert_eq!(flushed.len(), 3);
         // The flush fires once every pending request has arrived.
         assert!(fstats.requests.iter().all(|r| r.admitted_step == 6));
+    }
+
+    #[test]
+    fn fair_share_cycles_tenants_and_is_deterministic() {
+        let (mut net, den) = fixture();
+        // Tenant 7 floods the queue at step 0; tenant 2 submits one
+        // request. With capacity 2, fair share must give tenant 2 a slot
+        // in the first admission cycle instead of serving the flood FIFO.
+        let requests = [
+            ScheduledRequest::new(ServeRequest::new(0, 2).with_tenant(7), 0),
+            ScheduledRequest::new(ServeRequest::new(1, 2).with_tenant(7), 0),
+            ScheduledRequest::new(ServeRequest::new(2, 2).with_tenant(7), 0),
+            ScheduledRequest::new(ServeRequest::new(3, 2).with_tenant(2), 0),
+        ];
+        let solo = solo_references(&mut net, &den, &requests);
+        let sched = Scheduler::new(den, 2).with_policy(AdmissionPolicy::FairShare);
+        let (served, stats) = sched.run(&mut net, &requests, None).unwrap();
+        // First cycle starts at the smallest tenant (2), then tenant 7:
+        // request 3 and request 0 admitted at step 0.
+        assert_eq!(stats.request(3).unwrap().admitted_step, 0);
+        assert_eq!(stats.request(0).unwrap().admitted_step, 0);
+        // The remaining flood requests backfill in FIFO order within the
+        // tenant.
+        assert_eq!(stats.request(1).unwrap().admitted_step, 2);
+        assert_eq!(stats.request(2).unwrap().admitted_step, 2);
+        // Scheduling never touches arithmetic: still bitwise solo.
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        // Determinism: the same request set reproduces the same stats.
+        let (_, stats2) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.requests, stats2.requests);
+    }
+
+    #[test]
+    fn fair_share_resumes_cycle_across_boundaries() {
+        let (mut net, den) = fixture();
+        // Three tenants, one request each, capacity 1: the cycle must
+        // visit 1, then 2, then 3 across consecutive admission
+        // boundaries rather than restarting at tenant 1.
+        let requests = [
+            ScheduledRequest::new(ServeRequest::new(0, 2).with_tenant(1), 0),
+            ScheduledRequest::new(ServeRequest::new(1, 2).with_tenant(2), 0),
+            ScheduledRequest::new(ServeRequest::new(2, 2).with_tenant(3), 0),
+        ];
+        let sched = Scheduler::new(den, 1).with_policy(AdmissionPolicy::FairShare);
+        let (_, stats) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.request(0).unwrap().admitted_step, 0);
+        assert_eq!(stats.request(1).unwrap().admitted_step, 2);
+        assert_eq!(stats.request(2).unwrap().admitted_step, 4);
+    }
+
+    #[test]
+    fn tenant_rollups_aggregate_per_tenant() {
+        let (mut net, den) = fixture();
+        let requests = [
+            ScheduledRequest::new(ServeRequest::new(0, 3).with_tenant(1), 0),
+            ScheduledRequest::new(ServeRequest::new(1, 2).with_tenant(1), 0),
+            ScheduledRequest::new(ServeRequest::new(2, 2).with_tenant(4), 0),
+        ];
+        let (_, stats) = Scheduler::new(den, 3)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        let rollups = stats.tenant_rollups();
+        assert_eq!(rollups.len(), 2);
+        assert_eq!(rollups[0].tenant, 1);
+        assert_eq!(rollups[0].requests, 2);
+        assert_eq!(rollups[0].total_steps, 5);
+        assert_eq!(rollups[1].tenant, 4);
+        assert_eq!(rollups[1].requests, 1);
+        assert_eq!(stats.tenant(4).unwrap().total_steps, 2);
+        assert!(stats.tenant(9).is_none());
+    }
+
+    #[test]
+    fn pack_cache_reuse_across_runs_builds_packs_once() {
+        use sqdm_quant::ExecMode;
+        let (mut net, den) = fixture();
+        let asg = PrecisionAssignment::uniform(
+            crate::model::block_ids::COUNT,
+            BlockPrecision::uniform(QuantFormat::int8()),
+            "INT8",
+        )
+        .with_mode(ExecMode::NativeInt);
+        let packs = PackCache::new();
+        let sampler = BatchSampler::new(den).with_traces(false);
+        let reqs = [ServeRequest::new(0, 2), ServeRequest::new(1, 3)];
+        let out1 = sampler
+            .run_with_packs(&mut net, &reqs, Some(&asg), &packs)
+            .unwrap();
+        let after_first = packs.builds();
+        assert!(after_first > 0, "first run must build the packs");
+        let reqs2 = [ServeRequest::new(2, 2), ServeRequest::new(3, 4)];
+        let _ = sampler
+            .run_with_packs(&mut net, &reqs2, Some(&asg), &packs)
+            .unwrap();
+        assert_eq!(
+            packs.builds(),
+            after_first,
+            "second run must reuse every pack"
+        );
+        // And the cached path still serves solo-identical bits.
+        let mut rng = Rng::seed_from(0);
+        let single = sample(
+            &mut net,
+            &den,
+            1,
+            SamplerConfig { steps: 2 },
+            Some(&asg),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(bits(&out1[0].image), bits(&single));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 use proptest::prelude::*;
 use sqdm_edm::serve::{serve_batch, ScheduledRequest, Scheduler, ServeRequest};
 use sqdm_edm::{
-    block_ids, sample, Denoiser, EdmSchedule, RunConfig, SamplerConfig, UNet, UNetConfig,
+    block_ids, sample, Denoiser, EdmSchedule, ModelRegistry, RegistryRequest, RegistryScheduler,
+    RunConfig, SamplerConfig, UNet, UNetConfig,
 };
 use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
 use sqdm_tensor::parallel::with_threads;
@@ -57,6 +58,8 @@ proptest! {
                         assignment: Some(&asg),
                         observer: None,
                         batched: false,
+                        packs: None,
+                        delta: None,
                     };
                     net.forward_batch(&x, &c_noise, &mut rc).unwrap()
                 });
@@ -72,6 +75,8 @@ proptest! {
                             assignment: Some(&asg),
                             observer: None,
                             batched: false,
+                            packs: None,
+                            delta: None,
                         };
                         net.forward(&sample, &c_noise[nn..nn + 1], &mut rc).unwrap()
                     });
@@ -105,9 +110,9 @@ proptest! {
         let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
         let den = Denoiser::new(EdmSchedule::default());
         let requests = [
-            ServeRequest { id: 0, seed: extra.wrapping_add(1), steps: s0 },
-            ServeRequest { id: 1, seed: extra.wrapping_add(2), steps: s1 },
-            ServeRequest { id: 2, seed: extra.wrapping_add(3), steps: s2 },
+            ServeRequest { id: 0, tenant: 0, seed: extra.wrapping_add(1), steps: s0 },
+            ServeRequest { id: 1, tenant: 0, seed: extra.wrapping_add(2), steps: s1 },
+            ServeRequest { id: 2, tenant: 0, seed: extra.wrapping_add(3), steps: s2 },
         ];
         for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
             let asg = int8_assignment(mode);
@@ -167,6 +172,7 @@ proptest! {
             .map(|i| ScheduledRequest::new(
                 ServeRequest {
                     id: i as u64,
+                    tenant: 0,
                     seed: extra.wrapping_add(i as u64 + 1),
                     steps: budgets[i],
                 },
@@ -212,6 +218,115 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    /// Multi-tenant registry serving holds the contract too: random
+    /// tenants, target models, arrival steps, and step budgets, two
+    /// resident models, in both execution modes and at every thread
+    /// count, every request's output is bitwise the solo `sample()` image
+    /// on its model — co-residency, tenancy, fair-share admission, and
+    /// pack-cache reuse never leak into a stream's arithmetic. The
+    /// fair-share admission order itself is deterministic: a re-run
+    /// reproduces every virtual-clock stat exactly.
+    #[test]
+    fn registry_multi_tenant_serving_equals_solo_sampling(
+        (net_seed, max_batch, spec, extra) in (
+            0u64..1 << 16,
+            1usize..3,
+            proptest::collection::vec(
+                (0usize..2, 0u32..3, 0usize..6, 2usize..5),
+                4,
+            ),
+            0u64..1 << 16,
+        )
+    ) {
+        let den = Denoiser::new(EdmSchedule::default());
+        let requests: Vec<RegistryRequest> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(model, tenant, arrival, steps))| {
+                RegistryRequest::new(
+                    model,
+                    ScheduledRequest::new(
+                        ServeRequest {
+                            id: i as u64,
+                            tenant,
+                            seed: extra.wrapping_add(i as u64 + 1),
+                            steps,
+                        },
+                        arrival,
+                    ),
+                )
+            })
+            .collect();
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            let asg = int8_assignment(mode);
+            // One registry per mode: its pack caches stay warm across the
+            // thread sweep, so this also pins that cached packs are
+            // thread-count-transparent.
+            let mut rng = Rng::seed_from(net_seed);
+            let net_a = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+            let net_b = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+            let mut registry = ModelRegistry::new();
+            registry.register("a", net_a, Some(asg.clone()), den);
+            registry.register("b", net_b, None, den);
+            let sched = RegistryScheduler::new(max_batch);
+            // Solo references on fresh, identically seeded models.
+            let mut rng = Rng::seed_from(net_seed);
+            let mut solo_a = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+            let mut solo_b = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+            let mut reference_stats: Option<Vec<_>> = None;
+            for t in THREADS {
+                let (served, stats) = with_threads(t, || {
+                    sched.run(&mut registry, &requests).unwrap()
+                });
+                for (req, out) in requests.iter().zip(&served) {
+                    prop_assert_eq!(req.scheduled.request.id, out.id);
+                    let single = with_threads(t, || {
+                        let mut r = Rng::seed_from(req.scheduled.request.seed);
+                        let (net, asg) = if req.model == 0 {
+                            (&mut solo_a, Some(&asg))
+                        } else {
+                            (&mut solo_b, None)
+                        };
+                        sample(
+                            net,
+                            &den,
+                            1,
+                            SamplerConfig { steps: req.scheduled.request.steps },
+                            asg,
+                            &mut r,
+                        )
+                        .unwrap()
+                    });
+                    prop_assert_eq!(
+                        bits(&out.image),
+                        bits(&single),
+                        "{:?} request {} (model {}, tenant {}) at {} threads",
+                        mode,
+                        req.scheduled.request.id,
+                        req.model,
+                        req.scheduled.request.tenant,
+                        t
+                    );
+                }
+                // Admission is a pure function of the request set: the
+                // virtual-clock stats are identical at every thread count
+                // and across runs.
+                let clocked: Vec<_> = stats
+                    .per_model
+                    .iter()
+                    .flat_map(|s| s.requests.iter().cloned())
+                    .collect();
+                match &reference_stats {
+                    None => reference_stats = Some(clocked),
+                    Some(reference) => prop_assert_eq!(reference, &clocked),
+                }
+            }
+        }
+    }
+}
+
 /// The full-precision (no assignment) path holds the same contract — and
 /// the batched flag is a no-op there, so this also pins that plain f32
 /// packing is per-sample transparent.
@@ -223,11 +338,13 @@ fn full_precision_serving_is_bitwise_transparent_across_threads() {
     let requests = [
         ServeRequest {
             id: 0,
+            tenant: 0,
             seed: 5,
             steps: 2,
         },
         ServeRequest {
             id: 1,
+            tenant: 0,
             seed: 6,
             steps: 4,
         },

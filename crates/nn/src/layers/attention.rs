@@ -7,7 +7,7 @@ use crate::init::xavier_uniform;
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
 use sqdm_tensor::ops::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, softmax_rows_backward};
-use sqdm_tensor::{Rng, Tensor};
+use sqdm_tensor::{arena, Rng, Tensor};
 
 /// Identifies one of the four attention projection matrices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,7 +75,7 @@ fn to_sc(x: &Tensor, n: usize) -> Result<Tensor> {
     let s = h * w;
     let xv = x.as_slice();
     let base = n * c * s;
-    let mut out = vec![0.0f32; s * c];
+    let mut out = arena::take_zeroed::<f32>(s * c);
     for ch in 0..c {
         for i in 0..s {
             out[i * c + ch] = xv[base + ch * s + i];

@@ -7,7 +7,7 @@
 use crate::error::{NnError, Result};
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
-use sqdm_tensor::Tensor;
+use sqdm_tensor::{arena, Tensor};
 
 /// Group normalization over `[N, C, H, W]` with per-channel affine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -74,9 +74,9 @@ impl GroupNorm {
         let xv = x.as_slice();
         let gamma = self.gamma.value.as_slice();
         let beta = self.beta.value.as_slice();
-        let mut out = vec![0.0f32; xv.len()];
-        let mut means = vec![0.0f32; n * self.groups];
-        let mut inv_stds = vec![0.0f32; n * self.groups];
+        let mut out = arena::take_zeroed::<f32>(xv.len());
+        let mut means = arena::take_zeroed::<f32>(n * self.groups);
+        let mut inv_stds = arena::take_zeroed::<f32>(n * self.groups);
 
         for nn in 0..n {
             for g in 0..self.groups {
@@ -104,6 +104,9 @@ impl GroupNorm {
                 mean: means,
                 inv_std: inv_stds,
             });
+        } else {
+            arena::recycle(means);
+            arena::recycle(inv_stds);
         }
         Ok(Tensor::from_vec(out, [n, c, h, w])?)
     }

@@ -2,7 +2,7 @@
 //! upsampling, the U-Net's encoder/decoder transitions.
 
 use crate::error::{NnError, Result};
-use sqdm_tensor::{Tensor, TensorError};
+use sqdm_tensor::{arena, Tensor, TensorError};
 
 /// 2× average pooling over `[N, C, H, W]` (H and W must be even).
 ///
@@ -19,7 +19,7 @@ pub fn avg_pool2(x: &Tensor) -> Result<Tensor> {
     }
     let (oh, ow) = (h / 2, w / 2);
     let xv = x.as_slice();
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut out = arena::take_zeroed::<f32>(n * c * oh * ow);
     for nc in 0..n * c {
         let src = &xv[nc * h * w..(nc + 1) * h * w];
         let dst = &mut out[nc * oh * ow..(nc + 1) * oh * ow];
@@ -46,7 +46,7 @@ pub fn avg_pool2_backward(grad_out: &Tensor) -> Result<Tensor> {
     let (n, c, oh, ow) = grad_out.shape().as_nchw()?;
     let (h, w) = (oh * 2, ow * 2);
     let gv = grad_out.as_slice();
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = arena::take_zeroed::<f32>(n * c * h * w);
     for nc in 0..n * c {
         let src = &gv[nc * oh * ow..(nc + 1) * oh * ow];
         let dst = &mut out[nc * h * w..(nc + 1) * h * w];
@@ -72,7 +72,7 @@ pub fn upsample_nearest2(x: &Tensor) -> Result<Tensor> {
     let (n, c, h, w) = x.shape().as_nchw()?;
     let (oh, ow) = (h * 2, w * 2);
     let xv = x.as_slice();
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut out = arena::take_zeroed::<f32>(n * c * oh * ow);
     for nc in 0..n * c {
         let src = &xv[nc * h * w..(nc + 1) * h * w];
         let dst = &mut out[nc * oh * ow..(nc + 1) * oh * ow];
@@ -101,7 +101,7 @@ pub fn upsample_nearest2_backward(grad_out: &Tensor) -> Result<Tensor> {
     }
     let (h, w) = (oh / 2, ow / 2);
     let gv = grad_out.as_slice();
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = arena::take_zeroed::<f32>(n * c * h * w);
     for nc in 0..n * c {
         let src = &gv[nc * oh * ow..(nc + 1) * oh * ow];
         let dst = &mut out[nc * h * w..(nc + 1) * h * w];

@@ -32,9 +32,11 @@ pub mod init;
 pub mod layers;
 pub mod native;
 pub mod optim;
+mod packs;
 mod param;
 mod quantized;
 
 pub use error::{NnError, Result};
+pub use packs::PackCache;
 pub use param::Param;
 pub use quantized::QuantExecutor;

@@ -28,9 +28,11 @@
 use crate::error::Result;
 use crate::layers::{Conv2d, Linear};
 use sqdm_quant::{BlockPrecision, ChannelLayout, Granularity, QuantFormat, QuantizedTensor};
+use sqdm_tensor::arena;
 use sqdm_tensor::ops::int::{
-    conv2d_i8, conv2d_i8_multi, qgemm, qgemm_multi, qgemm_packed, transpose_i8,
-    PackedQuantizedMatrix, QuantizedMatrix, XQuant,
+    conv2d_i8_multi, conv2d_i8_packed_delta_multi, conv2d_i8_packed_multi, qgemm, qgemm_multi,
+    qgemm_packed, qgemm_packed_multi, transpose_i8, ConvDeltaState, PackedQuantizedMatrix,
+    QuantizedMatrix, XQuant,
 };
 use sqdm_tensor::ops::transpose;
 use sqdm_tensor::Tensor;
@@ -45,15 +47,17 @@ pub fn supports(p: &BlockPrecision) -> bool {
 /// Quantizes an activation tensor to per-tensor i8 codes.
 ///
 /// The format's grid and scale encoding are honored; its granularity is
-/// coerced to per-tensor (see the module contract).
+/// coerced to per-tensor (see the module contract). Encodes straight into
+/// a pooled `Vec<i8>` — bitwise identical to the `QuantizedTensor`
+/// per-tensor path (same abs-max scale, same grid rounding), but with no
+/// i16 intermediate, so the serving hot loop stays allocation-free once
+/// the arena is warm.
 fn quantize_activation(x: &Tensor, fmt: QuantFormat) -> Result<(Vec<i8>, XQuant)> {
-    let pt = QuantFormat {
-        granularity: Granularity::PerTensor,
-        ..fmt
-    };
-    let q = QuantizedTensor::quantize(x, pt, ChannelLayout { axis: 0 })?;
-    let codes = q.codes().iter().map(|&c| c as i8).collect();
-    Ok((codes, XQuant::symmetric(q.scales()[0])))
+    let raw = x.abs_max() / fmt.grid.qmax() as f32;
+    let s = fmt.scale_encoding.encode(raw);
+    let mut codes = arena::take::<i8>(x.len());
+    codes.extend(x.as_slice().iter().map(|&v| fmt.grid.encode(v, s) as i8));
+    Ok((codes, XQuant::symmetric(s)))
 }
 
 /// Quantizes a weight tensor (channel axis 0) into the GEMM operand:
@@ -94,7 +98,9 @@ pub fn conv_forward(conv: &Conv2d, x: &Tensor, p: &BlockPrecision) -> Result<Ten
     let wq = quantize_weight(&conv.weight.value, wfmt)?;
     let kh = conv.weight.value.dims()[2];
     let kw = conv.weight.value.dims()[3];
-    Ok(conv2d_i8(
+    let mut xqs = arena::take::<XQuant>(n);
+    xqs.resize(n, xq);
+    let y = conv2d_i8_multi(
         &xcodes,
         n,
         c,
@@ -105,8 +111,109 @@ pub fn conv_forward(conv: &Conv2d, x: &Tensor, p: &BlockPrecision) -> Result<Ten
         kw,
         Some(conv.bias.value.as_slice()),
         conv.geometry(),
-        xq,
-    )?)
+        &xqs,
+    )?;
+    arena::recycle(xqs);
+    arena::recycle(xcodes);
+    Ok(y)
+}
+
+/// [`conv_forward`] on a cached [`PreparedWeight`]: the weight
+/// quantization and kernel pack are reused across calls instead of
+/// rebuilt. Bitwise identical to [`conv_forward`] under the prepared
+/// weight's precision.
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn conv_forward_prepared(conv: &Conv2d, x: &Tensor, pw: &PreparedWeight) -> Result<Tensor> {
+    let (n, c, h, w) = x.shape().as_nchw()?;
+    let (xcodes, xq) = quantize_activation(x, pw.afmt)?;
+    let kh = conv.weight.value.dims()[2];
+    let kw = conv.weight.value.dims()[3];
+    let mut xqs = arena::take::<XQuant>(n);
+    xqs.resize(n, xq);
+    let y = conv2d_i8_packed_multi(
+        &pw.wq,
+        &xcodes,
+        n,
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        Some(conv.bias.value.as_slice()),
+        conv.geometry(),
+        &xqs,
+    )?;
+    arena::recycle(xqs);
+    arena::recycle(xcodes);
+    Ok(y)
+}
+
+/// [`conv_forward_prepared`] through the temporal-delta kernel: only
+/// reduction rows whose input codes changed since the previous call are
+/// recomputed (see `sqdm_tensor::ops::int::conv2d_i8_packed_delta_multi`).
+///
+/// `changed_channels` holds one flag per `(batch-element, input-channel)`
+/// and is unioned with the exact code difference inside the kernel, so an
+/// under-reporting change mask cannot corrupt the result. The first call
+/// through a fresh [`ConvDeltaState`], and any call whose activation
+/// scale or geometry differs from the carried step, runs dense.
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn conv_forward_delta_prepared(
+    conv: &Conv2d,
+    x: &Tensor,
+    pw: &PreparedWeight,
+    changed_channels: &[bool],
+    state: &mut ConvDeltaState,
+    dense_threshold: f32,
+) -> Result<Tensor> {
+    let (n, c, h, w) = x.shape().as_nchw()?;
+    // Sticky static-calibration grid: while the activation range stays
+    // within [scale/2, scale] of the carried step's grid, re-quantize on
+    // that same grid — consecutive steps then share one scale, the
+    // code-space delta is meaningful, and the sparse carry engages. When
+    // the range grows past the carried scale (would clip) or shrinks by
+    // more than 2× (would waste a precision bit), re-calibrate fresh,
+    // which forces one dense refresh inside the kernel.
+    let raw = x.abs_max() / pw.afmt.grid.qmax() as f32;
+    let xq = match state.carried_xq() {
+        Some(prev) if prev.zero_point == 0 && raw <= prev.scale && prev.scale <= 2.0 * raw => prev,
+        _ => XQuant::symmetric(pw.afmt.scale_encoding.encode(raw)),
+    };
+    let mut xcodes = arena::take::<i8>(x.len());
+    xcodes.extend(
+        x.as_slice()
+            .iter()
+            .map(|&v| pw.afmt.grid.encode(v, xq.scale) as i8),
+    );
+    let kh = conv.weight.value.dims()[2];
+    let kw = conv.weight.value.dims()[3];
+    let mut xqs = arena::take::<XQuant>(n);
+    xqs.resize(n, xq);
+    let y = conv2d_i8_packed_delta_multi(
+        &pw.wq,
+        &xcodes,
+        n,
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        Some(conv.bias.value.as_slice()),
+        conv.geometry(),
+        &xqs,
+        changed_channels,
+        state,
+        dense_threshold,
+    )?;
+    arena::recycle(xqs);
+    arena::recycle(xcodes);
+    Ok(y)
 }
 
 /// Runs a convolution on the integer engine with **per-request**
@@ -129,18 +236,11 @@ pub fn conv_forward_batch(conv: &Conv2d, x: &Tensor, p: &BlockPrecision) -> Resu
         p.activations.expect("supports"),
     );
     let (n, c, h, w) = x.shape().as_nchw()?;
-    let stride = c * h * w;
-    let mut codes = vec![0i8; x.len()];
-    let mut xqs = Vec::with_capacity(n);
-    for nn in 0..n {
-        let (sc, sq) = quantize_activation(&x.batch_sample(nn)?, afmt)?;
-        codes[nn * stride..(nn + 1) * stride].copy_from_slice(&sc);
-        xqs.push(sq);
-    }
+    let (codes, xqs) = quantize_activation_per_sample(x, n, c * h * w, afmt)?;
     let wq = quantize_weight(&conv.weight.value, wfmt)?;
     let kh = conv.weight.value.dims()[2];
     let kw = conv.weight.value.dims()[3];
-    Ok(conv2d_i8_multi(
+    let y = conv2d_i8_multi(
         &codes,
         n,
         c,
@@ -152,7 +252,65 @@ pub fn conv_forward_batch(conv: &Conv2d, x: &Tensor, p: &BlockPrecision) -> Resu
         Some(conv.bias.value.as_slice()),
         conv.geometry(),
         &xqs,
-    )?)
+    )?;
+    arena::recycle(codes);
+    arena::recycle(xqs);
+    Ok(y)
+}
+
+/// [`conv_forward_batch`] on a cached [`PreparedWeight`]: per-request
+/// activation grids, shared immutable weight pack. Bitwise identical to
+/// [`conv_forward_batch`] under the prepared weight's precision.
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn conv_forward_batch_prepared(
+    conv: &Conv2d,
+    x: &Tensor,
+    pw: &PreparedWeight,
+) -> Result<Tensor> {
+    let (n, c, h, w) = x.shape().as_nchw()?;
+    let (codes, xqs) = quantize_activation_per_sample(x, n, c * h * w, pw.afmt)?;
+    let kh = conv.weight.value.dims()[2];
+    let kw = conv.weight.value.dims()[3];
+    let y = conv2d_i8_packed_multi(
+        &pw.wq,
+        &codes,
+        n,
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        Some(conv.bias.value.as_slice()),
+        conv.geometry(),
+        &xqs,
+    )?;
+    arena::recycle(codes);
+    arena::recycle(xqs);
+    Ok(y)
+}
+
+/// Quantizes each sample of an `[N, ...]` batch independently (one
+/// per-tensor grid per sample), writing codes contiguously. Shared by the
+/// batched conv entries; scratch comes from the arena.
+fn quantize_activation_per_sample(
+    x: &Tensor,
+    n: usize,
+    stride: usize,
+    afmt: QuantFormat,
+) -> Result<(Vec<i8>, Vec<XQuant>)> {
+    let mut codes = arena::take_zeroed::<i8>(x.len());
+    let mut xqs = arena::take::<XQuant>(n);
+    for nn in 0..n {
+        let sample = x.batch_sample(nn)?;
+        let (sc, sq) = quantize_activation(&sample, afmt)?;
+        codes[nn * stride..(nn + 1) * stride].copy_from_slice(&sc);
+        arena::recycle(sc);
+        xqs.push(sq);
+    }
+    Ok((codes, xqs))
 }
 
 /// Runs a linear layer on the integer engine with **per-request** (per
@@ -170,32 +328,73 @@ pub fn linear_forward_batch(lin: &Linear, x: &Tensor, p: &BlockPrecision) -> Res
         p.weights.expect("supports"),
         p.activations.expect("supports"),
     );
+    let wq = quantize_weight(&lin.weight.value, wfmt)?;
+    linear_batch_core(lin, x, afmt, wq.rows(), &|xt, xqs, yt| {
+        qgemm_multi(&wq, xt, 1, xqs, yt)
+    })
+}
+
+/// [`linear_forward_batch`] on a cached [`PreparedWeight`]: per-request
+/// activation grids, shared immutable weight pack. Bitwise identical to
+/// [`linear_forward_batch`] under the prepared weight's precision.
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn linear_forward_batch_prepared(
+    lin: &Linear,
+    x: &Tensor,
+    pw: &PreparedWeight,
+) -> Result<Tensor> {
+    let rows = pw.wq.matrix().rows();
+    linear_batch_core(lin, x, pw.afmt, rows, &|xt, xqs, yt| {
+        qgemm_packed_multi(&pw.wq, xt, 1, xqs, yt)
+    })
+}
+
+/// GEMM stage of [`linear_batch_core`]: `(transposed codes, per-row
+/// quantization, product buffer)`.
+type LinearGemmStage<'a> = dyn Fn(&[i8], &[XQuant], &mut [f32]) -> sqdm_tensor::Result<()> + 'a;
+
+/// Shared body of the batched linear entries: per-row quantization into
+/// the transposed `[in, batch]` GEMM layout, the caller-supplied GEMM,
+/// transpose back, bias. Scratch comes from the arena.
+fn linear_batch_core(
+    lin: &Linear,
+    x: &Tensor,
+    afmt: QuantFormat,
+    out_features: usize,
+    gemm: &LinearGemmStage<'_>,
+) -> Result<Tensor> {
     let (b, f) = (x.dims()[0], x.dims()[1]);
     let xv = x.as_slice();
     // Quantize each request row with its own scale, writing the codes
     // straight into the transposed `[in, batch]` GEMM layout — request
     // `r` becomes column stripe `r` of width 1.
-    let mut xt = vec![0i8; xv.len()];
-    let mut xqs = Vec::with_capacity(b);
+    let mut xt = arena::take_zeroed::<i8>(xv.len());
+    let mut xqs = arena::take::<XQuant>(b);
     for r in 0..b {
-        let row = Tensor::from_vec(xv[r * f..(r + 1) * f].to_vec(), [1, f])?;
+        let mut row = arena::take::<f32>(f);
+        row.extend_from_slice(&xv[r * f..(r + 1) * f]);
+        let row = Tensor::from_vec(row, [1, f])?;
         let (rc, rq) = quantize_activation(&row, afmt)?;
         for (ff, &code) in rc.iter().enumerate() {
             xt[ff * b + r] = code;
         }
+        arena::recycle(rc);
         xqs.push(rq);
     }
-    let wq = quantize_weight(&lin.weight.value, wfmt)?;
-    let mut yt = vec![0.0f32; wq.rows() * b];
-    qgemm_multi(&wq, &xt, 1, &xqs, &mut yt)?;
-    let yt = Tensor::from_vec(yt, [wq.rows(), b])?;
+    let mut yt = arena::take_zeroed::<f32>(out_features * b);
+    gemm(&xt, &xqs, &mut yt)?;
+    arena::recycle(xt);
+    arena::recycle(xqs);
+    let yt = Tensor::from_vec(yt, [out_features, b])?;
     let mut y = transpose(&yt)?;
-    let o = wq.rows();
     let bias = lin.bias.value.as_slice();
     let yv = y.as_mut_slice();
     for bi in 0..b {
-        for j in 0..o {
-            yv[bi * o + j] += bias[j];
+        for j in 0..out_features {
+            yv[bi * out_features + j] += bias[j];
         }
     }
     Ok(y)
@@ -211,8 +410,9 @@ fn project_codes(
     xq: XQuant,
 ) -> Result<Tensor> {
     let xt = transpose_i8(xcodes, batch, in_features)?;
-    let mut yt = vec![0.0f32; wq.rows() * batch];
+    let mut yt = arena::take_zeroed::<f32>(wq.rows() * batch);
     qgemm(wq, &xt, batch, xq, &mut yt)?;
+    arena::recycle(xt);
     let yt = Tensor::from_vec(yt, [wq.rows(), batch])?;
     Ok(transpose(&yt)?)
 }
@@ -232,6 +432,29 @@ pub fn linear_forward(lin: &Linear, x: &Tensor, p: &BlockPrecision) -> Result<Te
     let wq = quantize_weight(&lin.weight.value, wfmt)?;
     let (b, i) = (x.dims()[0], x.dims()[1]);
     let mut y = project_codes(&wq, &xcodes, b, i, xq)?;
+    arena::recycle(xcodes);
+    let o = y.dims()[1];
+    let bias = lin.bias.value.as_slice();
+    let yv = y.as_mut_slice();
+    for bi in 0..b {
+        for j in 0..o {
+            yv[bi * o + j] += bias[j];
+        }
+    }
+    Ok(y)
+}
+
+/// [`linear_forward`] on a cached [`PreparedWeight`]: the weight
+/// quantization and kernel pack are reused across calls. Bitwise
+/// identical to [`linear_forward`] under the prepared weight's precision
+/// (the packed and unpacked GEMMs agree bit for bit).
+///
+/// # Errors
+///
+/// Propagates quantizer layout errors and kernel shape errors.
+pub fn linear_forward_prepared(lin: &Linear, x: &Tensor, pw: &PreparedWeight) -> Result<Tensor> {
+    let b = x.dims()[0];
+    let mut y = pw.project(x)?;
     let o = y.dims()[1];
     let bias = lin.bias.value.as_slice();
     let yv = y.as_mut_slice();
@@ -277,8 +500,10 @@ impl PreparedWeight {
     /// Propagates quantizer layout errors.
     pub fn prepare_input(&self, x: &Tensor) -> Result<QuantizedActivation> {
         let (codes, xq) = quantize_activation(x, self.afmt)?;
+        let xt = transpose_i8(&codes, x.dims()[0], x.dims()[1])?;
+        arena::recycle(codes);
         Ok(QuantizedActivation {
-            xt: transpose_i8(&codes, x.dims()[0], x.dims()[1])?,
+            xt,
             batch: x.dims()[0],
             xq,
         })
@@ -291,10 +516,20 @@ impl PreparedWeight {
     /// Propagates kernel shape errors.
     pub fn project_prepared(&self, qa: &QuantizedActivation) -> Result<Tensor> {
         let rows = self.wq.matrix().rows();
-        let mut yt = vec![0.0f32; rows * qa.batch];
+        let mut yt = arena::take_zeroed::<f32>(rows * qa.batch);
         qgemm_packed(&self.wq, &qa.xt, qa.batch, qa.xq, &mut yt)?;
         let yt = Tensor::from_vec(yt, [rows, qa.batch])?;
         Ok(transpose(&yt)?)
+    }
+
+    /// The cache-blocked weight pack backing this prepared weight.
+    pub fn pack(&self) -> &PackedQuantizedMatrix {
+        &self.wq
+    }
+
+    /// The activation format inputs are quantized under.
+    pub fn activation_format(&self) -> QuantFormat {
+        self.afmt
     }
 
     /// Runs the bias-free projection `x Wᵀ` (`x` `[S, C]`) on the integer
@@ -317,6 +552,12 @@ pub struct QuantizedActivation {
     /// Number of input rows `S`.
     batch: usize,
     xq: XQuant,
+}
+
+impl Drop for QuantizedActivation {
+    fn drop(&mut self) {
+        arena::recycle(std::mem::take(&mut self.xt));
+    }
 }
 
 #[cfg(test)]

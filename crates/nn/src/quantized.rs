@@ -12,10 +12,13 @@
 use crate::error::Result;
 use crate::layers::{AttnProjection, Conv2d, Linear, SelfAttention2d};
 use crate::native;
+use crate::packs::PackCache;
 use serde::{Deserialize, Serialize};
 use sqdm_quant::{fake_quant, BlockPrecision, ChannelLayout, ExecMode, Granularity, QuantFormat};
+use sqdm_tensor::ops::int::ConvDeltaState;
 use sqdm_tensor::ops::matmul_a_bt;
 use sqdm_tensor::Tensor;
+use std::sync::Arc;
 
 /// Adapts a format for *activation* quantization.
 ///
@@ -245,6 +248,79 @@ impl QuantExecutor {
         conv.forward_with_weight(&xq, &wq)
     }
 
+    /// [`QuantExecutor::conv_forward`] with a weight-pack cache: the
+    /// weight's quantization artifact (integer pack or fake-quant tensor)
+    /// is fetched from `packs` instead of rebuilt every call. `None` falls
+    /// back to the uncached path. Bitwise identical to the uncached
+    /// forward in both execution modes — the cached artifact is exactly
+    /// what the uncached path would have built.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and convolution errors.
+    pub fn conv_forward_cached(
+        &self,
+        conv: &Conv2d,
+        x: &Tensor,
+        packs: Option<&PackCache>,
+    ) -> Result<Tensor> {
+        let Some(cache) = packs else {
+            return self.conv_forward(conv, x);
+        };
+        if self.native() {
+            let pw = cache.native_pack(&conv.weight.value, &self.precision)?;
+            return if self.batched {
+                native::conv_forward_batch_prepared(conv, x, &pw)
+            } else {
+                native::conv_forward_prepared(conv, x, &pw)
+            };
+        }
+        let wq = cache.fake_weight(&conv.weight.value, || self.quant_weight(&conv.weight.value))?;
+        let xq = if self.batched {
+            self.quant_activation_per_sample(x)?
+        } else {
+            self.quant_activation(x)?
+        };
+        conv.forward_with_weight(&xq, &wq)
+    }
+
+    /// [`QuantExecutor::conv_forward_cached`] through the temporal-delta
+    /// kernel: on the integer engine, only reduction rows whose input
+    /// codes changed since the previous call through `state` are
+    /// recomputed. `changed_channels` (one flag per `(batch-element,
+    /// input-channel)`) is unioned with the exact code difference inside
+    /// the kernel, so an under-reporting change mask cannot corrupt the
+    /// result — it only costs speed.
+    ///
+    /// The fake-quant, full-precision and batched (per-sample
+    /// quantization) paths have no delta kernel and execute the plain
+    /// cached forward, ignoring the mask and state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and convolution errors.
+    pub fn conv_forward_delta_cached(
+        &self,
+        conv: &Conv2d,
+        x: &Tensor,
+        packs: Option<&PackCache>,
+        changed_channels: &[bool],
+        state: &mut ConvDeltaState,
+        dense_threshold: f32,
+    ) -> Result<Tensor> {
+        if !self.native() || self.batched {
+            return self.conv_forward_cached(conv, x, packs);
+        }
+        let pw = match packs {
+            Some(cache) => cache.native_pack(&conv.weight.value, &self.precision)?,
+            None => Arc::new(native::PreparedWeight::new(
+                &conv.weight.value,
+                &self.precision,
+            )?),
+        };
+        native::conv_forward_delta_prepared(conv, x, &pw, changed_channels, state, dense_threshold)
+    }
+
     /// Runs a linear layer under this executor's mode: fake-quantized, or
     /// natively on the integer engine when the precision supports it.
     ///
@@ -283,6 +359,38 @@ impl QuantExecutor {
         lin.forward_with_weight(&xq, &wq)
     }
 
+    /// [`QuantExecutor::linear_forward`] with a weight-pack cache; see
+    /// [`QuantExecutor::conv_forward_cached`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and matmul errors.
+    pub fn linear_forward_cached(
+        &self,
+        lin: &Linear,
+        x: &Tensor,
+        packs: Option<&PackCache>,
+    ) -> Result<Tensor> {
+        let Some(cache) = packs else {
+            return self.linear_forward(lin, x);
+        };
+        if self.native() {
+            let pw = cache.native_pack(&lin.weight.value, &self.precision)?;
+            return if self.batched {
+                native::linear_forward_batch_prepared(lin, x, &pw)
+            } else {
+                native::linear_forward_prepared(lin, x, &pw)
+            };
+        }
+        let wq = cache.fake_weight(&lin.weight.value, || self.quant_weight(&lin.weight.value))?;
+        let xq = if self.batched {
+            self.quant_activation_2d_per_row(x)?
+        } else {
+            self.quant_activation_2d(x)?
+        };
+        lin.forward_with_weight(&xq, &wq)
+    }
+
     /// Runs a self-attention block with quantized q/k/v/out projections
     /// (the attention math itself — scores, softmax, the value mix — stays
     /// in f32, as on real accelerators where only the projections are
@@ -302,17 +410,42 @@ impl QuantExecutor {
     ///
     /// Propagates quantizer and matmul errors.
     pub fn attention_forward(&self, attn: &SelfAttention2d, x: &Tensor) -> Result<Tensor> {
+        self.attention_forward_cached(attn, x, None)
+    }
+
+    /// [`QuantExecutor::attention_forward`] with a weight-pack cache: the
+    /// four projection weights' quantization artifacts are fetched from
+    /// `packs` instead of rebuilt on every forward — the projections are
+    /// the hottest repack in the model, four prepared weights per
+    /// attention call. `None` builds them locally (once per call, shared
+    /// across the batch). Bitwise identical to the uncached forward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and matmul errors.
+    pub fn attention_forward_cached(
+        &self,
+        attn: &SelfAttention2d,
+        x: &Tensor,
+        packs: Option<&PackCache>,
+    ) -> Result<Tensor> {
         // Quantize each projection weight once per forward (the projector
-        // runs once per batch element per projection), and each input
-        // once: per batch element the projector is called in Q, K, V,
-        // Output order with Q/K/V sharing one input, so the input is
-        // quantized at Query and reused for Key/Value; Output consumes a
-        // different tensor and quantizes fresh.
+        // runs once per batch element per projection) — or fetch it from
+        // the cache — and each input once: per batch element the projector
+        // is called in Q, K, V, Output order with Q/K/V sharing one input,
+        // so the input is quantized at Query and reused for Key/Value;
+        // Output consumes a different tensor and quantizes fresh.
         if self.native() {
-            let prepared = AttnProjection::ALL
-                .iter()
-                .map(|&w| native::PreparedWeight::new(attn.projection_weight(w), &self.precision))
-                .collect::<Result<Vec<_>>>()?;
+            // A fixed array (not a `Vec`) so the steady-state serving loop
+            // makes zero heap allocations per attention call.
+            let prep = |w: AttnProjection| match packs {
+                Some(cache) => cache.native_pack(attn.projection_weight(w), &self.precision),
+                None => native::PreparedWeight::new(attn.projection_weight(w), &self.precision)
+                    .map(Arc::new),
+            };
+            let [q, k, v, o] = AttnProjection::ALL;
+            let prepared: [Arc<native::PreparedWeight>; 4] =
+                [prep(q)?, prep(k)?, prep(v)?, prep(o)?];
             let mut qkv_input: Option<native::QuantizedActivation> = None;
             return attn.forward_with_projector(x, &mut |xs, which| {
                 let pw = &prepared[which.index()];
@@ -330,10 +463,14 @@ impl QuantExecutor {
                 }
             });
         }
-        let quantized = AttnProjection::ALL
-            .iter()
-            .map(|&w| self.quant_weight(attn.projection_weight(w)))
-            .collect::<Result<Vec<_>>>()?;
+        let quant = |w: AttnProjection| match packs {
+            Some(cache) => cache.fake_weight(attn.projection_weight(w), || {
+                self.quant_weight(attn.projection_weight(w))
+            }),
+            None => self.quant_weight(attn.projection_weight(w)).map(Arc::new),
+        };
+        let [q, k, v, o] = AttnProjection::ALL;
+        let quantized: [Arc<Tensor>; 4] = [quant(q)?, quant(k)?, quant(v)?, quant(o)?];
         let mut qkv_input: Option<Tensor> = None;
         attn.forward_with_projector(x, &mut |xs, which| {
             let xq = match which {
@@ -529,6 +666,47 @@ mod tests {
         let shared = exec.conv_forward(&conv, &x).unwrap();
         let per_request = exec.with_batched(true).conv_forward(&conv, &x).unwrap();
         assert!(shared.mse(&per_request).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn cached_forwards_build_packs_once_and_match_uncached_bitwise() {
+        use crate::layers::SelfAttention2d;
+        use crate::PackCache;
+        use sqdm_quant::ExecMode;
+        let mut rng = Rng::seed_from(31);
+        let mut conv = Conv2d::new(3, 4, 3, Conv2dGeometry::same(3), &mut rng);
+        conv.bias.value = Tensor::randn([4], &mut rng);
+        let mut lin = Linear::new(12, 5, &mut rng);
+        lin.bias.value = Tensor::randn([5], &mut rng);
+        let attn = SelfAttention2d::new(8, &mut rng);
+        let xc = Tensor::randn([2, 3, 6, 6], &mut rng);
+        let xl = Tensor::randn([3, 12], &mut rng);
+        let xa = Tensor::randn([2, 8, 4, 4], &mut rng);
+        for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+            for batched in [false, true] {
+                let exec = QuantExecutor::new(BlockPrecision::uniform(QuantFormat::int8()))
+                    .with_mode(mode)
+                    .with_batched(batched);
+                let cache = PackCache::new();
+                for round in 0..3 {
+                    let c = exec.conv_forward_cached(&conv, &xc, Some(&cache)).unwrap();
+                    let l = exec.linear_forward_cached(&lin, &xl, Some(&cache)).unwrap();
+                    let a = exec
+                        .attention_forward_cached(&attn, &xa, Some(&cache))
+                        .unwrap();
+                    assert_eq!(c, exec.conv_forward(&conv, &xc).unwrap(), "{mode:?} conv");
+                    assert_eq!(l, exec.linear_forward(&lin, &xl).unwrap(), "{mode:?} lin");
+                    assert_eq!(
+                        a,
+                        exec.attention_forward(&attn, &xa).unwrap(),
+                        "{mode:?} attn"
+                    );
+                    // conv + linear + q/k/v/out: exactly 6 packs, built on
+                    // round 0 and never again.
+                    assert_eq!(cache.builds(), 6, "{mode:?} round {round}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Thread-local buffer pools for the zero-allocation steady state.
+//!
+//! Serving the same model over many denoise rounds allocates and frees the
+//! same activation and scratch buffers over and over. This module provides a
+//! per-thread *activation arena*: capacity-bucketed pools of `Vec<T>` that
+//! hot paths draw from instead of the global allocator. Pooling is opt-in —
+//! outside an [`scope`] every call degrades to a plain `Vec` allocation (or
+//! drop), so nothing changes for one-shot callers.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Bitwise transparency.** A pooled buffer is always returned either
+//!    empty ([`take`]) or fully overwritten with `T::default()`
+//!    ([`take_zeroed`], a `memset` — bit-identical to a fresh zeroed
+//!    allocation for every pooled element type). No stale data can leak into
+//!    results, so pooling can never change numerics.
+//! 2. **Steady-state allocation freedom.** Buckets are keyed by capacity in
+//!    a `BTreeMap` and *never removed*: once the working set of shape
+//!    classes has been seen, `take`/`recycle` are map lookups plus a
+//!    `Vec::pop`/`push` into retained storage — no allocator traffic.
+//! 3. **Thread locality.** Pools are `thread_local!`, so no locks and no
+//!    cross-thread reuse. Worker-pool threads see their own (initially
+//!    empty, scope-disabled) pools; the zero-allocation guarantee is
+//!    measured on the scheduler thread with `SQDM_THREADS=1`, where the
+//!    parallel runtime stays on the inline no-alloc path.
+//!
+//! The pool is deliberately *not* implemented as a global allocator wrapper:
+//! the allocation-counting harness in `sqdm-bench` counts real allocator
+//! calls, and an allocator-level cache would game that metric instead of
+//! eliminating the work.
+
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+
+/// Marker bound for element types the arena can pool.
+///
+/// `Copy` guarantees clearing a buffer never runs user drop code, so
+/// recycling is a length reset.
+pub trait Poolable: Copy + 'static {}
+
+impl<T: Copy + 'static> Poolable for T {}
+
+/// One element type's pool: buffers bucketed by capacity. Buckets are kept
+/// (empty) after their last buffer is taken so steady-state traffic never
+/// touches `BTreeMap` node allocation.
+struct TypedPool<T> {
+    buckets: BTreeMap<usize, Vec<Vec<T>>>,
+}
+
+thread_local! {
+    /// Re-entrant enable counter: pooling is active while > 0.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Per-element-type pools, retained for the life of the thread.
+    static POOLS: RefCell<HashMap<TypeId, Box<dyn Any>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Returns `true` if the calling thread is inside an arena [`scope`].
+pub fn enabled() -> bool {
+    DEPTH.with(|d| d.get() > 0)
+}
+
+/// Runs `f` with the calling thread's arena enabled.
+///
+/// Scopes nest; pooled buffers survive across scopes (the pool is emptied
+/// only when the thread exits), so a warmup scope populates the buckets
+/// later scopes hit. On panic the enable counter is restored, so a caught
+/// panic cannot leave pooling stuck on.
+pub fn scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = Guard;
+    f()
+}
+
+fn with_pool<T: Poolable, R>(f: impl FnOnce(&mut TypedPool<T>) -> R) -> R {
+    POOLS.with(|pools| {
+        let mut pools = pools.borrow_mut();
+        let pool = pools
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| {
+                Box::new(TypedPool::<T> {
+                    buckets: BTreeMap::new(),
+                })
+            })
+            .downcast_mut::<TypedPool<T>>()
+            .expect("arena pool registered under a foreign TypeId");
+        f(pool)
+    })
+}
+
+/// Takes an empty buffer with `capacity() >= cap` from the pool (smallest
+/// sufficient bucket wins), or allocates one when the pool is disabled or
+/// has no fit.
+pub fn take<T: Poolable>(cap: usize) -> Vec<T> {
+    if !enabled() {
+        return Vec::with_capacity(cap);
+    }
+    with_pool::<T, _>(|pool| {
+        for vecs in pool.buckets.range_mut(cap..).map(|(_, v)| v) {
+            if let Some(buf) = vecs.pop() {
+                debug_assert!(buf.is_empty() && buf.capacity() >= cap);
+                return buf;
+            }
+        }
+        Vec::with_capacity(cap)
+    })
+}
+
+/// Takes a buffer of exactly `len` elements, all set to `T::default()`.
+///
+/// Bitwise identical to `vec![T::default(); len]` for `Copy` element types:
+/// the buffer is cleared and then extended with the default value, so no
+/// previous contents survive.
+pub fn take_zeroed<T: Poolable + Default>(len: usize) -> Vec<T> {
+    let mut buf = take::<T>(len);
+    buf.resize(len, T::default());
+    buf
+}
+
+/// Returns a buffer to the calling thread's pool.
+///
+/// Outside a [`scope`] (or for zero-capacity buffers) this is an ordinary
+/// drop. Contents are discarded; only the capacity is retained.
+pub fn recycle<T: Poolable>(mut buf: Vec<T>) {
+    if buf.capacity() == 0 || !enabled() {
+        return;
+    }
+    buf.clear();
+    with_pool::<T, _>(|pool| {
+        pool.buckets.entry(buf.capacity()).or_default().push(buf);
+    });
+}
+
+/// Number of buffers currently parked in the calling thread's pool for
+/// element type `T`. Test/diagnostic hook.
+pub fn pooled_buffers<T: Poolable>() -> usize {
+    with_pool::<T, _>(|pool| pool.buckets.values().map(Vec::len).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_arena_is_plain_allocation() {
+        assert!(!enabled());
+        let v = take::<f32>(16);
+        assert!(v.capacity() >= 16 && v.is_empty());
+        recycle(v);
+        // Nothing was parked: recycling outside a scope drops the buffer.
+        assert_eq!(pooled_buffers::<f32>(), 0);
+    }
+
+    #[test]
+    fn scoped_take_recycle_reuses_storage() {
+        scope(|| {
+            let mut v = take::<f32>(32);
+            v.extend_from_slice(&[1.0; 32]);
+            let cap = v.capacity();
+            let ptr = v.as_ptr();
+            recycle(v);
+            assert_eq!(pooled_buffers::<f32>(), 1);
+
+            // Same capacity class comes back with identical storage, empty.
+            let w = take::<f32>(32);
+            assert_eq!(w.capacity(), cap);
+            assert_eq!(w.as_ptr(), ptr);
+            assert!(w.is_empty());
+            recycle(w);
+        });
+    }
+
+    #[test]
+    fn take_zeroed_never_leaks_stale_contents() {
+        scope(|| {
+            let mut v = take::<f32>(8);
+            v.extend_from_slice(&[7.0; 8]);
+            recycle(v);
+            let z = take_zeroed::<f32>(8);
+            assert_eq!(z, vec![0.0f32; 8]);
+            assert_eq!(z.iter().map(|x| x.to_bits()).sum::<u32>(), 0);
+            recycle(z);
+        });
+    }
+
+    #[test]
+    fn smallest_sufficient_bucket_wins() {
+        scope(|| {
+            recycle::<i8>(Vec::with_capacity(64));
+            recycle::<i8>(Vec::with_capacity(16));
+            let v = take::<i8>(10);
+            assert_eq!(v.capacity(), 16, "should prefer the tighter bucket");
+            let w = take::<i8>(10);
+            assert_eq!(w.capacity(), 64, "falls through to the next bucket");
+            recycle(v);
+            recycle(w);
+        });
+    }
+
+    #[test]
+    fn scopes_nest_and_unwind() {
+        scope(|| {
+            assert!(enabled());
+            scope(|| assert!(enabled()));
+            assert!(enabled());
+        });
+        assert!(!enabled());
+    }
+}

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod error;
 pub mod ops;
 pub mod parallel;

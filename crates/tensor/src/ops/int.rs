@@ -78,6 +78,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::arena;
 use crate::error::{Result, TensorError};
 use crate::ops::{blocking, Conv2dGeometry};
 use crate::parallel;
@@ -315,7 +316,7 @@ fn block_spans(k: usize, block_len: usize) -> (Vec<usize>, usize) {
     } else {
         k.div_ceil(block_len.max(1))
     };
-    let mut starts = Vec::with_capacity(nb + 1);
+    let mut starts = arena::take::<usize>(nb + 1);
     starts.push(0usize);
     let mut off = 0usize;
     for b in 0..nb {
@@ -329,7 +330,7 @@ fn block_spans(k: usize, block_len: usize) -> (Vec<usize>, usize) {
 /// Widens weight codes into the padded i16 layout; pad lanes stay zero,
 /// which keeps every padded dot product exact (`0 · x = 0` in i32).
 fn pack_weight_codes(w: &QuantizedMatrix, starts: &[usize], pk: usize) -> Vec<i16> {
-    let mut packed = vec![0i16; w.rows * pk];
+    let mut packed = arena::take_zeroed::<i16>(w.rows * pk);
     if packed.is_empty() {
         return packed;
     }
@@ -360,7 +361,7 @@ fn pack_xt(
     pk: usize,
 ) -> Vec<i16> {
     let n = stripe * xqs.len();
-    let mut xt = vec![0i16; n * pk];
+    let mut xt = arena::take_zeroed::<i16>(n * pk);
     if xt.is_empty() {
         return xt;
     }
@@ -394,7 +395,7 @@ fn pack_delta_xt(
     pk: usize,
 ) -> Vec<i16> {
     let n = stripe * streams;
-    let mut dt = vec![0i16; n * pk];
+    let mut dt = arena::take_zeroed::<i16>(n * pk);
     if dt.is_empty() {
         return dt;
     }
@@ -417,9 +418,12 @@ fn pack_delta_xt(
 /// Per-column activation scales: `xqs[j / stripe].scale` replicated, so
 /// the kernel epilogue needs no division in its hot path.
 fn stream_scales(stripe: usize, xqs: &[XQuant]) -> Vec<f32> {
-    xqs.iter()
-        .flat_map(|q| std::iter::repeat_n(q.scale, stripe))
-        .collect()
+    let mut scales = arena::take::<f32>(stripe * xqs.len());
+    scales.extend(
+        xqs.iter()
+            .flat_map(|q| std::iter::repeat_n(q.scale, stripe)),
+    );
+    scales
 }
 
 /// Single-stream packed dot product, shaped so LLVM autovectorizes it to
@@ -783,6 +787,8 @@ pub fn qgemm_multi(
     let (starts, pk) = block_spans(w.cols, w.block_len);
     let packed = pack_weight_codes(w, &starts, pk);
     qgemm_packed_run(w, &packed, &starts, x_codes, stripe, xqs, out);
+    arena::recycle(packed);
+    arena::recycle(starts);
     Ok(())
 }
 
@@ -858,6 +864,8 @@ fn qgemm_packed_run(
         panel * blocking::gemm_task_work(pk.max(w.cols), n),
         |p, chunk| run_dense_panel(use_avx2, &ctx, p * panel, chunk),
     );
+    arena::recycle(xt);
+    arena::recycle(xscale);
 }
 
 /// Changed fraction the delta dispatch compares against the density
@@ -1013,6 +1021,8 @@ pub fn qgemm_delta_multi_with_threshold(
         qgemm_delta_packed_run(
             w, &packed, &starts, x_curr, x_prev, changed, stripe, xqs, prev_out, out,
         );
+        arena::recycle(packed);
+        arena::recycle(starts);
     } else {
         qgemm_delta_sparse_run(w, x_curr, x_prev, changed, stripe, xqs, prev_out, out);
     }
@@ -1037,6 +1047,40 @@ pub fn qgemm_delta_packed_multi(
     prev_out: &[f32],
     out: &mut [f32],
 ) -> Result<()> {
+    qgemm_delta_packed_multi_with_threshold(
+        pw,
+        x_curr,
+        x_prev,
+        changed,
+        stripe,
+        xqs,
+        prev_out,
+        out,
+        DELTA_DENSE_THRESHOLD,
+    )
+}
+
+/// [`qgemm_delta_packed_multi`] with an explicit density threshold, for
+/// tests and calibration sweeps: `dense_threshold <= 0.0` forces the
+/// packed dense fallback, `dense_threshold > 1.0` forces the
+/// row-skipping sparse path. Both paths are bitwise identical; the
+/// threshold only moves the crossover.
+///
+/// # Errors
+///
+/// Same conditions as [`qgemm_delta_multi`].
+#[allow(clippy::too_many_arguments)] // GEMM geometry + two steps of state
+pub fn qgemm_delta_packed_multi_with_threshold(
+    pw: &PackedQuantizedMatrix,
+    x_curr: &[i8],
+    x_prev: &[i8],
+    changed: &[bool],
+    stripe: usize,
+    xqs: &[XQuant],
+    prev_out: &[f32],
+    out: &mut [f32],
+    dense_threshold: f32,
+) -> Result<()> {
     check_delta_call(
         &pw.w,
         x_curr.len(),
@@ -1050,7 +1094,7 @@ pub fn qgemm_delta_packed_multi(
     if pw.w.rows == 0 || stripe * xqs.len() == 0 {
         return Ok(());
     }
-    if changed_fraction(changed) >= DELTA_DENSE_THRESHOLD {
+    if changed_fraction(changed) >= dense_threshold {
         qgemm_delta_packed_run(
             &pw.w, &pw.packed, &pw.starts, x_curr, x_prev, changed, stripe, xqs, prev_out, out,
         );
@@ -1092,7 +1136,7 @@ fn qgemm_delta_packed_run(
         pk,
     );
     let xscale = stream_scales(stripe, xqs);
-    let mut active = vec![false; xqs.len() * nb];
+    let mut active = arena::take_zeroed::<bool>(xqs.len() * nb);
     for (s, row) in active.chunks_mut(nb.max(1)).enumerate() {
         let mask = &changed[s * k..(s + 1) * k];
         for (b, slot) in row.iter_mut().enumerate() {
@@ -1124,6 +1168,9 @@ fn qgemm_delta_packed_run(
             run_delta_panel(use_avx2, &ctx, stripe, &active, p * panel, chunk);
         },
     );
+    arena::recycle(dt);
+    arena::recycle(xscale);
+    arena::recycle(active);
 }
 
 /// Row-skipping sparse delta core (the pre-overhaul kernel): widens the
@@ -1146,7 +1193,7 @@ fn qgemm_delta_sparse_run(
     // Widen the code deltas of the *changed* rows once (zero points
     // cancel); unchanged rows stay zero and are never read. Each stream
     // widens only its own changed rows.
-    let mut di = vec![0i32; x_curr.len()];
+    let mut di = arena::take_zeroed::<i32>(x_curr.len());
     parallel::par_chunks_mut(&mut di, n, 2 * n, |row, block| {
         for s in 0..xqs.len() {
             if !changed[s * k + row] {
@@ -1163,7 +1210,7 @@ fn qgemm_delta_sparse_run(
     });
     parallel::par_chunks_mut(out, n, blocking::gemm_task_work(k, n), |i, o_row| {
         o_row.copy_from_slice(&prev_out[i * n..(i + 1) * n]);
-        let mut acc = vec![0i32; stripe];
+        let mut acc = arena::take_zeroed::<i32>(stripe);
         let w_row = &w.codes[i * k..(i + 1) * k];
         for (s, xq) in xqs.iter().enumerate() {
             let mask = &changed[s * k..(s + 1) * k];
@@ -1191,7 +1238,9 @@ fn qgemm_delta_sparse_run(
                 }
             }
         }
+        arena::recycle(acc);
     });
+    arena::recycle(di);
 }
 
 /// Packs the transpose of a row-major `[rows, cols]` code matrix into a
@@ -1209,7 +1258,7 @@ pub fn transpose_i8(src: &[i8], rows: usize, cols: usize) -> Result<Vec<i8>> {
             reason: format!("{} codes for a {rows}x{cols} matrix", src.len()),
         });
     }
-    let mut out = vec![0i8; src.len()];
+    let mut out = arena::take_zeroed::<i8>(src.len());
     if rows == 0 || cols == 0 {
         return Ok(out);
     }
@@ -1286,7 +1335,7 @@ pub fn im2col_i8_multi(
     let ow = geom.out_extent(w, kw)?;
     let rows = c * kh * kw;
     let cols = n * oh * ow;
-    let mut out = vec![0i8; rows * cols];
+    let mut out = arena::take_zeroed::<i8>(rows * cols);
     if rows > 0 && cols > 0 {
         parallel::par_chunks_mut(&mut out, cols, 2 * cols, |row, o_row| {
             let cc = row / (kh * kw);
@@ -1376,6 +1425,295 @@ pub fn conv2d_i8_multi(
     geom: Conv2dGeometry,
     xqs: &[XQuant],
 ) -> Result<Tensor> {
+    let oh = geom.out_extent(h, kh)?;
+    let ow = geom.out_extent(w, kw)?;
+    let mut out = arena::take_zeroed::<f32>(n * wq.rows() * oh * ow);
+    conv2d_i8_core(
+        x_codes,
+        n,
+        c,
+        h,
+        w,
+        wq,
+        kh,
+        kw,
+        bias,
+        geom,
+        xqs,
+        &mut |cols, spatial, prod| qgemm_multi(wq, cols, spatial, xqs, prod),
+        &mut out,
+    )?;
+    Tensor::from_vec(out, [n, wq.rows(), oh, ow])
+}
+
+/// [`conv2d_i8_multi`] on a pre-packed weight: identical results, the
+/// pack cost paid once at [`PackedQuantizedMatrix::pack`] time instead of
+/// per forward. The cached-pack convolution entry the serving registry's
+/// steady state runs on.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_i8_multi`].
+#[allow(clippy::too_many_arguments)] // conv geometry + quantization params
+pub fn conv2d_i8_packed_multi(
+    pw: &PackedQuantizedMatrix,
+    x_codes: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    bias: Option<&[f32]>,
+    geom: Conv2dGeometry,
+    xqs: &[XQuant],
+) -> Result<Tensor> {
+    let oh = geom.out_extent(h, kh)?;
+    let ow = geom.out_extent(w, kw)?;
+    let mut out = arena::take_zeroed::<f32>(n * pw.matrix().rows() * oh * ow);
+    conv2d_i8_packed_into(pw, x_codes, n, c, h, w, kh, kw, bias, geom, xqs, &mut out)?;
+    Tensor::from_vec(out, [n, pw.matrix().rows(), oh, ow])
+}
+
+/// [`conv2d_i8_packed_multi`] writing into caller-owned storage: `out`
+/// must hold exactly `n · k · oh · ow` elements and is fully overwritten.
+/// The zero-allocation serving path's convolution entry — no output
+/// tensor is allocated, and all internal scratch is drawn from the
+/// [`crate::arena`] when one is active.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_i8_multi`], plus
+/// [`TensorError::ShapeMismatch`] if `out` has the wrong length.
+#[allow(clippy::too_many_arguments)] // conv geometry + quantization params
+pub fn conv2d_i8_packed_into(
+    pw: &PackedQuantizedMatrix,
+    x_codes: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    bias: Option<&[f32]>,
+    geom: Conv2dGeometry,
+    xqs: &[XQuant],
+    out: &mut [f32],
+) -> Result<()> {
+    conv2d_i8_core(
+        x_codes,
+        n,
+        c,
+        h,
+        w,
+        pw.matrix(),
+        kh,
+        kw,
+        bias,
+        geom,
+        xqs,
+        &mut |cols, spatial, prod| qgemm_packed_multi(pw, cols, spatial, xqs, prod),
+        out,
+    )
+}
+
+/// Per-layer carry state for [`conv2d_i8_packed_delta_multi`]: the
+/// previous step's lowered activation codes, quantization parameters and
+/// pre-epilogue GEMM product.
+///
+/// The buffers are reused across steps (cleared and refilled, never
+/// shrunk), so steady-state delta execution does not allocate. One state
+/// belongs to exactly one convolution layer of one sampling trajectory;
+/// mixing layers or trajectories through a single state falls back to a
+/// dense step on every shape or scale mismatch rather than producing
+/// wrong results.
+#[derive(Debug, Default)]
+pub struct ConvDeltaState {
+    prev_cols: Vec<i8>,
+    prev_xqs: Vec<XQuant>,
+    prev_prod: Vec<f32>,
+    /// Steps executed through the delta kernel.
+    pub delta_steps: usize,
+    /// Steps executed as a full dense GEMM (first step, shape change, or
+    /// activation-scale change).
+    pub dense_steps: usize,
+}
+
+impl ConvDeltaState {
+    /// An empty state: the first step through it is always dense.
+    pub fn new() -> Self {
+        ConvDeltaState::default()
+    }
+
+    /// Drops the carried step so the next call runs dense (e.g. when a
+    /// sampling trajectory restarts).
+    pub fn reset(&mut self) {
+        self.prev_cols.clear();
+        self.prev_xqs.clear();
+        self.prev_prod.clear();
+    }
+
+    /// The activation quantization carried from the previous step, if any
+    /// (the first stream's — callers replicate one grid across streams).
+    /// Lets the caller re-quantize the next step on the *same* grid
+    /// (static-calibration style) so the code-space delta is meaningful
+    /// and the carry can engage.
+    pub fn carried_xq(&self) -> Option<XQuant> {
+        self.prev_xqs.first().copied()
+    }
+}
+
+/// Temporal-delta convolution on a pre-packed weight: recomputes only the
+/// contribution of reduction rows whose input codes changed since the
+/// previous call, per the paper's inter-step activation similarity.
+///
+/// `changed_channels` holds one flag per `(stream, input-channel)`
+/// (`n · c` entries, stream-major) — typically a
+/// `TemporalTrace::change_mask` row. Each flagged channel expands to its
+/// `kh·kw` im2col reduction rows, and the mask is then **unioned with the
+/// exact per-row code difference** against the previous step, so the
+/// kernel's correctness contract (mask covers every row that differs)
+/// holds even when the trace under-reports. Density-based dispatch between
+/// the sparse row-skipping path and the packed dense fallback follows
+/// `dense_threshold` exactly as in
+/// [`qgemm_delta_packed_multi_with_threshold`]; both paths agree bitwise.
+///
+/// The delta step only engages when the carried state matches the current
+/// call (same lowered geometry and identical per-stream activation
+/// quantization — the delta epilogue requires both steps to share one
+/// activation scale). Otherwise the call silently runs the dense packed
+/// GEMM and refreshes the state.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_i8_packed_multi`], plus
+/// [`TensorError::ShapeMismatch`] if `changed_channels` is not `n · c`
+/// long.
+#[allow(clippy::too_many_arguments)] // conv geometry + quantization params
+pub fn conv2d_i8_packed_delta_multi(
+    pw: &PackedQuantizedMatrix,
+    x_codes: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    bias: Option<&[f32]>,
+    geom: Conv2dGeometry,
+    xqs: &[XQuant],
+    changed_channels: &[bool],
+    state: &mut ConvDeltaState,
+    dense_threshold: f32,
+) -> Result<Tensor> {
+    if changed_channels.len() != n * c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_i8_delta(changed_channels)",
+            lhs: vec![changed_channels.len()],
+            rhs: vec![n, c],
+        });
+    }
+    let oh = geom.out_extent(h, kh)?;
+    let ow = geom.out_extent(w, kw)?;
+    let k_out = pw.matrix().rows();
+    let mut out = arena::take_zeroed::<f32>(n * k_out * oh * ow);
+    conv2d_i8_core(
+        x_codes,
+        n,
+        c,
+        h,
+        w,
+        pw.matrix(),
+        kh,
+        kw,
+        bias,
+        geom,
+        xqs,
+        &mut |cols, spatial, prod| {
+            let carry_ok = state.prev_cols.len() == cols.len()
+                && state.prev_prod.len() == prod.len()
+                && state.prev_xqs == xqs;
+            if carry_ok {
+                let k_red = c * kh * kw;
+                let rpc = kh * kw; // reduction rows per input channel
+                let mut mask = arena::take_zeroed::<bool>(n * k_red);
+                for s in 0..n {
+                    for (ch, &chg) in changed_channels[s * c..(s + 1) * c].iter().enumerate() {
+                        if chg {
+                            mask[s * k_red + ch * rpc..s * k_red + (ch + 1) * rpc].fill(true);
+                        }
+                    }
+                }
+                // Union with the exact code difference so the mask is a
+                // superset of the rows that actually changed — the delta
+                // kernel's equality contract.
+                let row_len = n * spatial;
+                for s in 0..n {
+                    for r in 0..k_red {
+                        if mask[s * k_red + r] {
+                            continue;
+                        }
+                        let seg = r * row_len + s * spatial..r * row_len + (s + 1) * spatial;
+                        if cols[seg.clone()] != state.prev_cols[seg] {
+                            mask[s * k_red + r] = true;
+                        }
+                    }
+                }
+                qgemm_delta_packed_multi_with_threshold(
+                    pw,
+                    cols,
+                    &state.prev_cols,
+                    &mask,
+                    spatial,
+                    xqs,
+                    &state.prev_prod,
+                    prod,
+                    dense_threshold,
+                )?;
+                arena::recycle(mask);
+                state.delta_steps += 1;
+            } else {
+                qgemm_packed_multi(pw, cols, spatial, xqs, prod)?;
+                state.dense_steps += 1;
+            }
+            state.prev_cols.clear();
+            state.prev_cols.extend_from_slice(cols);
+            state.prev_xqs.clear();
+            state.prev_xqs.extend_from_slice(xqs);
+            state.prev_prod.clear();
+            state.prev_prod.extend_from_slice(prod);
+            Ok(())
+        },
+        &mut out,
+    )?;
+    Tensor::from_vec(out, [n, k_out, oh, ow])
+}
+
+/// GEMM stage of [`conv2d_i8_core`]: `(lowered operand, gemm columns,
+/// product buffer)`.
+type ConvGemmStage<'a> = dyn FnMut(&[i8], usize, &mut [f32]) -> Result<()> + 'a;
+
+/// Shared body of the `conv2d_i8*` family: checks, integer im2col,
+/// the caller-supplied GEMM stage, and the `[K, N·oh·ow] → [N, K, oh,
+/// ow]` bias epilogue into `out`. All scratch (padding codes, lowered
+/// operand, GEMM product) is drawn from and returned to the thread's
+/// [`crate::arena`].
+#[allow(clippy::too_many_arguments)] // conv geometry + quantization params
+fn conv2d_i8_core(
+    x_codes: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    wq: &QuantizedMatrix,
+    kh: usize,
+    kw: usize,
+    bias: Option<&[f32]>,
+    geom: Conv2dGeometry,
+    xqs: &[XQuant],
+    gemm: &mut ConvGemmStage<'_>,
+    out: &mut [f32],
+) -> Result<()> {
     if xqs.len() != n {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d_i8(xqs)",
@@ -1402,18 +1740,27 @@ pub fn conv2d_i8_multi(
     }
     let oh = geom.out_extent(h, kh)?;
     let ow = geom.out_extent(w, kw)?;
-    let pad_codes: Vec<i8> = xqs
-        .iter()
-        .map(|q| q.zero_point.clamp(i8::MIN as i32, i8::MAX as i32) as i8)
-        .collect();
-    let cols = im2col_i8_multi(x_codes, n, c, h, w, kh, kw, geom, &pad_codes)?;
-    let mut prod = vec![0.0f32; k * n * oh * ow];
-    qgemm_multi(wq, &cols, oh * ow, xqs, &mut prod)?;
-
     let spatial = oh * ow;
-    let mut out = vec![0.0f32; n * k * spatial];
+    if out.len() != n * k * spatial {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_i8(out)",
+            lhs: vec![out.len()],
+            rhs: vec![n, k, spatial],
+        });
+    }
+    let mut pad_codes = arena::take::<i8>(n);
+    pad_codes.extend(
+        xqs.iter()
+            .map(|q| q.zero_point.clamp(i8::MIN as i32, i8::MAX as i32) as i8),
+    );
+    let cols = im2col_i8_multi(x_codes, n, c, h, w, kh, kw, geom, &pad_codes)?;
+    arena::recycle(pad_codes);
+    let mut prod = arena::take_zeroed::<f32>(k * n * spatial);
+    gemm(&cols, spatial, &mut prod)?;
+    arena::recycle(cols);
+
     if n * k > 0 && spatial > 0 {
-        parallel::par_chunks_mut(&mut out, spatial, 2 * spatial, |plane, dst| {
+        parallel::par_chunks_mut(out, spatial, 2 * spatial, |plane, dst| {
             let nn = plane / k;
             let kk = plane % k;
             let b = bias.map(|b| b[kk]).unwrap_or(0.0);
@@ -1423,7 +1770,8 @@ pub fn conv2d_i8_multi(
             }
         });
     }
-    Tensor::from_vec(out, [n, k, oh, ow])
+    arena::recycle(prod);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1654,6 +2002,204 @@ mod tests {
         )
         .unwrap();
         assert_eq!(delta, dense);
+    }
+
+    /// Pow2-scale packed conv weight: every f32 intermediate is exact, so
+    /// delta and dense conv results can be compared bitwise.
+    fn pow2_conv_weight(kout: usize, c: usize, kh: usize, kw: usize) -> PackedQuantizedMatrix {
+        let cols = c * kh * kw;
+        let codes: Vec<i8> = (0..kout * cols)
+            .map(|v| ((v * 13) % 127) as i8 - 60)
+            .collect();
+        let scales: Vec<f32> = (0i32..kout as i32)
+            .map(|i| 0.5f32.powi(i % 4 + 1))
+            .collect();
+        PackedQuantizedMatrix::pack(
+            QuantizedMatrix::per_channel(codes, kout, cols, scales).unwrap(),
+        )
+    }
+
+    #[test]
+    fn conv_delta_matches_dense_conv_bitwise_with_pow2_scales() {
+        let (n, c, h, w, kh, kw) = (2usize, 3usize, 5usize, 5usize, 3usize, 3usize);
+        let pw = pow2_conv_weight(4, c, kh, kw);
+        let geom = Conv2dGeometry::same(3);
+        let bias: Vec<f32> = (0..4).map(|i| 0.25 * i as f32).collect();
+        let xqs = vec![XQuant::symmetric(0.25); n];
+        let mut codes: Vec<i8> = (0..n * c * h * w)
+            .map(|v| ((v * 7) % 120) as i8 - 60)
+            .collect();
+        let mut state = ConvDeltaState::new();
+        // Step 0 is dense (empty carry); later steps change two channels of
+        // stream 0 only, with the trace mask flagging just one of them —
+        // the exact code-diff union must catch the other.
+        for step in 0..4 {
+            if step > 0 {
+                for v in &mut codes[0..h * w] {
+                    *v = v.wrapping_add(3); // stream 0, channel 0
+                }
+                for v in &mut codes[2 * h * w..3 * h * w] {
+                    *v = v.wrapping_sub(2); // stream 0, channel 2: unreported
+                }
+            }
+            let mut changed = vec![false; n * c];
+            changed[0] = step > 0; // only channel 0 reported by the "trace"
+            let delta = conv2d_i8_packed_delta_multi(
+                &pw,
+                &codes,
+                n,
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                Some(&bias),
+                geom,
+                &xqs,
+                &changed,
+                &mut state,
+                DELTA_DENSE_THRESHOLD,
+            )
+            .unwrap();
+            let dense =
+                conv2d_i8_packed_multi(&pw, &codes, n, c, h, w, kh, kw, Some(&bias), geom, &xqs)
+                    .unwrap();
+            assert_eq!(delta.dims(), dense.dims());
+            for (a, b) in delta.as_slice().iter().zip(dense.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {step}");
+            }
+        }
+        assert_eq!(state.dense_steps, 1);
+        assert_eq!(state.delta_steps, 3);
+    }
+
+    #[test]
+    fn conv_delta_scale_change_falls_back_dense() {
+        let (n, c, h, w, kh, kw) = (1usize, 2usize, 4usize, 4usize, 3usize, 3usize);
+        let pw = pow2_conv_weight(3, c, kh, kw);
+        let geom = Conv2dGeometry::same(3);
+        let codes: Vec<i8> = (0..n * c * h * w)
+            .map(|v| ((v * 5) % 100) as i8 - 48)
+            .collect();
+        let mut state = ConvDeltaState::new();
+        let changed = vec![false; n * c];
+        for &scale in &[0.5f32, 0.5, 0.25] {
+            let xqs = vec![XQuant::symmetric(scale); n];
+            let delta = conv2d_i8_packed_delta_multi(
+                &pw,
+                &codes,
+                n,
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                None,
+                geom,
+                &xqs,
+                &changed,
+                &mut state,
+                DELTA_DENSE_THRESHOLD,
+            )
+            .unwrap();
+            let dense =
+                conv2d_i8_packed_multi(&pw, &codes, n, c, h, w, kh, kw, None, geom, &xqs).unwrap();
+            for (a, b) in delta.as_slice().iter().zip(dense.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // First call and the scale change run dense; the identical middle
+        // step is a (trivially empty) delta step.
+        assert_eq!(state.dense_steps, 2);
+        assert_eq!(state.delta_steps, 1);
+        // reset() drops the carry: next call is dense again.
+        state.reset();
+        let xqs = vec![XQuant::symmetric(0.25); n];
+        conv2d_i8_packed_delta_multi(
+            &pw,
+            &codes,
+            n,
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            None,
+            geom,
+            &xqs,
+            &changed,
+            &mut state,
+            DELTA_DENSE_THRESHOLD,
+        )
+        .unwrap();
+        assert_eq!(state.dense_steps, 3);
+    }
+
+    #[test]
+    fn conv_delta_sparse_and_dense_dispatch_agree_bitwise() {
+        // Arbitrary (non-pow2) scales: the two dispatch paths of the delta
+        // kernel itself must still agree bitwise.
+        let (n, c, h, w, kh, kw) = (2usize, 2usize, 4usize, 4usize, 3usize, 3usize);
+        let cols = c * kh * kw;
+        let codes_w: Vec<i8> = (0..3 * cols).map(|v| ((v * 19) % 127) as i8 - 63).collect();
+        let scales: Vec<f32> = vec![0.013, 0.21, 0.0077];
+        let pw = PackedQuantizedMatrix::pack(
+            QuantizedMatrix::per_channel(codes_w, 3, cols, scales).unwrap(),
+        );
+        let geom = Conv2dGeometry::same(3);
+        let xqs = vec![XQuant::symmetric(0.031); n];
+        let mut codes: Vec<i8> = (0..n * c * h * w)
+            .map(|v| ((v * 3) % 90) as i8 - 40)
+            .collect();
+        let mut s_sparse = ConvDeltaState::new();
+        let mut s_dense = ConvDeltaState::new();
+        for step in 0..3 {
+            if step > 0 {
+                for v in &mut codes[h * w..2 * h * w] {
+                    *v = v.wrapping_add(1);
+                }
+            }
+            let changed = vec![false; n * c]; // exact diff supplies the mask
+            let a = conv2d_i8_packed_delta_multi(
+                &pw,
+                &codes,
+                n,
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                None,
+                geom,
+                &xqs,
+                &changed,
+                &mut s_sparse,
+                1.5,
+            )
+            .unwrap();
+            let b = conv2d_i8_packed_delta_multi(
+                &pw,
+                &codes,
+                n,
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                None,
+                geom,
+                &xqs,
+                &changed,
+                &mut s_dense,
+                0.0,
+            )
+            .unwrap();
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "step {step}");
+            }
+        }
+        assert_eq!(s_sparse.delta_steps, 2);
+        assert_eq!(s_dense.delta_steps, 2);
     }
 
     #[test]

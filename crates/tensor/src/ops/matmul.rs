@@ -14,6 +14,7 @@
 //! the quantization/accelerator layers (`sqdm-quant`, `sqdm-accel`), not
 //! of the dense reference kernels.
 
+use crate::arena;
 use crate::error::{Result, TensorError};
 use crate::ops::blocking;
 use crate::parallel;
@@ -54,7 +55,7 @@ fn gemm_rows(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: u
 /// row-major `[cols, rows]` buffer, in parallel for large matrices.
 fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
     debug_assert_eq!(src.len(), rows * cols);
-    let mut out = vec![0.0f32; src.len()];
+    let mut out = arena::take_zeroed::<f32>(src.len());
     if rows == 0 || cols == 0 {
         return out;
     }
@@ -110,7 +111,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    let mut out = arena::take_zeroed::<f32>(m * n);
     gemm_rows(a.as_slice(), b.as_slice(), &mut out, m, k, n);
     Tensor::from_vec(out, [m, n])
 }
@@ -137,8 +138,9 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let at = pack_transpose(a.as_slice(), k, m);
-    let mut out = vec![0.0f32; m * n];
+    let mut out = arena::take_zeroed::<f32>(m * n);
     gemm_rows(&at, b.as_slice(), &mut out, m, k, n);
+    arena::recycle(at);
     Tensor::from_vec(out, [m, n])
 }
 
@@ -165,8 +167,9 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let bt = pack_transpose(b.as_slice(), n, k);
-    let mut out = vec![0.0f32; m * n];
+    let mut out = arena::take_zeroed::<f32>(m * n);
     gemm_rows(a.as_slice(), &bt, &mut out, m, k, n);
+    arena::recycle(bt);
     Tensor::from_vec(out, [m, n])
 }
 
@@ -190,6 +193,55 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// if any request is not rank 2 or disagrees with `b` on the reduction
 /// length.
 pub fn matmul_a_bt_multi(xs: &[Tensor], b: &Tensor) -> Result<Vec<Tensor>> {
+    let (n, _, total_rows) = check_a_bt_multi(xs, b)?;
+    let mut out = arena::take_zeroed::<f32>(total_rows * n);
+    matmul_a_bt_multi_into(xs, b, &mut out)?;
+    let mut results = Vec::with_capacity(xs.len());
+    let mut row = 0usize;
+    for x in xs {
+        let m = x.dims()[0];
+        let mut chunk = arena::take::<f32>(m * n);
+        chunk.extend_from_slice(&out[row * n..(row + m) * n]);
+        results.push(Tensor::from_vec(chunk, [m, n])?);
+        row += m;
+    }
+    arena::recycle(out);
+    Ok(results)
+}
+
+/// [`matmul_a_bt_multi`] writing into caller-owned storage: `out` must
+/// hold exactly `Σmᵢ · n` elements and receives the stacked `[Σmᵢ, n]`
+/// result (request `i`'s rows at offset `Σ_{j<i} mⱼ · n`), fully
+/// overwritten. The zero-allocation serving path's f32 GEMM entry.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_a_bt_multi`], plus
+/// [`TensorError::ShapeMismatch`] if `out` has the wrong length.
+pub fn matmul_a_bt_multi_into(xs: &[Tensor], b: &Tensor, out: &mut [f32]) -> Result<()> {
+    let (n, k, total_rows) = check_a_bt_multi(xs, b)?;
+    if out.len() != total_rows * n {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt_multi(out)",
+            lhs: vec![out.len()],
+            rhs: vec![total_rows, n],
+        });
+    }
+    let mut lhs = arena::take::<f32>(total_rows * k);
+    for x in xs {
+        lhs.extend_from_slice(x.as_slice());
+    }
+    let bt = pack_transpose(b.as_slice(), n, k);
+    out.fill(0.0);
+    gemm_rows(&lhs, &bt, out, total_rows, k, n);
+    arena::recycle(lhs);
+    arena::recycle(bt);
+    Ok(())
+}
+
+/// Shared shape validation for the `matmul_a_bt_multi*` entries: returns
+/// `(n, k, Σmᵢ)`.
+fn check_a_bt_multi(xs: &[Tensor], b: &Tensor) -> Result<(usize, usize, usize)> {
     let (n, k) = match b.dims() {
         [n, k] => (*n, *k),
         _ => {
@@ -212,24 +264,7 @@ pub fn matmul_a_bt_multi(xs: &[Tensor], b: &Tensor) -> Result<Vec<Tensor>> {
         }
         total_rows += x.dims()[0];
     }
-    let mut lhs = Vec::with_capacity(total_rows * k);
-    for x in xs {
-        lhs.extend_from_slice(x.as_slice());
-    }
-    let bt = pack_transpose(b.as_slice(), n, k);
-    let mut out = vec![0.0f32; total_rows * n];
-    gemm_rows(&lhs, &bt, &mut out, total_rows, k, n);
-    let mut results = Vec::with_capacity(xs.len());
-    let mut row = 0usize;
-    for x in xs {
-        let m = x.dims()[0];
-        results.push(Tensor::from_vec(
-            out[row * n..(row + m) * n].to_vec(),
-            [m, n],
-        )?);
-        row += m;
-    }
-    Ok(results)
+    Ok((n, k, total_rows))
 }
 
 /// Transposes a rank-2 tensor.

@@ -13,5 +13,7 @@ pub use conv::{
     col2im, conv2d, conv2d_backward, conv2d_multi, im2col, Conv2dGeometry, Conv2dGrads,
 };
 pub use linalg::{sqrtm_psd, sym_eigen, trace, SymEigen};
-pub use matmul::{matmul, matmul_a_bt, matmul_a_bt_multi, matmul_at_b, transpose};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_multi, matmul_a_bt_multi_into, matmul_at_b, transpose,
+};
 pub use softmax::{softmax_rows, softmax_rows_backward};

@@ -3,6 +3,7 @@
 //! Used by the EDM attention block (`enc.16x16_block_1`-style image
 //! self-attention in the paper's Figure 2).
 
+use crate::arena;
 use crate::error::{Result, TensorError};
 use crate::parallel;
 use crate::tensor::Tensor;
@@ -46,7 +47,7 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
         });
     }
     let xv = x.as_slice();
-    let mut out = vec![0.0f32; m * n];
+    let mut out = arena::take_zeroed::<f32>(m * n);
     parallel::par_chunks_mut(&mut out, n, 8 * n, |i, orow| {
         let row = &xv[i * n..(i + 1) * n];
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
@@ -88,7 +89,7 @@ pub fn softmax_rows_backward(y: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
     let (m, n) = (y.dims()[0], y.dims()[1]);
     let yv = y.as_slice();
     let gv = grad_out.as_slice();
-    let mut out = vec![0.0f32; m * n];
+    let mut out = arena::take_zeroed::<f32>(m * n);
     if n > 0 {
         parallel::par_chunks_mut(&mut out, n, 4 * n, |i, orow| {
             let yrow = &yv[i * n..(i + 1) * n];

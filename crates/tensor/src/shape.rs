@@ -1,13 +1,24 @@
 //! Shape utilities shared by all tensor kernels.
 
 use crate::error::{Result, TensorError};
-use serde::{Deserialize, Serialize};
+use serde::de::Value;
+use serde::{Deserialize, Serialize, Serializer};
+
+/// Maximum rank an inline [`Shape`] can hold.
+///
+/// The workspace's tensors top out at rank 4 (`[N, C, H, W]`); 6 leaves
+/// headroom without growing the inline footprint meaningfully.
+const MAX_RANK: usize = 6;
 
 /// The shape of a tensor: a list of dimension extents, outermost first.
 ///
-/// `Shape` is a thin, validated wrapper around `Vec<usize>` that provides the
-/// stride arithmetic used by every kernel in this crate. Dimensions of extent
-/// zero are allowed (producing empty tensors).
+/// `Shape` stores its extents inline (up to rank 6) so constructing a tensor
+/// performs no heap allocation — a prerequisite for the zero-allocation
+/// steady-state serving path, where tensors are created and dropped every
+/// denoise round. Dimensions of extent zero are allowed (producing empty
+/// tensors). The serialized form is unchanged from the earlier
+/// `Vec<usize>`-backed representation (a newtype over the dimension
+/// sequence), so committed artifacts keep deserializing.
 ///
 /// # Examples
 ///
@@ -17,23 +28,52 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.len(), 24);
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Shape(Vec<usize>);
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Extents, outermost first; axes `rank..` are zero-filled so the
+    /// derived `PartialEq`/`Hash` agree with logical equality.
+    dims: [usize; MAX_RANK],
+    rank: usize,
+}
 
 impl Shape {
     /// Creates a shape from dimension extents, outermost first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 6 dimensions are given; the inline representation
+    /// is sized for the rank ≤ 4 tensors this workspace uses.
     pub fn new(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        Shape::from_dims(&dims)
+    }
+
+    /// Creates a shape from a slice of extents, outermost first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 6 dimensions are given.
+    pub fn from_dims(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "Shape supports at most {MAX_RANK} dimensions, got {}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            rank: dims.len(),
+        }
     }
 
     /// The number of dimensions.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank
     }
 
     /// Total number of elements (product of all extents; 1 for rank 0).
     pub fn len(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Returns `true` if the shape contains zero elements.
@@ -43,7 +83,7 @@ impl Shape {
 
     /// The extents as a slice.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank]
     }
 
     /// Extent of dimension `axis`.
@@ -52,14 +92,14 @@ impl Shape {
     ///
     /// Panics if `axis >= rank()`.
     pub fn dim(&self, axis: usize) -> usize {
-        self.0[axis]
+        self.dims()[axis]
     }
 
     /// Row-major strides (in elements) for this shape.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.0.len()];
-        for i in (0..self.0.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+        let mut strides = vec![1usize; self.rank];
+        for i in (0..self.rank.saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
     }
@@ -71,26 +111,30 @@ impl Shape {
     /// Returns [`TensorError::InvalidArgument`] if the index rank differs
     /// from the shape rank or any coordinate is out of range.
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.0.len() {
+        if index.len() != self.rank {
             return Err(TensorError::InvalidArgument {
                 op: "offset",
                 reason: format!(
                     "index rank {} does not match shape rank {}",
                     index.len(),
-                    self.0.len()
+                    self.rank
                 ),
             });
         }
+        // Walk axes innermost-first with a running stride: no allocation on
+        // the element-access path.
         let mut off = 0usize;
-        let strides = self.strides();
-        for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+        let mut stride = 1usize;
+        for axis in (0..self.rank).rev() {
+            let (i, d) = (index[axis], self.dims[axis]);
             if i >= d {
                 return Err(TensorError::InvalidArgument {
                     op: "offset",
                     reason: format!("coordinate {i} out of range {d} on axis {axis}"),
                 });
             }
-            off += i * strides[axis];
+            off += i * stride;
+            stride *= d;
         }
         Ok(off)
     }
@@ -107,7 +151,7 @@ impl Shape {
                 reason: format!("offset {offset} out of range for {} elements", self.len()),
             });
         }
-        let mut idx = vec![0usize; self.0.len()];
+        let mut idx = vec![0usize; self.rank];
         let mut rem = offset;
         for (axis, stride) in self.strides().iter().enumerate() {
             idx[axis] = rem / stride;
@@ -123,38 +167,59 @@ impl Shape {
     ///
     /// Returns [`TensorError::RankMismatch`] for any rank other than 4.
     pub fn as_nchw(&self) -> Result<(usize, usize, usize, usize)> {
-        if self.0.len() != 4 {
+        if self.rank != 4 {
             return Err(TensorError::RankMismatch {
                 op: "as_nchw",
                 expected: 4,
-                actual: self.0.len(),
+                actual: self.rank,
             });
         }
-        Ok((self.0[0], self.0[1], self.0[2], self.0[3]))
+        Ok((self.dims[0], self.dims[1], self.dims[2], self.dims[3]))
     }
 }
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape::new(dims)
+        Shape::from_dims(&dims)
     }
 }
 
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
-        Shape::new(dims.to_vec())
+        Shape::from_dims(dims)
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape::new(dims.to_vec())
+        Shape::from_dims(&dims)
     }
 }
 
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:?}", self.0)
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+// Manual serde impls matching what `#[derive]` produced for the previous
+// `Shape(Vec<usize>)` newtype, so serialized artifacts stay compatible.
+impl Serialize for Shape {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_newtype_struct("Shape", self.dims())
+    }
+}
+
+impl<'de> Deserialize<'de> for Shape {
+    fn from_value(value: &Value) -> std::result::Result<Self, String> {
+        let dims: Vec<usize> = Deserialize::from_value(value)?;
+        if dims.len() > MAX_RANK {
+            return Err(format!(
+                "Shape supports at most {MAX_RANK} dimensions, got {}",
+                dims.len()
+            ));
+        }
+        Ok(Shape::from_dims(&dims))
     }
 }
 
@@ -197,5 +262,39 @@ mod tests {
         let s = Shape::from([2, 0, 3]);
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_inline_padding() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Shape::from([2, 3]);
+        let b = Shape::new(vec![2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, Shape::from([2, 3, 1]));
+        let hash = |s: &Shape| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 6 dimensions")]
+    fn rank_above_inline_capacity_panics() {
+        let _ = Shape::from([1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn serde_round_trips_as_dimension_sequence() {
+        // The wire format is the dimension list (what the old
+        // `Shape(Vec<usize>)` derive produced): deserializing from a plain
+        // sequence must keep working.
+        let value = Value::Seq(vec![Value::U64(2), Value::U64(3), Value::U64(4)]);
+        let s = <Shape as Deserialize>::from_value(&value).unwrap();
+        assert_eq!(s, Shape::from([2, 3, 4]));
+        let too_deep = Value::Seq(vec![Value::U64(1); 7]);
+        assert!(<Shape as Deserialize>::from_value(&too_deep).is_err());
     }
 }

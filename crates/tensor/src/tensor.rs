@@ -1,5 +1,6 @@
 //! The dense `f32` tensor type.
 
+use crate::arena;
 use crate::error::{Result, TensorError};
 use crate::rng::Rng;
 use crate::shape::Shape;
@@ -12,6 +13,12 @@ use serde::{Deserialize, Serialize};
 /// simulator traces are all `Tensor`s. The layout is always contiguous
 /// row-major (C order); the 4-D convention for feature maps is `[N, C, H, W]`.
 ///
+/// Inside an [`arena::scope`](crate::arena::scope) the backing buffer is
+/// drawn from (and on drop returned to) the calling thread's activation
+/// arena, so steady-state serving constructs and destroys tensors without
+/// touching the global allocator. Outside a scope nothing changes: plain
+/// allocation, plain drop.
+///
 /// # Examples
 ///
 /// ```
@@ -23,21 +30,38 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = arena::take::<f32>(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor {
+            shape: self.shape,
+            data,
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Inside an arena scope the buffer's capacity is parked for reuse;
+        // otherwise this is an ordinary drop of an empty-capacity vec plus
+        // the taken buffer.
+        arena::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        let len = shape.len();
-        Tensor {
-            shape,
-            data: vec![0.0; len],
-        }
+        let data = arena::take_zeroed::<f32>(shape.len());
+        Tensor { shape, data }
     }
 
     /// Creates a tensor filled with ones.
@@ -48,11 +72,9 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        let len = shape.len();
-        Tensor {
-            shape,
-            data: vec![value; len],
-        }
+        let mut data = arena::take::<f32>(shape.len());
+        data.resize(shape.len(), value);
+        Tensor { shape, data }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -74,33 +96,37 @@ impl Tensor {
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
+        let mut buf = arena::take::<f32>(data.len());
+        buf.extend_from_slice(data);
         Tensor {
             shape: Shape::from([data.len()]),
-            data: data.to_vec(),
+            data: buf,
         }
     }
 
     /// Creates a rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
+        let mut data = arena::take::<f32>(1);
+        data.push(value);
         Tensor {
             shape: Shape::new(vec![]),
-            data: vec![value],
+            data,
         }
     }
 
     /// Samples a tensor with i.i.d. standard-normal entries from `rng`.
     pub fn randn(shape: impl Into<Shape>, rng: &mut Rng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len()).map(|_| rng.normal()).collect();
+        let mut data = arena::take::<f32>(shape.len());
+        data.extend((0..shape.len()).map(|_| rng.normal()));
         Tensor { shape, data }
     }
 
     /// Samples a tensor with i.i.d. uniform entries in `[lo, hi)` from `rng`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len())
-            .map(|_| lo + (hi - lo) * rng.uniform())
-            .collect();
+        let mut data = arena::take::<f32>(shape.len());
+        data.extend((0..shape.len()).map(|_| lo + (hi - lo) * rng.uniform()));
         Tensor { shape, data }
     }
 
@@ -140,8 +166,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns the underlying buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Reads the element at a multi-dimensional index.
@@ -177,17 +203,18 @@ impl Tensor {
                 to: shape.len(),
             });
         }
-        Ok(Tensor {
-            shape,
-            data: self.data.clone(),
-        })
+        let mut data = arena::take::<f32>(self.data.len());
+        data.extend_from_slice(&self.data);
+        Ok(Tensor { shape, data })
     }
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Tensor {
+        let mut data = arena::take::<f32>(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape,
+            data,
         }
     }
 
@@ -211,14 +238,16 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        Ok(Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        let mut data = arena::take::<f32>(self.data.len());
+        data.extend(
+            self.data
                 .iter()
                 .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+                .map(|(&a, &b)| f(a, b)),
+        );
+        Ok(Tensor {
+            shape: self.shape,
+            data,
         })
     }
 
@@ -346,9 +375,11 @@ impl Tensor {
             });
         }
         let start = ((n * cc) + c) * h * w;
+        let mut data = arena::take::<f32>(h * w);
+        data.extend_from_slice(&self.data[start..start + h * w]);
         Ok(Tensor {
             shape: Shape::from([h, w]),
-            data: self.data[start..start + h * w].to_vec(),
+            data,
         })
     }
 
@@ -370,9 +401,11 @@ impl Tensor {
             });
         }
         let stride = c * h * w;
+        let mut data = arena::take::<f32>(stride);
+        data.extend_from_slice(&self.data[n * stride..(n + 1) * stride]);
         Ok(Tensor {
             shape: Shape::from([1, c, h, w]),
-            data: self.data[n * stride..(n + 1) * stride].to_vec(),
+            data,
         })
     }
 }
@@ -467,6 +500,19 @@ mod tests {
         let a = Tensor::randn([8], &mut r1);
         let b = Tensor::randn([8], &mut r2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arena_scope_recycles_tensor_storage() {
+        crate::arena::scope(|| {
+            let t = Tensor::full([4, 4], 3.0);
+            let ptr = t.as_slice().as_ptr();
+            drop(t);
+            // Same capacity class comes back zeroed from the pool.
+            let u = Tensor::zeros([4, 4]);
+            assert_eq!(u.as_slice().as_ptr(), ptr);
+            assert!(u.as_slice().iter().all(|&v| v.to_bits() == 0));
+        });
     }
 
     #[test]
