@@ -438,6 +438,85 @@ fn registry_benches(results: &mut Vec<BenchResult>) {
     results.push(steady);
 }
 
+/// Network-serving scenario: the same continuous-batching loop behind the
+/// `sqdmd` HTTP boundary. An in-process daemon on an ephemeral port
+/// serves Poisson-free back-to-back submissions over real TCP; the timing
+/// covers the full wire round trip (submit over the socket, poll status
+/// until every image has crossed back), so the trajectory records what
+/// the network layer costs on top of in-process serving.
+fn daemon_benches(results: &mut Vec<BenchResult>) {
+    use sqdm_edm::daemon::{self, DaemonConfig};
+    use sqdm_edm::wire::{client, json, RegisterModel, StatsReply, StatusReply, Submit};
+    use std::time::Duration;
+
+    let handle = daemon::spawn(DaemonConfig {
+        max_batch: SERVE_MAX_BATCH,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon spawn");
+    let addr = handle.addr();
+    let timeout = Duration::from_secs(60);
+    let request = |method: &str, path: &str, body: Option<&str>| {
+        let resp = client::request(addr, method, path, body, timeout).expect("daemon request");
+        assert!(resp.is_success(), "{} {path}: {}", resp.status, resp.body);
+        resp.body
+    };
+    let body = json::to_string(&RegisterModel {
+        name: "bench".into(),
+        preset: "micro".into(),
+        precision: "int8-native".into(),
+        seed: 17,
+    })
+    .expect("register body");
+    request("POST", "/v1/models", Some(&body));
+
+    // Request ids are unique for the daemon's lifetime, so each timed
+    // iteration takes a fresh id range.
+    let mut next_id = 0u64;
+    let shape = format!("{SERVE_REQUESTS}req max_batch={SERVE_MAX_BATCH} http 1x8x8 int8-native");
+    let mut res = time("serve_daemon", shape, 3, || {
+        let base = next_id;
+        next_id += SERVE_REQUESTS as u64;
+        for i in 0..SERVE_REQUESTS {
+            let sub = Submit {
+                model: 0,
+                id: base + i as u64,
+                seed: i as u64 + 1,
+                steps: 2 + i % 2,
+                tenant: (i % 2) as u32,
+            };
+            let body = json::to_string(&sub).expect("submit body");
+            request("POST", "/v1/submit", Some(&body));
+        }
+        for i in 0..SERVE_REQUESTS {
+            loop {
+                let body = request("GET", &format!("/v1/status/{}", base + i as u64), None);
+                let status: StatusReply = json::from_str(&body).expect("status decodes");
+                match status.state.as_str() {
+                    "done" => break,
+                    "failed" => panic!("request failed: {:?}", status.error),
+                    _ => std::thread::sleep(Duration::from_micros(200)),
+                }
+            }
+        }
+    });
+    let stats: StatsReply =
+        json::from_str(&request("GET", "/v1/stats", None)).expect("stats decode");
+    res.extra
+        .push(("completed".into(), format!("{}", stats.models[0].completed)));
+    res.extra
+        .push(("rounds".into(), format!("{}", stats.rounds)));
+    if let (Some(p50), Some(p95)) = (stats.models[0].p50_latency, stats.models[0].p95_latency) {
+        res.extra
+            .push(("p50_latency_steps".into(), format!("{p50}")));
+        res.extra
+            .push(("p95_latency_steps".into(), format!("{p95}")));
+    }
+    results.push(res);
+    request("POST", "/v1/drain", None);
+    handle.shutdown();
+}
+
 /// Allocator calls so far, when the counting allocator is installed.
 #[cfg(feature = "alloc-count")]
 fn allocations() -> Option<u64> {
@@ -467,6 +546,7 @@ fn main() {
     sampler_benches(&mut results);
     serving_benches(&mut results);
     registry_benches(&mut results);
+    daemon_benches(&mut results);
 
     // The process default exec mode (`SQDM_EXEC`) and the git revision
     // make a trajectory row attributable without consulting CI logs. The

@@ -241,6 +241,12 @@ pub mod perf_gate {
         if !rows.iter().any(|r| r.bench == "serve_multi_tenant") {
             errs.push("missing serve_multi_tenant row (registry serving scenario)".into());
         }
+        // Network serving through the sqdmd daemon must be in the
+        // trajectory, so HTTP-boundary regressions show up in the same
+        // NDJSON diff as kernel regressions.
+        if !rows.iter().any(|r| r.bench == "serve_daemon") {
+            errs.push("missing serve_daemon row (sqdmd network serving scenario)".into());
+        }
         // Zero-allocation steady state: the row must exist, must have been
         // produced by an `alloc-count` build, and must stay within the
         // pinned per-round allocation budget with no redundant pack
@@ -354,7 +360,8 @@ mod tests {
         }
         report.push_str(
             "{\"bench\": \"serve_multi_tenant\", \"shape\": \"2models\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0}\n\
-             {\"bench\": \"serve_steady_state\", \"shape\": \"2models\", \"iters\": 1, \"total_ns\": 10, \"ns_per_iter\": 10.0, \"allocs_per_round\": 0.45, \"redundant_pack_builds\": 0}\n",
+             {\"bench\": \"serve_steady_state\", \"shape\": \"2models\", \"iters\": 1, \"total_ns\": 10, \"ns_per_iter\": 10.0, \"allocs_per_round\": 0.45, \"redundant_pack_builds\": 0}\n\
+             {\"bench\": \"serve_daemon\", \"shape\": \"6req max_batch=3 http\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0}\n",
         );
         assert_eq!(perf_gate::violations(&report), Vec::<String>::new());
         // Equality is allowed: the gate is int8 ≤ f32, not strictly less.
@@ -380,7 +387,7 @@ mod tests {
                 "{{\"bench\": \"qgemm_delta_int8\", \"shape\": \"256x256x256\", \"ns_per_iter\": 0.5, \"unchanged_fraction\": {f}}}\n"
             ));
         }
-        // No serving rows at all: both scenarios reported missing.
+        // No serving rows at all: every serving scenario reported missing.
         let errs = perf_gate::violations(&report);
         assert!(
             errs.iter().any(|e| e.contains("serve_multi_tenant")),
@@ -388,6 +395,10 @@ mod tests {
         );
         assert!(
             errs.iter().any(|e| e.contains("serve_steady_state")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("missing serve_daemon")),
             "{errs:?}"
         );
         // A steady-state row over the allocation budget, with redundant

@@ -1,0 +1,72 @@
+//! `sqdmd` — the SQ-DM serving daemon.
+//!
+//! Binds an HTTP/1.1 listener, serves the five `/v1/*` endpoints (see
+//! `sqdm_edm::wire`), and exits after a `POST /v1/drain` has completed
+//! every in-flight denoise round. Drive it with `sqdmctl`.
+//!
+//! ```text
+//! sqdmd [--addr HOST:PORT] [--max-batch N] [--round-delay-ms N]
+//! ```
+
+use sqdm_edm::daemon::{self, DaemonConfig};
+use std::time::Duration;
+
+const USAGE: &str = "usage: sqdmd [--addr HOST:PORT] [--max-batch N] [--round-delay-ms N]
+
+  --addr HOST:PORT     bind address (default 127.0.0.1:7411; port 0 = ephemeral)
+  --max-batch N        per-model in-flight batch capacity (default 4)
+  --round-delay-ms N   pause between serve rounds, for testing (default 0)
+
+The daemon runs until a POST /v1/drain completes: in-flight requests
+finish their remaining denoise rounds, then the listener closes.";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sqdmd: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = DaemonConfig {
+        addr: "127.0.0.1:7411".into(),
+        ..DaemonConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--addr" => {
+                config.addr = args.next().unwrap_or_else(|| fail("--addr needs a value"));
+            }
+            "--max-batch" => {
+                config.max_batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--max-batch needs a positive integer"));
+            }
+            "--round-delay-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--round-delay-ms needs an integer"));
+                config.round_delay = Duration::from_millis(ms);
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let handle = match daemon::spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("sqdmd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("sqdmd listening on {}", handle.addr());
+    handle.wait_drained();
+    println!("sqdmd drained; shutting down");
+    handle.shutdown();
+}

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod daemon;
 mod dataset;
 pub mod delta;
 mod denoiser;
@@ -45,7 +46,9 @@ mod sampler;
 mod schedule;
 pub mod serve;
 mod train;
+pub mod wire;
 
+pub use daemon::{DaemonConfig, DaemonHandle};
 pub use dataset::{Dataset, DatasetKind};
 pub use delta::{DeltaSession, DEFAULT_TRACE_TOL};
 pub use denoiser::Denoiser;

@@ -84,6 +84,18 @@ impl ResidentModel {
     pub fn pack_builds(&self) -> usize {
         self.packs.builds()
     }
+
+    /// The model's denoiser schedule.
+    pub fn denoiser(&self) -> Denoiser {
+        self.den
+    }
+
+    /// Split borrow for a serve round: the mutable network alongside the
+    /// precision assignment and pack cache it serves with. Needed because
+    /// a round mutates the net while reading the other two fields.
+    pub(crate) fn serve_parts(&mut self) -> (&mut UNet, Option<&PrecisionAssignment>, &PackCache) {
+        (&mut self.net, self.assignment.as_ref(), &self.packs)
+    }
 }
 
 /// Several resident models, each owning its pack cache.
@@ -123,6 +135,11 @@ impl ModelRegistry {
     /// The resident model with this id.
     pub fn model(&self, id: ModelId) -> Option<&ResidentModel> {
         self.models.get(id)
+    }
+
+    /// Mutable access to a resident model, for driving serve rounds.
+    pub(crate) fn model_mut(&mut self, id: ModelId) -> Option<&mut ResidentModel> {
+        self.models.get_mut(id)
     }
 
     /// Number of resident models.

@@ -583,6 +583,38 @@ impl ServeStats {
         mean(self.step_latency_ns.iter().map(|&n| n as f64))
     }
 
+    /// Nearest-rank percentile of per-request end-to-end latency, in
+    /// virtual steps: the smallest recorded latency `v` such that at least
+    /// `pct`% of requests finished in `v` steps or fewer (rank
+    /// `ceil(pct/100 · n)`, clamped to `1..=n`). Deterministic — a pure
+    /// function of the recorded latencies, independent of request order.
+    /// Returns `None` when no requests were recorded.
+    pub fn latency_percentile(&self, pct: f64) -> Option<usize> {
+        let mut latencies: Vec<usize> = self.requests.iter().map(|r| r.latency).collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_unstable();
+        let n = latencies.len();
+        let rank = ((pct / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(latencies[rank - 1])
+    }
+
+    /// Median (nearest-rank p50) end-to-end latency in virtual steps.
+    pub fn p50_latency(&self) -> Option<usize> {
+        self.latency_percentile(50.0)
+    }
+
+    /// Nearest-rank p95 end-to-end latency in virtual steps.
+    pub fn p95_latency(&self) -> Option<usize> {
+        self.latency_percentile(95.0)
+    }
+
+    /// Nearest-rank p99 end-to-end latency in virtual steps.
+    pub fn p99_latency(&self) -> Option<usize> {
+        self.latency_percentile(99.0)
+    }
+
     /// Per-tenant rollups of the request records, ascending by tenant id.
     pub fn tenant_rollups(&self) -> Vec<TenantRollup> {
         let mut by_tenant: BTreeMap<TenantId, Vec<&RequestStats>> = BTreeMap::new();
@@ -982,6 +1014,58 @@ mod tests {
 
     fn bits(t: &Tensor) -> Vec<u32> {
         t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let stats_with = |latencies: &[usize]| ServeStats {
+            requests: latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &latency)| RequestStats {
+                    id: i as u64,
+                    tenant: 0,
+                    arrival_step: 0,
+                    admitted_step: 0,
+                    completed_step: latency,
+                    queue_delay: 0,
+                    steps_in_batch: latency,
+                    latency,
+                })
+                .collect(),
+            ..ServeStats::default()
+        };
+
+        // Empty run: no percentiles, not a panic or a NaN.
+        let empty = ServeStats::default();
+        assert_eq!(empty.p50_latency(), None);
+        assert_eq!(empty.p95_latency(), None);
+        assert_eq!(empty.p99_latency(), None);
+
+        // Single request: every percentile is that request.
+        let one = stats_with(&[7]);
+        assert_eq!(one.p50_latency(), Some(7));
+        assert_eq!(one.p99_latency(), Some(7));
+
+        // Ten requests 1..=10: nearest rank picks ceil(p/100 * 10).
+        let ten = stats_with(&[10, 1, 9, 2, 8, 3, 7, 4, 6, 5]);
+        assert_eq!(ten.p50_latency(), Some(5));
+        assert_eq!(ten.p95_latency(), Some(10));
+        assert_eq!(ten.p99_latency(), Some(10));
+        assert_eq!(ten.latency_percentile(0.0), Some(1));
+        assert_eq!(ten.latency_percentile(100.0), Some(10));
+        assert_eq!(ten.latency_percentile(10.0), Some(1));
+        assert_eq!(ten.latency_percentile(11.0), Some(2));
+
+        // Order independence: percentiles are a function of the multiset.
+        let sorted = stats_with(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        for pct in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            assert_eq!(
+                ten.latency_percentile(pct),
+                sorted.latency_percentile(pct),
+                "pct {pct}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Shared helpers for the socket-level daemon test suites.
+
+use serde::Serialize;
+use sqdm_edm::wire::client::{self, Response};
+use sqdm_edm::wire::{json, Submit, Submitted};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-request client timeout. Generous: CI machines are slow, and the
+/// watchdog is the real deadline.
+pub const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Hard-deadline guard: aborts the whole test process if a test wedges,
+/// so CI fails fast with a clear message instead of hitting the job
+/// timeout. Disarmed when dropped (i.e. when the test finishes).
+pub struct Watchdog {
+    disarmed: Arc<AtomicBool>,
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.disarmed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Arms a watchdog for `secs` seconds.
+pub fn watchdog(secs: u64) -> Watchdog {
+    let disarmed = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&disarmed);
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(secs));
+        if !flag.load(Ordering::SeqCst) {
+            eprintln!("daemon test watchdog expired after {secs}s; aborting");
+            std::process::abort();
+        }
+    });
+    Watchdog { disarmed }
+}
+
+/// POSTs a typed body and returns the raw response.
+pub fn post<T: Serialize>(addr: SocketAddr, path: &str, body: &T) -> Response {
+    let text = json::to_string(body).expect("request body serializes");
+    client::request(addr, "POST", path, Some(&text), TIMEOUT).expect("http round trip")
+}
+
+/// GETs a path and returns the raw response.
+pub fn get(addr: SocketAddr, path: &str) -> Response {
+    client::request(addr, "GET", path, None, TIMEOUT).expect("http round trip")
+}
+
+/// Submits one request and asserts acceptance.
+pub fn submit_ok(addr: SocketAddr, req: Submit) -> Submitted {
+    let resp = post(addr, "/v1/submit", &req);
+    assert_eq!(resp.status, 200, "submit failed: {}", resp.body);
+    json::from_str(&resp.body).expect("submit reply decodes")
+}
+
+/// Polls `/v1/status/{id}` until the request leaves the queued/running
+/// states, then returns the decoded reply. The watchdog bounds this loop.
+pub fn wait_done(addr: SocketAddr, id: u64) -> sqdm_edm::wire::StatusReply {
+    loop {
+        let resp = get(addr, &format!("/v1/status/{id}"));
+        assert_eq!(resp.status, 200, "status failed: {}", resp.body);
+        let status: sqdm_edm::wire::StatusReply =
+            json::from_str(&resp.body).expect("status decodes");
+        match status.state.as_str() {
+            "queued" | "running" => std::thread::sleep(Duration::from_millis(5)),
+            _ => return status,
+        }
+    }
+}
