@@ -41,12 +41,7 @@ fn bench_batched_sampler(c: &mut Criterion) {
     let mut group = c.benchmark_group("batched_sampler");
     for batch in [1usize, 4, 8] {
         let requests: Vec<ServeRequest> = (0..batch as u64)
-            .map(|id| ServeRequest {
-                id,
-                tenant: 0,
-                seed: id + 1,
-                steps: STEPS,
-            })
+            .map(|id| ServeRequest::new(id, STEPS).seed(id + 1))
             .collect();
         group.bench_function(format!("sequential_b{batch}"), |b| {
             b.iter(|| {

@@ -38,12 +38,7 @@ fn trace() -> Vec<ScheduledRequest> {
         .enumerate()
         .map(|(i, arrival)| {
             ScheduledRequest::new(
-                ServeRequest {
-                    id: i as u64,
-                    tenant: 0,
-                    seed: i as u64 + 1,
-                    steps: 2 + i % 2,
-                },
+                ServeRequest::new(i as u64, 2 + i % 2).seed(i as u64 + 1),
                 arrival,
             )
         })

@@ -5,12 +5,15 @@
 //! ```
 //!
 //! Exits nonzero — listing every violation — unless each report shows
-//! `qgemm_int8` no slower than `dense_gemm_f32` at the gated 256³ shape
-//! and carries the full delta-kernel sparsity sweep (0/25/50/75/90 %
-//! unchanged rows). This is what turns the repo's central perf claim —
-//! the quantized path beats dense f32 — from prose into a checked
-//! invariant: a kernel regression fails CI instead of silently landing in
-//! the bench trajectory.
+//! `qgemm_int8` no slower than `dense_gemm_f32` at the gated 256³ shape,
+//! carries the full delta-kernel sparsity sweep (0/25/50/75/90 %
+//! unchanged rows), and covers every serving scenario in
+//! `perf_gate::REQUIRED_SCENARIOS` — including one `serve_scenario_*`
+//! row with p50/p95/p99 latency and queue-depth fields per traffic shape
+//! in `sqdm_edm::traffic::catalogue`. This is what turns the repo's
+//! central perf claims from prose into checked invariants: a kernel or
+//! serving regression fails CI instead of silently landing in the bench
+//! trajectory.
 
 #![warn(missing_docs)]
 

@@ -54,7 +54,7 @@ const SERVE_MAX_BATCH: usize = 3;
 
 /// One timing result, serialized by hand (one JSON object per line).
 struct BenchResult {
-    name: &'static str,
+    name: String,
     shape: String,
     iters: u32,
     total_ns: u128,
@@ -85,14 +85,14 @@ impl BenchResult {
 }
 
 /// Times `f` for `iters` iterations after one warmup call.
-fn time<F: FnMut()>(name: &'static str, shape: String, iters: u32, mut f: F) -> BenchResult {
+fn time<F: FnMut()>(name: impl Into<String>, shape: String, iters: u32, mut f: F) -> BenchResult {
     f();
     let start = Instant::now();
     for _ in 0..iters {
         f();
     }
     BenchResult {
-        name,
+        name: name.into(),
         shape,
         iters,
         total_ns: start.elapsed().as_nanos(),
@@ -225,12 +225,7 @@ fn sampler_benches(results: &mut Vec<BenchResult>) {
 
     let sampler = BatchSampler::new(den).with_traces(false);
     let requests: Vec<ServeRequest> = (0..BATCH as u64)
-        .map(|id| ServeRequest {
-            id,
-            tenant: 0,
-            seed: id + 1,
-            steps: STEPS,
-        })
+        .map(|id| ServeRequest::new(id, STEPS).seed(id + 1))
         .collect();
     let mut batched = time("sampler_steps_batched", shape, 3, || {
         black_box(sampler.run(&mut net, &requests, Some(&asg)).unwrap());
@@ -264,12 +259,7 @@ fn serving_benches(results: &mut Vec<BenchResult>) {
         .enumerate()
         .map(|(i, arrival)| {
             ScheduledRequest::new(
-                ServeRequest {
-                    id: i as u64,
-                    tenant: 0,
-                    seed: i as u64 + 1,
-                    steps: 2 + i % 2,
-                },
+                ServeRequest::new(i as u64, 2 + i % 2).seed(i as u64 + 1),
                 arrival,
             )
         })
@@ -322,6 +312,75 @@ fn serving_benches(results: &mut Vec<BenchResult>) {
     results.push(gang_res);
 }
 
+/// Requests per traffic scenario in the SLO-percentile suite.
+const SCENARIO_REQUESTS: usize = 12;
+/// Seed of the scenario traffic generators (fixed so the committed
+/// `BENCH_ci.json` rows replay byte-identical traces).
+const SCENARIO_SEED: u64 = 23;
+/// In-flight capacity of the scenario suite's scheduler.
+const SCENARIO_MAX_BATCH: usize = 3;
+
+/// SLO-percentile scenario suite: every traffic shape in
+/// `sqdm_edm::traffic::catalogue` drained by the continuous-batching
+/// scheduler, one row per scenario (`serve_scenario_<name>`). Each row
+/// carries the deterministic virtual-step latency percentiles
+/// (p50/p95/p99) and the queue-depth timeline summary, so the perf
+/// trajectory records throughput-vs-latency per traffic shape and the CI
+/// perf gate can require the full catalogue to stay covered.
+fn scenario_benches(results: &mut Vec<BenchResult>) {
+    let mut rng = Rng::seed_from(19);
+    let mut net = UNet::new(UNetConfig::default(), &mut rng).expect("default UNet");
+    let den = Denoiser::new(EdmSchedule::default());
+    let asg = PrecisionAssignment::uniform(
+        block_ids::COUNT,
+        BlockPrecision::uniform(QuantFormat::int8()),
+        "INT8",
+    )
+    .with_mode(ExecMode::NativeInt);
+    let shape = format!(
+        "{SCENARIO_REQUESTS}req max_batch={SCENARIO_MAX_BATCH} {}x{}x{} int8-native",
+        net.config().in_channels,
+        net.config().image_size,
+        net.config().image_size
+    );
+    // Unbounded FIFO admission: every request completes, so the latency
+    // percentiles cover the full trace (backpressure behavior is pinned
+    // separately by the proptest suite and the daemon overload e2e).
+    let sched = Scheduler::new(den, SCENARIO_MAX_BATCH).with_traces(false);
+    for (name, trace) in sqdm_edm::traffic::catalogue(SCENARIO_REQUESTS, SCENARIO_SEED) {
+        let (_, stats) = sched
+            .run(&mut net, &trace, Some(&asg))
+            .expect("scenario serve");
+        let mut res = time(format!("serve_scenario_{name}"), shape.clone(), 3, || {
+            black_box(sched.run(&mut net, &trace, Some(&asg)).unwrap());
+        });
+        let pct = |p: Option<usize>| format!("{}", p.expect("all scenario requests complete"));
+        res.extra
+            .push(("p50_latency_steps".into(), pct(stats.p50_latency())));
+        res.extra
+            .push(("p95_latency_steps".into(), pct(stats.p95_latency())));
+        res.extra
+            .push(("p99_latency_steps".into(), pct(stats.p99_latency())));
+        res.extra.push((
+            "max_queue_depth".into(),
+            format!("{}", stats.max_queue_depth()),
+        ));
+        res.extra.push((
+            "mean_queue_depth".into(),
+            format!("{:.3}", stats.mean_queue_depth()),
+        ));
+        res.extra.push((
+            "throughput_steps".into(),
+            format!("{:.4}", stats.throughput_per_step()),
+        ));
+        res.extra.push((
+            "mean_latency_steps".into(),
+            format!("{:.3}", stats.mean_latency()),
+        ));
+        results.push(res);
+    }
+}
+
 /// Multi-tenant registry serving: two resident models, two tenants, the
 /// shared Poisson arrival trace, fair-share admission. One timed row for
 /// the trajectory plus the zero-allocation steady-state accounting row.
@@ -358,12 +417,9 @@ fn registry_benches(results: &mut Vec<BenchResult>) {
                 RegistryRequest::new(
                     i % MODELS,
                     ScheduledRequest::new(
-                        ServeRequest {
-                            id: i as u64,
-                            tenant: (i as u32) % TENANTS,
-                            seed: i as u64 + 1,
-                            steps: steps_of(i),
-                        },
+                        ServeRequest::new(i as u64, steps_of(i))
+                            .seed(i as u64 + 1)
+                            .tenant((i as u32) % TENANTS),
                         arrival,
                     ),
                 )
@@ -415,7 +471,7 @@ fn registry_benches(results: &mut Vec<BenchResult>) {
             _ => None,
         };
         let mut res = BenchResult {
-            name: "serve_steady_state",
+            name: "serve_steady_state".into(),
             shape,
             iters: 2,
             total_ns: elapsed,
@@ -484,6 +540,7 @@ fn daemon_benches(results: &mut Vec<BenchResult>) {
                 seed: i as u64 + 1,
                 steps: 2 + i % 2,
                 tenant: (i % 2) as u32,
+                priority: 0,
             };
             let body = json::to_string(&sub).expect("submit body");
             request("POST", "/v1/submit", Some(&body));
@@ -545,6 +602,7 @@ fn main() {
     kernel_benches(&mut results);
     sampler_benches(&mut results);
     serving_benches(&mut results);
+    scenario_benches(&mut results);
     registry_benches(&mut results);
     daemon_benches(&mut results);
 
@@ -564,7 +622,7 @@ fn main() {
         .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
         .unwrap_or_else(|| "unknown".to_string());
     let meta = format!(
-        "{{\"bench\": \"meta\", \"threads\": {}, \"exec_mode\": \"{exec_mode}\", \"rev\": \"{rev}\", \"gemm_dim\": {GEMM_DIM}, \"sampler_batch\": {BATCH}, \"sampler_steps\": {STEPS}, \"serve_requests\": {SERVE_REQUESTS}, \"serve_max_batch\": {SERVE_MAX_BATCH}}}",
+        "{{\"bench\": \"meta\", \"threads\": {}, \"exec_mode\": \"{exec_mode}\", \"rev\": \"{rev}\", \"gemm_dim\": {GEMM_DIM}, \"sampler_batch\": {BATCH}, \"sampler_steps\": {STEPS}, \"serve_requests\": {SERVE_REQUESTS}, \"serve_max_batch\": {SERVE_MAX_BATCH}, \"scenario_requests\": {SCENARIO_REQUESTS}, \"scenario_seed\": {SCENARIO_SEED}}}",
         parallel::current_threads()
     );
     let mut lines = vec![meta];

@@ -133,6 +133,22 @@ pub mod perf_gate {
     /// round. The arena pool absorbs every per-round buffer after warmup;
     /// the small slack covers amortized growth of the stats vectors.
     pub const MAX_ALLOCS_PER_ROUND: f64 = 2.0;
+    /// Serving rows every `BENCH_ci.json` report must carry: the
+    /// registry, daemon, and steady-state scenarios plus one
+    /// `serve_scenario_<name>` row per traffic shape in
+    /// `sqdm_edm::traffic::catalogue`. This is the single source both the
+    /// perf gate and the CI scenario-coverage diff key on, so the
+    /// catalogue cannot silently shrink.
+    pub const REQUIRED_SCENARIOS: &[&str] = &[
+        "serve_multi_tenant",
+        "serve_daemon",
+        "serve_steady_state",
+        "serve_scenario_bursty",
+        "serve_scenario_diurnal",
+        "serve_scenario_heavy_tailed",
+        "serve_scenario_coordinated_spike",
+        "serve_scenario_slow_trickle",
+    ];
 
     /// One parsed NDJSON benchmark row (only the gated fields).
     #[derive(Debug, Clone, PartialEq)]
@@ -149,6 +165,16 @@ pub mod perf_gate {
         pub allocs_per_round: Option<f64>,
         /// `"redundant_pack_builds"` field, when present.
         pub redundant_pack_builds: Option<f64>,
+        /// `"p50_latency_steps"` field, when present.
+        pub p50_latency_steps: Option<f64>,
+        /// `"p95_latency_steps"` field, when present.
+        pub p95_latency_steps: Option<f64>,
+        /// `"p99_latency_steps"` field, when present.
+        pub p99_latency_steps: Option<f64>,
+        /// `"max_queue_depth"` field, when present.
+        pub max_queue_depth: Option<f64>,
+        /// `"mean_queue_depth"` field, when present.
+        pub mean_queue_depth: Option<f64>,
     }
 
     /// Extracts a `"key": <string>` field from one NDJSON line.
@@ -187,6 +213,11 @@ pub mod perf_gate {
                     unchanged_fraction: num_field(line, "unchanged_fraction"),
                     allocs_per_round: num_field(line, "allocs_per_round"),
                     redundant_pack_builds: num_field(line, "redundant_pack_builds"),
+                    p50_latency_steps: num_field(line, "p50_latency_steps"),
+                    p95_latency_steps: num_field(line, "p95_latency_steps"),
+                    p99_latency_steps: num_field(line, "p99_latency_steps"),
+                    max_queue_depth: num_field(line, "max_queue_depth"),
+                    mean_queue_depth: num_field(line, "mean_queue_depth"),
                 })
             })
             .collect()
@@ -237,43 +268,72 @@ pub mod perf_gate {
                 ));
             }
         }
-        // Multi-tenant registry serving must be in the trajectory.
-        if !rows.iter().any(|r| r.bench == "serve_multi_tenant") {
-            errs.push("missing serve_multi_tenant row (registry serving scenario)".into());
+        // Every serving scenario in the shared catalogue must be in the
+        // trajectory (registry, daemon, steady-state, and the full
+        // traffic-shape suite), so serving regressions show up in the
+        // same NDJSON diff as kernel regressions.
+        for name in REQUIRED_SCENARIOS {
+            if !rows.iter().any(|r| r.bench == *name) {
+                errs.push(format!("missing {name} row (required serving scenario)"));
+            }
         }
-        // Network serving through the sqdmd daemon must be in the
-        // trajectory, so HTTP-boundary regressions show up in the same
-        // NDJSON diff as kernel regressions.
-        if !rows.iter().any(|r| r.bench == "serve_daemon") {
-            errs.push("missing serve_daemon row (sqdmd network serving scenario)".into());
+        // Traffic-scenario rows must carry the SLO percentiles and the
+        // queue-depth summary: a row that lost its latency fields is a
+        // silently broken trajectory even if its timing still exists.
+        for row in rows
+            .iter()
+            .filter(|r| r.bench.starts_with("serve_scenario_"))
+        {
+            match (
+                row.p50_latency_steps,
+                row.p95_latency_steps,
+                row.p99_latency_steps,
+            ) {
+                (Some(p50), Some(p95), Some(p99)) => {
+                    if !(p50 <= p95 && p95 <= p99) {
+                        errs.push(format!(
+                            "{} latency percentiles are not monotone \
+                             (p50={p50}, p95={p95}, p99={p99})",
+                            row.bench
+                        ));
+                    }
+                }
+                _ => errs.push(format!(
+                    "{} row lacks p50/p95/p99_latency_steps (SLO percentiles)",
+                    row.bench
+                )),
+            }
+            if row.max_queue_depth.is_none() || row.mean_queue_depth.is_none() {
+                errs.push(format!(
+                    "{} row lacks max/mean_queue_depth (queue-depth timeline)",
+                    row.bench
+                ));
+            }
         }
-        // Zero-allocation steady state: the row must exist, must have been
-        // produced by an `alloc-count` build, and must stay within the
-        // pinned per-round allocation budget with no redundant pack
-        // builds.
-        match rows.iter().find(|r| r.bench == "serve_steady_state") {
-            None => errs.push("missing serve_steady_state row (allocation gate)".into()),
-            Some(row) => {
-                match row.allocs_per_round {
-                    None => errs.push(
-                        "serve_steady_state row lacks allocs_per_round (regenerate the \
-                         report with --features alloc-count)"
-                            .into(),
-                    ),
-                    Some(a) if a > MAX_ALLOCS_PER_ROUND => errs.push(format!(
-                        "serve_steady_state allocates {a:.2} times per round; the \
-                         steady-state budget is {MAX_ALLOCS_PER_ROUND}"
-                    )),
-                    Some(_) => {}
-                }
-                match row.redundant_pack_builds {
-                    None => errs.push("serve_steady_state row lacks redundant_pack_builds".into()),
-                    Some(b) if b != 0.0 => errs.push(format!(
-                        "serve_steady_state rebuilt {b} weight packs after warmup; the \
-                         registry contract is zero"
-                    )),
-                    Some(_) => {}
-                }
+        // Zero-allocation steady state: the row must have been produced
+        // by an `alloc-count` build and must stay within the pinned
+        // per-round allocation budget with no redundant pack builds
+        // (presence is covered by the REQUIRED_SCENARIOS loop above).
+        if let Some(row) = rows.iter().find(|r| r.bench == "serve_steady_state") {
+            match row.allocs_per_round {
+                None => errs.push(
+                    "serve_steady_state row lacks allocs_per_round (regenerate the \
+                     report with --features alloc-count)"
+                        .into(),
+                ),
+                Some(a) if a > MAX_ALLOCS_PER_ROUND => errs.push(format!(
+                    "serve_steady_state allocates {a:.2} times per round; the \
+                     steady-state budget is {MAX_ALLOCS_PER_ROUND}"
+                )),
+                Some(_) => {}
+            }
+            match row.redundant_pack_builds {
+                None => errs.push("serve_steady_state row lacks redundant_pack_builds".into()),
+                Some(b) if b != 0.0 => errs.push(format!(
+                    "serve_steady_state rebuilt {b} weight packs after warmup; the \
+                     registry contract is zero"
+                )),
+                Some(_) => {}
             }
         }
         errs
@@ -363,6 +423,14 @@ mod tests {
              {\"bench\": \"serve_steady_state\", \"shape\": \"2models\", \"iters\": 1, \"total_ns\": 10, \"ns_per_iter\": 10.0, \"allocs_per_round\": 0.45, \"redundant_pack_builds\": 0}\n\
              {\"bench\": \"serve_daemon\", \"shape\": \"6req max_batch=3 http\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0}\n",
         );
+        for name in perf_gate::REQUIRED_SCENARIOS {
+            if !name.starts_with("serve_scenario_") {
+                continue;
+            }
+            report.push_str(&format!(
+                "{{\"bench\": \"{name}\", \"shape\": \"12req max_batch=3\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0, \"p50_latency_steps\": 4, \"p95_latency_steps\": 9, \"p99_latency_steps\": 9, \"max_queue_depth\": 3, \"mean_queue_depth\": 0.8, \"throughput_steps\": 0.4, \"mean_latency_steps\": 4.5}}\n"
+            ));
+        }
         assert_eq!(perf_gate::violations(&report), Vec::<String>::new());
         // Equality is allowed: the gate is int8 ≤ f32, not strictly less.
         let tied = report.replace("\"ns_per_iter\": 1.0", "\"ns_per_iter\": 2.0");
@@ -387,8 +455,16 @@ mod tests {
                 "{{\"bench\": \"qgemm_delta_int8\", \"shape\": \"256x256x256\", \"ns_per_iter\": 0.5, \"unchanged_fraction\": {f}}}\n"
             ));
         }
-        // No serving rows at all: every serving scenario reported missing.
+        // No serving rows at all: every serving scenario reported
+        // missing, including the full traffic-shape suite.
         let errs = perf_gate::violations(&report);
+        for name in perf_gate::REQUIRED_SCENARIOS {
+            assert!(
+                errs.iter()
+                    .any(|e| e.contains(&format!("missing {name} row"))),
+                "{name}: {errs:?}"
+            );
+        }
         assert!(
             errs.iter().any(|e| e.contains("serve_multi_tenant")),
             "{errs:?}"
@@ -430,6 +506,41 @@ mod tests {
         assert!(
             errs.iter()
                 .any(|e| e.contains("lacks redundant_pack_builds")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn perf_gate_flags_degenerate_scenario_rows() {
+        // A scenario row without its percentile fields is flagged even
+        // though the row itself is present.
+        let bare =
+            "{\"bench\": \"serve_scenario_bursty\", \"shape\": \"12req\", \"ns_per_iter\": 10.0}\n";
+        let errs = perf_gate::violations(bare);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("serve_scenario_bursty row lacks p50/p95/p99")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("serve_scenario_bursty row lacks max/mean_queue_depth")),
+            "{errs:?}"
+        );
+        // Non-monotone percentiles are impossible under a correct
+        // order-statistics implementation, so the gate treats them as a
+        // broken report.
+        let skewed = "{\"bench\": \"serve_scenario_bursty\", \"shape\": \"12req\", \"ns_per_iter\": 10.0, \"p50_latency_steps\": 9, \"p95_latency_steps\": 4, \"p99_latency_steps\": 4, \"max_queue_depth\": 3, \"mean_queue_depth\": 0.8}\n";
+        let errs = perf_gate::violations(skewed);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("latency percentiles are not monotone")),
+            "{errs:?}"
+        );
+        assert!(
+            !errs
+                .iter()
+                .any(|e| e.contains("serve_scenario_bursty row lacks")),
             "{errs:?}"
         );
     }

@@ -18,8 +18,10 @@ const USAGE: &str = "usage: sqdmctl [--addr HOST:PORT] [--json] <command> [optio
 commands:
   register --name NAME [--preset micro|default] [--precision fp32|int8|int8-fakequant|int8-native] [--seed N]
                        make a model resident; prints its model id
-  submit   --model M --id N --steps N [--seed N] [--tenant N]
-                       queue one generation request
+  submit   --model M --id N --steps N [--seed N] [--tenant N] [--priority N]
+                       queue one generation request (priority matters only
+                       under the Priority admission policy; a full bounded
+                       queue answers HTTP 429)
   status   --id N      query a request (queued|running|done|failed)
   stats                serving stats: clock, rounds, per-model latency percentiles, tenant rollups
   drain                stop admissions, wait for in-flight requests, print final stats
@@ -151,6 +153,7 @@ fn main() {
                 seed: flags.parse("seed").unwrap_or(id),
                 steps: flags.require("steps"),
                 tenant: flags.parse("tenant").unwrap_or(0),
+                priority: flags.parse("priority").unwrap_or(0),
             };
             let body = json::to_string(&req).expect("request encoding is infallible");
             let reply = call(addr, "POST", "/v1/submit", Some(&body), timeout);

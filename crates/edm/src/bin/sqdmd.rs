@@ -5,16 +5,19 @@
 //! every in-flight denoise round. Drive it with `sqdmctl`.
 //!
 //! ```text
-//! sqdmd [--addr HOST:PORT] [--max-batch N] [--round-delay-ms N]
+//! sqdmd [--addr HOST:PORT] [--max-batch N] [--max-pending N] [--round-delay-ms N]
 //! ```
 
 use sqdm_edm::daemon::{self, DaemonConfig};
 use std::time::Duration;
 
-const USAGE: &str = "usage: sqdmd [--addr HOST:PORT] [--max-batch N] [--round-delay-ms N]
+const USAGE: &str =
+    "usage: sqdmd [--addr HOST:PORT] [--max-batch N] [--max-pending N] [--round-delay-ms N]
 
   --addr HOST:PORT     bind address (default 127.0.0.1:7411; port 0 = ephemeral)
   --max-batch N        per-model in-flight batch capacity (default 4)
+  --max-pending N      bound each model's pending queue; a full queue
+                       rejects POST /v1/submit with 429 (default unbounded)
   --round-delay-ms N   pause between serve rounds, for testing (default 0)
 
 The daemon runs until a POST /v1/drain completes: in-flight requests
@@ -46,6 +49,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| fail("--max-batch needs a positive integer"));
+            }
+            "--max-pending" => {
+                config.max_pending = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--max-pending needs a positive integer")),
+                );
             }
             "--round-delay-ms" => {
                 let ms: u64 = args

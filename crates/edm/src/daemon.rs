@@ -41,8 +41,8 @@ use crate::model::{UNet, UNetConfig};
 use crate::registry::{ModelId, ModelRegistry};
 use crate::schedule::EdmSchedule;
 use crate::serve::{
-    fair_share_admit, BatchSampler, RequestStats, ScheduledRequest, ServeRequest, ServeStats,
-    Stream, TenantId,
+    AdmissionEngine, AdmissionPolicy, Admitted, Backpressure, BackpressurePolicy, BatchSampler,
+    InflightRef, QueueBound, RequestStats, ScheduledRequest, ServeRequest, ServeStats, Stream,
 };
 use crate::wire::{self, json};
 use serde::Serialize;
@@ -75,6 +75,10 @@ pub struct DaemonConfig {
     /// state lock. Zero (the default) for production; tests use it to
     /// widen the drain window deterministically.
     pub round_delay: Duration,
+    /// Bound on each model's pending queue. `None` (the default) admits
+    /// unboundedly as before; `Some(n)` refuses the `n+1`-th queued
+    /// submission with HTTP 429 until admission makes room.
+    pub max_pending: Option<usize>,
 }
 
 impl Default for DaemonConfig {
@@ -83,6 +87,7 @@ impl Default for DaemonConfig {
             addr: "127.0.0.1:0".into(),
             max_batch: 4,
             round_delay: Duration::ZERO,
+            max_pending: None,
         }
     }
 }
@@ -110,6 +115,8 @@ struct RequestEntry {
 struct StreamMeta {
     arrival_step: usize,
     admitted_step: usize,
+    /// Daemon-lifetime submission index (policy tie-breaker).
+    token: usize,
 }
 
 /// Continuous-batching state of one resident model.
@@ -117,12 +124,15 @@ struct ModelServe {
     sampler: BatchSampler,
     mcfg: UNetConfig,
     precision_label: String,
-    /// Queued requests in submission order.
-    pending: Vec<ScheduledRequest>,
+    /// The shared admission path: fair-share policy over a pending queue
+    /// that is bounded when the daemon was configured with `max_pending`.
+    engine: AdmissionEngine,
+    /// Monotone per-model submission counter feeding the engine's
+    /// deterministic tie-breaks.
+    next_token: usize,
     /// In-flight streams (at most `max_batch`).
     streams: Vec<Stream>,
     meta: Vec<StreamMeta>,
-    fair_resume: TenantId,
     /// Lifetime stats; request records are appended at retirement, so
     /// aggregates and percentiles cover completed requests only.
     stats: ServeStats,
@@ -143,6 +153,10 @@ struct ServerState {
     shutdown: bool,
     max_batch: usize,
     round_delay: Duration,
+    /// Pending-queue bound applied to every model's engine.
+    max_pending: Option<usize>,
+    /// Lifetime count of submissions refused with 429.
+    rejected: u64,
 }
 
 impl ServerState {
@@ -150,7 +164,7 @@ impl ServerState {
     fn is_idle(&self) -> bool {
         self.serving
             .iter()
-            .all(|m| m.pending.is_empty() && m.streams.is_empty())
+            .all(|m| !m.engine.has_work() && m.streams.is_empty())
     }
 
     /// One tick of the virtual clock: admission, one round per non-idle
@@ -166,24 +180,35 @@ impl ServerState {
             ..
         } = self;
 
-        // Step-boundary admission: deterministic tenant fair share with a
-        // per-model resume cursor, exactly as in `RegistryScheduler`.
+        // Step-boundary admission through the shared engine (fair-share
+        // policy, same path as `Scheduler` and `RegistryScheduler`).
         for ms in serving.iter_mut() {
-            let capacity = *max_batch - ms.streams.len();
-            if capacity == 0 || ms.pending.is_empty() {
+            if !ms.engine.has_work() {
                 continue;
             }
-            let mut arrived: Vec<usize> = (0..ms.pending.len()).collect();
-            let admit = fair_share_admit(&mut arrived, &ms.pending, capacity, &mut ms.fair_resume);
-            let admitted: Vec<ScheduledRequest> = admit.iter().map(|&i| ms.pending[i]).collect();
-            let picked: std::collections::BTreeSet<usize> = admit.into_iter().collect();
-            let mut idx = 0usize;
-            ms.pending.retain(|_| {
-                let keep = !picked.contains(&idx);
-                idx += 1;
-                keep
-            });
-            for sr in admitted {
+            let inflight: Vec<InflightRef> = ms
+                .streams
+                .iter()
+                .zip(&ms.meta)
+                .enumerate()
+                .map(|(k, (s, meta))| InflightRef {
+                    stream_key: k,
+                    scheduled: ScheduledRequest::new(s.request, meta.arrival_step),
+                    submit_index: meta.token,
+                    remaining: s.request.steps - s.cursor,
+                })
+                .collect();
+            let actions = ms.engine.boundary(&inflight, *max_batch, *clock, 0);
+            debug_assert!(actions.park.is_empty(), "fair share never preempts");
+            for admitted in actions.admit {
+                let Admitted::Fresh {
+                    scheduled: sr,
+                    submit_index,
+                } = admitted
+                else {
+                    debug_assert!(false, "fair share never parks, so nothing resumes");
+                    continue;
+                };
                 // Step budgets were validated at submit; a failure here
                 // is recorded instead of crashing the loop.
                 match ms.sampler.make_stream(&ms.mcfg, &sr.request) {
@@ -195,6 +220,7 @@ impl ServerState {
                         ms.meta.push(StreamMeta {
                             arrival_step: sr.arrival_step,
                             admitted_step: *clock,
+                            token: submit_index,
                         });
                     }
                     Err(e) => {
@@ -226,6 +252,7 @@ impl ServerState {
                         .step_latency_ns
                         .push(t0.elapsed().as_nanos() as u64);
                     ms.stats.batch_occupancy.push(active.len());
+                    ms.stats.queue_depth.push(ms.engine.queue_len());
                     ms.stats.rounds += 1;
                     *rounds += 1;
                 }
@@ -265,6 +292,7 @@ impl ServerState {
                     completed_step: *clock,
                     queue_delay: meta.admitted_step - meta.arrival_step,
                     steps_in_batch: *clock - meta.admitted_step,
+                    parked_steps: 0,
                     latency: *clock - meta.arrival_step,
                 });
                 ms.stats.final_step = *clock;
@@ -398,6 +426,8 @@ pub fn spawn(config: DaemonConfig) -> std::io::Result<DaemonHandle> {
             shutdown: false,
             max_batch: config.max_batch,
             round_delay: config.round_delay,
+            max_pending: config.max_pending,
+            rejected: 0,
         }),
         work: Condvar::new(),
         done: Condvar::new(),
@@ -501,11 +531,13 @@ fn ok_json<T: Serialize>(value: &T) -> HttpResponse {
 
 /// Maps a library error onto a wire status: the duplicate-id
 /// [`EdmError::Config`] becomes 409 Conflict, other config errors are the
-/// caller's fault (400), anything else is the server's (500).
+/// caller's fault (400), a full pending queue is 429 Too Many Requests,
+/// anything else is the server's fault (500).
 fn error_status(e: &EdmError) -> u16 {
     match e {
         EdmError::Config { reason } if reason.contains("duplicate request id") => 409,
         EdmError::Config { .. } => 400,
+        EdmError::Overloaded { .. } => 429,
         _ => 500,
     }
 }
@@ -518,6 +550,7 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -714,20 +747,25 @@ fn handle_register(shared: &Arc<Shared>, body: &str) -> HttpResponse {
         return error_response(503, "daemon is draining; not accepting new models");
     }
     let model = st.registry.register(req.name.clone(), net, assignment, den);
+    let bound = st.max_pending.map(|capacity| QueueBound {
+        capacity,
+        policy: BackpressurePolicy::Reject,
+    });
     st.serving.push(ModelServe {
         sampler: BatchSampler::new(den).with_traces(false),
         mcfg,
         precision_label: precision.clone(),
-        pending: Vec::new(),
+        engine: AdmissionEngine::new(AdmissionPolicy::FairShare, bound),
+        next_token: 0,
         streams: Vec::new(),
         meta: Vec::new(),
-        fair_resume: 0,
         stats: ServeStats::default(),
     });
     ok_json(&wire::ModelRegistered {
         model,
         name: req.name,
         precision,
+        proto_version: wire::PROTO_VERSION,
     })
 }
 
@@ -768,12 +806,32 @@ fn handle_submit(shared: &Arc<Shared>, body: &str) -> HttpResponse {
         return error_response(error_status(&err), err.to_string());
     }
     let arrival_step = st.clock;
-    let serve_req = ServeRequest {
-        id: req.id,
-        seed: req.seed,
-        steps: req.steps,
-        tenant: req.tenant,
-    };
+    let serve_req = ServeRequest::new(req.id, req.steps)
+        .seed(req.seed)
+        .tenant(req.tenant)
+        .priority(req.priority);
+    let ms = &mut st.serving[req.model];
+    let token = ms.next_token;
+    ms.next_token += 1;
+    let verdict = ms
+        .engine
+        .enqueue(ScheduledRequest::new(serve_req, arrival_step), token);
+    match verdict {
+        Backpressure::Accepted => {}
+        // The daemon's bound uses the Reject policy, so Shed never
+        // arrives here; refuse with 429 and keep the id reusable.
+        Backpressure::Rejected(_) | Backpressure::Shed { .. } => {
+            st.rejected += 1;
+            let err = EdmError::Overloaded {
+                reason: format!(
+                    "model {} pending queue is full ({} queued); retry after admissions drain",
+                    req.model,
+                    st.serving[req.model].engine.queue_len()
+                ),
+            };
+            return error_response(error_status(&err), err.to_string());
+        }
+    }
     st.requests.insert(
         req.id,
         RequestEntry {
@@ -781,14 +839,12 @@ fn handle_submit(shared: &Arc<Shared>, body: &str) -> HttpResponse {
             state: ReqState::Queued,
         },
     );
-    st.serving[req.model]
-        .pending
-        .push(ScheduledRequest::new(serve_req, arrival_step));
     shared.work.notify_all();
     ok_json(&wire::Submitted {
         id: req.id,
         model: req.model,
         arrival_step,
+        proto_version: wire::PROTO_VERSION,
     })
 }
 
@@ -809,6 +865,7 @@ fn handle_status(shared: &Arc<Shared>, id: u64) -> HttpResponse {
         model: entry.model,
         image,
         error,
+        proto_version: wire::PROTO_VERSION,
     })
 }
 
@@ -849,13 +906,15 @@ fn handle_stats(shared: &Arc<Shared>) -> HttpResponse {
     let active_requests = st
         .serving
         .iter()
-        .map(|ms| ms.pending.len() + ms.streams.len())
+        .map(|ms| ms.engine.queue_len() + ms.streams.len())
         .sum();
     ok_json(&wire::StatsReply {
         clock: st.clock,
         rounds: st.rounds,
         draining: st.draining,
         active_requests,
+        rejected: st.rejected,
+        proto_version: wire::PROTO_VERSION,
         models,
         tenants: all.tenant_rollups(),
     })
@@ -879,6 +938,7 @@ fn handle_drain(shared: &Arc<Shared>) -> HttpResponse {
         completed,
         rounds: st.rounds,
         final_step: st.clock,
+        proto_version: wire::PROTO_VERSION,
     })
 }
 
@@ -906,6 +966,11 @@ mod tests {
             reason: "max_batch must be at least 1".into(),
         };
         assert_eq!(error_status(&other), 400);
+        let full = EdmError::Overloaded {
+            reason: "model 0 pending queue is full".into(),
+        };
+        assert_eq!(error_status(&full), 429);
+        assert_eq!(reason_phrase(429), "Too Many Requests");
         assert_eq!(error_status(&EdmError::MissingState { what: "x" }), 500);
     }
 

@@ -16,6 +16,12 @@ pub enum EdmError {
         /// What was missing.
         what: &'static str,
     },
+    /// A serving surface refused new work because its bounded pending
+    /// queue is full (the daemon maps this to HTTP 429).
+    Overloaded {
+        /// Which queue overflowed and with what bound.
+        reason: String,
+    },
     /// An underlying tensor kernel failed.
     Tensor(sqdm_tensor::TensorError),
     /// An underlying layer failed.
@@ -29,6 +35,7 @@ impl fmt::Display for EdmError {
         match self {
             EdmError::Config { reason } => write!(f, "configuration error: {reason}"),
             EdmError::MissingState { what } => write!(f, "missing state: {what}"),
+            EdmError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
             EdmError::Tensor(e) => write!(f, "tensor error: {e}"),
             EdmError::Nn(e) => write!(f, "layer error: {e}"),
             EdmError::Quant(e) => write!(f, "quantization error: {e}"),

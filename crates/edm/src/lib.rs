@@ -45,6 +45,7 @@ pub mod registry;
 mod sampler;
 mod schedule;
 pub mod serve;
+pub mod traffic;
 mod train;
 pub mod wire;
 
@@ -67,8 +68,10 @@ pub use schedule::EdmSchedule;
 // Re-exported so `RunConfig::packs` and the registry types are usable
 // without naming `sqdm_nn` directly.
 pub use serve::{
-    delta_row_masks, serve_batch, AdmissionPolicy, BatchSampler, RequestStats, ScheduledRequest,
-    Scheduler, ServeRequest, ServeStats, ServedOutput, TenantId, TenantRollup,
+    delta_row_masks, serve_batch, AdmissionPolicy, AdmitCtx, AdmitDecision, BackpressurePolicy,
+    BatchSampler, Candidate, FairSharePolicy, FifoPolicy, GangPolicy, InflightInfo, Policy,
+    PreemptPolicy, PriorityPolicy, QueueBound, RequestStats, ScheduledRequest, Scheduler,
+    ServeRequest, ServeStats, ServedOutput, ShortestBudgetFirstPolicy, TenantId, TenantRollup,
 };
 pub use sqdm_nn::PackCache;
 pub use train::{finetune_relu, train, train_step, TrainConfig, TrainReport};

@@ -11,11 +11,12 @@
 //! the registry: requests are tagged with a [`ModelId`] and a
 //! [`TenantId`], each model keeps its own in-flight batch (capped at
 //! [`RegistryScheduler::max_batch`]), and at every step boundary each
-//! model admits arrived requests under deterministic round-robin
-//! fair-share across tenants (the same cycle as
-//! [`crate::serve::AdmissionPolicy::FairShare`], with a per-model resume cursor). Each
-//! outer tick then advances every non-idle model by one batched Heun
-//! round.
+//! model runs its own admission engine — the same sealed
+//! [`crate::serve::Policy`] path the single-model [`crate::serve::Scheduler`]
+//! uses, selected by [`RegistryScheduler::policy`] (deterministic
+//! round-robin tenant fair share by default, with a per-model resume
+//! cursor). Each outer tick then advances every non-idle model by one
+//! batched Heun round.
 //!
 //! # Determinism contract
 //!
@@ -40,8 +41,9 @@ use crate::denoiser::Denoiser;
 use crate::error::{EdmError, Result};
 use crate::model::{UNet, UNetConfig};
 use crate::serve::{
-    fair_share_admit, validate_unique_ids, BatchSampler, RequestStats, ScheduledRequest,
-    ServeStats, ServedOutput, Stream, TenantId, TenantRollup,
+    validate_unique_ids, AdmissionEngine, AdmissionPolicy, Admitted, Backpressure, BatchSampler,
+    InflightRef, RequestStats, ScheduledRequest, ServeStats, ServedOutput, Stream, TenantId,
+    TenantRollup,
 };
 use sqdm_nn::PackCache;
 use sqdm_quant::PrecisionAssignment;
@@ -220,9 +222,9 @@ impl RegistryStats {
 
 /// Continuous-batching scheduler over a [`ModelRegistry`].
 ///
-/// Tenancy-aware admission with the [`crate::serve::AdmissionPolicy::FairShare`] cycle
-/// per model; one batched Heun round per non-idle model per tick of the
-/// shared virtual clock.
+/// Tenancy-aware admission through a per-model
+/// [`crate::serve::Policy`] engine (fair share by default); one batched
+/// Heun round per non-idle model per tick of the shared virtual clock.
 #[derive(Debug, Clone, Copy)]
 pub struct RegistryScheduler {
     /// Per-model in-flight batch capacity.
@@ -230,15 +232,19 @@ pub struct RegistryScheduler {
     /// Record per-stream temporal traces (off by default: resident
     /// serving favors the zero-allocation steady state).
     pub record_traces: bool,
+    /// Admission policy, instantiated once per model (each model keeps
+    /// its own policy state, e.g. the fair-share resume cursor).
+    pub policy: AdmissionPolicy,
 }
 
 impl RegistryScheduler {
-    /// A scheduler with the given per-model batch capacity and trace
-    /// recording disabled.
+    /// A fair-share scheduler with the given per-model batch capacity and
+    /// trace recording disabled.
     pub fn new(max_batch: usize) -> Self {
         RegistryScheduler {
             max_batch,
             record_traces: false,
+            policy: AdmissionPolicy::FairShare,
         }
     }
 
@@ -246,6 +252,13 @@ impl RegistryScheduler {
     #[must_use]
     pub fn with_traces(mut self, record: bool) -> Self {
         self.record_traces = record;
+        self
+    }
+
+    /// This scheduler with a different admission policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -304,12 +317,23 @@ impl RegistryScheduler {
             .collect();
         let mcfgs: Vec<UNetConfig> = registry.models.iter().map(|m| *m.net.config()).collect();
 
-        // Per-model scheduler state, mirroring `Scheduler::run_with_packs`.
-        let mut pending: Vec<Vec<usize>> = (0..nm).map(|m| (0..reqs[m].len()).collect()).collect();
+        // Per-model scheduler state, mirroring `Scheduler::run_with_packs`:
+        // each model owns an unbounded admission engine running the
+        // scheduler's policy with private state.
+        let mut future: Vec<Vec<usize>> = (0..nm)
+            .map(|m| {
+                let mut f: Vec<usize> = (0..reqs[m].len()).collect();
+                f.sort_by_key(|&i| (reqs[m][i].arrival_step, i));
+                f
+            })
+            .collect();
+        let mut engines: Vec<AdmissionEngine> = (0..nm)
+            .map(|_| AdmissionEngine::new(self.policy, None))
+            .collect();
         let mut streams: Vec<Vec<Stream>> = (0..nm).map(|_| Vec::new()).collect();
         let mut owner: Vec<Vec<usize>> = (0..nm).map(|_| Vec::new()).collect();
         let mut inflight: Vec<Vec<usize>> = (0..nm).map(|_| Vec::new()).collect();
-        let mut fair_resume: Vec<TenantId> = vec![0; nm];
+        let mut parked_at: Vec<Vec<usize>> = (0..nm).map(|m| vec![0; reqs[m].len()]).collect();
         let mut per_model: Vec<ServeStats> = (0..nm)
             .map(|m| ServeStats {
                 requests: reqs[m]
@@ -322,6 +346,7 @@ impl RegistryScheduler {
                         completed_step: 0,
                         queue_delay: 0,
                         steps_in_batch: 0,
+                        parked_steps: 0,
                         latency: 0,
                     })
                     .collect(),
@@ -334,41 +359,102 @@ impl RegistryScheduler {
         arena::scope(|| {
             loop {
                 let busy = inflight.iter().any(|f| !f.is_empty());
-                let waiting = pending.iter().any(|p| !p.is_empty());
-                if !busy && !waiting {
+                let queued = engines.iter().any(|e| e.has_work());
+                let waiting = future.iter().any(|p| !p.is_empty());
+                if !busy && !waiting && !queued {
                     break;
                 }
-                if !busy {
+                if !busy && !queued {
                     // Idle: jump the shared clock to the earliest arrival.
                     let reqs = &reqs;
-                    let earliest = pending
+                    let earliest = future
                         .iter()
                         .enumerate()
                         .flat_map(|(m, p)| p.iter().map(move |&i| reqs[m][i].arrival_step))
                         .min()
-                        .expect("pending nonempty when nothing is in flight");
+                        .expect("future nonempty when nothing is in flight or queued");
                     clock = clock.max(earliest);
                 }
-                // Step-boundary admission, per model, fair-share across
-                // tenants with a per-model resume cursor.
+                // Per model: move arrivals into the engine, then run the
+                // policy at the step boundary (shared path with the
+                // single-model scheduler).
                 for m in 0..nm {
-                    let mut arrived: Vec<usize> = pending[m]
-                        .iter()
-                        .copied()
-                        .filter(|&i| reqs[m][i].arrival_step <= clock)
-                        .collect();
-                    let capacity = self.max_batch - inflight[m].len();
-                    let admit =
-                        fair_share_admit(&mut arrived, &reqs[m], capacity, &mut fair_resume[m]);
-                    for &i in &admit {
-                        pending[m].retain(|&p| p != i);
-                        let stream = samplers[m].make_stream(&mcfgs[m], &reqs[m][i].request)?;
-                        owner[m].push(i);
-                        inflight[m].push(streams[m].len());
-                        streams[m].push(stream);
-                        per_model[m].requests[i].admitted_step = clock;
-                        per_model[m].requests[i].queue_delay = clock - reqs[m][i].arrival_step;
+                    while let Some(&i) = future[m].first() {
+                        if reqs[m][i].arrival_step > clock {
+                            break;
+                        }
+                        future[m].remove(0);
+                        let verdict = engines[m].enqueue(reqs[m][i], i);
+                        debug_assert!(
+                            matches!(verdict, Backpressure::Accepted),
+                            "registry engines are unbounded"
+                        );
                     }
+                    let inflight_refs: Vec<InflightRef> = inflight[m]
+                        .iter()
+                        .map(|&k| InflightRef {
+                            stream_key: k,
+                            scheduled: reqs[m][owner[m][k]],
+                            submit_index: owner[m][k],
+                            remaining: streams[m][k].request.steps - streams[m][k].cursor,
+                        })
+                        .collect();
+                    let actions =
+                        engines[m].boundary(&inflight_refs, self.max_batch, clock, future[m].len());
+                    for &k in &actions.park {
+                        inflight[m].retain(|&key| key != k);
+                        parked_at[m][owner[m][k]] = clock;
+                        per_model[m].preemptions += 1;
+                    }
+                    for admitted in &actions.admit {
+                        match *admitted {
+                            Admitted::Fresh {
+                                scheduled,
+                                submit_index,
+                            } => {
+                                let stream =
+                                    samplers[m].make_stream(&mcfgs[m], &scheduled.request)?;
+                                owner[m].push(submit_index);
+                                inflight[m].push(streams[m].len());
+                                streams[m].push(stream);
+                                per_model[m].requests[submit_index].admitted_step = clock;
+                                per_model[m].requests[submit_index].queue_delay =
+                                    clock - scheduled.arrival_step;
+                            }
+                            Admitted::Resumed {
+                                stream_key,
+                                submit_index,
+                            } => {
+                                inflight[m].push(stream_key);
+                                per_model[m].requests[submit_index].parked_steps +=
+                                    clock - parked_at[m][submit_index];
+                            }
+                        }
+                    }
+                }
+                if inflight.iter().all(|f| f.is_empty()) {
+                    // Nothing admitted anywhere (e.g. gangs still
+                    // assembling): jump to the next arrival, or flag a
+                    // stalled policy.
+                    let reqs = &reqs;
+                    if let Some(next) = future
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(m, p)| p.iter().map(move |&i| reqs[m][i].arrival_step))
+                        .filter(|&a| a > clock)
+                        .min()
+                    {
+                        clock = next;
+                        continue;
+                    }
+                    if engines.iter().any(|e| e.has_work()) {
+                        return Err(EdmError::Config {
+                            reason: "admission stalled: queued work with no in-flight \
+                                     streams and no future arrivals"
+                                .into(),
+                        });
+                    }
+                    continue;
                 }
                 // One batched Heun round per non-idle model.
                 for m in 0..nm {
@@ -388,6 +474,7 @@ impl RegistryScheduler {
                         .step_latency_ns
                         .push(t0.elapsed().as_nanos() as u64);
                     per_model[m].batch_occupancy.push(inflight[m].len());
+                    per_model[m].queue_depth.push(engines[m].queue_len());
                     per_model[m].rounds += 1;
                     total_rounds += 1;
                 }
@@ -401,8 +488,9 @@ impl RegistryScheduler {
                         if done {
                             let i = owner_m[k];
                             stats_m.requests[i].completed_step = clock;
-                            stats_m.requests[i].steps_in_batch =
-                                clock - stats_m.requests[i].admitted_step;
+                            stats_m.requests[i].steps_in_batch = clock
+                                - stats_m.requests[i].admitted_step
+                                - stats_m.requests[i].parked_steps;
                             stats_m.requests[i].latency = clock - reqs_m[i].arrival_step;
                         }
                         !done
@@ -478,7 +566,7 @@ mod tests {
     ) -> RegistryRequest {
         RegistryRequest::new(
             model,
-            ScheduledRequest::new(ServeRequest::new(id, steps).with_tenant(tenant), arrival),
+            ScheduledRequest::new(ServeRequest::new(id, steps).tenant(tenant), arrival),
         )
     }
 

@@ -44,10 +44,23 @@
 //! at [`Scheduler::max_batch`], and queued requests are admitted at step
 //! boundaries — the packed `[A, C, S, S]` state re-forms as streams join
 //! and retire, so a long-running request never blocks a short one behind
-//! a full gang. Admission order is an [`AdmissionPolicy`] (FIFO,
-//! shortest-budget-first, or the gang-scheduling baseline), and every run
-//! records per-request queueing delay and latency plus per-round batch
-//! occupancy and wall-clock into a serializable [`ServeStats`].
+//! a full gang.
+//!
+//! # Admission policies and backpressure
+//!
+//! Admission order is decided by a sealed, deterministic [`Policy`] trait
+//! — the scheduler core never special-cases a policy. The
+//! [`AdmissionPolicy`] enum is the serializable selector over the six
+//! built-in implementations: FIFO, shortest-budget-first, the
+//! gang-scheduling baseline, tenant fair share, static [`ServeRequest`]
+//! priority, and budget-aware preemption (which *parks* an in-flight
+//! stream — state frozen bit-for-bit — and resumes it at a later
+//! boundary). The pending queue can be bounded with a [`QueueBound`]
+//! whose [`BackpressurePolicy`] either rejects the newcomer or sheds the
+//! oldest / largest-budget queued request. Every run records per-request
+//! queueing delay and latency, per-round batch occupancy, queue depth,
+//! and wall-clock, plus shed/reject ids and preemption counts, into a
+//! serializable [`ServeStats`].
 //!
 //! The determinism contract extends unchanged: admission timing only
 //! decides *which* rounds a stream shares with whom, never the arithmetic
@@ -62,6 +75,7 @@ use sqdm_nn::PackCache;
 use sqdm_quant::PrecisionAssignment;
 use sqdm_sparsity::{channel_sparsity, ChangeMask, TemporalTrace};
 use sqdm_tensor::{arena, Rng, Tensor};
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
@@ -87,23 +101,44 @@ pub struct ServeRequest {
     /// The submitting tenant (0 when unspecified). Only admission order and
     /// stat rollups look at it.
     pub tenant: TenantId,
+    /// Static priority (0 when unspecified, higher is more urgent). Only
+    /// [`AdmissionPolicy::Priority`] looks at it; like tenancy it is a pure
+    /// scheduling attribute and never touches stream arithmetic.
+    pub priority: u32,
 }
 
 impl ServeRequest {
-    /// A request with the given id, seeding the noise stream from the id.
+    /// A request with the given id and step budget, seeding the noise
+    /// stream from the id. Refine with the builder methods:
+    /// `ServeRequest::new(id, steps).tenant(t).priority(p).seed(s)`.
     pub fn new(id: u64, steps: usize) -> Self {
         ServeRequest {
             id,
             seed: id,
             steps,
             tenant: 0,
+            priority: 0,
         }
     }
 
     /// This request tagged with a tenant.
     #[must_use]
-    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// This request with a static priority (higher is more urgent).
+    #[must_use]
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// This request with an explicit noise seed (instead of seed = id).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -483,7 +518,287 @@ impl ScheduledRequest {
     }
 }
 
+/// One admissible unit of work at a step boundary: either a queued request
+/// that has arrived, or a parked stream eligible to resume. Candidates are
+/// presented to [`Policy::admit`] pre-sorted in canonical arrival order
+/// `(arrival_step, submit_index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The request id.
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Static priority carried on the request (higher is more urgent).
+    pub priority: u32,
+    /// Virtual step at which the request arrived.
+    pub arrival_step: usize,
+    /// Submission index: a total order over every request of one run.
+    pub submit_index: usize,
+    /// Denoise steps still owed: the full budget for a fresh request, the
+    /// frozen remainder for a parked stream.
+    pub remaining: usize,
+    /// True when this candidate is a parked stream resuming (its state is
+    /// already allocated; admitting it creates no new stream).
+    pub parked: bool,
+}
+
+/// A stream currently in flight, as [`Policy::admit`] sees it. Positions
+/// in the [`AdmitCtx::inflight`] slice are the handles park decisions use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InflightInfo {
+    /// The request id.
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Static priority carried on the request.
+    pub priority: u32,
+    /// Denoise steps still owed before the stream retires.
+    pub remaining: usize,
+}
+
+/// Everything a [`Policy`] may observe at one step boundary. Deliberately
+/// *no* wall-clock access: admission must be a pure function of the
+/// virtual schedule state (plus the policy's own deterministic state) so
+/// every run stays bitwise reproducible at any thread count.
+#[derive(Debug)]
+pub struct AdmitCtx<'a> {
+    /// Admissible candidates, in canonical `(arrival_step, submit_index)`
+    /// order.
+    pub candidates: &'a [Candidate],
+    /// The in-flight batch, oldest stream first.
+    pub inflight: &'a [InflightInfo],
+    /// Free in-flight slots before any parking:
+    /// `max_batch - inflight.len()`.
+    pub capacity: usize,
+    /// The in-flight batch capacity.
+    pub max_batch: usize,
+    /// The virtual clock (outer denoise rounds since the run began).
+    pub clock: usize,
+    /// Requests known to arrive strictly after `clock` — lets a gang-style
+    /// policy decide whether waiting could ever assemble a fuller batch.
+    pub pending_future: usize,
+}
+
+mod sealed {
+    /// Seals [`super::Policy`]: admission decisions feed the bitwise
+    /// determinism contract, so the set of implementations is closed to
+    /// this crate.
+    pub trait Sealed {}
+}
+
+/// What a [`Policy`] decided at one step boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmitDecision {
+    /// Indices into [`AdmitCtx::candidates`] to admit, in admission order.
+    pub admit: Vec<usize>,
+    /// Positions into [`AdmitCtx::inflight`] to park. A parked stream
+    /// keeps its state bit-for-bit and re-enters the candidate set at the
+    /// next boundary with its remaining budget frozen.
+    pub park: Vec<usize>,
+}
+
+/// A deterministic admission policy (sealed).
+///
+/// [`Policy::admit`] runs at every step boundary. It must be a pure
+/// function of the [`AdmitCtx`] and the policy's own state — no wall
+/// clock, no ambient randomness — which is what keeps serving bitwise
+/// reproducible under any `SQDM_THREADS`. Obtain implementations via
+/// [`AdmissionPolicy::into_policy`]; the scheduler core dispatches through
+/// this trait alone, so new policies never edit the serve loop.
+pub trait Policy: sealed::Sealed + std::fmt::Debug + Send {
+    /// Chooses which candidates join (and which in-flight streams leave)
+    /// the batch at this boundary.
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision;
+}
+
+/// First come, first served (see [`AdmissionPolicy::Fifo`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoPolicy;
+
+impl sealed::Sealed for FifoPolicy {}
+impl Policy for FifoPolicy {
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision {
+        AdmitDecision {
+            admit: (0..ctx.candidates.len().min(ctx.capacity)).collect(),
+            park: Vec::new(),
+        }
+    }
+}
+
+/// Shortest budget first (see [`AdmissionPolicy::ShortestBudgetFirst`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestBudgetFirstPolicy;
+
+impl sealed::Sealed for ShortestBudgetFirstPolicy {}
+impl Policy for ShortestBudgetFirstPolicy {
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision {
+        let mut order: Vec<usize> = (0..ctx.candidates.len()).collect();
+        order.sort_by_key(|&i| {
+            let c = &ctx.candidates[i];
+            (c.remaining, c.arrival_step, c.submit_index)
+        });
+        order.truncate(ctx.capacity);
+        AdmitDecision {
+            admit: order,
+            park: Vec::new(),
+        }
+    }
+}
+
+/// Gang scheduling, the static-batching baseline (see
+/// [`AdmissionPolicy::Gang`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GangPolicy;
+
+impl sealed::Sealed for GangPolicy {}
+impl Policy for GangPolicy {
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision {
+        let drained = ctx.inflight.is_empty();
+        let ready = ctx.candidates.len() >= ctx.max_batch
+            || (ctx.pending_future == 0 && !ctx.candidates.is_empty());
+        if drained && ready {
+            AdmitDecision {
+                admit: (0..ctx.candidates.len().min(ctx.max_batch)).collect(),
+                park: Vec::new(),
+            }
+        } else {
+            AdmitDecision::default()
+        }
+    }
+}
+
+/// Deterministic round-robin fair share across tenants (see
+/// [`AdmissionPolicy::FairShare`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairSharePolicy {
+    /// The tenant id after the last one served, so the next boundary
+    /// resumes the cycle instead of restarting at the smallest tenant.
+    resume: TenantId,
+}
+
+impl sealed::Sealed for FairSharePolicy {}
+impl Policy for FairSharePolicy {
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision {
+        let cands = ctx.candidates;
+        if cands.is_empty() || ctx.capacity == 0 {
+            return AdmitDecision::default();
+        }
+        // Tenant-major, FIFO within tenant.
+        let mut order: Vec<usize> = (0..cands.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                cands[i].tenant,
+                cands[i].arrival_step,
+                cands[i].submit_index,
+            )
+        });
+        // Per-tenant queues over the sorted order: (tenant, start, len,
+        // taken).
+        let mut queues: Vec<(TenantId, usize, usize, usize)> = Vec::new();
+        for (pos, &i) in order.iter().enumerate() {
+            let t = cands[i].tenant;
+            match queues.last_mut() {
+                Some(q) if q.0 == t => q.2 += 1,
+                _ => queues.push((t, pos, 1, 0)),
+            }
+        }
+        // Start the cycle at the first tenant at or after the resume
+        // point, wrapping.
+        let start = queues
+            .iter()
+            .position(|q| q.0 >= self.resume)
+            .unwrap_or(0usize);
+        let mut admit = Vec::with_capacity(ctx.capacity.min(cands.len()));
+        let mut qi = start;
+        let mut exhausted = 0usize;
+        let nq = queues.len();
+        while admit.len() < ctx.capacity && exhausted < nq {
+            let q = &mut queues[qi % nq];
+            if q.3 < q.2 {
+                admit.push(order[q.1 + q.3]);
+                q.3 += 1;
+                self.resume = q.0.wrapping_add(1);
+                exhausted = 0;
+            } else {
+                exhausted += 1;
+            }
+            qi += 1;
+        }
+        AdmitDecision {
+            admit,
+            park: Vec::new(),
+        }
+    }
+}
+
+/// Static priority admission (see [`AdmissionPolicy::Priority`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityPolicy;
+
+impl sealed::Sealed for PriorityPolicy {}
+impl Policy for PriorityPolicy {
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision {
+        let mut order: Vec<usize> = (0..ctx.candidates.len()).collect();
+        order.sort_by_key(|&i| {
+            let c = &ctx.candidates[i];
+            (Reverse(c.priority), c.arrival_step, c.submit_index)
+        });
+        order.truncate(ctx.capacity);
+        AdmitDecision {
+            admit: order,
+            park: Vec::new(),
+        }
+    }
+}
+
+/// Budget-aware preemption (see [`AdmissionPolicy::Preempt`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreemptPolicy;
+
+impl sealed::Sealed for PreemptPolicy {}
+impl Policy for PreemptPolicy {
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision {
+        // Shortest remaining budget first over fresh and parked work alike.
+        let mut order: Vec<usize> = (0..ctx.candidates.len()).collect();
+        order.sort_by_key(|&i| {
+            let c = &ctx.candidates[i];
+            (c.remaining, c.arrival_step, c.submit_index)
+        });
+        let mut decision = AdmitDecision::default();
+        let mut next = 0usize;
+        while next < order.len() && decision.admit.len() < ctx.capacity {
+            decision.admit.push(order[next]);
+            next += 1;
+        }
+        // Free slots exhausted: park in-flight streams with strictly more
+        // remaining work than the best waiting candidate, longest first.
+        // Strict inequality is what prevents ping-pong — a parked stream's
+        // remainder is frozen while running streams only shrink, so any
+        // pair can swap at most once.
+        let mut victims: Vec<usize> = (0..ctx.inflight.len()).collect();
+        victims.sort_by_key(|&p| Reverse((ctx.inflight[p].remaining, p)));
+        let mut vi = 0usize;
+        while next < order.len() && vi < victims.len() {
+            let cand = &ctx.candidates[order[next]];
+            if ctx.inflight[victims[vi]].remaining > cand.remaining {
+                decision.park.push(victims[vi]);
+                decision.admit.push(order[next]);
+                next += 1;
+                vi += 1;
+            } else {
+                break;
+            }
+        }
+        decision
+    }
+}
+
 /// Order in which queued requests are admitted at a step boundary.
+///
+/// This enum is the serializable, copyable *selector*; the scheduler core
+/// dispatches through the sealed [`Policy`] trait that
+/// [`AdmissionPolicy::into_policy`] constructs, so the enum is purely a
+/// convenience shim for configuration surfaces (wire, benches, tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdmissionPolicy {
     /// First come, first served: arrived requests are admitted in
@@ -511,6 +826,376 @@ pub enum AdmissionPolicy {
     /// tenants are never starved. Fully deterministic: admission order is a
     /// function of the request set alone.
     FairShare,
+    /// Static priority: the highest [`ServeRequest::priority`] among the
+    /// arrived requests is admitted first (ties broken FIFO). Priorities
+    /// are pure scheduling metadata — arithmetic never sees them.
+    Priority,
+    /// Budget-aware preemption (shortest remaining processing time): the
+    /// smallest remaining budget — fresh or parked — is admitted first,
+    /// and when the batch is full an in-flight stream with strictly more
+    /// remaining work is **parked** to make room. A parked stream keeps
+    /// its state bit-for-bit (its remaining budget frozen) and resumes at
+    /// a later boundary producing exactly the solo-`sample()` bits, so
+    /// preemption is invisible to the determinism contract.
+    Preempt,
+}
+
+impl AdmissionPolicy {
+    /// The boxed [`Policy`] implementation for this selector — how the
+    /// [`Scheduler`], the registry scheduler, and the daemon build their
+    /// per-run policy state.
+    pub fn into_policy(self) -> Box<dyn Policy> {
+        match self {
+            AdmissionPolicy::Fifo => Box::new(FifoPolicy),
+            AdmissionPolicy::ShortestBudgetFirst => Box::new(ShortestBudgetFirstPolicy),
+            AdmissionPolicy::Gang => Box::new(GangPolicy),
+            AdmissionPolicy::FairShare => Box::new(FairSharePolicy::default()),
+            AdmissionPolicy::Priority => Box::new(PriorityPolicy),
+            AdmissionPolicy::Preempt => Box::new(PreemptPolicy),
+        }
+    }
+}
+
+/// What happens to the overflow when a request lands on a full pending
+/// queue (see [`QueueBound`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressurePolicy {
+    /// Refuse the newcomer: the scheduler records its id in
+    /// [`ServeStats::rejected_ids`] and serves no output for it; the
+    /// daemon surfaces this as [`EdmError::Overloaded`] (HTTP 429).
+    Reject,
+    /// Shed the oldest queued request — smallest
+    /// `(arrival_step, submission index)` — and queue the newcomer.
+    ShedOldest,
+    /// Shed the largest step budget among the queue and the newcomer (ties
+    /// shed the newest arrival, so the earliest submission of a tied
+    /// budget survives). The newcomer itself is shed when it carries the
+    /// largest budget.
+    ShedLargestBudget,
+}
+
+/// A bound on the scheduler's pending queue: at most `capacity` requests
+/// may wait for admission; `policy` decides what happens to the overflow.
+/// Arrivals are bounded *before* the boundary's admission runs, so a full
+/// queue sheds or rejects a newcomer even if admission would free a slot
+/// at the same tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueBound {
+    /// Maximum number of queued (arrived but not yet admitted) requests.
+    pub capacity: usize,
+    /// What to do with the overflow.
+    pub policy: BackpressurePolicy,
+}
+
+/// Outcome of offering one arrival to the [`AdmissionEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Backpressure {
+    /// Queued (or no bound configured).
+    Accepted,
+    /// The newcomer was refused; carries its id.
+    Rejected(u64),
+    /// A request (possibly the newcomer itself) was shed to make room;
+    /// carries the victim's id.
+    Shed {
+        /// The shed request's id.
+        id: u64,
+    },
+}
+
+/// An in-flight stream as the [`AdmissionEngine`] needs to see it at a
+/// step boundary.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InflightRef {
+    /// The caller's handle for the stream (index into its stream storage).
+    pub(crate) stream_key: usize,
+    pub(crate) scheduled: ScheduledRequest,
+    pub(crate) submit_index: usize,
+    /// Denoise steps still owed (`steps - cursor`).
+    pub(crate) remaining: usize,
+}
+
+/// A preempted stream waiting to resume: its state stays allocated in the
+/// caller's storage, the engine only remembers the handle and the frozen
+/// remainder.
+#[derive(Debug, Clone, Copy)]
+struct ParkedEntry {
+    stream_key: usize,
+    scheduled: ScheduledRequest,
+    submit_index: usize,
+    remaining: usize,
+}
+
+/// One admission decided by [`AdmissionEngine::boundary`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Admitted {
+    /// A fresh request: the caller creates its stream now.
+    Fresh {
+        scheduled: ScheduledRequest,
+        submit_index: usize,
+    },
+    /// A parked stream resumes bit-for-bit where it left off.
+    Resumed {
+        stream_key: usize,
+        submit_index: usize,
+    },
+}
+
+/// What one step boundary decided.
+#[derive(Debug, Default)]
+pub(crate) struct BoundaryActions {
+    /// Stream keys to remove from the in-flight set (state kept; the
+    /// engine re-offers them as parked candidates at later boundaries).
+    pub(crate) park: Vec<usize>,
+    /// Admissions, in admission order.
+    pub(crate) admit: Vec<Admitted>,
+}
+
+/// The one shared admission path: a bounded pending queue (backpressure on
+/// arrival) feeding a [`Policy`] (admission and preemption at step
+/// boundaries). [`Scheduler`], the registry scheduler, and the daemon all
+/// drive this engine instead of duplicating admission logic.
+#[derive(Debug)]
+pub(crate) struct AdmissionEngine {
+    policy: Box<dyn Policy>,
+    bound: Option<QueueBound>,
+    /// Arrived, not yet admitted: `(request, submission index)`.
+    queue: Vec<(ScheduledRequest, usize)>,
+    parked: Vec<ParkedEntry>,
+}
+
+impl AdmissionEngine {
+    pub(crate) fn new(policy: AdmissionPolicy, bound: Option<QueueBound>) -> Self {
+        AdmissionEngine {
+            policy: policy.into_policy(),
+            bound,
+            queue: Vec::new(),
+            parked: Vec::new(),
+        }
+    }
+
+    /// Requests currently waiting for admission.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True while any queued or parked work remains.
+    pub(crate) fn has_work(&self) -> bool {
+        !self.queue.is_empty() || !self.parked.is_empty()
+    }
+
+    /// Offers one arrival to the bounded queue.
+    pub(crate) fn enqueue(
+        &mut self,
+        scheduled: ScheduledRequest,
+        submit_index: usize,
+    ) -> Backpressure {
+        let Some(bound) = self.bound else {
+            self.queue.push((scheduled, submit_index));
+            return Backpressure::Accepted;
+        };
+        if self.queue.len() < bound.capacity {
+            self.queue.push((scheduled, submit_index));
+            return Backpressure::Accepted;
+        }
+        match bound.policy {
+            BackpressurePolicy::Reject => Backpressure::Rejected(scheduled.request.id),
+            BackpressurePolicy::ShedOldest => {
+                // A zero-capacity queue can only shed the newcomer itself.
+                if bound.capacity == 0 {
+                    return Backpressure::Shed {
+                        id: scheduled.request.id,
+                    };
+                }
+                let victim = self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (s, idx))| (s.arrival_step, *idx))
+                    .map(|(pos, _)| pos)
+                    .expect("bounded nonzero queue is full, hence nonempty");
+                let (shed, _) = self.queue.remove(victim);
+                self.queue.push((scheduled, submit_index));
+                Backpressure::Shed {
+                    id: shed.request.id,
+                }
+            }
+            BackpressurePolicy::ShedLargestBudget => {
+                // Largest `(steps, arrival_step, submission index)` loses:
+                // the biggest budget is shed, ties shed the newest.
+                let mut victim_pos = None; // `None` means the newcomer.
+                let mut victim_key = (
+                    scheduled.request.steps,
+                    scheduled.arrival_step,
+                    submit_index,
+                );
+                for (pos, (s, idx)) in self.queue.iter().enumerate() {
+                    let key = (s.request.steps, s.arrival_step, *idx);
+                    if key > victim_key {
+                        victim_key = key;
+                        victim_pos = Some(pos);
+                    }
+                }
+                match victim_pos {
+                    None => Backpressure::Shed {
+                        id: scheduled.request.id,
+                    },
+                    Some(pos) => {
+                        let (shed, _) = self.queue.remove(pos);
+                        self.queue.push((scheduled, submit_index));
+                        Backpressure::Shed {
+                            id: shed.request.id,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the policy at one step boundary. `inflight` carries one entry
+    /// per in-flight stream, oldest first; the returned actions tell the
+    /// caller which stream keys to park and what to admit, in order.
+    pub(crate) fn boundary(
+        &mut self,
+        inflight: &[InflightRef],
+        max_batch: usize,
+        clock: usize,
+        pending_future: usize,
+    ) -> BoundaryActions {
+        if self.queue.is_empty() && self.parked.is_empty() {
+            return BoundaryActions::default();
+        }
+        // The candidate set: queued arrivals and parked streams, merged in
+        // canonical arrival order.
+        enum Source {
+            Queue(usize),
+            Parked(usize),
+        }
+        let mut cands: Vec<(Candidate, Source)> =
+            Vec::with_capacity(self.queue.len() + self.parked.len());
+        for (pos, (s, idx)) in self.queue.iter().enumerate() {
+            cands.push((
+                Candidate {
+                    id: s.request.id,
+                    tenant: s.request.tenant,
+                    priority: s.request.priority,
+                    arrival_step: s.arrival_step,
+                    submit_index: *idx,
+                    remaining: s.request.steps,
+                    parked: false,
+                },
+                Source::Queue(pos),
+            ));
+        }
+        for (pos, p) in self.parked.iter().enumerate() {
+            cands.push((
+                Candidate {
+                    id: p.scheduled.request.id,
+                    tenant: p.scheduled.request.tenant,
+                    priority: p.scheduled.request.priority,
+                    arrival_step: p.scheduled.arrival_step,
+                    submit_index: p.submit_index,
+                    remaining: p.remaining,
+                    parked: true,
+                },
+                Source::Parked(pos),
+            ));
+        }
+        cands.sort_by_key(|(c, _)| (c.arrival_step, c.submit_index));
+        let candidates: Vec<Candidate> = cands.iter().map(|(c, _)| *c).collect();
+        let infos: Vec<InflightInfo> = inflight
+            .iter()
+            .map(|r| InflightInfo {
+                id: r.scheduled.request.id,
+                tenant: r.scheduled.request.tenant,
+                priority: r.scheduled.request.priority,
+                remaining: r.remaining,
+            })
+            .collect();
+        let ctx = AdmitCtx {
+            candidates: &candidates,
+            inflight: &infos,
+            capacity: max_batch.saturating_sub(inflight.len()),
+            max_batch,
+            clock,
+            pending_future,
+        };
+        let decision = self.policy.admit(&ctx);
+
+        // Sanitize the decision: drop out-of-range handles, dedup, and cap
+        // admissions to what parking actually frees. A policy bug degrades
+        // to a smaller admission, never to a corrupted batch.
+        let mut park: Vec<usize> = Vec::new();
+        for &p in &decision.park {
+            if p < inflight.len() && !park.contains(&p) {
+                park.push(p);
+            }
+        }
+        let mut admit: Vec<usize> = Vec::new();
+        for &a in &decision.admit {
+            if a < candidates.len() && !admit.contains(&a) {
+                admit.push(a);
+            }
+        }
+        if admit.is_empty() {
+            park.clear();
+        }
+        let allowed = max_batch.saturating_sub(inflight.len() - park.len());
+        admit.truncate(allowed);
+        if admit.is_empty() {
+            park.clear();
+        }
+
+        let mut actions = BoundaryActions::default();
+        // Record parks first; removal flags only cover the pre-park length
+        // so a stream parked at this boundary cannot resume at it too.
+        let parked_before = self.parked.len();
+        let mut rm_parked = vec![false; parked_before];
+        let mut rm_queue = vec![false; self.queue.len()];
+        for &p in &park {
+            let r = &inflight[p];
+            actions.park.push(r.stream_key);
+            self.parked.push(ParkedEntry {
+                stream_key: r.stream_key,
+                scheduled: r.scheduled,
+                submit_index: r.submit_index,
+                remaining: r.remaining,
+            });
+        }
+        for &a in &admit {
+            match cands[a].1 {
+                Source::Queue(pos) => {
+                    rm_queue[pos] = true;
+                    let (scheduled, submit_index) = self.queue[pos];
+                    actions.admit.push(Admitted::Fresh {
+                        scheduled,
+                        submit_index,
+                    });
+                }
+                Source::Parked(pos) => {
+                    debug_assert!(pos < parked_before);
+                    rm_parked[pos] = true;
+                    let p = &self.parked[pos];
+                    actions.admit.push(Admitted::Resumed {
+                        stream_key: p.stream_key,
+                        submit_index: p.submit_index,
+                    });
+                }
+            }
+        }
+        let mut qi = 0usize;
+        self.queue.retain(|_| {
+            let keep = !rm_queue[qi];
+            qi += 1;
+            keep
+        });
+        let mut pi = 0usize;
+        self.parked.retain(|_| {
+            let keep = pi >= parked_before || !rm_parked[pi];
+            pi += 1;
+            keep
+        });
+        actions
+    }
 }
 
 /// Per-request timing record, in virtual steps (see [`ServeStats`]).
@@ -528,9 +1213,14 @@ pub struct RequestStats {
     pub completed_step: usize,
     /// Steps spent queued: `admitted_step - arrival_step`.
     pub queue_delay: usize,
-    /// Steps spent in the batch: `completed_step - admitted_step`; equals
-    /// the request's step budget (a stream never stalls once admitted).
+    /// Steps spent actually denoising in the batch:
+    /// `completed_step - admitted_step - parked_steps`; equals the
+    /// request's step budget (a stream never stalls while in flight).
     pub steps_in_batch: usize,
+    /// Steps spent parked by a preempting policy between admission and
+    /// completion (0 under non-preempting policies). The latency identity
+    /// is `latency == queue_delay + steps_in_batch + parked_steps`.
+    pub parked_steps: usize,
     /// End-to-end latency: `completed_step - arrival_step`.
     pub latency: usize,
 }
@@ -551,9 +1241,19 @@ pub struct ServeStats {
     pub final_step: usize,
     /// In-flight batch size at each executed round.
     pub batch_occupancy: Vec<usize>,
+    /// Pending-queue depth after admission at each executed round — the
+    /// timeline backpressure tuning reads.
+    pub queue_depth: Vec<usize>,
     /// Wall-clock nanoseconds spent in each executed round.
     pub step_latency_ns: Vec<u64>,
-    /// One record per request, in submission order.
+    /// Ids refused by [`BackpressurePolicy::Reject`], in arrival order.
+    pub rejected_ids: Vec<u64>,
+    /// Ids shed by a shedding backpressure policy, in shed order.
+    pub shed_ids: Vec<u64>,
+    /// Streams parked by a preempting admission policy over the run.
+    pub preemptions: usize,
+    /// One record per **completed** request, in submission order (shed and
+    /// rejected requests appear only in the id lists above).
     pub requests: Vec<RequestStats>,
 }
 
@@ -581,6 +1281,25 @@ impl ServeStats {
     /// Mean wall-clock nanoseconds per round (`NaN` if none ran).
     pub fn mean_step_latency_ns(&self) -> f64 {
         mean(self.step_latency_ns.iter().map(|&n| n as f64))
+    }
+
+    /// Largest pending-queue depth over executed rounds (0 if none ran).
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean pending-queue depth over executed rounds (`NaN` if none ran).
+    pub fn mean_queue_depth(&self) -> f64 {
+        mean(self.queue_depth.iter().map(|&d| d as f64))
+    }
+
+    /// Completed requests per virtual step (`NaN` for an empty run) — the
+    /// throughput side of each scenario's throughput-vs-latency row.
+    pub fn throughput_per_step(&self) -> f64 {
+        if self.final_step == 0 {
+            return f64::NAN;
+        }
+        self.requests.len() as f64 / self.final_step as f64
     }
 
     /// Nearest-rank percentile of per-request end-to-end latency, in
@@ -684,22 +1403,32 @@ pub struct Scheduler {
     pub max_batch: usize,
     /// Admission order for queued requests.
     pub policy: AdmissionPolicy,
+    /// Bound on the pending queue; `None` (the default) queues without
+    /// limit and never sheds or rejects.
+    pub queue_bound: Option<QueueBound>,
 }
 
 impl Scheduler {
-    /// A FIFO scheduler with the given in-flight capacity and per-stream
-    /// trace recording enabled.
+    /// A FIFO scheduler with the given in-flight capacity, an unbounded
+    /// pending queue, and per-stream trace recording enabled.
     pub fn new(den: Denoiser, max_batch: usize) -> Self {
         Scheduler {
             sampler: BatchSampler::new(den),
             max_batch,
             policy: AdmissionPolicy::Fifo,
+            queue_bound: None,
         }
     }
 
     /// This scheduler with a different admission policy.
     pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// This scheduler with a bounded pending queue.
+    pub fn with_queue_bound(mut self, bound: QueueBound) -> Self {
+        self.queue_bound = Some(bound);
         self
     }
 
@@ -710,15 +1439,18 @@ impl Scheduler {
     }
 
     /// Serves `requests` to completion under continuous batching and
-    /// returns one output per request (in submission order) plus the run's
-    /// [`ServeStats`].
+    /// returns one output per **completed** request (in submission order)
+    /// plus the run's [`ServeStats`]. With an unbounded queue (the
+    /// default) every request completes; under a [`QueueBound`] the shed
+    /// and rejected ids are recorded in the stats instead.
     ///
-    /// At every step boundary the scheduler admits queued requests whose
-    /// `arrival_step` has passed (in [`AdmissionPolicy`] order, up to
-    /// [`Scheduler::max_batch`] in flight), executes one batched Heun
-    /// round over the in-flight streams, then retires the streams that
-    /// exhausted their budget. When nothing is in flight the clock jumps
-    /// to the next arrival instead of spinning.
+    /// At every step boundary the scheduler moves arrivals into the
+    /// bounded pending queue (each getting a backpressure verdict), lets
+    /// the admission [`Policy`] admit queued or parked work and park
+    /// in-flight streams (up to [`Scheduler::max_batch`] in flight),
+    /// executes one batched Heun round over the in-flight streams, then
+    /// retires the streams that exhausted their budget. When nothing is in
+    /// flight the clock jumps to the next arrival instead of spinning.
     ///
     /// Every output is bitwise identical to a solo [`crate::sample`] run
     /// for the same `(seed, steps)` — admission timing, neighbors, and
@@ -783,6 +1515,7 @@ impl Scheduler {
                 completed_step: 0,
                 queue_delay: 0,
                 steps_in_batch: 0,
+                parked_steps: 0,
                 latency: 0,
             })
             .collect();
@@ -790,81 +1523,103 @@ impl Scheduler {
 
         // Streams are created lazily at admission, in admission order;
         // `owner[k]` maps stream `k` back to its submission index. Retired
-        // streams stay in place (they hold the finished image).
-        let mut pending: Vec<usize> = (0..n).collect();
+        // and parked streams stay in place (they hold final or frozen
+        // state). Submission indices not yet visible to the engine sit in
+        // `future`, sorted in canonical `(arrival_step, submission)` order.
+        let mut future: Vec<usize> = (0..n).collect();
+        future.sort_by_key(|&i| (requests[i].arrival_step, i));
+        let mut engine = AdmissionEngine::new(self.policy, self.queue_bound);
         let mut streams: Vec<Stream> = Vec::with_capacity(n);
         let mut owner: Vec<usize> = Vec::with_capacity(n);
         let mut inflight: Vec<usize> = Vec::new();
+        let mut parked_at: Vec<usize> = vec![0; n];
+        let mut completed: Vec<bool> = vec![false; n];
         let mut clock = 0usize;
-        // Fair-share rotation state: the tenant id after the last one
-        // served, so the next boundary resumes the cycle instead of
-        // restarting at the smallest tenant.
-        let mut fair_resume: TenantId = 0;
 
         arena::scope(|| {
-            while !pending.is_empty() || !inflight.is_empty() {
-                if inflight.is_empty() {
-                    // Idle: jump to the earliest pending arrival.
-                    let earliest = pending
+            while !future.is_empty() || engine.has_work() || !inflight.is_empty() {
+                if inflight.is_empty() && !engine.has_work() {
+                    // Idle: jump to the earliest future arrival.
+                    let earliest = future
                         .iter()
                         .map(|&i| requests[i].arrival_step)
                         .min()
-                        .expect("pending nonempty when nothing is in flight");
+                        .expect("loop invariant: some work remains");
                     clock = clock.max(earliest);
                 }
-                // Step-boundary admission.
-                let mut arrived: Vec<usize> = pending
+                // Arrivals at or before this boundary enter the bounded
+                // pending queue, in canonical order, one backpressure
+                // verdict each.
+                while let Some(&i) = future.first() {
+                    if requests[i].arrival_step > clock {
+                        break;
+                    }
+                    future.remove(0);
+                    match engine.enqueue(requests[i], i) {
+                        Backpressure::Accepted => {}
+                        Backpressure::Rejected(id) => stats.rejected_ids.push(id),
+                        Backpressure::Shed { id } => stats.shed_ids.push(id),
+                    }
+                }
+                // Step-boundary admission through the shared policy path.
+                let inflight_refs: Vec<InflightRef> = inflight
                     .iter()
-                    .copied()
-                    .filter(|&i| requests[i].arrival_step <= clock)
+                    .map(|&k| InflightRef {
+                        stream_key: k,
+                        scheduled: requests[owner[k]],
+                        submit_index: owner[k],
+                        remaining: streams[k].request.steps - streams[k].cursor,
+                    })
                     .collect();
-                let capacity = self.max_batch - inflight.len();
-                let admit: Vec<usize> = match self.policy {
-                    AdmissionPolicy::Fifo => {
-                        arrived.sort_by_key(|&i| (requests[i].arrival_step, i));
-                        arrived.truncate(capacity);
-                        arrived
-                    }
-                    AdmissionPolicy::ShortestBudgetFirst => {
-                        arrived.sort_by_key(|&i| {
-                            (requests[i].request.steps, requests[i].arrival_step, i)
-                        });
-                        arrived.truncate(capacity);
-                        arrived
-                    }
-                    AdmissionPolicy::Gang => {
-                        let drained = inflight.is_empty();
-                        let gang_ready = arrived.len() >= self.max_batch
-                            || (arrived.len() == pending.len() && !arrived.is_empty());
-                        if drained && gang_ready {
-                            arrived.sort_by_key(|&i| (requests[i].arrival_step, i));
-                            arrived.truncate(self.max_batch);
-                            arrived
-                        } else {
-                            Vec::new()
+                let actions = engine.boundary(&inflight_refs, self.max_batch, clock, future.len());
+                for &k in &actions.park {
+                    inflight.retain(|&key| key != k);
+                    parked_at[owner[k]] = clock;
+                    stats.preemptions += 1;
+                }
+                for admitted in &actions.admit {
+                    match *admitted {
+                        Admitted::Fresh {
+                            scheduled,
+                            submit_index,
+                        } => {
+                            let stream = self.sampler.make_stream(&mcfg, &scheduled.request)?;
+                            owner.push(submit_index);
+                            inflight.push(streams.len());
+                            streams.push(stream);
+                            req_stats[submit_index].admitted_step = clock;
+                            req_stats[submit_index].queue_delay = clock - scheduled.arrival_step;
+                        }
+                        Admitted::Resumed {
+                            stream_key,
+                            submit_index,
+                        } => {
+                            inflight.push(stream_key);
+                            req_stats[submit_index].parked_steps += clock - parked_at[submit_index];
                         }
                     }
-                    AdmissionPolicy::FairShare => {
-                        fair_share_admit(&mut arrived, requests, capacity, &mut fair_resume)
-                    }
-                };
-                for &i in &admit {
-                    pending.retain(|&p| p != i);
-                    let stream = self.sampler.make_stream(&mcfg, &requests[i].request)?;
-                    owner.push(i);
-                    inflight.push(streams.len());
-                    streams.push(stream);
-                    req_stats[i].admitted_step = clock;
-                    req_stats[i].queue_delay = clock - requests[i].arrival_step;
                 }
                 if inflight.is_empty() {
-                    // A waiting gang: advance to the next future arrival.
-                    clock = pending
+                    if let Some(next) = future
                         .iter()
                         .map(|&i| requests[i].arrival_step)
                         .filter(|&a| a > clock)
                         .min()
-                        .expect("a waiting gang implies future arrivals");
+                    {
+                        // A waiting gang: advance to the next arrival.
+                        clock = next;
+                        continue;
+                    }
+                    if engine.has_work() {
+                        // Queued or parked work the policy refuses to admit
+                        // with nothing in flight and nothing else coming
+                        // would spin forever; surface the stall instead.
+                        return Err(EdmError::Config {
+                            reason: "admission stalled: queued work with no in-flight \
+                                     streams and no future arrivals"
+                                .into(),
+                        });
+                    }
                     continue;
                 }
                 // One batched Heun round over the in-flight streams.
@@ -873,6 +1628,7 @@ impl Scheduler {
                     .round(net, &mut streams, &inflight, assignment, packs)?;
                 stats.step_latency_ns.push(t0.elapsed().as_nanos() as u64);
                 stats.batch_occupancy.push(inflight.len());
+                stats.queue_depth.push(engine.queue_len());
                 stats.rounds += 1;
                 clock += 1;
                 // Retire exhausted streams; the packed batch shrinks here
@@ -881,8 +1637,10 @@ impl Scheduler {
                     let done = streams[k].cursor >= streams[k].request.steps;
                     if done {
                         let i = owner[k];
+                        completed[i] = true;
                         req_stats[i].completed_step = clock;
-                        req_stats[i].steps_in_batch = clock - req_stats[i].admitted_step;
+                        req_stats[i].steps_in_batch =
+                            clock - req_stats[i].admitted_step - req_stats[i].parked_steps;
                         req_stats[i].latency = clock - requests[i].arrival_step;
                     }
                     !done
@@ -891,65 +1649,22 @@ impl Scheduler {
             Ok::<(), crate::error::EdmError>(())
         })?;
         stats.final_step = clock;
-        stats.requests = req_stats;
+        stats.requests = (0..n)
+            .filter(|&i| completed[i])
+            .map(|i| req_stats[i])
+            .collect();
 
-        // Outputs back in submission order.
+        // Outputs back in submission order. Shed and rejected requests
+        // have no output; their ids live in `shed_ids` / `rejected_ids`.
         let mut slots: Vec<Option<ServedOutput>> = (0..n).map(|_| None).collect();
         for (k, stream) in streams.into_iter().enumerate() {
-            slots[owner[k]] = Some(stream.into_output());
+            if completed[owner[k]] {
+                slots[owner[k]] = Some(stream.into_output());
+            }
         }
-        let outputs = slots
-            .into_iter()
-            .map(|o| o.expect("every request was admitted and served"))
-            .collect();
+        let outputs = slots.into_iter().flatten().collect();
         Ok((outputs, stats))
     }
-}
-
-/// The fair-share admission order: requests grouped by tenant (FIFO within
-/// a tenant by `(arrival_step, submission index)`), tenants cycled in
-/// ascending id order one request per turn, starting from the first tenant
-/// at or after `resume` and wrapping. `resume` is updated to the tenant
-/// after the last one served so consecutive boundaries continue the cycle.
-pub(crate) fn fair_share_admit(
-    arrived: &mut [usize],
-    requests: &[ScheduledRequest],
-    capacity: usize,
-    resume: &mut TenantId,
-) -> Vec<usize> {
-    if arrived.is_empty() || capacity == 0 {
-        return Vec::new();
-    }
-    // Tenant-major, FIFO within tenant.
-    arrived.sort_by_key(|&i| (requests[i].request.tenant, requests[i].arrival_step, i));
-    // Per-tenant queues over the sorted slice: (tenant, start, len, taken).
-    let mut queues: Vec<(TenantId, usize, usize, usize)> = Vec::new();
-    for (pos, &i) in arrived.iter().enumerate() {
-        let t = requests[i].request.tenant;
-        match queues.last_mut() {
-            Some(q) if q.0 == t => q.2 += 1,
-            _ => queues.push((t, pos, 1, 0)),
-        }
-    }
-    // Start the cycle at the first tenant at or after the resume point.
-    let start = queues.iter().position(|q| q.0 >= *resume).unwrap_or(0usize);
-    let mut admit = Vec::with_capacity(capacity.min(arrived.len()));
-    let mut qi = start;
-    let mut exhausted = 0usize;
-    let nq = queues.len();
-    while admit.len() < capacity && exhausted < nq {
-        let q = &mut queues[qi % nq];
-        if q.3 < q.2 {
-            admit.push(arrived[q.1 + q.3]);
-            q.3 += 1;
-            *resume = q.0.wrapping_add(1);
-            exhausted = 0;
-        } else {
-            exhausted += 1;
-        }
-        qi += 1;
-    }
-    admit
 }
 
 /// Concatenates the active streams' states along the batch axis.
@@ -1030,6 +1745,7 @@ mod tests {
                     completed_step: latency,
                     queue_delay: 0,
                     steps_in_batch: latency,
+                    parked_steps: 0,
                     latency,
                 })
                 .collect(),
@@ -1072,24 +1788,9 @@ mod tests {
     fn serving_is_bitwise_identical_to_individual_sampling() {
         let (mut net, den) = fixture();
         let requests = [
-            ServeRequest {
-                id: 0,
-                seed: 11,
-                steps: 3,
-                tenant: 0,
-            },
-            ServeRequest {
-                id: 1,
-                seed: 12,
-                steps: 5,
-                tenant: 0,
-            },
-            ServeRequest {
-                id: 2,
-                seed: 13,
-                steps: 3,
-                tenant: 0,
-            },
+            ServeRequest::new(0, 3).seed(11),
+            ServeRequest::new(1, 5).seed(12),
+            ServeRequest::new(2, 3).seed(13),
         ];
         let served = serve_batch(&mut net, &den, &requests, None).unwrap();
         assert_eq!(served.len(), 3);
@@ -1396,10 +2097,10 @@ mod tests {
         // request. With capacity 2, fair share must give tenant 2 a slot
         // in the first admission cycle instead of serving the flood FIFO.
         let requests = [
-            ScheduledRequest::new(ServeRequest::new(0, 2).with_tenant(7), 0),
-            ScheduledRequest::new(ServeRequest::new(1, 2).with_tenant(7), 0),
-            ScheduledRequest::new(ServeRequest::new(2, 2).with_tenant(7), 0),
-            ScheduledRequest::new(ServeRequest::new(3, 2).with_tenant(2), 0),
+            ScheduledRequest::new(ServeRequest::new(0, 2).tenant(7), 0),
+            ScheduledRequest::new(ServeRequest::new(1, 2).tenant(7), 0),
+            ScheduledRequest::new(ServeRequest::new(2, 2).tenant(7), 0),
+            ScheduledRequest::new(ServeRequest::new(3, 2).tenant(2), 0),
         ];
         let solo = solo_references(&mut net, &den, &requests);
         let sched = Scheduler::new(den, 2).with_policy(AdmissionPolicy::FairShare);
@@ -1428,9 +2129,9 @@ mod tests {
         // visit 1, then 2, then 3 across consecutive admission
         // boundaries rather than restarting at tenant 1.
         let requests = [
-            ScheduledRequest::new(ServeRequest::new(0, 2).with_tenant(1), 0),
-            ScheduledRequest::new(ServeRequest::new(1, 2).with_tenant(2), 0),
-            ScheduledRequest::new(ServeRequest::new(2, 2).with_tenant(3), 0),
+            ScheduledRequest::new(ServeRequest::new(0, 2).tenant(1), 0),
+            ScheduledRequest::new(ServeRequest::new(1, 2).tenant(2), 0),
+            ScheduledRequest::new(ServeRequest::new(2, 2).tenant(3), 0),
         ];
         let sched = Scheduler::new(den, 1).with_policy(AdmissionPolicy::FairShare);
         let (_, stats) = sched.run(&mut net, &requests, None).unwrap();
@@ -1443,9 +2144,9 @@ mod tests {
     fn tenant_rollups_aggregate_per_tenant() {
         let (mut net, den) = fixture();
         let requests = [
-            ScheduledRequest::new(ServeRequest::new(0, 3).with_tenant(1), 0),
-            ScheduledRequest::new(ServeRequest::new(1, 2).with_tenant(1), 0),
-            ScheduledRequest::new(ServeRequest::new(2, 2).with_tenant(4), 0),
+            ScheduledRequest::new(ServeRequest::new(0, 3).tenant(1), 0),
+            ScheduledRequest::new(ServeRequest::new(1, 2).tenant(1), 0),
+            ScheduledRequest::new(ServeRequest::new(2, 2).tenant(4), 0),
         ];
         let (_, stats) = Scheduler::new(den, 3)
             .run(&mut net, &requests, None)
@@ -1536,6 +2237,158 @@ mod tests {
         assert!(empty.mean_latency().is_nan());
         assert!(empty.mean_queue_delay().is_nan());
         assert!(empty.mean_batch_occupancy().is_nan());
+        assert!(empty.mean_queue_depth().is_nan());
+        assert!(empty.throughput_per_step().is_nan());
+        assert_eq!(empty.max_queue_depth(), 0);
         assert!(empty.request(0).is_none());
+    }
+
+    #[test]
+    fn builder_sets_scheduling_attributes() {
+        let r = ServeRequest::new(5, 4);
+        assert_eq!(
+            (r.id, r.seed, r.steps, r.tenant, r.priority),
+            (5, 5, 4, 0, 0)
+        );
+        let r = ServeRequest::new(5, 4).tenant(3).priority(9).seed(77);
+        assert_eq!(
+            (r.id, r.seed, r.steps, r.tenant, r.priority),
+            (5, 77, 4, 3, 9)
+        );
+    }
+
+    #[test]
+    fn priority_policy_admits_high_priority_first() {
+        let (mut net, den) = fixture();
+        // Capacity 1; everyone arrives at step 0. The prio-9 requests go
+        // first (FIFO between them), the prio-0 request last.
+        let requests = [
+            ScheduledRequest::new(ServeRequest::new(0, 2), 0),
+            ScheduledRequest::new(ServeRequest::new(1, 2).priority(9), 0),
+            ScheduledRequest::new(ServeRequest::new(2, 2).priority(9), 0),
+        ];
+        let solo = solo_references(&mut net, &den, &requests);
+        let sched = Scheduler::new(den, 1).with_policy(AdmissionPolicy::Priority);
+        let (served, stats) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.request(1).unwrap().admitted_step, 0);
+        assert_eq!(stats.request(2).unwrap().admitted_step, 2);
+        assert_eq!(stats.request(0).unwrap().admitted_step, 4);
+        // Priority is pure scheduling: outputs still match solo runs.
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        let (_, stats2) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.requests, stats2.requests);
+    }
+
+    #[test]
+    fn preempt_parks_and_resumes_bitwise_identically() {
+        let (mut net, den) = fixture();
+        // Capacity 1: the long request is mid-flight when the short one
+        // arrives; SRPT parks the long stream, serves the short request,
+        // then resumes the long stream bit-for-bit.
+        let requests = [ScheduledRequest::at(0, 6, 0), ScheduledRequest::at(1, 2, 1)];
+        let solo = solo_references(&mut net, &den, &requests);
+        let sched = Scheduler::new(den, 1).with_policy(AdmissionPolicy::Preempt);
+        let (served, stats) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.preemptions, 1);
+        // The short request cut the line entirely.
+        let short = stats.request(1).unwrap();
+        assert_eq!((short.admitted_step, short.latency), (1, 2));
+        // The long request paid exactly the park window, nothing else.
+        let long = stats.request(0).unwrap();
+        assert_eq!(long.admitted_step, 0);
+        assert_eq!(long.parked_steps, 2);
+        assert_eq!(long.steps_in_batch, 6);
+        assert_eq!(long.completed_step, 8);
+        assert_eq!(
+            long.latency,
+            long.queue_delay + long.steps_in_batch + long.parked_steps
+        );
+        // Park/resume is invisible to the arithmetic: both outputs are
+        // bitwise the solo sample.
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        let (_, stats2) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.requests, stats2.requests);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_deterministically() {
+        let (mut net, den) = fixture();
+        let requests = [
+            ScheduledRequest::at(0, 3, 0),
+            ScheduledRequest::at(1, 2, 0),
+            ScheduledRequest::at(2, 2, 0),
+            ScheduledRequest::at(3, 2, 1),
+        ];
+        let sched = Scheduler::new(den, 1).with_queue_bound(QueueBound {
+            capacity: 1,
+            policy: BackpressurePolicy::Reject,
+        });
+        let (served, stats) = sched.run(&mut net, &requests, None).unwrap();
+        // Request 0 fills the queue slot; 1 and 2 bounce off it at the
+        // same boundary. Request 3 arrives after the queue drained and is
+        // accepted.
+        assert_eq!(stats.rejected_ids, vec![1, 2]);
+        assert!(stats.shed_ids.is_empty());
+        assert_eq!(served.iter().map(|o| o.id).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(stats.requests.len(), 2);
+        // Rejected requests produce no stats rows.
+        assert!(stats.request(1).is_none());
+        // The surviving outputs are still bitwise solo samples.
+        let solo = solo_references(&mut net, &den, &requests);
+        assert_eq!(bits(&served[0].image), bits(&solo[0]));
+        assert_eq!(bits(&served[1].image), bits(&solo[3]));
+    }
+
+    #[test]
+    fn shed_policies_pick_deterministic_victims() {
+        let (mut net, den) = fixture();
+        let requests = [
+            ScheduledRequest::at(0, 3, 0),
+            ScheduledRequest::at(1, 2, 0),
+            ScheduledRequest::at(2, 2, 0),
+        ];
+        // ShedOldest: each newcomer displaces the oldest queued request,
+        // so only the last submission survives.
+        let sched = Scheduler::new(den, 1).with_queue_bound(QueueBound {
+            capacity: 1,
+            policy: BackpressurePolicy::ShedOldest,
+        });
+        let (served, stats) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.shed_ids, vec![0, 1]);
+        assert_eq!(served.iter().map(|o| o.id).collect::<Vec<_>>(), vec![2]);
+        // ShedLargestBudget: the 3-step request is shed for the first
+        // 2-step newcomer; the second 2-step newcomer ties and, being
+        // newest, is itself shed without entering the queue.
+        let sched = Scheduler::new(den, 1).with_queue_bound(QueueBound {
+            capacity: 1,
+            policy: BackpressurePolicy::ShedLargestBudget,
+        });
+        let (served, stats) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.shed_ids, vec![0, 2]);
+        assert_eq!(served.iter().map(|o| o.id).collect::<Vec<_>>(), vec![1]);
+        let (_, stats2) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.shed_ids, stats2.shed_ids);
+    }
+
+    #[test]
+    fn queue_depth_timeline_tracks_pending_backlog() {
+        let (mut net, den) = fixture();
+        let requests = [
+            ScheduledRequest::at(0, 2, 0),
+            ScheduledRequest::at(1, 2, 0),
+            ScheduledRequest::at(2, 2, 0),
+        ];
+        let (_, stats) = Scheduler::new(den, 1)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        // Capacity 1: two requests wait, then one, then none.
+        assert_eq!(stats.queue_depth, vec![2, 2, 1, 1, 0, 0]);
+        assert_eq!(stats.max_queue_depth(), 2);
+        assert_eq!(stats.mean_queue_depth(), 1.0);
+        assert_eq!(stats.throughput_per_step(), 0.5);
     }
 }

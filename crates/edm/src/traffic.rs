@@ -1,0 +1,240 @@
+//! Deterministic traffic-scenario generators for the serving load harness.
+//!
+//! Real serving traffic is not a single Poisson process: production loads
+//! burst, breathe with the clock, mix heavy-tailed step budgets into a sea
+//! of short requests, spike in coordination, and sometimes trickle so
+//! slowly that batching never forms. Each generator here produces one of
+//! those shapes as a seeded, **fully deterministic** request trace — the
+//! same `(n, seed)` always yields byte-identical [`ScheduledRequest`]s —
+//! so `repro_bench` can publish per-scenario p50/p95/p99 latency and
+//! queue-depth rows that are comparable across machines and commits, and
+//! the proptest suite can replay any scenario bit-for-bit.
+//!
+//! Requests carry mixed tenants and priorities so every admission policy
+//! (fair share, priority, preemption) has something to act on; arrival
+//! steps are the only thing that differs between scenarios. Step budgets
+//! stay small (CI serves real denoise rounds), except for the deliberate
+//! heavy tail in [`heavy_tailed`].
+
+use crate::serve::{ScheduledRequest, ServeRequest};
+use sqdm_tensor::Rng;
+
+/// Builds one request with scenario-local id `i`: seed drawn from the
+/// generator's RNG, tenant cycling over a small set, and an occasional
+/// elevated priority so priority/preempt policies have work to reorder.
+fn request(rng: &mut Rng, i: usize, steps: usize, arrival: usize) -> ScheduledRequest {
+    let tenant = (rng.index(3) + 1) as u32;
+    let priority = if rng.bernoulli(0.2) { 5 } else { 0 };
+    ScheduledRequest::new(
+        ServeRequest::new(i as u64, steps)
+            .seed(rng.next_u64())
+            .tenant(tenant)
+            .priority(priority),
+        arrival,
+    )
+}
+
+/// A short mixed step budget in `2..=6`, weighted toward the small end.
+fn short_budget(rng: &mut Rng) -> usize {
+    2 + rng.index(5) * rng.index(2)
+}
+
+/// Bursty traffic: clusters of ~3 requests land together every ~6 virtual
+/// steps, with quiet gaps between bursts. Stresses queue growth at burst
+/// edges and drain behavior in the gaps.
+pub fn bursty(n: usize, seed: u64) -> Vec<ScheduledRequest> {
+    let mut rng = Rng::seed_from(seed).fork(0xb0);
+    let mut out = Vec::with_capacity(n);
+    let mut burst_start = 0usize;
+    while out.len() < n {
+        let burst = 2 + rng.index(3); // 2..=4 requests per burst
+        let mut offset = 0usize;
+        for _ in 0..burst {
+            if out.len() >= n {
+                break;
+            }
+            // Within a burst everyone lands on the same step or straggles
+            // a step behind; the offset accumulates so submission order
+            // stays arrival-ordered.
+            offset += rng.index(2);
+            let steps = short_budget(&mut rng);
+            let i = out.len();
+            out.push(request(&mut rng, i, steps, burst_start + offset));
+        }
+        burst_start += 4 + rng.index(5); // quiet gap: 4..=8 steps
+    }
+    out
+}
+
+/// Diurnal traffic: inter-arrival gaps follow a slow sinusoid, tight at
+/// "peak hours" and wide in the "trough", emulating a day-night load
+/// curve compressed onto the virtual clock.
+pub fn diurnal(n: usize, seed: u64) -> Vec<ScheduledRequest> {
+    let mut rng = Rng::seed_from(seed).fork(0xd1);
+    let mut out = Vec::with_capacity(n);
+    let mut clock = 0usize;
+    for i in 0..n {
+        // Phase sweeps one full period over the trace; gap oscillates
+        // between ~1 (peak) and ~5 (trough) virtual steps.
+        let phase = (i as f64 / n.max(1) as f64) * std::f64::consts::TAU;
+        let gap = (3.0 - 2.0 * phase.cos()).round() as usize;
+        clock += gap + rng.index(2);
+        let steps = short_budget(&mut rng);
+        out.push(request(&mut rng, i, steps, clock));
+    }
+    out
+}
+
+/// Heavy-tailed step budgets: ~85% of requests are short (2–3 steps) but
+/// the tail carries 8–12 step budgets, so one admitted elephant can hold
+/// slots for many mouse lifetimes — the scenario preemption exists for.
+pub fn heavy_tailed(n: usize, seed: u64) -> Vec<ScheduledRequest> {
+    let mut rng = Rng::seed_from(seed).fork(0x47);
+    let mut out = Vec::with_capacity(n);
+    let mut clock = 0usize;
+    for i in 0..n {
+        clock += 1 + rng.index(3);
+        let steps = if rng.bernoulli(0.15) {
+            8 + rng.index(5) // the elephant tail: 8..=12
+        } else {
+            2 + rng.index(2) // the mice: 2..=3
+        };
+        out.push(request(&mut rng, i, steps, clock));
+    }
+    out
+}
+
+/// Coordinated spike: a thin warm-up trickle, then every remaining
+/// request arrives on the **same** virtual step — the thundering herd a
+/// bounded queue exists to survive.
+pub fn coordinated_spike(n: usize, seed: u64) -> Vec<ScheduledRequest> {
+    let mut rng = Rng::seed_from(seed).fork(0x5e);
+    let mut out = Vec::with_capacity(n);
+    let trickle = (n / 4).max(1).min(n);
+    let mut clock = 0usize;
+    for i in 0..trickle {
+        clock += 1 + rng.index(2);
+        let steps = short_budget(&mut rng);
+        out.push(request(&mut rng, i, steps, clock));
+    }
+    let spike_step = clock + 2;
+    for i in trickle..n {
+        let steps = short_budget(&mut rng);
+        out.push(request(&mut rng, i, steps, spike_step));
+    }
+    out
+}
+
+/// Slow trickle: one request every 4–6 virtual steps, so the batch almost
+/// never holds two streams. Measures the starvation floor — per-request
+/// latency with batching amortization mostly unavailable.
+pub fn slow_trickle(n: usize, seed: u64) -> Vec<ScheduledRequest> {
+    let mut rng = Rng::seed_from(seed).fork(0x71);
+    let mut out = Vec::with_capacity(n);
+    let mut clock = 0usize;
+    for i in 0..n {
+        clock += 4 + rng.index(3);
+        let steps = short_budget(&mut rng);
+        out.push(request(&mut rng, i, steps, clock));
+    }
+    out
+}
+
+/// The full scenario catalogue as `(name, trace)` pairs — the single
+/// source every consumer (benches, tests, docs) iterates so scenario
+/// coverage cannot drift between them. Names are stable identifiers used
+/// in `BENCH_ci.json` row names (`serve_scenario_<name>`).
+pub fn catalogue(n: usize, seed: u64) -> Vec<(&'static str, Vec<ScheduledRequest>)> {
+    vec![
+        ("bursty", bursty(n, seed)),
+        ("diurnal", diurnal(n, seed)),
+        ("heavy_tailed", heavy_tailed(n, seed)),
+        ("coordinated_spike", coordinated_spike(n, seed)),
+        ("slow_trickle", slow_trickle(n, seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_well_formed(trace: &[ScheduledRequest], n: usize) {
+        assert_eq!(trace.len(), n);
+        // Ids are the dense scenario-local indices (unique by design).
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r.request.id, i as u64);
+            assert!(r.request.steps >= 2, "Karras grid needs two endpoints");
+            assert!((1..=3).contains(&r.request.tenant));
+        }
+        // Arrivals are non-decreasing in submission order.
+        for w in trace.windows(2) {
+            assert!(w[0].arrival_step <= w[1].arrival_step);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_well_formed() {
+        let n = 24;
+        for (name, trace) in catalogue(n, 9) {
+            assert_well_formed(&trace, n);
+            let again: Vec<_> = catalogue(n, 9)
+                .into_iter()
+                .find(|(nm, _)| *nm == name)
+                .unwrap()
+                .1;
+            assert_eq!(trace, again, "{name} must be a pure function of seed");
+            let other: Vec<_> = catalogue(n, 10)
+                .into_iter()
+                .find(|(nm, _)| *nm == name)
+                .unwrap()
+                .1;
+            assert_ne!(trace, other, "{name} must actually use the seed");
+        }
+    }
+
+    #[test]
+    fn scenarios_have_their_defining_shape() {
+        let n = 32;
+        // Bursty: at least one step receives 2+ simultaneous arrivals.
+        let b = bursty(n, 3);
+        let max_same = {
+            let mut best = 0;
+            for r in &b {
+                let same = b
+                    .iter()
+                    .filter(|x| x.arrival_step == r.arrival_step)
+                    .count();
+                best = best.max(same);
+            }
+            best
+        };
+        assert!(max_same >= 2, "bursty must cluster arrivals");
+
+        // Heavy-tailed: both mice and at least one elephant.
+        let h = heavy_tailed(64, 3);
+        assert!(h.iter().any(|r| r.request.steps <= 3));
+        assert!(h.iter().any(|r| r.request.steps >= 8));
+        assert!(h.iter().all(|r| r.request.steps <= 12));
+
+        // Coordinated spike: the bulk shares one arrival step.
+        let c = coordinated_spike(n, 3);
+        let spike = c.last().unwrap().arrival_step;
+        let at_spike = c.iter().filter(|r| r.arrival_step == spike).count();
+        assert!(at_spike >= n / 2, "spike must carry the bulk of the trace");
+
+        // Slow trickle: strictly increasing arrivals, gaps >= 4.
+        let s = slow_trickle(n, 3);
+        for w in s.windows(2) {
+            assert!(w[1].arrival_step - w[0].arrival_step >= 4);
+        }
+
+        // Priorities and tenants are actually mixed somewhere.
+        let all = catalogue(64, 5);
+        assert!(all
+            .iter()
+            .any(|(_, t)| t.iter().any(|r| r.request.priority > 0)));
+        assert!(all
+            .iter()
+            .any(|(_, t)| t.iter().any(|r| r.request.tenant != t[0].request.tenant)));
+    }
+}

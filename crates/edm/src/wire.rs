@@ -30,6 +30,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::serve::TenantRollup;
 
+/// Version of the wire protocol spoken by this build. Carried in every
+/// reply's `proto_version` field so clients can detect a daemon that is
+/// newer (or older) than the types they compiled against instead of
+/// misparsing it. History: 1 = PR 8 initial protocol; 2 = this revision
+/// (`Submit.priority`, `StatsReply.rejected`, HTTP 429 overload).
+pub const PROTO_VERSION: u32 = 2;
+
 /// Body of `POST /v1/models`: make a model resident.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RegisterModel {
@@ -58,6 +65,8 @@ pub struct ModelRegistered {
     /// The resolved precision label (e.g. `"int8-native"`), after the
     /// daemon applied its `SQDM_EXEC` default to a bare `"int8"`.
     pub precision: String,
+    /// Protocol revision of the daemon ([`PROTO_VERSION`]).
+    pub proto_version: u32,
 }
 
 /// Body of `POST /v1/submit`: one generation request.
@@ -75,6 +84,10 @@ pub struct Submit {
     pub steps: usize,
     /// Submitting tenant (admission fair-share and stats rollups).
     pub tenant: u32,
+    /// Static priority class; higher wins under the `Priority` admission
+    /// policy, ignored by the others (see
+    /// [`crate::serve::ServeRequest::priority`]).
+    pub priority: u32,
 }
 
 /// Response of `POST /v1/submit`.
@@ -86,6 +99,8 @@ pub struct Submitted {
     pub model: usize,
     /// Virtual step at which the request entered the queue.
     pub arrival_step: usize,
+    /// Protocol revision of the daemon ([`PROTO_VERSION`]).
+    pub proto_version: u32,
 }
 
 /// A finished sample in bitwise-exact transport form.
@@ -110,6 +125,8 @@ pub struct StatusReply {
     pub image: Option<ImagePayload>,
     /// The failure reason; present only in the `"failed"` state.
     pub error: Option<String>,
+    /// Protocol revision of the daemon ([`PROTO_VERSION`]).
+    pub proto_version: u32,
 }
 
 /// Per-model serving statistics inside [`StatsReply`].
@@ -152,6 +169,11 @@ pub struct StatsReply {
     pub draining: bool,
     /// Requests queued or in flight right now.
     pub active_requests: usize,
+    /// Submissions refused with HTTP 429 because a model's bounded
+    /// pending queue was full, over the daemon's lifetime.
+    pub rejected: u64,
+    /// Protocol revision of the daemon ([`PROTO_VERSION`]).
+    pub proto_version: u32,
     /// Per-model statistics, indexed by model id.
     pub models: Vec<ModelStatsWire>,
     /// Per-tenant rollups across all models, ascending by tenant id
@@ -170,6 +192,8 @@ pub struct DrainReply {
     pub rounds: usize,
     /// Virtual clock at drain completion.
     pub final_step: usize,
+    /// Protocol revision of the daemon ([`PROTO_VERSION`]).
+    pub proto_version: u32,
 }
 
 /// Error body attached to every non-2xx response.
@@ -998,9 +1022,11 @@ mod tests {
             seed: 7,
             steps: 3,
             tenant: 2,
+            priority: 5,
         };
         let text = to_string(&sub).unwrap();
         assert!(text.contains("\"id\":42"), "{text}");
+        assert!(text.contains("\"priority\":5"), "{text}");
         assert_eq!(from_str::<Submit>(&text).unwrap(), sub);
 
         let status = StatusReply {
@@ -1012,6 +1038,7 @@ mod tests {
                 bits: vec![0x3f80_0000, 0xbf80_0000, 0x7fc0_0000],
             }),
             error: None,
+            proto_version: PROTO_VERSION,
         };
         let text = to_string(&status).unwrap();
         let back: StatusReply = from_str(&text).unwrap();
@@ -1027,6 +1054,8 @@ mod tests {
             rounds: 9,
             draining: false,
             active_requests: 1,
+            rejected: 3,
+            proto_version: PROTO_VERSION,
             models: vec![ModelStatsWire {
                 model: 0,
                 name: "m".into(),

@@ -10,7 +10,10 @@
 //! `forward` calls.
 
 use proptest::prelude::*;
-use sqdm_edm::serve::{serve_batch, ScheduledRequest, Scheduler, ServeRequest};
+use sqdm_edm::serve::{
+    serve_batch, AdmissionPolicy, BackpressurePolicy, QueueBound, ScheduledRequest, Scheduler,
+    ServeRequest,
+};
 use sqdm_edm::{
     block_ids, sample, Denoiser, EdmSchedule, ModelRegistry, RegistryRequest, RegistryScheduler,
     RunConfig, SamplerConfig, UNet, UNetConfig,
@@ -110,9 +113,9 @@ proptest! {
         let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
         let den = Denoiser::new(EdmSchedule::default());
         let requests = [
-            ServeRequest { id: 0, tenant: 0, seed: extra.wrapping_add(1), steps: s0 },
-            ServeRequest { id: 1, tenant: 0, seed: extra.wrapping_add(2), steps: s1 },
-            ServeRequest { id: 2, tenant: 0, seed: extra.wrapping_add(3), steps: s2 },
+            ServeRequest::new(0, s0).seed(extra.wrapping_add(1)),
+            ServeRequest::new(1, s1).seed(extra.wrapping_add(2)),
+            ServeRequest::new(2, s2).seed(extra.wrapping_add(3)),
         ];
         for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
             let asg = int8_assignment(mode);
@@ -170,12 +173,7 @@ proptest! {
         let budgets = [budgets.0, budgets.1, budgets.2];
         let requests: Vec<ScheduledRequest> = (0..3)
             .map(|i| ScheduledRequest::new(
-                ServeRequest {
-                    id: i as u64,
-                    tenant: 0,
-                    seed: extra.wrapping_add(i as u64 + 1),
-                    steps: budgets[i],
-                },
+                ServeRequest::new(i as u64, budgets[i]).seed(extra.wrapping_add(i as u64 + 1)),
                 arrivals[i],
             ))
             .collect();
@@ -209,7 +207,11 @@ proptest! {
                     // Scheduling bookkeeping is consistent regardless of
                     // the random mix.
                     let rs = stats.request(req.request.id).unwrap();
-                    prop_assert_eq!(rs.latency, rs.queue_delay + req.request.steps);
+                    prop_assert_eq!(
+                        rs.latency,
+                        rs.queue_delay + rs.steps_in_batch + rs.parked_steps
+                    );
+                    prop_assert_eq!(rs.steps_in_batch, req.request.steps);
                     prop_assert!(rs.admitted_step >= req.arrival_step);
                 }
                 prop_assert!(stats.batch_occupancy.iter().all(|&o| o <= max_batch));
@@ -248,12 +250,9 @@ proptest! {
                 RegistryRequest::new(
                     model,
                     ScheduledRequest::new(
-                        ServeRequest {
-                            id: i as u64,
-                            tenant,
-                            seed: extra.wrapping_add(i as u64 + 1),
-                            steps,
-                        },
+                        ServeRequest::new(i as u64, steps)
+                            .seed(extra.wrapping_add(i as u64 + 1))
+                            .tenant(tenant),
                         arrival,
                     ),
                 )
@@ -327,6 +326,157 @@ proptest! {
     }
 }
 
+/// One scheduling outcome, compared across thread counts and exec modes:
+/// (rejected ids, shed ids, preemption count, completed ids in order).
+type Decisions = (Vec<u64>, Vec<u64>, usize, Vec<u64>);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+    /// Priority and Preempt admission — including the preempt-park-resume
+    /// path — and every backpressure policy (Reject, ShedOldest,
+    /// ShedLargestBudget) keep the bitwise contract: each completed
+    /// request equals the solo `sample()` image bit for bit at threads
+    /// 1/2/7 in both execution modes, and the scheduling decisions
+    /// themselves (who was shed or rejected, how often streams were
+    /// preempted, who completed) are identical across every thread count
+    /// and execution mode.
+    #[test]
+    fn admission_and_backpressure_policies_are_bitwise_deterministic(
+        ((net_seed, extra), (p0, p1, p2, p3), (a1, a2, a3)) in (
+            (0u64..1 << 16, 0u64..1 << 16),
+            (0u32..3, 0u32..3, 0u32..3, 0u32..3),
+            (1usize..3, 1usize..3, 1usize..3),
+        )
+    ) {
+        let mut rng = Rng::seed_from(net_seed);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let req = |id: u64, steps: usize, prio: u32, arrival: usize| {
+            ScheduledRequest::new(
+                ServeRequest::new(id, steps)
+                    .seed(extra.wrapping_add(id + 1))
+                    .tenant((id % 2) as u32)
+                    .priority(prio),
+                arrival,
+            )
+        };
+        // One long-budget request arriving alone, then three short ones:
+        // under Preempt with max_batch 1 the elephant is guaranteed to be
+        // parked for a shorter newcomer and resumed later.
+        let spread = vec![
+            req(0, 6, p0, 0), req(1, 2, p1, a1), req(2, 3, p2, a2), req(3, 2, p3, a3),
+        ];
+        // A near-coordinated arrival burst that must overflow a bound of 1.
+        let burst = vec![
+            req(0, 6, p0, 0), req(1, 2, p1, 1), req(2, 3, p2, 1), req(3, 2, p3, 2),
+        ];
+        let bound = |policy| QueueBound { capacity: 1, policy };
+        let configs: Vec<(&str, Scheduler, Vec<ScheduledRequest>, bool)> = vec![
+            (
+                "priority",
+                Scheduler::new(den, 2).with_policy(AdmissionPolicy::Priority),
+                spread.clone(),
+                false,
+            ),
+            (
+                "preempt",
+                Scheduler::new(den, 1).with_policy(AdmissionPolicy::Preempt),
+                spread.clone(),
+                true,
+            ),
+            (
+                "reject",
+                Scheduler::new(den, 1)
+                    .with_queue_bound(bound(BackpressurePolicy::Reject)),
+                burst.clone(),
+                false,
+            ),
+            (
+                "shed-oldest",
+                Scheduler::new(den, 1)
+                    .with_queue_bound(bound(BackpressurePolicy::ShedOldest)),
+                burst.clone(),
+                false,
+            ),
+            (
+                "shed-largest",
+                Scheduler::new(den, 1)
+                    .with_queue_bound(bound(BackpressurePolicy::ShedLargestBudget)),
+                burst.clone(),
+                false,
+            ),
+        ];
+        for (label, sched, requests, must_preempt) in &configs {
+            // Decisions must not depend on threads *or* execution mode.
+            let mut decisions: Option<Decisions> = None;
+            for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+                let asg = int8_assignment(mode);
+                // Solo references, fixed per mode: matching them at every
+                // thread count pins both solo equivalence and cross-thread
+                // bitwise identity.
+                let solo: Vec<(u64, Vec<u32>)> = requests.iter().map(|r| {
+                    let mut rr = Rng::seed_from(r.request.seed);
+                    let img = with_threads(1, || sample(
+                        &mut net,
+                        &den,
+                        1,
+                        SamplerConfig { steps: r.request.steps },
+                        Some(&asg),
+                        &mut rr,
+                    ).unwrap());
+                    (r.request.id, bits(&img))
+                }).collect();
+                for t in THREADS {
+                    let (served, stats) = with_threads(t, || {
+                        sched.run(&mut net, requests, Some(&asg)).unwrap()
+                    });
+                    for out in &served {
+                        let reference = solo
+                            .iter()
+                            .find(|(id, _)| *id == out.id)
+                            .map(|(_, b)| b)
+                            .unwrap();
+                        prop_assert_eq!(
+                            &bits(&out.image),
+                            reference,
+                            "{} {:?} request {} at {} threads",
+                            label, mode, out.id, t
+                        );
+                    }
+                    let run_decisions = (
+                        stats.rejected_ids.clone(),
+                        stats.shed_ids.clone(),
+                        stats.preemptions,
+                        served.iter().map(|o| o.id).collect::<Vec<u64>>(),
+                    );
+                    // Every submission is accounted for exactly once.
+                    prop_assert_eq!(
+                        run_decisions.0.len() + run_decisions.1.len()
+                            + run_decisions.3.len(),
+                        requests.len(),
+                        "{} {:?} at {} threads", label, mode, t
+                    );
+                    if *must_preempt {
+                        prop_assert!(
+                            stats.preemptions >= 1,
+                            "{} must exercise park-resume", label
+                        );
+                    }
+                    match &decisions {
+                        None => decisions = Some(run_decisions),
+                        Some(reference) => prop_assert_eq!(
+                            reference,
+                            &run_decisions,
+                            "{} {:?} at {} threads",
+                            label, mode, t
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The full-precision (no assignment) path holds the same contract — and
 /// the batched flag is a no-op there, so this also pins that plain f32
 /// packing is per-sample transparent.
@@ -336,18 +486,8 @@ fn full_precision_serving_is_bitwise_transparent_across_threads() {
     let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
     let den = Denoiser::new(EdmSchedule::default());
     let requests = [
-        ServeRequest {
-            id: 0,
-            tenant: 0,
-            seed: 5,
-            steps: 2,
-        },
-        ServeRequest {
-            id: 1,
-            tenant: 0,
-            seed: 6,
-            steps: 4,
-        },
+        ServeRequest::new(0, 2).seed(5),
+        ServeRequest::new(1, 4).seed(6),
     ];
     let reference = with_threads(1, || {
         requests

@@ -115,6 +115,7 @@ fn daemon_round_trip_is_bitwise_identical_to_solo_sampling() {
                 seed,
                 steps,
                 tenant,
+                priority: 0,
             },
         );
         assert_eq!((accepted.id, accepted.model), (id, model));
@@ -180,6 +181,7 @@ fn daemon_round_trip_is_bitwise_identical_to_solo_sampling() {
             seed: 1,
             steps: 3,
             tenant: 0,
+            priority: 0,
         },
     );
     assert_eq!(resp.status, 503, "{}", resp.body);
@@ -235,6 +237,7 @@ fn drain_completes_inflight_rounds_and_rejects_new_submits() {
         seed: 9,
         steps: 40,
         tenant: 0,
+        priority: 0,
     };
     submit_ok(addr, long);
 
@@ -264,6 +267,7 @@ fn drain_completes_inflight_rounds_and_rejects_new_submits() {
             seed: 1,
             steps: 3,
             tenant: 0,
+            priority: 0,
         },
     );
     assert_eq!(resp.status, 503, "{}", resp.body);
@@ -282,6 +286,93 @@ fn drain_completes_inflight_rounds_and_rejects_new_submits() {
     assert_eq!(status.state, "done");
     let image = status.image.unwrap();
     assert_eq!(image.bits, solo_bits(7, None, long.seed, long.steps));
+
+    handle.wait_drained();
+    handle.shutdown();
+}
+
+#[test]
+fn bounded_queue_overflow_returns_429_and_daemon_drains_cleanly() {
+    let _wd = watchdog(600);
+    // One in-flight slot, one pending slot: the third concurrent request
+    // must be refused with 429. The round delay keeps the long request in
+    // flight for hundreds of ms so the overflow window is deterministic.
+    let handle = daemon::spawn(DaemonConfig {
+        max_batch: 1,
+        max_pending: Some(1),
+        round_delay: Duration::from_millis(10),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let resp = post(
+        addr,
+        "/v1/models",
+        &RegisterModel {
+            name: "m".into(),
+            preset: "micro".into(),
+            precision: "fp32".into(),
+            seed: 7,
+        },
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let submit = |id: u64, steps: usize| Submit {
+        model: 0,
+        id,
+        seed: id,
+        steps,
+        tenant: 0,
+        priority: 0,
+    };
+
+    // Occupy the single batch slot...
+    submit_ok(addr, submit(1, 40));
+    loop {
+        let status: sqdm_edm::wire::StatusReply =
+            json::from_str(&get(addr, "/v1/status/1").body).unwrap();
+        if status.state == "running" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // ...fill the single pending slot...
+    submit_ok(addr, submit(2, 3));
+    // ...and the queue is now full: the next submission bounces with 429
+    // without entering the request table.
+    let resp = post(addr, "/v1/submit", &submit(3, 3));
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    let err: sqdm_edm::wire::ErrorReply = json::from_str(&resp.body).unwrap();
+    assert!(err.error.contains("overloaded"), "{}", err.error);
+    assert_eq!(get(addr, "/v1/status/3").status, 404);
+
+    let stats: StatsReply = json::from_str(&get(addr, "/v1/stats").body).unwrap();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.proto_version, sqdm_edm::wire::PROTO_VERSION);
+    assert!(!stats.draining, "a 429 must not poison the daemon");
+
+    // A rejected id stays reusable: once the long request finishes and
+    // admission drains the queue, the same id is accepted.
+    wait_done(addr, 1);
+    loop {
+        let resp = post(addr, "/v1/submit", &submit(3, 3));
+        match resp.status {
+            200 => break,
+            429 => std::thread::sleep(Duration::from_millis(2)),
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+
+    assert_eq!(wait_done(addr, 2).state, "done");
+    assert_eq!(wait_done(addr, 3).state, "done");
+
+    // The daemon drains cleanly after the overload episode, and the drain
+    // stats count exactly the three completed requests.
+    let resp = post(addr, "/v1/drain", &());
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let drain: DrainReply = json::from_str(&resp.body).unwrap();
+    assert_eq!(drain.completed, 3);
 
     handle.wait_drained();
     handle.shutdown();

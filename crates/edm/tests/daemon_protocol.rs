@@ -67,6 +67,7 @@ fn assert_healthy(addr: SocketAddr, id: u64) {
             seed: id,
             steps: 2,
             tenant: 0,
+            priority: 0,
         },
     );
     assert_eq!(wait_done(addr, id).state, "done");
@@ -146,6 +147,7 @@ fn semantic_rejections_map_to_the_right_status_codes() {
             seed: 1,
             steps: 3,
             tenant: 0,
+            priority: 0,
         },
     );
     assert_eq!(resp.status, 404, "{}", resp.body);
@@ -160,6 +162,7 @@ fn semantic_rejections_map_to_the_right_status_codes() {
                 seed: 1,
                 steps,
                 tenant: 0,
+                priority: 0,
             },
         );
         assert_eq!(resp.status, 400, "steps {steps}: {}", resp.body);
@@ -188,6 +191,7 @@ fn semantic_rejections_map_to_the_right_status_codes() {
         seed: 7,
         steps: 2,
         tenant: 0,
+        priority: 0,
     };
     submit_ok(addr, first);
     let resp = post(addr, "/v1/submit", &first);
@@ -221,6 +225,7 @@ fn concurrent_hostile_connections_do_not_wedge_serving() {
             seed: 50,
             steps: 6,
             tenant: 1,
+            priority: 0,
         },
     );
     let attackers: Vec<_> = (0..8)
