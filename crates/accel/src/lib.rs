@@ -37,6 +37,7 @@ mod energy;
 mod mapping;
 mod noc;
 mod pe;
+mod power;
 mod sparse_format;
 mod system;
 mod workload;
@@ -47,8 +48,10 @@ pub use energy::{EnergyModel, MacPrecision};
 pub use mapping::{ActAddressMap, ActLayout, FetchPlan, WeightAddressMap};
 pub use noc::Noc;
 pub use pe::{DensePe, SparsePe};
+pub use power::{PowerProfile, ThrottleCurve, ThrottlePoint};
 pub use sparse_format::SparseChannel;
 pub use system::{
-    Accelerator, AcceleratorConfig, EnergyBreakdown, LayerQuant, LayerStats, RunStats,
+    Accelerator, AcceleratorConfig, EnergyBreakdown, LayerQuant, LayerStats, RoundStats,
+    RunLedger, RunStats,
 };
 pub use workload::ConvWorkload;

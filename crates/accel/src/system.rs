@@ -6,6 +6,7 @@ use crate::detector::SparsityDetector;
 use crate::energy::{EnergyModel, MacPrecision};
 use crate::noc::Noc;
 use crate::pe::{DensePe, SparsePe};
+use crate::power::ThrottleCurve;
 use crate::workload::ConvWorkload;
 use serde::{Deserialize, Serialize};
 use sqdm_sparsity::ChannelPartition;
@@ -229,6 +230,62 @@ impl RunStats {
     }
 }
 
+/// Cost of one incrementally-executed denoise round on the accelerator,
+/// as produced by [`Accelerator::step_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Streams batched into the round.
+    pub batch: usize,
+    /// Cycles for the round after DVFS stretching (`nominal / freq_scale`).
+    pub cycles: u64,
+    /// Total round energy in pJ after DVFS scaling (dynamic ×`f²`,
+    /// leakage ×`1/f`).
+    pub energy_pj: f64,
+    /// PE-array occupancy the round presented to the throttle curve:
+    /// compute intensity × batch-slot fill, clamped to `0.0..=1.0`.
+    pub occupancy: f64,
+    /// Frequency scale the throttle curve chose for this round.
+    pub freq_scale: f64,
+}
+
+/// Occupancy/energy ledger accumulated over a sequence of incremental
+/// rounds — the accelerator-side counterpart of a serving run's stats.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunLedger {
+    /// Every recorded round, in execution order.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl RunLedger {
+    /// Appends one round.
+    pub fn record(&mut self, round: RoundStats) {
+        self.rounds.push(round);
+    }
+
+    /// Total energy across recorded rounds, pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.rounds.iter().map(|r| r.energy_pj).sum()
+    }
+
+    /// Total cycles across recorded rounds.
+    pub fn total_cycles(&self) -> u64 {
+        self.rounds.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Mean occupancy over recorded rounds; [`f64::NAN`] when empty.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return f64::NAN;
+        }
+        self.rounds.iter().map(|r| r.occupancy).sum::<f64>() / self.rounds.len() as f64
+    }
+
+    /// Peak occupancy over recorded rounds; `0.0` when empty.
+    pub fn peak_occupancy(&self) -> f64 {
+        self.rounds.iter().map(|r| r.occupancy).fold(0.0, f64::max)
+    }
+}
+
 /// The accelerator system simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Accelerator {
@@ -356,6 +413,96 @@ impl Accelerator {
             stats.push(&self.run_layer(w, p, *q));
         }
         stats
+    }
+
+    /// Peak MAC throughput of the configured array at `mac` precision, in
+    /// MACs per cycle — the denominator of the occupancy estimate in
+    /// [`Accelerator::step_round`].
+    pub fn peak_macs_per_cycle(&self, mac: MacPrecision) -> f64 {
+        (self.config.total_pes() * self.config.pe_multipliers) as f64
+            * f64::from(mac.lanes_per_fp16_mult())
+    }
+
+    /// Executes **one** incremental denoise round: the model evaluated
+    /// once per stream in a batch of `batch` streams, under a DVFS
+    /// throttle `curve`, on a serving deployment provisioned for
+    /// `provisioned` batch slots.
+    ///
+    /// This is the incremental counterpart of [`Accelerator::run_model`]
+    /// for hardware-in-the-loop serving: instead of costing a whole
+    /// trajectory up front, a scheduler calls this once per executed
+    /// round and accumulates the [`RoundStats`] in a [`RunLedger`].
+    ///
+    /// The round's occupancy is the model's compute intensity (executed
+    /// MACs over the array's peak across the round's nominal cycles)
+    /// scaled by the batch-slot fill `batch / provisioned`, clamped to
+    /// `0.0..=1.0`. The curve maps that occupancy to a frequency scale
+    /// `f`; dynamic energy (compute, SRAM, DRAM, NoC) scales by `f²`,
+    /// leakage by `1/f`, and cycles stretch by `1/f`.
+    ///
+    /// A `batch` of zero is an idle round: zero cycles and energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is present with the wrong length (as
+    /// [`Accelerator::run_model`]) or if `provisioned` is zero with a
+    /// non-zero `batch`.
+    pub fn step_round(
+        &self,
+        layers: &[(ConvWorkload, LayerQuant)],
+        partitions: Option<&[ChannelPartition]>,
+        batch: usize,
+        provisioned: usize,
+        curve: &ThrottleCurve,
+    ) -> RoundStats {
+        if batch == 0 {
+            return RoundStats {
+                batch: 0,
+                cycles: 0,
+                energy_pj: 0.0,
+                occupancy: 0.0,
+                freq_scale: curve.freq_scale_at(0.0),
+            };
+        }
+        assert!(provisioned > 0, "provisioned batch slots must be positive");
+        // One stream's model evaluation; streams in a batch run the same
+        // layers, so the batched round is `batch` sequential evaluations
+        // on this array (weights stay resident; the fetch/compute overlap
+        // is already inside `run_layer`).
+        let base = self.run_model(layers, partitions);
+        let nominal_cycles = base.cycles.saturating_mul(batch as u64);
+        let macs = base.macs_executed.saturating_mul(batch as u64);
+
+        // Compute intensity: fraction of the array's peak MAC throughput
+        // the round actually uses. The model mixes precisions per layer,
+        // so rate the peak at the widest (fp16) datapath for a
+        // conservative intensity.
+        let peak = self.peak_macs_per_cycle(MacPrecision::Fp16);
+        let intensity = if nominal_cycles == 0 || peak <= 0.0 {
+            0.0
+        } else {
+            (macs as f64 / (peak * nominal_cycles as f64)).min(1.0)
+        };
+        let fill = (batch as f64 / provisioned as f64).min(1.0);
+        let occupancy = (intensity * fill).clamp(0.0, 1.0);
+
+        let f = curve.freq_scale_at(occupancy);
+        let cycles = ((nominal_cycles as f64) / f).ceil() as u64;
+        let dynamic_pj = (base.energy.compute_pj
+            + base.energy.sram_pj
+            + base.energy.dram_pj
+            + base.energy.noc_pj)
+            * batch as f64;
+        let leakage_pj = base.energy.leakage_pj * batch as f64;
+        let energy_pj = dynamic_pj * f * f + leakage_pj / f;
+
+        RoundStats {
+            batch,
+            cycles,
+            energy_pj,
+            occupancy,
+            freq_scale: f,
+        }
     }
 }
 
@@ -556,5 +703,96 @@ mod tests {
         assert_eq!(q2.mac, MacPrecision::Int4);
         let q3 = LayerQuant::from_bits(16, 4);
         assert_eq!(q3.mac, MacPrecision::Fp16);
+    }
+
+    fn round_layers() -> Vec<(ConvWorkload, LayerQuant)> {
+        vec![
+            (demo_layer(0.5), LayerQuant::int8()),
+            (demo_layer(0.6), LayerQuant::int8()),
+        ]
+    }
+
+    #[test]
+    fn step_round_matches_run_model_at_nominal_frequency() {
+        // At a flat f = 1.0 curve, one single-stream round is exactly one
+        // run_model evaluation: same cycles, same total energy.
+        let acc = Accelerator::new(AcceleratorConfig::paper());
+        let layers = round_layers();
+        let base = acc.run_model(&layers, None);
+        let curve = crate::power::PowerProfile::Performance.curve();
+        let round = acc.step_round(&layers, None, 1, 4, &curve);
+        assert_eq!(round.batch, 1);
+        assert_eq!(round.cycles, base.cycles);
+        assert!((round.energy_pj - base.energy.total_pj()).abs() < 1e-6);
+        assert_eq!(round.freq_scale, 1.0);
+        // A batch of b costs b single-stream evaluations.
+        let round3 = acc.step_round(&layers, None, 3, 4, &curve);
+        assert_eq!(round3.cycles, base.cycles * 3);
+        assert!((round3.energy_pj - base.energy.total_pj() * 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_round_throttling_saves_energy_and_stretches_cycles() {
+        // A small batch on a big provisioned array sits low on the
+        // efficiency curve: it must spend measurably less energy per
+        // stream than the same work at nominal frequency, and take
+        // correspondingly more cycles.
+        let acc = Accelerator::new(AcceleratorConfig::paper());
+        let layers = round_layers();
+        let nominal = acc.step_round(
+            &layers,
+            None,
+            1,
+            8,
+            &crate::power::PowerProfile::Performance.curve(),
+        );
+        let throttled = acc.step_round(
+            &layers,
+            None,
+            1,
+            8,
+            &crate::power::PowerProfile::Efficiency.curve(),
+        );
+        assert!(throttled.freq_scale < 1.0);
+        assert!(
+            throttled.energy_pj < nominal.energy_pj,
+            "throttled {} vs nominal {}",
+            throttled.energy_pj,
+            nominal.energy_pj
+        );
+        assert!(throttled.cycles > nominal.cycles);
+        assert_eq!(throttled.occupancy, nominal.occupancy);
+    }
+
+    #[test]
+    fn step_round_idle_batch_is_free() {
+        let acc = Accelerator::new(AcceleratorConfig::paper());
+        let curve = crate::power::PowerProfile::Efficiency.curve();
+        let idle = acc.step_round(&round_layers(), None, 0, 4, &curve);
+        assert_eq!(idle.cycles, 0);
+        assert_eq!(idle.energy_pj, 0.0);
+        assert_eq!(idle.occupancy, 0.0);
+    }
+
+    #[test]
+    fn run_ledger_aggregates_rounds() {
+        let acc = Accelerator::new(AcceleratorConfig::paper());
+        let layers = round_layers();
+        let curve = crate::power::PowerProfile::Balanced.curve();
+        let mut ledger = RunLedger::default();
+        assert!(ledger.mean_occupancy().is_nan());
+        assert_eq!(ledger.peak_occupancy(), 0.0);
+        for batch in [1usize, 3, 2] {
+            ledger.record(acc.step_round(&layers, None, batch, 4, &curve));
+        }
+        assert_eq!(ledger.rounds.len(), 3);
+        assert!(ledger.total_energy_pj() > 0.0);
+        assert!(ledger.total_cycles() > 0);
+        assert!(ledger.mean_occupancy() > 0.0);
+        assert!(ledger.peak_occupancy() >= ledger.mean_occupancy());
+        assert_eq!(
+            ledger.peak_occupancy(),
+            ledger.rounds.iter().map(|r| r.occupancy).fold(0.0, f64::max)
+        );
     }
 }

@@ -10,10 +10,12 @@
 //! unchanged rows), and covers every serving scenario in
 //! `perf_gate::REQUIRED_SCENARIOS` — including one `serve_scenario_*`
 //! row with p50/p95/p99 latency and queue-depth fields per traffic shape
-//! in `sqdm_edm::traffic::catalogue`. This is what turns the repo's
-//! central perf claims from prose into checked invariants: a kernel or
-//! serving regression fails CI instead of silently landing in the bench
-//! trajectory.
+//! in `sqdm_edm::traffic::catalogue`, and one `serve_energy_*` row per
+//! shape proving energy-capped admission spends less simulated energy
+//! per image than FIFO at bounded p99 inflation. This is what turns the
+//! repo's central perf claims from prose into checked invariants: a
+//! kernel, serving, or energy regression fails CI instead of silently
+//! landing in the bench trajectory.
 
 #![warn(missing_docs)]
 

@@ -381,6 +381,116 @@ fn scenario_benches(results: &mut Vec<BenchResult>) {
     }
 }
 
+/// Step window of the energy suite's per-window admission budget.
+const ENERGY_WINDOW: u32 = 4;
+
+/// Per-scenario budget in tenths of a nominal trajectory per window.
+/// Dense shapes run at 1.5 streams' worth of round energy, so the cap
+/// sheds concurrency the FIFO baseline packs; the slow trickle — whose
+/// arrivals land in separate windows and would sail under any per-window
+/// budget — gets a cap below one trajectory, which routes every
+/// admission through the stall guard and serializes its brief overlaps.
+fn energy_budget_tenths(scenario: &str) -> u64 {
+    match scenario {
+        "slow_trickle" => 4,
+        _ => 15,
+    }
+}
+
+/// Energy-aware serving suite: every traffic shape in
+/// `sqdm_edm::traffic::catalogue` drained twice under the accelerator
+/// cost model — FIFO admission as the baseline and `EnergyCapped` under
+/// a per-window budget — one row per scenario (`serve_energy_<name>`).
+/// Each row carries the simulated energy per image for both policies,
+/// the capped run's occupancy summary and SLO percentiles, and the FIFO
+/// p99, so the CI perf gate can require the cap to keep saving energy at
+/// bounded latency inflation. Outputs are bitwise identical either way
+/// (costs are simulated and never touch the denoise arithmetic), so the
+/// rows measure pure scheduling differences.
+fn energy_benches(results: &mut Vec<BenchResult>) {
+    use sqdm_accel::PowerProfile;
+    use sqdm_edm::{AccelCostModel, CostModel, CostModelConfig};
+
+    let mut rng = Rng::seed_from(29);
+    let mut net = UNet::new(UNetConfig::default(), &mut rng).expect("default UNet");
+    let den = Denoiser::new(EdmSchedule::default());
+    let asg = PrecisionAssignment::uniform(
+        block_ids::COUNT,
+        BlockPrecision::uniform(QuantFormat::int8()),
+        "INT8",
+    )
+    .with_mode(ExecMode::NativeInt);
+    let cost = CostModelConfig::Accel {
+        profile: PowerProfile::Efficiency,
+    };
+    // One stream's nominal per-round energy prices the window budget in
+    // trajectory units, the same way the serve-layer unit tests tune it.
+    let unit = AccelCostModel::new(PowerProfile::Efficiency, SCENARIO_MAX_BATCH)
+        .stream_cost(1)
+        .round_energy_pj;
+    let shape = format!(
+        "{SCENARIO_REQUESTS}req max_batch={SCENARIO_MAX_BATCH} \
+         window={ENERGY_WINDOW} {}x{}x{} int8-native",
+        net.config().in_channels,
+        net.config().image_size,
+        net.config().image_size
+    );
+    let fifo_sched = Scheduler::new(den, SCENARIO_MAX_BATCH)
+        .with_traces(false)
+        .with_cost_model(cost);
+    for (name, trace) in sqdm_edm::traffic::catalogue(SCENARIO_REQUESTS, SCENARIO_SEED) {
+        let tenths = energy_budget_tenths(name);
+        let budget_pj = (unit * f64::from(ENERGY_WINDOW) * tenths as f64 / 10.0) as u64;
+        let capped_sched = fifo_sched.with_policy(AdmissionPolicy::EnergyCapped {
+            budget_pj,
+            window: ENERGY_WINDOW,
+        });
+        let (_, fifo) = fifo_sched
+            .run(&mut net, &trace, Some(&asg))
+            .expect("fifo energy serve");
+        let (_, capped) = capped_sched
+            .run(&mut net, &trace, Some(&asg))
+            .expect("capped energy serve");
+        let mut res = time(format!("serve_energy_{name}"), shape.clone(), 3, || {
+            black_box(capped_sched.run(&mut net, &trace, Some(&asg)).unwrap());
+        });
+        res.extra.push((
+            "energy_per_image_pj".into(),
+            format!("{:.1}", capped.energy_per_image_pj()),
+        ));
+        res.extra.push((
+            "fifo_energy_per_image_pj".into(),
+            format!("{:.1}", fifo.energy_per_image_pj()),
+        ));
+        res.extra.push((
+            "energy_savings_vs_fifo".into(),
+            format!(
+                "{:.3}",
+                fifo.energy_per_image_pj() / capped.energy_per_image_pj()
+            ),
+        ));
+        res.extra.push((
+            "mean_occupancy".into(),
+            format!("{:.3}", capped.mean_occupancy()),
+        ));
+        res.extra.push((
+            "peak_occupancy".into(),
+            format!("{:.3}", capped.peak_occupancy()),
+        ));
+        let pct = |p: Option<usize>| format!("{}", p.expect("all energy requests complete"));
+        res.extra
+            .push(("p50_latency_steps".into(), pct(capped.p50_latency())));
+        res.extra
+            .push(("p95_latency_steps".into(), pct(capped.p95_latency())));
+        res.extra
+            .push(("p99_latency_steps".into(), pct(capped.p99_latency())));
+        res.extra
+            .push(("fifo_p99_latency_steps".into(), pct(fifo.p99_latency())));
+        res.extra.push(("budget_pj".into(), format!("{budget_pj}")));
+        results.push(res);
+    }
+}
+
 /// Multi-tenant registry serving: two resident models, two tenants, the
 /// shared Poisson arrival trace, fair-share admission. One timed row for
 /// the trajectory plus the zero-allocation steady-state accounting row.
@@ -603,6 +713,7 @@ fn main() {
     sampler_benches(&mut results);
     serving_benches(&mut results);
     scenario_benches(&mut results);
+    energy_benches(&mut results);
     registry_benches(&mut results);
     daemon_benches(&mut results);
 

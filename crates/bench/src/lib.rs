@@ -133,12 +133,16 @@ pub mod perf_gate {
     /// round. The arena pool absorbs every per-round buffer after warmup;
     /// the small slack covers amortized growth of the stats vectors.
     pub const MAX_ALLOCS_PER_ROUND: f64 = 2.0;
+    /// Ceiling on p99 latency inflation the energy-capped policy may pay
+    /// for its energy savings, as a multiple of the FIFO baseline's p99
+    /// over the same trace.
+    pub const ENERGY_P99_INFLATION_LIMIT: f64 = 4.0;
     /// Serving rows every `BENCH_ci.json` report must carry: the
     /// registry, daemon, and steady-state scenarios plus one
-    /// `serve_scenario_<name>` row per traffic shape in
-    /// `sqdm_edm::traffic::catalogue`. This is the single source both the
-    /// perf gate and the CI scenario-coverage diff key on, so the
-    /// catalogue cannot silently shrink.
+    /// `serve_scenario_<name>` row and one `serve_energy_<name>` row per
+    /// traffic shape in `sqdm_edm::traffic::catalogue`. This is the
+    /// single source both the perf gate and the CI scenario-coverage
+    /// diff key on, so the catalogue cannot silently shrink.
     pub const REQUIRED_SCENARIOS: &[&str] = &[
         "serve_multi_tenant",
         "serve_daemon",
@@ -148,6 +152,11 @@ pub mod perf_gate {
         "serve_scenario_heavy_tailed",
         "serve_scenario_coordinated_spike",
         "serve_scenario_slow_trickle",
+        "serve_energy_bursty",
+        "serve_energy_diurnal",
+        "serve_energy_heavy_tailed",
+        "serve_energy_coordinated_spike",
+        "serve_energy_slow_trickle",
     ];
 
     /// One parsed NDJSON benchmark row (only the gated fields).
@@ -175,6 +184,16 @@ pub mod perf_gate {
         pub max_queue_depth: Option<f64>,
         /// `"mean_queue_depth"` field, when present.
         pub mean_queue_depth: Option<f64>,
+        /// `"energy_per_image_pj"` field, when present.
+        pub energy_per_image_pj: Option<f64>,
+        /// `"fifo_energy_per_image_pj"` field, when present.
+        pub fifo_energy_per_image_pj: Option<f64>,
+        /// `"mean_occupancy"` field, when present.
+        pub mean_occupancy: Option<f64>,
+        /// `"peak_occupancy"` field, when present.
+        pub peak_occupancy: Option<f64>,
+        /// `"fifo_p99_latency_steps"` field, when present.
+        pub fifo_p99_latency_steps: Option<f64>,
     }
 
     /// Extracts a `"key": <string>` field from one NDJSON line.
@@ -218,6 +237,11 @@ pub mod perf_gate {
                     p99_latency_steps: num_field(line, "p99_latency_steps"),
                     max_queue_depth: num_field(line, "max_queue_depth"),
                     mean_queue_depth: num_field(line, "mean_queue_depth"),
+                    energy_per_image_pj: num_field(line, "energy_per_image_pj"),
+                    fifo_energy_per_image_pj: num_field(line, "fifo_energy_per_image_pj"),
+                    mean_occupancy: num_field(line, "mean_occupancy"),
+                    peak_occupancy: num_field(line, "peak_occupancy"),
+                    fifo_p99_latency_steps: num_field(line, "fifo_p99_latency_steps"),
                 })
             })
             .collect()
@@ -308,6 +332,59 @@ pub mod perf_gate {
                     "{} row lacks max/mean_queue_depth (queue-depth timeline)",
                     row.bench
                 ));
+            }
+        }
+        // Energy-scenario rows pin the paper's hardware-in-the-loop
+        // claim: over the same trace and cost model, energy-capped
+        // admission must spend strictly less simulated energy per image
+        // than FIFO while inflating p99 latency by at most
+        // [`ENERGY_P99_INFLATION_LIMIT`]×. A row that lost its energy or
+        // occupancy fields is a broken trajectory even if present.
+        for row in rows.iter().filter(|r| r.bench.starts_with("serve_energy_")) {
+            match (row.energy_per_image_pj, row.fifo_energy_per_image_pj) {
+                (Some(capped), Some(fifo)) => {
+                    if capped >= fifo {
+                        errs.push(format!(
+                            "{} energy-capped admission spends {capped:.1} pJ/image vs \
+                             FIFO's {fifo:.1}: the cap must save energy",
+                            row.bench
+                        ));
+                    }
+                }
+                _ => errs.push(format!(
+                    "{} row lacks energy_per_image_pj/fifo_energy_per_image_pj",
+                    row.bench
+                )),
+            }
+            match (row.p99_latency_steps, row.fifo_p99_latency_steps) {
+                (Some(p99), Some(fifo_p99)) => {
+                    if p99 > fifo_p99 * ENERGY_P99_INFLATION_LIMIT {
+                        errs.push(format!(
+                            "{} energy-capped p99 latency {p99} steps exceeds \
+                             {ENERGY_P99_INFLATION_LIMIT}x the FIFO baseline ({fifo_p99})",
+                            row.bench
+                        ));
+                    }
+                }
+                _ => errs.push(format!(
+                    "{} row lacks p99_latency_steps/fifo_p99_latency_steps",
+                    row.bench
+                )),
+            }
+            match (row.mean_occupancy, row.peak_occupancy) {
+                (Some(mean), Some(peak)) => {
+                    if !(mean > 0.0 && mean <= peak && peak <= 1.0) {
+                        errs.push(format!(
+                            "{} occupancy out of range (mean={mean}, peak={peak}; \
+                             need 0 < mean <= peak <= 1)",
+                            row.bench
+                        ));
+                    }
+                }
+                _ => errs.push(format!(
+                    "{} row lacks mean/peak_occupancy",
+                    row.bench
+                )),
             }
         }
         // Zero-allocation steady state: the row must have been produced
@@ -424,12 +501,15 @@ mod tests {
              {\"bench\": \"serve_daemon\", \"shape\": \"6req max_batch=3 http\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0}\n",
         );
         for name in perf_gate::REQUIRED_SCENARIOS {
-            if !name.starts_with("serve_scenario_") {
-                continue;
+            if name.starts_with("serve_scenario_") {
+                report.push_str(&format!(
+                    "{{\"bench\": \"{name}\", \"shape\": \"12req max_batch=3\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0, \"p50_latency_steps\": 4, \"p95_latency_steps\": 9, \"p99_latency_steps\": 9, \"max_queue_depth\": 3, \"mean_queue_depth\": 0.8, \"throughput_steps\": 0.4, \"mean_latency_steps\": 4.5}}\n"
+                ));
+            } else if name.starts_with("serve_energy_") {
+                report.push_str(&format!(
+                    "{{\"bench\": \"{name}\", \"shape\": \"12req max_batch=3\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0, \"energy_per_image_pj\": 120.0, \"fifo_energy_per_image_pj\": 180.0, \"mean_occupancy\": 0.4, \"peak_occupancy\": 0.7, \"p50_latency_steps\": 5, \"p95_latency_steps\": 11, \"p99_latency_steps\": 11, \"fifo_p99_latency_steps\": 9}}\n"
+                ));
             }
-            report.push_str(&format!(
-                "{{\"bench\": \"{name}\", \"shape\": \"12req max_batch=3\", \"iters\": 3, \"total_ns\": 30, \"ns_per_iter\": 10.0, \"p50_latency_steps\": 4, \"p95_latency_steps\": 9, \"p99_latency_steps\": 9, \"max_queue_depth\": 3, \"mean_queue_depth\": 0.8, \"throughput_steps\": 0.4, \"mean_latency_steps\": 4.5}}\n"
-            ));
         }
         assert_eq!(perf_gate::violations(&report), Vec::<String>::new());
         // Equality is allowed: the gate is int8 ≤ f32, not strictly less.
@@ -541,6 +621,53 @@ mod tests {
             !errs
                 .iter()
                 .any(|e| e.contains("serve_scenario_bursty row lacks")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn perf_gate_flags_energy_regressions() {
+        // A bare energy row is flagged for every missing field group.
+        let bare =
+            "{\"bench\": \"serve_energy_bursty\", \"shape\": \"12req\", \"ns_per_iter\": 10.0}\n";
+        let errs = perf_gate::violations(bare);
+        assert!(
+            errs.iter().any(|e| {
+                e.contains("serve_energy_bursty row lacks energy_per_image_pj")
+            }),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("serve_energy_bursty row lacks p99_latency_steps")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("serve_energy_bursty row lacks mean/peak_occupancy")),
+            "{errs:?}"
+        );
+        // The cap must save energy: equality or a regression is flagged.
+        let hot = "{\"bench\": \"serve_energy_bursty\", \"shape\": \"12req\", \"ns_per_iter\": 10.0, \"energy_per_image_pj\": 200.0, \"fifo_energy_per_image_pj\": 180.0, \"mean_occupancy\": 0.4, \"peak_occupancy\": 0.7, \"p99_latency_steps\": 11, \"fifo_p99_latency_steps\": 9}\n";
+        let errs = perf_gate::violations(hot);
+        assert!(
+            errs.iter().any(|e| e.contains("the cap must save energy")),
+            "{errs:?}"
+        );
+        // Unbounded latency inflation is flagged even when energy drops.
+        let slow = "{\"bench\": \"serve_energy_bursty\", \"shape\": \"12req\", \"ns_per_iter\": 10.0, \"energy_per_image_pj\": 120.0, \"fifo_energy_per_image_pj\": 180.0, \"mean_occupancy\": 0.4, \"peak_occupancy\": 0.7, \"p99_latency_steps\": 99, \"fifo_p99_latency_steps\": 9}\n";
+        let errs = perf_gate::violations(slow);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("exceeds 4x the FIFO baseline")),
+            "{errs:?}"
+        );
+        // Impossible occupancy (peak above 1, or mean above peak) is a
+        // broken accounting pipeline, not a tuning choice.
+        let broken = "{\"bench\": \"serve_energy_bursty\", \"shape\": \"12req\", \"ns_per_iter\": 10.0, \"energy_per_image_pj\": 120.0, \"fifo_energy_per_image_pj\": 180.0, \"mean_occupancy\": 0.9, \"peak_occupancy\": 0.7, \"p99_latency_steps\": 11, \"fifo_p99_latency_steps\": 9}\n";
+        let errs = perf_gate::violations(broken);
+        assert!(
+            errs.iter().any(|e| e.contains("occupancy out of range")),
             "{errs:?}"
         );
     }

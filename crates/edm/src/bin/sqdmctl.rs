@@ -23,7 +23,8 @@ commands:
                        under the Priority admission policy; a full bounded
                        queue answers HTTP 429)
   status   --id N      query a request (queued|running|done|failed)
-  stats                serving stats: clock, rounds, per-model latency percentiles, tenant rollups
+  stats                serving stats: clock, rounds, rejected count, per-model
+                       latency percentiles and energy/occupancy, tenant rollups
   drain                stop admissions, wait for in-flight requests, print final stats
 
 global options:
@@ -98,6 +99,15 @@ fn decode<'de, T: serde::Deserialize<'de>>(body: &str) -> T {
     })
 }
 
+/// Refuses to interpret a reply from a daemon speaking a newer protocol
+/// revision than this build; the typed error beats a silent mis-parse.
+fn check_version(proto_version: u32) {
+    if let Err(e) = wire::check_proto_version(proto_version) {
+        eprintln!("sqdmctl: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7411".to_string();
@@ -142,6 +152,7 @@ fn main() {
                 println!("{reply}");
             } else {
                 let r: wire::ModelRegistered = decode(&reply);
+                check_version(r.proto_version);
                 println!("registered model {} ({}, {})", r.model, r.name, r.precision);
             }
         }
@@ -161,6 +172,7 @@ fn main() {
                 println!("{reply}");
             } else {
                 let r: wire::Submitted = decode(&reply);
+                check_version(r.proto_version);
                 println!(
                     "submitted request {} to model {} at step {}",
                     r.id, r.model, r.arrival_step
@@ -174,6 +186,7 @@ fn main() {
                 println!("{reply}");
             } else {
                 let r: wire::StatusReply = decode(&reply);
+                check_version(r.proto_version);
                 match (r.state.as_str(), &r.image, &r.error) {
                     ("done", Some(img), _) => println!(
                         "request {} on model {}: done, image {:?} ({} px)",
@@ -195,15 +208,20 @@ fn main() {
                 println!("{reply}");
             } else {
                 let s: wire::StatsReply = decode(&reply);
+                check_version(s.proto_version);
                 println!(
-                    "clock {} | rounds {} | active {} | draining {}",
-                    s.clock, s.rounds, s.active_requests, s.draining
+                    "clock {} | rounds {} | active {} | rejected {} | draining {}",
+                    s.clock, s.rounds, s.active_requests, s.rejected, s.draining
                 );
                 for m in &s.models {
                     let pct =
                         |v: Option<usize>| v.map(|p| p.to_string()).unwrap_or_else(|| "-".into());
+                    let num = |v: Option<f64>, digits: usize| {
+                        v.map(|x| format!("{x:.digits$}")).unwrap_or_else(|| "-".into())
+                    };
                     println!(
-                        "model {} ({}, {}): {} completed, {} rounds, latency p50/p95/p99 {}/{}/{} steps",
+                        "model {} ({}, {}): {} completed, {} rounds, latency p50/p95/p99 {}/{}/{} steps, \
+                         energy/image {} pJ, occupancy mean/peak {}/{}",
                         m.model,
                         m.name,
                         m.precision,
@@ -211,7 +229,10 @@ fn main() {
                         m.rounds,
                         pct(m.p50_latency),
                         pct(m.p95_latency),
-                        pct(m.p99_latency)
+                        pct(m.p99_latency),
+                        num(m.energy_per_image_pj, 0),
+                        num(m.mean_occupancy, 3),
+                        num(m.peak_occupancy, 3)
                     );
                 }
                 for t in &s.tenants {
@@ -229,6 +250,7 @@ fn main() {
                 println!("{reply}");
             } else {
                 let r: wire::DrainReply = decode(&reply);
+                check_version(r.proto_version);
                 println!(
                     "drained: {} requests completed, {} rounds, final step {}",
                     r.completed, r.rounds, r.final_step

@@ -5,19 +5,23 @@
 //! every in-flight denoise round. Drive it with `sqdmctl`.
 //!
 //! ```text
-//! sqdmd [--addr HOST:PORT] [--max-batch N] [--max-pending N] [--round-delay-ms N]
+//! sqdmd [--addr HOST:PORT] [--max-batch N] [--max-pending N] [--energy-budget PJ] [--round-delay-ms N]
 //! ```
 
 use sqdm_edm::daemon::{self, DaemonConfig};
 use std::time::Duration;
 
-const USAGE: &str =
-    "usage: sqdmd [--addr HOST:PORT] [--max-batch N] [--max-pending N] [--round-delay-ms N]
+const USAGE: &str = "usage: sqdmd [--addr HOST:PORT] [--max-batch N] [--max-pending N] \
+[--energy-budget PJ] [--round-delay-ms N]
 
   --addr HOST:PORT     bind address (default 127.0.0.1:7411; port 0 = ephemeral)
   --max-batch N        per-model in-flight batch capacity (default 4)
   --max-pending N      bound each model's pending queue; a full queue
                        rejects POST /v1/submit with 429 (default unbounded)
+  --energy-budget PJ   simulated energy budget per admission window, in pJ:
+                       switches admission to the energy-capped policy over
+                       the accelerator cost model; /v1/stats then reports
+                       per-model energy and occupancy (default off)
   --round-delay-ms N   pause between serve rounds, for testing (default 0)
 
 The daemon runs until a POST /v1/drain completes: in-flight requests
@@ -55,6 +59,13 @@ fn main() {
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| fail("--max-pending needs a positive integer")),
+                );
+            }
+            "--energy-budget" => {
+                config.energy_budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--energy-budget needs a positive integer (pJ)")),
                 );
             }
             "--round-delay-ms" => {

@@ -37,6 +37,7 @@
 
 use crate::denoiser::Denoiser;
 use crate::error::EdmError;
+use crate::cost::CostModelConfig;
 use crate::model::{UNet, UNetConfig};
 use crate::registry::{ModelId, ModelRegistry};
 use crate::schedule::EdmSchedule;
@@ -46,6 +47,7 @@ use crate::serve::{
 };
 use crate::wire::{self, json};
 use serde::Serialize;
+use sqdm_accel::PowerProfile;
 use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
 use sqdm_tensor::{arena, Rng};
 use std::collections::BTreeMap;
@@ -79,6 +81,14 @@ pub struct DaemonConfig {
     /// unboundedly as before; `Some(n)` refuses the `n+1`-th queued
     /// submission with HTTP 429 until admission makes room.
     pub max_pending: Option<usize>,
+    /// Simulated per-window energy budget in pJ (`--energy-budget`).
+    /// `None` (the default) keeps fair-share admission with the no-op
+    /// cost model — bitwise identical to the previous daemon behavior.
+    /// `Some(pj)` switches every model's engine to
+    /// [`AdmissionPolicy::EnergyCapped`] over the accelerator-backed cost
+    /// model under the `Efficiency` throttle profile, with window length
+    /// [`ENERGY_WINDOW_STEPS`].
+    pub energy_budget: Option<u64>,
 }
 
 impl Default for DaemonConfig {
@@ -88,9 +98,14 @@ impl Default for DaemonConfig {
             max_batch: 4,
             round_delay: Duration::ZERO,
             max_pending: None,
+            energy_budget: None,
         }
     }
 }
+
+/// Admission window of the daemon's energy-capped mode, in virtual steps:
+/// `--energy-budget` is spent per window of this many scheduler ticks.
+pub const ENERGY_WINDOW_STEPS: u32 = 8;
 
 /// Lifecycle of one submitted request.
 enum ReqState {
@@ -155,6 +170,8 @@ struct ServerState {
     round_delay: Duration,
     /// Pending-queue bound applied to every model's engine.
     max_pending: Option<usize>,
+    /// Per-window energy budget applied to every model's engine.
+    energy_budget: Option<u64>,
     /// Lifetime count of submissions refused with 429.
     rejected: u64,
 }
@@ -199,14 +216,17 @@ impl ServerState {
                 })
                 .collect();
             let actions = ms.engine.boundary(&inflight, *max_batch, *clock, 0);
-            debug_assert!(actions.park.is_empty(), "fair share never preempts");
+            // Both daemon policies (fair share and energy-capped) never
+            // park — parking would invalidate the swap_remove retirement
+            // indices below.
+            debug_assert!(actions.park.is_empty(), "daemon policies never preempt");
             for admitted in actions.admit {
                 let Admitted::Fresh {
                     scheduled: sr,
                     submit_index,
                 } = admitted
                 else {
-                    debug_assert!(false, "fair share never parks, so nothing resumes");
+                    debug_assert!(false, "daemon policies never park, so nothing resumes");
                     continue;
                 };
                 // Step budgets were validated at submit; a failure here
@@ -253,6 +273,9 @@ impl ServerState {
                         .push(t0.elapsed().as_nanos() as u64);
                     ms.stats.batch_occupancy.push(active.len());
                     ms.stats.queue_depth.push(ms.engine.queue_len());
+                    let (round_pj, round_occ) = ms.engine.round_accounting(active.len());
+                    ms.stats.round_energy_pj.push(round_pj);
+                    ms.stats.round_occupancy.push(round_occ);
                     ms.stats.rounds += 1;
                     *rounds += 1;
                 }
@@ -427,6 +450,7 @@ pub fn spawn(config: DaemonConfig) -> std::io::Result<DaemonHandle> {
             max_batch: config.max_batch,
             round_delay: config.round_delay,
             max_pending: config.max_pending,
+            energy_budget: config.energy_budget,
             rejected: 0,
         }),
         work: Condvar::new(),
@@ -751,11 +775,28 @@ fn handle_register(shared: &Arc<Shared>, body: &str) -> HttpResponse {
         capacity,
         policy: BackpressurePolicy::Reject,
     });
+    // `--energy-budget` switches admission to the energy-capped policy
+    // over the accelerator-backed cost model; the default stays fair
+    // share over the no-op model (decisions bitwise identical to before
+    // costs existed).
+    let (policy, cost) = match st.energy_budget {
+        Some(budget_pj) => (
+            AdmissionPolicy::EnergyCapped {
+                budget_pj,
+                window: ENERGY_WINDOW_STEPS,
+            },
+            CostModelConfig::Accel {
+                profile: PowerProfile::Efficiency,
+            },
+        ),
+        None => (AdmissionPolicy::FairShare, CostModelConfig::Noop),
+    };
+    let max_batch = st.max_batch;
     st.serving.push(ModelServe {
         sampler: BatchSampler::new(den).with_traces(false),
         mcfg,
         precision_label: precision.clone(),
-        engine: AdmissionEngine::new(AdmissionPolicy::FairShare, bound),
+        engine: AdmissionEngine::with_cost(policy, bound, cost, max_batch),
         next_token: 0,
         streams: Vec::new(),
         meta: Vec::new(),
@@ -872,6 +913,9 @@ fn handle_status(shared: &Arc<Shared>, id: u64) -> HttpResponse {
 fn handle_stats(shared: &Arc<Shared>) -> HttpResponse {
     let st = shared.lock();
     let some_finite = |v: f64| if v.is_finite() { Some(v) } else { None };
+    // Energy/occupancy are meaningful only under a real cost model; the
+    // no-op model's all-zero accounting stays absent on the wire.
+    let some_pos = |v: f64| if v.is_finite() && v > 0.0 { Some(v) } else { None };
     let models = st
         .serving
         .iter()
@@ -891,6 +935,9 @@ fn handle_stats(shared: &Arc<Shared>) -> HttpResponse {
             p95_latency: ms.stats.p95_latency(),
             p99_latency: ms.stats.p99_latency(),
             mean_batch_occupancy: some_finite(ms.stats.mean_batch_occupancy()),
+            energy_per_image_pj: some_pos(ms.stats.energy_per_image_pj()),
+            mean_occupancy: some_pos(ms.stats.mean_occupancy()),
+            peak_occupancy: some_pos(ms.stats.peak_occupancy()),
         })
         .collect();
     // Cross-model tenant rollups over completed requests (their per-tenant

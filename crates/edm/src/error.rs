@@ -22,6 +22,14 @@ pub enum EdmError {
         /// Which queue overflowed and with what bound.
         reason: String,
     },
+    /// A wire peer speaks a protocol revision newer than this build
+    /// understands, so replies cannot be interpreted safely.
+    ProtocolMismatch {
+        /// The newest `proto_version` this build understands.
+        expected: u32,
+        /// The `proto_version` the peer reported.
+        got: u32,
+    },
     /// An underlying tensor kernel failed.
     Tensor(sqdm_tensor::TensorError),
     /// An underlying layer failed.
@@ -36,6 +44,11 @@ impl fmt::Display for EdmError {
             EdmError::Config { reason } => write!(f, "configuration error: {reason}"),
             EdmError::MissingState { what } => write!(f, "missing state: {what}"),
             EdmError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
+            EdmError::ProtocolMismatch { expected, got } => write!(
+                f,
+                "protocol mismatch: peer speaks proto_version {got} but this \
+                 build understands at most {expected}; upgrade the client"
+            ),
             EdmError::Tensor(e) => write!(f, "tensor error: {e}"),
             EdmError::Nn(e) => write!(f, "layer error: {e}"),
             EdmError::Quant(e) => write!(f, "quantization error: {e}"),

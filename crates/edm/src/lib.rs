@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod daemon;
 mod dataset;
 pub mod delta;
@@ -49,7 +50,8 @@ pub mod traffic;
 mod train;
 pub mod wire;
 
-pub use daemon::{DaemonConfig, DaemonHandle};
+pub use cost::{AccelCostModel, CostEstimate, CostModel, CostModelConfig, NoopCostModel};
+pub use daemon::{DaemonConfig, DaemonHandle, ENERGY_WINDOW_STEPS};
 pub use dataset::{Dataset, DatasetKind};
 pub use delta::{DeltaSession, DEFAULT_TRACE_TOL};
 pub use denoiser::Denoiser;
@@ -69,9 +71,10 @@ pub use schedule::EdmSchedule;
 // without naming `sqdm_nn` directly.
 pub use serve::{
     delta_row_masks, serve_batch, AdmissionPolicy, AdmitCtx, AdmitDecision, BackpressurePolicy,
-    BatchSampler, Candidate, FairSharePolicy, FifoPolicy, GangPolicy, InflightInfo, Policy,
-    PreemptPolicy, PriorityPolicy, QueueBound, RequestStats, ScheduledRequest, Scheduler,
-    ServeRequest, ServeStats, ServedOutput, ShortestBudgetFirstPolicy, TenantId, TenantRollup,
+    BatchSampler, Candidate, EnergyCappedPolicy, FairSharePolicy, FifoPolicy, GangPolicy,
+    InflightInfo, OccupancyTargetPolicy, Policy, PreemptPolicy, PriorityPolicy, QueueBound,
+    RequestStats, ScheduledRequest, Scheduler, ServeRequest, ServeStats, ServedOutput,
+    ShortestBudgetFirstPolicy, TenantId, TenantRollup, PRIORITY_AGE_STEPS,
 };
 pub use sqdm_nn::PackCache;
 pub use train::{finetune_relu, train, train_step, TrainConfig, TrainReport};

@@ -37,6 +37,7 @@
 //! `serve_steady_state` scenario in `sqdm-bench` pins this with a
 //! counting allocator.
 
+use crate::cost::CostModelConfig;
 use crate::denoiser::Denoiser;
 use crate::error::{EdmError, Result};
 use crate::model::{UNet, UNetConfig};
@@ -235,6 +236,9 @@ pub struct RegistryScheduler {
     /// Admission policy, instantiated once per model (each model keeps
     /// its own policy state, e.g. the fair-share resume cursor).
     pub policy: AdmissionPolicy,
+    /// Cost model powering per-candidate estimates and per-round
+    /// energy/occupancy accounting, instantiated once per model.
+    pub cost: CostModelConfig,
 }
 
 impl RegistryScheduler {
@@ -245,6 +249,7 @@ impl RegistryScheduler {
             max_batch,
             record_traces: false,
             policy: AdmissionPolicy::FairShare,
+            cost: CostModelConfig::Noop,
         }
     }
 
@@ -259,6 +264,13 @@ impl RegistryScheduler {
     #[must_use]
     pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// This scheduler with a different cost model.
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: CostModelConfig) -> Self {
+        self.cost = cost;
         self
     }
 
@@ -328,29 +340,41 @@ impl RegistryScheduler {
             })
             .collect();
         let mut engines: Vec<AdmissionEngine> = (0..nm)
-            .map(|_| AdmissionEngine::new(self.policy, None))
+            .map(|_| AdmissionEngine::with_cost(self.policy, None, self.cost, self.max_batch))
             .collect();
         let mut streams: Vec<Vec<Stream>> = (0..nm).map(|_| Vec::new()).collect();
         let mut owner: Vec<Vec<usize>> = (0..nm).map(|_| Vec::new()).collect();
         let mut inflight: Vec<Vec<usize>> = (0..nm).map(|_| Vec::new()).collect();
         let mut parked_at: Vec<Vec<usize>> = (0..nm).map(|m| vec![0; reqs[m].len()]).collect();
         let mut per_model: Vec<ServeStats> = (0..nm)
-            .map(|m| ServeStats {
-                requests: reqs[m]
-                    .iter()
-                    .map(|r| RequestStats {
-                        id: r.request.id,
-                        tenant: r.request.tenant,
-                        arrival_step: r.arrival_step,
-                        admitted_step: 0,
-                        completed_step: 0,
-                        queue_delay: 0,
-                        steps_in_batch: 0,
-                        parked_steps: 0,
-                        latency: 0,
-                    })
-                    .collect(),
-                ..ServeStats::default()
+            .map(|m| {
+                // Rounds never exceed the model's total step budget, so
+                // reserving the per-round timelines up front keeps the
+                // steady-state serving loop free of amortized growth
+                // (the zero-allocation gate measures exactly this).
+                let round_cap: usize = reqs[m].iter().map(|r| r.request.steps).sum();
+                ServeStats {
+                    requests: reqs[m]
+                        .iter()
+                        .map(|r| RequestStats {
+                            id: r.request.id,
+                            tenant: r.request.tenant,
+                            arrival_step: r.arrival_step,
+                            admitted_step: 0,
+                            completed_step: 0,
+                            queue_delay: 0,
+                            steps_in_batch: 0,
+                            parked_steps: 0,
+                            latency: 0,
+                        })
+                        .collect(),
+                    step_latency_ns: Vec::with_capacity(round_cap),
+                    batch_occupancy: Vec::with_capacity(round_cap),
+                    queue_depth: Vec::with_capacity(round_cap),
+                    round_energy_pj: Vec::with_capacity(round_cap),
+                    round_occupancy: Vec::with_capacity(round_cap),
+                    ..ServeStats::default()
+                }
             })
             .collect();
         let mut clock = 0usize;
@@ -475,6 +499,9 @@ impl RegistryScheduler {
                         .push(t0.elapsed().as_nanos() as u64);
                     per_model[m].batch_occupancy.push(inflight[m].len());
                     per_model[m].queue_depth.push(engines[m].queue_len());
+                    let (round_pj, round_occ) = engines[m].round_accounting(inflight[m].len());
+                    per_model[m].round_energy_pj.push(round_pj);
+                    per_model[m].round_occupancy.push(round_occ);
                     per_model[m].rounds += 1;
                     total_rounds += 1;
                 }

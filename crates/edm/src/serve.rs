@@ -67,6 +67,7 @@
 //! inside its own stripe, so any request's output is bitwise identical to
 //! a solo [`crate::sample`] run regardless of who shares its batch.
 
+use crate::cost::{CostEstimate, CostModel, CostModelConfig};
 use crate::denoiser::Denoiser;
 use crate::error::{EdmError, Result};
 use crate::model::{ActEvent, RunConfig, UNet, UNetConfig};
@@ -577,6 +578,15 @@ pub struct AdmitCtx<'a> {
     /// Requests known to arrive strictly after `clock` — lets a gang-style
     /// policy decide whether waiting could ever assemble a fuller batch.
     pub pending_future: usize,
+    /// Per-candidate cost estimates, parallel to
+    /// [`AdmitCtx::candidates`], supplied by the engine's
+    /// [`crate::cost::CostModel`]. All-zero under the default
+    /// [`crate::cost::NoopCostModel`]; pre-existing policies ignore this
+    /// slice entirely, which is what keeps their decisions bitwise
+    /// unchanged by the cost layer.
+    pub costs: &'a [CostEstimate],
+    /// Per-stream cost estimates, parallel to [`AdmitCtx::inflight`].
+    pub inflight_costs: &'a [CostEstimate],
 }
 
 mod sealed {
@@ -731,7 +741,15 @@ impl Policy for FairSharePolicy {
     }
 }
 
-/// Static priority admission (see [`AdmissionPolicy::Priority`]).
+/// Queued steps after which the [`PriorityPolicy`] boosts a waiting
+/// candidate's effective priority by one class. Bounds priority-inversion
+/// starvation: a low-priority request flooded by an endless stream of
+/// high-priority work gains one class per `PRIORITY_AGE_STEPS` spent
+/// queued, so it eventually outranks fresh arrivals of any static class.
+pub const PRIORITY_AGE_STEPS: usize = 8;
+
+/// Static priority admission with aging (see
+/// [`AdmissionPolicy::Priority`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PriorityPolicy;
 
@@ -741,7 +759,12 @@ impl Policy for PriorityPolicy {
         let mut order: Vec<usize> = (0..ctx.candidates.len()).collect();
         order.sort_by_key(|&i| {
             let c = &ctx.candidates[i];
-            (Reverse(c.priority), c.arrival_step, c.submit_index)
+            // Effective priority = static class + one boost per
+            // PRIORITY_AGE_STEPS queued. Pure function of the virtual
+            // clock, so decisions stay deterministic.
+            let age = ctx.clock.saturating_sub(c.arrival_step);
+            let effective = u64::from(c.priority) + (age / PRIORITY_AGE_STEPS) as u64;
+            (Reverse(effective), c.arrival_step, c.submit_index)
         });
         order.truncate(ctx.capacity);
         AdmitDecision {
@@ -793,6 +816,134 @@ impl Policy for PreemptPolicy {
     }
 }
 
+/// Energy-budgeted admission (see [`AdmissionPolicy::EnergyCapped`]).
+///
+/// Tracks simulated energy *committed* per window of the virtual clock:
+/// admitting a candidate charges its whole remaining trajectory
+/// (`per-round estimate × remaining steps`) against the window's budget,
+/// and admission stops once the budget is exhausted — deferred candidates
+/// simply stay queued until a fresh window opens. Never parks, so the
+/// policy is safe on every serving surface including the daemon (whose
+/// stream storage cannot survive parking).
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyCappedPolicy {
+    budget_pj: u64,
+    window: u32,
+    /// Window index (`clock / window`) the running total belongs to.
+    window_id: usize,
+    /// Simulated energy committed in the current window, pJ.
+    committed_pj: f64,
+}
+
+impl EnergyCappedPolicy {
+    fn new(budget_pj: u64, window: u32) -> Self {
+        EnergyCappedPolicy {
+            budget_pj,
+            window: window.max(1),
+            window_id: 0,
+            committed_pj: 0.0,
+        }
+    }
+}
+
+impl sealed::Sealed for EnergyCappedPolicy {}
+impl Policy for EnergyCappedPolicy {
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision {
+        let wid = ctx.clock / self.window as usize;
+        if wid != self.window_id {
+            self.window_id = wid;
+            self.committed_pj = 0.0;
+        }
+        let budget = self.budget_pj as f64;
+        let mut admit = Vec::new();
+        for i in 0..ctx.candidates.len().min(ctx.capacity) {
+            let c = &ctx.candidates[i];
+            let cost = ctx
+                .costs
+                .get(i)
+                .map_or(0.0, |e| e.round_energy_pj * c.remaining as f64);
+            let within = self.committed_pj + cost <= budget;
+            // The stall guard: with nothing in flight the first candidate
+            // is admitted even over budget — otherwise a budget smaller
+            // than one trajectory would wedge the queue forever.
+            if within || (ctx.inflight.is_empty() && admit.is_empty()) {
+                self.committed_pj += cost;
+                admit.push(i);
+            } else {
+                break;
+            }
+        }
+        AdmitDecision {
+            admit,
+            park: Vec::new(),
+        }
+    }
+}
+
+/// Occupancy-band admission (see [`AdmissionPolicy::OccupancyTarget`]).
+///
+/// Packs the batch toward a target PE-utilisation band `[lo, hi]` (as
+/// fractions of the provisioned array, from the configured percentages):
+/// candidates are admitted FIFO while the projected occupancy — in-flight
+/// shares plus admitted shares — stays at or below `hi`, and in-flight
+/// streams are parked (newest first, always keeping one) while their
+/// occupancy alone exceeds `hi`. With zero-cost estimates (the no-op
+/// model) projections are always zero and the policy degrades to FIFO.
+/// Parks streams, so it is scheduler-only — the daemon must not use it.
+#[derive(Debug, Clone, Copy)]
+pub struct OccupancyTargetPolicy {
+    lo: f64,
+    hi: f64,
+}
+
+impl OccupancyTargetPolicy {
+    fn new(lo_pct: u8, hi_pct: u8) -> Self {
+        let lo = f64::from(lo_pct.min(100)) / 100.0;
+        let hi = (f64::from(hi_pct.min(100)) / 100.0).max(lo);
+        OccupancyTargetPolicy { lo, hi }
+    }
+}
+
+impl sealed::Sealed for OccupancyTargetPolicy {}
+impl Policy for OccupancyTargetPolicy {
+    fn admit(&mut self, ctx: &AdmitCtx<'_>) -> AdmitDecision {
+        let mut occupied: f64 = ctx
+            .inflight_costs
+            .iter()
+            .map(|e| e.occupancy_share)
+            .sum();
+        let mut decision = AdmitDecision::default();
+        // Over the band on in-flight work alone: shed load by parking the
+        // newest streams until back inside, always keeping one running.
+        let mut parked_share = 0.0;
+        if occupied > self.hi {
+            for p in (1..ctx.inflight.len()).rev() {
+                if occupied - parked_share <= self.hi {
+                    break;
+                }
+                parked_share += ctx.inflight_costs.get(p).map_or(0.0, |e| e.occupancy_share);
+                decision.park.push(p);
+            }
+        }
+        occupied -= parked_share;
+        for i in 0..ctx.candidates.len().min(ctx.capacity + decision.park.len()) {
+            let share = ctx.costs.get(i).map_or(0.0, |e| e.occupancy_share);
+            let fits = occupied + share <= self.hi || occupied < self.lo;
+            if fits || (ctx.inflight.len() == decision.park.len() && decision.admit.is_empty()) {
+                occupied += share;
+                decision.admit.push(i);
+            } else {
+                break;
+            }
+        }
+        // Parking only to shrink the batch with nothing to admit is pure
+        // churn at this boundary — but unlike the engine's own sanitizer
+        // we keep it, because the engine clears parks when nothing is
+        // admitted anyway.
+        decision
+    }
+}
+
 /// Order in which queued requests are admitted at a step boundary.
 ///
 /// This enum is the serializable, copyable *selector*; the scheduler core
@@ -838,6 +989,35 @@ pub enum AdmissionPolicy {
     /// a later boundary producing exactly the solo-`sample()` bits, so
     /// preemption is invisible to the determinism contract.
     Preempt,
+    /// Energy-budgeted admission: each window of `window` virtual steps
+    /// may *commit* at most `budget_pj` picojoules of simulated energy
+    /// (per-round estimate × remaining steps, from the engine's
+    /// [`crate::cost::CostModel`]). Once the window's budget is spent,
+    /// further candidates stay queued until the next window. Never parks
+    /// and always admits at least one candidate when nothing is in
+    /// flight, so it is deadlock-free and daemon-safe. With the no-op
+    /// cost model every estimate is zero and this degrades to
+    /// [`AdmissionPolicy::Fifo`].
+    EnergyCapped {
+        /// Simulated energy budget per window, pJ.
+        budget_pj: u64,
+        /// Window length in virtual steps (0 is treated as 1).
+        window: u32,
+    },
+    /// Occupancy-band admission: packs the batch toward a PE-utilisation
+    /// band `[lo_pct, hi_pct]`% of the provisioned array, admitting while
+    /// the projected occupancy stays inside the band and parking the
+    /// newest in-flight streams while it overshoots. Parks streams, so
+    /// scheduler-only — the daemon's stream storage cannot survive
+    /// parking. With the no-op cost model projections are all zero and
+    /// this degrades to [`AdmissionPolicy::Fifo`].
+    OccupancyTarget {
+        /// Lower edge of the target band, percent (clamped to 100).
+        lo_pct: u8,
+        /// Upper edge of the target band, percent (clamped to 100, raised
+        /// to `lo_pct` if below it).
+        hi_pct: u8,
+    },
 }
 
 impl AdmissionPolicy {
@@ -852,6 +1032,12 @@ impl AdmissionPolicy {
             AdmissionPolicy::FairShare => Box::new(FairSharePolicy::default()),
             AdmissionPolicy::Priority => Box::new(PriorityPolicy),
             AdmissionPolicy::Preempt => Box::new(PreemptPolicy),
+            AdmissionPolicy::EnergyCapped { budget_pj, window } => {
+                Box::new(EnergyCappedPolicy::new(budget_pj, window))
+            }
+            AdmissionPolicy::OccupancyTarget { lo_pct, hi_pct } => {
+                Box::new(OccupancyTargetPolicy::new(lo_pct, hi_pct))
+            }
         }
     }
 }
@@ -958,19 +1144,39 @@ pub(crate) struct BoundaryActions {
 pub(crate) struct AdmissionEngine {
     policy: Box<dyn Policy>,
     bound: Option<QueueBound>,
+    /// The cost model supplying per-candidate estimates at boundaries and
+    /// accounting executed rounds ([`NoopCostModel`](crate::cost) unless
+    /// configured otherwise).
+    cost: Box<dyn CostModel>,
     /// Arrived, not yet admitted: `(request, submission index)`.
     queue: Vec<(ScheduledRequest, usize)>,
     parked: Vec<ParkedEntry>,
 }
 
 impl AdmissionEngine {
-    pub(crate) fn new(policy: AdmissionPolicy, bound: Option<QueueBound>) -> Self {
+    /// An engine whose boundaries see estimates from `cost`, built for a
+    /// deployment provisioned with `provisioned` batch slots. Passing
+    /// [`CostModelConfig::Noop`] yields a cost-blind engine whose policies
+    /// behave exactly as they did before costs existed.
+    pub(crate) fn with_cost(
+        policy: AdmissionPolicy,
+        bound: Option<QueueBound>,
+        cost: CostModelConfig,
+        provisioned: usize,
+    ) -> Self {
         AdmissionEngine {
             policy: policy.into_policy(),
             bound,
+            cost: cost.into_cost_model(provisioned),
             queue: Vec::new(),
             parked: Vec::new(),
         }
+    }
+
+    /// Accounts one executed round over `batch` streams through the cost
+    /// model; returns the round's simulated `(energy_pj, occupancy)`.
+    pub(crate) fn round_accounting(&mut self, batch: usize) -> (f64, f64) {
+        self.cost.round_accounting(batch)
     }
 
     /// Requests currently waiting for admission.
@@ -1111,6 +1317,14 @@ impl AdmissionEngine {
                 remaining: r.remaining,
             })
             .collect();
+        let costs: Vec<CostEstimate> = candidates
+            .iter()
+            .map(|c| self.cost.stream_cost(c.remaining))
+            .collect();
+        let inflight_costs: Vec<CostEstimate> = infos
+            .iter()
+            .map(|s| self.cost.stream_cost(s.remaining))
+            .collect();
         let ctx = AdmitCtx {
             candidates: &candidates,
             inflight: &infos,
@@ -1118,6 +1332,8 @@ impl AdmissionEngine {
             max_batch,
             clock,
             pending_future,
+            costs: &costs,
+            inflight_costs: &inflight_costs,
         };
         let decision = self.policy.admit(&ctx);
 
@@ -1246,6 +1462,13 @@ pub struct ServeStats {
     pub queue_depth: Vec<usize>,
     /// Wall-clock nanoseconds spent in each executed round.
     pub step_latency_ns: Vec<u64>,
+    /// Simulated accelerator energy of each executed round, pJ, from the
+    /// scheduler's [`crate::cost::CostModel`] (all zeros under the
+    /// default no-op model).
+    pub round_energy_pj: Vec<f64>,
+    /// Simulated PE-array occupancy of each executed round, `0.0..=1.0`
+    /// (all zeros under the default no-op model).
+    pub round_occupancy: Vec<f64>,
     /// Ids refused by [`BackpressurePolicy::Reject`], in arrival order.
     pub rejected_ids: Vec<u64>,
     /// Ids shed by a shedding backpressure policy, in shed order.
@@ -1334,6 +1557,32 @@ impl ServeStats {
         self.latency_percentile(99.0)
     }
 
+    /// Total simulated energy across executed rounds, pJ (0.0 when no
+    /// rounds ran or no cost model was configured).
+    pub fn total_energy_pj(&self) -> f64 {
+        self.round_energy_pj.iter().sum()
+    }
+
+    /// Simulated energy per completed image, pJ (`NaN` for an empty run).
+    pub fn energy_per_image_pj(&self) -> f64 {
+        if self.requests.is_empty() {
+            return f64::NAN;
+        }
+        self.total_energy_pj() / self.requests.len() as f64
+    }
+
+    /// Mean simulated PE occupancy over executed rounds (`NaN` if none
+    /// ran).
+    pub fn mean_occupancy(&self) -> f64 {
+        mean(self.round_occupancy.iter().copied())
+    }
+
+    /// Peak simulated PE occupancy over executed rounds (0.0 if none
+    /// ran).
+    pub fn peak_occupancy(&self) -> f64 {
+        self.round_occupancy.iter().copied().fold(0.0, f64::max)
+    }
+
     /// Per-tenant rollups of the request records, ascending by tenant id.
     pub fn tenant_rollups(&self) -> Vec<TenantRollup> {
         let mut by_tenant: BTreeMap<TenantId, Vec<&RequestStats>> = BTreeMap::new();
@@ -1406,23 +1655,36 @@ pub struct Scheduler {
     /// Bound on the pending queue; `None` (the default) queues without
     /// limit and never sheds or rejects.
     pub queue_bound: Option<QueueBound>,
+    /// Cost model the run's admission engine prices candidates with
+    /// ([`CostModelConfig::Noop`] by default: zero estimates, decisions
+    /// bitwise identical to a cost-free build).
+    pub cost: CostModelConfig,
 }
 
 impl Scheduler {
     /// A FIFO scheduler with the given in-flight capacity, an unbounded
-    /// pending queue, and per-stream trace recording enabled.
+    /// pending queue, no cost model, and per-stream trace recording
+    /// enabled.
     pub fn new(den: Denoiser, max_batch: usize) -> Self {
         Scheduler {
             sampler: BatchSampler::new(den),
             max_batch,
             policy: AdmissionPolicy::Fifo,
             queue_bound: None,
+            cost: CostModelConfig::Noop,
         }
     }
 
     /// This scheduler with a different admission policy.
     pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// This scheduler with a cost model supplying admission estimates and
+    /// per-round energy/occupancy accounting.
+    pub fn with_cost_model(mut self, cost: CostModelConfig) -> Self {
+        self.cost = cost;
         self
     }
 
@@ -1528,7 +1790,8 @@ impl Scheduler {
         // `future`, sorted in canonical `(arrival_step, submission)` order.
         let mut future: Vec<usize> = (0..n).collect();
         future.sort_by_key(|&i| (requests[i].arrival_step, i));
-        let mut engine = AdmissionEngine::new(self.policy, self.queue_bound);
+        let mut engine =
+            AdmissionEngine::with_cost(self.policy, self.queue_bound, self.cost, self.max_batch);
         let mut streams: Vec<Stream> = Vec::with_capacity(n);
         let mut owner: Vec<usize> = Vec::with_capacity(n);
         let mut inflight: Vec<usize> = Vec::new();
@@ -1629,6 +1892,9 @@ impl Scheduler {
                 stats.step_latency_ns.push(t0.elapsed().as_nanos() as u64);
                 stats.batch_occupancy.push(inflight.len());
                 stats.queue_depth.push(engine.queue_len());
+                let (round_pj, round_occ) = engine.round_accounting(inflight.len());
+                stats.round_energy_pj.push(round_pj);
+                stats.round_occupancy.push(round_occ);
                 stats.rounds += 1;
                 clock += 1;
                 // Retire exhausted streams; the packed batch shrinks here
@@ -2390,5 +2656,218 @@ mod tests {
         assert_eq!(stats.max_queue_depth(), 2);
         assert_eq!(stats.mean_queue_depth(), 1.0);
         assert_eq!(stats.throughput_per_step(), 0.5);
+    }
+
+    #[test]
+    fn priority_aging_prevents_starvation_under_a_flood() {
+        let (mut net, den) = fixture();
+        // Capacity 1, steps 2: a fresh prio-1 flood request lands every
+        // other step, so every boundary sees a higher class waiting.
+        // Without aging the prio-0 request would wait out the entire
+        // flood; with one boost per PRIORITY_AGE_STEPS queued steps it
+        // ties the flood's class at age PRIORITY_AGE_STEPS and wins the
+        // tie on arrival order.
+        let mut requests = vec![ScheduledRequest::new(ServeRequest::new(0, 2), 0)];
+        for i in 0..6u64 {
+            requests.push(ScheduledRequest::new(
+                ServeRequest::new(i + 1, 2).priority(1),
+                2 * i as usize,
+            ));
+        }
+        let solo = solo_references(&mut net, &den, &requests);
+        let sched = Scheduler::new(den, 1).with_policy(AdmissionPolicy::Priority);
+        let (served, stats) = sched.run(&mut net, &requests, None).unwrap();
+        let aged = stats.request(0).unwrap();
+        assert_eq!(
+            aged.admitted_step, PRIORITY_AGE_STEPS,
+            "one age boost must lift the prio-0 request over the flood"
+        );
+        // Starvation regression guard: the aged request beats the tail of
+        // the flood instead of outwaiting all of it.
+        let last_flood_admission = (1..=6)
+            .map(|id| stats.request(id).unwrap().admitted_step)
+            .max()
+            .unwrap();
+        assert!(
+            aged.admitted_step < last_flood_admission,
+            "aged request admitted at {} but flood tail at {last_flood_admission}",
+            aged.admitted_step
+        );
+        // Aging is pure scheduling: outputs still match solo runs.
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        let (_, stats2) = sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(stats.requests, stats2.requests);
+    }
+
+    #[test]
+    fn cost_aware_policies_degrade_to_fifo_under_the_noop_model() {
+        let (mut net, den) = fixture();
+        let requests = [
+            ScheduledRequest::at(0, 3, 0),
+            ScheduledRequest::at(1, 2, 0),
+            ScheduledRequest::at(2, 4, 1),
+            ScheduledRequest::at(3, 2, 2),
+        ];
+        let (fifo_out, fifo_stats) = Scheduler::new(den, 2)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        // With zero-cost estimates an energy budget can never be exceeded
+        // and an occupancy projection never leaves the band: both new
+        // policies must reproduce FIFO's schedule exactly, images and all.
+        for policy in [
+            AdmissionPolicy::EnergyCapped {
+                budget_pj: 1,
+                window: 1,
+            },
+            AdmissionPolicy::OccupancyTarget {
+                lo_pct: 20,
+                hi_pct: 60,
+            },
+        ] {
+            let (out, stats) = Scheduler::new(den, 2)
+                .with_policy(policy)
+                .run(&mut net, &requests, None)
+                .unwrap();
+            assert_eq!(stats.requests, fifo_stats.requests, "{policy:?}");
+            for (a, b) in out.iter().zip(&fifo_out) {
+                assert_eq!(bits(&a.image), bits(&b.image), "{policy:?} request {}", a.id);
+            }
+            // And the accounting stays all-zero under the no-op model.
+            assert_eq!(stats.total_energy_pj(), 0.0);
+            assert_eq!(stats.peak_occupancy(), 0.0);
+        }
+    }
+
+    #[test]
+    fn energy_capped_policy_spends_less_than_fifo_at_bounded_latency() {
+        use crate::cost::AccelCostModel;
+        use sqdm_accel::PowerProfile;
+
+        let (mut net, den) = fixture();
+        let requests: Vec<ScheduledRequest> =
+            (0..6).map(|i| ScheduledRequest::at(i, 4, 0)).collect();
+        let solo = solo_references(&mut net, &den, &requests);
+        let cost = CostModelConfig::Accel {
+            profile: PowerProfile::Efficiency,
+        };
+        let (_, fifo) = Scheduler::new(den, 3)
+            .with_cost_model(cost)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        // Budget 1.5 whole trajectories per 4-step window: the policy must
+        // serialize admissions instead of packing the full batch.
+        let unit = AccelCostModel::new(PowerProfile::Efficiency, 3)
+            .stream_cost(1)
+            .round_energy_pj;
+        let budget_pj = (unit * 4.0 * 1.5) as u64;
+        let capped_sched = Scheduler::new(den, 3)
+            .with_policy(AdmissionPolicy::EnergyCapped {
+                budget_pj,
+                window: 4,
+            })
+            .with_cost_model(cost);
+        let (served, capped) = capped_sched.run(&mut net, &requests, None).unwrap();
+        assert!(
+            capped.mean_occupancy() < fifo.mean_occupancy(),
+            "capped {} vs fifo {}",
+            capped.mean_occupancy(),
+            fifo.mean_occupancy()
+        );
+        assert!(
+            capped.energy_per_image_pj() < fifo.energy_per_image_pj(),
+            "capped {} vs fifo {} pJ/image",
+            capped.energy_per_image_pj(),
+            fifo.energy_per_image_pj()
+        );
+        // Latency inflation from shedding concurrency stays bounded.
+        let (cp99, fp99) = (capped.p99_latency().unwrap(), fifo.p99_latency().unwrap());
+        assert!(cp99 <= fp99 * 4, "p99 {cp99} vs fifo {fp99}");
+        // Costs are simulated: images stay bitwise solo.
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        // Decisions are a pure function of the request set.
+        let (_, capped2) = capped_sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(capped.requests, capped2.requests);
+        // A budget below one trajectory must not wedge the queue: the
+        // stall guard admits one stream per window regardless.
+        let (starved_out, _) = Scheduler::new(den, 3)
+            .with_policy(AdmissionPolicy::EnergyCapped {
+                budget_pj: 0,
+                window: 4,
+            })
+            .with_cost_model(cost)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        assert_eq!(starved_out.len(), 6);
+    }
+
+    #[test]
+    fn occupancy_target_policy_packs_into_the_band() {
+        use crate::cost::AccelCostModel;
+        use sqdm_accel::PowerProfile;
+
+        let (mut net, den) = fixture();
+        let requests: Vec<ScheduledRequest> =
+            (0..6).map(|i| ScheduledRequest::at(i, 3, 0)).collect();
+        let solo = solo_references(&mut net, &den, &requests);
+        let cost = CostModelConfig::Accel {
+            profile: PowerProfile::Balanced,
+        };
+        let (_, fifo) = Scheduler::new(den, 3)
+            .with_cost_model(cost)
+            .run(&mut net, &requests, None)
+            .unwrap();
+        // A band that fits one stream's share but not two: batches must
+        // stay at size one even though FIFO would pack three.
+        let share = AccelCostModel::new(PowerProfile::Balanced, 3)
+            .stream_cost(1)
+            .occupancy_share;
+        let hi_pct = ((share * 1.5) * 100.0).ceil().min(100.0) as u8;
+        let target_sched = Scheduler::new(den, 3)
+            .with_policy(AdmissionPolicy::OccupancyTarget { lo_pct: 0, hi_pct })
+            .with_cost_model(cost);
+        let (served, target) = target_sched.run(&mut net, &requests, None).unwrap();
+        assert!(
+            target.peak_occupancy() < fifo.peak_occupancy(),
+            "target peak {} vs fifo peak {}",
+            target.peak_occupancy(),
+            fifo.peak_occupancy()
+        );
+        assert!(
+            target.peak_occupancy() <= f64::from(hi_pct) / 100.0 + 1e-9,
+            "peak {} left the [0, {hi_pct}%] band",
+            target.peak_occupancy()
+        );
+        for (out, single) in served.iter().zip(&solo) {
+            assert_eq!(bits(&out.image), bits(single), "request {}", out.id);
+        }
+        let (_, target2) = target_sched.run(&mut net, &requests, None).unwrap();
+        assert_eq!(target.requests, target2.requests);
+    }
+
+    #[test]
+    fn scheduler_round_accounting_timeline_matches_rounds() {
+        use sqdm_accel::PowerProfile;
+
+        let (mut net, den) = fixture();
+        let requests = [ScheduledRequest::at(0, 3, 0), ScheduledRequest::at(1, 2, 1)];
+        let (_, stats) = Scheduler::new(den, 2)
+            .with_cost_model(CostModelConfig::Accel {
+                profile: PowerProfile::Performance,
+            })
+            .run(&mut net, &requests, None)
+            .unwrap();
+        assert_eq!(stats.round_energy_pj.len(), stats.rounds);
+        assert_eq!(stats.round_occupancy.len(), stats.rounds);
+        assert!(stats.round_energy_pj.iter().all(|&e| e > 0.0));
+        assert!(stats
+            .round_occupancy
+            .iter()
+            .all(|&o| o > 0.0 && o <= 1.0));
+        assert!(stats.energy_per_image_pj() > 0.0);
+        assert!(stats.peak_occupancy() >= stats.mean_occupancy());
     }
 }

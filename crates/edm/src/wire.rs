@@ -28,14 +28,36 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::EdmError;
 use crate::serve::TenantRollup;
 
 /// Version of the wire protocol spoken by this build. Carried in every
 /// reply's `proto_version` field so clients can detect a daemon that is
 /// newer (or older) than the types they compiled against instead of
-/// misparsing it. History: 1 = PR 8 initial protocol; 2 = this revision
-/// (`Submit.priority`, `StatsReply.rejected`, HTTP 429 overload).
-pub const PROTO_VERSION: u32 = 2;
+/// misparsing it. History: 1 = PR 8 initial protocol; 2 = `Submit.priority`,
+/// `StatsReply.rejected`, HTTP 429 overload; 3 = this revision (per-model
+/// energy/occupancy stats, daemon `--energy-budget`).
+pub const PROTO_VERSION: u32 = 3;
+
+/// Checks a reply's `proto_version` against this build.
+///
+/// Older peers are fine — every revision so far only added fields, and
+/// absent fields decode as `None` — but a **newer** peer may be sending
+/// semantics this build cannot interpret, so that is a typed error
+/// instead of a silent mis-parse.
+///
+/// # Errors
+///
+/// Returns [`EdmError::ProtocolMismatch`] when `got > PROTO_VERSION`.
+pub fn check_proto_version(got: u32) -> Result<(), EdmError> {
+    if got > PROTO_VERSION {
+        return Err(EdmError::ProtocolMismatch {
+            expected: PROTO_VERSION,
+            got,
+        });
+    }
+    Ok(())
+}
 
 /// Body of `POST /v1/models`: make a model resident.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -156,6 +178,14 @@ pub struct ModelStatsWire {
     pub p99_latency: Option<usize>,
     /// Mean in-flight batch size over executed rounds.
     pub mean_batch_occupancy: Option<f64>,
+    /// Simulated energy per completed image in pJ, under the daemon's
+    /// cost model; absent until the first request completes, or always
+    /// absent under the no-op cost model's zero accounting.
+    pub energy_per_image_pj: Option<f64>,
+    /// Mean simulated PE-array occupancy over executed rounds, `0.0..=1.0`.
+    pub mean_occupancy: Option<f64>,
+    /// Peak simulated PE-array occupancy over executed rounds.
+    pub peak_occupancy: Option<f64>,
 }
 
 /// Response of `GET /v1/stats`.
@@ -1067,12 +1097,37 @@ mod tests {
                 p95_latency: None,
                 p99_latency: None,
                 mean_batch_occupancy: None,
+                energy_per_image_pj: None,
+                mean_occupancy: None,
+                peak_occupancy: None,
             }],
             tenants: vec![],
         };
         let text = to_string(&stats).unwrap();
         assert!(text.contains("\"mean_latency\":null"), "{text}");
         assert_eq!(from_str::<StatsReply>(&text).unwrap(), stats);
+    }
+
+    #[test]
+    fn proto_version_skew_is_a_typed_error() {
+        // Same or older peers are accepted...
+        assert!(check_proto_version(PROTO_VERSION).is_ok());
+        assert!(check_proto_version(1).is_ok());
+        // ...but a reply from a future daemon is a typed error, not a
+        // silent mis-parse of fields this build has never heard of.
+        let older_build_reply = format!(
+            "{{\"clock\":1,\"rounds\":1,\"draining\":false,\"active_requests\":0,\
+             \"rejected\":0,\"proto_version\":{},\"models\":[],\"tenants\":[]}}",
+            PROTO_VERSION + 96
+        );
+        let reply: StatsReply = from_str(&older_build_reply).unwrap();
+        match check_proto_version(reply.proto_version) {
+            Err(EdmError::ProtocolMismatch { expected, got }) => {
+                assert_eq!(expected, PROTO_VERSION);
+                assert_eq!(got, PROTO_VERSION + 96);
+            }
+            other => panic!("expected ProtocolMismatch, got {other:?}"),
+        }
     }
 
     #[test]

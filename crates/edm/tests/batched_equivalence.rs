@@ -15,8 +15,8 @@ use sqdm_edm::serve::{
     ServeRequest,
 };
 use sqdm_edm::{
-    block_ids, sample, Denoiser, EdmSchedule, ModelRegistry, RegistryRequest, RegistryScheduler,
-    RunConfig, SamplerConfig, UNet, UNetConfig,
+    block_ids, sample, CostModelConfig, Denoiser, EdmSchedule, ModelRegistry, RegistryRequest,
+    RegistryScheduler, RunConfig, SamplerConfig, UNet, UNetConfig,
 };
 use sqdm_quant::{BlockPrecision, ExecMode, PrecisionAssignment, QuantFormat};
 use sqdm_tensor::parallel::with_threads;
@@ -472,6 +472,123 @@ proptest! {
                         ),
                     }
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+    /// The cost-model layer is decision- and bit-transparent under the
+    /// no-op model: with `CostModelConfig::Noop` installed explicitly,
+    /// every admission policy — the six pre-existing ones and the two
+    /// cost-aware ones — completes every request with the bitwise solo
+    /// image at threads 1/2/7 in both execution modes, its decisions are
+    /// identical across every thread count and mode, and the cost-aware
+    /// policies collapse exactly onto FIFO's admission schedule (zero
+    /// estimates can never exhaust a budget or leave an occupancy band).
+    #[test]
+    fn noop_cost_model_is_decision_and_bit_transparent(
+        ((net_seed, extra), (p0, p1, p2), (a1, a2), (s0, s1, s2)) in (
+            (0u64..1 << 16, 0u64..1 << 16),
+            (0u32..3, 0u32..3, 0u32..3),
+            (0usize..4, 0usize..4),
+            (2usize..5, 2usize..5, 2usize..5),
+        )
+    ) {
+        let mut rng = Rng::seed_from(net_seed);
+        let mut net = UNet::new(UNetConfig::micro(), &mut rng).unwrap();
+        let den = Denoiser::new(EdmSchedule::default());
+        let req = |id: u64, steps: usize, prio: u32, arrival: usize| {
+            ScheduledRequest::new(
+                ServeRequest::new(id, steps)
+                    .seed(extra.wrapping_add(id + 1))
+                    .tenant((id % 2) as u32)
+                    .priority(prio),
+                arrival,
+            )
+        };
+        let requests = vec![req(0, s0, p0, 0), req(1, s1, p1, a1), req(2, s2, p2, a2)];
+        let policies = [
+            AdmissionPolicy::Fifo,
+            AdmissionPolicy::ShortestBudgetFirst,
+            AdmissionPolicy::Gang,
+            AdmissionPolicy::FairShare,
+            AdmissionPolicy::Priority,
+            AdmissionPolicy::Preempt,
+            AdmissionPolicy::EnergyCapped { budget_pj: 1, window: 1 },
+            AdmissionPolicy::OccupancyTarget { lo_pct: 20, hi_pct: 60 },
+        ];
+        for policy in policies {
+            let sched = Scheduler::new(den, 2)
+                .with_policy(policy)
+                .with_cost_model(CostModelConfig::Noop);
+            // Per-request virtual-clock records must not depend on threads
+            // or execution mode.
+            let mut reference: Option<Vec<sqdm_edm::RequestStats>> = None;
+            for mode in [ExecMode::FakeQuant, ExecMode::NativeInt] {
+                let asg = int8_assignment(mode);
+                let solo: Vec<(u64, Vec<u32>)> = requests.iter().map(|r| {
+                    let mut rr = Rng::seed_from(r.request.seed);
+                    let img = with_threads(1, || sample(
+                        &mut net,
+                        &den,
+                        1,
+                        SamplerConfig { steps: r.request.steps },
+                        Some(&asg),
+                        &mut rr,
+                    ).unwrap());
+                    (r.request.id, bits(&img))
+                }).collect();
+                for t in THREADS {
+                    let (served, stats) = with_threads(t, || {
+                        sched.run(&mut net, &requests, Some(&asg)).unwrap()
+                    });
+                    prop_assert_eq!(served.len(), requests.len());
+                    for out in &served {
+                        let single = solo
+                            .iter()
+                            .find(|(id, _)| *id == out.id)
+                            .map(|(_, b)| b)
+                            .unwrap();
+                        prop_assert_eq!(
+                            &bits(&out.image),
+                            single,
+                            "{:?} {:?} request {} at {} threads",
+                            policy, mode, out.id, t
+                        );
+                    }
+                    // No-op model: the accounting is identically zero.
+                    prop_assert_eq!(stats.total_energy_pj(), 0.0);
+                    prop_assert_eq!(stats.peak_occupancy(), 0.0);
+                    match &reference {
+                        None => reference = Some(stats.requests.clone()),
+                        Some(r) => prop_assert_eq!(
+                            r,
+                            &stats.requests,
+                            "{:?} {:?} at {} threads",
+                            policy, mode, t
+                        ),
+                    }
+                }
+            }
+            // The cost-aware policies degrade to FIFO's exact schedule.
+            if matches!(
+                policy,
+                AdmissionPolicy::EnergyCapped { .. } | AdmissionPolicy::OccupancyTarget { .. }
+            ) {
+                let asg = int8_assignment(ExecMode::NativeInt);
+                let (_, fifo_stats) = with_threads(1, || {
+                    Scheduler::new(den, 2)
+                        .run(&mut net, &requests, Some(&asg))
+                        .unwrap()
+                });
+                prop_assert_eq!(
+                    &fifo_stats.requests,
+                    reference.as_ref().unwrap(),
+                    "{:?} must match FIFO under zero costs",
+                    policy
+                );
             }
         }
     }

@@ -156,6 +156,11 @@ fn daemon_round_trip_is_bitwise_identical_to_solo_sampling() {
         );
         assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone");
         assert!(m.mean_latency.unwrap() > 0.0);
+        // No --energy-budget: the no-op cost model accounts nothing, and
+        // the energy/occupancy aggregates stay absent on the wire.
+        assert!(m.energy_per_image_pj.is_none());
+        assert!(m.mean_occupancy.is_none());
+        assert!(m.peak_occupancy.is_none());
     }
     assert_eq!(
         stats.tenants.iter().map(|t| t.tenant).collect::<Vec<_>>(),
@@ -201,6 +206,74 @@ fn daemon_round_trip_is_bitwise_identical_to_solo_sampling() {
     let stats: StatsReply = json::from_str(&resp.body).unwrap();
     assert!(stats.draining);
 
+    handle.wait_drained();
+    handle.shutdown();
+}
+
+#[test]
+fn energy_budgeted_daemon_reports_energy_and_occupancy_and_stays_bitwise() {
+    let _wd = watchdog(600);
+    // A roomy per-window budget: admission behaves like FIFO, but every
+    // round is accounted through the accelerator cost model, so the
+    // energy/occupancy aggregates appear in /v1/stats.
+    let handle = daemon::spawn(DaemonConfig {
+        max_batch: 2,
+        energy_budget: Some(1 << 40),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let resp = post(
+        addr,
+        "/v1/models",
+        &RegisterModel {
+            name: "m".into(),
+            preset: "micro".into(),
+            precision: "fp32".into(),
+            seed: 31,
+        },
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let requests = [(1u64, 11u64, 3usize), (2, 12, 4), (3, 13, 3)];
+    for &(id, seed, steps) in &requests {
+        submit_ok(
+            addr,
+            Submit {
+                model: 0,
+                id,
+                seed,
+                steps,
+                tenant: 0,
+                priority: 0,
+            },
+        );
+    }
+    // The energy-capped policy is pure scheduling: images still cross the
+    // wire bitwise identical to solo sampling.
+    for &(id, seed, steps) in &requests {
+        let status = wait_done(addr, id);
+        assert_eq!(status.state, "done", "request {id}: {:?}", status.error);
+        let image = status.image.expect("done status carries the image");
+        assert_eq!(image.bits, solo_bits(31, None, seed, steps));
+    }
+
+    let stats: StatsReply = json::from_str(&get(addr, "/v1/stats").body).unwrap();
+    assert_eq!(stats.proto_version, sqdm_edm::wire::PROTO_VERSION);
+    let m = &stats.models[0];
+    assert_eq!(m.completed, 3);
+    let energy = m.energy_per_image_pj.expect("energy aggregate present");
+    assert!(energy > 0.0, "energy per image must be positive: {energy}");
+    let mean_occ = m.mean_occupancy.expect("mean occupancy present");
+    let peak_occ = m.peak_occupancy.expect("peak occupancy present");
+    assert!(mean_occ > 0.0 && mean_occ <= 1.0, "mean occupancy {mean_occ}");
+    assert!(peak_occ >= mean_occ && peak_occ <= 1.0, "peak {peak_occ}");
+
+    let resp = post(addr, "/v1/drain", &());
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let drain: DrainReply = json::from_str(&resp.body).unwrap();
+    assert_eq!(drain.completed, 3);
     handle.wait_drained();
     handle.shutdown();
 }

@@ -211,6 +211,40 @@ fn semantic_rejections_map_to_the_right_status_codes() {
 }
 
 #[test]
+fn proto_version_skew_is_a_typed_error_not_a_misparse() {
+    let _wd = watchdog(600);
+    let (handle, addr) = boot();
+
+    // A live daemon of this build always passes the client-side check.
+    let resp = get(addr, "/v1/stats");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let stats: sqdm_edm::wire::StatsReply = json::from_str(&resp.body).unwrap();
+    assert_eq!(stats.proto_version, sqdm_edm::wire::PROTO_VERSION);
+    assert!(sqdm_edm::wire::check_proto_version(stats.proto_version).is_ok());
+
+    // Simulate a *newer* daemon by rewriting the version field of the
+    // real reply: the body still decodes (added fields would be absent),
+    // but the version check must surface a typed ProtocolMismatch instead
+    // of letting the client silently mis-interpret the reply.
+    let future = resp.body.replace(
+        &format!("\"proto_version\":{}", sqdm_edm::wire::PROTO_VERSION),
+        &format!("\"proto_version\":{}", sqdm_edm::wire::PROTO_VERSION + 5),
+    );
+    assert_ne!(future, resp.body, "version field must be present to rewrite");
+    let skewed: sqdm_edm::wire::StatsReply = json::from_str(&future).unwrap();
+    match sqdm_edm::wire::check_proto_version(skewed.proto_version) {
+        Err(sqdm_edm::EdmError::ProtocolMismatch { expected, got }) => {
+            assert_eq!(expected, sqdm_edm::wire::PROTO_VERSION);
+            assert_eq!(got, sqdm_edm::wire::PROTO_VERSION + 5);
+        }
+        other => panic!("expected ProtocolMismatch, got {other:?}"),
+    }
+
+    assert_healthy(addr, 902);
+    handle.shutdown();
+}
+
+#[test]
 fn concurrent_hostile_connections_do_not_wedge_serving() {
     let _wd = watchdog(600);
     let (handle, addr) = boot();
